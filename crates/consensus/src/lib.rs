@@ -1,0 +1,82 @@
+//! # `tolerance-consensus`
+//!
+//! Consensus substrate for the TOLERANCE reproduction.
+//!
+//! The paper's architecture (Section IV) coordinates its service replicas
+//! with a *reconfigurable* MinBFT protocol under the hybrid failure model
+//! (at most `f = (N - 1 - k)/2` compromised or crashed nodes, relying on a
+//! tamperproof USIG service per node), and runs the global system controller
+//! on a crash-tolerant Raft cluster. The paper's testbed runs these protocols
+//! on 13 physical servers; this reproduction substitutes a deterministic
+//! discrete-event network simulation (see DESIGN.md) that exercises the same
+//! protocol logic: quorum certificates, non-equivocation through USIG
+//! counters, view changes, checkpoints, state transfer and the JOIN/EVICT
+//! reconfiguration used by the system controller.
+//!
+//! Modules:
+//!
+//! * [`crypto`] — simulated digital signatures and keyed message digests.
+//! * [`usig`] — the Unique Sequential Identifier Generator (trusted
+//!   monotonic counter) that MinBFT relies on.
+//! * [`net`] — the discrete-event network: latency, jitter, loss and
+//!   partitions over authenticated channels.
+//! * [`minbft`] — reconfigurable MinBFT replicas, cluster driver, Byzantine
+//!   fault injection and the BFT client (f+1 matching replies).
+//! * [`raft`] — a Raft cluster (leader election and log replication) used as
+//!   the crash-tolerant substrate of the system controller.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod crypto;
+pub mod minbft;
+pub mod net;
+pub mod raft;
+pub mod usig;
+
+pub use minbft::{ByzantineMode, MinBftCluster, MinBftConfig, ThroughputReport};
+pub use net::{NetworkConfig, SimNetwork};
+pub use raft::{RaftCluster, RaftConfig};
+pub use usig::Usig;
+
+/// Identifier of a node (replica, controller or client) in the simulated
+/// system.
+pub type NodeId = u32;
+
+/// Simulated time in seconds.
+pub type SimTime = f64;
+
+/// The tolerance threshold of MinBFT under the hybrid failure model with `n`
+/// replicas and at most `k` parallel recoveries: `f = (n - 1 - k) / 2`
+/// (Proposition 1 of the paper).
+pub fn hybrid_fault_threshold(n: usize, k: usize) -> usize {
+    n.saturating_sub(1 + k) / 2
+}
+
+/// The minimum number of replicas needed to tolerate `f` faults with `k`
+/// parallel recoveries: `n = 2f + 1 + k` (Proposition 1).
+pub fn required_replicas(f: usize, k: usize) -> usize {
+    2 * f + 1 + k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_threshold_matches_proposition_1() {
+        // n = 2f + 1 + k
+        assert_eq!(hybrid_fault_threshold(3, 0), 1);
+        assert_eq!(hybrid_fault_threshold(4, 1), 1);
+        assert_eq!(hybrid_fault_threshold(6, 1), 2);
+        assert_eq!(hybrid_fault_threshold(1, 1), 0);
+        assert_eq!(required_replicas(1, 1), 4);
+        assert_eq!(required_replicas(3, 1), 8);
+        // Round trip.
+        for f in 0..5 {
+            for k in 0..3 {
+                assert_eq!(hybrid_fault_threshold(required_replicas(f, k), k), f);
+            }
+        }
+    }
+}

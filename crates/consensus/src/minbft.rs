@@ -1,0 +1,1146 @@
+//! Reconfigurable MinBFT over the simulated network.
+//!
+//! MinBFT (Veronese et al.) is the consensus protocol of the TOLERANCE
+//! architecture (Section IV and Appendix G of the paper). It assumes the
+//! hybrid failure model: replicas may behave arbitrarily, but each hosts a
+//! tamperproof USIG counter, which raises the fault tolerance to
+//! `f = (N - 1)/2` (or `(N - 1 - k)/2` when `k` parallel recoveries are
+//! allowed, Proposition 1). The normal-case message pattern is
+//! REQUEST → PREPARE (leader, with UI) → COMMIT (all, with UI) → REPLY, and
+//! the protocol additionally supports checkpoints, view changes, state
+//! transfer for recovered replicas, and the JOIN/EVICT reconfiguration that
+//! the paper's system controller uses to adjust the replication factor
+//! (Fig. 17).
+//!
+//! The implementation is message-driven over [`crate::net::SimNetwork`]; each
+//! replica also has a per-message processing time, which is what makes the
+//! simulated throughput saturate and decrease with the number of replicas as
+//! in Fig. 10 of the paper.
+
+use crate::crypto::{digest, Digest, KeyDirectory, KeyPair};
+use crate::net::{NetworkConfig, SimNetwork};
+use crate::usig::{UniqueIdentifier, Usig, UsigVerifier};
+use crate::{hybrid_fault_threshold, NodeId, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+/// How a compromised replica misbehaves. Injected by the emulation layer's
+/// attacker; the paper's attacker randomly chooses between participating,
+/// staying silent, and sending random messages after a compromise
+/// (Section VIII-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ByzantineMode {
+    /// The replica follows the protocol (it is healthy or the attacker chose
+    /// to keep participating correctly).
+    Correct,
+    /// The replica stops sending messages.
+    Silent,
+    /// The replica participates but with corrupted values: wrong request
+    /// digests in COMMITs and wrong values in REPLYs.
+    Arbitrary,
+}
+
+/// An operation on the replicated service. The paper's web service offers a
+/// deterministic read and write (Section VII-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Operation {
+    /// Return the current state.
+    Read,
+    /// Replace the state with the given value.
+    Write(u64),
+}
+
+/// A client request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Request {
+    /// The issuing client.
+    pub client: NodeId,
+    /// Client-local request identifier.
+    pub id: u64,
+    /// The requested operation.
+    pub operation: Operation,
+}
+
+impl Request {
+    fn digest(&self) -> Digest {
+        let mut bytes = Vec::with_capacity(24);
+        bytes.extend_from_slice(&self.client.to_le_bytes());
+        bytes.extend_from_slice(&self.id.to_le_bytes());
+        match self.operation {
+            Operation::Read => bytes.push(0),
+            Operation::Write(v) => {
+                bytes.push(1);
+                bytes.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        digest(&bytes)
+    }
+}
+
+/// Protocol messages (Fig. 17 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Client request, broadcast to all replicas.
+    Request(Request),
+    /// Leader proposal carrying a USIG unique identifier.
+    Prepare {
+        /// Current view.
+        view: u64,
+        /// Assigned sequence number.
+        sequence: u64,
+        /// The proposed request.
+        request: Request,
+        /// The leader's USIG certificate.
+        ui: UniqueIdentifier,
+    },
+    /// Acknowledgement of a PREPARE, also carrying a USIG identifier.
+    Commit {
+        /// Current view.
+        view: u64,
+        /// Sequence number being committed.
+        sequence: u64,
+        /// Digest of the committed request.
+        request_digest: Digest,
+        /// The sender's USIG certificate.
+        ui: UniqueIdentifier,
+    },
+    /// Reply to the client after execution.
+    Reply {
+        /// The request being answered.
+        request_id: u64,
+        /// The service state after executing the request.
+        value: u64,
+        /// The sequence number at which the request executed.
+        sequence: u64,
+    },
+    /// Periodic checkpoint announcement.
+    Checkpoint {
+        /// Sequence number of the checkpoint.
+        sequence: u64,
+        /// Digest of the service state at the checkpoint.
+        state_digest: Digest,
+    },
+    /// Vote to move to a new view (leader suspected).
+    ViewChange {
+        /// The proposed view.
+        new_view: u64,
+        /// The sender's last executed sequence number.
+        last_executed: u64,
+    },
+    /// Installation of a new view by its leader.
+    NewView {
+        /// The new view number.
+        view: u64,
+        /// The membership of the new view.
+        membership: Vec<NodeId>,
+        /// The sequence number from which the new leader continues.
+        next_sequence: u64,
+    },
+    /// State transfer to a recovering or joining replica.
+    StateTransfer {
+        /// The current service state.
+        value: u64,
+        /// The log of executed request digests.
+        executed: Vec<Digest>,
+        /// The current view.
+        view: u64,
+        /// The current membership.
+        membership: Vec<NodeId>,
+    },
+}
+
+/// Configuration of a [`MinBftCluster`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MinBftConfig {
+    /// Number of replicas at start.
+    pub initial_replicas: usize,
+    /// Number of parallel recoveries allowed (the `k` of Proposition 1).
+    pub parallel_recoveries: usize,
+    /// Replica-to-replica network profile.
+    pub network: NetworkConfig,
+    /// Per-message processing time at each node (seconds); this is the
+    /// resource bottleneck that shapes the throughput curve of Fig. 10.
+    pub processing_time: f64,
+    /// Client request timeout before a view change is voted (paper: 30 s
+    /// execution timer, scaled down to simulated seconds).
+    pub request_timeout: f64,
+    /// Number of executed requests between checkpoints (paper: 100).
+    pub checkpoint_period: u64,
+    /// RNG seed for the network and the cluster.
+    pub seed: u64,
+}
+
+impl Default for MinBftConfig {
+    fn default() -> Self {
+        MinBftConfig {
+            initial_replicas: 4,
+            parallel_recoveries: 1,
+            network: NetworkConfig::default(),
+            processing_time: 0.0008,
+            request_timeout: 0.5,
+            checkpoint_period: 100,
+            seed: 1,
+        }
+    }
+}
+
+struct Replica {
+    id: NodeId,
+    usig: Usig,
+    verifier: UsigVerifier,
+    byzantine: ByzantineMode,
+    crashed: bool,
+    view: u64,
+    membership: Vec<NodeId>,
+    /// The replicated register.
+    value: u64,
+    executed: Vec<Digest>,
+    last_executed: u64,
+    next_sequence: u64,
+    prepared: BTreeMap<u64, Request>,
+    /// Commit votes keyed by `(sequence, request digest)`, so votes arriving
+    /// before the corresponding PREPARE are not lost.
+    commit_votes: HashMap<(u64, Digest), HashSet<NodeId>>,
+    pending: VecDeque<Request>,
+    seen_requests: HashSet<(NodeId, u64)>,
+    request_first_seen: HashMap<(NodeId, u64), SimTime>,
+    view_change_votes: HashMap<u64, HashSet<NodeId>>,
+    checkpoints: Vec<(u64, Digest)>,
+    needs_state: bool,
+}
+
+impl Replica {
+    fn new(id: NodeId, membership: Vec<NodeId>, directory: KeyDirectory, seed: u64) -> Self {
+        let keys = KeyPair::derive(id, seed);
+        Replica {
+            id,
+            usig: Usig::new(keys),
+            verifier: UsigVerifier::new(directory),
+            byzantine: ByzantineMode::Correct,
+            crashed: false,
+            view: 0,
+            membership,
+            value: 0,
+            executed: Vec::new(),
+            last_executed: 0,
+            next_sequence: 1,
+            prepared: BTreeMap::new(),
+            commit_votes: HashMap::new(),
+            pending: VecDeque::new(),
+            seen_requests: HashSet::new(),
+            request_first_seen: HashMap::new(),
+            view_change_votes: HashMap::new(),
+            checkpoints: Vec::new(),
+            needs_state: false,
+        }
+    }
+
+    fn leader(&self) -> NodeId {
+        self.membership[(self.view as usize) % self.membership.len()]
+    }
+
+    fn is_leader(&self) -> bool {
+        self.leader() == self.id
+    }
+
+    fn state_digest(&self) -> Digest {
+        let mut bytes = Vec::with_capacity(8 + self.executed.len() * 8);
+        bytes.extend_from_slice(&self.value.to_le_bytes());
+        for d in &self.executed {
+            bytes.extend_from_slice(&d.0.to_le_bytes());
+        }
+        digest(&bytes)
+    }
+}
+
+#[derive(Debug)]
+struct ClientState {
+    id: NodeId,
+    next_request_id: u64,
+    /// Outstanding request and the replies received for it, keyed by the
+    /// reply value; a request completes when f+1 replicas agree on a value.
+    outstanding: Option<(Request, HashMap<u64, HashSet<NodeId>>, SimTime)>,
+    completed: u64,
+    latencies: Vec<f64>,
+    closed_loop: bool,
+}
+
+/// A report of a throughput run (Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ThroughputReport {
+    /// Number of replicas during the run.
+    pub replicas: usize,
+    /// Number of closed-loop clients.
+    pub clients: usize,
+    /// Completed requests.
+    pub completed_requests: u64,
+    /// Simulated duration of the run in seconds.
+    pub duration: f64,
+    /// Completed requests per simulated second.
+    pub requests_per_second: f64,
+    /// Mean request latency in seconds.
+    pub mean_latency: f64,
+}
+
+/// A simulated MinBFT cluster: replicas, clients, the network and the event
+/// loop that drives them.
+pub struct MinBftCluster {
+    config: MinBftConfig,
+    rng: StdRng,
+    network: SimNetwork<Message>,
+    replicas: HashMap<NodeId, Replica>,
+    clients: HashMap<NodeId, ClientState>,
+    busy_until: HashMap<NodeId, SimTime>,
+    membership: Vec<NodeId>,
+    directory: KeyDirectory,
+    next_node_id: NodeId,
+    view_changes: u64,
+}
+
+/// Client node identifiers start here to keep them disjoint from replicas.
+const CLIENT_ID_BASE: NodeId = 10_000;
+
+impl MinBftCluster {
+    /// Creates a cluster with `config.initial_replicas` replicas and no
+    /// clients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 2 replicas are requested.
+    pub fn new(config: MinBftConfig) -> Self {
+        assert!(config.initial_replicas >= 2, "MinBFT needs at least two replicas");
+        let membership: Vec<NodeId> = (0..config.initial_replicas as NodeId).collect();
+        let mut directory = KeyDirectory::new();
+        for &id in &membership {
+            directory.register(&KeyPair::derive(id, config.seed));
+        }
+        let replicas = membership
+            .iter()
+            .map(|&id| (id, Replica::new(id, membership.clone(), directory.clone(), config.seed)))
+            .collect();
+        let network = SimNetwork::new(config.network);
+        let rng = StdRng::seed_from_u64(config.seed);
+        let next_node_id = config.initial_replicas as NodeId;
+        MinBftCluster {
+            config,
+            rng,
+            network,
+            replicas,
+            clients: HashMap::new(),
+            busy_until: HashMap::new(),
+            membership,
+            directory,
+            next_node_id,
+            view_changes: 0,
+        }
+    }
+
+    /// Current membership (active replicas).
+    pub fn membership(&self) -> &[NodeId] {
+        &self.membership
+    }
+
+    /// Current number of replicas.
+    pub fn num_replicas(&self) -> usize {
+        self.membership.len()
+    }
+
+    /// The tolerance threshold `f` of the current membership.
+    pub fn fault_threshold(&self) -> usize {
+        hybrid_fault_threshold(self.membership.len(), self.config.parallel_recoveries)
+    }
+
+    /// Simulated time.
+    pub fn now(&self) -> SimTime {
+        self.network.now()
+    }
+
+    /// Number of view changes that have completed.
+    pub fn view_changes(&self) -> u64 {
+        self.view_changes
+    }
+
+    /// Registers a new closed-loop client and returns its identifier.
+    pub fn add_client(&mut self) -> NodeId {
+        let id = CLIENT_ID_BASE + self.clients.len() as NodeId;
+        self.clients.insert(
+            id,
+            ClientState {
+                id,
+                next_request_id: 0,
+                outstanding: None,
+                completed: 0,
+                latencies: Vec::new(),
+                closed_loop: false,
+            },
+        );
+        id
+    }
+
+    /// Submits one request from the given client.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the client is unknown or already has an outstanding request.
+    pub fn submit(&mut self, client: NodeId, operation: Operation) {
+        let request = {
+            let state = self.clients.get_mut(&client).expect("unknown client");
+            assert!(state.outstanding.is_none(), "client already has an outstanding request");
+            let request = Request { client, id: state.next_request_id, operation };
+            state.next_request_id += 1;
+            state.outstanding = Some((request, HashMap::new(), 0.0));
+            request
+        };
+        let now = self.network.now();
+        if let Some((_, _, started)) = &mut self.clients.get_mut(&client).unwrap().outstanding {
+            *started = now;
+        }
+        let members = self.membership.clone();
+        self.network.broadcast(client, &members, &Message::Request(request), &mut self.rng);
+    }
+
+    /// Marks a replica as compromised with the given behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replica is unknown.
+    pub fn set_byzantine(&mut self, replica: NodeId, mode: ByzantineMode) {
+        self.replicas.get_mut(&replica).expect("unknown replica").byzantine = mode;
+    }
+
+    /// Crashes a replica (it stops processing and the network drops its
+    /// traffic).
+    pub fn crash_replica(&mut self, replica: NodeId) {
+        if let Some(r) = self.replicas.get_mut(&replica) {
+            r.crashed = true;
+        }
+        self.network.crash(replica);
+    }
+
+    /// Recovers a replica: clears its Byzantine mode, resets its protocol
+    /// state and requests a state transfer from the other replicas. This is
+    /// the operation the paper's node controllers trigger (Section VII-C).
+    pub fn recover_replica(&mut self, replica: NodeId) {
+        self.network.restart(replica);
+        let membership = self.membership.clone();
+        let directory = self.directory.clone();
+        let seed = self.config.seed;
+        if let Some(r) = self.replicas.get_mut(&replica) {
+            let view = r.view;
+            *r = Replica::new(replica, membership.clone(), directory, seed);
+            r.view = view;
+            r.needs_state = true;
+        }
+        // Ask every other replica for a state transfer; verifiers must also
+        // forget the recovered replica's old USIG counter.
+        for (&other_id, other) in self.replicas.iter_mut() {
+            if other_id != replica {
+                other.verifier.reset_replica(replica);
+            }
+        }
+        // The recovering replica broadcasts a state request implicitly: we
+        // model it by having every healthy replica push its state.
+        let healthy: Vec<NodeId> = self
+            .membership
+            .iter()
+            .copied()
+            .filter(|&id| id != replica && !self.replicas[&id].crashed)
+            .collect();
+        for id in healthy {
+            let state = {
+                let r = &self.replicas[&id];
+                Message::StateTransfer {
+                    value: r.value,
+                    executed: r.executed.clone(),
+                    view: r.view,
+                    membership: r.membership.clone(),
+                }
+            };
+            self.network.send(id, replica, state, &mut self.rng);
+        }
+    }
+
+    /// Adds a new replica to the system (the JOIN reconfiguration used by the
+    /// system controller). Returns the new replica's identifier.
+    pub fn add_replica(&mut self) -> NodeId {
+        let id = self.next_node_id;
+        self.next_node_id += 1;
+        let keys = KeyPair::derive(id, self.config.seed);
+        self.directory.register(&keys);
+        self.membership.push(id);
+        // Refresh every replica's directory and membership through a
+        // lightweight reconfiguration view change.
+        let new_membership = self.membership.clone();
+        for replica in self.replicas.values_mut() {
+            replica.membership = new_membership.clone();
+            replica.verifier = UsigVerifier::new(self.directory.clone());
+            replica.commit_votes.clear();
+            replica.prepared.clear();
+        }
+        let mut new_replica = Replica::new(id, new_membership, self.directory.clone(), self.config.seed);
+        new_replica.needs_state = true;
+        self.replicas.insert(id, new_replica);
+        // State transfer to the newcomer.
+        let healthy: Vec<NodeId> = self
+            .membership
+            .iter()
+            .copied()
+            .filter(|&m| m != id && !self.replicas[&m].crashed)
+            .collect();
+        for m in healthy {
+            let state = {
+                let r = &self.replicas[&m];
+                Message::StateTransfer {
+                    value: r.value,
+                    executed: r.executed.clone(),
+                    view: r.view,
+                    membership: r.membership.clone(),
+                }
+            };
+            self.network.send(m, id, state, &mut self.rng);
+        }
+        self.view_changes += 1;
+        id
+    }
+
+    /// Evicts a replica from the system (the EVICT reconfiguration).
+    pub fn evict_replica(&mut self, replica: NodeId) {
+        self.membership.retain(|&id| id != replica);
+        self.replicas.remove(&replica);
+        self.network.crash(replica);
+        let new_membership = self.membership.clone();
+        for r in self.replicas.values_mut() {
+            r.membership = new_membership.clone();
+            r.commit_votes.clear();
+            r.prepared.clear();
+            // Evicting the current leader implies a view change.
+            if !new_membership.is_empty() {
+                while r.leader() == replica {
+                    r.view += 1;
+                }
+            }
+        }
+        self.view_changes += 1;
+    }
+
+    /// Runs the event loop until `deadline` (simulated seconds).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            match self.network.next_delivery_time() {
+                Some(t) if t <= deadline => {
+                    let delivery = self.network.next_delivery().expect("peeked delivery");
+                    self.dispatch(delivery.from, delivery.to, delivery.message, delivery.time);
+                }
+                _ => break,
+            }
+            self.check_timeouts();
+        }
+        self.network.advance_to(deadline);
+        self.check_timeouts();
+    }
+
+    /// Runs the event loop until the network is quiet or `max_time` is
+    /// reached.
+    pub fn run_until_quiet(&mut self, max_time: SimTime) {
+        while let Some(t) = self.network.next_delivery_time() {
+            if t > max_time {
+                break;
+            }
+            let delivery = self.network.next_delivery().expect("peeked delivery");
+            self.dispatch(delivery.from, delivery.to, delivery.message, delivery.time);
+            self.check_timeouts();
+        }
+        self.check_timeouts();
+    }
+
+    /// Number of completed requests of a client.
+    pub fn completed_requests(&self, client: NodeId) -> u64 {
+        self.clients.get(&client).map(|c| c.completed).unwrap_or(0)
+    }
+
+    /// Whether the client still has an unanswered request in flight.
+    pub fn has_outstanding_request(&self, client: NodeId) -> bool {
+        self.clients.get(&client).map(|c| c.outstanding.is_some()).unwrap_or(false)
+    }
+
+    /// The service value stored at a replica (for tests).
+    pub fn replica_value(&self, replica: NodeId) -> Option<u64> {
+        self.replicas.get(&replica).map(|r| r.value)
+    }
+
+    /// Executed-request logs of all non-crashed, non-Byzantine replicas.
+    pub fn healthy_logs(&self) -> Vec<(NodeId, Vec<Digest>)> {
+        self.membership
+            .iter()
+            .filter_map(|&id| self.replicas.get(&id))
+            .filter(|r| !r.crashed && r.byzantine == ByzantineMode::Correct)
+            .map(|r| (r.id, r.executed.clone()))
+            .collect()
+    }
+
+    /// Checks the safety property: every pair of healthy logs must be
+    /// prefix-consistent (one is a prefix of the other).
+    pub fn logs_are_consistent(&self) -> bool {
+        let logs = self.healthy_logs();
+        for (i, (_, a)) in logs.iter().enumerate() {
+            for (_, b) in logs.iter().skip(i + 1) {
+                let prefix = a.len().min(b.len());
+                if a[..prefix] != b[..prefix] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs a closed-loop throughput experiment with `clients` clients
+    /// issuing write requests for `duration` simulated seconds (Fig. 10).
+    pub fn run_throughput(&mut self, clients: usize, duration: f64) -> ThroughputReport {
+        let client_ids: Vec<NodeId> = (0..clients).map(|_| self.add_client()).collect();
+        for &c in &client_ids {
+            self.clients.get_mut(&c).expect("client exists").closed_loop = true;
+            self.submit(c, Operation::Write(c as u64));
+        }
+        let start = self.now();
+        self.run_until(start + duration);
+        let completed: u64 = client_ids.iter().map(|c| self.completed_requests(*c)).sum();
+        let latencies: Vec<f64> = client_ids
+            .iter()
+            .flat_map(|c| self.clients[c].latencies.iter().copied())
+            .collect();
+        let mean_latency = if latencies.is_empty() {
+            0.0
+        } else {
+            latencies.iter().sum::<f64>() / latencies.len() as f64
+        };
+        ThroughputReport {
+            replicas: self.membership.len(),
+            clients,
+            completed_requests: completed,
+            duration,
+            requests_per_second: completed as f64 / duration,
+            mean_latency,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self, from: NodeId, to: NodeId, message: Message, time: SimTime) {
+        // Per-node serial processing time: a node that is busy handles the
+        // message when it becomes free.
+        let busy = self.busy_until.get(&to).copied().unwrap_or(0.0);
+        let handle_time = busy.max(time);
+        self.busy_until.insert(to, handle_time + self.config.processing_time);
+
+        if to >= CLIENT_ID_BASE {
+            self.handle_client_message(from, to, message, handle_time);
+        } else {
+            self.handle_replica_message(from, to, message, handle_time);
+        }
+    }
+
+    fn handle_client_message(&mut self, from: NodeId, to: NodeId, message: Message, time: SimTime) {
+        let f = self.fault_threshold();
+        let Some(client) = self.clients.get_mut(&to) else { return };
+        if let Message::Reply { request_id, value, .. } = message {
+            let Some((request, votes, started)) = &mut client.outstanding else { return };
+            if request.id != request_id {
+                return;
+            }
+            votes.entry(value).or_default().insert(from);
+            let accepted = votes.values().any(|v| v.len() >= f + 1);
+            if accepted {
+                client.completed += 1;
+                client.latencies.push(time - *started);
+                client.outstanding = None;
+                if client.closed_loop {
+                    let client_id = client.id;
+                    let op = Operation::Write(client_id as u64 + client.completed);
+                    self.submit(client_id, op);
+                }
+            }
+        }
+    }
+
+    fn handle_replica_message(&mut self, from: NodeId, to: NodeId, message: Message, time: SimTime) {
+        let mut outgoing: Vec<(NodeId, Message)> = Vec::new();
+        let mut broadcast: Vec<Message> = Vec::new();
+        {
+            let f = hybrid_fault_threshold(self.membership.len(), 0);
+            let Some(replica) = self.replicas.get_mut(&to) else { return };
+            if replica.crashed || replica.byzantine == ByzantineMode::Silent {
+                return;
+            }
+            match message {
+                Message::Request(request) => {
+                    handle_request(replica, request, time, &mut broadcast);
+                }
+                Message::Prepare { view, sequence, request, ui } => {
+                    handle_prepare(replica, from, view, sequence, request, ui, &mut broadcast);
+                    // Commit votes may already have arrived for this sequence.
+                    execute_ready(
+                        replica,
+                        f,
+                        self.config.checkpoint_period,
+                        &mut outgoing,
+                        &mut broadcast,
+                    );
+                }
+                Message::Commit { view, sequence, request_digest, ui } => {
+                    handle_commit(
+                        replica,
+                        from,
+                        view,
+                        sequence,
+                        request_digest,
+                        ui,
+                        f,
+                        self.config.checkpoint_period,
+                        &mut outgoing,
+                        &mut broadcast,
+                    );
+                }
+                Message::Checkpoint { sequence, state_digest } => {
+                    replica.checkpoints.push((sequence, state_digest));
+                }
+                Message::ViewChange { new_view, .. } => {
+                    if new_view > replica.view {
+                        let votes = replica.view_change_votes.entry(new_view).or_default();
+                        votes.insert(from);
+                        votes.insert(replica.id);
+                        if votes.len() >= f + 1 {
+                            replica.view = new_view;
+                            replica.commit_votes.clear();
+                            replica.prepared.clear();
+                            if replica.is_leader() {
+                                let next_sequence = replica.last_executed + 1;
+                                replica.next_sequence = next_sequence;
+                                broadcast.push(Message::NewView {
+                                    view: new_view,
+                                    membership: replica.membership.clone(),
+                                    next_sequence,
+                                });
+                                // Re-propose requests the old leader never
+                                // sequenced.
+                                let backlog: Vec<Request> = replica
+                                    .pending
+                                    .drain(..)
+                                    .filter(|r| !replica.seen_requests.contains(&(r.client, r.id)))
+                                    .collect();
+                                for request in backlog {
+                                    propose(replica, request, &mut broadcast);
+                                }
+                            }
+                        }
+                    }
+                }
+                Message::NewView { view, membership, next_sequence } => {
+                    if view >= replica.view {
+                        replica.view = view;
+                        replica.membership = membership;
+                        replica.next_sequence = next_sequence;
+                        replica.commit_votes.clear();
+                        replica.prepared.clear();
+                        replica.request_first_seen.clear();
+                    }
+                }
+                Message::StateTransfer { value, executed, view, membership } => {
+                    if replica.needs_state && executed.len() >= replica.executed.len() {
+                        replica.value = value;
+                        replica.executed = executed;
+                        replica.last_executed = replica.executed.len() as u64;
+                        replica.view = view.max(replica.view);
+                        replica.membership = membership;
+                        replica.next_sequence = replica.last_executed + 1;
+                        replica.needs_state = false;
+                    }
+                }
+                Message::Reply { .. } => {}
+            }
+        }
+        // Send outgoing traffic.
+        let members = self.membership.clone();
+        // Sending happens when the node finished processing.
+        self.network.advance_to(time + self.config.processing_time);
+        for message in broadcast {
+            let corrupted = self.maybe_corrupt(to, &message);
+            self.network.broadcast(to, &members, &corrupted, &mut self.rng);
+        }
+        for (dest, message) in outgoing {
+            let corrupted = self.maybe_corrupt(to, &message);
+            self.network.send(to, dest, corrupted, &mut self.rng);
+        }
+    }
+
+    /// Applies the Byzantine behaviour of a compromised sender to an outgoing
+    /// message. The USIG certificate cannot be forged, so an `Arbitrary`
+    /// replica can only corrupt the unprotected payload fields.
+    fn maybe_corrupt(&mut self, sender: NodeId, message: &Message) -> Message {
+        let mode = self.replicas.get(&sender).map(|r| r.byzantine).unwrap_or(ByzantineMode::Correct);
+        if mode != ByzantineMode::Arbitrary {
+            return message.clone();
+        }
+        match message {
+            Message::Reply { request_id, sequence, .. } => Message::Reply {
+                request_id: *request_id,
+                value: self.rng.random::<u64>(),
+                sequence: *sequence,
+            },
+            Message::Commit { view, sequence, ui, .. } => Message::Commit {
+                view: *view,
+                sequence: *sequence,
+                request_digest: digest(&self.rng.random::<u64>().to_le_bytes()),
+                ui: *ui,
+            },
+            other => other.clone(),
+        }
+    }
+
+    /// Checks request timeouts: clients retransmit unanswered requests, and
+    /// non-leader replicas vote for a view change when the leader appears
+    /// unresponsive.
+    fn check_timeouts(&mut self) {
+        let now = self.network.now();
+        let timeout = self.config.request_timeout;
+        // Client retransmissions.
+        let mut retransmissions: Vec<(NodeId, Request)> = Vec::new();
+        for client in self.clients.values_mut() {
+            if let Some((request, _, started)) = &mut client.outstanding {
+                if now - *started > timeout {
+                    *started = now;
+                    retransmissions.push((client.id, *request));
+                }
+            }
+        }
+        let members = self.membership.clone();
+        for (client_id, request) in retransmissions {
+            self.network.broadcast(client_id, &members, &Message::Request(request), &mut self.rng);
+        }
+        let mut votes: Vec<(NodeId, u64)> = Vec::new();
+        for replica in self.replicas.values_mut() {
+            if replica.crashed || replica.byzantine == ByzantineMode::Silent || replica.is_leader() {
+                continue;
+            }
+            let stalled = replica
+                .request_first_seen
+                .values()
+                .any(|&first_seen| now - first_seen > timeout);
+            if stalled {
+                let new_view = replica.view + 1;
+                votes.push((replica.id, new_view));
+                replica.request_first_seen.clear();
+                self.view_changes += 1;
+            }
+        }
+        let members = self.membership.clone();
+        for (id, new_view) in votes {
+            let last_executed = self.replicas[&id].last_executed;
+            self.network.broadcast(
+                id,
+                &members,
+                &Message::ViewChange { new_view, last_executed },
+                &mut self.rng,
+            );
+        }
+    }
+}
+
+/// Leader-side proposal: assigns the next sequence number, certifies the
+/// request with the USIG and records the leader's own commit vote.
+fn propose(replica: &mut Replica, request: Request, broadcast: &mut Vec<Message>) {
+    let key = (request.client, request.id);
+    replica.seen_requests.insert(key);
+    let sequence = replica.next_sequence;
+    replica.next_sequence += 1;
+    let ui = replica.usig.create_ui(request.digest());
+    replica.prepared.insert(sequence, request);
+    // The leader's PREPARE counts as its COMMIT vote.
+    replica.commit_votes.entry((sequence, request.digest())).or_default().insert(replica.id);
+    broadcast.push(Message::Prepare { view: replica.view, sequence, request, ui });
+}
+
+fn handle_request(replica: &mut Replica, request: Request, time: SimTime, broadcast: &mut Vec<Message>) {
+    let key = (request.client, request.id);
+    if replica.seen_requests.contains(&key) {
+        return;
+    }
+    replica.request_first_seen.entry(key).or_insert(time);
+    if replica.is_leader() {
+        propose(replica, request, broadcast);
+    } else if !replica.pending.contains(&request) {
+        replica.pending.push_back(request);
+    }
+}
+
+fn handle_prepare(
+    replica: &mut Replica,
+    from: NodeId,
+    view: u64,
+    sequence: u64,
+    request: Request,
+    ui: UniqueIdentifier,
+    broadcast: &mut Vec<Message>,
+) {
+    if view != replica.view || from != replica.leader() {
+        return;
+    }
+    // The USIG certificate must be valid and fresh (prevents equivocation and
+    // replays; reordering across sequence numbers is tolerated).
+    if !replica.verifier.accept_unordered(request.digest(), &ui) {
+        return;
+    }
+    replica.prepared.insert(sequence, request);
+    let votes = replica.commit_votes.entry((sequence, request.digest())).or_default();
+    votes.insert(from);
+    votes.insert(replica.id);
+    replica.request_first_seen.remove(&(request.client, request.id));
+    let own_ui = replica.usig.create_ui(request.digest());
+    broadcast.push(Message::Commit {
+        view,
+        sequence,
+        request_digest: request.digest(),
+        ui: own_ui,
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_commit(
+    replica: &mut Replica,
+    from: NodeId,
+    view: u64,
+    sequence: u64,
+    request_digest: Digest,
+    ui: UniqueIdentifier,
+    f: usize,
+    checkpoint_period: u64,
+    outgoing: &mut Vec<(NodeId, Message)>,
+    broadcast: &mut Vec<Message>,
+) {
+    if view != replica.view {
+        return;
+    }
+    // Verify the certificate; the vote is recorded even if the PREPARE has
+    // not arrived yet (it only becomes effective once the matching request is
+    // prepared).
+    if !replica.verifier.verify_certificate(request_digest, &ui) {
+        return;
+    }
+    replica.commit_votes.entry((sequence, request_digest)).or_default().insert(from);
+    execute_ready(replica, f, checkpoint_period, outgoing, broadcast);
+}
+
+/// Executes all consecutive sequence numbers whose commit quorum (f + 1 votes
+/// on the prepared request's digest) has been reached.
+fn execute_ready(
+    replica: &mut Replica,
+    f: usize,
+    checkpoint_period: u64,
+    outgoing: &mut Vec<(NodeId, Message)>,
+    broadcast: &mut Vec<Message>,
+) {
+    loop {
+        let next = replica.last_executed + 1;
+        let Some(request) = replica.prepared.get(&next).copied() else { break };
+        let quorum_met = replica
+            .commit_votes
+            .get(&(next, request.digest()))
+            .map(|votes| votes.len() >= f + 1)
+            .unwrap_or(false);
+        if !quorum_met {
+            break;
+        }
+        // Execute.
+        match request.operation {
+            Operation::Read => {}
+            Operation::Write(v) => replica.value = v,
+        }
+        replica.executed.push(request.digest());
+        replica.last_executed = next;
+        replica.seen_requests.insert((request.client, request.id));
+        replica.request_first_seen.remove(&(request.client, request.id));
+        outgoing.push((
+            request.client,
+            Message::Reply { request_id: request.id, value: replica.value, sequence: next },
+        ));
+        if checkpoint_period > 0 && replica.last_executed % checkpoint_period == 0 {
+            broadcast.push(Message::Checkpoint {
+                sequence: replica.last_executed,
+                state_digest: replica.state_digest(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: usize) -> MinBftCluster {
+        MinBftCluster::new(MinBftConfig {
+            initial_replicas: n,
+            network: NetworkConfig { latency: 0.002, jitter: 0.001, loss_rate: 0.0 },
+            request_timeout: 0.5,
+            ..MinBftConfig::default()
+        })
+    }
+
+    #[test]
+    fn normal_case_commit_and_reply() {
+        let mut cluster = cluster(4);
+        let client = cluster.add_client();
+        cluster.submit(client, Operation::Write(42));
+        cluster.run_until_quiet(5.0);
+        assert_eq!(cluster.completed_requests(client), 1);
+        for &r in &[0, 1, 2, 3] {
+            assert_eq!(cluster.replica_value(r), Some(42));
+        }
+        assert!(cluster.logs_are_consistent());
+    }
+
+    #[test]
+    fn sequence_of_requests_executes_in_order_on_all_replicas() {
+        let mut cluster = cluster(4);
+        let client = cluster.add_client();
+        for value in [1u64, 2, 3, 4, 5] {
+            cluster.submit(client, Operation::Write(value));
+            cluster.run_until_quiet(60.0);
+        }
+        assert_eq!(cluster.completed_requests(client), 5);
+        for &r in &[0, 1, 2, 3] {
+            assert_eq!(cluster.replica_value(r), Some(5));
+        }
+        let logs = cluster.healthy_logs();
+        assert!(logs.iter().all(|(_, log)| log.len() == 5));
+        assert!(cluster.logs_are_consistent());
+    }
+
+    #[test]
+    fn tolerates_f_silent_replicas() {
+        // n = 4, k = 1 => f = 1.
+        let mut cluster = cluster(4);
+        cluster.set_byzantine(3, ByzantineMode::Silent);
+        let client = cluster.add_client();
+        cluster.submit(client, Operation::Write(7));
+        cluster.run_until_quiet(5.0);
+        assert_eq!(cluster.completed_requests(client), 1);
+        assert!(cluster.logs_are_consistent());
+    }
+
+    #[test]
+    fn tolerates_arbitrary_replies_from_compromised_replica() {
+        let mut cluster = cluster(4);
+        cluster.set_byzantine(2, ByzantineMode::Arbitrary);
+        let client = cluster.add_client();
+        cluster.submit(client, Operation::Write(99));
+        cluster.run_until_quiet(5.0);
+        // The client still completes with the correct value because it needs
+        // f + 1 = 2 matching replies and only one replica lies.
+        assert_eq!(cluster.completed_requests(client), 1);
+        for &r in &[0, 1, 3] {
+            assert_eq!(cluster.replica_value(r), Some(99));
+        }
+        assert!(cluster.logs_are_consistent());
+    }
+
+    #[test]
+    fn leader_crash_triggers_view_change_and_liveness_resumes() {
+        let mut cluster = cluster(4);
+        let client = cluster.add_client();
+        // Crash the leader of view 0 (replica 0) before any request.
+        cluster.crash_replica(0);
+        cluster.submit(client, Operation::Write(5));
+        // Drive time forward past the request timeout so followers vote.
+        cluster.run_until(3.0);
+        cluster.run_until_quiet(30.0);
+        assert!(cluster.view_changes() > 0, "a view change should have occurred");
+        assert_eq!(cluster.completed_requests(client), 1, "request should complete after view change");
+        assert!(cluster.logs_are_consistent());
+    }
+
+    #[test]
+    fn recovery_restores_replica_state_via_state_transfer() {
+        let mut cluster = cluster(4);
+        let client = cluster.add_client();
+        cluster.submit(client, Operation::Write(11));
+        cluster.run_until_quiet(5.0);
+        // Compromise replica 1, then recover it.
+        cluster.set_byzantine(1, ByzantineMode::Arbitrary);
+        cluster.recover_replica(1);
+        cluster.run_until_quiet(10.0);
+        assert_eq!(cluster.replica_value(1), Some(11), "state transfer must restore the value");
+        // And the recovered replica participates again.
+        cluster.submit(client, Operation::Write(12));
+        cluster.run_until_quiet(20.0);
+        assert_eq!(cluster.replica_value(1), Some(12));
+        assert!(cluster.logs_are_consistent());
+    }
+
+    #[test]
+    fn join_and_evict_reconfigure_the_membership() {
+        let mut cluster = cluster(4);
+        let client = cluster.add_client();
+        cluster.submit(client, Operation::Write(3));
+        cluster.run_until_quiet(5.0);
+
+        let new_id = cluster.add_replica();
+        cluster.run_until_quiet(10.0);
+        assert_eq!(cluster.num_replicas(), 5);
+        assert_eq!(cluster.replica_value(new_id), Some(3), "joining replica receives the state");
+
+        cluster.evict_replica(1);
+        assert_eq!(cluster.num_replicas(), 4);
+        assert!(!cluster.membership().contains(&1));
+
+        // The reconfigured cluster still commits requests.
+        cluster.submit(client, Operation::Write(4));
+        cluster.run_until_quiet(20.0);
+        assert_eq!(cluster.completed_requests(client), 2);
+        assert!(cluster.logs_are_consistent());
+    }
+
+    #[test]
+    fn throughput_decreases_with_more_replicas() {
+        // Fig. 10 shape: more replicas => more messages per request at the
+        // leader => lower saturation throughput.
+        let mut small = cluster(3);
+        let report_small = small.run_throughput(10, 20.0);
+        let mut large = cluster(9);
+        let report_large = large.run_throughput(10, 20.0);
+        assert!(report_small.completed_requests > 0);
+        assert!(report_large.completed_requests > 0);
+        assert!(
+            report_small.requests_per_second > report_large.requests_per_second,
+            "throughput should drop with cluster size: {} vs {}",
+            report_small.requests_per_second,
+            report_large.requests_per_second
+        );
+        assert!(small.logs_are_consistent());
+        assert!(large.logs_are_consistent());
+    }
+
+    #[test]
+    fn throughput_increases_with_more_clients_until_saturation() {
+        let mut one = cluster(4);
+        let single = one.run_throughput(1, 10.0);
+        let mut many = cluster(4);
+        let twenty = many.run_throughput(20, 10.0);
+        assert!(
+            twenty.requests_per_second > single.requests_per_second,
+            "20 clients should push more load: {} vs {}",
+            twenty.requests_per_second,
+            single.requests_per_second
+        );
+        assert!(single.mean_latency > 0.0);
+    }
+
+    #[test]
+    fn fault_threshold_reflects_membership_size() {
+        let cluster = cluster(6);
+        // n = 6, k = 1 => f = 2.
+        assert_eq!(cluster.fault_threshold(), 2);
+        assert_eq!(cluster.num_replicas(), 6);
+    }
+}

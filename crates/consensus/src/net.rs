@@ -1,0 +1,373 @@
+//! Discrete-event network simulation.
+//!
+//! The paper's testbed connects replicas with Gbit/s links carrying 0.05%
+//! packet loss (emulated with NETEM) and clients over 100 Mbit/s links with
+//! 0.1% loss. This module provides the equivalent simulated substrate:
+//! point-to-point messages with configurable latency, jitter and loss,
+//! network partitions, and crashed nodes. Channels are authenticated by
+//! construction — a message always carries the true sender identity, matching
+//! assumption (b) of Proposition 1 (nodes cannot spoof each other on the
+//! wire; what a *compromised* node may do is captured by the Byzantine
+//! behaviour modes of the protocol layer, not by the network).
+
+use crate::{NodeId, SimTime};
+use rand::Rng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Configuration of the simulated network.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NetworkConfig {
+    /// Base one-way latency in (simulated) seconds.
+    pub latency: f64,
+    /// Maximum additional uniform jitter in seconds.
+    pub jitter: f64,
+    /// Probability that a message is lost.
+    pub loss_rate: f64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        // Replica-to-replica defaults mirroring the paper's Gbit/s + 0.05% loss setup.
+        NetworkConfig { latency: 0.002, jitter: 0.001, loss_rate: 0.0005 }
+    }
+}
+
+impl NetworkConfig {
+    /// The client-to-replica link profile of the paper (100 Mbit/s, 0.1% loss).
+    pub fn client_link() -> Self {
+        NetworkConfig { latency: 0.010, jitter: 0.005, loss_rate: 0.001 }
+    }
+
+    /// A lossless, zero-latency network (useful in unit tests).
+    pub fn ideal() -> Self {
+        NetworkConfig { latency: 0.0, jitter: 0.0, loss_rate: 0.0 }
+    }
+}
+
+/// A message scheduled for delivery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivery<M> {
+    /// Simulated delivery time.
+    pub time: SimTime,
+    /// Sender (authenticated by the network layer).
+    pub from: NodeId,
+    /// Recipient.
+    pub to: NodeId,
+    /// The payload.
+    pub message: M,
+}
+
+#[derive(Debug)]
+struct Scheduled<M> {
+    time: SimTime,
+    sequence: u64,
+    delivery: Delivery<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.sequence == other.sequence
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then_with(|| self.sequence.cmp(&other.sequence))
+    }
+}
+
+/// Counters describing the traffic the network has carried.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct NetworkStats {
+    /// Messages handed to the network.
+    pub sent: u64,
+    /// Messages dropped by loss, partitions or crashed recipients.
+    pub dropped: u64,
+    /// Messages delivered to their recipient.
+    pub delivered: u64,
+}
+
+/// The discrete-event network: a priority queue of in-flight messages plus
+/// partition and crash state.
+#[derive(Debug)]
+pub struct SimNetwork<M> {
+    config: NetworkConfig,
+    queue: BinaryHeap<Reverse<Scheduled<M>>>,
+    now: SimTime,
+    sequence: u64,
+    /// Pairs `(a, b)` that cannot communicate (in either direction).
+    partitioned: HashSet<(NodeId, NodeId)>,
+    crashed: HashSet<NodeId>,
+    stats: NetworkStats,
+}
+
+impl<M> SimNetwork<M> {
+    /// Creates a network with the given link profile.
+    pub fn new(config: NetworkConfig) -> Self {
+        SimNetwork {
+            config,
+            queue: BinaryHeap::new(),
+            now: 0.0,
+            sequence: 0,
+            partitioned: HashSet::new(),
+            crashed: HashSet::new(),
+            stats: NetworkStats::default(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> NetworkStats {
+        self.stats
+    }
+
+    /// Number of messages currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Sends a message from `from` to `to`, scheduling its delivery after the
+    /// configured latency and jitter, unless it is lost or the endpoints are
+    /// partitioned or crashed.
+    pub fn send<R: Rng + ?Sized>(&mut self, from: NodeId, to: NodeId, message: M, rng: &mut R) {
+        self.stats.sent += 1;
+        if self.crashed.contains(&from) || self.crashed.contains(&to) {
+            self.stats.dropped += 1;
+            return;
+        }
+        if self.is_partitioned(from, to) {
+            self.stats.dropped += 1;
+            return;
+        }
+        if self.config.loss_rate > 0.0 && rng.random::<f64>() < self.config.loss_rate {
+            self.stats.dropped += 1;
+            return;
+        }
+        let jitter = if self.config.jitter > 0.0 {
+            rng.random::<f64>() * self.config.jitter
+        } else {
+            0.0
+        };
+        let time = self.now + self.config.latency + jitter;
+        self.sequence += 1;
+        self.queue.push(Reverse(Scheduled {
+            time,
+            sequence: self.sequence,
+            delivery: Delivery { time, from, to, message },
+        }));
+    }
+
+    /// Sends the same message to every node in `recipients` (cloning it).
+    pub fn broadcast<R: Rng + ?Sized>(
+        &mut self,
+        from: NodeId,
+        recipients: &[NodeId],
+        message: &M,
+        rng: &mut R,
+    ) where
+        M: Clone,
+    {
+        for &to in recipients {
+            if to != from {
+                self.send(from, to, message.clone(), rng);
+            }
+        }
+    }
+
+    /// Pops the next delivery, advancing the simulated clock to its time.
+    /// Messages addressed to nodes that crashed while the message was in
+    /// flight are silently dropped.
+    pub fn next_delivery(&mut self) -> Option<Delivery<M>> {
+        while let Some(Reverse(scheduled)) = self.queue.pop() {
+            self.now = self.now.max(scheduled.time);
+            if self.crashed.contains(&scheduled.delivery.to)
+                || self.is_partitioned(scheduled.delivery.from, scheduled.delivery.to)
+            {
+                self.stats.dropped += 1;
+                continue;
+            }
+            self.stats.delivered += 1;
+            return Some(scheduled.delivery);
+        }
+        None
+    }
+
+    /// Time of the next scheduled delivery, if any.
+    pub fn next_delivery_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse(s)| s.time)
+    }
+
+    /// Advances the clock without delivering anything (used to model idle
+    /// periods and timeouts).
+    pub fn advance_to(&mut self, time: SimTime) {
+        if time > self.now {
+            self.now = time;
+        }
+    }
+
+    /// Blocks communication between every node in `group_a` and every node in
+    /// `group_b` (both directions).
+    pub fn partition(&mut self, group_a: &[NodeId], group_b: &[NodeId]) {
+        for &a in group_a {
+            for &b in group_b {
+                self.partitioned.insert(ordered(a, b));
+            }
+        }
+    }
+
+    /// Removes all partitions.
+    pub fn heal_partitions(&mut self) {
+        self.partitioned.clear();
+    }
+
+    /// Whether two nodes are currently partitioned from each other.
+    pub fn is_partitioned(&self, a: NodeId, b: NodeId) -> bool {
+        self.partitioned.contains(&ordered(a, b))
+    }
+
+    /// Marks a node as crashed: it no longer sends or receives.
+    pub fn crash(&mut self, node: NodeId) {
+        self.crashed.insert(node);
+    }
+
+    /// Restarts a crashed node.
+    pub fn restart(&mut self, node: NodeId) {
+        self.crashed.remove(&node);
+    }
+
+    /// Whether a node is crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed.contains(&node)
+    }
+}
+
+fn ordered(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn messages_are_delivered_in_time_order() {
+        let mut net: SimNetwork<&'static str> =
+            SimNetwork::new(NetworkConfig { latency: 0.01, jitter: 0.05, loss_rate: 0.0 });
+        let mut r = rng();
+        for _ in 0..50 {
+            net.send(0, 1, "m", &mut r);
+        }
+        let mut last = 0.0;
+        let mut count = 0;
+        while let Some(delivery) = net.next_delivery() {
+            assert!(delivery.time >= last);
+            last = delivery.time;
+            count += 1;
+            assert_eq!(delivery.from, 0);
+            assert_eq!(delivery.to, 1);
+        }
+        assert_eq!(count, 50);
+        assert_eq!(net.stats().delivered, 50);
+        assert!(net.now() >= 0.01);
+    }
+
+    #[test]
+    fn loss_rate_drops_messages() {
+        let mut net: SimNetwork<u32> =
+            SimNetwork::new(NetworkConfig { latency: 0.0, jitter: 0.0, loss_rate: 0.5 });
+        let mut r = rng();
+        for i in 0..1000 {
+            net.send(0, 1, i, &mut r);
+        }
+        let stats = net.stats();
+        assert_eq!(stats.sent, 1000);
+        assert!(stats.dropped > 350 && stats.dropped < 650, "dropped {}", stats.dropped);
+    }
+
+    #[test]
+    fn partitions_block_both_directions_until_healed() {
+        let mut net: SimNetwork<u32> = SimNetwork::new(NetworkConfig::ideal());
+        let mut r = rng();
+        net.partition(&[0, 1], &[2, 3]);
+        assert!(net.is_partitioned(0, 2));
+        assert!(net.is_partitioned(3, 1));
+        assert!(!net.is_partitioned(0, 1));
+        net.send(0, 2, 7, &mut r);
+        net.send(2, 0, 8, &mut r);
+        net.send(0, 1, 9, &mut r);
+        let delivered: Vec<u32> = std::iter::from_fn(|| net.next_delivery()).map(|d| d.message).collect();
+        assert_eq!(delivered, vec![9]);
+        net.heal_partitions();
+        net.send(0, 2, 10, &mut r);
+        assert_eq!(net.next_delivery().unwrap().message, 10);
+    }
+
+    #[test]
+    fn partition_while_in_flight_drops_message() {
+        let mut net: SimNetwork<u32> =
+            SimNetwork::new(NetworkConfig { latency: 1.0, jitter: 0.0, loss_rate: 0.0 });
+        let mut r = rng();
+        net.send(0, 1, 1, &mut r);
+        net.partition(&[0], &[1]);
+        assert!(net.next_delivery().is_none());
+        assert_eq!(net.stats().dropped, 1);
+    }
+
+    #[test]
+    fn crashed_nodes_do_not_send_or_receive() {
+        let mut net: SimNetwork<u32> = SimNetwork::new(NetworkConfig::ideal());
+        let mut r = rng();
+        net.crash(1);
+        assert!(net.is_crashed(1));
+        net.send(0, 1, 1, &mut r);
+        net.send(1, 0, 2, &mut r);
+        assert!(net.next_delivery().is_none());
+        net.restart(1);
+        assert!(!net.is_crashed(1));
+        net.send(0, 1, 3, &mut r);
+        assert_eq!(net.next_delivery().unwrap().message, 3);
+    }
+
+    #[test]
+    fn broadcast_reaches_all_but_self() {
+        let mut net: SimNetwork<u8> = SimNetwork::new(NetworkConfig::ideal());
+        let mut r = rng();
+        net.broadcast(0, &[0, 1, 2, 3], &1, &mut r);
+        let mut recipients: Vec<NodeId> = std::iter::from_fn(|| net.next_delivery()).map(|d| d.to).collect();
+        recipients.sort_unstable();
+        assert_eq!(recipients, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut net: SimNetwork<u8> = SimNetwork::new(NetworkConfig::ideal());
+        net.advance_to(5.0);
+        assert_eq!(net.now(), 5.0);
+        net.advance_to(2.0);
+        assert_eq!(net.now(), 5.0, "clock must not go backwards");
+        assert!(net.next_delivery_time().is_none());
+        assert_eq!(net.in_flight(), 0);
+    }
+}

@@ -1,0 +1,572 @@
+//! A Raft cluster used as the crash-tolerant substrate of the system
+//! controller.
+//!
+//! The paper assumes the global system controller runs on a standard
+//! crash-tolerant replicated system "e.g., a RAFT-based system" (Section IV),
+//! so its crash probability is negligible. This module provides that
+//! substrate: leader election with randomized timeouts, log replication with
+//! majority commit, and crash/restart of members. Only crash-stop failures
+//! are modelled (Byzantine behaviour is out of scope for this layer, exactly
+//! as in the paper).
+
+use crate::net::{NetworkConfig, SimNetwork};
+use crate::{NodeId, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// A replicated log entry: the term it was created in and an opaque command.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct LogEntry {
+    /// Term in which the entry was appended by a leader.
+    pub term: u64,
+    /// The replicated command (the system controller replicates its
+    /// evict/add decisions).
+    pub command: String,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum RaftMessage {
+    RequestVote { term: u64, last_log_index: u64, last_log_term: u64 },
+    Vote { term: u64, granted: bool },
+    AppendEntries { term: u64, prev_index: u64, prev_term: u64, entries: Vec<LogEntry>, leader_commit: u64 },
+    AppendReply { term: u64, success: bool, match_index: u64 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Follower,
+    Candidate,
+    Leader,
+}
+
+#[derive(Debug)]
+struct RaftNode {
+    id: NodeId,
+    role: Role,
+    term: u64,
+    voted_for: Option<NodeId>,
+    votes_received: usize,
+    log: Vec<LogEntry>,
+    commit_index: u64,
+    election_deadline: SimTime,
+    crashed: bool,
+    next_index: HashMap<NodeId, u64>,
+    match_index: HashMap<NodeId, u64>,
+}
+
+impl RaftNode {
+    fn new(id: NodeId) -> Self {
+        RaftNode {
+            id,
+            role: Role::Follower,
+            term: 0,
+            voted_for: None,
+            votes_received: 0,
+            log: Vec::new(),
+            commit_index: 0,
+            election_deadline: 0.0,
+            crashed: false,
+            next_index: HashMap::new(),
+            match_index: HashMap::new(),
+        }
+    }
+
+    fn last_log_index(&self) -> u64 {
+        self.log.len() as u64
+    }
+
+    fn last_log_term(&self) -> u64 {
+        self.log.last().map(|e| e.term).unwrap_or(0)
+    }
+}
+
+/// Configuration of a [`RaftCluster`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RaftConfig {
+    /// Number of members.
+    pub members: usize,
+    /// Network profile.
+    pub network: NetworkConfig,
+    /// Minimum election timeout (seconds); each node randomizes within
+    /// `[min, 2 * min]`.
+    pub election_timeout: f64,
+    /// Heartbeat interval of the leader (seconds).
+    pub heartbeat_interval: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RaftConfig {
+    fn default() -> Self {
+        RaftConfig {
+            members: 3,
+            network: NetworkConfig::default(),
+            election_timeout: 0.15,
+            heartbeat_interval: 0.05,
+            seed: 7,
+        }
+    }
+}
+
+/// A simulated Raft cluster.
+pub struct RaftCluster {
+    config: RaftConfig,
+    rng: StdRng,
+    network: SimNetwork<RaftMessage>,
+    nodes: HashMap<NodeId, RaftNode>,
+    members: Vec<NodeId>,
+    next_heartbeat: SimTime,
+}
+
+impl RaftCluster {
+    /// Creates a cluster with `config.members` members.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 2 members are requested.
+    pub fn new(config: RaftConfig) -> Self {
+        assert!(config.members >= 2, "raft needs at least two members");
+        let members: Vec<NodeId> = (0..config.members as NodeId).collect();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut nodes: HashMap<NodeId, RaftNode> = HashMap::new();
+        for &id in &members {
+            let mut node = RaftNode::new(id);
+            node.election_deadline =
+                config.election_timeout * (1.0 + rng.random::<f64>());
+            nodes.insert(id, node);
+        }
+        RaftCluster {
+            network: SimNetwork::new(config.network),
+            config,
+            rng,
+            nodes,
+            members,
+            next_heartbeat: 0.0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.network.now()
+    }
+
+    /// The current leader, if one is elected and alive.
+    pub fn leader(&self) -> Option<NodeId> {
+        self.nodes
+            .values()
+            .filter(|n| n.role == Role::Leader && !n.crashed)
+            .max_by_key(|n| n.term)
+            .map(|n| n.id)
+    }
+
+    /// The term of the given node.
+    pub fn term_of(&self, node: NodeId) -> u64 {
+        self.nodes.get(&node).map(|n| n.term).unwrap_or(0)
+    }
+
+    /// Crashes a member.
+    pub fn crash(&mut self, node: NodeId) {
+        if let Some(n) = self.nodes.get_mut(&node) {
+            n.crashed = true;
+            n.role = Role::Follower;
+        }
+        self.network.crash(node);
+    }
+
+    /// Restarts a crashed member (with its log intact, as Raft assumes stable
+    /// storage).
+    pub fn restart(&mut self, node: NodeId) {
+        self.network.restart(node);
+        let now = self.network.now();
+        if let Some(n) = self.nodes.get_mut(&node) {
+            n.crashed = false;
+            n.role = Role::Follower;
+            n.votes_received = 0;
+            n.election_deadline = now + self.config.election_timeout * (1.0 + self.rng.random::<f64>());
+        }
+    }
+
+    /// Proposes a command through the current leader. Returns `false` if
+    /// there is no leader.
+    pub fn propose(&mut self, command: &str) -> bool {
+        let Some(leader_id) = self.leader() else { return false };
+        let term = self.nodes[&leader_id].term;
+        let node = self.nodes.get_mut(&leader_id).expect("leader exists");
+        node.log.push(LogEntry { term, command: command.to_string() });
+        true
+    }
+
+    /// The committed prefix of a node's log.
+    pub fn committed_log(&self, node: NodeId) -> Vec<LogEntry> {
+        self.nodes
+            .get(&node)
+            .map(|n| n.log[..n.commit_index as usize].to_vec())
+            .unwrap_or_default()
+    }
+
+    /// Whether all live nodes have prefix-consistent committed logs.
+    pub fn committed_logs_consistent(&self) -> bool {
+        let logs: Vec<Vec<LogEntry>> = self
+            .members
+            .iter()
+            .filter(|id| !self.nodes[id].crashed)
+            .map(|id| self.committed_log(*id))
+            .collect();
+        for (i, a) in logs.iter().enumerate() {
+            for b in logs.iter().skip(i + 1) {
+                let prefix = a.len().min(b.len());
+                if a[..prefix] != b[..prefix] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs the cluster until `deadline` simulated seconds.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            let next_event = self.network.next_delivery_time();
+            let next_tick = self.next_timer();
+            let next = match (next_event, next_tick) {
+                (Some(e), t) => e.min(t),
+                (None, t) => t,
+            };
+            if next > deadline {
+                break;
+            }
+            if Some(next) == next_event {
+                let delivery = self.network.next_delivery().expect("peeked delivery");
+                self.handle(delivery.from, delivery.to, delivery.message);
+            } else {
+                self.network.advance_to(next);
+            }
+            self.tick();
+        }
+        self.network.advance_to(deadline);
+        self.tick();
+    }
+
+    fn next_timer(&self) -> SimTime {
+        let mut next = self.next_heartbeat;
+        for node in self.nodes.values() {
+            if !node.crashed && node.role != Role::Leader {
+                next = next.min(node.election_deadline);
+            }
+        }
+        next.max(self.network.now() + 1e-6)
+    }
+
+    fn tick(&mut self) {
+        let now = self.network.now();
+        // Election timeouts.
+        let ids: Vec<NodeId> = self.members.clone();
+        for id in &ids {
+            let (start_election, term, last_index, last_term) = {
+                let node = self.nodes.get_mut(id).expect("member");
+                if node.crashed || node.role == Role::Leader || now < node.election_deadline {
+                    (false, 0, 0, 0)
+                } else {
+                    node.role = Role::Candidate;
+                    node.term += 1;
+                    node.voted_for = Some(node.id);
+                    node.votes_received = 1;
+                    node.election_deadline =
+                        now + self.config.election_timeout * (1.0 + self.rng.random::<f64>());
+                    (true, node.term, node.last_log_index(), node.last_log_term())
+                }
+            };
+            if start_election {
+                let message = RaftMessage::RequestVote {
+                    term,
+                    last_log_index: last_index,
+                    last_log_term: last_term,
+                };
+                self.network.broadcast(*id, &ids, &message, &mut self.rng);
+            }
+        }
+        // Leader heartbeats / replication.
+        if now >= self.next_heartbeat {
+            self.next_heartbeat = now + self.config.heartbeat_interval;
+            if let Some(leader_id) = self.leader() {
+                self.replicate_from(leader_id);
+            }
+        }
+    }
+
+    fn replicate_from(&mut self, leader_id: NodeId) {
+        let peers: Vec<NodeId> = self.members.iter().copied().filter(|&m| m != leader_id).collect();
+        for peer in peers {
+            let (term, prev_index, prev_term, entries, leader_commit) = {
+                let leader = &self.nodes[&leader_id];
+                let next = leader.next_index.get(&peer).copied().unwrap_or(leader.last_log_index() + 1);
+                let prev_index = next.saturating_sub(1);
+                let prev_term = if prev_index == 0 {
+                    0
+                } else {
+                    leader.log.get(prev_index as usize - 1).map(|e| e.term).unwrap_or(0)
+                };
+                let entries: Vec<LogEntry> = leader
+                    .log
+                    .iter()
+                    .skip(prev_index as usize)
+                    .cloned()
+                    .collect();
+                (leader.term, prev_index, prev_term, entries, leader.commit_index)
+            };
+            self.network.send(
+                leader_id,
+                peer,
+                RaftMessage::AppendEntries { term, prev_index, prev_term, entries, leader_commit },
+                &mut self.rng,
+            );
+        }
+    }
+
+    fn handle(&mut self, from: NodeId, to: NodeId, message: RaftMessage) {
+        let now = self.network.now();
+        let majority = self.members.len() / 2 + 1;
+        let mut replies: Vec<(NodeId, RaftMessage)> = Vec::new();
+        {
+            let Some(node) = self.nodes.get_mut(&to) else { return };
+            if node.crashed {
+                return;
+            }
+            match message {
+                RaftMessage::RequestVote { term, last_log_index, last_log_term } => {
+                    if term > node.term {
+                        node.term = term;
+                        node.role = Role::Follower;
+                        node.voted_for = None;
+                    }
+                    let log_ok = last_log_term > node.last_log_term()
+                        || (last_log_term == node.last_log_term()
+                            && last_log_index >= node.last_log_index());
+                    let granted = term == node.term
+                        && log_ok
+                        && (node.voted_for.is_none() || node.voted_for == Some(from));
+                    if granted {
+                        node.voted_for = Some(from);
+                        node.election_deadline =
+                            now + self.config.election_timeout * (1.0 + self.rng.random::<f64>());
+                    }
+                    replies.push((from, RaftMessage::Vote { term: node.term, granted }));
+                }
+                RaftMessage::Vote { term, granted } => {
+                    if node.role == Role::Candidate && term == node.term && granted {
+                        node.votes_received += 1;
+                        if node.votes_received >= majority {
+                            node.role = Role::Leader;
+                            let last = node.last_log_index();
+                            node.next_index =
+                                self.members.iter().map(|&m| (m, last + 1)).collect();
+                            node.match_index = self.members.iter().map(|&m| (m, 0)).collect();
+                        }
+                    } else if term > node.term {
+                        node.term = term;
+                        node.role = Role::Follower;
+                        node.voted_for = None;
+                    }
+                }
+                RaftMessage::AppendEntries { term, prev_index, prev_term, entries, leader_commit } => {
+                    if term >= node.term {
+                        node.term = term;
+                        node.role = Role::Follower;
+                        node.election_deadline =
+                            now + self.config.election_timeout * (1.0 + self.rng.random::<f64>());
+                        // Consistency check on the previous entry.
+                        let prev_ok = prev_index == 0
+                            || node
+                                .log
+                                .get(prev_index as usize - 1)
+                                .map(|e| e.term == prev_term)
+                                .unwrap_or(false);
+                        if prev_ok {
+                            // Truncate conflicts and append.
+                            node.log.truncate(prev_index as usize);
+                            node.log.extend(entries);
+                            let match_index = node.last_log_index();
+                            node.commit_index = leader_commit.min(match_index).max(node.commit_index);
+                            replies.push((
+                                from,
+                                RaftMessage::AppendReply { term: node.term, success: true, match_index },
+                            ));
+                        } else {
+                            replies.push((
+                                from,
+                                RaftMessage::AppendReply { term: node.term, success: false, match_index: 0 },
+                            ));
+                        }
+                    } else {
+                        replies.push((
+                            from,
+                            RaftMessage::AppendReply { term: node.term, success: false, match_index: 0 },
+                        ));
+                    }
+                }
+                RaftMessage::AppendReply { term, success, match_index } => {
+                    if node.role == Role::Leader && term == node.term {
+                        if success {
+                            node.match_index.insert(from, match_index);
+                            node.next_index.insert(from, match_index + 1);
+                            // Advance the commit index to the highest index
+                            // replicated on a majority.
+                            let last = node.last_log_index();
+                            let mut candidate = node.commit_index;
+                            for index in (node.commit_index + 1)..=last {
+                                let replicas = 1 + node
+                                    .match_index
+                                    .values()
+                                    .filter(|&&m| m >= index)
+                                    .count();
+                                let entry_term =
+                                    node.log.get(index as usize - 1).map(|e| e.term).unwrap_or(0);
+                                if replicas >= majority && entry_term == node.term {
+                                    candidate = index;
+                                }
+                            }
+                            node.commit_index = candidate;
+                        } else {
+                            let next = node.next_index.entry(from).or_insert(1);
+                            *next = next.saturating_sub(1).max(1);
+                        }
+                    } else if term > node.term {
+                        node.term = term;
+                        node.role = Role::Follower;
+                    }
+                }
+            }
+        }
+        for (dest, reply) in replies {
+            self.network.send(to, dest, reply, &mut self.rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(members: usize, seed: u64) -> RaftCluster {
+        RaftCluster::new(RaftConfig {
+            members,
+            seed,
+            network: NetworkConfig { latency: 0.005, jitter: 0.002, loss_rate: 0.0 },
+            ..RaftConfig::default()
+        })
+    }
+
+    #[test]
+    fn elects_a_single_leader() {
+        let mut raft = cluster(3, 1);
+        raft.run_until(2.0);
+        let leader = raft.leader();
+        assert!(leader.is_some(), "a leader should be elected within 2 s");
+        // Exactly one leader in the highest term.
+        let leaders: Vec<NodeId> = raft
+            .members
+            .iter()
+            .copied()
+            .filter(|&id| raft.nodes[&id].role == Role::Leader && !raft.nodes[&id].crashed)
+            .collect();
+        let max_term = leaders.iter().map(|id| raft.term_of(*id)).max().unwrap();
+        let top_leaders = leaders.iter().filter(|id| raft.term_of(**id) == max_term).count();
+        assert_eq!(top_leaders, 1);
+    }
+
+    #[test]
+    fn replicates_and_commits_commands() {
+        let mut raft = cluster(3, 2);
+        raft.run_until(2.0);
+        assert!(raft.propose("evict node 4"));
+        assert!(raft.propose("add node 7"));
+        raft.run_until(4.0);
+        for &id in &raft.members.clone() {
+            let log = raft.committed_log(id);
+            assert_eq!(log.len(), 2, "node {id} should have committed both entries");
+            assert_eq!(log[0].command, "evict node 4");
+            assert_eq!(log[1].command, "add node 7");
+        }
+        assert!(raft.committed_logs_consistent());
+    }
+
+    #[test]
+    fn survives_leader_crash_and_re_elects() {
+        let mut raft = cluster(3, 3);
+        raft.run_until(2.0);
+        let first_leader = raft.leader().expect("initial leader");
+        assert!(raft.propose("before crash"));
+        raft.run_until(3.0);
+        raft.crash(first_leader);
+        raft.run_until(6.0);
+        let second_leader = raft.leader().expect("new leader after crash");
+        assert_ne!(second_leader, first_leader);
+        assert!(raft.propose("after crash"));
+        raft.run_until(8.0);
+        // Both surviving members have both entries committed.
+        for &id in raft.members.clone().iter().filter(|&&id| id != first_leader) {
+            let log = raft.committed_log(id);
+            assert_eq!(log.len(), 2, "node {id} log: {log:?}");
+        }
+        assert!(raft.committed_logs_consistent());
+    }
+
+    #[test]
+    fn restarted_node_catches_up() {
+        let mut raft = cluster(3, 4);
+        raft.run_until(2.0);
+        let leader = raft.leader().unwrap();
+        let follower = raft.members.iter().copied().find(|&id| id != leader).unwrap();
+        raft.crash(follower);
+        assert!(raft.propose("while you were away"));
+        raft.run_until(4.0);
+        raft.restart(follower);
+        raft.run_until(7.0);
+        let log = raft.committed_log(follower);
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].command, "while you were away");
+    }
+
+    #[test]
+    fn no_commit_without_majority() {
+        let mut raft = cluster(3, 5);
+        raft.run_until(2.0);
+        let leader = raft.leader().unwrap();
+        // Crash both followers: proposals can no longer commit.
+        for id in raft.members.clone() {
+            if id != leader {
+                raft.crash(id);
+            }
+        }
+        assert!(raft.propose("stranded"));
+        raft.run_until(5.0);
+        assert_eq!(raft.committed_log(leader).len(), 0, "entry must not commit without a majority");
+    }
+
+    #[test]
+    fn propose_without_leader_fails() {
+        let mut raft = cluster(3, 6);
+        // Before any election there is no leader.
+        assert!(raft.leader().is_none());
+        assert!(!raft.propose("too early"));
+        raft.run_until(2.0);
+        assert!(raft.propose("now it works"));
+    }
+
+    #[test]
+    fn five_node_cluster_tolerates_two_crashes() {
+        let mut raft = cluster(5, 8);
+        raft.run_until(2.0);
+        let leader = raft.leader().unwrap();
+        let followers: Vec<NodeId> =
+            raft.members.iter().copied().filter(|&id| id != leader).take(2).collect();
+        for f in followers {
+            raft.crash(f);
+        }
+        assert!(raft.propose("still working"));
+        raft.run_until(5.0);
+        assert!(raft.committed_log(leader).len() == 1);
+        assert!(raft.committed_logs_consistent());
+    }
+}

@@ -1,0 +1,54 @@
+//! # `tolerance-core`
+//!
+//! The paper's primary contribution: the TOLERANCE two-level feedback control
+//! architecture for intrusion-tolerant systems (Hammar & Stadler, DSN 2024).
+//!
+//! * **Local level** ([`node_model`], [`observation`], [`recovery`],
+//!   [`controller::NodeController`]) — each node runs a controller that
+//!   tracks a belief about whether its replica is compromised (Eq. 4,
+//!   Appendix A) from weighted IDS-alert counts and recovers the replica when
+//!   the belief exceeds a threshold (Theorem 1). The underlying control
+//!   problem is the machine replacement POMDP of Problem 1, solved with the
+//!   parametric threshold optimization of Algorithm 1 ([`algorithms::Alg1`])
+//!   or exactly with incremental pruning.
+//! * **Global level** ([`replication`], [`controller::SystemController`]) —
+//!   a system controller receives the node beliefs and adjusts the
+//!   replication factor `N_t ≥ 2f + 1 + k` (Proposition 1). The underlying
+//!   problem is the inventory replenishment CMDP of Problem 2, solved exactly
+//!   with the occupation-measure LP of Algorithm 2 ([`algorithms::Alg2`]).
+//! * **Baselines** ([`baselines`]) — the NO-RECOVERY, PERIODIC and
+//!   PERIODIC-ADAPTIVE strategies of state-of-the-art intrusion-tolerant
+//!   systems that the paper compares against (Section VIII-B).
+//! * **Metrics** ([`metrics`]) — average availability `T(A)`, average
+//!   time-to-recovery `T(R)` and recovery frequency `F(R)` (Section III-C),
+//!   plus the reliability/MTTF analysis of Fig. 6 ([`reliability`]).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod algorithms;
+pub mod baselines;
+pub mod controller;
+pub mod error;
+pub mod metrics;
+pub mod node_model;
+pub mod observation;
+pub mod recovery;
+pub mod reliability;
+pub mod replication;
+
+pub use error::{CoreError, Result};
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::algorithms::{Alg1, Alg1Config, Alg2, OptimizerKind};
+    pub use crate::baselines::{BaselineKind, RecoveryDecision, RecoveryStrategy};
+    pub use crate::controller::{NodeController, SystemController};
+    pub use crate::error::{CoreError, Result};
+    pub use crate::metrics::EvaluationMetrics;
+    pub use crate::node_model::{NodeModel, NodeParameters, NodeState};
+    pub use crate::observation::ObservationModel;
+    pub use crate::recovery::{RecoveryConfig, RecoveryProblem, ThresholdStrategy};
+    pub use crate::reliability::ReliabilityAnalysis;
+    pub use crate::replication::{ReplicationConfig, ReplicationProblem, ReplicationStrategy};
+}

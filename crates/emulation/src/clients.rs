@@ -1,0 +1,126 @@
+//! The background client population of the emulated testbed.
+//!
+//! To make the IDS alert streams realistic, every replica in the paper's
+//! testbed also serves a population of background clients that arrive
+//! according to a Poisson process with rate `λ = 20` and stay for an
+//! exponentially distributed duration with mean `μ = 4` time-steps
+//! (Section VIII-A). The number of active background sessions modulates the
+//! baseline alert noise of a node.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use tolerance_markov::dist::{DiscreteDistribution, Exponential, Poisson};
+
+/// A Poisson-arrival / exponential-holding background client population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClientPopulation {
+    arrival_rate: f64,
+    mean_session_length: f64,
+    /// Remaining session lengths (in time-steps) of active clients.
+    active_sessions: Vec<f64>,
+}
+
+impl ClientPopulation {
+    /// Creates a population with the paper's parameters (`λ = 20`, `μ = 4`).
+    pub fn paper_default() -> Self {
+        ClientPopulation::new(20.0, 4.0)
+    }
+
+    /// Creates a population with the given arrival rate and mean session
+    /// length (both per time-step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not strictly positive.
+    pub fn new(arrival_rate: f64, mean_session_length: f64) -> Self {
+        assert!(arrival_rate > 0.0, "arrival rate must be positive");
+        assert!(mean_session_length > 0.0, "mean session length must be positive");
+        ClientPopulation { arrival_rate, mean_session_length, active_sessions: Vec::new() }
+    }
+
+    /// Number of currently active background sessions.
+    pub fn active_sessions(&self) -> usize {
+        self.active_sessions.len()
+    }
+
+    /// Advances the population by one time-step: existing sessions age out
+    /// and new clients arrive. Returns the number of active sessions after
+    /// the step.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> usize {
+        // Age existing sessions.
+        for remaining in self.active_sessions.iter_mut() {
+            *remaining -= 1.0;
+        }
+        self.active_sessions.retain(|remaining| *remaining > 0.0);
+        // New arrivals.
+        let arrivals = Poisson::new(self.arrival_rate).expect("positive rate").sample(rng);
+        let holding = Exponential::from_mean(self.mean_session_length).expect("positive mean");
+        for _ in 0..arrivals {
+            self.active_sessions.push(holding.sample(rng).max(1.0));
+        }
+        self.active_sessions.len()
+    }
+
+    /// The long-run expected number of active sessions (Little's law:
+    /// `λ · μ`).
+    pub fn expected_active_sessions(&self) -> f64 {
+        self.arrival_rate * self.mean_session_length
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn population_reaches_littles_law_steady_state() {
+        let mut population = ClientPopulation::paper_default();
+        let mut rng = StdRng::seed_from_u64(1);
+        // Warm up.
+        for _ in 0..50 {
+            population.step(&mut rng);
+        }
+        // Average over a window.
+        let mut total = 0usize;
+        let steps = 200;
+        for _ in 0..steps {
+            total += population.step(&mut rng);
+        }
+        let average = total as f64 / steps as f64;
+        let expected = population.expected_active_sessions();
+        assert!(
+            (average - expected).abs() < expected * 0.2,
+            "steady state {average} too far from Little's law value {expected}"
+        );
+    }
+
+    #[test]
+    fn sessions_eventually_terminate() {
+        let mut population = ClientPopulation::new(1.0, 2.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            population.step(&mut rng);
+        }
+        let peak = population.active_sessions();
+        // Stop arrivals by fast-forwarding an isolated copy with zero new
+        // arrivals: emulate by repeatedly aging with a tiny arrival rate.
+        let mut draining = ClientPopulation {
+            arrival_rate: 1e-9,
+            mean_session_length: 2.0,
+            active_sessions: population.active_sessions.clone(),
+        };
+        for _ in 0..200 {
+            draining.step(&mut rng);
+        }
+        assert!(draining.active_sessions() < peak.max(1));
+        assert_eq!(draining.active_sessions(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate must be positive")]
+    fn zero_arrival_rate_is_rejected() {
+        let _ = ClientPopulation::new(0.0, 4.0);
+    }
+}

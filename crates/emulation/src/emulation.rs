@@ -1,0 +1,585 @@
+//! The closed-loop emulation of the TOLERANCE architecture.
+//!
+//! One emulation run reproduces the paper's evaluation setup (Section
+//! VIII-A): it starts with `N_1` nodes, each running a replica drawn from the
+//! container catalogue; at every (logical 60-second) time-step the attacker
+//! progresses intrusions, the IDS emits weighted alert counts, the node
+//! controllers (or a baseline strategy) decide which replicas to recover, and
+//! the system controller (for TOLERANCE) decides whether to add a node and
+//! evicts crashed nodes. The run produces the three metrics of Section III-C
+//! — `T(A)`, `T(R)` and `F(R)` — that populate Table 7 / Fig. 12.
+//!
+//! The consensus protocol itself does not need to run inside the metric loop
+//! (the metrics only depend on node states and controller decisions), but
+//! [`Emulation::run_with_consensus`] drives a real MinBFT cluster alongside
+//! the loop — mirroring recoveries, additions and evictions, injecting the
+//! attacker's Byzantine behaviour, and issuing client requests — to check
+//! end-to-end that the controlled system keeps providing correct service.
+
+use crate::attacker::Attacker;
+use crate::clients::ClientPopulation;
+use crate::containers::{ContainerCatalog, ContainerConfig};
+use crate::ids::IdsModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tolerance_core::baselines::{BaselineKind, RecoveryDecision, RecoveryStrategy};
+use tolerance_core::controller::{NodeController, SystemController};
+use tolerance_core::metrics::{EvaluationMetrics, MetricReport};
+use tolerance_core::node_model::{NodeModel, NodeParameters, NodeState};
+use tolerance_core::recovery::ThresholdStrategy;
+use tolerance_core::replication::{ReplicationConfig, ReplicationProblem};
+use tolerance_consensus::minbft::{MinBftCluster, MinBftConfig, Operation};
+use tolerance_consensus::NetworkConfig;
+
+/// Which control strategy the emulated system uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StrategyKind {
+    /// The TOLERANCE architecture: belief-threshold recovery (Theorem 1)
+    /// plus the Algorithm 2 replication strategy.
+    Tolerance,
+    /// One of the baseline strategies of Section VIII-B.
+    Baseline(BaselineKind),
+}
+
+impl StrategyKind {
+    /// Display name used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::Tolerance => "tolerance",
+            StrategyKind::Baseline(kind) => kind.name(),
+        }
+    }
+}
+
+/// Configuration of one emulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmulationConfig {
+    /// Initial number of nodes `N_1` (the paper evaluates 3, 6 and 9).
+    pub initial_nodes: usize,
+    /// Maximum number of nodes `s_max` (13 in the paper's testbed).
+    pub max_nodes: usize,
+    /// The BTR period `Δ_R` used by the periodic baselines and the TOLERANCE
+    /// BTR constraint; `None` means `Δ_R = ∞`.
+    pub delta_r: Option<u32>,
+    /// Which control strategy to run.
+    pub strategy: StrategyKind,
+    /// Number of time-steps (the paper's runs last 1000 steps of 60 s).
+    pub horizon: u32,
+    /// Maximum number of parallel recoveries `k` (Proposition 1).
+    pub parallel_recoveries: usize,
+    /// Node transition parameters (attack/crash/update probabilities).
+    pub node_parameters: NodeParameters,
+    /// Availability target `ε_A` of the replication CMDP.
+    pub availability_target: f64,
+    /// Belief threshold used by the TOLERANCE node controllers. The bench
+    /// harness computes this with Algorithm 1; the default (0.76) is the
+    /// value the paper reports in Fig. 13b.
+    pub recovery_threshold: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EmulationConfig {
+    fn default() -> Self {
+        EmulationConfig {
+            initial_nodes: 6,
+            max_nodes: 13,
+            delta_r: None,
+            strategy: StrategyKind::Tolerance,
+            horizon: 1000,
+            parallel_recoveries: 1,
+            node_parameters: NodeParameters::default(),
+            availability_target: 0.9,
+            recovery_threshold: 0.76,
+            seed: 0,
+        }
+    }
+}
+
+impl EmulationConfig {
+    /// The fault threshold used in the paper's evaluation:
+    /// `f = min[(N_1 - 1)/2, 2]` (Appendix E).
+    pub fn fault_threshold(&self) -> usize {
+        (((self.initial_nodes.max(1)) - 1) / 2).min(2)
+    }
+}
+
+/// The outcome of one emulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmulationOutcome {
+    /// The three evaluation metrics.
+    pub metrics: MetricReport,
+    /// Nodes added by the system controller during the run.
+    pub nodes_added: u64,
+    /// Nodes evicted (crashed) during the run.
+    pub nodes_evicted: u64,
+    /// Total recoveries performed.
+    pub recoveries: u64,
+    /// Final number of nodes.
+    pub final_nodes: usize,
+}
+
+/// Per-node runtime state inside the emulation.
+struct EmulatedNode {
+    container: ContainerConfig,
+    ids: IdsModel,
+    state: NodeState,
+    attacker: Attacker,
+    clients: ClientPopulation,
+    controller: Option<NodeController>,
+    baseline: Option<RecoveryStrategy>,
+    /// Time-step at which the current compromise started (for `T(R)`).
+    compromise_started: Option<u64>,
+}
+
+/// The closed-loop emulation.
+pub struct Emulation {
+    config: EmulationConfig,
+    catalog: ContainerCatalog,
+    rng: StdRng,
+    nodes: Vec<EmulatedNode>,
+    system_controller: Option<SystemController>,
+    metrics: EvaluationMetrics,
+    nodes_added: u64,
+    nodes_evicted: u64,
+    recoveries: u64,
+    time_step: u64,
+}
+
+impl Emulation {
+    /// Builds an emulation run. For the TOLERANCE strategy this solves the
+    /// replication CMDP with Algorithm 2 up front (the training phase the
+    /// paper describes in Section X).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction and LP failures from `tolerance-core`.
+    pub fn new(config: EmulationConfig) -> tolerance_core::Result<Self> {
+        let catalog = ContainerCatalog::paper_catalog();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        let system_controller = match config.strategy {
+            StrategyKind::Tolerance => {
+                let replication = ReplicationProblem::new(ReplicationConfig {
+                    s_max: config.max_nodes,
+                    fault_threshold: config.fault_threshold(),
+                    availability_target: config.availability_target,
+                    node_survival_probability: 1.0 - config.node_parameters.p_attack / 2.0,
+                })?;
+                Some(SystemController::new(replication.solve()?))
+            }
+            StrategyKind::Baseline(_) => None,
+        };
+
+        let mut emulation = Emulation {
+            catalog,
+            rng: StdRng::seed_from_u64(config.seed.wrapping_add(1)),
+            nodes: Vec::new(),
+            system_controller,
+            metrics: EvaluationMetrics::new(),
+            nodes_added: 0,
+            nodes_evicted: 0,
+            recoveries: 0,
+            time_step: 0,
+            config,
+        };
+        for _ in 0..emulation.config.initial_nodes {
+            let node = emulation.build_node(&mut rng)?;
+            emulation.nodes.push(node);
+        }
+        Ok(emulation)
+    }
+
+    /// The configuration of this run.
+    pub fn config(&self) -> &EmulationConfig {
+        &self.config
+    }
+
+    /// Current number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn build_node(&self, rng: &mut StdRng) -> tolerance_core::Result<EmulatedNode> {
+        let container = self.catalog.sample(rng).clone();
+        let ids = IdsModel::for_container(&container);
+        let model =
+            NodeModel::new(self.config.node_parameters, ids.observation_model().clone())?;
+        let (controller, baseline) = match self.config.strategy {
+            StrategyKind::Tolerance => {
+                let thresholds = match self.config.delta_r {
+                    Some(d) => vec![self.config.recovery_threshold; (d as usize).saturating_sub(1).max(1)],
+                    None => vec![self.config.recovery_threshold],
+                };
+                let strategy = ThresholdStrategy::new(thresholds, self.config.delta_r)?;
+                (Some(NodeController::new(model, strategy)), None)
+            }
+            StrategyKind::Baseline(kind) => {
+                let expected_alerts = ids.observation_model().mean(NodeState::Healthy);
+                // Stagger the periodic-recovery phases across nodes so that
+                // the k-parallel-recovery constraint is not hit by every node
+                // requesting recovery in the same step.
+                let phase = rng.random_range(0..self.config.delta_r.unwrap_or(1).max(1));
+                (
+                    None,
+                    Some(
+                        RecoveryStrategy::new(kind, self.config.delta_r, expected_alerts)
+                            .with_initial_phase(phase),
+                    ),
+                )
+            }
+        };
+        Ok(EmulatedNode {
+            container,
+            ids,
+            state: NodeState::Healthy,
+            attacker: Attacker::new(self.config.node_parameters.p_attack),
+            clients: ClientPopulation::paper_default(),
+            controller,
+            baseline,
+            compromise_started: None,
+        })
+    }
+
+    /// Runs the emulation to its horizon and returns the outcome.
+    ///
+    /// # Errors
+    ///
+    /// Propagates node-construction failures when nodes are added mid-run.
+    pub fn run(&mut self) -> tolerance_core::Result<EmulationOutcome> {
+        for _ in 0..self.config.horizon {
+            self.step(None)?;
+        }
+        Ok(self.finish())
+    }
+
+    /// Runs the emulation while driving a real MinBFT cluster: recoveries,
+    /// additions and evictions are mirrored into the cluster, the attacker's
+    /// post-compromise behaviour is injected as Byzantine faults, and a
+    /// client issues one write request per step. Returns the outcome plus the
+    /// fraction of client requests that completed correctly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates node-construction failures.
+    pub fn run_with_consensus(&mut self, steps: u32) -> tolerance_core::Result<(EmulationOutcome, f64)> {
+        let mut cluster = MinBftCluster::new(MinBftConfig {
+            initial_replicas: self.config.initial_nodes,
+            parallel_recoveries: self.config.parallel_recoveries,
+            network: NetworkConfig::default(),
+            seed: self.config.seed,
+            ..MinBftConfig::default()
+        });
+        let client = cluster.add_client();
+        let mut issued = 0u64;
+        for step in 0..steps {
+            self.step(Some(&mut cluster))?;
+            // Closed-loop client: only issue a new request once the previous
+            // one has been answered (it may span several steps while the
+            // cluster recovers or changes views).
+            if !cluster.has_outstanding_request(client) {
+                cluster.submit(client, Operation::Write(step as u64));
+                issued += 1;
+            }
+            cluster.run_until_quiet(cluster.now() + 2.0);
+        }
+        let completed = cluster.completed_requests(client);
+        let success_rate = if issued == 0 { 1.0 } else { completed as f64 / issued as f64 };
+        Ok((self.finish(), success_rate))
+    }
+
+    fn finish(&mut self) -> EmulationOutcome {
+        // Charge intrusions that were never recovered.
+        for node in &self.nodes {
+            if node.compromise_started.is_some() {
+                self.metrics.record_unrecovered_intrusion();
+            }
+        }
+        EmulationOutcome {
+            metrics: self.metrics.report(),
+            nodes_added: self.nodes_added,
+            nodes_evicted: self.nodes_evicted,
+            recoveries: self.recoveries,
+            final_nodes: self.nodes.len(),
+        }
+    }
+
+    /// Executes one time-step of the closed loop.
+    fn step(&mut self, mut cluster: Option<&mut MinBftCluster>) -> tolerance_core::Result<()> {
+        self.time_step += 1;
+        let time_step = self.time_step;
+        let fault_threshold = self.config.fault_threshold();
+        let mut recovery_requests: Vec<(usize, f64)> = Vec::new();
+        let mut baseline_wants_node = false;
+        let mut reports: Vec<Option<f64>> = Vec::with_capacity(self.nodes.len());
+
+        // --- Per-node dynamics: attacker, IDS, local decision. ---
+        for (index, node) in self.nodes.iter_mut().enumerate() {
+            node.clients.step(&mut self.rng);
+
+            // Attacker progression.
+            if node.state == NodeState::Healthy {
+                let compromised_now = node.attacker.step(&node.container, time_step, &mut self.rng);
+                if compromised_now {
+                    node.state = NodeState::Compromised;
+                    node.compromise_started = Some(time_step);
+                    if let (Some(cluster), Some(behavior)) = (cluster.as_deref_mut(), node.attacker.behavior()) {
+                        if cluster.membership().contains(&(index as u32)) {
+                            cluster.set_byzantine(index as u32, behavior.byzantine_mode());
+                        }
+                    }
+                }
+            }
+
+            // Crashes.
+            let crash_probability = match node.state {
+                NodeState::Healthy => self.config.node_parameters.p_crash_healthy,
+                NodeState::Compromised => self.config.node_parameters.p_crash_compromised,
+                NodeState::Crashed => 0.0,
+            };
+            if node.state != NodeState::Crashed && self.rng.random::<f64>() < crash_probability {
+                node.state = NodeState::Crashed;
+            }
+
+            // IDS observation.
+            let step_intensity = node.attacker.step_intensity(&node.container);
+            let alerts = node.ids.sample_alerts(node.state, step_intensity, &mut self.rng);
+
+            // Local decision.
+            if node.state == NodeState::Crashed {
+                reports.push(None);
+                continue;
+            }
+            let decision = if let Some(controller) = node.controller.as_mut() {
+                let action = controller.observe_and_decide(alerts);
+                reports.push(Some(controller.belief()));
+                RecoveryDecision::from(action)
+            } else if let Some(baseline) = node.baseline.as_mut() {
+                let decision = baseline.decide();
+                if baseline.wants_additional_node(alerts as f64) {
+                    baseline_wants_node = true;
+                }
+                // Baselines report no belief; approximate with the prior so
+                // eviction handling still works uniformly.
+                reports.push(Some(self.config.node_parameters.p_attack));
+                decision
+            } else {
+                reports.push(Some(0.0));
+                RecoveryDecision::Wait
+            };
+            if decision == RecoveryDecision::Recover {
+                let belief = node.controller.as_ref().map(|c| c.belief()).unwrap_or(1.0);
+                recovery_requests.push((index, belief));
+            }
+        }
+
+        // --- Enforce at most k parallel recoveries, preferring the highest
+        //     beliefs (the implementation-level constraint of Problem 1). ---
+        recovery_requests.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        recovery_requests.truncate(self.config.parallel_recoveries.max(1));
+        let recoveries_started = recovery_requests.len();
+        for (index, _) in &recovery_requests {
+            let node = &mut self.nodes[*index];
+            if let Some(started) = node.compromise_started.take() {
+                self.metrics.record_recovery_delay(time_step - started);
+            }
+            // The replica is replaced by a fresh, randomly drawn container.
+            let rebuilt = {
+                let mut rng = StdRng::seed_from_u64(self.rng.random::<u64>());
+                self.build_node(&mut rng)?
+            };
+            let preserved_controller_stats = self.nodes[*index].controller.is_some();
+            self.nodes[*index] = rebuilt;
+            if !preserved_controller_stats {
+                // Baselines restart their period after an actual recovery.
+                if let Some(b) = self.nodes[*index].baseline.as_mut() {
+                    b.notify_recovered();
+                }
+            }
+            self.recoveries += 1;
+            if let Some(cluster) = cluster.as_deref_mut() {
+                if cluster.membership().contains(&(*index as u32)) {
+                    cluster.recover_replica(*index as u32);
+                }
+            }
+        }
+
+        // --- Global level: evictions and additions. ---
+        let mut added = false;
+        if let Some(system) = self.system_controller.as_mut() {
+            let decision = system.decide(&reports, &mut self.rng);
+            // Evict crashed nodes (highest index first so removal is stable).
+            let mut evict = decision.evict.clone();
+            evict.sort_unstable_by(|a, b| b.cmp(a));
+            for index in evict {
+                if index < self.nodes.len() {
+                    self.nodes.remove(index);
+                    self.nodes_evicted += 1;
+                    if let Some(cluster) = cluster.as_deref_mut() {
+                        if cluster.membership().contains(&(index as u32)) {
+                            cluster.evict_replica(index as u32);
+                        }
+                    }
+                }
+            }
+            if decision.add_node && self.nodes.len() < self.config.max_nodes {
+                added = true;
+            }
+        } else {
+            // Baselines: crashed nodes simply stay (they do not manage the
+            // replication factor); PERIODIC-ADAPTIVE may add a node.
+            if baseline_wants_node && self.nodes.len() < self.config.max_nodes {
+                added = true;
+            }
+        }
+        if added {
+            let new_node = {
+                let mut rng = StdRng::seed_from_u64(self.rng.random::<u64>());
+                self.build_node(&mut rng)?
+            };
+            self.nodes.push(new_node);
+            self.nodes_added += 1;
+            if let Some(cluster) = cluster.as_deref_mut() {
+                cluster.add_replica();
+            }
+        }
+
+        // --- Record the step metrics. ---
+        let failed_nodes = self
+            .nodes
+            .iter()
+            .filter(|n| n.state != NodeState::Healthy)
+            .count();
+        self.metrics.record_step(failed_nodes, fault_threshold, recoveries_started);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(strategy: StrategyKind, delta_r: Option<u32>, seed: u64) -> EmulationConfig {
+        EmulationConfig {
+            initial_nodes: 6,
+            horizon: 300,
+            strategy,
+            delta_r,
+            seed,
+            ..EmulationConfig::default()
+        }
+    }
+
+    #[test]
+    fn fault_threshold_matches_appendix_e() {
+        let c = EmulationConfig { initial_nodes: 3, ..EmulationConfig::default() };
+        assert_eq!(c.fault_threshold(), 1);
+        let c = EmulationConfig { initial_nodes: 6, ..EmulationConfig::default() };
+        assert_eq!(c.fault_threshold(), 2);
+        let c = EmulationConfig { initial_nodes: 9, ..EmulationConfig::default() };
+        assert_eq!(c.fault_threshold(), 2, "capped at 2");
+    }
+
+    #[test]
+    fn tolerance_run_keeps_high_availability_and_low_ttr() {
+        let mut emulation = Emulation::new(config(StrategyKind::Tolerance, None, 1)).unwrap();
+        let outcome = emulation.run().unwrap();
+        assert!(
+            outcome.metrics.availability > 0.9,
+            "TOLERANCE availability {} too low",
+            outcome.metrics.availability
+        );
+        assert!(
+            outcome.metrics.time_to_recovery < 20.0,
+            "TOLERANCE time-to-recovery {} too high",
+            outcome.metrics.time_to_recovery
+        );
+        assert!(outcome.recoveries > 0);
+        assert!(outcome.metrics.recovery_frequency > 0.0);
+    }
+
+    #[test]
+    fn no_recovery_run_collapses() {
+        let mut emulation =
+            Emulation::new(config(StrategyKind::Baseline(BaselineKind::NoRecovery), None, 2)).unwrap();
+        let outcome = emulation.run().unwrap();
+        assert!(
+            outcome.metrics.availability < 0.5,
+            "NO-RECOVERY availability {} should collapse",
+            outcome.metrics.availability
+        );
+        assert_eq!(outcome.recoveries, 0);
+        assert_eq!(outcome.metrics.recovery_frequency, 0.0);
+        // Unrecovered intrusions are charged the cap.
+        assert!(outcome.metrics.time_to_recovery > 500.0);
+    }
+
+    #[test]
+    fn periodic_baseline_sits_between_tolerance_and_no_recovery() {
+        let mut tolerance = Emulation::new(config(StrategyKind::Tolerance, Some(15), 3)).unwrap();
+        let tolerance_outcome = tolerance.run().unwrap();
+        let mut periodic =
+            Emulation::new(config(StrategyKind::Baseline(BaselineKind::Periodic), Some(15), 3)).unwrap();
+        let periodic_outcome = periodic.run().unwrap();
+        let mut none =
+            Emulation::new(config(StrategyKind::Baseline(BaselineKind::NoRecovery), Some(15), 3)).unwrap();
+        let none_outcome = none.run().unwrap();
+
+        assert!(periodic_outcome.metrics.availability > none_outcome.metrics.availability);
+        assert!(
+            tolerance_outcome.metrics.time_to_recovery < periodic_outcome.metrics.time_to_recovery,
+            "feedback recovery must react faster than periodic ({} vs {})",
+            tolerance_outcome.metrics.time_to_recovery,
+            periodic_outcome.metrics.time_to_recovery
+        );
+    }
+
+    #[test]
+    fn periodic_adaptive_adds_nodes_on_bursts() {
+        let mut adaptive = Emulation::new(config(
+            StrategyKind::Baseline(BaselineKind::PeriodicAdaptive),
+            Some(15),
+            4,
+        ))
+        .unwrap();
+        let outcome = adaptive.run().unwrap();
+        assert!(outcome.nodes_added > 0, "the adaptive baseline should add nodes on alert bursts");
+        assert!(outcome.final_nodes <= 13);
+    }
+
+    #[test]
+    fn tolerance_with_consensus_completes_requests_correctly() {
+        let mut emulation = Emulation::new(EmulationConfig {
+            initial_nodes: 4,
+            horizon: 40,
+            strategy: StrategyKind::Tolerance,
+            seed: 5,
+            ..EmulationConfig::default()
+        })
+        .unwrap();
+        let (outcome, success_rate) = emulation.run_with_consensus(40).unwrap();
+        assert!(outcome.metrics.availability > 0.8);
+        assert!(
+            success_rate > 0.8,
+            "most client requests should complete despite intrusions, got {success_rate}"
+        );
+    }
+
+    #[test]
+    fn node_count_never_exceeds_the_maximum() {
+        let mut emulation = Emulation::new(EmulationConfig {
+            initial_nodes: 9,
+            max_nodes: 10,
+            horizon: 200,
+            strategy: StrategyKind::Tolerance,
+            seed: 6,
+            ..EmulationConfig::default()
+        })
+        .unwrap();
+        let outcome = emulation.run().unwrap();
+        assert!(outcome.final_nodes <= 10);
+        assert!(emulation.num_nodes() <= 10);
+        assert_eq!(emulation.config().max_nodes, 10);
+    }
+}

@@ -1,0 +1,193 @@
+//! The Table 7 / Fig. 12 comparison harness.
+//!
+//! Runs the closed-loop emulation for every combination of control strategy,
+//! initial system size `N_1` and recovery period `Δ_R`, over multiple random
+//! seeds, and reports the mean and 95% confidence interval of the three
+//! evaluation metrics — exactly the grid the paper reports in Table 7.
+
+use crate::emulation::{Emulation, EmulationConfig, StrategyKind};
+use serde::{Deserialize, Serialize};
+use tolerance_core::baselines::BaselineKind;
+use tolerance_markov::stats::SummaryStatistics;
+
+/// One row of the comparison (one strategy at one grid point).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonRow {
+    /// The control strategy.
+    pub strategy: String,
+    /// Initial number of nodes `N_1`.
+    pub initial_nodes: usize,
+    /// Recovery period `Δ_R` (`None` = ∞).
+    pub delta_r: Option<u32>,
+    /// Mean availability `T(A)` and its 95% CI half-width.
+    pub availability: (f64, f64),
+    /// Mean time-to-recovery `T(R)` and its 95% CI half-width.
+    pub time_to_recovery: (f64, f64),
+    /// Mean recovery frequency `F(R)` and its 95% CI half-width.
+    pub recovery_frequency: (f64, f64),
+    /// Number of seeds.
+    pub seeds: usize,
+}
+
+/// The evaluation grid of Table 7.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluationGrid {
+    /// Values of `N_1` to evaluate (paper: 3, 6, 9).
+    pub initial_nodes: Vec<usize>,
+    /// Values of `Δ_R` to evaluate (paper: 15, 25, ∞).
+    pub delta_r: Vec<Option<u32>>,
+    /// Strategies to compare.
+    pub strategies: Vec<StrategyKind>,
+    /// Number of random seeds per cell (paper: 20).
+    pub seeds: usize,
+    /// Emulation horizon in time-steps (paper: 1000).
+    pub horizon: u32,
+}
+
+impl Default for EvaluationGrid {
+    fn default() -> Self {
+        EvaluationGrid {
+            initial_nodes: vec![3, 6, 9],
+            delta_r: vec![Some(15), Some(25), None],
+            strategies: vec![
+                StrategyKind::Tolerance,
+                StrategyKind::Baseline(BaselineKind::NoRecovery),
+                StrategyKind::Baseline(BaselineKind::Periodic),
+                StrategyKind::Baseline(BaselineKind::PeriodicAdaptive),
+            ],
+            seeds: 20,
+            horizon: 1000,
+        }
+    }
+}
+
+impl EvaluationGrid {
+    /// A reduced grid for quick runs and tests.
+    pub fn quick() -> Self {
+        EvaluationGrid {
+            initial_nodes: vec![3, 6],
+            delta_r: vec![Some(15), None],
+            seeds: 3,
+            horizon: 200,
+            ..EvaluationGrid::default()
+        }
+    }
+
+    /// Runs the full grid and returns one row per (strategy, `N_1`, `Δ_R`)
+    /// cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates emulation-construction failures.
+    pub fn run(&self) -> tolerance_core::Result<Vec<ComparisonRow>> {
+        let mut rows = Vec::new();
+        for &n1 in &self.initial_nodes {
+            for &delta_r in &self.delta_r {
+                for &strategy in &self.strategies {
+                    let mut availability = Vec::with_capacity(self.seeds);
+                    let mut time_to_recovery = Vec::with_capacity(self.seeds);
+                    let mut recovery_frequency = Vec::with_capacity(self.seeds);
+                    for seed in 0..self.seeds {
+                        let config = EmulationConfig {
+                            initial_nodes: n1,
+                            delta_r,
+                            strategy,
+                            horizon: self.horizon,
+                            seed: seed as u64,
+                            ..EmulationConfig::default()
+                        };
+                        let outcome = Emulation::new(config)?.run()?;
+                        availability.push(outcome.metrics.availability);
+                        time_to_recovery.push(outcome.metrics.time_to_recovery);
+                        recovery_frequency.push(outcome.metrics.recovery_frequency);
+                    }
+                    let summarize = |samples: &[f64]| {
+                        let stats = SummaryStatistics::from_samples(samples)
+                            .expect("at least one seed");
+                        (stats.mean, stats.ci95_half_width)
+                    };
+                    rows.push(ComparisonRow {
+                        strategy: strategy.name().to_string(),
+                        initial_nodes: n1,
+                        delta_r,
+                        availability: summarize(&availability),
+                        time_to_recovery: summarize(&time_to_recovery),
+                        recovery_frequency: summarize(&recovery_frequency),
+                        seeds: self.seeds,
+                    });
+                }
+            }
+        }
+        Ok(rows)
+    }
+}
+
+/// Formats a `Δ_R` value the way the paper's tables do.
+pub fn format_delta_r(delta_r: Option<u32>) -> String {
+    match delta_r {
+        Some(d) => d.to_string(),
+        None => "inf".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_grid_reproduces_the_papers_qualitative_ordering() {
+        let grid = EvaluationGrid {
+            initial_nodes: vec![3],
+            delta_r: vec![Some(15)],
+            seeds: 3,
+            horizon: 200,
+            ..EvaluationGrid::default()
+        };
+        let rows = grid.run().unwrap();
+        assert_eq!(rows.len(), 4);
+        let get = |name: &str| rows.iter().find(|r| r.strategy == name).unwrap();
+        let tolerance = get("tolerance");
+        let no_recovery = get("no-recovery");
+        let periodic = get("periodic");
+
+        // Table 7 shape: TOLERANCE has the highest availability and the
+        // lowest time-to-recovery; NO-RECOVERY collapses.
+        assert!(tolerance.availability.0 > 0.9);
+        assert!(no_recovery.availability.0 < 0.5);
+        assert!(tolerance.availability.0 >= periodic.availability.0 - 0.05);
+        assert!(tolerance.time_to_recovery.0 < periodic.time_to_recovery.0);
+        assert!(no_recovery.time_to_recovery.0 > 500.0);
+    }
+
+    #[test]
+    fn grid_enumerates_all_cells() {
+        let grid = EvaluationGrid {
+            initial_nodes: vec![3, 6],
+            delta_r: vec![Some(15), None],
+            strategies: vec![StrategyKind::Tolerance],
+            seeds: 1,
+            horizon: 50,
+        };
+        let rows = grid.run().unwrap();
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.seeds == 1));
+    }
+
+    #[test]
+    fn delta_r_formatting() {
+        assert_eq!(format_delta_r(Some(15)), "15");
+        assert_eq!(format_delta_r(None), "inf");
+    }
+
+    #[test]
+    fn default_grid_matches_the_paper() {
+        let grid = EvaluationGrid::default();
+        assert_eq!(grid.initial_nodes, vec![3, 6, 9]);
+        assert_eq!(grid.delta_r.len(), 3);
+        assert_eq!(grid.strategies.len(), 4);
+        assert_eq!(grid.seeds, 20);
+        assert_eq!(grid.horizon, 1000);
+        let quick = EvaluationGrid::quick();
+        assert!(quick.seeds < grid.seeds);
+    }
+}

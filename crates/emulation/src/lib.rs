@@ -1,0 +1,41 @@
+//! # `tolerance-emulation`
+//!
+//! The emulated testbed of the TOLERANCE reproduction.
+//!
+//! The paper evaluates TOLERANCE on a 13-server testbed running 10 types of
+//! real network intrusions against containerized replicas, with the Snort
+//! IDS producing the alert streams consumed by the node controllers
+//! (Section VII–VIII). This crate substitutes a faithful simulation of that
+//! environment (see DESIGN.md for the substitution argument):
+//!
+//! * [`containers`] — the replica container catalogue of Table 4, their
+//!   background services (Table 5) and intrusion playbooks (Table 6).
+//! * [`ids`] — per-container IDS alert distributions shaped like Fig. 11,
+//!   an intrusion-trace generator (the analogue of the paper's 6 400-trace
+//!   dataset), and the additional infrastructure metrics of Fig. 18.
+//! * [`attacker`] — the multi-step attacker that works through each
+//!   container's intrusion playbook and then behaves arbitrarily.
+//! * [`clients`] — the background client population (Poisson arrivals,
+//!   exponential service times) that generates baseline IDS noise.
+//! * [`emulation`] — the closed-loop emulation combining nodes, attackers,
+//!   controllers and (optionally) the MinBFT cluster, producing the
+//!   `T(A)`, `T(R)`, `F(R)` metrics.
+//! * [`eval`] — the Table 7 / Fig. 12 comparison harness (TOLERANCE vs the
+//!   NO-RECOVERY, PERIODIC and PERIODIC-ADAPTIVE baselines over seeds).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod attacker;
+pub mod clients;
+pub mod containers;
+pub mod emulation;
+pub mod eval;
+pub mod ids;
+
+pub use attacker::{Attacker, AttackerBehavior};
+pub use clients::ClientPopulation;
+pub use containers::{ContainerCatalog, ContainerConfig};
+pub use emulation::{Emulation, EmulationConfig, EmulationOutcome, StrategyKind};
+pub use eval::{ComparisonRow, EvaluationGrid};
+pub use ids::{IdsModel, IntrusionTrace, MetricKind, TraceDataset};

@@ -1,0 +1,47 @@
+//! # `tolerance-markov`
+//!
+//! Mathematical substrate for the TOLERANCE reproduction: probability
+//! distributions, finite Markov chains, reliability/MTTF analysis, and the
+//! small dense linear algebra they require.
+//!
+//! The paper (Hammar & Stadler, DSN 2024) relies on the following primitives,
+//! all implemented here from scratch:
+//!
+//! * Beta-binomial observation models `Z_i(· | s)` (Appendix E),
+//! * geometric time-to-compromise processes implied by Eq. (2),
+//! * the Poisson-binomial transition function of the replication CMDP
+//!   (Eq. 8 sums independent Bernoulli "healthy" indicators),
+//! * mean-time-to-failure and reliability curves `R(t)` via hitting times and
+//!   the Chapman–Kolmogorov equation (Appendix F, Fig. 6),
+//! * Kullback–Leibler divergences between alert distributions (Fig. 14, 18),
+//! * Student-t confidence intervals used in every table of the evaluation.
+//!
+//! # Example
+//!
+//! ```
+//! use tolerance_markov::chain::MarkovChain;
+//!
+//! // A two-state chain: state 0 is "up", state 1 is "failed" (absorbing).
+//! let chain = MarkovChain::new(vec![vec![0.9, 0.1], vec![0.0, 1.0]]).unwrap();
+//! let mttf = chain.mean_hitting_time(&[1]).unwrap();
+//! assert!((mttf[0] - 10.0).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod chain;
+pub mod dist;
+pub mod error;
+pub mod linalg;
+pub mod special;
+pub mod stats;
+
+pub use chain::MarkovChain;
+pub use dist::{
+    BetaBinomial, Binomial, Categorical, DiscreteDistribution, Exponential, Geometric, Poisson,
+    PoissonBinomial,
+};
+pub use error::{MarkovError, Result};
+pub use linalg::{Matrix, Vector};
+pub use stats::{confidence_interval_95, kl_divergence, SummaryStatistics};

@@ -1,0 +1,76 @@
+//! Error types for the `tolerance-optim` crate.
+
+use std::fmt;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, OptimError>;
+
+/// Errors produced by the optimizers and the LP solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimError {
+    /// A configuration parameter was invalid.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// The objective dimension is zero or inconsistent with the optimizer
+    /// configuration.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Provided dimension.
+        found: usize,
+    },
+    /// The linear program is infeasible.
+    Infeasible,
+    /// The linear program is unbounded.
+    Unbounded,
+    /// An iteration limit was exhausted before convergence.
+    IterationLimit(&'static str),
+    /// A numerical operation failed (e.g. a singular Gaussian-process
+    /// covariance matrix).
+    Numerical(String),
+}
+
+impl fmt::Display for OptimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimError::InvalidConfig { name, reason } => {
+                write!(f, "invalid configuration `{name}`: {reason}")
+            }
+            OptimError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            OptimError::Infeasible => write!(f, "linear program is infeasible"),
+            OptimError::Unbounded => write!(f, "linear program is unbounded"),
+            OptimError::IterationLimit(what) => write!(f, "iteration limit reached in {what}"),
+            OptimError::Numerical(why) => write!(f, "numerical failure: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for OptimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(OptimError::Infeasible.to_string().contains("infeasible"));
+        assert!(OptimError::Unbounded.to_string().contains("unbounded"));
+        assert!(OptimError::IterationLimit("simplex").to_string().contains("simplex"));
+        assert!(OptimError::Numerical("nan".into()).to_string().contains("nan"));
+        assert!(OptimError::DimensionMismatch { expected: 2, found: 3 }.to_string().contains("2"));
+        let cfg = OptimError::InvalidConfig { name: "population", reason: "must be > 0".into() };
+        assert!(cfg.to_string().contains("population"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + 'static>() {}
+        assert_bounds::<OptimError>();
+    }
+}

@@ -1,0 +1,109 @@
+//! Objective-function abstraction for black-box minimization.
+//!
+//! All optimizers in this crate minimize a (possibly stochastic) objective
+//! over the unit hypercube `[0, 1]^d`. Algorithm 1 of the paper evaluates a
+//! threshold vector `θ ∈ [0, 1]^d` by simulating the recovery POMDP for a
+//! number of episodes, so objective evaluations are noisy; the optimizers are
+//! therefore designed for stochastic objectives and accept an RNG on every
+//! evaluation.
+
+use rand::RngCore;
+
+/// A (possibly stochastic) objective function over `[0, 1]^d` to be
+/// minimized.
+pub trait Objective {
+    /// Dimension `d` of the search space.
+    fn dimension(&self) -> usize;
+
+    /// Evaluates the objective at `point` (a slice of length
+    /// [`Objective::dimension`]). Implementations may use `rng` to draw the
+    /// random episode realizations that make the evaluation stochastic.
+    fn evaluate(&self, point: &[f64], rng: &mut dyn RngCore) -> f64;
+
+    /// Evaluates the objective `repetitions` times and returns the mean.
+    ///
+    /// The paper's Algorithm 1 uses `M = 50` evaluation samples per candidate
+    /// (Appendix E); the optimizers call this method with their configured
+    /// sample count.
+    fn evaluate_mean(&self, point: &[f64], repetitions: usize, rng: &mut dyn RngCore) -> f64 {
+        if repetitions == 0 {
+            return self.evaluate(point, rng);
+        }
+        (0..repetitions).map(|_| self.evaluate(point, rng)).sum::<f64>() / repetitions as f64
+    }
+}
+
+/// An [`Objective`] wrapping a closure, convenient for tests and examples.
+pub struct FnObjective<F>
+where
+    F: Fn(&[f64], &mut dyn RngCore) -> f64,
+{
+    dimension: usize,
+    function: F,
+}
+
+impl<F> FnObjective<F>
+where
+    F: Fn(&[f64], &mut dyn RngCore) -> f64,
+{
+    /// Wraps a closure as an objective of the given dimension.
+    pub fn new(dimension: usize, function: F) -> Self {
+        FnObjective { dimension, function }
+    }
+}
+
+impl<F> Objective for FnObjective<F>
+where
+    F: Fn(&[f64], &mut dyn RngCore) -> f64,
+{
+    fn dimension(&self) -> usize {
+        self.dimension
+    }
+
+    fn evaluate(&self, point: &[f64], rng: &mut dyn RngCore) -> f64 {
+        (self.function)(point, rng)
+    }
+}
+
+/// Clamps every coordinate of `point` into `[0, 1]`, in place.
+pub fn clamp_unit(point: &mut [f64]) {
+    for x in point.iter_mut() {
+        *x = x.clamp(0.0, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fn_objective_evaluates_closure() {
+        let obj = FnObjective::new(2, |x: &[f64], _| x[0] + x[1]);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(obj.dimension(), 2);
+        assert_eq!(obj.evaluate(&[0.25, 0.5], &mut rng), 0.75);
+    }
+
+    #[test]
+    fn evaluate_mean_averages_noise() {
+        use rand::Rng;
+        let obj = FnObjective::new(1, |x: &[f64], rng: &mut dyn RngCore| {
+            x[0] + (&mut *rng).random_range(-0.5..0.5)
+        });
+        let mut rng = StdRng::seed_from_u64(3);
+        let mean = obj.evaluate_mean(&[0.5], 2000, &mut rng);
+        assert!((mean - 0.5).abs() < 0.05, "noisy mean {mean} too far from 0.5");
+        // Zero repetitions degrades to a single evaluation.
+        let single = obj.evaluate_mean(&[0.5], 0, &mut rng);
+        assert!(single.is_finite());
+    }
+
+    #[test]
+    fn clamp_unit_clamps() {
+        let mut p = vec![-0.5, 0.3, 1.7];
+        clamp_unit(&mut p);
+        assert_eq!(p, vec![0.0, 0.3, 1.0]);
+    }
+}

@@ -1,0 +1,41 @@
+//! # `tolerance-pomdp`
+//!
+//! Finite Markov decision models and solvers for the TOLERANCE reproduction.
+//!
+//! The paper formalizes its two control problems as classical operations
+//! research problems:
+//!
+//! * Problem 1 (optimal intrusion recovery) is a partially observed MDP — the
+//!   *machine replacement problem* — whose exact solution is obtained with
+//!   dynamic programming over alpha-vector value functions
+//!   ([`solvers::IncrementalPruning`], the paper's IP baseline, Table 2) and
+//!   whose structure (Theorem 1) is a belief threshold.
+//! * Problem 2 (optimal replication factor) is a constrained MDP — the
+//!   *inventory replenishment problem* — solved exactly through the
+//!   occupation-measure linear program of Algorithm 2 ([`cmdp::Cmdp`]).
+//!
+//! This crate provides the generic model types ([`pomdp::Pomdp`],
+//! [`mdp::Mdp`], [`cmdp::Cmdp`]), belief-state machinery
+//! ([`belief::Belief`]), alpha-vector value functions ([`alpha`]), the exact
+//! solvers ([`solvers`]), and structural checks used to verify the
+//! assumptions of Theorems 1–2 ([`structure`]).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod alpha;
+pub mod belief;
+pub mod cmdp;
+pub mod error;
+pub mod mdp;
+pub mod pomdp;
+pub mod solvers;
+pub mod structure;
+
+pub use alpha::{AlphaVector, ValueFunction};
+pub use belief::Belief;
+pub use cmdp::{Cmdp, CmdpConstraint, CmdpSolution, ConstraintSense};
+pub use error::{PomdpError, Result};
+pub use mdp::{Mdp, MdpSolution};
+pub use pomdp::Pomdp;
+pub use solvers::IncrementalPruning;

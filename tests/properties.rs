@@ -1,0 +1,159 @@
+//! Property-based tests (proptest) on the core invariants of the workspace:
+//! belief updates stay in the simplex, the node transition function stays
+//! stochastic over the whole admissible parameter range, the simplex LP
+//! solver returns feasible optima, metrics stay in range, and threshold
+//! strategies respect the BTR constraint for arbitrary belief sequences.
+
+use proptest::prelude::*;
+use tolerance::core::node_model::{NodeAction, NodeModel, NodeParameters, NodeState};
+use tolerance::core::prelude::*;
+use tolerance::markov::dist::{BetaBinomial, DiscreteDistribution, PoissonBinomial};
+use tolerance::markov::stats::kl_divergence;
+use tolerance::optim::simplex::{Comparison, LinearProgram};
+
+fn arbitrary_parameters() -> impl Strategy<Value = NodeParameters> {
+    (1e-4..0.5f64, 1e-6..0.05f64, 0.01..0.2f64, 1e-4..0.4f64).prop_map(
+        |(p_attack, p_crash_healthy, p_crash_compromised, p_update)| NodeParameters {
+            p_attack,
+            p_crash_healthy,
+            // Keep assumption C satisfied: p_C2 clearly above p_C1.
+            p_crash_compromised: p_crash_compromised.max(p_crash_healthy * 2.0),
+            p_update: p_update.min(1.0 - p_attack - 1e-3).max(1e-4),
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn node_transition_rows_are_stochastic(parameters in arbitrary_parameters()) {
+        let model = NodeModel::new_unchecked(parameters, ObservationModel::paper_default());
+        let states = [NodeState::Healthy, NodeState::Compromised, NodeState::Crashed];
+        for &state in &states {
+            for &action in &[NodeAction::Wait, NodeAction::Recover] {
+                let total: f64 = states
+                    .iter()
+                    .map(|&next| model.transition_probability(state, action, next))
+                    .sum();
+                prop_assert!((total - 1.0).abs() < 1e-9);
+                for &next in &states {
+                    let p = model.transition_probability(state, action, next);
+                    prop_assert!((0.0..=1.0).contains(&p));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn belief_update_stays_in_unit_interval(
+        parameters in arbitrary_parameters(),
+        belief in 0.0..1.0f64,
+        alerts in proptest::collection::vec(0u64..11, 1..30),
+    ) {
+        let model = NodeModel::new_unchecked(parameters, ObservationModel::paper_default());
+        let mut current = belief;
+        for (index, &observation) in alerts.iter().enumerate() {
+            let action = if index % 7 == 3 { NodeAction::Recover } else { NodeAction::Wait };
+            current = model.belief_update(current, action, observation);
+            prop_assert!((0.0..=1.0).contains(&current), "belief {current} escaped [0, 1]");
+            prop_assert!(current.is_finite());
+        }
+    }
+
+    #[test]
+    fn threshold_strategy_respects_btr_constraint(
+        thresholds in proptest::collection::vec(0.0..=1.0f64, 1..8),
+        delta_r in 2u32..20,
+        belief in 0.0..1.0f64,
+    ) {
+        let strategy = ThresholdStrategy::new(thresholds, Some(delta_r)).unwrap();
+        // Regardless of the belief, the step just before the period boundary
+        // must recover (the BTR constraint of Eq. 6b).
+        prop_assert_eq!(strategy.decide(belief, delta_r - 1), NodeAction::Recover);
+        // And a belief of 1 always recovers.
+        prop_assert_eq!(strategy.decide(1.0, 0), NodeAction::Recover);
+    }
+
+    #[test]
+    fn beta_binomial_is_a_distribution(n in 1u64..40, alpha in 0.1..5.0f64, beta in 0.1..5.0f64) {
+        let dist = BetaBinomial::new(n, alpha, beta).unwrap();
+        let total: f64 = (0..=n).map(|k| dist.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-8);
+        let mean_from_pmf: f64 = (0..=n).map(|k| k as f64 * dist.pmf(k)).sum();
+        prop_assert!((mean_from_pmf - dist.mean()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn poisson_binomial_matches_mean_and_support(
+        probabilities in proptest::collection::vec(0.0..=1.0f64, 1..12)
+    ) {
+        let dist = PoissonBinomial::new(probabilities.clone()).unwrap();
+        let n = probabilities.len() as u64;
+        let total: f64 = (0..=n).map(|k| dist.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-8);
+        let mean_from_pmf: f64 = (0..=n).map(|k| k as f64 * dist.pmf(k)).sum();
+        prop_assert!((mean_from_pmf - dist.mean()).abs() < 1e-8);
+        prop_assert_eq!(dist.pmf(n + 1), 0.0);
+    }
+
+    #[test]
+    fn kl_divergence_is_nonnegative(
+        p_weights in proptest::collection::vec(0.01..1.0f64, 2..10),
+    ) {
+        let total_p: f64 = p_weights.iter().sum();
+        let p: Vec<f64> = p_weights.iter().map(|w| w / total_p).collect();
+        // q is a shifted copy of p (still positive everywhere).
+        let mut q_weights = p_weights.clone();
+        q_weights.rotate_left(1);
+        let total_q: f64 = q_weights.iter().sum();
+        let q: Vec<f64> = q_weights.iter().map(|w| w / total_q).collect();
+        let divergence = kl_divergence(&p, &q).unwrap();
+        prop_assert!(divergence >= -1e-12);
+        prop_assert!(kl_divergence(&p, &p).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn lp_solutions_are_feasible(
+        capacities in proptest::collection::vec(0.5..5.0f64, 2..6),
+    ) {
+        // minimize sum(x) subject to x_i <= capacity_i and sum(x) >= half the
+        // total capacity. The solver's answer must satisfy every constraint.
+        let n = capacities.len();
+        let target: f64 = capacities.iter().sum::<f64>() / 2.0;
+        let mut lp = LinearProgram::new(n, vec![1.0; n]).unwrap();
+        for (i, &capacity) in capacities.iter().enumerate() {
+            let mut row = vec![0.0; n];
+            row[i] = 1.0;
+            lp.add_constraint(row, Comparison::LessEqual, capacity).unwrap();
+        }
+        lp.add_constraint(vec![1.0; n], Comparison::GreaterEqual, target).unwrap();
+        let solution = lp.solve().unwrap();
+        let total: f64 = solution.values.iter().sum();
+        prop_assert!(total >= target - 1e-6);
+        prop_assert!((total - target).abs() < 1e-6, "optimum should be tight at the bound");
+        for (value, &capacity) in solution.values.iter().zip(&capacities) {
+            prop_assert!(*value >= -1e-9);
+            prop_assert!(*value <= capacity + 1e-6);
+        }
+    }
+
+    #[test]
+    fn metrics_stay_in_valid_ranges(
+        events in proptest::collection::vec((0usize..6, 0usize..3), 1..100),
+        delays in proptest::collection::vec(0u64..500, 0..20),
+    ) {
+        let mut metrics = EvaluationMetrics::new();
+        for (failed, recoveries) in &events {
+            metrics.record_step(*failed, 2, *recoveries);
+        }
+        for delay in &delays {
+            metrics.record_recovery_delay(*delay);
+        }
+        let report = metrics.report();
+        prop_assert!((0.0..=1.0).contains(&report.availability));
+        prop_assert!((0.0..=1.0).contains(&report.recovery_frequency));
+        prop_assert!(report.time_to_recovery >= 0.0);
+        prop_assert_eq!(report.steps, events.len() as u64);
+    }
+}
