@@ -34,7 +34,11 @@ fn bench_episode_simulation(c: &mut Criterion) {
     let strategy = ThresholdStrategy::stationary(0.76).expect("valid");
     c.bench_function("alg1_episode_simulation", |b| {
         let mut rng = StdRng::seed_from_u64(1);
-        b.iter(|| problem.simulate_strategy(&strategy, 100, &mut rng).average_cost);
+        b.iter(|| {
+            problem
+                .simulate_strategy(&strategy, 100, &mut rng)
+                .average_cost
+        });
     });
 }
 
@@ -56,5 +60,10 @@ fn bench_incremental_pruning_backup(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_belief_update, bench_episode_simulation, bench_incremental_pruning_backup);
+criterion_group!(
+    benches,
+    bench_belief_update,
+    bench_episode_simulation,
+    bench_incremental_pruning_backup
+);
 criterion_main!(benches);

@@ -1,0 +1,150 @@
+//! Benchmark of the shared scenario runtime on the Table-7 evaluation grid:
+//! serial vs parallel wall-clock for `EvaluationGrid::quick()` (16 cells ×
+//! 3 seeds), plus Criterion-style timings of a single grid cell.
+//!
+//! Besides the console report, the bench writes `BENCH_eval_grid.json` to
+//! the working directory — the first entry of the repository's performance
+//! trajectory for the experiment engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use serde::Serialize;
+use std::time::Instant;
+use tolerance_core::runtime::Runner;
+use tolerance_emulation::EvaluationGrid;
+
+fn quick_grid() -> EvaluationGrid {
+    EvaluationGrid::quick()
+}
+
+#[derive(Serialize)]
+struct Measurement {
+    mode: String,
+    threads: usize,
+    seconds_best: f64,
+    seconds_all: Vec<f64>,
+}
+
+#[derive(Serialize)]
+struct GridBenchReport {
+    benchmark: String,
+    cells: usize,
+    seeds: usize,
+    horizon: u32,
+    total_runs: usize,
+    host_threads: usize,
+    measurements: Vec<Measurement>,
+    parallel_speedup: f64,
+}
+
+fn time_runner(grid: &EvaluationGrid, runner: &Runner, repetitions: usize) -> Vec<f64> {
+    (0..repetitions)
+        .map(|_| {
+            let start = Instant::now();
+            let rows = grid.run_with(runner).expect("grid runs");
+            assert_eq!(rows.len(), grid.cells().len());
+            start.elapsed().as_secs_f64()
+        })
+        .collect()
+}
+
+fn best(samples: &[f64]) -> f64 {
+    samples.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Times the full quick grid serial vs parallel and writes the JSON
+/// artifact seeding the performance trajectory.
+fn bench_grid_serial_vs_parallel(_c: &mut Criterion) {
+    let grid = quick_grid();
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let repetitions = 3;
+
+    let mut measurements = Vec::new();
+    let serial_samples = time_runner(&grid, &Runner::serial(), repetitions);
+    measurements.push(Measurement {
+        mode: "serial".into(),
+        threads: 1,
+        seconds_best: best(&serial_samples),
+        seconds_all: serial_samples,
+    });
+    for &threads in &[2usize, 4] {
+        let samples = time_runner(&grid, &Runner::with_threads(threads), repetitions);
+        measurements.push(Measurement {
+            mode: format!("parallel-{threads}"),
+            threads,
+            seconds_best: best(&samples),
+            seconds_all: samples,
+        });
+    }
+    let parallel_samples = time_runner(&grid, &Runner::parallel(), repetitions);
+    measurements.push(Measurement {
+        mode: "parallel-auto".into(),
+        threads: host_threads,
+        seconds_best: best(&parallel_samples),
+        seconds_all: parallel_samples,
+    });
+
+    let serial_best = measurements[0].seconds_best;
+    let parallel_best = measurements.last().expect("non-empty").seconds_best;
+    let report = GridBenchReport {
+        benchmark: "eval_grid".into(),
+        cells: grid.cells().len(),
+        seeds: grid.seeds,
+        horizon: grid.horizon,
+        total_runs: grid.cells().len() * grid.seeds,
+        host_threads,
+        parallel_speedup: serial_best / parallel_best,
+        measurements,
+    };
+    for m in &report.measurements {
+        println!(
+            "bench eval_grid/{:<14} best {:8.3}s over {} reps ({} threads)",
+            m.mode,
+            m.seconds_best,
+            m.seconds_all.len(),
+            m.threads
+        );
+    }
+    println!(
+        "bench eval_grid: {} runs, serial {:.3}s vs parallel {:.3}s => speedup {:.2}x on {} host threads",
+        report.total_runs, serial_best, parallel_best, report.parallel_speedup, host_threads
+    );
+    // Anchor the artifact at the workspace root regardless of the bench's
+    // working directory.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_eval_grid.json");
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(err) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {err}", path.display());
+            }
+        }
+        Err(err) => eprintln!("warning: could not serialize bench report: {err}"),
+    }
+}
+
+/// Criterion-style timing of a single grid cell through the runner (the
+/// unit of work the parallel pool schedules).
+fn bench_single_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval_grid_cell");
+    group.sample_size(5);
+    let grid = quick_grid();
+    let cells = grid.cells();
+    for (index, label) in [(0usize, "tolerance"), (1, "no-recovery")] {
+        let cell = &cells[index];
+        group.bench_with_input(BenchmarkId::from_parameter(label), cell, |b, cell| {
+            b.iter(|| {
+                Runner::serial()
+                    .run_seeds(cell, &[0])
+                    .expect("cell runs")
+                    .len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grid_serial_vs_parallel, bench_single_cell);
+criterion_main!(benches);

@@ -9,18 +9,22 @@ fn bench_minbft(c: &mut Criterion) {
     group.sample_size(10);
     for &(replicas, clients) in &[(3usize, 1usize), (3, 20), (7, 1), (7, 20), (10, 20)] {
         let id = format!("n{replicas}_c{clients}");
-        group.bench_with_input(BenchmarkId::from_parameter(id), &(replicas, clients), |b, &(n, k)| {
-            b.iter(|| {
-                let mut cluster = MinBftCluster::new(MinBftConfig {
-                    initial_replicas: n,
-                    seed: 7,
-                    ..MinBftConfig::default()
+        group.bench_with_input(
+            BenchmarkId::from_parameter(id),
+            &(replicas, clients),
+            |b, &(n, k)| {
+                b.iter(|| {
+                    let mut cluster = MinBftCluster::new(MinBftConfig {
+                        initial_replicas: n,
+                        seed: 7,
+                        ..MinBftConfig::default()
+                    });
+                    let report = cluster.run_throughput(k, 5.0);
+                    assert!(report.completed_requests > 0);
+                    report.requests_per_second
                 });
-                let report = cluster.run_throughput(k, 5.0);
-                assert!(report.completed_requests > 0);
-                report.requests_per_second
-            });
-        });
+            },
+        );
     }
     group.finish();
 }

@@ -13,20 +13,37 @@
 //! suite finishes in minutes; `--full` uses the paper's settings (20 seeds,
 //! 1000-step emulation runs, `s_max` up to 2048) and can take hours, exactly
 //! like the original evaluation.
+//!
+//! Seed sweeps and parameter grids execute through the shared scenario
+//! runtime of `tolerance-core` and run in parallel by default (one worker
+//! per CPU). Metric values, solver objectives and convergence shapes are
+//! independent of the execution mode; per-solver **wall-clock columns**
+//! (Table 2 / Fig. 8) are measured while sibling jobs compete for the same
+//! cores, so pass `--serial` when the timing numbers themselves are the
+//! result being reported.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 use tolerance_bench::{sparkline, write_json};
-use tolerance_core::prelude::*;
 use tolerance_core::node_model::NodeState;
+use tolerance_core::prelude::*;
 use tolerance_emulation::{ContainerCatalog, EvaluationGrid, IdsModel, TraceDataset};
 use tolerance_markov::stats::SummaryStatistics;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
-    let experiment = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".to_string());
+    let runner = if args.iter().any(|a| a == "--serial") {
+        Runner::serial()
+    } else {
+        Runner::parallel()
+    };
+    let experiment = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
 
     let run = |name: &str| experiment == name || experiment == "all";
 
@@ -40,7 +57,7 @@ fn main() {
         fig6();
     }
     if run("table2") || run("fig7") || run("fig8") {
-        table2_fig7_fig8(full);
+        table2_fig7_fig8(full, &runner);
     }
     if run("fig9") {
         fig9(full);
@@ -52,13 +69,13 @@ fn main() {
         fig11(full);
     }
     if run("table7") || run("fig12") {
-        table7_fig12(full);
+        table7_fig12(full, &runner);
     }
     if run("fig13") {
         fig13();
     }
     if run("fig14") {
-        fig14(full);
+        fig14(full, &runner);
     }
     if run("fig15") {
         fig15();
@@ -98,14 +115,22 @@ fn fig4() {
             ..Default::default()
         },
     );
-    let value_function = solver.solve_finite_horizon(&pomdp, 25).expect("solver succeeds");
+    let value_function = solver
+        .solve_finite_horizon(&pomdp, 25)
+        .expect("solver succeeds");
     let mut rows = Vec::new();
     for i in 0..=20 {
         let b = i as f64 / 20.0;
-        rows.push(Fig4Row { belief: b, value: value_function.evaluate(&[1.0 - b, b]) });
+        rows.push(Fig4Row {
+            belief: b,
+            value: value_function.evaluate(&[1.0 - b, b]),
+        });
     }
     let values: Vec<f64> = rows.iter().map(|r| r.value).collect();
-    println!("alpha vectors on the lower envelope: {}", value_function.len());
+    println!(
+        "alpha vectors on the lower envelope: {}",
+        value_function.len()
+    );
     println!("V*(b) over b in [0,1]: {}", sparkline(&values));
     for row in &rows {
         println!("  b = {:.2}  V* = {:.3}", row.belief, row.value);
@@ -140,7 +165,10 @@ fn fig5() {
             "  t=10: {:.3}  t=50: {:.3}  t=100: {:.3}",
             curve[10], curve[50], curve[100]
         );
-        series.push(Fig5Series { p_attack, probability_by_t: curve });
+        series.push(Fig5Series {
+            p_attack,
+            probability_by_t: curve,
+        });
     }
     write_json("fig5_compromise_probability", &series);
 }
@@ -175,7 +203,13 @@ fn fig6() {
         println!("N1 = {n1:<4} {}", sparkline(&curve));
         reliability_rows.push((n1, curve));
     }
-    write_json("fig6_mttf_reliability", &Fig6Output { mttf: mttf_rows, reliability: reliability_rows });
+    write_json(
+        "fig6_mttf_reliability",
+        &Fig6Output {
+            mttf: mttf_rows,
+            reliability: reliability_rows,
+        },
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -191,8 +225,59 @@ struct Table2Row {
     convergence: Vec<(f64, f64)>,
 }
 
-fn table2_fig7_fig8(full: bool) {
+/// One seed's result of a Problem 1 solver run: cost, wall-clock seconds,
+/// and (for seed 0) the convergence curve.
+type SolverSample = (f64, f64, Vec<(f64, f64)>);
+
+/// Sweeps a solver over seeds through the shared runtime and aggregates the
+/// per-seed costs and times into a [`Table2Row`] — the aggregation that was
+/// previously repeated for every optimizer family.
+fn solver_row(
+    runner: &Runner,
+    method: &str,
+    delta_label: &str,
+    seeds: usize,
+    solve: impl Fn(u64) -> tolerance_core::Result<Option<SolverSample>> + Sync,
+) -> Option<Table2Row> {
+    let scenario = FnScenario::new(format!("alg1/{method}/dr-{delta_label}"), solve);
+    let seed_grid: Vec<u64> = (0..seeds as u64).collect();
+    let samples: Vec<SolverSample> = runner
+        .run_seeds(&scenario, &seed_grid)
+        .expect("solver scenarios only fail per-seed")
+        .into_iter()
+        .flatten()
+        .collect();
+    if samples.is_empty() {
+        return None;
+    }
+    let costs: Vec<f64> = samples.iter().map(|(cost, _, _)| *cost).collect();
+    let seconds: Vec<f64> = samples.iter().map(|(_, secs, _)| *secs).collect();
+    let convergence = samples[0].2.clone();
+    let stats = SummaryStatistics::from_samples(&costs).expect("non-empty");
+    let time = SummaryStatistics::from_samples(&seconds).expect("non-empty");
+    println!(
+        "  Delta_R={delta_label:<4} {method:<5} time {:7.2}s  J_i = {}",
+        time.mean,
+        stats.format_pm(3)
+    );
+    Some(Table2Row {
+        method: method.to_string(),
+        delta_r: delta_label.to_string(),
+        seconds: time.mean,
+        cost_mean: stats.mean,
+        cost_ci95: stats.ci95_half_width,
+        convergence,
+    })
+}
+
+fn table2_fig7_fig8(full: bool, runner: &Runner) {
     println!("\n== Table 2 / Figs. 7-8: Problem 1 solvers across Delta_R ==");
+    if runner.mode() != tolerance_core::runtime::ExecutionMode::Serial {
+        println!(
+            "  (note: seeds run concurrently; wall-clock columns include CPU \
+             contention — use --serial for contention-free timings)"
+        );
+    }
     let seeds = if full { 20 } else { 3 };
     let delta_rs: Vec<Option<u32>> = if full {
         vec![Some(5), Some(15), Some(25), None]
@@ -211,60 +296,53 @@ fn table2_fig7_fig8(full: bool) {
         let model = paper_model(0.1);
         let problem = RecoveryProblem::new(model, RecoveryConfig { eta: 2.0, delta_r })
             .expect("valid problem");
-        let delta_label = delta_r.map(|d| d.to_string()).unwrap_or_else(|| "inf".into());
+        let delta_label = delta_r
+            .map(|d| d.to_string())
+            .unwrap_or_else(|| "inf".into());
 
-        for kind in [OptimizerKind::Cem, OptimizerKind::De, OptimizerKind::Bo, OptimizerKind::Spsa] {
-            let mut costs = Vec::new();
-            let mut seconds = Vec::new();
-            let mut convergence = Vec::new();
-            for seed in 0..seeds {
-                let mut rng = StdRng::seed_from_u64(seed as u64);
-                let alg = Alg1::new(Alg1Config { seed: seed as u64, ..alg_config.clone() });
+        for kind in [
+            OptimizerKind::Cem,
+            OptimizerKind::De,
+            OptimizerKind::Bo,
+            OptimizerKind::Spsa,
+        ] {
+            let row = solver_row(runner, kind.name(), &delta_label, seeds, |seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let alg = Alg1::new(Alg1Config {
+                    seed,
+                    ..alg_config.clone()
+                });
                 match alg.solve(&problem, kind, &mut rng) {
                     Ok(outcome) => {
-                        costs.push(outcome.objective);
-                        seconds.push(outcome.optimization.elapsed_seconds());
-                        if seed == 0 {
-                            convergence = outcome
-                                .optimization
-                                .history
-                                .iter()
-                                .map(|p| (p.elapsed_seconds, p.best_value))
-                                .collect();
-                        }
+                        let convergence = outcome
+                            .optimization
+                            .history
+                            .iter()
+                            .map(|p| (p.elapsed_seconds, p.best_value))
+                            .collect();
+                        Ok(Some((
+                            outcome.objective,
+                            outcome.optimization.elapsed_seconds(),
+                            convergence,
+                        )))
                     }
-                    Err(err) => eprintln!("  {} failed: {err}", kind.name()),
+                    Err(err) => {
+                        eprintln!("  {} failed: {err}", kind.name());
+                        Ok(None)
+                    }
                 }
-            }
-            if costs.is_empty() {
-                continue;
-            }
-            let stats = SummaryStatistics::from_samples(&costs).expect("non-empty");
-            let time = SummaryStatistics::from_samples(&seconds).expect("non-empty");
-            println!(
-                "  Delta_R={delta_label:<4} {:<5} time {:7.2}s  J_i = {}",
-                kind.name(),
-                time.mean,
-                stats.format_pm(3)
-            );
-            rows.push(Table2Row {
-                method: kind.name().to_string(),
-                delta_r: delta_label.clone(),
-                seconds: time.mean,
-                cost_mean: stats.mean,
-                cost_ci95: stats.ci95_half_width,
-                convergence,
             });
+            rows.extend(row);
         }
 
         // PPO baseline.
         {
-            let mut costs = Vec::new();
-            let mut seconds = Vec::new();
-            let mut convergence = Vec::new();
-            for seed in 0..seeds {
-                let mut rng = StdRng::seed_from_u64(100 + seed as u64);
-                let alg = Alg1::new(Alg1Config { seed: seed as u64, ..alg_config.clone() });
+            let row = solver_row(runner, "ppo", &delta_label, seeds, |seed| {
+                let mut rng = StdRng::seed_from_u64(100 + seed);
+                let alg = Alg1::new(Alg1Config {
+                    seed,
+                    ..alg_config.clone()
+                });
                 let ppo_config = tolerance_optim::ppo::PpoConfig {
                     iterations: if full { 20 } else { 5 },
                     batch_size: if full { 2048 } else { 512 },
@@ -276,36 +354,20 @@ fn table2_fig7_fig8(full: bool) {
                 let start = std::time::Instant::now();
                 match alg.solve_with_ppo(&problem, ppo_config, &mut rng) {
                     Ok((cost, result)) => {
-                        costs.push(cost);
-                        seconds.push(start.elapsed().as_secs_f64());
-                        if seed == 0 {
-                            convergence = result
-                                .history
-                                .iter()
-                                .map(|p| (p.elapsed_seconds, p.best_value))
-                                .collect();
-                        }
+                        let convergence = result
+                            .history
+                            .iter()
+                            .map(|p| (p.elapsed_seconds, p.best_value))
+                            .collect();
+                        Ok(Some((cost, start.elapsed().as_secs_f64(), convergence)))
                     }
-                    Err(err) => eprintln!("  ppo failed: {err}"),
+                    Err(err) => {
+                        eprintln!("  ppo failed: {err}");
+                        Ok(None)
+                    }
                 }
-            }
-            if !costs.is_empty() {
-                let stats = SummaryStatistics::from_samples(&costs).expect("non-empty");
-                let time = SummaryStatistics::from_samples(&seconds).expect("non-empty");
-                println!(
-                    "  Delta_R={delta_label:<4} ppo   time {:7.2}s  J_i = {}",
-                    time.mean,
-                    stats.format_pm(3)
-                );
-                rows.push(Table2Row {
-                    method: "ppo".into(),
-                    delta_r: delta_label.clone(),
-                    seconds: time.mean,
-                    cost_mean: stats.mean,
-                    cost_ci95: stats.ci95_half_width,
-                    convergence,
-                });
-            }
+            });
+            rows.extend(row);
         }
 
         // Incremental pruning baseline (exact DP); only for bounded horizons,
@@ -397,13 +459,12 @@ fn fig10(full: bool) {
     for clients in [1usize, 20] {
         let mut series = Vec::new();
         for n in 3..=10usize {
-            let mut cluster = tolerance_consensus::MinBftCluster::new(
-                tolerance_consensus::MinBftConfig {
+            let mut cluster =
+                tolerance_consensus::MinBftCluster::new(tolerance_consensus::MinBftConfig {
                     initial_replicas: n,
                     seed: 42,
                     ..Default::default()
-                },
-            );
+                });
             let report = cluster.run_throughput(clients, duration);
             series.push(report.requests_per_second);
             rows.push(report);
@@ -448,7 +509,11 @@ fn fig11(full: bool) {
         );
         rows.push(Fig11Row {
             container_id: container.id,
-            vulnerabilities: container.vulnerabilities.iter().map(|s| s.to_string()).collect(),
+            vulnerabilities: container
+                .vulnerabilities
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
             healthy: empirical.healthy_distribution().to_vec(),
             compromised: empirical.compromised_distribution().to_vec(),
             kl_divergence: divergence,
@@ -460,10 +525,21 @@ fn fig11(full: bool) {
 // ---------------------------------------------------------------------------
 // Table 7 / Fig. 12: TOLERANCE vs baselines.
 // ---------------------------------------------------------------------------
-fn table7_fig12(full: bool) {
+fn table7_fig12(full: bool, runner: &Runner) {
     println!("\n== Table 7 / Fig. 12: TOLERANCE vs baseline strategies ==");
-    let grid = if full { EvaluationGrid::default() } else { EvaluationGrid::quick() };
-    match grid.run() {
+    let grid = if full {
+        EvaluationGrid::default()
+    } else {
+        EvaluationGrid::quick()
+    };
+    let cells = grid.cells().len();
+    println!(
+        "  ({} cells x {} seeds on {} worker threads)",
+        cells,
+        grid.seeds,
+        runner.effective_threads(cells * grid.seeds)
+    );
+    match grid.run_with(runner) {
         Ok(rows) => {
             println!(
                 "  {:<18} {:>3} {:>5} | {:>16} {:>18} {:>14}",
@@ -474,7 +550,9 @@ fn table7_fig12(full: bool) {
                     "  {:<18} {:>3} {:>5} | {:7.3} ± {:5.3} {:9.2} ± {:6.2} {:7.3} ± {:5.3}",
                     row.strategy,
                     row.initial_nodes,
-                    row.delta_r.map(|d| d.to_string()).unwrap_or_else(|| "inf".into()),
+                    row.delta_r
+                        .map(|d| d.to_string())
+                        .unwrap_or_else(|| "inf".into()),
                     row.availability.0,
                     row.availability.1,
                     row.time_to_recovery.0,
@@ -509,17 +587,34 @@ fn fig13() {
     .expect("valid problem")
     .solve()
     .expect("feasible");
-    println!("  pi(add | s): {}", sparkline(replication.add_probabilities()));
+    println!(
+        "  pi(add | s): {}",
+        sparkline(replication.add_probabilities())
+    );
     for (s, p) in replication.add_probabilities().iter().enumerate() {
         println!("    s = {s:<3} add probability {p:.2}");
     }
 
     let model = paper_model(0.1);
-    let problem = RecoveryProblem::new(model, RecoveryConfig { eta: 2.0, delta_r: None })
-        .expect("valid problem");
-    let alg = Alg1::new(Alg1Config { evaluation_episodes: 30, horizon: 100, iterations: 15, population: 30, seed: 3 });
+    let problem = RecoveryProblem::new(
+        model,
+        RecoveryConfig {
+            eta: 2.0,
+            delta_r: None,
+        },
+    )
+    .expect("valid problem");
+    let alg = Alg1::new(Alg1Config {
+        evaluation_episodes: 30,
+        horizon: 100,
+        iterations: 15,
+        population: 30,
+        seed: 3,
+    });
     let mut rng = StdRng::seed_from_u64(3);
-    let outcome = alg.solve(&problem, OptimizerKind::Cem, &mut rng).expect("alg1 succeeds");
+    let outcome = alg
+        .solve(&problem, OptimizerKind::Cem, &mut rng)
+        .expect("alg1 succeeds");
     let threshold = outcome.strategy.threshold_at(0);
     println!("  recovery threshold alpha* = {threshold:.2} (paper reports 0.76)");
     write_json(
@@ -541,7 +636,7 @@ struct Fig14Row {
     optimal_cost: f64,
 }
 
-fn fig14(full: bool) {
+fn fig14(full: bool, runner: &Runner) {
     println!("\n== Fig. 14: optimal recovery cost vs detection-model KL divergence ==");
     let lambdas = if full {
         vec![0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
@@ -549,32 +644,63 @@ fn fig14(full: bool) {
         vec![0.0, 0.3, 0.6, 0.9]
     };
     let base_observation = ObservationModel::paper_default();
+    // Each lambda is one cell of a parameter grid; the shared runtime
+    // executes the whole sensitivity sweep in parallel.
+    let cells: Vec<_> = lambdas
+        .iter()
+        .map(|&lambda| {
+            let base_observation = base_observation.clone();
+            FnScenario::new(format!("fig14/lambda-{lambda}"), move |seed| {
+                let degraded = base_observation.degrade(lambda).expect("valid lambda");
+                let divergence = degraded.detection_divergence().unwrap_or(f64::INFINITY);
+                let parameters = tolerance_core::node_model::NodeParameters::default();
+                let model = NodeModel::new_unchecked(parameters, degraded);
+                let solved = RecoveryProblem::new(
+                    model,
+                    RecoveryConfig {
+                        eta: 2.0,
+                        delta_r: None,
+                    },
+                )
+                .and_then(|problem| {
+                    let alg = Alg1::new(Alg1Config {
+                        evaluation_episodes: if full { 50 } else { 15 },
+                        horizon: 100,
+                        iterations: if full { 20 } else { 8 },
+                        population: 20,
+                        seed,
+                    });
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    alg.solve(&problem, OptimizerKind::Cem, &mut rng)
+                });
+                // A failing lambda is skipped, not fatal: the rest of the
+                // sweep still produces its rows.
+                match solved {
+                    Ok(outcome) => Ok(Some(Fig14Row {
+                        lambda,
+                        kl_divergence: divergence,
+                        optimal_cost: outcome.objective,
+                    })),
+                    Err(err) => {
+                        eprintln!("  lambda = {lambda}: {err}");
+                        Ok(None)
+                    }
+                }
+            })
+        })
+        .collect();
     let mut rows = Vec::new();
-    for lambda in lambdas {
-        let degraded = base_observation.degrade(lambda).expect("valid lambda");
-        let divergence = degraded.detection_divergence().unwrap_or(f64::INFINITY);
-        let parameters = tolerance_core::node_model::NodeParameters::default();
-        let model = NodeModel::new_unchecked(parameters, degraded);
-        let problem = RecoveryProblem::new(model, RecoveryConfig { eta: 2.0, delta_r: None })
-            .expect("valid problem");
-        let alg = Alg1::new(Alg1Config {
-            evaluation_episodes: if full { 50 } else { 15 },
-            horizon: 100,
-            iterations: if full { 20 } else { 8 },
-            population: 20,
-            seed: 14,
-        });
-        let mut rng = StdRng::seed_from_u64(14);
-        match alg.solve(&problem, OptimizerKind::Cem, &mut rng) {
-            Ok(outcome) => {
+    match runner.run_cells(&cells, &[14]) {
+        Ok(outcomes) => {
+            for row in outcomes.into_iter().flatten().flatten() {
                 println!(
-                    "  lambda = {lambda:.1}  D_KL = {divergence:6.3}  J* = {:.3}",
-                    outcome.objective
+                    "  lambda = {:.1}  D_KL = {:6.3}  J* = {:.3}",
+                    row.lambda, row.kl_divergence, row.optimal_cost
                 );
-                rows.push(Fig14Row { lambda, kl_divergence: divergence, optimal_cost: outcome.objective });
+                rows.push(row);
             }
-            Err(err) => eprintln!("  lambda = {lambda}: {err}"),
         }
+        Err(err) => eprintln!("  sensitivity sweep failed: {err}"),
     }
     write_json("fig14_sensitivity", &rows);
     println!("(lower divergence => less informative IDS => higher optimal cost)");
@@ -586,11 +712,25 @@ fn fig14(full: bool) {
 fn fig15() {
     println!("\n== Fig. 15: recovery thresholds alpha*_t within a BTR period (Delta_R = 20) ==");
     let model = paper_model(0.1);
-    let problem = RecoveryProblem::new(model, RecoveryConfig { eta: 2.0, delta_r: Some(20) })
-        .expect("valid problem");
-    let alg = Alg1::new(Alg1Config { evaluation_episodes: 25, horizon: 100, iterations: 15, population: 30, seed: 15 });
+    let problem = RecoveryProblem::new(
+        model,
+        RecoveryConfig {
+            eta: 2.0,
+            delta_r: Some(20),
+        },
+    )
+    .expect("valid problem");
+    let alg = Alg1::new(Alg1Config {
+        evaluation_episodes: 25,
+        horizon: 100,
+        iterations: 15,
+        population: 30,
+        seed: 15,
+    });
     let mut rng = StdRng::seed_from_u64(15);
-    let outcome = alg.solve(&problem, OptimizerKind::Cem, &mut rng).expect("alg1 succeeds");
+    let outcome = alg
+        .solve(&problem, OptimizerKind::Cem, &mut rng)
+        .expect("alg1 succeeds");
     let thresholds = outcome.strategy.thresholds().to_vec();
     println!("  alpha*_t over the period: {}", sparkline(&thresholds));
     for (t, threshold) in thresholds.iter().enumerate() {
@@ -629,14 +769,21 @@ fn fig18(full: bool) {
     let catalogue = ContainerCatalog::paper_catalog();
     let mut rng = StdRng::seed_from_u64(18);
     let traces = if full { 640 } else { 200 };
-    let dataset = TraceDataset::generate(catalogue.by_id(1).expect("container 1"), traces, 60, &mut rng);
+    let dataset = TraceDataset::generate(
+        catalogue.by_id(1).expect("container 1"),
+        traces,
+        60,
+        &mut rng,
+    );
     let mut divergences = dataset.metric_divergences();
     divergences.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
     for (kind, divergence) in &divergences {
         println!("  {:<28} D_KL = {divergence:.3}", kind.name());
     }
-    let serializable: Vec<(String, f64)> =
-        divergences.iter().map(|(k, d)| (k.name().to_string(), *d)).collect();
+    let serializable: Vec<(String, f64)> = divergences
+        .iter()
+        .map(|(k, d)| (k.name().to_string(), *d))
+        .collect();
     write_json("fig18_metric_divergences", &serializable);
 }
 

@@ -56,8 +56,9 @@ impl KeyPair {
     /// Derives a key pair for a node from a seed (deterministic, so tests are
     /// reproducible).
     pub fn derive(node: NodeId, seed: u64) -> Self {
-        let secret = digest(&[node.to_le_bytes().as_slice(), seed.to_le_bytes().as_slice()].concat()).0
-            ^ 0x9e37_79b9_7f4a_7c15;
+        let secret =
+            digest(&[node.to_le_bytes().as_slice(), seed.to_le_bytes().as_slice()].concat()).0
+                ^ 0x9e37_79b9_7f4a_7c15;
         KeyPair { node, secret }
     }
 
@@ -68,7 +69,10 @@ impl KeyPair {
 
     /// Signs a message digest.
     pub fn sign(&self, message: Digest) -> Signature {
-        Signature { signer: self.node, tag: keyed_tag(self.secret, self.node, message) }
+        Signature {
+            signer: self.node,
+            tag: keyed_tag(self.secret, self.node, message),
+        }
     }
 
     /// Verifies a signature produced by this key pair.
@@ -135,7 +139,10 @@ mod tests {
         assert_eq!(digest(b"hello"), digest(b"hello"));
         assert_ne!(digest(b"hello"), digest(b"hellp"));
         assert_ne!(digest(b""), digest(b"x"));
-        assert_ne!(combine(digest(b"a"), digest(b"b")), combine(digest(b"b"), digest(b"a")));
+        assert_ne!(
+            combine(digest(b"a"), digest(b"b")),
+            combine(digest(b"b"), digest(b"a"))
+        );
     }
 
     #[test]
@@ -154,10 +161,16 @@ mod tests {
         // A different message fails.
         assert!(!directory.verify(digest(b"request 8"), &signature));
         // Claiming a different signer fails.
-        let forged = Signature { signer: bob.node(), tag: signature.tag };
+        let forged = Signature {
+            signer: bob.node(),
+            tag: signature.tag,
+        };
         assert!(!directory.verify(message, &forged));
         // Unknown signers fail.
-        let unknown = Signature { signer: 99, tag: signature.tag };
+        let unknown = Signature {
+            signer: 99,
+            tag: signature.tag,
+        };
         assert!(!directory.verify(message, &unknown));
     }
 

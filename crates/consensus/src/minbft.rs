@@ -309,7 +309,10 @@ impl MinBftCluster {
     ///
     /// Panics if fewer than 2 replicas are requested.
     pub fn new(config: MinBftConfig) -> Self {
-        assert!(config.initial_replicas >= 2, "MinBFT needs at least two replicas");
+        assert!(
+            config.initial_replicas >= 2,
+            "MinBFT needs at least two replicas"
+        );
         let membership: Vec<NodeId> = (0..config.initial_replicas as NodeId).collect();
         let mut directory = KeyDirectory::new();
         for &id in &membership {
@@ -317,7 +320,12 @@ impl MinBftCluster {
         }
         let replicas = membership
             .iter()
-            .map(|&id| (id, Replica::new(id, membership.clone(), directory.clone(), config.seed)))
+            .map(|&id| {
+                (
+                    id,
+                    Replica::new(id, membership.clone(), directory.clone(), config.seed),
+                )
+            })
             .collect();
         let network = SimNetwork::new(config.network);
         let rng = StdRng::seed_from_u64(config.seed);
@@ -386,8 +394,15 @@ impl MinBftCluster {
     pub fn submit(&mut self, client: NodeId, operation: Operation) {
         let request = {
             let state = self.clients.get_mut(&client).expect("unknown client");
-            assert!(state.outstanding.is_none(), "client already has an outstanding request");
-            let request = Request { client, id: state.next_request_id, operation };
+            assert!(
+                state.outstanding.is_none(),
+                "client already has an outstanding request"
+            );
+            let request = Request {
+                client,
+                id: state.next_request_id,
+                operation,
+            };
             state.next_request_id += 1;
             state.outstanding = Some((request, HashMap::new(), 0.0));
             request
@@ -397,7 +412,8 @@ impl MinBftCluster {
             *started = now;
         }
         let members = self.membership.clone();
-        self.network.broadcast(client, &members, &Message::Request(request), &mut self.rng);
+        self.network
+            .broadcast(client, &members, &Message::Request(request), &mut self.rng);
     }
 
     /// Marks a replica as compromised with the given behaviour.
@@ -406,7 +422,10 @@ impl MinBftCluster {
     ///
     /// Panics if the replica is unknown.
     pub fn set_byzantine(&mut self, replica: NodeId, mode: ByzantineMode) {
-        self.replicas.get_mut(&replica).expect("unknown replica").byzantine = mode;
+        self.replicas
+            .get_mut(&replica)
+            .expect("unknown replica")
+            .byzantine = mode;
     }
 
     /// Crashes a replica (it stops processing and the network drops its
@@ -478,7 +497,8 @@ impl MinBftCluster {
             replica.commit_votes.clear();
             replica.prepared.clear();
         }
-        let mut new_replica = Replica::new(id, new_membership, self.directory.clone(), self.config.seed);
+        let mut new_replica =
+            Replica::new(id, new_membership, self.directory.clone(), self.config.seed);
         new_replica.needs_state = true;
         self.replicas.insert(id, new_replica);
         // State transfer to the newcomer.
@@ -561,7 +581,10 @@ impl MinBftCluster {
 
     /// Whether the client still has an unanswered request in flight.
     pub fn has_outstanding_request(&self, client: NodeId) -> bool {
-        self.clients.get(&client).map(|c| c.outstanding.is_some()).unwrap_or(false)
+        self.clients
+            .get(&client)
+            .map(|c| c.outstanding.is_some())
+            .unwrap_or(false)
     }
 
     /// The service value stored at a replica (for tests).
@@ -633,7 +656,8 @@ impl MinBftCluster {
         // message when it becomes free.
         let busy = self.busy_until.get(&to).copied().unwrap_or(0.0);
         let handle_time = busy.max(time);
-        self.busy_until.insert(to, handle_time + self.config.processing_time);
+        self.busy_until
+            .insert(to, handle_time + self.config.processing_time);
 
         if to >= CLIENT_ID_BASE {
             self.handle_client_message(from, to, message, handle_time);
@@ -644,14 +668,21 @@ impl MinBftCluster {
 
     fn handle_client_message(&mut self, from: NodeId, to: NodeId, message: Message, time: SimTime) {
         let f = self.fault_threshold();
-        let Some(client) = self.clients.get_mut(&to) else { return };
-        if let Message::Reply { request_id, value, .. } = message {
-            let Some((request, votes, started)) = &mut client.outstanding else { return };
+        let Some(client) = self.clients.get_mut(&to) else {
+            return;
+        };
+        if let Message::Reply {
+            request_id, value, ..
+        } = message
+        {
+            let Some((request, votes, started)) = &mut client.outstanding else {
+                return;
+            };
             if request.id != request_id {
                 return;
             }
             votes.entry(value).or_default().insert(from);
-            let accepted = votes.values().any(|v| v.len() >= f + 1);
+            let accepted = votes.values().any(|v| v.len() > f);
             if accepted {
                 client.completed += 1;
                 client.latencies.push(time - *started);
@@ -665,12 +696,20 @@ impl MinBftCluster {
         }
     }
 
-    fn handle_replica_message(&mut self, from: NodeId, to: NodeId, message: Message, time: SimTime) {
+    fn handle_replica_message(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        message: Message,
+        time: SimTime,
+    ) {
         let mut outgoing: Vec<(NodeId, Message)> = Vec::new();
         let mut broadcast: Vec<Message> = Vec::new();
         {
             let f = hybrid_fault_threshold(self.membership.len(), 0);
-            let Some(replica) = self.replicas.get_mut(&to) else { return };
+            let Some(replica) = self.replicas.get_mut(&to) else {
+                return;
+            };
             if replica.crashed || replica.byzantine == ByzantineMode::Silent {
                 return;
             }
@@ -678,7 +717,12 @@ impl MinBftCluster {
                 Message::Request(request) => {
                     handle_request(replica, request, time, &mut broadcast);
                 }
-                Message::Prepare { view, sequence, request, ui } => {
+                Message::Prepare {
+                    view,
+                    sequence,
+                    request,
+                    ui,
+                } => {
                     handle_prepare(replica, from, view, sequence, request, ui, &mut broadcast);
                     // Commit votes may already have arrived for this sequence.
                     execute_ready(
@@ -689,7 +733,12 @@ impl MinBftCluster {
                         &mut broadcast,
                     );
                 }
-                Message::Commit { view, sequence, request_digest, ui } => {
+                Message::Commit {
+                    view,
+                    sequence,
+                    request_digest,
+                    ui,
+                } => {
                     handle_commit(
                         replica,
                         from,
@@ -703,7 +752,10 @@ impl MinBftCluster {
                         &mut broadcast,
                     );
                 }
-                Message::Checkpoint { sequence, state_digest } => {
+                Message::Checkpoint {
+                    sequence,
+                    state_digest,
+                } => {
                     replica.checkpoints.push((sequence, state_digest));
                 }
                 Message::ViewChange { new_view, .. } => {
@@ -711,7 +763,7 @@ impl MinBftCluster {
                         let votes = replica.view_change_votes.entry(new_view).or_default();
                         votes.insert(from);
                         votes.insert(replica.id);
-                        if votes.len() >= f + 1 {
+                        if votes.len() > f {
                             replica.view = new_view;
                             replica.commit_votes.clear();
                             replica.prepared.clear();
@@ -737,7 +789,11 @@ impl MinBftCluster {
                         }
                     }
                 }
-                Message::NewView { view, membership, next_sequence } => {
+                Message::NewView {
+                    view,
+                    membership,
+                    next_sequence,
+                } => {
                     if view >= replica.view {
                         replica.view = view;
                         replica.membership = membership;
@@ -747,7 +803,12 @@ impl MinBftCluster {
                         replica.request_first_seen.clear();
                     }
                 }
-                Message::StateTransfer { value, executed, view, membership } => {
+                Message::StateTransfer {
+                    value,
+                    executed,
+                    view,
+                    membership,
+                } => {
                     if replica.needs_state && executed.len() >= replica.executed.len() {
                         replica.value = value;
                         replica.executed = executed;
@@ -767,7 +828,8 @@ impl MinBftCluster {
         self.network.advance_to(time + self.config.processing_time);
         for message in broadcast {
             let corrupted = self.maybe_corrupt(to, &message);
-            self.network.broadcast(to, &members, &corrupted, &mut self.rng);
+            self.network
+                .broadcast(to, &members, &corrupted, &mut self.rng);
         }
         for (dest, message) in outgoing {
             let corrupted = self.maybe_corrupt(to, &message);
@@ -779,17 +841,27 @@ impl MinBftCluster {
     /// message. The USIG certificate cannot be forged, so an `Arbitrary`
     /// replica can only corrupt the unprotected payload fields.
     fn maybe_corrupt(&mut self, sender: NodeId, message: &Message) -> Message {
-        let mode = self.replicas.get(&sender).map(|r| r.byzantine).unwrap_or(ByzantineMode::Correct);
+        let mode = self
+            .replicas
+            .get(&sender)
+            .map(|r| r.byzantine)
+            .unwrap_or(ByzantineMode::Correct);
         if mode != ByzantineMode::Arbitrary {
             return message.clone();
         }
         match message {
-            Message::Reply { request_id, sequence, .. } => Message::Reply {
+            Message::Reply {
+                request_id,
+                sequence,
+                ..
+            } => Message::Reply {
                 request_id: *request_id,
                 value: self.rng.random::<u64>(),
                 sequence: *sequence,
             },
-            Message::Commit { view, sequence, ui, .. } => Message::Commit {
+            Message::Commit {
+                view, sequence, ui, ..
+            } => Message::Commit {
                 view: *view,
                 sequence: *sequence,
                 request_digest: digest(&self.rng.random::<u64>().to_le_bytes()),
@@ -817,11 +889,17 @@ impl MinBftCluster {
         }
         let members = self.membership.clone();
         for (client_id, request) in retransmissions {
-            self.network.broadcast(client_id, &members, &Message::Request(request), &mut self.rng);
+            self.network.broadcast(
+                client_id,
+                &members,
+                &Message::Request(request),
+                &mut self.rng,
+            );
         }
         let mut votes: Vec<(NodeId, u64)> = Vec::new();
         for replica in self.replicas.values_mut() {
-            if replica.crashed || replica.byzantine == ByzantineMode::Silent || replica.is_leader() {
+            if replica.crashed || replica.byzantine == ByzantineMode::Silent || replica.is_leader()
+            {
                 continue;
             }
             let stalled = replica
@@ -841,7 +919,10 @@ impl MinBftCluster {
             self.network.broadcast(
                 id,
                 &members,
-                &Message::ViewChange { new_view, last_executed },
+                &Message::ViewChange {
+                    new_view,
+                    last_executed,
+                },
                 &mut self.rng,
             );
         }
@@ -858,11 +939,25 @@ fn propose(replica: &mut Replica, request: Request, broadcast: &mut Vec<Message>
     let ui = replica.usig.create_ui(request.digest());
     replica.prepared.insert(sequence, request);
     // The leader's PREPARE counts as its COMMIT vote.
-    replica.commit_votes.entry((sequence, request.digest())).or_default().insert(replica.id);
-    broadcast.push(Message::Prepare { view: replica.view, sequence, request, ui });
+    replica
+        .commit_votes
+        .entry((sequence, request.digest()))
+        .or_default()
+        .insert(replica.id);
+    broadcast.push(Message::Prepare {
+        view: replica.view,
+        sequence,
+        request,
+        ui,
+    });
 }
 
-fn handle_request(replica: &mut Replica, request: Request, time: SimTime, broadcast: &mut Vec<Message>) {
+fn handle_request(
+    replica: &mut Replica,
+    request: Request,
+    time: SimTime,
+    broadcast: &mut Vec<Message>,
+) {
     let key = (request.client, request.id);
     if replica.seen_requests.contains(&key) {
         return;
@@ -893,10 +988,15 @@ fn handle_prepare(
         return;
     }
     replica.prepared.insert(sequence, request);
-    let votes = replica.commit_votes.entry((sequence, request.digest())).or_default();
+    let votes = replica
+        .commit_votes
+        .entry((sequence, request.digest()))
+        .or_default();
     votes.insert(from);
     votes.insert(replica.id);
-    replica.request_first_seen.remove(&(request.client, request.id));
+    replica
+        .request_first_seen
+        .remove(&(request.client, request.id));
     let own_ui = replica.usig.create_ui(request.digest());
     broadcast.push(Message::Commit {
         view,
@@ -928,7 +1028,11 @@ fn handle_commit(
     if !replica.verifier.verify_certificate(request_digest, &ui) {
         return;
     }
-    replica.commit_votes.entry((sequence, request_digest)).or_default().insert(from);
+    replica
+        .commit_votes
+        .entry((sequence, request_digest))
+        .or_default()
+        .insert(from);
     execute_ready(replica, f, checkpoint_period, outgoing, broadcast);
 }
 
@@ -943,11 +1047,13 @@ fn execute_ready(
 ) {
     loop {
         let next = replica.last_executed + 1;
-        let Some(request) = replica.prepared.get(&next).copied() else { break };
+        let Some(request) = replica.prepared.get(&next).copied() else {
+            break;
+        };
         let quorum_met = replica
             .commit_votes
             .get(&(next, request.digest()))
-            .map(|votes| votes.len() >= f + 1)
+            .map(|votes| votes.len() > f)
             .unwrap_or(false);
         if !quorum_met {
             break;
@@ -960,12 +1066,18 @@ fn execute_ready(
         replica.executed.push(request.digest());
         replica.last_executed = next;
         replica.seen_requests.insert((request.client, request.id));
-        replica.request_first_seen.remove(&(request.client, request.id));
+        replica
+            .request_first_seen
+            .remove(&(request.client, request.id));
         outgoing.push((
             request.client,
-            Message::Reply { request_id: request.id, value: replica.value, sequence: next },
+            Message::Reply {
+                request_id: request.id,
+                value: replica.value,
+                sequence: next,
+            },
         ));
-        if checkpoint_period > 0 && replica.last_executed % checkpoint_period == 0 {
+        if checkpoint_period > 0 && replica.last_executed.is_multiple_of(checkpoint_period) {
             broadcast.push(Message::Checkpoint {
                 sequence: replica.last_executed,
                 state_digest: replica.state_digest(),
@@ -981,7 +1093,11 @@ mod tests {
     fn cluster(n: usize) -> MinBftCluster {
         MinBftCluster::new(MinBftConfig {
             initial_replicas: n,
-            network: NetworkConfig { latency: 0.002, jitter: 0.001, loss_rate: 0.0 },
+            network: NetworkConfig {
+                latency: 0.002,
+                jitter: 0.001,
+                loss_rate: 0.0,
+            },
             request_timeout: 0.5,
             ..MinBftConfig::default()
         })
@@ -1055,8 +1171,15 @@ mod tests {
         // Drive time forward past the request timeout so followers vote.
         cluster.run_until(3.0);
         cluster.run_until_quiet(30.0);
-        assert!(cluster.view_changes() > 0, "a view change should have occurred");
-        assert_eq!(cluster.completed_requests(client), 1, "request should complete after view change");
+        assert!(
+            cluster.view_changes() > 0,
+            "a view change should have occurred"
+        );
+        assert_eq!(
+            cluster.completed_requests(client),
+            1,
+            "request should complete after view change"
+        );
         assert!(cluster.logs_are_consistent());
     }
 
@@ -1070,7 +1193,11 @@ mod tests {
         cluster.set_byzantine(1, ByzantineMode::Arbitrary);
         cluster.recover_replica(1);
         cluster.run_until_quiet(10.0);
-        assert_eq!(cluster.replica_value(1), Some(11), "state transfer must restore the value");
+        assert_eq!(
+            cluster.replica_value(1),
+            Some(11),
+            "state transfer must restore the value"
+        );
         // And the recovered replica participates again.
         cluster.submit(client, Operation::Write(12));
         cluster.run_until_quiet(20.0);
@@ -1088,7 +1215,11 @@ mod tests {
         let new_id = cluster.add_replica();
         cluster.run_until_quiet(10.0);
         assert_eq!(cluster.num_replicas(), 5);
-        assert_eq!(cluster.replica_value(new_id), Some(3), "joining replica receives the state");
+        assert_eq!(
+            cluster.replica_value(new_id),
+            Some(3),
+            "joining replica receives the state"
+        );
 
         cluster.evict_replica(1);
         assert_eq!(cluster.num_replicas(), 4);

@@ -29,19 +29,31 @@ pub struct NetworkConfig {
 impl Default for NetworkConfig {
     fn default() -> Self {
         // Replica-to-replica defaults mirroring the paper's Gbit/s + 0.05% loss setup.
-        NetworkConfig { latency: 0.002, jitter: 0.001, loss_rate: 0.0005 }
+        NetworkConfig {
+            latency: 0.002,
+            jitter: 0.001,
+            loss_rate: 0.0005,
+        }
     }
 }
 
 impl NetworkConfig {
     /// The client-to-replica link profile of the paper (100 Mbit/s, 0.1% loss).
     pub fn client_link() -> Self {
-        NetworkConfig { latency: 0.010, jitter: 0.005, loss_rate: 0.001 }
+        NetworkConfig {
+            latency: 0.010,
+            jitter: 0.005,
+            loss_rate: 0.001,
+        }
     }
 
     /// A lossless, zero-latency network (useful in unit tests).
     pub fn ideal() -> Self {
-        NetworkConfig { latency: 0.0, jitter: 0.0, loss_rate: 0.0 }
+        NetworkConfig {
+            latency: 0.0,
+            jitter: 0.0,
+            loss_rate: 0.0,
+        }
     }
 }
 
@@ -165,7 +177,12 @@ impl<M> SimNetwork<M> {
         self.queue.push(Reverse(Scheduled {
             time,
             sequence: self.sequence,
-            delivery: Delivery { time, from, to, message },
+            delivery: Delivery {
+                time,
+                from,
+                to,
+                message,
+            },
         }));
     }
 
@@ -273,8 +290,11 @@ mod tests {
 
     #[test]
     fn messages_are_delivered_in_time_order() {
-        let mut net: SimNetwork<&'static str> =
-            SimNetwork::new(NetworkConfig { latency: 0.01, jitter: 0.05, loss_rate: 0.0 });
+        let mut net: SimNetwork<&'static str> = SimNetwork::new(NetworkConfig {
+            latency: 0.01,
+            jitter: 0.05,
+            loss_rate: 0.0,
+        });
         let mut r = rng();
         for _ in 0..50 {
             net.send(0, 1, "m", &mut r);
@@ -295,15 +315,22 @@ mod tests {
 
     #[test]
     fn loss_rate_drops_messages() {
-        let mut net: SimNetwork<u32> =
-            SimNetwork::new(NetworkConfig { latency: 0.0, jitter: 0.0, loss_rate: 0.5 });
+        let mut net: SimNetwork<u32> = SimNetwork::new(NetworkConfig {
+            latency: 0.0,
+            jitter: 0.0,
+            loss_rate: 0.5,
+        });
         let mut r = rng();
         for i in 0..1000 {
             net.send(0, 1, i, &mut r);
         }
         let stats = net.stats();
         assert_eq!(stats.sent, 1000);
-        assert!(stats.dropped > 350 && stats.dropped < 650, "dropped {}", stats.dropped);
+        assert!(
+            stats.dropped > 350 && stats.dropped < 650,
+            "dropped {}",
+            stats.dropped
+        );
     }
 
     #[test]
@@ -317,7 +344,9 @@ mod tests {
         net.send(0, 2, 7, &mut r);
         net.send(2, 0, 8, &mut r);
         net.send(0, 1, 9, &mut r);
-        let delivered: Vec<u32> = std::iter::from_fn(|| net.next_delivery()).map(|d| d.message).collect();
+        let delivered: Vec<u32> = std::iter::from_fn(|| net.next_delivery())
+            .map(|d| d.message)
+            .collect();
         assert_eq!(delivered, vec![9]);
         net.heal_partitions();
         net.send(0, 2, 10, &mut r);
@@ -326,8 +355,11 @@ mod tests {
 
     #[test]
     fn partition_while_in_flight_drops_message() {
-        let mut net: SimNetwork<u32> =
-            SimNetwork::new(NetworkConfig { latency: 1.0, jitter: 0.0, loss_rate: 0.0 });
+        let mut net: SimNetwork<u32> = SimNetwork::new(NetworkConfig {
+            latency: 1.0,
+            jitter: 0.0,
+            loss_rate: 0.0,
+        });
         let mut r = rng();
         net.send(0, 1, 1, &mut r);
         net.partition(&[0], &[1]);
@@ -355,7 +387,9 @@ mod tests {
         let mut net: SimNetwork<u8> = SimNetwork::new(NetworkConfig::ideal());
         let mut r = rng();
         net.broadcast(0, &[0, 1, 2, 3], &1, &mut r);
-        let mut recipients: Vec<NodeId> = std::iter::from_fn(|| net.next_delivery()).map(|d| d.to).collect();
+        let mut recipients: Vec<NodeId> = std::iter::from_fn(|| net.next_delivery())
+            .map(|d| d.to)
+            .collect();
         recipients.sort_unstable();
         assert_eq!(recipients, vec![1, 2, 3]);
     }

@@ -27,10 +27,27 @@ pub struct LogEntry {
 
 #[derive(Debug, Clone, PartialEq)]
 enum RaftMessage {
-    RequestVote { term: u64, last_log_index: u64, last_log_term: u64 },
-    Vote { term: u64, granted: bool },
-    AppendEntries { term: u64, prev_index: u64, prev_term: u64, entries: Vec<LogEntry>, leader_commit: u64 },
-    AppendReply { term: u64, success: bool, match_index: u64 },
+    RequestVote {
+        term: u64,
+        last_log_index: u64,
+        last_log_term: u64,
+    },
+    Vote {
+        term: u64,
+        granted: bool,
+    },
+    AppendEntries {
+        term: u64,
+        prev_index: u64,
+        prev_term: u64,
+        entries: Vec<LogEntry>,
+        leader_commit: u64,
+    },
+    AppendReply {
+        term: u64,
+        success: bool,
+        match_index: u64,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,8 +149,7 @@ impl RaftCluster {
         let mut nodes: HashMap<NodeId, RaftNode> = HashMap::new();
         for &id in &members {
             let mut node = RaftNode::new(id);
-            node.election_deadline =
-                config.election_timeout * (1.0 + rng.random::<f64>());
+            node.election_deadline = config.election_timeout * (1.0 + rng.random::<f64>());
             nodes.insert(id, node);
         }
         RaftCluster {
@@ -183,17 +199,23 @@ impl RaftCluster {
             n.crashed = false;
             n.role = Role::Follower;
             n.votes_received = 0;
-            n.election_deadline = now + self.config.election_timeout * (1.0 + self.rng.random::<f64>());
+            n.election_deadline =
+                now + self.config.election_timeout * (1.0 + self.rng.random::<f64>());
         }
     }
 
     /// Proposes a command through the current leader. Returns `false` if
     /// there is no leader.
     pub fn propose(&mut self, command: &str) -> bool {
-        let Some(leader_id) = self.leader() else { return false };
+        let Some(leader_id) = self.leader() else {
+            return false;
+        };
         let term = self.nodes[&leader_id].term;
         let node = self.nodes.get_mut(&leader_id).expect("leader exists");
-        node.log.push(LogEntry { term, command: command.to_string() });
+        node.log.push(LogEntry {
+            term,
+            command: command.to_string(),
+        });
         true
     }
 
@@ -296,16 +318,29 @@ impl RaftCluster {
     }
 
     fn replicate_from(&mut self, leader_id: NodeId) {
-        let peers: Vec<NodeId> = self.members.iter().copied().filter(|&m| m != leader_id).collect();
+        let peers: Vec<NodeId> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|&m| m != leader_id)
+            .collect();
         for peer in peers {
             let (term, prev_index, prev_term, entries, leader_commit) = {
                 let leader = &self.nodes[&leader_id];
-                let next = leader.next_index.get(&peer).copied().unwrap_or(leader.last_log_index() + 1);
+                let next = leader
+                    .next_index
+                    .get(&peer)
+                    .copied()
+                    .unwrap_or(leader.last_log_index() + 1);
                 let prev_index = next.saturating_sub(1);
                 let prev_term = if prev_index == 0 {
                     0
                 } else {
-                    leader.log.get(prev_index as usize - 1).map(|e| e.term).unwrap_or(0)
+                    leader
+                        .log
+                        .get(prev_index as usize - 1)
+                        .map(|e| e.term)
+                        .unwrap_or(0)
                 };
                 let entries: Vec<LogEntry> = leader
                     .log
@@ -313,12 +348,24 @@ impl RaftCluster {
                     .skip(prev_index as usize)
                     .cloned()
                     .collect();
-                (leader.term, prev_index, prev_term, entries, leader.commit_index)
+                (
+                    leader.term,
+                    prev_index,
+                    prev_term,
+                    entries,
+                    leader.commit_index,
+                )
             };
             self.network.send(
                 leader_id,
                 peer,
-                RaftMessage::AppendEntries { term, prev_index, prev_term, entries, leader_commit },
+                RaftMessage::AppendEntries {
+                    term,
+                    prev_index,
+                    prev_term,
+                    entries,
+                    leader_commit,
+                },
                 &mut self.rng,
             );
         }
@@ -329,12 +376,18 @@ impl RaftCluster {
         let majority = self.members.len() / 2 + 1;
         let mut replies: Vec<(NodeId, RaftMessage)> = Vec::new();
         {
-            let Some(node) = self.nodes.get_mut(&to) else { return };
+            let Some(node) = self.nodes.get_mut(&to) else {
+                return;
+            };
             if node.crashed {
                 return;
             }
             match message {
-                RaftMessage::RequestVote { term, last_log_index, last_log_term } => {
+                RaftMessage::RequestVote {
+                    term,
+                    last_log_index,
+                    last_log_term,
+                } => {
                     if term > node.term {
                         node.term = term;
                         node.role = Role::Follower;
@@ -351,7 +404,13 @@ impl RaftCluster {
                         node.election_deadline =
                             now + self.config.election_timeout * (1.0 + self.rng.random::<f64>());
                     }
-                    replies.push((from, RaftMessage::Vote { term: node.term, granted }));
+                    replies.push((
+                        from,
+                        RaftMessage::Vote {
+                            term: node.term,
+                            granted,
+                        },
+                    ));
                 }
                 RaftMessage::Vote { term, granted } => {
                     if node.role == Role::Candidate && term == node.term && granted {
@@ -359,8 +418,7 @@ impl RaftCluster {
                         if node.votes_received >= majority {
                             node.role = Role::Leader;
                             let last = node.last_log_index();
-                            node.next_index =
-                                self.members.iter().map(|&m| (m, last + 1)).collect();
+                            node.next_index = self.members.iter().map(|&m| (m, last + 1)).collect();
                             node.match_index = self.members.iter().map(|&m| (m, 0)).collect();
                         }
                     } else if term > node.term {
@@ -369,7 +427,13 @@ impl RaftCluster {
                         node.voted_for = None;
                     }
                 }
-                RaftMessage::AppendEntries { term, prev_index, prev_term, entries, leader_commit } => {
+                RaftMessage::AppendEntries {
+                    term,
+                    prev_index,
+                    prev_term,
+                    entries,
+                    leader_commit,
+                } => {
                     if term >= node.term {
                         node.term = term;
                         node.role = Role::Follower;
@@ -387,25 +451,42 @@ impl RaftCluster {
                             node.log.truncate(prev_index as usize);
                             node.log.extend(entries);
                             let match_index = node.last_log_index();
-                            node.commit_index = leader_commit.min(match_index).max(node.commit_index);
+                            node.commit_index =
+                                leader_commit.min(match_index).max(node.commit_index);
                             replies.push((
                                 from,
-                                RaftMessage::AppendReply { term: node.term, success: true, match_index },
+                                RaftMessage::AppendReply {
+                                    term: node.term,
+                                    success: true,
+                                    match_index,
+                                },
                             ));
                         } else {
                             replies.push((
                                 from,
-                                RaftMessage::AppendReply { term: node.term, success: false, match_index: 0 },
+                                RaftMessage::AppendReply {
+                                    term: node.term,
+                                    success: false,
+                                    match_index: 0,
+                                },
                             ));
                         }
                     } else {
                         replies.push((
                             from,
-                            RaftMessage::AppendReply { term: node.term, success: false, match_index: 0 },
+                            RaftMessage::AppendReply {
+                                term: node.term,
+                                success: false,
+                                match_index: 0,
+                            },
                         ));
                     }
                 }
-                RaftMessage::AppendReply { term, success, match_index } => {
+                RaftMessage::AppendReply {
+                    term,
+                    success,
+                    match_index,
+                } => {
                     if node.role == Role::Leader && term == node.term {
                         if success {
                             node.match_index.insert(from, match_index);
@@ -415,13 +496,13 @@ impl RaftCluster {
                             let last = node.last_log_index();
                             let mut candidate = node.commit_index;
                             for index in (node.commit_index + 1)..=last {
-                                let replicas = 1 + node
-                                    .match_index
-                                    .values()
-                                    .filter(|&&m| m >= index)
-                                    .count();
-                                let entry_term =
-                                    node.log.get(index as usize - 1).map(|e| e.term).unwrap_or(0);
+                                let replicas =
+                                    1 + node.match_index.values().filter(|&&m| m >= index).count();
+                                let entry_term = node
+                                    .log
+                                    .get(index as usize - 1)
+                                    .map(|e| e.term)
+                                    .unwrap_or(0);
                                 if replicas >= majority && entry_term == node.term {
                                     candidate = index;
                                 }
@@ -452,7 +533,11 @@ mod tests {
         RaftCluster::new(RaftConfig {
             members,
             seed,
-            network: NetworkConfig { latency: 0.005, jitter: 0.002, loss_rate: 0.0 },
+            network: NetworkConfig {
+                latency: 0.005,
+                jitter: 0.002,
+                loss_rate: 0.0,
+            },
             ..RaftConfig::default()
         })
     }
@@ -471,7 +556,10 @@ mod tests {
             .filter(|&id| raft.nodes[&id].role == Role::Leader && !raft.nodes[&id].crashed)
             .collect();
         let max_term = leaders.iter().map(|id| raft.term_of(*id)).max().unwrap();
-        let top_leaders = leaders.iter().filter(|id| raft.term_of(**id) == max_term).count();
+        let top_leaders = leaders
+            .iter()
+            .filter(|id| raft.term_of(**id) == max_term)
+            .count();
         assert_eq!(top_leaders, 1);
     }
 
@@ -505,7 +593,12 @@ mod tests {
         assert!(raft.propose("after crash"));
         raft.run_until(8.0);
         // Both surviving members have both entries committed.
-        for &id in raft.members.clone().iter().filter(|&&id| id != first_leader) {
+        for &id in raft
+            .members
+            .clone()
+            .iter()
+            .filter(|&&id| id != first_leader)
+        {
             let log = raft.committed_log(id);
             assert_eq!(log.len(), 2, "node {id} log: {log:?}");
         }
@@ -517,7 +610,12 @@ mod tests {
         let mut raft = cluster(3, 4);
         raft.run_until(2.0);
         let leader = raft.leader().unwrap();
-        let follower = raft.members.iter().copied().find(|&id| id != leader).unwrap();
+        let follower = raft
+            .members
+            .iter()
+            .copied()
+            .find(|&id| id != leader)
+            .unwrap();
         raft.crash(follower);
         assert!(raft.propose("while you were away"));
         raft.run_until(4.0);
@@ -541,7 +639,11 @@ mod tests {
         }
         assert!(raft.propose("stranded"));
         raft.run_until(5.0);
-        assert_eq!(raft.committed_log(leader).len(), 0, "entry must not commit without a majority");
+        assert_eq!(
+            raft.committed_log(leader).len(),
+            0,
+            "entry must not commit without a majority"
+        );
     }
 
     #[test]
@@ -559,8 +661,13 @@ mod tests {
         let mut raft = cluster(5, 8);
         raft.run_until(2.0);
         let leader = raft.leader().unwrap();
-        let followers: Vec<NodeId> =
-            raft.members.iter().copied().filter(|&id| id != leader).take(2).collect();
+        let followers: Vec<NodeId> = raft
+            .members
+            .iter()
+            .copied()
+            .filter(|&id| id != leader)
+            .take(2)
+            .collect();
         for f in followers {
             raft.crash(f);
         }

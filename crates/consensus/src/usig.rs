@@ -63,7 +63,10 @@ impl Usig {
     /// Verifies a unique identifier created by this replica's own service
     /// (used in tests; receivers verify through [`UsigVerifier`]).
     pub fn verify_own(&self, message: Digest, ui: &UniqueIdentifier) -> bool {
-        ui.replica == self.keys.node() && self.keys.verify_own(bind(ui.counter, message), &ui.signature)
+        ui.replica == self.keys.node()
+            && self
+                .keys
+                .verify_own(bind(ui.counter, message), &ui.signature)
     }
 }
 
@@ -90,7 +93,9 @@ impl UsigVerifier {
     /// advancing the per-sender counter window.
     pub fn verify_certificate(&self, message: Digest, ui: &UniqueIdentifier) -> bool {
         ui.signature.signer == ui.replica
-            && self.directory.verify(bind(ui.counter, message), &ui.signature)
+            && self
+                .directory
+                .verify(bind(ui.counter, message), &ui.signature)
     }
 
     /// Verifies the certificate and the monotonicity of the counter: accepts
@@ -195,7 +200,10 @@ mod tests {
         let m2 = digest(b"value B");
         let ui = usig.create_ui(m1);
         assert!(verifier.verify_certificate(m1, &ui));
-        assert!(!verifier.verify_certificate(m2, &ui), "same UI must not certify a different message");
+        assert!(
+            !verifier.verify_certificate(m2, &ui),
+            "same UI must not certify a different message"
+        );
         assert!(verifier.accept(m1, &ui));
         assert!(!verifier.accept(m2, &ui));
     }

@@ -68,7 +68,13 @@ pub struct Alg1Config {
 
 impl Default for Alg1Config {
     fn default() -> Self {
-        Alg1Config { evaluation_episodes: 50, horizon: 100, iterations: 30, population: 40, seed: 0 }
+        Alg1Config {
+            evaluation_episodes: 50,
+            horizon: 100,
+            iterations: 30,
+            population: 40,
+            seed: 0,
+        }
     }
 }
 
@@ -107,7 +113,8 @@ impl Objective for RecoveryObjective<'_> {
             .strategy_from_parameters(point)
             .expect("clamped parameters are always valid thresholds");
         let mut local = rand::rngs::StdRng::seed_from_u64(rng.next_u64());
-        self.problem.evaluate_strategy(&strategy, self.episodes.max(1), self.horizon, &mut local)
+        self.problem
+            .evaluate_strategy(&strategy, self.episodes.max(1), self.horizon, &mut local)
     }
 
     fn evaluate_mean(&self, point: &[f64], _repetitions: usize, rng: &mut dyn RngCore) -> f64 {
@@ -171,7 +178,11 @@ impl Alg1 {
         }
         .map_err(CoreError::from)?;
         let strategy = problem.strategy_from_parameters(&result.best_point)?;
-        Ok(Alg1Outcome { strategy, objective: result.best_value, optimization: result })
+        Ok(Alg1Outcome {
+            strategy,
+            objective: result.best_value,
+            optimization: result,
+        })
     }
 
     /// Solves the recovery problem exactly with Incremental Pruning (the IP
@@ -226,7 +237,11 @@ impl Alg1 {
                 best_value: objective,
             }],
         };
-        Ok(Alg1Outcome { strategy, objective, optimization })
+        Ok(Alg1Outcome {
+            strategy,
+            objective,
+            optimization,
+        })
     }
 
     /// Trains the PPO baseline of Table 2 on the recovery problem and
@@ -244,7 +259,9 @@ impl Alg1 {
     ) -> Result<(f64, OptimizationResult)> {
         let mut environment = RecoveryEnvironment::new(problem.clone(), self.config.horizon);
         let trainer = Ppo::new(ppo_config);
-        let trained = trainer.train(&mut environment, rng).map_err(CoreError::from)?;
+        let trained = trainer
+            .train(&mut environment, rng)
+            .map_err(CoreError::from)?;
         // Evaluate the learned policy on fresh episodes.
         let mut eval_rng = rand::rngs::StdRng::seed_from_u64(self.config.seed.wrapping_add(17));
         let policy = trained.policy;
@@ -314,7 +331,10 @@ impl RecoveryEnvironment {
     }
 
     fn encode(belief: f64, steps_since_recovery: u32, horizon: u32) -> Vec<f64> {
-        vec![belief, (steps_since_recovery as f64 / horizon.max(1) as f64).min(1.0)]
+        vec![
+            belief,
+            (steps_since_recovery as f64 / horizon.max(1) as f64).min(1.0),
+        ]
     }
 }
 
@@ -330,7 +350,7 @@ impl EpisodicEnvironment for RecoveryEnvironment {
     fn reset(&mut self, rng: &mut dyn RngCore) -> Vec<f64> {
         use rand::Rng;
         let p_attack = self.problem.model().parameters().p_attack;
-        self.state = if (&mut *rng).random::<f64>() < p_attack {
+        self.state = if rng.random::<f64>() < p_attack {
             crate::node_model::NodeState::Compromised
         } else {
             crate::node_model::NodeState::Healthy
@@ -346,7 +366,11 @@ impl EpisodicEnvironment for RecoveryEnvironment {
         use crate::node_model::NodeState;
         let model = self.problem.model().clone();
         let eta = self.problem.config().eta;
-        let node_action = if action == 1 { NodeAction::Recover } else { NodeAction::Wait };
+        let node_action = if action == 1 {
+            NodeAction::Recover
+        } else {
+            NodeAction::Wait
+        };
 
         // Observe, update belief, pay the cost, transition.
         let alerts = model.observations().sample(self.state, rng);
@@ -369,8 +393,7 @@ impl EpisodicEnvironment for RecoveryEnvironment {
             .delta_r
             .map(|d| self.steps_since_recovery >= d)
             .unwrap_or(false);
-        let done =
-            self.state == NodeState::Crashed || self.step >= self.horizon || btr_exceeded;
+        let done = self.state == NodeState::Crashed || self.step >= self.horizon || btr_exceeded;
         StepOutcome {
             observation: Self::encode(self.belief, self.steps_since_recovery, self.horizon),
             cost,
@@ -413,7 +436,13 @@ mod tests {
     }
 
     fn fast_config() -> Alg1Config {
-        Alg1Config { evaluation_episodes: 10, horizon: 60, iterations: 10, population: 15, seed: 1 }
+        Alg1Config {
+            evaluation_episodes: 10,
+            horizon: 60,
+            iterations: 10,
+            population: 15,
+            seed: 1,
+        }
     }
 
     #[test]
@@ -434,12 +463,27 @@ mod tests {
     #[test]
     fn alg1_supports_all_optimizer_kinds() {
         let p = problem(None);
-        let config = Alg1Config { evaluation_episodes: 5, horizon: 40, iterations: 4, population: 8, seed: 2 };
+        let config = Alg1Config {
+            evaluation_episodes: 5,
+            horizon: 40,
+            iterations: 4,
+            population: 8,
+            seed: 2,
+        };
         let alg = Alg1::new(config);
-        for kind in [OptimizerKind::Cem, OptimizerKind::De, OptimizerKind::Bo, OptimizerKind::Spsa] {
+        for kind in [
+            OptimizerKind::Cem,
+            OptimizerKind::De,
+            OptimizerKind::Bo,
+            OptimizerKind::Spsa,
+        ] {
             let mut rng = StdRng::seed_from_u64(3);
             let outcome = alg.solve(&p, kind, &mut rng).unwrap();
-            assert!(outcome.objective.is_finite(), "{} produced a non-finite objective", kind.name());
+            assert!(
+                outcome.objective.is_finite(),
+                "{} produced a non-finite objective",
+                kind.name()
+            );
             assert!(!outcome.strategy.thresholds().is_empty());
         }
         assert_eq!(OptimizerKind::Cem.name(), "cem");
@@ -460,7 +504,9 @@ mod tests {
     fn incremental_pruning_baseline_agrees_with_cem() {
         let p = problem(None);
         let alg = Alg1::new(fast_config());
-        let ip = alg.solve_with_incremental_pruning(&p, 0.95, Some(10)).unwrap();
+        let ip = alg
+            .solve_with_incremental_pruning(&p, 0.95, Some(10))
+            .unwrap();
         let mut rng = StdRng::seed_from_u64(11);
         let cem = alg.solve(&p, OptimizerKind::Cem, &mut rng).unwrap();
         // The two methods should produce strategies of comparable quality
@@ -474,13 +520,20 @@ mod tests {
         );
         // IP's threshold must be interior as well.
         let threshold = ip.strategy.threshold_at(0);
-        assert!(threshold > 0.01 && threshold < 1.0, "ip threshold {threshold}");
+        assert!(
+            threshold > 0.01 && threshold < 1.0,
+            "ip threshold {threshold}"
+        );
     }
 
     #[test]
     fn ppo_baseline_trains_and_evaluates() {
         let p = problem(None);
-        let alg = Alg1::new(Alg1Config { evaluation_episodes: 10, horizon: 50, ..fast_config() });
+        let alg = Alg1::new(Alg1Config {
+            evaluation_episodes: 10,
+            horizon: 50,
+            ..fast_config()
+        });
         let mut rng = StdRng::seed_from_u64(13);
         let ppo_config = PpoConfig {
             iterations: 4,
@@ -492,7 +545,10 @@ mod tests {
         };
         let (objective, result) = alg.solve_with_ppo(&p, ppo_config, &mut rng).unwrap();
         assert!(objective.is_finite());
-        assert!(objective < 2.5, "PPO objective {objective} unreasonably high");
+        assert!(
+            objective < 2.5,
+            "PPO objective {objective} unreasonably high"
+        );
         assert_eq!(result.history.len(), 4);
     }
 

@@ -72,7 +72,12 @@ pub struct RecoveryStrategy {
 impl RecoveryStrategy {
     /// Creates a baseline strategy.
     pub fn new(kind: BaselineKind, delta_r: Option<u32>, expected_alerts: f64) -> Self {
-        RecoveryStrategy { kind, delta_r, expected_alerts, steps_since_recovery: 0 }
+        RecoveryStrategy {
+            kind,
+            delta_r,
+            expected_alerts,
+            steps_since_recovery: 0,
+        }
     }
 
     /// Offsets the position within the recovery period, staggering periodic
@@ -152,12 +157,18 @@ mod tests {
     fn periodic_recovers_every_delta_r_steps() {
         let mut strategy = RecoveryStrategy::new(BaselineKind::Periodic, Some(5), 3.0);
         let decisions: Vec<RecoveryDecision> = (0..15).map(|_| strategy.decide()).collect();
-        let recoveries = decisions.iter().filter(|d| **d == RecoveryDecision::Recover).count();
+        let recoveries = decisions
+            .iter()
+            .filter(|d| **d == RecoveryDecision::Recover)
+            .count();
         assert_eq!(recoveries, 3, "one recovery per 5 steps over 15 steps");
         // Recoveries are evenly spaced.
         assert_eq!(decisions[4], RecoveryDecision::Recover);
         assert_eq!(decisions[9], RecoveryDecision::Recover);
-        assert!(!strategy.wants_additional_node(100.0), "periodic never adds nodes");
+        assert!(
+            !strategy.wants_additional_node(100.0),
+            "periodic never adds nodes"
+        );
     }
 
     #[test]
@@ -190,7 +201,13 @@ mod tests {
 
     #[test]
     fn conversion_from_node_action() {
-        assert_eq!(RecoveryDecision::from(NodeAction::Wait), RecoveryDecision::Wait);
-        assert_eq!(RecoveryDecision::from(NodeAction::Recover), RecoveryDecision::Recover);
+        assert_eq!(
+            RecoveryDecision::from(NodeAction::Wait),
+            RecoveryDecision::Wait
+        );
+        assert_eq!(
+            RecoveryDecision::from(NodeAction::Recover),
+            RecoveryDecision::Recover
+        );
     }
 }

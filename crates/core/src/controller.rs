@@ -72,7 +72,9 @@ impl NodeController {
     /// count and returns the action the node should execute.
     pub fn observe_and_decide(&mut self, weighted_alerts: u64) -> NodeAction {
         self.steps += 1;
-        self.belief = self.model.belief_update(self.belief, self.previous_action, weighted_alerts);
+        self.belief = self
+            .model
+            .belief_update(self.belief, self.previous_action, weighted_alerts);
         let action = self.strategy.decide(self.belief, self.steps_since_recovery);
         match action {
             NodeAction::Recover => {
@@ -119,7 +121,11 @@ impl SystemController {
     /// Creates a system controller from a replication strategy computed by
     /// Algorithm 2.
     pub fn new(strategy: ReplicationStrategy) -> Self {
-        SystemController { strategy, additions: 0, evictions: 0 }
+        SystemController {
+            strategy,
+            additions: 0,
+            evictions: 0,
+        }
     }
 
     /// Total nodes added so far.
@@ -140,7 +146,11 @@ impl SystemController {
     /// Processes one time-step given the reported beliefs. A report of
     /// `None` means the node failed to send its belief and is treated as
     /// crashed (Section V-B).
-    pub fn decide<R: Rng + ?Sized>(&mut self, reports: &[Option<f64>], rng: &mut R) -> SystemDecision {
+    pub fn decide<R: Rng + ?Sized>(
+        &mut self,
+        reports: &[Option<f64>],
+        rng: &mut R,
+    ) -> SystemDecision {
         let evict: Vec<usize> = reports
             .iter()
             .enumerate()
@@ -154,7 +164,11 @@ impl SystemController {
         if add_node {
             self.additions += 1;
         }
-        SystemDecision { add_node, evict, estimated_healthy }
+        SystemDecision {
+            add_node,
+            evict,
+            estimated_healthy,
+        }
     }
 }
 
@@ -191,7 +205,10 @@ mod tests {
                 break;
             }
         }
-        assert!(recovered, "sustained max-priority alerts must trigger recovery");
+        assert!(
+            recovered,
+            "sustained max-priority alerts must trigger recovery"
+        );
         assert_eq!(controller.recoveries(), 1);
         assert_eq!(controller.steps_since_recovery(), 0);
         // The belief resets to the attack prior after recovery.
@@ -210,7 +227,10 @@ mod tests {
                 recoveries += 1;
             }
         }
-        assert!(recoveries >= 4, "BTR must force ~1 recovery per 5 steps, got {recoveries}");
+        assert!(
+            recoveries >= 4,
+            "BTR must force ~1 recovery per 5 steps, got {recoveries}"
+        );
         assert_eq!(controller.steps(), 25);
     }
 
@@ -245,7 +265,10 @@ mod tests {
         let decision = controller.decide(&reports, &mut rng);
         assert_eq!(decision.evict, vec![2]);
         assert_eq!(decision.estimated_healthy, 0);
-        assert!(decision.add_node, "with zero healthy nodes the controller must add");
+        assert!(
+            decision.add_node,
+            "with zero healthy nodes the controller must add"
+        );
         assert_eq!(controller.evictions(), 1);
         assert!(controller.additions() >= 1);
 
@@ -253,7 +276,10 @@ mod tests {
         let reports: Vec<Option<f64>> = vec![Some(0.01); 10];
         let decision = controller.decide(&reports, &mut rng);
         assert_eq!(decision.estimated_healthy, 9);
-        assert!(!decision.add_node, "a saturated healthy system should not add nodes");
+        assert!(
+            !decision.add_node,
+            "a saturated healthy system should not add nodes"
+        );
         assert!(controller.strategy().add_probability(9) < 0.5);
     }
 
@@ -268,13 +294,21 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let mut recovered_within = None;
         for t in 0..50 {
-            let alerts = model.observations().sample(NodeState::Compromised, &mut rng);
+            let alerts = model
+                .observations()
+                .sample(NodeState::Compromised, &mut rng);
             if controller.observe_and_decide(alerts) == NodeAction::Recover {
                 recovered_within = Some(t);
                 break;
             }
         }
-        assert!(recovered_within.is_some(), "controller never recovered a compromised node");
-        assert!(recovered_within.unwrap() < 20, "recovery took too long: {recovered_within:?}");
+        assert!(
+            recovered_within.is_some(),
+            "controller never recovered a compromised node"
+        );
+        assert!(
+            recovered_within.unwrap() < 20,
+            "recovery took too long: {recovered_within:?}"
+        );
     }
 }

@@ -23,6 +23,9 @@ pub enum CoreError {
     Solver(String),
     /// An error bubbled up from the probability/Markov layer.
     Markov(String),
+    /// A scenario name was not found in the
+    /// [`ScenarioRegistry`](crate::runtime::ScenarioRegistry).
+    UnknownScenario(String),
 }
 
 impl fmt::Display for CoreError {
@@ -31,9 +34,15 @@ impl fmt::Display for CoreError {
             CoreError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter `{name}`: {reason}")
             }
-            CoreError::Infeasible => write!(f, "replication problem is infeasible for the requested availability"),
+            CoreError::Infeasible => write!(
+                f,
+                "replication problem is infeasible for the requested availability"
+            ),
             CoreError::Solver(why) => write!(f, "solver failure: {why}"),
             CoreError::Markov(why) => write!(f, "probability computation failed: {why}"),
+            CoreError::UnknownScenario(name) => {
+                write!(f, "no scenario named `{name}` is registered")
+            }
         }
     }
 }
@@ -70,7 +79,10 @@ mod tests {
 
     #[test]
     fn display_and_conversions() {
-        let e = CoreError::InvalidParameter { name: "p_a", reason: "must be in (0,1)".into() };
+        let e = CoreError::InvalidParameter {
+            name: "p_a",
+            reason: "must be in (0,1)".into(),
+        };
         assert!(e.to_string().contains("p_a"));
         assert!(CoreError::Infeasible.to_string().contains("infeasible"));
         assert!(CoreError::Solver("x".into()).to_string().contains("x"));

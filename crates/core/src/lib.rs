@@ -22,6 +22,12 @@
 //! * **Metrics** ([`metrics`]) — average availability `T(A)`, average
 //!   time-to-recovery `T(R)` and recovery frequency `F(R)` (Section III-C),
 //!   plus the reliability/MTTF analysis of Fig. 6 ([`reliability`]).
+//! * **Scenario runtime** ([`runtime`]) — the shared experiment engine: a
+//!   [`runtime::Scenario`] abstraction, a parallel [`runtime::Runner`]
+//!   executing seed/parameter grids deterministically, cross-seed
+//!   [`runtime::MetricSummary`] aggregation, a [`runtime::ScenarioRegistry`]
+//!   of named workloads, and the shared strategy factories
+//!   ([`runtime::StrategyKind`] / [`runtime::NodeStrategy`]).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -36,6 +42,7 @@ pub mod observation;
 pub mod recovery;
 pub mod reliability;
 pub mod replication;
+pub mod runtime;
 
 pub use error::{CoreError, Result};
 
@@ -51,4 +58,7 @@ pub mod prelude {
     pub use crate::recovery::{RecoveryConfig, RecoveryProblem, ThresholdStrategy};
     pub use crate::reliability::ReliabilityAnalysis;
     pub use crate::replication::{ReplicationConfig, ReplicationProblem, ReplicationStrategy};
+    pub use crate::runtime::{
+        FnScenario, MetricSummary, Runner, Scenario, ScenarioRegistry, StrategyKind,
+    };
 }

@@ -164,7 +164,11 @@ mod tests {
         assert_close(metrics.report().time_to_recovery, 3.0, 1e-12);
         // An unrecovered intrusion pulls the mean towards the cap.
         metrics.record_unrecovered_intrusion();
-        assert_close(metrics.report().time_to_recovery, (2.0 + 4.0 + 1000.0) / 3.0, 1e-9);
+        assert_close(
+            metrics.report().time_to_recovery,
+            (2.0 + 4.0 + 1000.0) / 3.0,
+            1e-9,
+        );
     }
 
     #[test]

@@ -148,13 +148,19 @@ impl NodeModel {
     pub fn new(parameters: NodeParameters, observations: ObservationModel) -> Result<Self> {
         parameters.validate_theorem1()?;
         observations.validate_theorem1()?;
-        Ok(NodeModel { parameters, observations })
+        Ok(NodeModel {
+            parameters,
+            observations,
+        })
     }
 
     /// Creates a model without validating the Theorem 1 assumptions (used by
     /// sensitivity sweeps that deliberately violate them, e.g. Fig. 14).
     pub fn new_unchecked(parameters: NodeParameters, observations: ObservationModel) -> Self {
-        NodeModel { parameters, observations }
+        NodeModel {
+            parameters,
+            observations,
+        }
     }
 
     /// The transition parameters.
@@ -168,7 +174,12 @@ impl NodeModel {
     }
 
     /// The transition function `f_{N,i}(s' | s, a)` of Eq. (2).
-    pub fn transition_probability(&self, state: NodeState, action: NodeAction, next: NodeState) -> f64 {
+    pub fn transition_probability(
+        &self,
+        state: NodeState,
+        action: NodeAction,
+        next: NodeState,
+    ) -> f64 {
         let p = &self.parameters;
         use NodeAction::*;
         use NodeState::*;
@@ -187,9 +198,7 @@ impl NodeModel {
             // (2h)-(2j): transitions to compromised.
             (Healthy, _, Compromised) => (1.0 - p.p_crash_healthy) * p.p_attack,
             (Compromised, Recover, Compromised) => (1.0 - p.p_crash_compromised) * p.p_attack,
-            (Compromised, Wait, Compromised) => {
-                (1.0 - p.p_crash_compromised) * (1.0 - p.p_update)
-            }
+            (Compromised, Wait, Compromised) => (1.0 - p.p_crash_compromised) * (1.0 - p.p_update),
         }
     }
 
@@ -200,7 +209,11 @@ impl NodeModel {
         state: NodeState,
         action: NodeAction,
     ) -> NodeState {
-        let states = [NodeState::Healthy, NodeState::Compromised, NodeState::Crashed];
+        let states = [
+            NodeState::Healthy,
+            NodeState::Compromised,
+            NodeState::Crashed,
+        ];
         let mut u = rng.random::<f64>();
         for &next in &states {
             u -= self.transition_probability(state, action, next);
@@ -230,7 +243,11 @@ impl NodeModel {
     /// Returns [`CoreError::Markov`] if the rows fail stochastic validation
     /// (cannot happen for validated parameters).
     pub fn wait_chain(&self) -> Result<MarkovChain> {
-        let states = [NodeState::Healthy, NodeState::Compromised, NodeState::Crashed];
+        let states = [
+            NodeState::Healthy,
+            NodeState::Compromised,
+            NodeState::Crashed,
+        ];
         let rows = states
             .iter()
             .map(|&s| {
@@ -290,7 +307,8 @@ impl NodeModel {
             .iter()
             .map(|&s| actions.iter().map(|&a| self.cost(s, a, eta)).collect())
             .collect();
-        tolerance_pomdp::Pomdp::new(transition, observation, cost, discount).map_err(CoreError::from)
+        tolerance_pomdp::Pomdp::new(transition, observation, cost, discount)
+            .map_err(CoreError::from)
     }
 
     /// One Bayesian update of the scalar compromise belief `b = P[S = C]`
@@ -316,7 +334,9 @@ impl NodeModel {
         predicted[1] /= total;
         // Bayes with the observation likelihoods.
         let likelihood_h = self.observations.probability(NodeState::Healthy, alerts);
-        let likelihood_c = self.observations.probability(NodeState::Compromised, alerts);
+        let likelihood_c = self
+            .observations
+            .probability(NodeState::Compromised, alerts);
         let numerator = likelihood_c * predicted[1];
         let denominator = likelihood_h * predicted[0] + likelihood_c * predicted[1];
         if denominator <= 0.0 {
@@ -348,27 +368,39 @@ mod tests {
 
     #[test]
     fn invalid_parameters_are_rejected() {
-        let mut p = NodeParameters::default();
-        p.p_attack = 0.0;
+        let p = NodeParameters {
+            p_attack: 0.0,
+            ..NodeParameters::default()
+        };
         assert!(p.validate_theorem1().is_err());
-        let mut p = NodeParameters::default();
-        p.p_attack = 0.6;
-        p.p_update = 0.5;
+        let p = NodeParameters {
+            p_attack: 0.6,
+            p_update: 0.5,
+            ..NodeParameters::default()
+        };
         assert!(p.validate_theorem1().is_err(), "assumption B must fail");
-        let mut p = NodeParameters::default();
-        p.p_crash_healthy = 0.5;
-        p.p_crash_compromised = 1e-6;
+        let p = NodeParameters {
+            p_crash_healthy: 0.5,
+            p_crash_compromised: 1e-6,
+            ..NodeParameters::default()
+        };
         assert!(p.validate_theorem1().is_err(), "assumption C must fail");
     }
 
     #[test]
     fn transition_rows_are_stochastic_for_all_state_action_pairs() {
         let m = model();
-        let states = [NodeState::Healthy, NodeState::Compromised, NodeState::Crashed];
+        let states = [
+            NodeState::Healthy,
+            NodeState::Compromised,
+            NodeState::Crashed,
+        ];
         for &s in &states {
             for &a in &[NodeAction::Wait, NodeAction::Recover] {
-                let total: f64 =
-                    states.iter().map(|&s2| m.transition_probability(s, a, s2)).sum();
+                let total: f64 = states
+                    .iter()
+                    .map(|&s2| m.transition_probability(s, a, s2))
+                    .sum();
                 assert_close(total, 1.0, 1e-12);
             }
         }
@@ -381,8 +413,16 @@ mod tests {
         use NodeAction::*;
         use NodeState::*;
         assert_close(m.transition_probability(Crashed, Wait, Crashed), 1.0, 1e-15);
-        assert_close(m.transition_probability(Healthy, Wait, Crashed), p.p_crash_healthy, 1e-15);
-        assert_close(m.transition_probability(Compromised, Recover, Crashed), p.p_crash_compromised, 1e-15);
+        assert_close(
+            m.transition_probability(Healthy, Wait, Crashed),
+            p.p_crash_healthy,
+            1e-15,
+        );
+        assert_close(
+            m.transition_probability(Compromised, Recover, Crashed),
+            p.p_crash_compromised,
+            1e-15,
+        );
         assert_close(
             m.transition_probability(Healthy, Wait, Healthy),
             (1.0 - p.p_attack) * (1.0 - p.p_crash_healthy),
@@ -417,7 +457,10 @@ mod tests {
         assert_eq!(m.cost(NodeState::Healthy, NodeAction::Wait, eta), 0.0);
         assert_eq!(m.cost(NodeState::Healthy, NodeAction::Recover, eta), 1.0);
         assert_eq!(m.cost(NodeState::Compromised, NodeAction::Wait, eta), 2.0);
-        assert_eq!(m.cost(NodeState::Compromised, NodeAction::Recover, eta), 1.0);
+        assert_eq!(
+            m.cost(NodeState::Compromised, NodeAction::Recover, eta),
+            1.0
+        );
     }
 
     #[test]
@@ -425,7 +468,10 @@ mod tests {
         // With p_U = 0 the time to leave H is geometric:
         // P[fail by t] = 1 - ((1-pA)(1-pC1))^t ... but P[C or crashed] also
         // includes paths returning to H via p_U; use p_U ~ 0 for the check.
-        let params = NodeParameters { p_update: 1e-12, ..NodeParameters::default() };
+        let params = NodeParameters {
+            p_update: 1e-12,
+            ..NodeParameters::default()
+        };
         let m = NodeModel::new_unchecked(params, ObservationModel::paper_default());
         for t in [1u32, 5, 20, 100] {
             let expected = 1.0 - params.stay_healthy_probability().powi(t as i32);
@@ -444,7 +490,10 @@ mod tests {
         let observations = ObservationModel::paper_default();
         let mut previous = 0.0;
         for p_attack in [0.01, 0.025, 0.05, 0.1] {
-            let params = NodeParameters { p_attack, ..NodeParameters::default() };
+            let params = NodeParameters {
+                p_attack,
+                ..NodeParameters::default()
+            };
             let m = NodeModel::new(params, observations.clone()).unwrap();
             let p = m.failure_probability_by(30).unwrap();
             assert!(p > previous, "p_A = {p_attack} should fail more often");
@@ -457,7 +506,10 @@ mod tests {
         let m = model();
         let quiet = m.belief_update(0.2, NodeAction::Wait, 0);
         let noisy = m.belief_update(0.2, NodeAction::Wait, 9);
-        assert!(noisy > 0.2, "many alerts must increase the belief, got {noisy}");
+        assert!(
+            noisy > 0.2,
+            "many alerts must increase the belief, got {noisy}"
+        );
         assert!(quiet < noisy);
         // Recovery resets the belief towards the attack prior.
         let after_recovery = m.belief_update(0.95, NodeAction::Recover, 0);
@@ -478,7 +530,10 @@ mod tests {
         for _ in 0..20 {
             belief = m.belief_update(belief, NodeAction::Wait, 9);
         }
-        assert!(belief > 0.95, "sustained heavy alerts should saturate the belief, got {belief}");
+        assert!(
+            belief > 0.95,
+            "sustained heavy alerts should saturate the belief, got {belief}"
+        );
     }
 
     #[test]
@@ -517,6 +572,10 @@ mod tests {
         let chain = m.wait_chain().unwrap();
         let hitting = chain.mean_hitting_time(&[1, 2]).unwrap();
         // From healthy, the expected time to compromise-or-crash is ~1/pA = 10.
-        assert!((hitting[0] - 10.0).abs() < 0.5, "hitting time {}", hitting[0]);
+        assert!(
+            (hitting[0] - 10.0).abs() < 0.5,
+            "hitting time {}",
+            hitting[0]
+        );
     }
 }

@@ -28,9 +28,16 @@ impl ObservationModel {
     /// The Beta-binomial observation model of Appendix E:
     /// `Z(·|H) = BetaBin(10, 0.7, 3)`, `Z(·|C) = BetaBin(10, 1, 0.7)`.
     pub fn paper_default() -> Self {
-        let healthy = BetaBinomial::new(10, 0.7, 3.0).expect("valid parameters").pmf_vector();
-        let compromised = BetaBinomial::new(10, 1.0, 0.7).expect("valid parameters").pmf_vector();
-        ObservationModel { healthy, compromised }
+        let healthy = BetaBinomial::new(10, 0.7, 3.0)
+            .expect("valid parameters")
+            .pmf_vector();
+        let compromised = BetaBinomial::new(10, 1.0, 0.7)
+            .expect("valid parameters")
+            .pmf_vector();
+        ObservationModel {
+            healthy,
+            compromised,
+        }
     }
 
     /// Builds a model from explicit per-state probability vectors.
@@ -56,7 +63,10 @@ impl ObservationModel {
                 });
             }
         }
-        Ok(ObservationModel { healthy, compromised })
+        Ok(ObservationModel {
+            healthy,
+            compromised,
+        })
     }
 
     /// Estimates the model from alert-count samples collected while healthy
@@ -148,7 +158,12 @@ impl ObservationModel {
     /// Returns [`CoreError::InvalidParameter`] if any observation has zero
     /// probability or the observation matrix is not TP-2.
     pub fn validate_theorem1(&self) -> Result<()> {
-        if self.healthy.iter().chain(&self.compromised).any(|&p| p <= 0.0) {
+        if self
+            .healthy
+            .iter()
+            .chain(&self.compromised)
+            .any(|&p| p <= 0.0)
+        {
             return Err(CoreError::InvalidParameter {
                 name: "observation model",
                 reason: "assumption D requires every observation to have positive probability in every state"
@@ -223,12 +238,15 @@ mod tests {
     fn empirical_estimation_mimics_fig11() {
         let mut rng = StdRng::seed_from_u64(9);
         let reference = ObservationModel::paper_default();
-        let healthy_samples: Vec<u64> =
-            (0..25_000).map(|_| reference.sample(NodeState::Healthy, &mut rng)).collect();
-        let compromised_samples: Vec<u64> =
-            (0..25_000).map(|_| reference.sample(NodeState::Compromised, &mut rng)).collect();
+        let healthy_samples: Vec<u64> = (0..25_000)
+            .map(|_| reference.sample(NodeState::Healthy, &mut rng))
+            .collect();
+        let compromised_samples: Vec<u64> = (0..25_000)
+            .map(|_| reference.sample(NodeState::Compromised, &mut rng))
+            .collect();
         let estimated =
-            ObservationModel::from_samples(&healthy_samples, &compromised_samples, 11, 1.0).unwrap();
+            ObservationModel::from_samples(&healthy_samples, &compromised_samples, 11, 1.0)
+                .unwrap();
         // Glivenko-Cantelli: the empirical model approaches the true one.
         for o in 0..11u64 {
             assert!(
@@ -249,7 +267,10 @@ mod tests {
         for lambda in [0.0, 0.25, 0.5, 0.75, 1.0] {
             let degraded = model.degrade(lambda).unwrap();
             let divergence = degraded.detection_divergence().unwrap();
-            assert!(divergence <= previous + 1e-12, "divergence must shrink with lambda");
+            assert!(
+                divergence <= previous + 1e-12,
+                "divergence must shrink with lambda"
+            );
             previous = divergence;
         }
         let fully_degraded = model.degrade(1.0).unwrap();
@@ -275,16 +296,14 @@ mod tests {
 
     #[test]
     fn zero_probability_observations_violate_assumption_d() {
-        let model =
-            ObservationModel::from_distributions(vec![1.0, 0.0], vec![0.5, 0.5]).unwrap();
+        let model = ObservationModel::from_distributions(vec![1.0, 0.0], vec![0.5, 0.5]).unwrap();
         assert!(model.validate_theorem1().is_err());
     }
 
     #[test]
     fn non_tp2_model_violates_assumption_e() {
         // Healthy produces more alerts than compromised: reversed ordering.
-        let model =
-            ObservationModel::from_distributions(vec![0.1, 0.9], vec![0.9, 0.1]).unwrap();
+        let model = ObservationModel::from_distributions(vec![0.1, 0.9], vec![0.9, 0.1]).unwrap();
         assert!(model.validate_theorem1().is_err());
     }
 }

@@ -28,7 +28,10 @@ pub struct RecoveryConfig {
 
 impl Default for RecoveryConfig {
     fn default() -> Self {
-        RecoveryConfig { eta: 2.0, delta_r: None }
+        RecoveryConfig {
+            eta: 2.0,
+            delta_r: None,
+        }
     }
 }
 
@@ -65,7 +68,10 @@ impl ThresholdStrategy {
                 reason: "thresholds must lie in [0, 1]".into(),
             });
         }
-        Ok(ThresholdStrategy { thresholds, delta_r })
+        Ok(ThresholdStrategy {
+            thresholds,
+            delta_r,
+        })
     }
 
     /// A single time-independent threshold (the `Δ_R = ∞` case of
@@ -140,13 +146,17 @@ impl RecoveryProblem {
         if config.eta < 1.0 {
             return Err(CoreError::InvalidParameter {
                 name: "eta",
-                reason: format!("the trade-off weight must be at least 1, got {}", config.eta),
+                reason: format!(
+                    "the trade-off weight must be at least 1, got {}",
+                    config.eta
+                ),
             });
         }
         if config.delta_r == Some(0) {
             return Err(CoreError::InvalidParameter {
                 name: "delta_r",
-                reason: "the BTR period must be at least 1 (use None for no periodic recovery)".into(),
+                reason: "the BTR period must be at least 1 (use None for no periodic recovery)"
+                    .into(),
             });
         }
         Ok(RecoveryProblem { model, config })
@@ -232,7 +242,11 @@ impl RecoveryProblem {
             previous_action = action;
         }
         EpisodeOutcome {
-            average_cost: if steps == 0 { 0.0 } else { total_cost / steps as f64 },
+            average_cost: if steps == 0 {
+                0.0
+            } else {
+                total_cost / steps as f64
+            },
             recoveries,
             compromised_steps,
             steps,
@@ -298,8 +312,22 @@ mod tests {
     fn construction_validates_config() {
         let model =
             NodeModel::new(NodeParameters::default(), ObservationModel::paper_default()).unwrap();
-        assert!(RecoveryProblem::new(model.clone(), RecoveryConfig { eta: 0.5, delta_r: None }).is_err());
-        assert!(RecoveryProblem::new(model, RecoveryConfig { eta: 2.0, delta_r: Some(0) }).is_err());
+        assert!(RecoveryProblem::new(
+            model.clone(),
+            RecoveryConfig {
+                eta: 0.5,
+                delta_r: None
+            }
+        )
+        .is_err());
+        assert!(RecoveryProblem::new(
+            model,
+            RecoveryConfig {
+                eta: 2.0,
+                delta_r: Some(0)
+            }
+        )
+        .is_err());
     }
 
     #[test]
@@ -331,7 +359,9 @@ mod tests {
         assert_eq!(problem(None).parameter_dimension(), 1);
         assert_eq!(problem(Some(5)).parameter_dimension(), 4);
         assert_eq!(problem(Some(1)).parameter_dimension(), 1);
-        let s = problem(Some(5)).strategy_from_parameters(&[0.1, 0.2, 0.3, 0.4]).unwrap();
+        let s = problem(Some(5))
+            .strategy_from_parameters(&[0.1, 0.2, 0.3, 0.4])
+            .unwrap();
         assert_eq!(s.thresholds().len(), 4);
     }
 
@@ -346,7 +376,10 @@ mod tests {
         // Never recovering leaves the node compromised (cost ~ eta = 2);
         // always recovering pays ~1 per step. A sensible threshold beats both.
         assert!(never_cost > 1.0, "never-recover cost {never_cost}");
-        assert!((always_cost - 1.0).abs() < 0.2, "always-recover cost {always_cost}");
+        assert!(
+            (always_cost - 1.0).abs() < 0.2,
+            "always-recover cost {always_cost}"
+        );
         let tuned = ThresholdStrategy::stationary(0.75).unwrap();
         let tuned_cost = p.evaluate_strategy(&tuned, 60, 200, &mut rng);
         assert!(tuned_cost < never_cost);
@@ -358,10 +391,13 @@ mod tests {
         let p = problem(Some(10));
         // A threshold of 1.0 would never recover voluntarily; the BTR
         // constraint still forces a recovery every 10 steps.
-        let strategy = p.strategy_from_parameters(&vec![1.0; 9]).unwrap();
+        let strategy = p.strategy_from_parameters(&[1.0; 9]).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         let outcome = p.simulate_strategy(&strategy, 200, &mut rng);
-        assert!(outcome.recoveries >= outcome.steps / 10, "outcome {outcome:?}");
+        assert!(
+            outcome.recoveries >= outcome.steps / 10,
+            "outcome {outcome:?}"
+        );
     }
 
     #[test]
@@ -376,7 +412,10 @@ mod tests {
         let strategy = ThresholdStrategy::stationary(0.9).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         let outcome = p.simulate_strategy(&strategy, 1000, &mut rng);
-        assert!(outcome.steps < 1000, "with 50% crash probability the episode must end early");
+        assert!(
+            outcome.steps < 1000,
+            "with 50% crash probability the episode must end early"
+        );
     }
 
     #[test]

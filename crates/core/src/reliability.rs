@@ -44,9 +44,7 @@ impl ReliabilityAnalysis {
         if !(per_step_failure_probability > 0.0 && per_step_failure_probability < 1.0) {
             return Err(CoreError::InvalidParameter {
                 name: "per_step_failure_probability",
-                reason: format!(
-                    "must lie in (0, 1), got {per_step_failure_probability}"
-                ),
+                reason: format!("must lie in (0, 1), got {per_step_failure_probability}"),
             });
         }
         Ok(ReliabilityAnalysis {
@@ -141,7 +139,10 @@ mod tests {
         for n1 in [10, 25, 50, 100] {
             let analysis = ReliabilityAnalysis::new(n1, 3, 1, 0.1).unwrap();
             let mttf = analysis.mean_time_to_failure().unwrap();
-            assert!(mttf > previous, "MTTF should grow with N1 ({n1}): {mttf} <= {previous}");
+            assert!(
+                mttf > previous,
+                "MTTF should grow with N1 ({n1}): {mttf} <= {previous}"
+            );
             previous = mttf;
         }
     }
@@ -151,9 +152,7 @@ mod tests {
         // Fig. 6a: the p_A = 0.1 curve lies below the p_A = 0.01 curve.
         let aggressive = ReliabilityAnalysis::new(50, 3, 1, 0.1).unwrap();
         let mild = ReliabilityAnalysis::new(50, 3, 1, 0.01).unwrap();
-        assert!(
-            mild.mean_time_to_failure().unwrap() > aggressive.mean_time_to_failure().unwrap()
-        );
+        assert!(mild.mean_time_to_failure().unwrap() > aggressive.mean_time_to_failure().unwrap());
     }
 
     #[test]
@@ -167,8 +166,14 @@ mod tests {
     #[test]
     fn reliability_curve_is_monotone_and_ordered_by_n1() {
         // Fig. 6b: curves start at 1, decrease, and larger N1 dominates.
-        let small = ReliabilityAnalysis::new(25, 3, 1, 0.05).unwrap().reliability_curve(60).unwrap();
-        let large = ReliabilityAnalysis::new(50, 3, 1, 0.05).unwrap().reliability_curve(60).unwrap();
+        let small = ReliabilityAnalysis::new(25, 3, 1, 0.05)
+            .unwrap()
+            .reliability_curve(60)
+            .unwrap();
+        let large = ReliabilityAnalysis::new(50, 3, 1, 0.05)
+            .unwrap()
+            .reliability_curve(60)
+            .unwrap();
         assert!((small[0] - 1.0).abs() < 1e-9);
         for w in small.windows(2) {
             assert!(w[1] <= w[0] + 1e-9);

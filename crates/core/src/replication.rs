@@ -146,7 +146,10 @@ impl ReplicationProblem {
         if !(0.0 < config.node_survival_probability && config.node_survival_probability <= 1.0) {
             return Err(CoreError::InvalidParameter {
                 name: "node_survival_probability",
-                reason: format!("must lie in (0, 1], got {}", config.node_survival_probability),
+                reason: format!(
+                    "must lie in (0, 1], got {}",
+                    config.node_survival_probability
+                ),
             });
         }
         Ok(ReplicationProblem { config })
@@ -196,7 +199,11 @@ impl ReplicationProblem {
     pub fn to_cmdp(&self) -> Result<Cmdp> {
         let states = self.num_states();
         let transition: Vec<Vec<Vec<f64>>> = (0..2)
-            .map(|a| (0..states).map(|s| self.transition_row(s, a == 1)).collect())
+            .map(|a| {
+                (0..states)
+                    .map(|s| self.transition_row(s, a == 1))
+                    .collect()
+            })
             .collect();
         // Cost of Eq. (9): the number of nodes operated this step (adding a
         // node is accounted for by paying for it immediately).
@@ -206,7 +213,11 @@ impl ReplicationProblem {
         let mdp = Mdp::new(transition, cost)?;
         let availability_signal: Vec<Vec<f64>> = (0..states)
             .map(|s| {
-                let available = if s >= self.config.fault_threshold + 1 { 1.0 } else { 0.0 };
+                let available = if s > self.config.fault_threshold {
+                    1.0
+                } else {
+                    0.0
+                };
                 vec![available, available]
             })
             .collect();
@@ -239,7 +250,12 @@ impl ReplicationProblem {
     /// The expected number of healthy nodes implied by a set of node beliefs
     /// (the state estimate `⌊Σ_i (1 - b_i)⌋` of Eq. 8).
     pub fn expected_healthy(beliefs: &[f64]) -> usize {
-        beliefs.iter().map(|b| 1.0 - b.clamp(0.0, 1.0)).sum::<f64>().floor().max(0.0) as usize
+        beliefs
+            .iter()
+            .map(|b| 1.0 - b.clamp(0.0, 1.0))
+            .sum::<f64>()
+            .floor()
+            .max(0.0) as usize
     }
 }
 
@@ -289,10 +305,18 @@ mod tests {
             }
         }
         // Adding a node shifts the distribution upwards (in expectation).
-        let without: f64 =
-            p.transition_row(5, false).iter().enumerate().map(|(s, q)| s as f64 * q).sum();
-        let with: f64 =
-            p.transition_row(5, true).iter().enumerate().map(|(s, q)| s as f64 * q).sum();
+        let without: f64 = p
+            .transition_row(5, false)
+            .iter()
+            .enumerate()
+            .map(|(s, q)| s as f64 * q)
+            .sum();
+        let with: f64 = p
+            .transition_row(5, true)
+            .iter()
+            .enumerate()
+            .map(|(s, q)| s as f64 * q)
+            .sum();
         assert!(with > without);
         // At s_max the add action saturates.
         let saturated = p.transition_row(10, true);
@@ -367,9 +391,14 @@ mod tests {
         let strategy = p.solve().unwrap();
         let mut rng = StdRng::seed_from_u64(2);
         let state = 0usize;
-        let adds = (0..2000).filter(|_| strategy.decide(state, &mut rng)).count();
+        let adds = (0..2000)
+            .filter(|_| strategy.decide(state, &mut rng))
+            .count();
         let fraction = adds as f64 / 2000.0;
         assert!((fraction - strategy.add_probability(state)).abs() < 0.05);
-        assert!(!strategy.decide(100, &mut rng), "states beyond s_max never add");
+        assert!(
+            !strategy.decide(100, &mut rng),
+            "states beyond s_max never add"
+        );
     }
 }

@@ -1,0 +1,34 @@
+//! The unified scenario runtime shared by the core, emulation and bench
+//! layers.
+//!
+//! The paper's evaluation (Table 7, Figs. 4–18) is a grid of closed-loop
+//! runs — strategy × `N_1` × `Δ_R` × seeds — and before this module existed
+//! the run loop was re-implemented in three places (the emulation, the
+//! comparison harness and each figure of the experiment binary), always
+//! sequentially. The runtime factors that shape out once:
+//!
+//! * [`Scenario`] — anything that can execute one closed-loop run for a
+//!   seed and produce an output ([`FnScenario`] adapts a plain closure).
+//! * [`Runner`] — executes a scenario over a seed grid, or a whole slice of
+//!   scenarios over a seed grid ([`Runner::run_cells`]), either serially or
+//!   across worker threads. Results are returned in input order, so a
+//!   parallel run is byte-identical to a serial one.
+//! * [`MetricSummary`] — the mean / 95%-CI aggregation of
+//!   [`MetricReport`](crate::metrics::MetricReport)s that every table of the
+//!   paper repeats.
+//! * [`ScenarioRegistry`] — named scenario factories, so new workloads
+//!   (bursty attackers, heterogeneous fleets, …) are declared as data
+//!   instead of new run loops.
+//! * [`StrategyKind`] / [`NodeStrategy`] — the shared construction of the
+//!   per-node decision maker (TOLERANCE controller or baseline) and the
+//!   system controller, previously duplicated by every caller.
+
+mod registry;
+mod runner;
+mod strategy;
+mod summary;
+
+pub use registry::{AsMetricReport, MetricScenario, ScenarioRegistry, ScenarioRun};
+pub use runner::{ExecutionMode, FnScenario, Runner, Scenario};
+pub use strategy::{NodeStrategy, NodeStrategyConfig, StrategyKind};
+pub use summary::MetricSummary;

@@ -1,0 +1,305 @@
+//! Shared construction of the control strategies under evaluation.
+//!
+//! Every layer that runs the closed loop — the emulated testbed, the
+//! comparison harness, the experiment binary — needs the same two factories:
+//! "give me the per-node decision maker for this strategy" and "give me the
+//! system controller for this strategy". Before the runtime existed each
+//! caller re-implemented the `match` over [`StrategyKind`]; it lives here
+//! once now.
+
+use crate::baselines::{BaselineKind, RecoveryDecision, RecoveryStrategy};
+use crate::controller::{NodeController, SystemController};
+use crate::error::Result;
+use crate::node_model::NodeModel;
+use crate::recovery::ThresholdStrategy;
+use crate::replication::{ReplicationConfig, ReplicationProblem};
+use serde::{Deserialize, Serialize};
+
+/// Which control strategy a scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StrategyKind {
+    /// The TOLERANCE architecture: belief-threshold recovery (Theorem 1)
+    /// plus the Algorithm 2 replication strategy.
+    Tolerance,
+    /// One of the baseline strategies of Section VIII-B.
+    Baseline(BaselineKind),
+}
+
+impl StrategyKind {
+    /// Display name used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::Tolerance => "tolerance",
+            StrategyKind::Baseline(kind) => kind.name(),
+        }
+    }
+
+    /// The four strategies compared in Table 7, in the paper's order.
+    pub fn paper_set() -> [StrategyKind; 4] {
+        [
+            StrategyKind::Tolerance,
+            StrategyKind::Baseline(BaselineKind::NoRecovery),
+            StrategyKind::Baseline(BaselineKind::Periodic),
+            StrategyKind::Baseline(BaselineKind::PeriodicAdaptive),
+        ]
+    }
+
+    /// Builds the per-node decision maker for this strategy.
+    ///
+    /// * `model` — the node's POMDP model (built from its container's
+    ///   observation model).
+    /// * `expected_alerts` — the healthy-state mean alert count, used by the
+    ///   PERIODIC-ADAPTIVE replication heuristic.
+    /// * `config` — threshold, BTR period and period phase.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid threshold configurations.
+    pub fn build_node_strategy(
+        self,
+        model: NodeModel,
+        expected_alerts: f64,
+        config: &NodeStrategyConfig,
+    ) -> Result<NodeStrategy> {
+        match self {
+            StrategyKind::Tolerance => {
+                let thresholds = match config.delta_r {
+                    Some(period) => {
+                        vec![config.recovery_threshold; (period as usize).saturating_sub(1).max(1)]
+                    }
+                    None => vec![config.recovery_threshold],
+                };
+                let strategy = ThresholdStrategy::new(thresholds, config.delta_r)?;
+                Ok(NodeStrategy::Tolerance(NodeController::new(
+                    model, strategy,
+                )))
+            }
+            StrategyKind::Baseline(kind) => Ok(NodeStrategy::Baseline(
+                RecoveryStrategy::new(kind, config.delta_r, expected_alerts)
+                    .with_initial_phase(config.initial_phase),
+            )),
+        }
+    }
+
+    /// Builds the system controller for this strategy: TOLERANCE solves the
+    /// replication CMDP with Algorithm 2 up front (the training phase of
+    /// Section X); baselines manage no replication factor and get `None`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction and LP failures.
+    pub fn build_system_controller(
+        self,
+        replication: ReplicationConfig,
+    ) -> Result<Option<SystemController>> {
+        match self {
+            StrategyKind::Tolerance => {
+                let problem = ReplicationProblem::new(replication)?;
+                Ok(Some(SystemController::new(problem.solve()?)))
+            }
+            StrategyKind::Baseline(_) => Ok(None),
+        }
+    }
+}
+
+/// Node-level strategy parameters shared by all scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeStrategyConfig {
+    /// Belief threshold of the TOLERANCE node controllers (Fig. 13b reports
+    /// 0.76).
+    pub recovery_threshold: f64,
+    /// BTR period `Δ_R` (`None` = ∞).
+    pub delta_r: Option<u32>,
+    /// Offset within the recovery period, staggering periodic baselines
+    /// across nodes.
+    pub initial_phase: u32,
+}
+
+/// The per-node decision maker of a scenario: either a TOLERANCE belief
+/// controller or a baseline recovery schedule, behind one uniform API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeStrategy {
+    /// The belief-threshold node controller (Theorem 1).
+    Tolerance(NodeController),
+    /// A baseline recovery schedule (Section VIII-B).
+    Baseline(RecoveryStrategy),
+}
+
+impl NodeStrategy {
+    /// Whether this is the TOLERANCE belief controller.
+    pub fn is_controller(&self) -> bool {
+        matches!(self, NodeStrategy::Tolerance(_))
+    }
+
+    /// Processes one time-step: consumes the weighted alert count and
+    /// returns the recovery decision.
+    pub fn observe_and_decide(&mut self, weighted_alerts: u64) -> RecoveryDecision {
+        match self {
+            NodeStrategy::Tolerance(controller) => {
+                RecoveryDecision::from(controller.observe_and_decide(weighted_alerts))
+            }
+            NodeStrategy::Baseline(baseline) => baseline.decide(),
+        }
+    }
+
+    /// The compromise belief, if this strategy tracks one.
+    pub fn belief(&self) -> Option<f64> {
+        match self {
+            NodeStrategy::Tolerance(controller) => Some(controller.belief()),
+            NodeStrategy::Baseline(_) => None,
+        }
+    }
+
+    /// The belief reported to the system controller; baselines report the
+    /// prior so eviction handling works uniformly.
+    pub fn reported_belief(&self, prior: f64) -> f64 {
+        self.belief().unwrap_or(prior)
+    }
+
+    /// Whether the strategy's replication heuristic wants an extra node
+    /// given this step's alert count (PERIODIC-ADAPTIVE only).
+    pub fn wants_additional_node(&self, observed_alerts: f64) -> bool {
+        match self {
+            NodeStrategy::Tolerance(_) => false,
+            NodeStrategy::Baseline(baseline) => baseline.wants_additional_node(observed_alerts),
+        }
+    }
+
+    /// Resets the strategy after an externally triggered recovery.
+    pub fn notify_recovered(&mut self) {
+        match self {
+            NodeStrategy::Tolerance(controller) => controller.notify_recovered(),
+            NodeStrategy::Baseline(baseline) => baseline.notify_recovered(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node_model::NodeParameters;
+    use crate::observation::ObservationModel;
+
+    fn model() -> NodeModel {
+        NodeModel::new(NodeParameters::default(), ObservationModel::paper_default()).unwrap()
+    }
+
+    fn config(delta_r: Option<u32>) -> NodeStrategyConfig {
+        NodeStrategyConfig {
+            recovery_threshold: 0.76,
+            delta_r,
+            initial_phase: 0,
+        }
+    }
+
+    #[test]
+    fn paper_set_matches_table7() {
+        let names: Vec<&str> = StrategyKind::paper_set().iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            ["tolerance", "no-recovery", "periodic", "periodic-adaptive"]
+        );
+    }
+
+    #[test]
+    fn tolerance_builds_a_belief_controller() {
+        let strategy = StrategyKind::Tolerance
+            .build_node_strategy(model(), 1.0, &config(None))
+            .unwrap();
+        assert!(strategy.is_controller());
+        assert!(strategy.belief().is_some());
+        assert!(!strategy.wants_additional_node(100.0));
+    }
+
+    #[test]
+    fn tolerance_recovers_on_sustained_alerts_and_baseline_on_schedule() {
+        let mut tolerance = StrategyKind::Tolerance
+            .build_node_strategy(model(), 1.0, &config(None))
+            .unwrap();
+        let recovered =
+            (0..20).any(|_| tolerance.observe_and_decide(10) == RecoveryDecision::Recover);
+        assert!(
+            recovered,
+            "sustained max alerts must trigger the controller"
+        );
+
+        let mut periodic = StrategyKind::Baseline(BaselineKind::Periodic)
+            .build_node_strategy(model(), 1.0, &config(Some(5)))
+            .unwrap();
+        let decisions: Vec<RecoveryDecision> =
+            (0..10).map(|_| periodic.observe_and_decide(10)).collect();
+        assert_eq!(
+            decisions
+                .iter()
+                .filter(|d| **d == RecoveryDecision::Recover)
+                .count(),
+            2
+        );
+        assert_eq!(periodic.belief(), None);
+        assert_eq!(periodic.reported_belief(0.1), 0.1);
+    }
+
+    #[test]
+    fn adaptive_baseline_wants_nodes_on_bursts() {
+        let adaptive = StrategyKind::Baseline(BaselineKind::PeriodicAdaptive)
+            .build_node_strategy(model(), 2.0, &config(Some(15)))
+            .unwrap();
+        assert!(!adaptive.wants_additional_node(3.0));
+        assert!(adaptive.wants_additional_node(4.0));
+    }
+
+    #[test]
+    fn system_controller_only_for_tolerance() {
+        let replication = ReplicationConfig {
+            s_max: 10,
+            fault_threshold: 2,
+            availability_target: 0.9,
+            node_survival_probability: 0.95,
+        };
+        assert!(StrategyKind::Tolerance
+            .build_system_controller(replication)
+            .unwrap()
+            .is_some());
+        assert!(StrategyKind::Baseline(BaselineKind::Periodic)
+            .build_system_controller(replication)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn btr_thresholds_span_the_period() {
+        let mut strategy = StrategyKind::Tolerance
+            .build_node_strategy(model(), 1.0, &config(Some(5)))
+            .unwrap();
+        // With quiet observations the BTR constraint forces a recovery at
+        // the period boundary.
+        let recoveries = (0..25)
+            .filter(|_| strategy.observe_and_decide(0) == RecoveryDecision::Recover)
+            .count();
+        assert!(
+            recoveries >= 4,
+            "BTR must force ~1 recovery per 5 steps, got {recoveries}"
+        );
+    }
+
+    #[test]
+    fn notify_recovered_resets_both_variants() {
+        let mut tolerance = StrategyKind::Tolerance
+            .build_node_strategy(model(), 1.0, &config(None))
+            .unwrap();
+        for _ in 0..5 {
+            tolerance.observe_and_decide(10);
+        }
+        tolerance.notify_recovered();
+        assert!((tolerance.belief().unwrap() - 0.1).abs() < 1e-9);
+
+        let mut periodic = StrategyKind::Baseline(BaselineKind::Periodic)
+            .build_node_strategy(model(), 1.0, &config(Some(3)))
+            .unwrap();
+        periodic.observe_and_decide(0);
+        periodic.notify_recovered();
+        assert_eq!(periodic.observe_and_decide(0), RecoveryDecision::Wait);
+        assert_eq!(periodic.observe_and_decide(0), RecoveryDecision::Wait);
+        assert_eq!(periodic.observe_and_decide(0), RecoveryDecision::Recover);
+    }
+}

@@ -1,0 +1,80 @@
+//! Mean / confidence-interval aggregation of metric reports.
+
+use crate::error::Result;
+use crate::metrics::MetricReport;
+use serde::{Deserialize, Serialize};
+use tolerance_markov::stats::SummaryStatistics;
+
+/// The cross-seed aggregate of the paper's three evaluation metrics: each
+/// entry is `(mean, 95% CI half-width)` over the seeds of one grid cell,
+/// exactly the numbers printed in Table 7.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricSummary {
+    /// Average availability `T(A)`.
+    pub availability: (f64, f64),
+    /// Average time-to-recovery `T(R)`.
+    pub time_to_recovery: (f64, f64),
+    /// Recovery frequency `F(R)`.
+    pub recovery_frequency: (f64, f64),
+    /// Number of aggregated runs (seeds).
+    pub samples: usize,
+}
+
+impl MetricSummary {
+    /// Aggregates the reports of one grid cell.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an empty report slice.
+    pub fn from_reports(reports: &[MetricReport]) -> Result<Self> {
+        let summarize = |metric: fn(&MetricReport) -> f64| -> Result<(f64, f64)> {
+            let samples: Vec<f64> = reports.iter().map(metric).collect();
+            let stats = SummaryStatistics::from_samples(&samples)?;
+            Ok((stats.mean, stats.ci95_half_width))
+        };
+        Ok(MetricSummary {
+            availability: summarize(|r| r.availability)?,
+            time_to_recovery: summarize(|r| r.time_to_recovery)?,
+            recovery_frequency: summarize(|r| r.recovery_frequency)?,
+            samples: reports.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(availability: f64, ttr: f64, freq: f64) -> MetricReport {
+        MetricReport {
+            availability,
+            time_to_recovery: ttr,
+            recovery_frequency: freq,
+            steps: 100,
+        }
+    }
+
+    #[test]
+    fn means_and_cis_match_hand_computation() {
+        let reports = [report(0.8, 10.0, 0.1), report(1.0, 20.0, 0.3)];
+        let summary = MetricSummary::from_reports(&reports).unwrap();
+        assert!((summary.availability.0 - 0.9).abs() < 1e-12);
+        assert!((summary.time_to_recovery.0 - 15.0).abs() < 1e-12);
+        assert!((summary.recovery_frequency.0 - 0.2).abs() < 1e-12);
+        assert_eq!(summary.samples, 2);
+        // Two samples, sd = 0.1414.., t_1 = 12.706.
+        assert!(summary.availability.1 > 1.0, "tiny samples give wide CIs");
+    }
+
+    #[test]
+    fn single_report_has_zero_ci() {
+        let summary = MetricSummary::from_reports(&[report(0.5, 5.0, 0.2)]).unwrap();
+        assert_eq!(summary.availability, (0.5, 0.0));
+        assert_eq!(summary.samples, 1);
+    }
+
+    #[test]
+    fn empty_reports_error() {
+        assert!(MetricSummary::from_reports(&[]).is_err());
+    }
+}

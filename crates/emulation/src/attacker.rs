@@ -45,6 +45,53 @@ impl AttackerBehavior {
     }
 }
 
+/// How the attacker's intrusion pressure evolves over a run.
+///
+/// The paper's evaluation uses a constant per-step intrusion probability;
+/// the scenario runtime additionally supports campaign-style attackers that
+/// concentrate their intrusion attempts in bursts (the same mean pressure
+/// can produce very different availability when attacks are correlated in
+/// time).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum AttackProfile {
+    /// A constant per-step intrusion probability (the paper's setting).
+    #[default]
+    Constant,
+    /// A bursty campaign: for `active_steps` out of every `period` steps the
+    /// intrusion probability is multiplied by `multiplier`; outside the
+    /// burst the attacker is dormant.
+    Bursty {
+        /// Length of one campaign cycle in time-steps.
+        period: u32,
+        /// Number of active steps at the start of each cycle.
+        active_steps: u32,
+        /// Intrusion-probability multiplier during the active window.
+        multiplier: f64,
+    },
+}
+
+impl AttackProfile {
+    /// The factor applied to the base intrusion probability at `time_step`.
+    pub fn intensity_factor(&self, time_step: u64) -> f64 {
+        match *self {
+            AttackProfile::Constant => 1.0,
+            AttackProfile::Bursty {
+                period,
+                active_steps,
+                multiplier,
+            } => {
+                if period == 0 {
+                    1.0
+                } else if time_step % u64::from(period) < u64::from(active_steps) {
+                    multiplier
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
 /// The progress of an intrusion against one node.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum IntrusionProgress {
@@ -78,7 +125,10 @@ impl Attacker {
     /// Creates an idle attacker with the given per-step intrusion
     /// probability.
     pub fn new(intrusion_probability: f64) -> Self {
-        Attacker { intrusion_probability, progress: IntrusionProgress::Idle }
+        Attacker {
+            intrusion_probability,
+            progress: IntrusionProgress::Idle,
+        }
     }
 
     /// Current progress.
@@ -179,7 +229,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
 
         assert!(!attacker.is_active());
-        assert!(!attacker.step(container, 0, &mut rng), "step 0 only starts the intrusion");
+        assert!(
+            !attacker.step(container, 0, &mut rng),
+            "step 0 only starts the intrusion"
+        );
         assert!(attacker.is_active());
         assert!(!attacker.is_compromised());
         assert!(attacker.step_intensity(container) > 0.0);
@@ -229,6 +282,32 @@ mod tests {
     }
 
     #[test]
+    fn attack_profiles_modulate_intensity() {
+        let constant = AttackProfile::Constant;
+        assert_eq!(constant.intensity_factor(0), 1.0);
+        assert_eq!(constant.intensity_factor(999), 1.0);
+
+        let bursty = AttackProfile::Bursty {
+            period: 10,
+            active_steps: 3,
+            multiplier: 4.0,
+        };
+        assert_eq!(bursty.intensity_factor(0), 4.0);
+        assert_eq!(bursty.intensity_factor(2), 4.0);
+        assert_eq!(bursty.intensity_factor(3), 0.0);
+        assert_eq!(bursty.intensity_factor(9), 0.0);
+        assert_eq!(bursty.intensity_factor(10), 4.0);
+
+        // A zero-length period degenerates to the constant profile.
+        let degenerate = AttackProfile::Bursty {
+            period: 0,
+            active_steps: 1,
+            multiplier: 2.0,
+        };
+        assert_eq!(degenerate.intensity_factor(5), 1.0);
+    }
+
+    #[test]
     fn behaviour_sampling_covers_all_modes_and_maps_to_byzantine_modes() {
         let mut rng = StdRng::seed_from_u64(4);
         let mut seen = std::collections::HashSet::new();
@@ -236,8 +315,17 @@ mod tests {
             seen.insert(format!("{:?}", AttackerBehavior::sample(&mut rng)));
         }
         assert_eq!(seen.len(), 3);
-        assert_eq!(AttackerBehavior::Participate.byzantine_mode(), ByzantineMode::Correct);
-        assert_eq!(AttackerBehavior::Silent.byzantine_mode(), ByzantineMode::Silent);
-        assert_eq!(AttackerBehavior::RandomMessages.byzantine_mode(), ByzantineMode::Arbitrary);
+        assert_eq!(
+            AttackerBehavior::Participate.byzantine_mode(),
+            ByzantineMode::Correct
+        );
+        assert_eq!(
+            AttackerBehavior::Silent.byzantine_mode(),
+            ByzantineMode::Silent
+        );
+        assert_eq!(
+            AttackerBehavior::RandomMessages.byzantine_mode(),
+            ByzantineMode::Arbitrary
+        );
     }
 }

@@ -34,8 +34,15 @@ impl ClientPopulation {
     /// Panics if either parameter is not strictly positive.
     pub fn new(arrival_rate: f64, mean_session_length: f64) -> Self {
         assert!(arrival_rate > 0.0, "arrival rate must be positive");
-        assert!(mean_session_length > 0.0, "mean session length must be positive");
-        ClientPopulation { arrival_rate, mean_session_length, active_sessions: Vec::new() }
+        assert!(
+            mean_session_length > 0.0,
+            "mean session length must be positive"
+        );
+        ClientPopulation {
+            arrival_rate,
+            mean_session_length,
+            active_sessions: Vec::new(),
+        }
     }
 
     /// Number of currently active background sessions.
@@ -53,7 +60,9 @@ impl ClientPopulation {
         }
         self.active_sessions.retain(|remaining| *remaining > 0.0);
         // New arrivals.
-        let arrivals = Poisson::new(self.arrival_rate).expect("positive rate").sample(rng);
+        let arrivals = Poisson::new(self.arrival_rate)
+            .expect("positive rate")
+            .sample(rng);
         let holding = Exponential::from_mean(self.mean_session_length).expect("positive mean");
         for _ in 0..arrivals {
             self.active_sessions.push(holding.sample(rng).max(1.0));

@@ -200,7 +200,11 @@ mod tests {
         // Every container has at least one vulnerability, one background
         // service and a playbook that starts with reconnaissance.
         for c in catalogue.containers() {
-            assert!(!c.vulnerabilities.is_empty(), "container {} has no vulnerabilities", c.id);
+            assert!(
+                !c.vulnerabilities.is_empty(),
+                "container {} has no vulnerabilities",
+                c.id
+            );
             assert!(!c.background_services.is_empty());
             assert!(!c.intrusion_steps.is_empty());
             assert!(matches!(
@@ -210,7 +214,10 @@ mod tests {
             assert!(c.detectability > 0.0);
         }
         // Specific rows from Table 4.
-        assert_eq!(catalogue.by_id(4).unwrap().vulnerabilities, &["cve-2017-7494"]);
+        assert_eq!(
+            catalogue.by_id(4).unwrap().vulnerabilities,
+            &["cve-2017-7494"]
+        );
         assert_eq!(catalogue.by_id(9).unwrap().intrusion_steps.len(), 3);
         assert!(catalogue.by_id(42).is_none());
     }
@@ -231,17 +238,28 @@ mod tests {
         for _ in 0..500 {
             seen.insert(catalogue.sample(&mut rng).id);
         }
-        assert_eq!(seen.len(), 10, "all ten containers should be drawn eventually");
+        assert_eq!(
+            seen.len(),
+            10,
+            "all ten containers should be drawn eventually"
+        );
     }
 
     #[test]
     fn step_intensities_are_positive_and_ordered() {
-        assert!(IntrusionStep::BruteForce.alert_intensity() > IntrusionStep::Exploit.alert_intensity());
-        assert!(IntrusionStep::TcpSynScan.alert_intensity() > IntrusionStep::IcmpScan.alert_intensity());
+        assert!(
+            IntrusionStep::BruteForce.alert_intensity() > IntrusionStep::Exploit.alert_intensity()
+        );
+        assert!(
+            IntrusionStep::TcpSynScan.alert_intensity() > IntrusionStep::IcmpScan.alert_intensity()
+        );
     }
 
     #[test]
     fn default_is_the_paper_catalogue() {
-        assert_eq!(ContainerCatalog::default(), ContainerCatalog::paper_catalog());
+        assert_eq!(
+            ContainerCatalog::default(),
+            ContainerCatalog::paper_catalog()
+        );
     }
 }

@@ -16,41 +16,23 @@
 //! attacker's Byzantine behaviour, and issuing client requests — to check
 //! end-to-end that the controlled system keeps providing correct service.
 
-use crate::attacker::Attacker;
+use crate::attacker::{AttackProfile, Attacker};
 use crate::clients::ClientPopulation;
 use crate::containers::{ContainerCatalog, ContainerConfig};
 use crate::ids::IdsModel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use tolerance_core::baselines::{BaselineKind, RecoveryDecision, RecoveryStrategy};
-use tolerance_core::controller::{NodeController, SystemController};
-use tolerance_core::metrics::{EvaluationMetrics, MetricReport};
-use tolerance_core::node_model::{NodeModel, NodeParameters, NodeState};
-use tolerance_core::recovery::ThresholdStrategy;
-use tolerance_core::replication::{ReplicationConfig, ReplicationProblem};
 use tolerance_consensus::minbft::{MinBftCluster, MinBftConfig, Operation};
 use tolerance_consensus::NetworkConfig;
+use tolerance_core::baselines::RecoveryDecision;
+use tolerance_core::controller::SystemController;
+use tolerance_core::metrics::{EvaluationMetrics, MetricReport};
+use tolerance_core::node_model::{NodeModel, NodeParameters, NodeState};
+use tolerance_core::replication::ReplicationConfig;
+use tolerance_core::runtime::{NodeStrategy, NodeStrategyConfig};
 
-/// Which control strategy the emulated system uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum StrategyKind {
-    /// The TOLERANCE architecture: belief-threshold recovery (Theorem 1)
-    /// plus the Algorithm 2 replication strategy.
-    Tolerance,
-    /// One of the baseline strategies of Section VIII-B.
-    Baseline(BaselineKind),
-}
-
-impl StrategyKind {
-    /// Display name used in tables.
-    pub fn name(self) -> &'static str {
-        match self {
-            StrategyKind::Tolerance => "tolerance",
-            StrategyKind::Baseline(kind) => kind.name(),
-        }
-    }
-}
+pub use tolerance_core::runtime::StrategyKind;
 
 /// Configuration of one emulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -76,6 +58,15 @@ pub struct EmulationConfig {
     /// harness computes this with Algorithm 1; the default (0.76) is the
     /// value the paper reports in Fig. 13b.
     pub recovery_threshold: f64,
+    /// How the attacker's intrusion pressure evolves over time (the paper
+    /// uses [`AttackProfile::Constant`]; the scenario registry adds bursty
+    /// campaigns).
+    pub attack_profile: AttackProfile,
+    /// Heterogeneity of the node fleet: each node's attack and
+    /// compromised-crash probabilities are scaled by an independent factor
+    /// drawn uniformly from `[1 - jitter, 1 + jitter]`. `0.0` (the paper's
+    /// setting) gives an identical fleet.
+    pub parameter_jitter: f64,
     /// RNG seed.
     pub seed: u64,
 }
@@ -92,6 +83,8 @@ impl Default for EmulationConfig {
             node_parameters: NodeParameters::default(),
             availability_target: 0.9,
             recovery_threshold: 0.76,
+            attack_profile: AttackProfile::Constant,
+            parameter_jitter: 0.0,
             seed: 0,
         }
     }
@@ -127,8 +120,10 @@ struct EmulatedNode {
     state: NodeState,
     attacker: Attacker,
     clients: ClientPopulation,
-    controller: Option<NodeController>,
-    baseline: Option<RecoveryStrategy>,
+    strategy: NodeStrategy,
+    /// The node's un-modulated intrusion probability (heterogeneous fleets
+    /// give each node its own); the attack profile scales it per step.
+    base_intrusion_probability: f64,
     /// Time-step at which the current compromise started (for `T(R)`).
     compromise_started: Option<u64>,
 }
@@ -159,18 +154,12 @@ impl Emulation {
         let catalog = ContainerCatalog::paper_catalog();
         let mut rng = StdRng::seed_from_u64(config.seed);
 
-        let system_controller = match config.strategy {
-            StrategyKind::Tolerance => {
-                let replication = ReplicationProblem::new(ReplicationConfig {
-                    s_max: config.max_nodes,
-                    fault_threshold: config.fault_threshold(),
-                    availability_target: config.availability_target,
-                    node_survival_probability: 1.0 - config.node_parameters.p_attack / 2.0,
-                })?;
-                Some(SystemController::new(replication.solve()?))
-            }
-            StrategyKind::Baseline(_) => None,
-        };
+        let system_controller = config.strategy.build_system_controller(ReplicationConfig {
+            s_max: config.max_nodes,
+            fault_threshold: config.fault_threshold(),
+            availability_target: config.availability_target,
+            node_survival_probability: 1.0 - config.node_parameters.p_attack / 2.0,
+        })?;
 
         let mut emulation = Emulation {
             catalog,
@@ -201,43 +190,65 @@ impl Emulation {
         self.nodes.len()
     }
 
+    /// Draws one node's transition parameters; heterogeneous fleets scale
+    /// the attack-related probabilities per node.
+    fn sample_node_parameters(&self, rng: &mut StdRng) -> NodeParameters {
+        let base = self.config.node_parameters;
+        let jitter = self.config.parameter_jitter;
+        if jitter <= 0.0 {
+            return base;
+        }
+        let factor = 1.0 + jitter * (2.0 * rng.random::<f64>() - 1.0);
+        // The floor keeps assumption C's ordering (p_C2 > p_C1) while never
+        // exceeding the cap for large configured crash rates.
+        let crash_floor = (base.p_crash_healthy * 2.0).min(0.5);
+        let candidate = NodeParameters {
+            p_attack: (base.p_attack * factor).clamp(1e-6, 0.5),
+            p_crash_compromised: (base.p_crash_compromised * factor).clamp(crash_floor, 0.5),
+            ..base
+        };
+        // Extreme configurations can push a jittered draw outside the
+        // Theorem 1 assumptions; such nodes fall back to the base
+        // parameters instead of failing the whole run.
+        if candidate.validate_theorem1().is_ok() {
+            candidate
+        } else {
+            base
+        }
+    }
+
     fn build_node(&self, rng: &mut StdRng) -> tolerance_core::Result<EmulatedNode> {
         let container = self.catalog.sample(rng).clone();
         let ids = IdsModel::for_container(&container);
-        let model =
-            NodeModel::new(self.config.node_parameters, ids.observation_model().clone())?;
-        let (controller, baseline) = match self.config.strategy {
-            StrategyKind::Tolerance => {
-                let thresholds = match self.config.delta_r {
-                    Some(d) => vec![self.config.recovery_threshold; (d as usize).saturating_sub(1).max(1)],
-                    None => vec![self.config.recovery_threshold],
-                };
-                let strategy = ThresholdStrategy::new(thresholds, self.config.delta_r)?;
-                (Some(NodeController::new(model, strategy)), None)
-            }
-            StrategyKind::Baseline(kind) => {
-                let expected_alerts = ids.observation_model().mean(NodeState::Healthy);
-                // Stagger the periodic-recovery phases across nodes so that
-                // the k-parallel-recovery constraint is not hit by every node
-                // requesting recovery in the same step.
-                let phase = rng.random_range(0..self.config.delta_r.unwrap_or(1).max(1));
-                (
-                    None,
-                    Some(
-                        RecoveryStrategy::new(kind, self.config.delta_r, expected_alerts)
-                            .with_initial_phase(phase),
-                    ),
-                )
+        let parameters = self.sample_node_parameters(rng);
+        let model = NodeModel::new(parameters, ids.observation_model().clone())?;
+        let expected_alerts = ids.observation_model().mean(NodeState::Healthy);
+        // Stagger the periodic-recovery phases across nodes so that the
+        // k-parallel-recovery constraint is not hit by every node requesting
+        // recovery in the same step.
+        let initial_phase = match self.config.strategy {
+            StrategyKind::Tolerance => 0,
+            StrategyKind::Baseline(_) => {
+                rng.random_range(0..self.config.delta_r.unwrap_or(1).max(1))
             }
         };
+        let strategy = self.config.strategy.build_node_strategy(
+            model,
+            expected_alerts,
+            &NodeStrategyConfig {
+                recovery_threshold: self.config.recovery_threshold,
+                delta_r: self.config.delta_r,
+                initial_phase,
+            },
+        )?;
         Ok(EmulatedNode {
             container,
             ids,
             state: NodeState::Healthy,
-            attacker: Attacker::new(self.config.node_parameters.p_attack),
+            attacker: Attacker::new(parameters.p_attack),
             clients: ClientPopulation::paper_default(),
-            controller,
-            baseline,
+            strategy,
+            base_intrusion_probability: parameters.p_attack,
             compromise_started: None,
         })
     }
@@ -263,7 +274,10 @@ impl Emulation {
     /// # Errors
     ///
     /// Propagates node-construction failures.
-    pub fn run_with_consensus(&mut self, steps: u32) -> tolerance_core::Result<(EmulationOutcome, f64)> {
+    pub fn run_with_consensus(
+        &mut self,
+        steps: u32,
+    ) -> tolerance_core::Result<(EmulationOutcome, f64)> {
         let mut cluster = MinBftCluster::new(MinBftConfig {
             initial_replicas: self.config.initial_nodes,
             parallel_recoveries: self.config.parallel_recoveries,
@@ -285,7 +299,11 @@ impl Emulation {
             cluster.run_until_quiet(cluster.now() + 2.0);
         }
         let completed = cluster.completed_requests(client);
-        let success_rate = if issued == 0 { 1.0 } else { completed as f64 / issued as f64 };
+        let success_rate = if issued == 0 {
+            1.0
+        } else {
+            completed as f64 / issued as f64
+        };
         Ok((self.finish(), success_rate))
     }
 
@@ -315,16 +333,23 @@ impl Emulation {
         let mut reports: Vec<Option<f64>> = Vec::with_capacity(self.nodes.len());
 
         // --- Per-node dynamics: attacker, IDS, local decision. ---
+        let attack_factor = self.config.attack_profile.intensity_factor(time_step);
         for (index, node) in self.nodes.iter_mut().enumerate() {
             node.clients.step(&mut self.rng);
 
-            // Attacker progression.
+            // Attacker progression (the profile modulates the per-step
+            // intrusion pressure around the node's base probability).
+            node.attacker.intrusion_probability = node.base_intrusion_probability * attack_factor;
             if node.state == NodeState::Healthy {
-                let compromised_now = node.attacker.step(&node.container, time_step, &mut self.rng);
+                let compromised_now = node
+                    .attacker
+                    .step(&node.container, time_step, &mut self.rng);
                 if compromised_now {
                     node.state = NodeState::Compromised;
                     node.compromise_started = Some(time_step);
-                    if let (Some(cluster), Some(behavior)) = (cluster.as_deref_mut(), node.attacker.behavior()) {
+                    if let (Some(cluster), Some(behavior)) =
+                        (cluster.as_deref_mut(), node.attacker.behavior())
+                    {
                         if cluster.membership().contains(&(index as u32)) {
                             cluster.set_byzantine(index as u32, behavior.byzantine_mode());
                         }
@@ -344,39 +369,35 @@ impl Emulation {
 
             // IDS observation.
             let step_intensity = node.attacker.step_intensity(&node.container);
-            let alerts = node.ids.sample_alerts(node.state, step_intensity, &mut self.rng);
+            let alerts = node
+                .ids
+                .sample_alerts(node.state, step_intensity, &mut self.rng);
 
             // Local decision.
             if node.state == NodeState::Crashed {
                 reports.push(None);
                 continue;
             }
-            let decision = if let Some(controller) = node.controller.as_mut() {
-                let action = controller.observe_and_decide(alerts);
-                reports.push(Some(controller.belief()));
-                RecoveryDecision::from(action)
-            } else if let Some(baseline) = node.baseline.as_mut() {
-                let decision = baseline.decide();
-                if baseline.wants_additional_node(alerts as f64) {
-                    baseline_wants_node = true;
-                }
-                // Baselines report no belief; approximate with the prior so
-                // eviction handling still works uniformly.
-                reports.push(Some(self.config.node_parameters.p_attack));
-                decision
-            } else {
-                reports.push(Some(0.0));
-                RecoveryDecision::Wait
-            };
+            let decision = node.strategy.observe_and_decide(alerts);
+            if node.strategy.wants_additional_node(alerts as f64) {
+                baseline_wants_node = true;
+            }
+            // Baselines report no belief; `reported_belief` approximates
+            // with the prior so eviction handling still works uniformly.
+            reports.push(Some(
+                node.strategy
+                    .reported_belief(self.config.node_parameters.p_attack),
+            ));
             if decision == RecoveryDecision::Recover {
-                let belief = node.controller.as_ref().map(|c| c.belief()).unwrap_or(1.0);
+                let belief = node.strategy.belief().unwrap_or(1.0);
                 recovery_requests.push((index, belief));
             }
         }
 
         // --- Enforce at most k parallel recoveries, preferring the highest
         //     beliefs (the implementation-level constraint of Problem 1). ---
-        recovery_requests.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        recovery_requests
+            .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         recovery_requests.truncate(self.config.parallel_recoveries.max(1));
         let recoveries_started = recovery_requests.len();
         for (index, _) in &recovery_requests {
@@ -389,13 +410,11 @@ impl Emulation {
                 let mut rng = StdRng::seed_from_u64(self.rng.random::<u64>());
                 self.build_node(&mut rng)?
             };
-            let preserved_controller_stats = self.nodes[*index].controller.is_some();
+            let was_controller = self.nodes[*index].strategy.is_controller();
             self.nodes[*index] = rebuilt;
-            if !preserved_controller_stats {
+            if !was_controller {
                 // Baselines restart their period after an actual recovery.
-                if let Some(b) = self.nodes[*index].baseline.as_mut() {
-                    b.notify_recovered();
-                }
+                self.nodes[*index].strategy.notify_recovered();
             }
             self.recoveries += 1;
             if let Some(cluster) = cluster.as_deref_mut() {
@@ -440,7 +459,7 @@ impl Emulation {
             };
             self.nodes.push(new_node);
             self.nodes_added += 1;
-            if let Some(cluster) = cluster.as_deref_mut() {
+            if let Some(cluster) = cluster {
                 cluster.add_replica();
             }
         }
@@ -451,7 +470,8 @@ impl Emulation {
             .iter()
             .filter(|n| n.state != NodeState::Healthy)
             .count();
-        self.metrics.record_step(failed_nodes, fault_threshold, recoveries_started);
+        self.metrics
+            .record_step(failed_nodes, fault_threshold, recoveries_started);
         Ok(())
     }
 }
@@ -459,6 +479,7 @@ impl Emulation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tolerance_core::baselines::BaselineKind;
 
     fn config(strategy: StrategyKind, delta_r: Option<u32>, seed: u64) -> EmulationConfig {
         EmulationConfig {
@@ -473,11 +494,20 @@ mod tests {
 
     #[test]
     fn fault_threshold_matches_appendix_e() {
-        let c = EmulationConfig { initial_nodes: 3, ..EmulationConfig::default() };
+        let c = EmulationConfig {
+            initial_nodes: 3,
+            ..EmulationConfig::default()
+        };
         assert_eq!(c.fault_threshold(), 1);
-        let c = EmulationConfig { initial_nodes: 6, ..EmulationConfig::default() };
+        let c = EmulationConfig {
+            initial_nodes: 6,
+            ..EmulationConfig::default()
+        };
         assert_eq!(c.fault_threshold(), 2);
-        let c = EmulationConfig { initial_nodes: 9, ..EmulationConfig::default() };
+        let c = EmulationConfig {
+            initial_nodes: 9,
+            ..EmulationConfig::default()
+        };
         assert_eq!(c.fault_threshold(), 2, "capped at 2");
     }
 
@@ -500,9 +530,28 @@ mod tests {
     }
 
     #[test]
+    fn jitter_with_large_crash_probabilities_does_not_panic() {
+        // Regression: the heterogeneity clamp floor (2 * p_C1) must never
+        // exceed its 0.5 cap, even for extreme configured crash rates.
+        // p_C1 = 0.3 makes the old floor (2 * p_C1 = 0.6) exceed the 0.5
+        // cap; p_C2 = 0.9 keeps the base parameters valid under Theorem 1.
+        let mut cfg = config(StrategyKind::Tolerance, None, 9);
+        cfg.parameter_jitter = 0.9;
+        cfg.node_parameters.p_crash_healthy = 0.3;
+        cfg.node_parameters.p_crash_compromised = 0.9;
+        cfg.horizon = 20;
+        let outcome = Emulation::new(cfg).unwrap().run().unwrap();
+        assert!((0.0..=1.0).contains(&outcome.metrics.availability));
+    }
+
+    #[test]
     fn no_recovery_run_collapses() {
-        let mut emulation =
-            Emulation::new(config(StrategyKind::Baseline(BaselineKind::NoRecovery), None, 2)).unwrap();
+        let mut emulation = Emulation::new(config(
+            StrategyKind::Baseline(BaselineKind::NoRecovery),
+            None,
+            2,
+        ))
+        .unwrap();
         let outcome = emulation.run().unwrap();
         assert!(
             outcome.metrics.availability < 0.5,
@@ -519,11 +568,19 @@ mod tests {
     fn periodic_baseline_sits_between_tolerance_and_no_recovery() {
         let mut tolerance = Emulation::new(config(StrategyKind::Tolerance, Some(15), 3)).unwrap();
         let tolerance_outcome = tolerance.run().unwrap();
-        let mut periodic =
-            Emulation::new(config(StrategyKind::Baseline(BaselineKind::Periodic), Some(15), 3)).unwrap();
+        let mut periodic = Emulation::new(config(
+            StrategyKind::Baseline(BaselineKind::Periodic),
+            Some(15),
+            3,
+        ))
+        .unwrap();
         let periodic_outcome = periodic.run().unwrap();
-        let mut none =
-            Emulation::new(config(StrategyKind::Baseline(BaselineKind::NoRecovery), Some(15), 3)).unwrap();
+        let mut none = Emulation::new(config(
+            StrategyKind::Baseline(BaselineKind::NoRecovery),
+            Some(15),
+            3,
+        ))
+        .unwrap();
         let none_outcome = none.run().unwrap();
 
         assert!(periodic_outcome.metrics.availability > none_outcome.metrics.availability);
@@ -544,7 +601,10 @@ mod tests {
         ))
         .unwrap();
         let outcome = adaptive.run().unwrap();
-        assert!(outcome.nodes_added > 0, "the adaptive baseline should add nodes on alert bursts");
+        assert!(
+            outcome.nodes_added > 0,
+            "the adaptive baseline should add nodes on alert bursts"
+        );
         assert!(outcome.final_nodes <= 13);
     }
 

@@ -4,11 +4,62 @@
 //! initial system size `N_1` and recovery period `Δ_R`, over multiple random
 //! seeds, and reports the mean and 95% confidence interval of the three
 //! evaluation metrics — exactly the grid the paper reports in Table 7.
+//!
+//! The grid is executed through the shared scenario runtime of
+//! `tolerance-core`: each (strategy, `N_1`, `Δ_R`) cell becomes an
+//! [`EmulationScenario`], and the [`Runner`] pools all (cell, seed) pairs
+//! into one embarrassingly parallel job queue. Because every run is
+//! deterministic in its seed and outputs are collected in input order, a
+//! parallel grid is byte-identical to a serial one.
 
-use crate::emulation::{Emulation, EmulationConfig, StrategyKind};
+use crate::emulation::{Emulation, EmulationConfig, EmulationOutcome, StrategyKind};
 use serde::{Deserialize, Serialize};
-use tolerance_core::baselines::BaselineKind;
-use tolerance_markov::stats::SummaryStatistics;
+use tolerance_core::runtime::{AsMetricReport, MetricSummary, Runner, Scenario};
+
+/// One cell of an evaluation grid: a full emulation configuration whose
+/// seed is supplied per run by the [`Runner`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmulationScenario {
+    config: EmulationConfig,
+}
+
+impl EmulationScenario {
+    /// Wraps an emulation configuration (its `seed` field is ignored; the
+    /// runner supplies the seed of each run).
+    pub fn new(config: EmulationConfig) -> Self {
+        EmulationScenario { config }
+    }
+
+    /// The underlying configuration.
+    pub fn config(&self) -> &EmulationConfig {
+        &self.config
+    }
+}
+
+impl Scenario for EmulationScenario {
+    type Output = EmulationOutcome;
+
+    fn label(&self) -> String {
+        format!(
+            "{}/n{}/dr-{}",
+            self.config.strategy.name(),
+            self.config.initial_nodes,
+            format_delta_r(self.config.delta_r)
+        )
+    }
+
+    fn run(&self, seed: u64) -> tolerance_core::Result<EmulationOutcome> {
+        let mut config = self.config.clone();
+        config.seed = seed;
+        Emulation::new(config)?.run()
+    }
+}
+
+impl AsMetricReport for EmulationOutcome {
+    fn metric_report(&self) -> tolerance_core::metrics::MetricReport {
+        self.metrics
+    }
+}
 
 /// One row of the comparison (one strategy at one grid point).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -49,12 +100,7 @@ impl Default for EvaluationGrid {
         EvaluationGrid {
             initial_nodes: vec![3, 6, 9],
             delta_r: vec![Some(15), Some(25), None],
-            strategies: vec![
-                StrategyKind::Tolerance,
-                StrategyKind::Baseline(BaselineKind::NoRecovery),
-                StrategyKind::Baseline(BaselineKind::Periodic),
-                StrategyKind::Baseline(BaselineKind::PeriodicAdaptive),
-            ],
+            strategies: StrategyKind::paper_set().to_vec(),
             seeds: 20,
             horizon: 1000,
         }
@@ -73,52 +119,68 @@ impl EvaluationGrid {
         }
     }
 
-    /// Runs the full grid and returns one row per (strategy, `N_1`, `Δ_R`)
-    /// cell.
+    /// The grid cells as scenarios, in row order
+    /// (`N_1` outer, `Δ_R` middle, strategy inner — the paper's table
+    /// order).
+    pub fn cells(&self) -> Vec<EmulationScenario> {
+        let mut cells = Vec::new();
+        for &n1 in &self.initial_nodes {
+            for &delta_r in &self.delta_r {
+                for &strategy in &self.strategies {
+                    cells.push(EmulationScenario::new(EmulationConfig {
+                        initial_nodes: n1,
+                        delta_r,
+                        strategy,
+                        horizon: self.horizon,
+                        ..EmulationConfig::default()
+                    }));
+                }
+            }
+        }
+        cells
+    }
+
+    /// Runs the full grid in parallel (one worker per CPU) and returns one
+    /// row per (strategy, `N_1`, `Δ_R`) cell.
     ///
     /// # Errors
     ///
     /// Propagates emulation-construction failures.
     pub fn run(&self) -> tolerance_core::Result<Vec<ComparisonRow>> {
-        let mut rows = Vec::new();
-        for &n1 in &self.initial_nodes {
-            for &delta_r in &self.delta_r {
-                for &strategy in &self.strategies {
-                    let mut availability = Vec::with_capacity(self.seeds);
-                    let mut time_to_recovery = Vec::with_capacity(self.seeds);
-                    let mut recovery_frequency = Vec::with_capacity(self.seeds);
-                    for seed in 0..self.seeds {
-                        let config = EmulationConfig {
-                            initial_nodes: n1,
-                            delta_r,
-                            strategy,
-                            horizon: self.horizon,
-                            seed: seed as u64,
-                            ..EmulationConfig::default()
-                        };
-                        let outcome = Emulation::new(config)?.run()?;
-                        availability.push(outcome.metrics.availability);
-                        time_to_recovery.push(outcome.metrics.time_to_recovery);
-                        recovery_frequency.push(outcome.metrics.recovery_frequency);
-                    }
-                    let summarize = |samples: &[f64]| {
-                        let stats = SummaryStatistics::from_samples(samples)
-                            .expect("at least one seed");
-                        (stats.mean, stats.ci95_half_width)
-                    };
-                    rows.push(ComparisonRow {
-                        strategy: strategy.name().to_string(),
-                        initial_nodes: n1,
-                        delta_r,
-                        availability: summarize(&availability),
-                        time_to_recovery: summarize(&time_to_recovery),
-                        recovery_frequency: summarize(&recovery_frequency),
-                        seeds: self.seeds,
-                    });
-                }
-            }
-        }
-        Ok(rows)
+        self.run_with(&Runner::parallel())
+    }
+
+    /// Runs the full grid through the given runner. The result does not
+    /// depend on the runner's execution mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates emulation-construction failures.
+    pub fn run_with(&self, runner: &Runner) -> tolerance_core::Result<Vec<ComparisonRow>> {
+        let cells = self.cells();
+        let seeds: Vec<u64> = (0..self.seeds as u64).collect();
+        let outcomes = runner.run_cells(&cells, &seeds)?;
+        cells
+            .iter()
+            .zip(outcomes)
+            .map(|(cell, cell_outcomes)| {
+                let reports: Vec<_> = cell_outcomes
+                    .iter()
+                    .map(AsMetricReport::metric_report)
+                    .collect();
+                let summary = MetricSummary::from_reports(&reports)?;
+                let config = cell.config();
+                Ok(ComparisonRow {
+                    strategy: config.strategy.name().to_string(),
+                    initial_nodes: config.initial_nodes,
+                    delta_r: config.delta_r,
+                    availability: summary.availability,
+                    time_to_recovery: summary.time_to_recovery,
+                    recovery_frequency: summary.recovery_frequency,
+                    seeds: summary.samples,
+                })
+            })
+            .collect()
     }
 }
 
@@ -168,9 +230,35 @@ mod tests {
             seeds: 1,
             horizon: 50,
         };
+        assert_eq!(grid.cells().len(), 4);
         let rows = grid.run().unwrap();
         assert_eq!(rows.len(), 4);
         assert!(rows.iter().all(|r| r.seeds == 1));
+    }
+
+    #[test]
+    fn serial_and_parallel_grids_are_identical() {
+        let grid = EvaluationGrid {
+            initial_nodes: vec![3],
+            delta_r: vec![Some(15), None],
+            seeds: 2,
+            horizon: 60,
+            ..EvaluationGrid::default()
+        };
+        let serial = grid.run_with(&Runner::serial()).unwrap();
+        let parallel = grid.run_with(&Runner::parallel()).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn scenario_labels_identify_the_cell() {
+        let scenario = EmulationScenario::new(EmulationConfig {
+            initial_nodes: 6,
+            delta_r: Some(15),
+            ..EmulationConfig::default()
+        });
+        assert_eq!(scenario.label(), "tolerance/n6/dr-15");
+        assert_eq!(scenario.config().initial_nodes, 6);
     }
 
     #[test]

@@ -97,15 +97,21 @@ impl IdsModel {
     /// Fig. 11.
     pub fn for_container(container: &ContainerConfig) -> Self {
         // Healthy alerts: BetaBin(10, 0.7, 3) as in Appendix E.
-        let healthy = BetaBinomial::new(10, 0.7, 3.0).expect("valid parameters").pmf_vector();
+        let healthy = BetaBinomial::new(10, 0.7, 3.0)
+            .expect("valid parameters")
+            .pmf_vector();
         // Compromised alerts: BetaBin(10, alpha, 0.7) with alpha scaled by
         // detectability — louder intrusions push mass towards high counts.
         let alpha = (1.0 * container.detectability).clamp(0.4, 4.0);
-        let compromised =
-            BetaBinomial::new(10, alpha, 0.7).expect("valid parameters").pmf_vector();
+        let compromised = BetaBinomial::new(10, alpha, 0.7)
+            .expect("valid parameters")
+            .pmf_vector();
         let observation_model = ObservationModel::from_distributions(healthy, compromised)
             .expect("beta-binomial vectors are valid distributions");
-        IdsModel { container_id: container.id, observation_model }
+        IdsModel {
+            container_id: container.id,
+            observation_model,
+        }
     }
 
     /// The container this model belongs to.
@@ -197,8 +203,11 @@ impl TraceDataset {
                 let mut metrics = Vec::with_capacity(horizon as usize);
                 for t in 0..horizon {
                     let is_compromised = t >= intrusion_start;
-                    let state =
-                        if is_compromised { NodeState::Compromised } else { NodeState::Healthy };
+                    let state = if is_compromised {
+                        NodeState::Compromised
+                    } else {
+                        NodeState::Healthy
+                    };
                     compromised.push(is_compromised);
                     alerts.push(ids.sample_alerts(state, 0.0, rng));
                     metrics.push(sample_metric_vector(is_compromised, rng));
@@ -272,7 +281,11 @@ fn sample_metric_vector<R: Rng + ?Sized>(compromised: bool, rng: &mut R) -> [u64
         // Healthy behaviour: a small Poisson-like count; intrusions shift the
         // mean by the metric-specific amount.
         let base_mean = 3.0;
-        let mean = if compromised { base_mean * (1.0 + kind.intrusion_shift()) } else { base_mean };
+        let mean = if compromised {
+            base_mean * (1.0 + kind.intrusion_shift())
+        } else {
+            base_mean
+        };
         let poisson = tolerance_markov::dist::Poisson::new(mean).expect("positive mean");
         out[i] = poisson.sample(rng).min((METRIC_SUPPORT - 1) as u64);
     }
@@ -321,7 +334,9 @@ mod tests {
         let empirical = ids.estimate_empirical(25_000, &mut rng);
         for o in 0..10u64 {
             let err = (empirical.probability(NodeState::Compromised, o)
-                - ids.observation_model().probability(NodeState::Compromised, o))
+                - ids
+                    .observation_model()
+                    .probability(NodeState::Compromised, o))
             .abs();
             assert!(err < 0.02, "empirical estimate off by {err} at o = {o}");
         }
@@ -342,7 +357,10 @@ mod tests {
             base_total += base;
             burst_total += burst;
         }
-        assert!(burst_total > base_total, "active intrusion steps must add alert noise");
+        assert!(
+            burst_total > base_total,
+            "active intrusion steps must add alert noise"
+        );
     }
 
     #[test]
@@ -371,14 +389,22 @@ mod tests {
         let divergences = dataset.metric_divergences();
         assert_eq!(divergences.len(), 6);
         let get = |kind: MetricKind| {
-            divergences.iter().find(|(k, _)| *k == kind).map(|(_, d)| *d).unwrap()
+            divergences
+                .iter()
+                .find(|(k, _)| *k == kind)
+                .map(|(_, d)| *d)
+                .unwrap()
         };
         let alerts = get(MetricKind::AlertsWeightedByPriority);
         // The weighted-alert metric dominates every other metric, and disk
         // reads are nearly uninformative (Fig. 18).
         for kind in MetricKind::all() {
             if kind != MetricKind::AlertsWeightedByPriority {
-                assert!(alerts > get(kind), "{} should carry less information", kind.name());
+                assert!(
+                    alerts > get(kind),
+                    "{} should carry less information",
+                    kind.name()
+                );
             }
         }
         assert!(get(MetricKind::BlocksRead) < 0.1);

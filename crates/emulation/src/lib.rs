@@ -21,7 +21,11 @@
 //!   controllers and (optionally) the MinBFT cluster, producing the
 //!   `T(A)`, `T(R)`, `F(R)` metrics.
 //! * [`eval`] — the Table 7 / Fig. 12 comparison harness (TOLERANCE vs the
-//!   NO-RECOVERY, PERIODIC and PERIODIC-ADAPTIVE baselines over seeds).
+//!   NO-RECOVERY, PERIODIC and PERIODIC-ADAPTIVE baselines over seeds),
+//!   executed through the shared scenario runtime of `tolerance-core`.
+//! * [`scenarios`] — the built-in scenario catalogue: the paper's grid as
+//!   named registry entries plus workloads beyond the paper (bursty
+//!   attacker campaigns, heterogeneous fleets).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -32,10 +36,12 @@ pub mod containers;
 pub mod emulation;
 pub mod eval;
 pub mod ids;
+pub mod scenarios;
 
-pub use attacker::{Attacker, AttackerBehavior};
+pub use attacker::{AttackProfile, Attacker, AttackerBehavior};
 pub use clients::ClientPopulation;
 pub use containers::{ContainerCatalog, ContainerConfig};
 pub use emulation::{Emulation, EmulationConfig, EmulationOutcome, StrategyKind};
-pub use eval::{ComparisonRow, EvaluationGrid};
+pub use eval::{ComparisonRow, EmulationScenario, EvaluationGrid};
 pub use ids::{IdsModel, IntrusionTrace, MetricKind, TraceDataset};
+pub use scenarios::builtin_registry;

@@ -62,7 +62,10 @@ impl MarkovChain {
         for r in 0..transition.rows() {
             let row = transition.row(r);
             if row.iter().any(|&p| p < -STOCHASTIC_TOLERANCE) {
-                return Err(MarkovError::NotStochastic { row: r, sum: f64::NAN });
+                return Err(MarkovError::NotStochastic {
+                    row: r,
+                    sum: f64::NAN,
+                });
             }
             let sum: f64 = row.iter().sum();
             if (sum - 1.0).abs() > STOCHASTIC_TOLERANCE {
@@ -157,9 +160,9 @@ impl MarkovChain {
                 a[(i, j)] = if i == j { 1.0 } else { 0.0 } - self.transition[(s, s2)];
             }
         }
-        let h = a
-            .solve(&vec![1.0; m])
-            .map_err(|_| MarkovError::NoSolution("target set unreachable from some state".into()))?;
+        let h = a.solve(&vec![1.0; m]).map_err(|_| {
+            MarkovError::NoSolution("target set unreachable from some state".into())
+        })?;
         let mut result = vec![0.0; n];
         for (i, &s) in transient.iter().enumerate() {
             result[s] = h[i];
@@ -210,7 +213,12 @@ impl MarkovChain {
         let mut initial = vec![0.0; n];
         initial[start] = 1.0;
         let dist = absorbed.propagate(&initial, t)?;
-        Ok(dist.iter().enumerate().filter(|(s, _)| is_target[*s]).map(|(_, p)| p).sum())
+        Ok(dist
+            .iter()
+            .enumerate()
+            .filter(|(s, _)| is_target[*s])
+            .map(|(_, p)| p)
+            .sum())
     }
 
     /// The reliability function `R(t) = P[T_fail > t]` of Appendix F, i.e. the
@@ -239,7 +247,11 @@ impl MarkovChain {
     ///
     /// Returns [`MarkovError::NoSolution`] if power iteration does not
     /// converge within `max_iterations` (e.g. for periodic chains).
-    pub fn stationary_distribution(&self, max_iterations: usize, tolerance: f64) -> Result<Vec<f64>> {
+    pub fn stationary_distribution(
+        &self,
+        max_iterations: usize,
+        tolerance: f64,
+    ) -> Result<Vec<f64>> {
         let n = self.num_states();
         let mut dist = vec![1.0 / n as f64; n];
         for _ in 0..max_iterations {
@@ -250,7 +262,9 @@ impl MarkovChain {
                 return Ok(dist);
             }
         }
-        Err(MarkovError::NoSolution("power iteration did not converge".into()))
+        Err(MarkovError::NoSolution(
+            "power iteration did not converge".into(),
+        ))
     }
 
     /// Samples a trajectory of length `steps + 1` (including the start state).
@@ -258,7 +272,12 @@ impl MarkovChain {
     /// # Panics
     ///
     /// Panics if `start` is out of range.
-    pub fn sample_path<R: Rng + ?Sized>(&self, rng: &mut R, start: usize, steps: usize) -> Vec<usize> {
+    pub fn sample_path<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        start: usize,
+        steps: usize,
+    ) -> Vec<usize> {
         assert!(start < self.num_states(), "start state out of range");
         let mut path = Vec::with_capacity(steps + 1);
         let mut state = start;
@@ -349,7 +368,11 @@ mod tests {
         let chain = two_state(0.1);
         for t in [0u32, 1, 5, 20] {
             let expected = 1.0 - 0.9f64.powi(t as i32);
-            assert_close(chain.hitting_probability_by(0, &[1], t).unwrap(), expected, 1e-12);
+            assert_close(
+                chain.hitting_probability_by(0, &[1], t).unwrap(),
+                expected,
+                1e-12,
+            );
         }
     }
 

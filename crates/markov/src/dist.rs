@@ -279,7 +279,9 @@ impl DiscreteDistribution for Poisson {
             count
         } else {
             // Split: Poisson(a + b) = Poisson(a) + Poisson(b).
-            let half = Poisson { lambda: self.lambda / 2.0 };
+            let half = Poisson {
+                lambda: self.lambda / 2.0,
+            };
             half.sample(rng) + half.sample(rng)
         }
     }
@@ -505,7 +507,11 @@ impl DiscreteDistribution for Categorical {
     }
 
     fn mean(&self) -> f64 {
-        self.probabilities.iter().enumerate().map(|(i, p)| i as f64 * p).sum()
+        self.probabilities
+            .iter()
+            .enumerate()
+            .map(|(i, p)| i as f64 * p)
+            .sum()
     }
 
     fn variance(&self) -> f64 {
@@ -593,7 +599,10 @@ impl DiscreteDistribution for PoissonBinomial {
     }
 
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
-        self.probabilities.iter().filter(|&&p| rng.random::<f64>() < p).count() as u64
+        self.probabilities
+            .iter()
+            .filter(|&&p| rng.random::<f64>() < p)
+            .count() as u64
     }
 }
 
@@ -661,7 +670,10 @@ mod tests {
         let mut r = rng();
         let samples = d.sample_n(&mut r, 4000);
         let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
-        assert!((mean - 20.0).abs() < 0.5, "sample mean {mean} too far from 20");
+        assert!(
+            (mean - 20.0).abs() < 0.5,
+            "sample mean {mean} too far from 20"
+        );
         assert!(Poisson::new(0.0).is_err());
     }
 

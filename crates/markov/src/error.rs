@@ -47,7 +47,10 @@ impl fmt::Display for MarkovError {
                 write!(f, "invalid parameter `{name}`: {reason}")
             }
             MarkovError::NotStochastic { row, sum } => {
-                write!(f, "row {row} is not a probability distribution (sum = {sum})")
+                write!(
+                    f,
+                    "row {row} is not a probability distribution (sum = {sum})"
+                )
             }
             MarkovError::DimensionMismatch { expected, found } => {
                 write!(f, "dimension mismatch: expected {expected}, found {found}")
@@ -71,7 +74,10 @@ mod tests {
             name: "alpha",
             reason: "must be positive".to_string(),
         };
-        assert_eq!(err.to_string(), "invalid parameter `alpha`: must be positive");
+        assert_eq!(
+            err.to_string(),
+            "invalid parameter `alpha`: must be positive"
+        );
 
         let err = MarkovError::NotStochastic { row: 3, sum: 0.5 };
         assert!(err.to_string().contains("row 3"));
@@ -82,9 +88,16 @@ mod tests {
         };
         assert!(err.to_string().contains("expected 3x3"));
 
-        assert_eq!(MarkovError::SingularMatrix.to_string(), "matrix is singular or nearly singular");
-        assert!(MarkovError::NoSolution("unreachable".into()).to_string().contains("unreachable"));
-        assert!(MarkovError::EmptyInput("samples").to_string().contains("samples"));
+        assert_eq!(
+            MarkovError::SingularMatrix.to_string(),
+            "matrix is singular or nearly singular"
+        );
+        assert!(MarkovError::NoSolution("unreachable".into())
+            .to_string()
+            .contains("unreachable"));
+        assert!(MarkovError::EmptyInput("samples")
+            .to_string()
+            .contains("samples"));
     }
 
     #[test]

@@ -21,7 +21,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a matrix of the given shape filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates an identity matrix of size `n`.
@@ -53,11 +57,16 @@ impl Matrix {
             }
         }
         let data = rows.into_iter().flatten().collect();
-        Ok(Matrix { rows: 0, cols, data }.with_inferred_rows())
+        Ok(Matrix {
+            rows: 0,
+            cols,
+            data,
+        }
+        .with_inferred_rows())
     }
 
     fn with_inferred_rows(mut self) -> Self {
-        self.rows = if self.cols == 0 { 0 } else { self.data.len() / self.cols };
+        self.rows = self.data.len().checked_div(self.cols).unwrap_or(0);
         self
     }
 
@@ -77,7 +86,11 @@ impl Matrix {
     ///
     /// Panics if `r` is out of bounds.
     pub fn row(&self, r: usize) -> &[f64] {
-        assert!(r < self.rows, "row index {r} out of bounds ({} rows)", self.rows);
+        assert!(
+            r < self.rows,
+            "row index {r} out of bounds ({} rows)",
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -87,7 +100,11 @@ impl Matrix {
     ///
     /// Panics if `r` is out of bounds.
     pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
-        assert!(r < self.rows, "row index {r} out of bounds ({} rows)", self.rows);
+        assert!(
+            r < self.rows,
+            "row index {r} out of bounds ({} rows)",
+            self.rows
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -291,14 +308,20 @@ impl std::ops::Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl std::ops::IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -326,7 +349,10 @@ pub fn norm(a: &[f64]) -> f64 {
 /// entry is negative.
 pub fn normalize(values: &[f64]) -> Result<Vector> {
     if values.iter().any(|&v| v < 0.0) {
-        return Err(MarkovError::NotStochastic { row: 0, sum: f64::NAN });
+        return Err(MarkovError::NotStochastic {
+            row: 0,
+            sum: f64::NAN,
+        });
     }
     let sum: f64 = values.iter().sum();
     if sum <= 0.0 || !sum.is_finite() {

@@ -7,14 +7,14 @@
 /// Lanczos coefficients (g = 7, n = 9) for the log-gamma approximation.
 const LANCZOS_G: f64 = 7.0;
 const LANCZOS_COEFFICIENTS: [f64; 9] = [
-    0.999_999_999_999_809_93,
+    0.999_999_999_999_809_9,
     676.520_368_121_885_1,
     -1_259.139_216_722_402_8,
-    771.323_428_777_653_13,
+    771.323_428_777_653_1,
     -176.615_029_162_140_6,
     12.507_343_278_686_905,
     -0.138_571_095_265_720_12,
-    9.984_369_578_019_571_6e-6,
+    9.984_369_578_019_572e-6,
     1.505_632_735_149_311_6e-7,
 ];
 
@@ -28,7 +28,10 @@ const LANCZOS_COEFFICIENTS: [f64; 9] = [
 /// Panics if `x` is not finite or if `x` is a non-positive integer (where the
 /// gamma function has poles).
 pub fn ln_gamma(x: f64) -> f64 {
-    assert!(x.is_finite(), "ln_gamma requires a finite argument, got {x}");
+    assert!(
+        x.is_finite(),
+        "ln_gamma requires a finite argument, got {x}"
+    );
     if x < 0.5 {
         // Reflection formula: Γ(x)Γ(1-x) = π / sin(πx).
         let sin_pi_x = (std::f64::consts::PI * x).sin();
@@ -49,7 +52,10 @@ pub fn ln_gamma(x: f64) -> f64 {
 
 /// Natural logarithm of the beta function, `ln B(a, b)` for `a, b > 0`.
 pub fn ln_beta(a: f64, b: f64) -> f64 {
-    assert!(a > 0.0 && b > 0.0, "ln_beta requires positive arguments, got ({a}, {b})");
+    assert!(
+        a > 0.0 && b > 0.0,
+        "ln_beta requires positive arguments, got ({a}, {b})"
+    );
     ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b)
 }
 

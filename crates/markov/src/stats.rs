@@ -66,12 +66,20 @@ impl SummaryStatistics {
         } else {
             0.0
         };
-        Ok(SummaryStatistics { mean, std_dev, ci95_half_width: half_width, count: n })
+        Ok(SummaryStatistics {
+            mean,
+            std_dev,
+            ci95_half_width: half_width,
+            count: n,
+        })
     }
 
     /// Formats the statistic as `mean ± ci`, as printed in the paper's tables.
     pub fn format_pm(&self, decimals: usize) -> String {
-        format!("{:.*} ± {:.*}", decimals, self.mean, decimals, self.ci95_half_width)
+        format!(
+            "{:.*} ± {:.*}",
+            decimals, self.mean, decimals, self.ci95_half_width
+        )
     }
 }
 
@@ -155,7 +163,8 @@ mod tests {
 
     #[test]
     fn summary_statistics_known_values() {
-        let stats = SummaryStatistics::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        let stats =
+            SummaryStatistics::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
         assert_close(stats.mean, 5.0, 1e-12);
         assert_close(stats.std_dev, (32.0f64 / 7.0).sqrt(), 1e-12);
         assert_eq!(stats.count, 8);
@@ -200,7 +209,10 @@ mod tests {
         // Asymmetric in general.
         assert!((d_pq - d_qp).abs() > 1e-3);
         // Infinite when q has a zero where p has mass.
-        assert_eq!(kl_divergence(&[1.0, 0.0], &[0.0, 1.0]).unwrap(), f64::INFINITY);
+        assert_eq!(
+            kl_divergence(&[1.0, 0.0], &[0.0, 1.0]).unwrap(),
+            f64::INFINITY
+        );
         // Dimension and emptiness errors.
         assert!(kl_divergence(&[0.5, 0.5], &[1.0]).is_err());
         assert!(kl_divergence(&[], &[]).is_err());

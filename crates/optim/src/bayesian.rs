@@ -102,7 +102,15 @@ impl GaussianProcess {
         let alpha = kernel
             .solve(&centered)
             .map_err(|e| OptimError::Numerical(format!("kernel solve failed: {e}")))?;
-        Ok(GaussianProcess { points, values, mean_offset, length_scale, noise_variance, alpha, kernel })
+        Ok(GaussianProcess {
+            points,
+            values,
+            mean_offset,
+            length_scale,
+            noise_variance,
+            alpha,
+            kernel,
+        })
     }
 
     /// Posterior mean and variance at a query point.
@@ -111,10 +119,17 @@ impl GaussianProcess {
     ///
     /// Returns [`OptimError::Numerical`] if the variance solve fails.
     pub fn predict(&self, query: &[f64]) -> Result<(f64, f64)> {
-        let k_star: Vec<f64> =
-            self.points.iter().map(|p| matern52(p, query, self.length_scale)).collect();
+        let k_star: Vec<f64> = self
+            .points
+            .iter()
+            .map(|p| matern52(p, query, self.length_scale))
+            .collect();
         let mean = self.mean_offset
-            + k_star.iter().zip(&self.alpha).map(|(k, a)| k * a).sum::<f64>();
+            + k_star
+                .iter()
+                .zip(&self.alpha)
+                .map(|(k, a)| k * a)
+                .sum::<f64>();
         let v = self
             .kernel
             .solve(&k_star)
@@ -145,7 +160,10 @@ impl BayesianOptimization {
 
     fn validate(&self, dimension: usize) -> Result<()> {
         if dimension == 0 {
-            return Err(OptimError::DimensionMismatch { expected: 1, found: 0 });
+            return Err(OptimError::DimensionMismatch {
+                expected: 1,
+                found: 0,
+            });
         }
         if self.config.initial_points == 0 {
             return Err(OptimError::InvalidConfig {
@@ -170,7 +188,11 @@ impl BayesianOptimization {
 }
 
 impl Optimizer for BayesianOptimization {
-    fn minimize(&self, objective: &dyn Objective, rng: &mut dyn RngCore) -> Result<OptimizationResult> {
+    fn minimize(
+        &self,
+        objective: &dyn Objective,
+        rng: &mut dyn RngCore,
+    ) -> Result<OptimizationResult> {
         let d = objective.dimension();
         self.validate(d)?;
         let cfg = &self.config;
@@ -215,7 +237,11 @@ impl Optimizer for BayesianOptimization {
                 };
                 let (mean, variance) = gp.predict(&candidate)?;
                 let lcb = mean - cfg.beta * variance.sqrt();
-                if best_candidate.as_ref().map(|(v, _)| lcb < *v).unwrap_or(true) {
+                if best_candidate
+                    .as_ref()
+                    .map(|(v, _)| lcb < *v)
+                    .unwrap_or(true)
+                {
                     best_candidate = Some((lcb, candidate));
                 }
             }
@@ -261,7 +287,10 @@ mod tests {
         let gp = GaussianProcess::fit(points.clone(), values.clone(), 0.2, 1e-6).unwrap();
         for (p, v) in points.iter().zip(&values) {
             let (mean, variance) = gp.predict(p).unwrap();
-            assert!((mean - v).abs() < 0.05, "mean {mean} should be close to {v}");
+            assert!(
+                (mean - v).abs() < 0.05,
+                "mean {mean} should be close to {v}"
+            );
             assert!(variance < 0.05);
         }
         // Far from the data the variance grows.
@@ -288,17 +317,31 @@ mod tests {
             ..BoConfig::default()
         };
         let mut rng = StdRng::seed_from_u64(3);
-        let result = BayesianOptimization::new(cfg).minimize(&obj, &mut rng).unwrap();
-        assert!((result.best_point[0] - 0.42).abs() < 0.05, "point {:?}", result.best_point);
+        let result = BayesianOptimization::new(cfg)
+            .minimize(&obj, &mut rng)
+            .unwrap();
+        assert!(
+            (result.best_point[0] - 0.42).abs() < 0.05,
+            "point {:?}",
+            result.best_point
+        );
         assert!(result.best_value < 3e-3);
     }
 
     #[test]
     fn bo_uses_few_evaluations() {
         let obj = FnObjective::new(2, |x: &[f64], _| x[0] * x[0] + x[1] * x[1]);
-        let cfg = BoConfig { initial_points: 4, iterations: 6, evaluation_samples: 1, acquisition_candidates: 50, ..BoConfig::default() };
+        let cfg = BoConfig {
+            initial_points: 4,
+            iterations: 6,
+            evaluation_samples: 1,
+            acquisition_candidates: 50,
+            ..BoConfig::default()
+        };
         let mut rng = StdRng::seed_from_u64(0);
-        let result = BayesianOptimization::new(cfg).minimize(&obj, &mut rng).unwrap();
+        let result = BayesianOptimization::new(cfg)
+            .minimize(&obj, &mut rng)
+            .unwrap();
         assert_eq!(result.evaluations, 10);
         assert_eq!(result.history.len(), 7);
     }
@@ -308,11 +351,22 @@ mod tests {
         let obj = FnObjective::new(1, |x: &[f64], _| x[0]);
         let mut rng = StdRng::seed_from_u64(0);
         for cfg in [
-            BoConfig { initial_points: 0, ..BoConfig::default() },
-            BoConfig { length_scale: 0.0, ..BoConfig::default() },
-            BoConfig { beta: -1.0, ..BoConfig::default() },
+            BoConfig {
+                initial_points: 0,
+                ..BoConfig::default()
+            },
+            BoConfig {
+                length_scale: 0.0,
+                ..BoConfig::default()
+            },
+            BoConfig {
+                beta: -1.0,
+                ..BoConfig::default()
+            },
         ] {
-            assert!(BayesianOptimization::new(cfg).minimize(&obj, &mut rng).is_err());
+            assert!(BayesianOptimization::new(cfg)
+                .minimize(&obj, &mut rng)
+                .is_err());
         }
     }
 

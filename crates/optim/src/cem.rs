@@ -56,7 +56,10 @@ impl CrossEntropyMethod {
 
     fn validate(&self, dimension: usize) -> Result<()> {
         if dimension == 0 {
-            return Err(OptimError::DimensionMismatch { expected: 1, found: 0 });
+            return Err(OptimError::DimensionMismatch {
+                expected: 1,
+                found: 0,
+            });
         }
         if self.config.population < 2 {
             return Err(OptimError::InvalidConfig {
@@ -88,12 +91,16 @@ pub(crate) fn sample_standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
 }
 
 impl Optimizer for CrossEntropyMethod {
-    fn minimize(&self, objective: &dyn Objective, rng: &mut dyn RngCore) -> Result<OptimizationResult> {
+    fn minimize(
+        &self,
+        objective: &dyn Objective,
+        rng: &mut dyn RngCore,
+    ) -> Result<OptimizationResult> {
         let d = objective.dimension();
         self.validate(d)?;
         let cfg = &self.config;
-        let elite_count = ((cfg.population as f64 * cfg.elite_fraction).ceil() as usize)
-            .clamp(1, cfg.population);
+        let elite_count =
+            ((cfg.population as f64 * cfg.elite_fraction).ceil() as usize).clamp(1, cfg.population);
 
         let mut mean = vec![0.5; d];
         let mut std_dev = vec![0.3; d];
@@ -117,8 +124,7 @@ impl Optimizer for CrossEntropyMethod {
 
             // Refit the sampling distribution to the elite set.
             for i in 0..d {
-                let elite_mean =
-                    elites.iter().map(|(_, x)| x[i]).sum::<f64>() / elite_count as f64;
+                let elite_mean = elites.iter().map(|(_, x)| x[i]).sum::<f64>() / elite_count as f64;
                 let elite_var = elites
                     .iter()
                     .map(|(_, x)| (x[i] - elite_mean) * (x[i] - elite_mean))
@@ -154,9 +160,16 @@ mod tests {
     #[test]
     fn cem_minimizes_deterministic_quadratic() {
         let obj = quadratic(vec![0.3, 0.7]);
-        let cfg = CemConfig { population: 40, iterations: 30, evaluation_samples: 1, ..CemConfig::default() };
+        let cfg = CemConfig {
+            population: 40,
+            iterations: 30,
+            evaluation_samples: 1,
+            ..CemConfig::default()
+        };
         let mut rng = StdRng::seed_from_u64(11);
-        let result = CrossEntropyMethod::new(cfg).minimize(&obj, &mut rng).unwrap();
+        let result = CrossEntropyMethod::new(cfg)
+            .minimize(&obj, &mut rng)
+            .unwrap();
         assert!(result.best_value < 1e-3, "best value {}", result.best_value);
         assert!((result.best_point[0] - 0.3).abs() < 0.05);
         assert!((result.best_point[1] - 0.7).abs() < 0.05);
@@ -168,18 +181,36 @@ mod tests {
         let obj = FnObjective::new(1, |x: &[f64], rng: &mut dyn RngCore| {
             (x[0] - 0.8).powi(2) + 0.05 * (sample_standard_normal(rng))
         });
-        let cfg = CemConfig { population: 40, iterations: 25, evaluation_samples: 10, ..CemConfig::default() };
+        let cfg = CemConfig {
+            population: 40,
+            iterations: 25,
+            evaluation_samples: 10,
+            ..CemConfig::default()
+        };
         let mut rng = StdRng::seed_from_u64(5);
-        let result = CrossEntropyMethod::new(cfg).minimize(&obj, &mut rng).unwrap();
-        assert!((result.best_point[0] - 0.8).abs() < 0.1, "best point {:?}", result.best_point);
+        let result = CrossEntropyMethod::new(cfg)
+            .minimize(&obj, &mut rng)
+            .unwrap();
+        assert!(
+            (result.best_point[0] - 0.8).abs() < 0.1,
+            "best point {:?}",
+            result.best_point
+        );
     }
 
     #[test]
     fn cem_convergence_history_is_monotone() {
         let obj = quadratic(vec![0.5]);
-        let cfg = CemConfig { population: 20, iterations: 10, evaluation_samples: 1, ..CemConfig::default() };
+        let cfg = CemConfig {
+            population: 20,
+            iterations: 10,
+            evaluation_samples: 1,
+            ..CemConfig::default()
+        };
         let mut rng = StdRng::seed_from_u64(2);
-        let result = CrossEntropyMethod::new(cfg).minimize(&obj, &mut rng).unwrap();
+        let result = CrossEntropyMethod::new(cfg)
+            .minimize(&obj, &mut rng)
+            .unwrap();
         for w in result.history.windows(2) {
             assert!(w[1].best_value <= w[0].best_value + 1e-12);
             assert!(w[1].evaluations > w[0].evaluations);
@@ -190,14 +221,31 @@ mod tests {
     fn cem_rejects_invalid_configs() {
         let obj = quadratic(vec![0.5]);
         let mut rng = StdRng::seed_from_u64(0);
-        let bad_pop = CemConfig { population: 1, ..CemConfig::default() };
-        assert!(CrossEntropyMethod::new(bad_pop).minimize(&obj, &mut rng).is_err());
-        let bad_elite = CemConfig { elite_fraction: 0.0, ..CemConfig::default() };
-        assert!(CrossEntropyMethod::new(bad_elite).minimize(&obj, &mut rng).is_err());
-        let bad_iter = CemConfig { iterations: 0, ..CemConfig::default() };
-        assert!(CrossEntropyMethod::new(bad_iter).minimize(&obj, &mut rng).is_err());
+        let bad_pop = CemConfig {
+            population: 1,
+            ..CemConfig::default()
+        };
+        assert!(CrossEntropyMethod::new(bad_pop)
+            .minimize(&obj, &mut rng)
+            .is_err());
+        let bad_elite = CemConfig {
+            elite_fraction: 0.0,
+            ..CemConfig::default()
+        };
+        assert!(CrossEntropyMethod::new(bad_elite)
+            .minimize(&obj, &mut rng)
+            .is_err());
+        let bad_iter = CemConfig {
+            iterations: 0,
+            ..CemConfig::default()
+        };
+        assert!(CrossEntropyMethod::new(bad_iter)
+            .minimize(&obj, &mut rng)
+            .is_err());
         let zero_dim = FnObjective::new(0, |_: &[f64], _: &mut dyn RngCore| 0.0);
-        assert!(CrossEntropyMethod::new(CemConfig::default()).minimize(&zero_dim, &mut rng).is_err());
+        assert!(CrossEntropyMethod::new(CemConfig::default())
+            .minimize(&zero_dim, &mut rng)
+            .is_err());
     }
 
     #[test]

@@ -50,7 +50,10 @@ impl DifferentialEvolution {
 
     fn validate(&self, dimension: usize) -> Result<()> {
         if dimension == 0 {
-            return Err(OptimError::DimensionMismatch { expected: 1, found: 0 });
+            return Err(OptimError::DimensionMismatch {
+                expected: 1,
+                found: 0,
+            });
         }
         if self.config.population < 4 {
             return Err(OptimError::InvalidConfig {
@@ -81,7 +84,11 @@ impl DifferentialEvolution {
 }
 
 impl Optimizer for DifferentialEvolution {
-    fn minimize(&self, objective: &dyn Objective, rng: &mut dyn RngCore) -> Result<OptimizationResult> {
+    fn minimize(
+        &self,
+        objective: &dyn Objective,
+        rng: &mut dyn RngCore,
+    ) -> Result<OptimizationResult> {
         let d = objective.dimension();
         self.validate(d)?;
         let cfg = &self.config;
@@ -161,9 +168,16 @@ mod tests {
     #[test]
     fn de_minimizes_sphere() {
         let obj = sphere(vec![0.25, 0.75, 0.5]);
-        let cfg = DeConfig { population: 15, generations: 60, evaluation_samples: 1, ..DeConfig::default() };
+        let cfg = DeConfig {
+            population: 15,
+            generations: 60,
+            evaluation_samples: 1,
+            ..DeConfig::default()
+        };
         let mut rng = StdRng::seed_from_u64(9);
-        let result = DifferentialEvolution::new(cfg).minimize(&obj, &mut rng).unwrap();
+        let result = DifferentialEvolution::new(cfg)
+            .minimize(&obj, &mut rng)
+            .unwrap();
         assert!(result.best_value < 1e-2, "best value {}", result.best_value);
         assert!((result.best_point[0] - 0.25).abs() < 0.1);
     }
@@ -179,19 +193,38 @@ mod tests {
                 })
                 .sum()
         });
-        let cfg = DeConfig { population: 25, generations: 80, evaluation_samples: 1, mutation_factor: 0.5, ..DeConfig::default() };
+        let cfg = DeConfig {
+            population: 25,
+            generations: 80,
+            evaluation_samples: 1,
+            mutation_factor: 0.5,
+            ..DeConfig::default()
+        };
         let mut rng = StdRng::seed_from_u64(17);
-        let result = DifferentialEvolution::new(cfg).minimize(&obj, &mut rng).unwrap();
-        assert!((result.best_point[0] - 0.5).abs() < 0.1, "point {:?}", result.best_point);
+        let result = DifferentialEvolution::new(cfg)
+            .minimize(&obj, &mut rng)
+            .unwrap();
+        assert!(
+            (result.best_point[0] - 0.5).abs() < 0.1,
+            "point {:?}",
+            result.best_point
+        );
         assert!((result.best_point[1] - 0.5).abs() < 0.1);
     }
 
     #[test]
     fn de_history_counts_evaluations() {
         let obj = sphere(vec![0.5]);
-        let cfg = DeConfig { population: 5, generations: 3, evaluation_samples: 2, ..DeConfig::default() };
+        let cfg = DeConfig {
+            population: 5,
+            generations: 3,
+            evaluation_samples: 2,
+            ..DeConfig::default()
+        };
         let mut rng = StdRng::seed_from_u64(1);
-        let result = DifferentialEvolution::new(cfg).minimize(&obj, &mut rng).unwrap();
+        let result = DifferentialEvolution::new(cfg)
+            .minimize(&obj, &mut rng)
+            .unwrap();
         // 5 initial + 5 per generation, times 2 samples each.
         assert_eq!(result.evaluations, (5 + 5 * 3) * 2);
         assert_eq!(result.history.len(), 4);
@@ -202,12 +235,26 @@ mod tests {
         let obj = sphere(vec![0.5]);
         let mut rng = StdRng::seed_from_u64(0);
         for cfg in [
-            DeConfig { population: 3, ..DeConfig::default() },
-            DeConfig { recombination_rate: 1.5, ..DeConfig::default() },
-            DeConfig { mutation_factor: 0.0, ..DeConfig::default() },
-            DeConfig { generations: 0, ..DeConfig::default() },
+            DeConfig {
+                population: 3,
+                ..DeConfig::default()
+            },
+            DeConfig {
+                recombination_rate: 1.5,
+                ..DeConfig::default()
+            },
+            DeConfig {
+                mutation_factor: 0.0,
+                ..DeConfig::default()
+            },
+            DeConfig {
+                generations: 0,
+                ..DeConfig::default()
+            },
         ] {
-            assert!(DifferentialEvolution::new(cfg).minimize(&obj, &mut rng).is_err());
+            assert!(DifferentialEvolution::new(cfg)
+                .minimize(&obj, &mut rng)
+                .is_err());
         }
     }
 

@@ -61,10 +61,22 @@ mod tests {
     fn display_is_informative() {
         assert!(OptimError::Infeasible.to_string().contains("infeasible"));
         assert!(OptimError::Unbounded.to_string().contains("unbounded"));
-        assert!(OptimError::IterationLimit("simplex").to_string().contains("simplex"));
-        assert!(OptimError::Numerical("nan".into()).to_string().contains("nan"));
-        assert!(OptimError::DimensionMismatch { expected: 2, found: 3 }.to_string().contains("2"));
-        let cfg = OptimError::InvalidConfig { name: "population", reason: "must be > 0".into() };
+        assert!(OptimError::IterationLimit("simplex")
+            .to_string()
+            .contains("simplex"));
+        assert!(OptimError::Numerical("nan".into())
+            .to_string()
+            .contains("nan"));
+        assert!(OptimError::DimensionMismatch {
+            expected: 2,
+            found: 3
+        }
+        .to_string()
+        .contains("2"));
+        let cfg = OptimError::InvalidConfig {
+            name: "population",
+            reason: "must be > 0".into(),
+        };
         assert!(cfg.to_string().contains("population"));
     }
 

@@ -26,16 +26,21 @@ impl DenseLayer {
         let weights = (0..inputs * outputs)
             .map(|_| scale * sample_standard_normal(rng))
             .collect();
-        DenseLayer { weights, biases: vec![0.0; outputs], inputs, outputs }
+        DenseLayer {
+            weights,
+            biases: vec![0.0; outputs],
+            inputs,
+            outputs,
+        }
     }
 
     /// Applies the affine map to `x`.
     pub fn forward(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.inputs, "input dimension mismatch");
         let mut out = self.biases.clone();
-        for o in 0..self.outputs {
+        for (o, value) in out.iter_mut().enumerate() {
             let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
-            out[o] += row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>();
+            *value += row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>();
         }
         out
     }
@@ -88,7 +93,11 @@ pub struct MlpGradient {
 impl MlpGradient {
     /// Adds another gradient accumulator into this one.
     pub fn merge(&mut self, other: &MlpGradient) {
-        assert_eq!(self.layers.len(), other.layers.len(), "gradient shape mismatch");
+        assert_eq!(
+            self.layers.len(),
+            other.layers.len(),
+            "gradient shape mismatch"
+        );
         for (a, b) in self.layers.iter_mut().zip(&other.layers) {
             for (x, y) in a.weights.iter_mut().zip(&b.weights) {
                 *x += y;
@@ -108,7 +117,10 @@ impl Mlp {
     ///
     /// Panics if fewer than two sizes are given.
     pub fn new<R: RngCore + ?Sized>(sizes: &[usize], rng: &mut R) -> Self {
-        assert!(sizes.len() >= 2, "an MLP needs at least input and output sizes");
+        assert!(
+            sizes.len() >= 2,
+            "an MLP needs at least input and output sizes"
+        );
         let layers = sizes
             .windows(2)
             .map(|w| DenseLayer::new(w[0], w[1], rng))
@@ -149,7 +161,10 @@ impl Mlp {
                 inputs.push(current.clone());
             }
         }
-        ForwardCache { inputs, pre_activations }
+        ForwardCache {
+            inputs,
+            pre_activations,
+        }
     }
 
     /// Convenience forward pass returning only the output vector.
@@ -174,8 +189,17 @@ impl Mlp {
 
     /// Backpropagates `output_gradient` (dLoss/dOutput) through the cached
     /// forward pass, accumulating parameter gradients into `gradient`.
-    pub fn backward(&self, cache: &ForwardCache, output_gradient: &[f64], gradient: &mut MlpGradient) {
-        assert_eq!(output_gradient.len(), self.output_dim(), "output gradient dimension mismatch");
+    pub fn backward(
+        &self,
+        cache: &ForwardCache,
+        output_gradient: &[f64],
+        gradient: &mut MlpGradient,
+    ) {
+        assert_eq!(
+            output_gradient.len(),
+            self.output_dim(),
+            "output gradient dimension mismatch"
+        );
         let mut delta = output_gradient.to_vec();
         for (layer_index, layer) in self.layers.iter().enumerate().rev() {
             // For hidden layers the incoming delta is w.r.t. the
@@ -189,19 +213,20 @@ impl Mlp {
             }
             let input = &cache.inputs[layer_index];
             let grad = &mut gradient.layers[layer_index];
-            for o in 0..layer.outputs {
-                grad.biases[o] += delta[o];
-                for i in 0..layer.inputs {
-                    grad.weights[o * layer.inputs + i] += delta[o] * input[i];
+            for (o, &d) in delta.iter().enumerate().take(layer.outputs) {
+                grad.biases[o] += d;
+                let row = &mut grad.weights[o * layer.inputs..(o + 1) * layer.inputs];
+                for (w, &x) in row.iter_mut().zip(input) {
+                    *w += d * x;
                 }
             }
             // Propagate to the previous layer.
             if layer_index > 0 {
                 let mut next_delta = vec![0.0; layer.inputs];
-                for o in 0..layer.outputs {
+                for (o, &d) in delta.iter().enumerate().take(layer.outputs) {
                     let row = &layer.weights[o * layer.inputs..(o + 1) * layer.inputs];
-                    for i in 0..layer.inputs {
-                        next_delta[i] += delta[o] * row[i];
+                    for (nd, &w) in next_delta.iter_mut().zip(row) {
+                        *nd += d * w;
                     }
                 }
                 delta = next_delta;
@@ -253,8 +278,16 @@ impl AdamOptimizer {
         let bias2 = 1.0 - self.beta2.powi(self.step as i32);
         for (layer_index, layer) in network.layers.iter_mut().enumerate() {
             let params: [(&mut Vec<f64>, &Vec<f64>, usize); 2] = [
-                (&mut layer.weights, &gradient.layers[layer_index].weights, 2 * layer_index),
-                (&mut layer.biases, &gradient.layers[layer_index].biases, 2 * layer_index + 1),
+                (
+                    &mut layer.weights,
+                    &gradient.layers[layer_index].weights,
+                    2 * layer_index,
+                ),
+                (
+                    &mut layer.biases,
+                    &gradient.layers[layer_index].biases,
+                    2 * layer_index + 1,
+                ),
             ];
             for (values, grads, moment_index) in params {
                 let m = &mut self.first_moment[moment_index];
@@ -339,12 +372,17 @@ mod tests {
         let mut net = Mlp::new(&[1, 16, 1], &mut rng);
         let mut adam = AdamOptimizer::new(&net, 0.01);
         // Fit y = 2x - 1 on [0, 1].
-        let data: Vec<(f64, f64)> = (0..50).map(|i| {
-            let x = i as f64 / 49.0;
-            (x, 2.0 * x - 1.0)
-        }).collect();
+        let data: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let x = i as f64 / 49.0;
+                (x, 2.0 * x - 1.0)
+            })
+            .collect();
         let loss = |net: &Mlp| -> f64 {
-            data.iter().map(|&(x, y)| (net.predict(&[x])[0] - y).powi(2)).sum::<f64>() / data.len() as f64
+            data.iter()
+                .map(|&(x, y)| (net.predict(&[x])[0] - y).powi(2))
+                .sum::<f64>()
+                / data.len() as f64
         };
         let initial = loss(&net);
         for _ in 0..300 {
@@ -357,7 +395,10 @@ mod tests {
             adam.apply(&mut net, &grad);
         }
         let final_loss = loss(&net);
-        assert!(final_loss < initial * 0.1, "loss {final_loss} did not improve from {initial}");
+        assert!(
+            final_loss < initial * 0.1,
+            "loss {final_loss} did not improve from {initial}"
+        );
         assert!(final_loss < 0.05);
     }
 

@@ -29,7 +29,10 @@ pub trait Objective {
         if repetitions == 0 {
             return self.evaluate(point, rng);
         }
-        (0..repetitions).map(|_| self.evaluate(point, rng)).sum::<f64>() / repetitions as f64
+        (0..repetitions)
+            .map(|_| self.evaluate(point, rng))
+            .sum::<f64>()
+            / repetitions as f64
     }
 }
 
@@ -48,7 +51,10 @@ where
 {
     /// Wraps a closure as an objective of the given dimension.
     pub fn new(dimension: usize, function: F) -> Self {
-        FnObjective { dimension, function }
+        FnObjective {
+            dimension,
+            function,
+        }
     }
 }
 
@@ -90,11 +96,14 @@ mod tests {
     fn evaluate_mean_averages_noise() {
         use rand::Rng;
         let obj = FnObjective::new(1, |x: &[f64], rng: &mut dyn RngCore| {
-            x[0] + (&mut *rng).random_range(-0.5..0.5)
+            x[0] + rng.random_range(-0.5..0.5)
         });
         let mut rng = StdRng::seed_from_u64(3);
         let mean = obj.evaluate_mean(&[0.5], 2000, &mut rng);
-        assert!((mean - 0.5).abs() < 0.05, "noisy mean {mean} too far from 0.5");
+        assert!(
+            (mean - 0.5).abs() < 0.05,
+            "noisy mean {mean} too far from 0.5"
+        );
         // Zero repetitions degrades to a single evaluation.
         let single = obj.evaluate_mean(&[0.5], 0, &mut rng);
         assert!(single.is_finite());

@@ -36,7 +36,10 @@ impl OptimizationResult {
     /// Returns the wall-clock time of the run in seconds (0 if no history was
     /// recorded).
     pub fn elapsed_seconds(&self) -> f64 {
-        self.history.last().map(|p| p.elapsed_seconds).unwrap_or(0.0)
+        self.history
+            .last()
+            .map(|p| p.elapsed_seconds)
+            .unwrap_or(0.0)
     }
 }
 
@@ -50,7 +53,11 @@ pub trait Optimizer {
     /// Returns an error if the optimizer configuration is inconsistent with
     /// the objective (e.g. dimension mismatch) or if a numerical failure
     /// occurs.
-    fn minimize(&self, objective: &dyn Objective, rng: &mut dyn RngCore) -> Result<OptimizationResult>;
+    fn minimize(
+        &self,
+        objective: &dyn Objective,
+        rng: &mut dyn RngCore,
+    ) -> Result<OptimizationResult>;
 
     /// A short human-readable name used in experiment reports ("cem", "spsa", ...).
     fn name(&self) -> &'static str;

@@ -273,13 +273,20 @@ impl Ppo {
                 let reward = -transitions[t].cost;
                 let delta = reward + cfg.gamma * next_value - transitions[t].value;
                 gae = delta
-                    + if transitions[t].done { 0.0 } else { cfg.gamma * cfg.gae_lambda * gae };
+                    + if transitions[t].done {
+                        0.0
+                    } else {
+                        cfg.gamma * cfg.gae_lambda * gae
+                    };
                 advantages[t] = gae;
                 returns[t] = advantages[t] + transitions[t].value;
             }
             // Normalize advantages.
             let adv_mean = advantages.iter().sum::<f64>() / n as f64;
-            let adv_std = (advantages.iter().map(|a| (a - adv_mean).powi(2)).sum::<f64>()
+            let adv_std = (advantages
+                .iter()
+                .map(|a| (a - adv_mean).powi(2))
+                .sum::<f64>()
                 / n as f64)
                 .sqrt()
                 .max(1e-8);
@@ -338,7 +345,11 @@ impl Ppo {
             });
         }
 
-        Ok(PpoResult { policy: PpoPolicy { network: policy }, history, environment_steps: total_steps })
+        Ok(PpoResult {
+            policy: PpoPolicy { network: policy },
+            history,
+            environment_steps: total_steps,
+        })
     }
 
     /// A short name used in experiment reports.
@@ -388,7 +399,11 @@ mod tests {
             } else {
                 self.state = (self.state + 0.1).min(1.0);
             }
-            StepOutcome { observation: vec![self.state], cost: self.state, done: self.state >= 1.0 }
+            StepOutcome {
+                observation: vec![self.state],
+                cost: self.state,
+                done: self.state >= 1.0,
+            }
         }
     }
 
@@ -415,7 +430,10 @@ mod tests {
         // Training cost should go down over iterations.
         let first = result.history.first().unwrap().best_value;
         let last = result.history.last().unwrap().best_value;
-        assert!(last <= first + 0.05, "cost did not decrease: {first} -> {last}");
+        assert!(
+            last <= first + 0.05,
+            "cost did not decrease: {first} -> {last}"
+        );
         assert!(result.environment_steps >= 15 * 256);
     }
 
@@ -424,10 +442,22 @@ mod tests {
         let mut env = DriftEnvironment { state: 0.5 };
         let mut rng = StdRng::seed_from_u64(0);
         for config in [
-            PpoConfig { batch_size: 0, ..PpoConfig::default() },
-            PpoConfig { clip: 0.0, ..PpoConfig::default() },
-            PpoConfig { gamma: 0.0, ..PpoConfig::default() },
-            PpoConfig { iterations: 0, ..PpoConfig::default() },
+            PpoConfig {
+                batch_size: 0,
+                ..PpoConfig::default()
+            },
+            PpoConfig {
+                clip: 0.0,
+                ..PpoConfig::default()
+            },
+            PpoConfig {
+                gamma: 0.0,
+                ..PpoConfig::default()
+            },
+            PpoConfig {
+                iterations: 0,
+                ..PpoConfig::default()
+            },
         ] {
             assert!(Ppo::new(config).train(&mut env, &mut rng).is_err());
         }

@@ -88,7 +88,12 @@ impl LinearProgram {
                 found: objective.len(),
             });
         }
-        Ok(LinearProgram { num_variables, objective, constraints: Vec::new(), max_pivots: 200_000 })
+        Ok(LinearProgram {
+            num_variables,
+            objective,
+            constraints: Vec::new(),
+            max_pivots: 200_000,
+        })
     }
 
     /// Adds a linear constraint `coefficients · x  (comparison)  rhs`.
@@ -109,7 +114,11 @@ impl LinearProgram {
                 found: coefficients.len(),
             });
         }
-        self.constraints.push(ConstraintRow { coefficients, comparison, rhs });
+        self.constraints.push(ConstraintRow {
+            coefficients,
+            comparison,
+            rhs,
+        });
         Ok(())
     }
 
@@ -230,8 +239,8 @@ impl LinearProgram {
             for row in 0..m {
                 if basis[row] >= artificial_start {
                     let offset = row * width;
-                    if let Some(col) = (0..artificial_start)
-                        .find(|&c| tableau[offset + c].abs() > TOLERANCE)
+                    if let Some(col) =
+                        (0..artificial_start).find(|&c| tableau[offset + c].abs() > TOLERANCE)
                     {
                         pivot(&mut tableau, &mut basis, row, col, m, width);
                         pivots += 1;
@@ -262,8 +271,14 @@ impl LinearProgram {
         }
         // Exclude artificial columns from phase-2 pivoting by restricting the
         // candidate columns to `artificial_start`.
-        let phase2_pivots =
-            run_simplex(&mut tableau, &mut basis, m, artificial_start, width, self.max_pivots)?;
+        let phase2_pivots = run_simplex(
+            &mut tableau,
+            &mut basis,
+            m,
+            artificial_start,
+            width,
+            self.max_pivots,
+        )?;
         pivots += phase2_pivots;
 
         let mut values = vec![0.0; n];
@@ -272,9 +287,17 @@ impl LinearProgram {
                 values[b] = tableau[row * width + total];
             }
         }
-        let objective_value =
-            self.objective.iter().zip(&values).map(|(c, x)| c * x).sum::<f64>();
-        Ok(LpSolution { values, objective_value, pivots })
+        let objective_value = self
+            .objective
+            .iter()
+            .zip(&values)
+            .map(|(c, x)| c * x)
+            .sum::<f64>();
+        Ok(LpSolution {
+            values,
+            objective_value,
+            pivots,
+        })
     }
 }
 
@@ -377,9 +400,12 @@ mod tests {
         // maximize 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18
         // => minimize -3x - 5y; optimum x = 2, y = 6, objective -36.
         let mut lp = LinearProgram::new(2, vec![-3.0, -5.0]).unwrap();
-        lp.add_constraint(vec![1.0, 0.0], Comparison::LessEqual, 4.0).unwrap();
-        lp.add_constraint(vec![0.0, 2.0], Comparison::LessEqual, 12.0).unwrap();
-        lp.add_constraint(vec![3.0, 2.0], Comparison::LessEqual, 18.0).unwrap();
+        lp.add_constraint(vec![1.0, 0.0], Comparison::LessEqual, 4.0)
+            .unwrap();
+        lp.add_constraint(vec![0.0, 2.0], Comparison::LessEqual, 12.0)
+            .unwrap();
+        lp.add_constraint(vec![3.0, 2.0], Comparison::LessEqual, 18.0)
+            .unwrap();
         let solution = lp.solve().unwrap();
         assert_close(solution.objective_value, -36.0, 1e-8);
         assert_close(solution.values[0], 2.0, 1e-8);
@@ -390,9 +416,12 @@ mod tests {
     fn solves_problem_with_equality_and_geq_constraints() {
         // minimize 2x + 3y + z s.t. x + y + z = 1, x >= 0.2, y >= 0.3.
         let mut lp = LinearProgram::new(3, vec![2.0, 3.0, 1.0]).unwrap();
-        lp.add_constraint(vec![1.0, 1.0, 1.0], Comparison::Equal, 1.0).unwrap();
-        lp.add_constraint(vec![1.0, 0.0, 0.0], Comparison::GreaterEqual, 0.2).unwrap();
-        lp.add_constraint(vec![0.0, 1.0, 0.0], Comparison::GreaterEqual, 0.3).unwrap();
+        lp.add_constraint(vec![1.0, 1.0, 1.0], Comparison::Equal, 1.0)
+            .unwrap();
+        lp.add_constraint(vec![1.0, 0.0, 0.0], Comparison::GreaterEqual, 0.2)
+            .unwrap();
+        lp.add_constraint(vec![0.0, 1.0, 0.0], Comparison::GreaterEqual, 0.3)
+            .unwrap();
         let solution = lp.solve().unwrap();
         assert_close(solution.values[0], 0.2, 1e-8);
         assert_close(solution.values[1], 0.3, 1e-8);
@@ -403,8 +432,10 @@ mod tests {
     #[test]
     fn detects_infeasibility() {
         let mut lp = LinearProgram::new(1, vec![1.0]).unwrap();
-        lp.add_constraint(vec![1.0], Comparison::LessEqual, 1.0).unwrap();
-        lp.add_constraint(vec![1.0], Comparison::GreaterEqual, 2.0).unwrap();
+        lp.add_constraint(vec![1.0], Comparison::LessEqual, 1.0)
+            .unwrap();
+        lp.add_constraint(vec![1.0], Comparison::GreaterEqual, 2.0)
+            .unwrap();
         assert_eq!(lp.solve(), Err(OptimError::Infeasible));
     }
 
@@ -412,7 +443,8 @@ mod tests {
     fn detects_unboundedness() {
         // minimize -x with only x >= 1: unbounded below.
         let mut lp = LinearProgram::new(1, vec![-1.0]).unwrap();
-        lp.add_constraint(vec![1.0], Comparison::GreaterEqual, 1.0).unwrap();
+        lp.add_constraint(vec![1.0], Comparison::GreaterEqual, 1.0)
+            .unwrap();
         assert_eq!(lp.solve(), Err(OptimError::Unbounded));
     }
 
@@ -420,7 +452,8 @@ mod tests {
     fn handles_negative_rhs_by_normalization() {
         // x - y <= -1 with minimize x + y  =>  y >= x + 1, best x=0, y=1.
         let mut lp = LinearProgram::new(2, vec![1.0, 1.0]).unwrap();
-        lp.add_constraint(vec![1.0, -1.0], Comparison::LessEqual, -1.0).unwrap();
+        lp.add_constraint(vec![1.0, -1.0], Comparison::LessEqual, -1.0)
+            .unwrap();
         let solution = lp.solve().unwrap();
         assert_close(solution.objective_value, 1.0, 1e-8);
         assert_close(solution.values[1] - solution.values[0], 1.0, 1e-8);
@@ -430,10 +463,14 @@ mod tests {
     fn degenerate_problem_terminates() {
         // Multiple redundant constraints through the same vertex.
         let mut lp = LinearProgram::new(2, vec![-1.0, -1.0]).unwrap();
-        lp.add_constraint(vec![1.0, 0.0], Comparison::LessEqual, 1.0).unwrap();
-        lp.add_constraint(vec![0.0, 1.0], Comparison::LessEqual, 1.0).unwrap();
-        lp.add_constraint(vec![1.0, 1.0], Comparison::LessEqual, 2.0).unwrap();
-        lp.add_constraint(vec![2.0, 2.0], Comparison::LessEqual, 4.0).unwrap();
+        lp.add_constraint(vec![1.0, 0.0], Comparison::LessEqual, 1.0)
+            .unwrap();
+        lp.add_constraint(vec![0.0, 1.0], Comparison::LessEqual, 1.0)
+            .unwrap();
+        lp.add_constraint(vec![1.0, 1.0], Comparison::LessEqual, 2.0)
+            .unwrap();
+        lp.add_constraint(vec![2.0, 2.0], Comparison::LessEqual, 4.0)
+            .unwrap();
         let solution = lp.solve().unwrap();
         assert_close(solution.objective_value, -2.0, 1e-8);
     }
@@ -446,10 +483,15 @@ mod tests {
         let n = 6;
         let cost = vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0]; // cost = state index
         let mut lp = LinearProgram::new(n, cost).unwrap();
-        lp.add_constraint(vec![1.0; 6], Comparison::Equal, 1.0).unwrap();
-        // "availability": mass on states 1 and 2 must be at least 0.9.
-        lp.add_constraint(vec![0.0, 0.0, 1.0, 1.0, 1.0, 1.0], Comparison::GreaterEqual, 0.9)
+        lp.add_constraint(vec![1.0; 6], Comparison::Equal, 1.0)
             .unwrap();
+        // "availability": mass on states 1 and 2 must be at least 0.9.
+        lp.add_constraint(
+            vec![0.0, 0.0, 1.0, 1.0, 1.0, 1.0],
+            Comparison::GreaterEqual,
+            0.9,
+        )
+        .unwrap();
         let solution = lp.solve().unwrap();
         assert_close(solution.values.iter().sum::<f64>(), 1.0, 1e-8);
         // Cheapest way to satisfy the bound puts 0.9 on state 1 and 0.1 on state 0.
@@ -461,16 +503,21 @@ mod tests {
         assert!(LinearProgram::new(0, vec![]).is_err());
         assert!(LinearProgram::new(2, vec![1.0]).is_err());
         let mut lp = LinearProgram::new(2, vec![1.0, 1.0]).unwrap();
-        assert!(lp.add_constraint(vec![1.0], Comparison::Equal, 1.0).is_err());
+        assert!(lp
+            .add_constraint(vec![1.0], Comparison::Equal, 1.0)
+            .is_err());
         assert_eq!(lp.num_constraints(), 0);
     }
 
     #[test]
     fn pivot_limit_is_enforced() {
         let mut lp = LinearProgram::new(2, vec![-3.0, -5.0]).unwrap();
-        lp.add_constraint(vec![1.0, 0.0], Comparison::LessEqual, 4.0).unwrap();
-        lp.add_constraint(vec![0.0, 2.0], Comparison::LessEqual, 12.0).unwrap();
-        lp.add_constraint(vec![3.0, 2.0], Comparison::LessEqual, 18.0).unwrap();
+        lp.add_constraint(vec![1.0, 0.0], Comparison::LessEqual, 4.0)
+            .unwrap();
+        lp.add_constraint(vec![0.0, 2.0], Comparison::LessEqual, 12.0)
+            .unwrap();
+        lp.add_constraint(vec![3.0, 2.0], Comparison::LessEqual, 18.0)
+            .unwrap();
         lp.set_max_pivots(0);
         assert_eq!(lp.solve(), Err(OptimError::IterationLimit("simplex")));
     }

@@ -63,7 +63,10 @@ impl Spsa {
 
     fn validate(&self, dimension: usize) -> Result<()> {
         if dimension == 0 {
-            return Err(OptimError::DimensionMismatch { expected: 1, found: 0 });
+            return Err(OptimError::DimensionMismatch {
+                expected: 1,
+                found: 0,
+            });
         }
         if self.config.iterations == 0 {
             return Err(OptimError::InvalidConfig {
@@ -88,7 +91,11 @@ impl Spsa {
 }
 
 impl Optimizer for Spsa {
-    fn minimize(&self, objective: &dyn Objective, rng: &mut dyn RngCore) -> Result<OptimizationResult> {
+    fn minimize(
+        &self,
+        objective: &dyn Objective,
+        rng: &mut dyn RngCore,
+    ) -> Result<OptimizationResult> {
         let d = objective.dimension();
         self.validate(d)?;
         let cfg = &self.config;
@@ -100,8 +107,9 @@ impl Optimizer for Spsa {
             let ck = cfg.c / (k as f64).powf(cfg.gamma);
 
             // Rademacher perturbation direction.
-            let delta: Vec<f64> =
-                (0..d).map(|_| if rng.random::<bool>() { 1.0 } else { -1.0 }).collect();
+            let delta: Vec<f64> = (0..d)
+                .map(|_| if rng.random::<bool>() { 1.0 } else { -1.0 })
+                .collect();
 
             let mut plus = theta.clone();
             let mut minus = theta.clone();
@@ -150,7 +158,13 @@ mod tests {
         let obj = FnObjective::new(3, |x: &[f64], _| {
             x.iter().map(|&v| (v - 0.6) * (v - 0.6)).sum()
         });
-        let cfg = SpsaConfig { a: 2.0, big_a: 10.0, iterations: 200, evaluation_samples: 1, ..SpsaConfig::default() };
+        let cfg = SpsaConfig {
+            a: 2.0,
+            big_a: 10.0,
+            iterations: 200,
+            evaluation_samples: 1,
+            ..SpsaConfig::default()
+        };
         let mut rng = StdRng::seed_from_u64(4);
         let result = Spsa::new(cfg).minimize(&obj, &mut rng).unwrap();
         // SPSA converges more slowly than CEM/DE; only require clear progress
@@ -161,7 +175,11 @@ mod tests {
     #[test]
     fn spsa_counts_three_probe_batches_per_iteration() {
         let obj = FnObjective::new(1, |x: &[f64], _| x[0]);
-        let cfg = SpsaConfig { iterations: 5, evaluation_samples: 2, ..SpsaConfig::default() };
+        let cfg = SpsaConfig {
+            iterations: 5,
+            evaluation_samples: 2,
+            ..SpsaConfig::default()
+        };
         let mut rng = StdRng::seed_from_u64(0);
         let result = Spsa::new(cfg).minimize(&obj, &mut rng).unwrap();
         assert_eq!(result.evaluations, 5 * 3 * 2);
@@ -171,7 +189,12 @@ mod tests {
     #[test]
     fn spsa_stays_inside_unit_cube() {
         let obj = FnObjective::new(2, |x: &[f64], _| -(x[0] + x[1]));
-        let cfg = SpsaConfig { a: 50.0, iterations: 30, evaluation_samples: 1, ..SpsaConfig::default() };
+        let cfg = SpsaConfig {
+            a: 50.0,
+            iterations: 30,
+            evaluation_samples: 1,
+            ..SpsaConfig::default()
+        };
         let mut rng = StdRng::seed_from_u64(8);
         let result = Spsa::new(cfg).minimize(&obj, &mut rng).unwrap();
         for &x in &result.best_point {
@@ -184,15 +207,29 @@ mod tests {
         let obj = FnObjective::new(1, |x: &[f64], _| x[0]);
         let mut rng = StdRng::seed_from_u64(0);
         for cfg in [
-            SpsaConfig { iterations: 0, ..SpsaConfig::default() },
-            SpsaConfig { c: 0.0, ..SpsaConfig::default() },
-            SpsaConfig { a: -1.0, ..SpsaConfig::default() },
-            SpsaConfig { alpha: 0.0, ..SpsaConfig::default() },
+            SpsaConfig {
+                iterations: 0,
+                ..SpsaConfig::default()
+            },
+            SpsaConfig {
+                c: 0.0,
+                ..SpsaConfig::default()
+            },
+            SpsaConfig {
+                a: -1.0,
+                ..SpsaConfig::default()
+            },
+            SpsaConfig {
+                alpha: 0.0,
+                ..SpsaConfig::default()
+            },
         ] {
             assert!(Spsa::new(cfg).minimize(&obj, &mut rng).is_err());
         }
         let zero_dim = FnObjective::new(0, |_: &[f64], _: &mut dyn RngCore| 0.0);
-        assert!(Spsa::new(SpsaConfig::default()).minimize(&zero_dim, &mut rng).is_err());
+        assert!(Spsa::new(SpsaConfig::default())
+            .minimize(&zero_dim, &mut rng)
+            .is_err());
     }
 
     #[test]

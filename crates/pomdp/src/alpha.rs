@@ -32,7 +32,11 @@ impl AlphaVector {
     ///
     /// Panics if the lengths differ.
     pub fn dot(&self, belief: &[f64]) -> f64 {
-        assert_eq!(self.values.len(), belief.len(), "belief/alpha length mismatch");
+        assert_eq!(
+            self.values.len(),
+            belief.len(),
+            "belief/alpha length mismatch"
+        );
         self.values.iter().zip(belief).map(|(a, b)| a * b).sum()
     }
 
@@ -144,8 +148,12 @@ impl ValueFunction {
         let mut kept: Vec<AlphaVector> = Vec::new();
         let all = self.vectors.clone();
         for (i, candidate) in all.iter().enumerate() {
-            let others: Vec<&AlphaVector> =
-                all.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, v)| v).collect();
+            let others: Vec<&AlphaVector> = all
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, v)| v)
+                .collect();
             // A rare numerical failure of the witness LP (degenerate pivoting)
             // is resolved conservatively: the vector is kept, which preserves
             // the correctness of the lower envelope at the cost of keeping a
@@ -193,14 +201,21 @@ fn witness_belief_exists(
     // Σ b = 1.
     let mut normalization = vec![0.0; num_variables];
     normalization[..n].fill(1.0);
-    lp.add_constraint(normalization, Comparison::Equal, 1.0).map_err(PomdpError::from)?;
+    lp.add_constraint(normalization, Comparison::Equal, 1.0)
+        .map_err(PomdpError::from)?;
 
     // Explicit upper bound on delta_plus: the margin can never exceed the
     // largest entry-wise difference, so this bound is inactive at any true
     // optimum; it exists to keep the LP bounded under degenerate pivoting.
     let max_difference = others
         .iter()
-        .flat_map(|other| other.values.iter().zip(&candidate.values).map(|(o, c)| o - c))
+        .flat_map(|other| {
+            other
+                .values
+                .iter()
+                .zip(&candidate.values)
+                .map(|(o, c)| o - c)
+        })
         .fold(0.0f64, f64::max);
     let mut delta_bound = vec![0.0; num_variables];
     delta_bound[n] = 1.0;
@@ -210,12 +225,13 @@ fn witness_belief_exists(
     // b·(other - candidate) - delta >= 0 for every other vector.
     for other in others {
         let mut row = vec![0.0; num_variables];
-        for s in 0..n {
-            row[s] = other.values[s] - candidate.values[s];
+        for (s, value) in row.iter_mut().enumerate().take(n) {
+            *value = other.values[s] - candidate.values[s];
         }
         row[n] = -1.0;
         row[n + 1] = 1.0;
-        lp.add_constraint(row, Comparison::GreaterEqual, 0.0).map_err(PomdpError::from)?;
+        lp.add_constraint(row, Comparison::GreaterEqual, 0.0)
+            .map_err(PomdpError::from)?;
     }
 
     let solution = lp.solve().map_err(PomdpError::from)?;
@@ -236,7 +252,12 @@ pub fn cross_sum(a: &[AlphaVector], b: &[AlphaVector]) -> Vec<AlphaVector> {
     let mut out = Vec::with_capacity(a.len() * b.len());
     for va in a {
         for vb in b {
-            let values = va.values.iter().zip(&vb.values).map(|(x, y)| x + y).collect();
+            let values = va
+                .values
+                .iter()
+                .zip(&vb.values)
+                .map(|(x, y)| x + y)
+                .collect();
             out.push(AlphaVector::new(values, va.action));
         }
     }
@@ -325,12 +346,18 @@ mod tests {
 
     #[test]
     fn cross_sum_combines_sets() {
-        let a = vec![AlphaVector::new(vec![1.0, 0.0], 0), AlphaVector::new(vec![0.0, 1.0], 1)];
+        let a = vec![
+            AlphaVector::new(vec![1.0, 0.0], 0),
+            AlphaVector::new(vec![0.0, 1.0], 1),
+        ];
         let b = vec![AlphaVector::new(vec![10.0, 10.0], 7)];
         let sum = cross_sum(&a, &b);
         assert_eq!(sum.len(), 2);
         assert_eq!(sum[0].values, vec![11.0, 10.0]);
-        assert_eq!(sum[0].action, 0, "cross sum keeps the first operand's action");
+        assert_eq!(
+            sum[0].action, 0,
+            "cross sum keeps the first operand's action"
+        );
         assert_eq!(cross_sum(&[], &b).len(), 1);
         assert_eq!(cross_sum(&a, &[]).len(), 2);
     }

@@ -58,7 +58,9 @@ impl Belief {
     /// Panics if `num_states == 0`.
     pub fn uniform(num_states: usize) -> Self {
         assert!(num_states > 0, "a belief needs at least one state");
-        Belief { probabilities: vec![1.0 / num_states as f64; num_states] }
+        Belief {
+            probabilities: vec![1.0 / num_states as f64; num_states],
+        }
     }
 
     /// The probability assigned to `state` (0 if out of range).
@@ -83,7 +85,11 @@ impl Belief {
     /// Panics if `values` has a different length than the belief.
     pub fn expectation(&self, values: &[f64]) -> f64 {
         assert_eq!(values.len(), self.probabilities.len(), "length mismatch");
-        self.probabilities.iter().zip(values).map(|(p, v)| p * v).sum()
+        self.probabilities
+            .iter()
+            .zip(values)
+            .map(|(p, v)| p * v)
+            .sum()
     }
 
     /// Samples a state from the belief.
@@ -133,20 +139,22 @@ impl Belief {
         }
         let n = model.num_states();
         let mut unnormalized = vec![0.0; n];
-        for s_next in 0..n {
+        for (s_next, value) in unnormalized.iter_mut().enumerate() {
             let mut predicted = 0.0;
             for (s, &b) in self.probabilities.iter().enumerate() {
                 if b > 0.0 {
                     predicted += b * model.transition_probability(s, action, s_next);
                 }
             }
-            unnormalized[s_next] = model.observation_probability(s_next, observation) * predicted;
+            *value = model.observation_probability(s_next, observation) * predicted;
         }
         let normalizer: f64 = unnormalized.iter().sum();
         if normalizer <= 1e-300 {
             return Err(PomdpError::ImpossibleObservation { observation });
         }
-        Ok(Belief { probabilities: unnormalized.iter().map(|p| p / normalizer).collect() })
+        Ok(Belief {
+            probabilities: unnormalized.iter().map(|p| p / normalizer).collect(),
+        })
     }
 
     /// Probability of observing `observation` after taking `action` from this

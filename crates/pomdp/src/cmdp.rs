@@ -119,7 +119,8 @@ impl Cmdp {
         let mut lp = LinearProgram::new(n, objective).map_err(PomdpError::from)?;
 
         // Normalization: Σ ρ = 1.
-        lp.add_constraint(vec![1.0; n], Comparison::Equal, 1.0).map_err(PomdpError::from)?;
+        lp.add_constraint(vec![1.0; n], Comparison::Equal, 1.0)
+            .map_err(PomdpError::from)?;
 
         // Flow balance for every state s:
         //   Σ_a ρ(s,a) - Σ_{s',a} ρ(s',a) P(s | s', a) = 0.
@@ -135,7 +136,8 @@ impl Cmdp {
                     row[index(s_prev, a)] -= self.mdp.transition_probability(s_prev, a, s);
                 }
             }
-            lp.add_constraint(row, Comparison::Equal, 0.0).map_err(PomdpError::from)?;
+            lp.add_constraint(row, Comparison::Equal, 0.0)
+                .map_err(PomdpError::from)?;
         }
 
         // Additional long-run average constraints.
@@ -150,16 +152,17 @@ impl Cmdp {
                 ConstraintSense::AtLeast => Comparison::GreaterEqual,
                 ConstraintSense::AtMost => Comparison::LessEqual,
             };
-            lp.add_constraint(row, comparison, constraint.bound).map_err(PomdpError::from)?;
+            lp.add_constraint(row, comparison, constraint.bound)
+                .map_err(PomdpError::from)?;
         }
 
         let solution = lp.solve().map_err(PomdpError::from)?;
 
         // Recover the occupation measure and the randomized policy.
         let mut occupation = vec![vec![0.0; num_actions]; num_states];
-        for s in 0..num_states {
-            for a in 0..num_actions {
-                occupation[s][a] = solution.values[index(s, a)].max(0.0);
+        for (s, row) in occupation.iter_mut().enumerate() {
+            for (a, value) in row.iter_mut().enumerate() {
+                *value = solution.values[index(s, a)].max(0.0);
             }
         }
         let mut policy = vec![vec![0.0; num_actions]; num_states];
@@ -182,7 +185,10 @@ impl Cmdp {
                     .iter()
                     .enumerate()
                     .map(|(s, row)| {
-                        row.iter().enumerate().map(|(a, &rho)| rho * c.signal[s][a]).sum::<f64>()
+                        row.iter()
+                            .enumerate()
+                            .map(|(a, &rho)| rho * c.signal[s][a])
+                            .sum::<f64>()
                     })
                     .sum()
             })
@@ -229,11 +235,7 @@ mod tests {
             vec![next_after(1), next_after(2), next_after(2)],
         ];
         // Cost = expected number of nodes kept (state), slightly higher if adding.
-        let cost = vec![
-            vec![0.0, 0.5],
-            vec![1.0, 1.5],
-            vec![2.0, 2.5],
-        ];
+        let cost = vec![vec![0.0, 0.5], vec![1.0, 1.5], vec![2.0, 2.5]];
         Mdp::new(transition, cost).unwrap()
     }
 
@@ -263,7 +265,11 @@ mod tests {
         let cmdp = Cmdp::new(inventory_mdp(), vec![constraint]).unwrap();
         let solution = cmdp.solve().unwrap();
         // The availability constraint must be met (within LP tolerance).
-        assert!(solution.constraint_values[0] >= 0.9 - 1e-6, "availability {} too low", solution.constraint_values[0]);
+        assert!(
+            solution.constraint_values[0] >= 0.9 - 1e-6,
+            "availability {} too low",
+            solution.constraint_values[0]
+        );
         // Meeting it costs strictly more than doing nothing.
         assert!(solution.objective > 0.5);
         // The policy must add nodes in state 0 with positive probability
@@ -295,7 +301,10 @@ mod tests {
             .iter()
             .filter(|row| row.iter().all(|&p| p > 1e-6 && p < 1.0 - 1e-6))
             .count();
-        assert!(randomized_states <= 1, "at most one state may randomize, saw {randomized_states}");
+        assert!(
+            randomized_states <= 1,
+            "at most one state may randomize, saw {randomized_states}"
+        );
     }
 
     #[test]

@@ -45,14 +45,24 @@ impl fmt::Display for PomdpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PomdpError::InvalidModel(why) => write!(f, "invalid model: {why}"),
-            PomdpError::NotStochastic { component, context, sum } => {
-                write!(f, "{component} row ({context}) is not a probability distribution (sum = {sum})")
+            PomdpError::NotStochastic {
+                component,
+                context,
+                sum,
+            } => {
+                write!(
+                    f,
+                    "{component} row ({context}) is not a probability distribution (sum = {sum})"
+                )
             }
             PomdpError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter `{name}`: {reason}")
             }
             PomdpError::ImpossibleObservation { observation } => {
-                write!(f, "observation {observation} has zero probability under the current belief")
+                write!(
+                    f,
+                    "observation {observation} has zero probability under the current belief"
+                )
             }
             PomdpError::DidNotConverge(what) => write!(f, "{what} did not converge"),
             PomdpError::Infeasible => write!(f, "constrained mdp is infeasible"),
@@ -78,13 +88,26 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(PomdpError::InvalidModel("bad".into()).to_string().contains("bad"));
+        assert!(PomdpError::InvalidModel("bad".into())
+            .to_string()
+            .contains("bad"));
         assert!(PomdpError::Infeasible.to_string().contains("infeasible"));
-        assert!(PomdpError::DidNotConverge("value iteration").to_string().contains("value iteration"));
-        assert!(PomdpError::ImpossibleObservation { observation: 3 }.to_string().contains("3"));
-        let ns = PomdpError::NotStochastic { component: "transition", context: "action 0".into(), sum: 0.9 };
+        assert!(PomdpError::DidNotConverge("value iteration")
+            .to_string()
+            .contains("value iteration"));
+        assert!(PomdpError::ImpossibleObservation { observation: 3 }
+            .to_string()
+            .contains("3"));
+        let ns = PomdpError::NotStochastic {
+            component: "transition",
+            context: "action 0".into(),
+            sum: 0.9,
+        };
         assert!(ns.to_string().contains("transition"));
-        let ip = PomdpError::InvalidParameter { name: "discount", reason: "must be in (0,1)".into() };
+        let ip = PomdpError::InvalidParameter {
+            name: "discount",
+            reason: "must be in (0,1)".into(),
+        };
         assert!(ip.to_string().contains("discount"));
     }
 

@@ -86,7 +86,12 @@ impl Mdp {
                 "cost matrix must have shape [states][actions]".into(),
             ));
         }
-        Ok(Mdp { num_states, num_actions, transition, cost })
+        Ok(Mdp {
+            num_states,
+            num_actions,
+            transition,
+            cost,
+        })
     }
 
     /// Number of states.
@@ -139,7 +144,11 @@ impl Mdp {
             value = next_value;
             if residual < tolerance {
                 let (_, policy) = self.bellman_backup(&value, discount);
-                return Ok(MdpSolution { policy, value, iterations: iteration });
+                return Ok(MdpSolution {
+                    policy,
+                    value,
+                    iterations: iteration,
+                });
             }
         }
         Err(PomdpError::DidNotConverge("value iteration"))
@@ -175,7 +184,14 @@ impl Mdp {
             }
             value = next_value;
             if span < tolerance {
-                return Ok((MdpSolution { policy, value, iterations: iteration }, gain));
+                return Ok((
+                    MdpSolution {
+                        policy,
+                        value,
+                        iterations: iteration,
+                    },
+                    gain,
+                ));
             }
         }
         Err(PomdpError::DidNotConverge("relative value iteration"))
@@ -217,8 +233,7 @@ impl Mdp {
     /// or rows that are not distributions, and propagates convergence errors
     /// from the stationary-distribution computation.
     pub fn average_cost_of_policy(&self, policy: &[Vec<f64>]) -> Result<f64> {
-        if policy.len() != self.num_states
-            || policy.iter().any(|row| row.len() != self.num_actions)
+        if policy.len() != self.num_states || policy.iter().any(|row| row.len() != self.num_actions)
         {
             return Err(PomdpError::InvalidModel(
                 "policy must have shape [states][actions]".into(),
@@ -235,14 +250,13 @@ impl Mdp {
                 )));
             }
             let mut row = vec![0.0; self.num_states];
-            for a in 0..self.num_actions {
-                let pa = policy[s][a];
+            for (a, &pa) in policy[s].iter().enumerate().take(self.num_actions) {
                 if pa == 0.0 {
                     continue;
                 }
                 immediate[s] += pa * self.cost[s][a];
-                for s2 in 0..self.num_states {
-                    row[s2] += pa * self.transition[a][s][s2];
+                for (value, &p) in row.iter_mut().zip(&self.transition[a][s]) {
+                    *value += pa * p;
                 }
             }
             rows.push(row);
@@ -282,7 +296,10 @@ mod tests {
     fn validation_rejects_bad_models() {
         assert!(Mdp::new(vec![], vec![]).is_err());
         // Non-stochastic row.
-        let bad = Mdp::new(vec![vec![vec![0.5, 0.4], vec![0.0, 1.0]]], vec![vec![0.0], vec![0.0]]);
+        let bad = Mdp::new(
+            vec![vec![vec![0.5, 0.4], vec![0.0, 1.0]]],
+            vec![vec![0.0], vec![0.0]],
+        );
         assert!(bad.is_err());
         // Wrong cost shape.
         let bad = Mdp::new(
@@ -291,10 +308,7 @@ mod tests {
         );
         assert!(bad.is_err());
         // Ragged transition.
-        let bad = Mdp::new(
-            vec![vec![vec![1.0, 0.0]]],
-            vec![vec![0.0], vec![0.0]],
-        );
+        let bad = Mdp::new(vec![vec![vec![1.0, 0.0]]], vec![vec![0.0], vec![0.0]]);
         assert!(bad.is_err());
     }
 
@@ -353,7 +367,9 @@ mod tests {
     fn policy_evaluation_validates_input() {
         let mdp = repair_mdp(0.2);
         assert!(mdp.average_cost_of_policy(&[vec![1.0, 0.0]]).is_err());
-        assert!(mdp.average_cost_of_policy(&[vec![0.5, 0.2], vec![1.0, 0.0]]).is_err());
+        assert!(mdp
+            .average_cost_of_policy(&[vec![0.5, 0.2], vec![1.0, 0.0]])
+            .is_err());
     }
 
     #[test]

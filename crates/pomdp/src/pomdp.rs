@@ -112,7 +112,15 @@ impl Pomdp {
                 reason: format!("must lie in (0, 1], got {discount}"),
             });
         }
-        Ok(Pomdp { num_states, num_actions, num_observations, transition, observation, cost, discount })
+        Ok(Pomdp {
+            num_states,
+            num_actions,
+            num_observations,
+            transition,
+            observation,
+            cost,
+            discount,
+        })
     }
 
     /// Number of hidden states.
@@ -157,7 +165,11 @@ impl Pomdp {
     /// Panics if `belief` has the wrong length or `action` is out of range.
     pub fn expected_cost(&self, belief: &[f64], action: usize) -> f64 {
         assert_eq!(belief.len(), self.num_states, "belief length mismatch");
-        belief.iter().enumerate().map(|(s, &b)| b * self.cost[s][action]).sum()
+        belief
+            .iter()
+            .enumerate()
+            .map(|(s, &b)| b * self.cost[s][action])
+            .sum()
     }
 
     /// Samples the next state from `P[· | state, action]`.
@@ -165,7 +177,12 @@ impl Pomdp {
     /// # Panics
     ///
     /// Panics if the indices are out of range.
-    pub fn sample_transition<R: Rng + ?Sized>(&self, rng: &mut R, state: usize, action: usize) -> usize {
+    pub fn sample_transition<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        state: usize,
+        action: usize,
+    ) -> usize {
         sample_row(&self.transition[action][state], rng)
     }
 
@@ -243,21 +260,9 @@ mod tests {
     #[test]
     fn validation_rejects_inconsistencies() {
         // Bad discount.
-        assert!(Pomdp::new(
-            vec![vec![vec![1.0]]],
-            vec![vec![1.0]],
-            vec![vec![0.0]],
-            1.5
-        )
-        .is_err());
+        assert!(Pomdp::new(vec![vec![vec![1.0]]], vec![vec![1.0]], vec![vec![0.0]], 1.5).is_err());
         // Non-stochastic observation row.
-        assert!(Pomdp::new(
-            vec![vec![vec![1.0]]],
-            vec![vec![0.5]],
-            vec![vec![0.0]],
-            0.9
-        )
-        .is_err());
+        assert!(Pomdp::new(vec![vec![vec![1.0]]], vec![vec![0.5]], vec![vec![0.0]], 0.9).is_err());
         // Ragged observation matrix.
         assert!(Pomdp::new(
             vec![vec![vec![1.0, 0.0], vec![0.0, 1.0]]],
@@ -282,11 +287,14 @@ mod tests {
     fn sampling_matches_probabilities() {
         let m = small_pomdp();
         let mut rng = StdRng::seed_from_u64(5);
-        let transitions_to_1 =
-            (0..5000).filter(|_| m.sample_transition(&mut rng, 0, 0) == 1).count();
+        let transitions_to_1 = (0..5000)
+            .filter(|_| m.sample_transition(&mut rng, 0, 0) == 1)
+            .count();
         let fraction = transitions_to_1 as f64 / 5000.0;
         assert!((fraction - 0.3).abs() < 0.05);
-        let alerts = (0..5000).filter(|_| m.sample_observation(&mut rng, 1) == 1).count();
+        let alerts = (0..5000)
+            .filter(|_| m.sample_observation(&mut rng, 1) == 1)
+            .count();
         let fraction = alerts as f64 / 5000.0;
         assert!((fraction - 0.8).abs() < 0.05);
     }

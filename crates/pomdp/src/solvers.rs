@@ -25,7 +25,10 @@ pub struct IncrementalPruningConfig {
 
 impl Default for IncrementalPruningConfig {
     fn default() -> Self {
-        IncrementalPruningConfig { pruning_tolerance: 1e-9, max_vectors_per_stage: None }
+        IncrementalPruningConfig {
+            pruning_tolerance: 1e-9,
+            max_vectors_per_stage: None,
+        }
     }
 }
 
@@ -63,8 +66,10 @@ impl IncrementalPruning {
         let mut all_vectors: Vec<AlphaVector> = Vec::new();
         for action in 0..num_actions {
             // Immediate-cost vector for this action.
-            let immediate =
-                AlphaVector::new((0..num_states).map(|s| model.cost(s, action)).collect(), action);
+            let immediate = AlphaVector::new(
+                (0..num_states).map(|s| model.cost(s, action)).collect(),
+                action,
+            );
 
             // Per-observation projected sets Γ_{a,o}.
             let mut combined = vec![immediate];
@@ -92,8 +97,7 @@ impl IncrementalPruning {
                 // vector cap configured, cheap pointwise pruning and the cap
                 // are applied first so the exact LP pruning only ever runs on
                 // a bounded set.
-                let mut summed =
-                    ValueFunction::new(cross_sum(&combined, projected_vf.vectors()));
+                let mut summed = ValueFunction::new(cross_sum(&combined, projected_vf.vectors()));
                 summed.prune_pointwise(self.config.pruning_tolerance);
                 let mut vectors = summed.vectors().to_vec();
                 self.enforce_cap(&mut vectors);
@@ -224,8 +228,9 @@ pub fn belief_grid(num_states: usize, resolution: usize) -> Vec<Belief> {
             })
             .collect()
     } else {
-        let mut grid: Vec<Belief> =
-            (0..num_states).map(|s| Belief::degenerate(num_states, s)).collect();
+        let mut grid: Vec<Belief> = (0..num_states)
+            .map(|s| Belief::degenerate(num_states, s))
+            .collect();
         grid.push(Belief::uniform(num_states));
         grid
     }
@@ -249,7 +254,10 @@ mod tests {
                 // wait
                 vec![vec![1.0 - p_attack, p_attack], vec![0.0, 1.0]],
                 // recover
-                vec![vec![1.0 - p_attack, p_attack], vec![1.0 - p_attack, p_attack]],
+                vec![
+                    vec![1.0 - p_attack, p_attack],
+                    vec![1.0 - p_attack, p_attack],
+                ],
             ],
             vec![vec![0.8, 0.2], vec![0.3, 0.7]],
             vec![vec![0.0, 1.0], vec![2.0, 3.0]],
@@ -314,11 +322,17 @@ mod tests {
             let action = vf.greedy_action(&[1.0 - p, p]).unwrap();
             if i > 0 && action != last_action {
                 switches += 1;
-                assert!(action > last_action, "policy must switch from wait to recover, not back");
+                assert!(
+                    action > last_action,
+                    "policy must switch from wait to recover, not back"
+                );
             }
             last_action = action;
         }
-        assert!(switches <= 1, "threshold policy switches at most once, saw {switches}");
+        assert!(
+            switches <= 1,
+            "threshold policy switches at most once, saw {switches}"
+        );
         // With these costs recovery must be optimal at belief 1.
         assert_eq!(vf.greedy_action(&[0.0, 1.0]), Some(1));
     }
@@ -352,7 +366,9 @@ mod tests {
         let vf = capped.solve_finite_horizon(&model, 8).unwrap();
         assert!(vf.len() <= 3);
         // The capped solution is still a sensible upper bound on the exact one.
-        let exact = IncrementalPruning::default().solve_finite_horizon(&model, 8).unwrap();
+        let exact = IncrementalPruning::default()
+            .solve_finite_horizon(&model, 8)
+            .unwrap();
         for p in [0.0, 0.5, 1.0] {
             let belief = [1.0 - p, p];
             assert!(vf.evaluate(&belief) >= exact.evaluate(&belief) - 1e-6);

@@ -16,7 +16,10 @@ fn main() -> tolerance::core::Result<()> {
         StrategyKind::Baseline(BaselineKind::Periodic),
         StrategyKind::Baseline(BaselineKind::PeriodicAdaptive),
     ];
-    println!("{:<20} {:>8} {:>8} {:>8} {:>10}", "strategy", "T(A)", "T(R)", "F(R)", "recoveries");
+    println!(
+        "{:<20} {:>8} {:>8} {:>8} {:>10}",
+        "strategy", "T(A)", "T(R)", "F(R)", "recoveries"
+    );
     for strategy in strategies {
         let config = EmulationConfig {
             initial_nodes: 6,

@@ -14,7 +14,13 @@ fn main() -> tolerance::core::Result<()> {
     let parameters = NodeParameters::default(); // p_A = 0.1, p_C1 = 1e-5, ...
     let observations = ObservationModel::paper_default(); // BetaBin alert model
     let model = NodeModel::new(parameters, observations)?;
-    let problem = RecoveryProblem::new(model, RecoveryConfig { eta: 2.0, delta_r: None })?;
+    let problem = RecoveryProblem::new(
+        model,
+        RecoveryConfig {
+            eta: 2.0,
+            delta_r: None,
+        },
+    )?;
 
     let config = Alg1Config {
         evaluation_episodes: 30,
@@ -24,7 +30,10 @@ fn main() -> tolerance::core::Result<()> {
         seed: 1,
     };
     let strategy = problem.solve_with_cem(&config)?;
-    println!("node-level recovery threshold alpha* = {:.2}", strategy.threshold_at(0));
+    println!(
+        "node-level recovery threshold alpha* = {:.2}",
+        strategy.threshold_at(0)
+    );
     println!("  (recover the replica as soon as P[compromised] reaches this value)");
 
     // ---- Global level: when should the system add a node? ----

@@ -11,14 +11,25 @@
 use tolerance::consensus::minbft::{ByzantineMode, MinBftCluster, MinBftConfig, Operation};
 
 fn main() {
-    let mut cluster = MinBftCluster::new(MinBftConfig { initial_replicas: 4, seed: 7, ..Default::default() });
+    let mut cluster = MinBftCluster::new(MinBftConfig {
+        initial_replicas: 4,
+        seed: 7,
+        ..Default::default()
+    });
     let client = cluster.add_client();
-    println!("cluster: {} replicas, tolerates f = {} faults", cluster.num_replicas(), cluster.fault_threshold());
+    println!(
+        "cluster: {} replicas, tolerates f = {} faults",
+        cluster.num_replicas(),
+        cluster.fault_threshold()
+    );
 
     // Normal operation.
     cluster.submit(client, Operation::Write(1));
     cluster.run_until_quiet(10.0);
-    println!("request 1 committed; logs consistent: {}", cluster.logs_are_consistent());
+    println!(
+        "request 1 committed; logs consistent: {}",
+        cluster.logs_are_consistent()
+    );
 
     // Replica 2 is compromised and starts sending corrupted messages.
     cluster.set_byzantine(2, ByzantineMode::Arbitrary);
@@ -33,7 +44,10 @@ fn main() {
     // The node controller recovers replica 2 (fresh container + state transfer).
     cluster.recover_replica(2);
     cluster.run_until_quiet(30.0);
-    println!("replica 2 recovered; its state = {:?}", cluster.replica_value(2));
+    println!(
+        "replica 2 recovered; its state = {:?}",
+        cluster.replica_value(2)
+    );
 
     // The system controller adds a node (JOIN reconfiguration).
     let new_replica = cluster.add_replica();

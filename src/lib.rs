@@ -14,9 +14,12 @@
 //!   reconfigurable MinBFT protocol, and Raft.
 //! * [`core`] — the paper's contribution: the node-recovery POMDP
 //!   (Problem 1), the replication CMDP (Problem 2), Algorithms 1–2,
-//!   node/system controllers and the baseline strategies.
+//!   node/system controllers, the baseline strategies, and the unified
+//!   scenario runtime (`core::runtime`) that executes seed/parameter
+//!   grids in parallel with deterministic replay.
 //! * [`emulation`] — the emulated testbed (containers, IDS alerts,
-//!   attackers, clients) and the closed-loop evaluation harness.
+//!   attackers, clients), the closed-loop evaluation harness and the
+//!   scenario catalogue (`emulation::scenarios`).
 //!
 //! ## Quickstart
 //!

@@ -33,8 +33,14 @@ fn end_to_end_alg1_threshold_beats_naive_strategies() {
     let never_cost = problem.evaluate_strategy(&never, 50, 120, &mut rng);
     let always = ThresholdStrategy::stationary(0.0).unwrap();
     let always_cost = problem.evaluate_strategy(&always, 50, 120, &mut rng);
-    assert!(learned_cost < never_cost, "learned {learned_cost} vs never {never_cost}");
-    assert!(learned_cost < always_cost, "learned {learned_cost} vs always {always_cost}");
+    assert!(
+        learned_cost < never_cost,
+        "learned {learned_cost} vs never {never_cost}"
+    );
+    assert!(
+        learned_cost < always_cost,
+        "learned {learned_cost} vs always {always_cost}"
+    );
 }
 
 #[test]
@@ -115,10 +121,22 @@ fn emulation_reproduces_the_papers_qualitative_ranking() {
         let outcome = Emulation::new(config).unwrap().run().unwrap();
         results.push((strategy.name(), outcome.metrics));
     }
-    let availability =
-        |name: &str| results.iter().find(|(n, _)| *n == name).unwrap().1.availability;
-    let ttr =
-        |name: &str| results.iter().find(|(n, _)| *n == name).unwrap().1.time_to_recovery;
+    let availability = |name: &str| {
+        results
+            .iter()
+            .find(|(n, _)| *n == name)
+            .unwrap()
+            .1
+            .availability
+    };
+    let ttr = |name: &str| {
+        results
+            .iter()
+            .find(|(n, _)| *n == name)
+            .unwrap()
+            .1
+            .time_to_recovery
+    };
     assert!(availability("tolerance") > availability("no-recovery"));
     assert!(availability("periodic") > availability("no-recovery"));
     assert!(ttr("tolerance") < ttr("periodic"));

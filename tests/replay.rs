@@ -1,0 +1,121 @@
+//! Deterministic-replay tests of the scenario runtime: the same scenario +
+//! seed must produce identical results whether it runs serially, through
+//! the parallel runner, or twice in a row — and the Table-7 comparison rows
+//! must be byte-identical across execution modes.
+
+use tolerance::core::runtime::{Runner, Scenario, ScenarioRegistry};
+use tolerance::emulation::scenarios::{
+    bursty_attacker_config, heterogeneous_nodes_config, register_config,
+};
+use tolerance::emulation::{builtin_registry, EmulationScenario, EvaluationGrid};
+
+fn quick_grid() -> EvaluationGrid {
+    EvaluationGrid {
+        initial_nodes: vec![3, 6],
+        delta_r: vec![Some(15), None],
+        seeds: 3,
+        horizon: 120,
+        ..EvaluationGrid::default()
+    }
+}
+
+#[test]
+fn quick_grid_is_byte_identical_serial_vs_parallel() {
+    let grid = quick_grid();
+    let serial = grid.run_with(&Runner::serial()).unwrap();
+    let parallel = grid.run_with(&Runner::parallel()).unwrap();
+    let four_workers = grid.run_with(&Runner::with_threads(4)).unwrap();
+
+    // Structural equality...
+    assert_eq!(serial, parallel);
+    assert_eq!(serial, four_workers);
+    // ...and byte-identical serialized artifacts (what lands in
+    // results/*.json must not depend on the execution mode).
+    let serial_json = serde_json::to_string_pretty(&serial).unwrap();
+    let parallel_json = serde_json::to_string_pretty(&parallel).unwrap();
+    assert_eq!(serial_json, parallel_json);
+}
+
+#[test]
+fn evaluation_grid_quick_runs_through_the_shared_runner() {
+    // `quick()` is the configuration the experiment binary uses without
+    // `--full`; the acceptance gate for the runtime refactor.
+    let mut grid = EvaluationGrid::quick();
+    grid.horizon = 100; // keep the replay fast; still 16 cells x 3 seeds
+    let rows = grid.run_with(&Runner::with_threads(2)).unwrap();
+    assert_eq!(rows.len(), grid.cells().len());
+    let replay = grid.run_with(&Runner::with_threads(2)).unwrap();
+    assert_eq!(
+        rows, replay,
+        "replaying the same grid must be deterministic"
+    );
+}
+
+#[test]
+fn scenario_runs_are_deterministic_in_the_seed() {
+    let scenario = EmulationScenario::new(bursty_attacker_config());
+    let first = scenario.run(42).unwrap();
+    let second = scenario.run(42).unwrap();
+    assert_eq!(first, second);
+    let other_seed = scenario.run(43).unwrap();
+    assert_ne!(
+        first, other_seed,
+        "different seeds must explore different trajectories"
+    );
+}
+
+#[test]
+fn registry_scenarios_replay_identically_across_execution_modes() {
+    let registry = builtin_registry();
+    let seeds: Vec<u64> = (0..4).collect();
+    for name in registry.names() {
+        let serial = registry.run(name, &Runner::serial(), &seeds).unwrap();
+        let parallel = registry
+            .run(name, &Runner::with_threads(3), &seeds)
+            .unwrap();
+        assert_eq!(serial.reports, parallel.reports, "{name}");
+        assert_eq!(serial.summary, parallel.summary, "{name}");
+    }
+}
+
+#[test]
+fn non_paper_scenarios_are_registered_and_runnable() {
+    let registry = builtin_registry();
+    assert!(registry.contains("bursty-attacker"));
+    assert!(registry.contains("heterogeneous-nodes"));
+
+    let bursty = registry
+        .run("bursty-attacker", &Runner::parallel(), &[0, 1])
+        .unwrap();
+    let heterogeneous = registry
+        .run("heterogeneous-nodes", &Runner::parallel(), &[0, 1])
+        .unwrap();
+    let paper = registry
+        .run("paper/tolerance", &Runner::parallel(), &[0, 1])
+        .unwrap();
+
+    // The novel workloads genuinely change the closed-loop dynamics.
+    assert_ne!(bursty.reports, paper.reports);
+    assert_ne!(heterogeneous.reports, paper.reports);
+    for run in [&bursty, &heterogeneous, &paper] {
+        for report in &run.reports {
+            assert!((0.0..=1.0).contains(&report.availability));
+            assert!(report.time_to_recovery >= 0.0);
+        }
+    }
+}
+
+#[test]
+fn custom_configs_can_be_registered_alongside_builtins() {
+    let mut registry = ScenarioRegistry::new();
+    register_config(
+        &mut registry,
+        "custom/heterogeneous",
+        heterogeneous_nodes_config(),
+    );
+    let run = registry
+        .run("custom/heterogeneous", &Runner::serial(), &[7])
+        .unwrap();
+    assert_eq!(run.reports.len(), 1);
+    assert!(run.label.starts_with("tolerance/"));
+}

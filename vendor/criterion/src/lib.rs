@@ -1,0 +1,224 @@
+//! Vendored stand-in for the `criterion` benchmark harness.
+//!
+//! The workspace builds offline, so this shim reimplements the small part of
+//! the Criterion API the benches use — [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`BenchmarkId`], [`Bencher::iter`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — on top of a plain
+//! wall-clock sampler. Each benchmark runs a short warmup, then
+//! `sample_size` timed samples, and prints mean / min / max per-iteration
+//! times to stdout.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for a parameterized benchmark, mirroring Criterion's type.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id made of a parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly: a short warmup followed by `sample_size`
+    /// timed samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("bench {name:<40} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().expect("non-empty");
+    let max = samples.iter().max().expect("non-empty");
+    println!(
+        "bench {name:<40} mean {mean:>12?}  min {min:>12?}  max {max:>12?}  ({} samples)",
+        samples.len()
+    );
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `routine` with the given input.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        routine(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id), &bencher.samples);
+        self
+    }
+
+    /// Benchmarks `routine` under the group's name.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        routine(&mut bencher);
+        report(&format!("{}/{}", self.name, id), &bencher.samples);
+        self
+    }
+
+    /// Finishes the group (no-op in the shim; kept for API compatibility).
+    pub fn finish(&mut self) {
+        let _ = &self.criterion;
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks a single function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut routine: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.default_sample_size,
+        };
+        routine(&mut bencher);
+        report(name, &bencher.samples);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut criterion = Criterion::default();
+        criterion.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn groups_run_parameterized_benches() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(3);
+        for n in [1u64, 2] {
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| n * 2);
+            });
+        }
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("n3_c1").to_string(), "n3_c1");
+    }
+}

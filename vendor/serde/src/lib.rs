@@ -1,0 +1,236 @@
+//! Vendored stand-in for the `serde` crate.
+//!
+//! The workspace builds offline, so this shim replaces serde's
+//! serializer-visitor machinery with a single JSON-like [`Value`] data model:
+//! [`Serialize`] lowers a value into a [`Value`] tree, and the companion
+//! `serde_json` shim renders that tree as JSON text. [`Deserialize`] is a
+//! marker trait (nothing in the workspace deserializes); both traits are
+//! derivable through the vendored `serde_derive` proc-macros re-exported
+//! here, so `#[derive(serde::Serialize, serde::Deserialize)]` works
+//! unchanged.
+
+#![warn(missing_docs)]
+
+// Lets the `::serde::` paths emitted by the derive macros resolve when the
+// derives are used inside this crate (e.g. in its own tests).
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-like value tree: the intermediate representation between
+/// [`Serialize`] and the `serde_json` renderer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating-point number (non-finite values render as `null`).
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+/// Types that can be lowered into a [`Value`] tree.
+pub trait Serialize {
+    /// Lowers `self` into the JSON-like data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker trait for types that declare themselves deserializable.
+///
+/// The derive exists so `#[derive(serde::Deserialize)]` compiles; no
+/// deserialization machinery is provided (the workspace never parses JSON).
+pub trait Deserialize {}
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+    )*};
+}
+
+serialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+    )*};
+}
+
+serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(value) => value.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident . $index:tt),+)),*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$index.to_value()),+])
+            }
+        }
+    )*};
+}
+
+serialize_tuple!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize, Deserialize)]
+    struct Named {
+        x: u32,
+        label: String,
+        pair: (f64, f64),
+        maybe: Option<u32>,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    enum Mixed {
+        Unit,
+        One(u64),
+        Two(u64, f64),
+        Fields { a: u32 },
+    }
+
+    #[test]
+    fn derive_handles_named_structs() {
+        let value = Named {
+            x: 3,
+            label: "hi".into(),
+            pair: (1.0, 2.0),
+            maybe: None,
+        }
+        .to_value();
+        let Value::Object(entries) = value else {
+            panic!("expected object")
+        };
+        assert_eq!(entries.len(), 4);
+        assert_eq!(entries[0].0, "x");
+        assert_eq!(entries[0].1, Value::U64(3));
+        assert_eq!(entries[3].1, Value::Null);
+    }
+
+    #[test]
+    fn derive_handles_enum_variant_shapes() {
+        assert_eq!(Mixed::Unit.to_value(), Value::Str("Unit".into()));
+        assert_eq!(
+            Mixed::One(7).to_value(),
+            Value::Object(vec![("One".into(), Value::U64(7))])
+        );
+        assert_eq!(
+            Mixed::Two(7, 0.5).to_value(),
+            Value::Object(vec![(
+                "Two".into(),
+                Value::Array(vec![Value::U64(7), Value::F64(0.5)])
+            )])
+        );
+        assert_eq!(
+            Mixed::Fields { a: 1 }.to_value(),
+            Value::Object(vec![(
+                "Fields".into(),
+                Value::Object(vec![("a".into(), Value::U64(1))])
+            )])
+        );
+    }
+}

@@ -1,0 +1,332 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for the
+//! offline `serde` shim.
+//!
+//! The real `serde_derive` depends on `syn`/`quote`, which cannot be fetched
+//! in this environment, so the input item is parsed directly from the
+//! `proc_macro` token stream. Supported shapes (everything this workspace
+//! derives on): non-generic structs with named fields, tuple structs, unit
+//! structs, and enums with unit, tuple and struct variants.
+//!
+//! `Serialize` expands to an implementation that lowers the value into the
+//! shim's [`serde::Value`] JSON data model; `Deserialize` expands to an empty
+//! marker implementation (nothing in the workspace deserializes).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field list.
+enum Fields {
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields (arity only).
+    Tuple(usize),
+    /// No fields.
+    Unit,
+}
+
+/// A parsed variant of an enum.
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+/// The parsed derive input.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skips attributes (`#[...]`, including expanded doc comments) and
+/// visibility modifiers at the cursor position.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` followed by a bracketed group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` etc: a parenthesized group follows.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Splits the tokens of a field list or tuple on top-level commas, treating
+/// `<`/`>` pairs as nesting (commas inside generic arguments are not
+/// separators). Returns the number of top-level segments with content.
+fn count_top_level_segments(tokens: &[TokenTree]) -> usize {
+    let mut segments = 0;
+    let mut has_content = false;
+    let mut angle_depth = 0i32;
+    for token in tokens {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                has_content = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                has_content = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if has_content {
+                    segments += 1;
+                }
+                has_content = false;
+            }
+            _ => has_content = true,
+        }
+    }
+    if has_content {
+        segments += 1;
+    }
+    segments
+}
+
+/// Parses the contents of a `{ ... }` field block into field names.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    let mut angle_depth = 0i32;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        // Field name followed by `:`.
+        if let (Some(TokenTree::Ident(name)), Some(TokenTree::Punct(colon))) =
+            (tokens.get(i), tokens.get(i + 1))
+        {
+            if colon.as_char() == ':' {
+                names.push(name.to_string());
+                i += 2;
+                // Consume the type up to the next top-level comma.
+                while i < tokens.len() {
+                    match &tokens[i] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        i += 1;
+    }
+    names
+}
+
+/// Parses the contents of an enum's `{ ... }` into variants.
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            i += 1;
+            continue;
+        };
+        let name = name.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_top_level_segments(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                ))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant` up to the separating comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected an item name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic types are not supported (`{name}`)");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_top_level_segments(
+                        &g.stream().into_iter().collect::<Vec<_>>(),
+                    ))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let variants = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => parse_variants(g),
+                other => panic!("serde_derive shim: expected an enum body, found {other:?}"),
+            };
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive shim: unsupported item kind `{other}`"),
+    }
+}
+
+fn serialize_body(item: &Item) -> String {
+    match item {
+        Item::Struct { fields, .. } => match fields {
+            Fields::Named(names) => {
+                let entries: Vec<String> = names
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::to_value(&self.{f}))"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "::serde::Value::Object(::std::vec![{}])",
+                    entries.join(", ")
+                )
+            }
+            Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Fields::Tuple(n) => {
+                let entries: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(::std::vec![{}])", entries.join(", "))
+            }
+            Fields::Unit => "::serde::Value::Null".to_string(),
+        },
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binders: Vec<String> =
+                                (0..*n).map(|i| format!("__f{i}")).collect();
+                            let inner = if *n == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let entries: Vec<String> = binders
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!(
+                                    "::serde::Value::Array(::std::vec![{}])",
+                                    entries.join(", ")
+                                )
+                            };
+                            format!(
+                                "{name}::{vname}({binds}) => ::serde::Value::Object(\
+                                 ::std::vec![(::std::string::String::from(\"{vname}\"), {inner})]),",
+                                binds = binders.join(", ")
+                            )
+                        }
+                        Fields::Named(field_names) => {
+                            let entries: Vec<String> = field_names
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(\
+                                 ::std::vec![(::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Object(::std::vec![{entries}]))]),",
+                                binds = field_names.join(", "),
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    }
+}
+
+/// Derives the shim's `serde::Serialize` (lowering into `serde::Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = match &item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name.clone(),
+    };
+    let body = serialize_body(&item);
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive shim produced invalid Rust")
+}
+
+/// Derives the shim's `serde::Deserialize` marker implementation.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = match &item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name.clone(),
+    };
+    format!("#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("serde_derive shim produced invalid Rust")
+}

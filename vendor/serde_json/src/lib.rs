@@ -1,0 +1,185 @@
+//! Vendored stand-in for `serde_json`: renders the `serde` shim's
+//! [`serde::Value`] data model as JSON text. Only the serialization half is
+//! provided (`to_string` / `to_string_pretty`); nothing in the workspace
+//! parses JSON.
+
+#![warn(missing_docs)]
+
+use serde::{Serialize, Value};
+
+/// Serialization error (kept for API compatibility; rendering never fails).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+///
+/// Kept for `serde_json` API compatibility; the shim renderer never fails.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serializes a value to pretty-printed JSON (two-space indent).
+///
+/// # Errors
+///
+/// Kept for `serde_json` API compatibility; the shim renderer never fails.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn render(value: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => render_f64(*x, out),
+        Value::Str(s) => render_string(s, out),
+        Value::Array(items) => render_seq(items.iter(), indent, depth, out, |item, out, d| {
+            render(item, indent, d, out)
+        }),
+        Value::Object(entries) => {
+            render_seq_delim(
+                entries.iter(),
+                indent,
+                depth,
+                out,
+                '{',
+                '}',
+                |(k, v), out, d| {
+                    render_string(k, out);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    render(v, indent, d, out);
+                },
+            );
+        }
+    }
+}
+
+fn render_f64(x: f64, out: &mut String) {
+    if x.is_finite() {
+        // Match serde_json: integral floats keep a trailing `.0`.
+        if x.fract() == 0.0 && x.abs() < 1e15 {
+            out.push_str(&format!("{x:.1}"));
+        } else {
+            out.push_str(&x.to_string());
+        }
+    } else {
+        // Real serde_json refuses non-finite floats; the shim follows the
+        // JavaScript convention of rendering them as null instead so that
+        // experiment artifacts with infinite divergences still serialize.
+        out.push_str("null");
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn render_seq<'a, T: 'a>(
+    items: impl ExactSizeIterator<Item = &'a T>,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+    render_item: impl Fn(&T, &mut String, usize),
+) {
+    render_seq_delim(items, indent, depth, out, '[', ']', render_item);
+}
+
+fn render_seq_delim<'a, T: 'a>(
+    items: impl ExactSizeIterator<Item = &'a T>,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+    open: char,
+    close: char,
+    render_item: impl Fn(&T, &mut String, usize),
+) {
+    out.push(open);
+    let len = items.len();
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for (index, item) in items.enumerate() {
+        if let Some(step) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(step * (depth + 1)));
+        }
+        render_item(item, out, depth + 1);
+        if index + 1 < len {
+            out.push(',');
+        }
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(step * depth));
+    }
+    out.push(close);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_agree_on_structure() {
+        let value = Value::Object(vec![
+            ("name".into(), Value::Str("grid".into())),
+            (
+                "rows".into(),
+                Value::Array(vec![Value::U64(1), Value::F64(0.5), Value::Null]),
+            ),
+        ]);
+        assert_eq!(
+            to_string(&value).unwrap(),
+            r#"{"name":"grid","rows":[1,0.5,null]}"#
+        );
+        let pretty = to_string_pretty(&value).unwrap();
+        assert!(pretty.contains("\n  \"name\": \"grid\""));
+    }
+
+    #[test]
+    fn strings_are_escaped_and_nonfinite_floats_become_null() {
+        assert_eq!(to_string(&"a\"b\n").unwrap(), r#""a\"b\n""#);
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn empty_containers_render_compactly() {
+        assert_eq!(to_string_pretty(&Vec::<u32>::new()).unwrap(), "[]");
+        assert_eq!(to_string_pretty(&Value::Object(vec![])).unwrap(), "{}");
+    }
+}
