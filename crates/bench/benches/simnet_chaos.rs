@@ -1,0 +1,140 @@
+//! Benchmark of the fault-injection harness: a fault-intensity sweep
+//! (schedules per intensity × seeds) executed through the shared scenario
+//! runtime, serial vs parallel, plus per-run timings.
+//!
+//! Besides the console report, the bench writes `BENCH_simnet_chaos.json`
+//! to the working directory, extending the repository's performance
+//! trajectory with the chaos-testing engine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use serde::Serialize;
+use std::time::Instant;
+use tolerance_core::runtime::{Runner, Scenario};
+use tolerance_core::simnet::{FaultSchedule, ScheduleConfig, SimnetScenario};
+
+const SEEDS: u64 = 6;
+
+fn intensity_grid() -> Vec<SimnetScenario> {
+    [0.1, 0.4, 0.8]
+        .into_iter()
+        .map(|intensity| {
+            SimnetScenario::new(
+                format!("simnet/intensity-{intensity}"),
+                ScheduleConfig {
+                    horizon: 30,
+                    intensity,
+                    ..ScheduleConfig::default()
+                },
+            )
+        })
+        .collect()
+}
+
+#[derive(Serialize)]
+struct Measurement {
+    mode: String,
+    threads: usize,
+    seconds_best: f64,
+    seconds_all: Vec<f64>,
+}
+
+#[derive(Serialize)]
+struct ChaosBenchReport {
+    benchmark: String,
+    intensities: Vec<f64>,
+    seeds: u64,
+    horizon: u32,
+    host_threads: usize,
+    total_events: usize,
+    measurements: Vec<Measurement>,
+    parallel_speedup: f64,
+}
+
+fn time_sweep(cells: &[SimnetScenario], runner: &Runner, repetitions: usize) -> Vec<f64> {
+    let seeds: Vec<u64> = (0..SEEDS).collect();
+    (0..repetitions)
+        .map(|_| {
+            let start = Instant::now();
+            let outputs = runner.run_cells(cells, &seeds).expect("chaos sweep runs");
+            assert_eq!(outputs.len(), cells.len());
+            for per_cell in &outputs {
+                for report in per_cell {
+                    assert!(report.violation.is_none(), "oracle violation in bench");
+                }
+            }
+            start.elapsed().as_secs_f64()
+        })
+        .collect()
+}
+
+fn best(samples: &[f64]) -> f64 {
+    samples.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+fn bench_intensity_sweep(_c: &mut Criterion) {
+    let cells = intensity_grid();
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let repetitions = 3;
+
+    let total_events: usize = cells
+        .iter()
+        .flat_map(|cell| {
+            (0..SEEDS).map(|seed| FaultSchedule::generate(seed, cell.config()).events.len())
+        })
+        .sum();
+
+    let serial_samples = time_sweep(&cells, &Runner::serial(), repetitions);
+    let parallel_samples = time_sweep(&cells, &Runner::parallel(), repetitions);
+    let serial_best = best(&serial_samples);
+    let parallel_best = best(&parallel_samples);
+    let report = ChaosBenchReport {
+        benchmark: "simnet_chaos_intensity_sweep".into(),
+        intensities: vec![0.1, 0.4, 0.8],
+        seeds: SEEDS,
+        horizon: 30,
+        host_threads,
+        total_events,
+        measurements: vec![
+            Measurement {
+                mode: "serial".into(),
+                threads: 1,
+                seconds_best: serial_best,
+                seconds_all: serial_samples,
+            },
+            Measurement {
+                mode: "parallel".into(),
+                threads: host_threads,
+                seconds_best: parallel_best,
+                seconds_all: parallel_samples,
+            },
+        ],
+        parallel_speedup: serial_best / parallel_best,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serializable report");
+    std::fs::write("BENCH_simnet_chaos.json", &json).expect("write bench artifact");
+    println!(
+        "simnet chaos sweep: serial {serial_best:.3}s, parallel {parallel_best:.3}s \
+         (speedup {:.2}x over {} runs, {total_events} fault events)",
+        report.parallel_speedup,
+        cells.len() as u64 * SEEDS,
+    );
+}
+
+fn bench_single_run(c: &mut Criterion) {
+    let scenario = SimnetScenario::new(
+        "simnet/bench-cell",
+        ScheduleConfig {
+            horizon: 20,
+            intensity: 0.4,
+            ..ScheduleConfig::default()
+        },
+    );
+    c.bench_function("simnet_single_schedule", |b| {
+        b.iter(|| scenario.run(7).expect("run passes"));
+    });
+}
+
+criterion_group!(benches, bench_intensity_sweep, bench_single_run);
+criterion_main!(benches);

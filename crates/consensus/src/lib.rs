@@ -34,8 +34,8 @@ pub mod net;
 pub mod raft;
 pub mod usig;
 
-pub use minbft::{ByzantineMode, MinBftCluster, MinBftConfig, ThroughputReport};
-pub use net::{NetworkConfig, SimNetwork};
+pub use minbft::{ByzantineMode, CommitRecord, MinBftCluster, MinBftConfig, ThroughputReport};
+pub use net::{NetworkConfig, NetworkConfigError, SimNetwork};
 pub use raft::{RaftCluster, RaftConfig};
 pub use usig::Usig;
 

@@ -62,8 +62,27 @@ pub struct Request {
     pub operation: Operation,
 }
 
+/// Pseudo-client id used for the no-op requests a new leader fills
+/// sequence-number gaps with; replies to it go nowhere.
+pub const NOOP_CLIENT: NodeId = NodeId::MAX;
+
 impl Request {
-    fn digest(&self) -> Digest {
+    /// The no-op request a new leader proposes at `sequence` when it holds
+    /// no prepared entry for it (gap filling during a view change). The
+    /// request is a function of the sequence number alone, so competing
+    /// leaders fill the same gap identically.
+    pub fn noop(sequence: u64) -> Request {
+        Request {
+            client: NOOP_CLIENT,
+            id: sequence,
+            operation: Operation::Read,
+        }
+    }
+
+    /// The digest binding the client, request id and operation. Public so
+    /// invariant oracles (e.g. the validity check of the fault-injection
+    /// harness) can match committed digests against submitted requests.
+    pub fn digest(&self) -> Digest {
         let mut bytes = Vec::with_capacity(24);
         bytes.extend_from_slice(&self.client.to_le_bytes());
         bytes.extend_from_slice(&self.id.to_le_bytes());
@@ -123,13 +142,37 @@ pub enum Message {
     },
     /// Vote to move to a new view (leader suspected).
     ViewChange {
+        /// The configuration epoch the voter is in (see
+        /// [`Message::NewView::epoch`]); votes from other epochs are
+        /// ignored.
+        epoch: u64,
         /// The proposed view.
         new_view: u64,
-        /// The sender's last executed sequence number.
-        last_executed: u64,
+        /// The sender's high-water mark: the highest sequence number it has
+        /// executed *or prepared*. The new leader continues strictly above
+        /// the highest reported mark, so it can never re-assign a sequence
+        /// number that some replica may already have executed (every
+        /// executed sequence is prepared at its full commit quorum, and the
+        /// view-change quorum of `n - f` voters intersects every commit
+        /// quorum).
+        high_sequence: u64,
+        /// The voter's prepared-but-unexecuted entries
+        /// `(sequence, view, request)` — the certificate transfer of the
+        /// view change. The new leader re-proposes, for every sequence
+        /// number up to the high-water mark, the highest-view request
+        /// reported for it (and a no-op when none is): a sequence executed
+        /// anywhere was prepared at a full commit quorum, so the
+        /// view-change quorum always hears about it.
+        prepared: Vec<(u64, u64, Request)>,
     },
     /// Installation of a new view by its leader.
     NewView {
+        /// The configuration epoch this view belongs to. Every JOIN/EVICT
+        /// reconfiguration bumps the epoch; a NEW-VIEW from a previous
+        /// epoch still in flight must be ignored, because adopting its
+        /// (stale) membership would re-map `view → leader` differently on
+        /// different replicas — two honest leaders of the same view.
+        epoch: u64,
         /// The new view number.
         view: u64,
         /// The membership of the new view.
@@ -139,6 +182,8 @@ pub enum Message {
     },
     /// State transfer to a recovering or joining replica.
     StateTransfer {
+        /// The donor's configuration epoch (stale transfers are ignored).
+        epoch: u64,
         /// The current service state.
         value: u64,
         /// The log of executed request digests.
@@ -147,7 +192,33 @@ pub enum Message {
         view: u64,
         /// The current membership.
         membership: Vec<NodeId>,
+        /// The per-client reply cache `(client, request_id, value,
+        /// sequence)`, so a recovered replica can re-answer retransmitted
+        /// requests it executed before the recovery.
+        replies: Vec<(NodeId, u64, u64, u64)>,
+        /// The donor's prepared certificates `(sequence, view, request)`.
+        /// A recovered replica must re-acquire them: view-change ballots
+        /// re-propose from these certificates, and a ballot formed by
+        /// amnesiac voters would no-op-fill sequence numbers that already
+        /// executed elsewhere.
+        prepared: Vec<(u64, u64, Request)>,
     },
+}
+
+/// One committed operation as observed at one replica: the trace hook that
+/// fault-injection harnesses use to check agreement (no two correct replicas
+/// commit different digests at the same sequence number) and validity (every
+/// committed digest was submitted by a client).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CommitRecord {
+    /// The replica that executed the operation.
+    pub replica: NodeId,
+    /// The view in which the replica executed it.
+    pub view: u64,
+    /// The sequence number of the operation.
+    pub sequence: u64,
+    /// The digest the replica executed at this sequence number.
+    pub digest: Digest,
 }
 
 /// Configuration of a [`MinBftCluster`].
@@ -198,16 +269,53 @@ struct Replica {
     executed: Vec<Digest>,
     last_executed: u64,
     next_sequence: u64,
-    prepared: BTreeMap<u64, Request>,
+    /// Prepared requests by sequence number, with the view in which each
+    /// PREPARE was accepted (used to pick the freshest certificate during
+    /// view changes).
+    prepared: BTreeMap<u64, (u64, Request)>,
     /// Commit votes keyed by `(sequence, request digest)`, so votes arriving
     /// before the corresponding PREPARE are not lost.
     commit_votes: HashMap<(u64, Digest), HashSet<NodeId>>,
     pending: VecDeque<Request>,
     seen_requests: HashSet<(NodeId, u64)>,
+    /// Requests this replica itself sequenced as leader, with their
+    /// assigned sequence numbers. A proposal that never executes must be
+    /// forgotten when the view changes — otherwise its `seen_requests`
+    /// marker suppresses every future re-proposal and re-reply, and the
+    /// client stalls forever.
+    proposed: HashMap<(NodeId, u64), u64>,
+    /// Last executed request per client: `(request_id, value, sequence)`.
+    /// Re-sent when a client retransmits an already-executed request (its
+    /// original REPLY may have been lost) — without this cache a client can
+    /// stall forever on a lossy network.
+    last_replies: HashMap<NodeId, (u64, u64, u64)>,
     request_first_seen: HashMap<(NodeId, u64), SimTime>,
-    view_change_votes: HashMap<u64, HashSet<NodeId>>,
+    /// Per proposed view: each voter's high-water mark and reported
+    /// prepared certificates (see [`Message::ViewChange`]).
+    #[allow(clippy::type_complexity)]
+    view_change_votes: HashMap<u64, HashMap<NodeId, (u64, Vec<(u64, u64, Request)>)>>,
     checkpoints: Vec<(u64, Digest)>,
     needs_state: bool,
+    /// The lowest view this replica may lead. Raised past the current view
+    /// when the replica is recovered: a freshly recovered replica must not
+    /// resume proposing under its old leadership (its adopted state may lag
+    /// the true frontier and it would re-assign executed sequence numbers);
+    /// it may only lead a view acquired through a view-change quorum, whose
+    /// high-water marks bound the frontier.
+    min_lead_view: u64,
+    /// The configuration epoch (bumped by every JOIN/EVICT).
+    epoch: u64,
+    /// The highest view this replica has broadcast a view-change vote for.
+    /// After voting, the replica abandons its current view — it neither
+    /// proposes nor accepts PREPAREs/COMMITs until a view ≥ `voted_view` is
+    /// installed. Without this, a commit quorum for one request and a
+    /// view-change quorum electing a leader that re-assigns the same
+    /// sequence number can both complete (split-brain across views).
+    voted_view: u64,
+    /// Test-only fault injection: when set, the replica executes a corrupted
+    /// digest for every request (simulating an implementation bug that makes
+    /// the replica diverge while still claiming to follow the protocol).
+    corrupt_execution: bool,
 }
 
 impl Replica {
@@ -229,11 +337,45 @@ impl Replica {
             commit_votes: HashMap::new(),
             pending: VecDeque::new(),
             seen_requests: HashSet::new(),
+            proposed: HashMap::new(),
+            last_replies: HashMap::new(),
             request_first_seen: HashMap::new(),
             view_change_votes: HashMap::new(),
             checkpoints: Vec::new(),
             needs_state: false,
+            min_lead_view: 0,
+            epoch: 0,
+            voted_view: 0,
+            corrupt_execution: false,
         }
+    }
+
+    /// Forgets own proposals that never executed (called when a new view is
+    /// installed, see the `proposed` field).
+    fn forget_unexecuted_proposals(&mut self) {
+        let last_executed = self.last_executed;
+        let seen = &mut self.seen_requests;
+        self.proposed.retain(|key, &mut sequence| {
+            if sequence > last_executed {
+                seen.remove(key);
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    fn may_lead(&self) -> bool {
+        self.is_leader()
+            && !self.needs_state
+            && self.view >= self.min_lead_view
+            && self.view >= self.voted_view
+    }
+
+    /// Whether the replica still participates in its current view (it has
+    /// not voted to abandon it).
+    fn in_current_view(&self) -> bool {
+        self.voted_view <= self.view
     }
 
     fn leader(&self) -> NodeId {
@@ -296,6 +438,9 @@ pub struct MinBftCluster {
     directory: KeyDirectory,
     next_node_id: NodeId,
     view_changes: u64,
+    /// The configuration epoch (bumped by every JOIN/EVICT).
+    epoch: u64,
+    commit_trace: Vec<CommitRecord>,
 }
 
 /// Client node identifiers start here to keep them disjoint from replicas.
@@ -341,6 +486,8 @@ impl MinBftCluster {
             directory,
             next_node_id,
             view_changes: 0,
+            epoch: 0,
+            commit_trace: Vec::new(),
         }
     }
 
@@ -369,6 +516,126 @@ impl MinBftCluster {
         self.view_changes
     }
 
+    /// Every commit executed by any replica so far, in execution order (the
+    /// trace hook consumed by invariant oracles).
+    pub fn commit_trace(&self) -> &[CommitRecord] {
+        &self.commit_trace
+    }
+
+    /// The executed-request digest log of a replica.
+    pub fn executed_log(&self, replica: NodeId) -> Option<&[Digest]> {
+        self.replicas.get(&replica).map(|r| r.executed.as_slice())
+    }
+
+    /// The Byzantine mode a replica currently runs with.
+    pub fn byzantine_mode(&self, replica: NodeId) -> Option<ByzantineMode> {
+        self.replicas.get(&replica).map(|r| r.byzantine)
+    }
+
+    /// Whether a replica is crashed.
+    pub fn is_crashed(&self, replica: NodeId) -> bool {
+        self.replicas
+            .get(&replica)
+            .map(|r| r.crashed)
+            .unwrap_or(false)
+    }
+
+    /// The view a replica is currently in.
+    pub fn replica_view(&self, replica: NodeId) -> Option<u64> {
+        self.replicas.get(&replica).map(|r| r.view)
+    }
+
+    /// The node a replica currently considers the leader.
+    pub fn leader_of(&self, replica: NodeId) -> Option<NodeId> {
+        self.replicas
+            .get(&replica)
+            .filter(|r| !r.membership.is_empty())
+            .map(|r| r.leader())
+    }
+
+    /// A one-line diagnostic summary of a replica's protocol state (for
+    /// harness debugging output).
+    pub fn debug_replica(&self, replica: NodeId) -> String {
+        let Some(r) = self.replicas.get(&replica) else {
+            return format!("replica {replica}: gone");
+        };
+        format!(
+            "replica {replica}: view {} voted {} min_lead {} epoch {} last_exec {} next_seq {} \
+             pending {} first_seen {} prepared {} vc_votes {:?}",
+            r.view,
+            r.voted_view,
+            r.min_lead_view,
+            r.epoch,
+            r.last_executed,
+            r.next_sequence,
+            r.pending.len(),
+            r.request_first_seen.len(),
+            r.prepared.len(),
+            r.view_change_votes
+                .iter()
+                .map(|(view, votes)| (*view, votes.len()))
+                .collect::<std::collections::BTreeMap<_, _>>(),
+        )
+    }
+
+    /// Whether a replica is still waiting for a state transfer after a
+    /// recovery or join.
+    pub fn needs_state(&self, replica: NodeId) -> bool {
+        self.replicas
+            .get(&replica)
+            .map(|r| r.needs_state)
+            .unwrap_or(false)
+    }
+
+    /// Traffic counters of the underlying network.
+    pub fn network_stats(&self) -> crate::net::NetworkStats {
+        self.network.stats()
+    }
+
+    /// Number of messages currently in flight on the network.
+    pub fn network_in_flight(&self) -> usize {
+        self.network.in_flight()
+    }
+
+    /// Blocks communication between every replica in `group_a` and every
+    /// replica in `group_b` (both directions), modelling a network
+    /// partition.
+    pub fn partition_network(&mut self, group_a: &[NodeId], group_b: &[NodeId]) {
+        self.network.partition(group_a, group_b);
+    }
+
+    /// Removes all network partitions.
+    pub fn heal_network(&mut self) {
+        self.network.heal_partitions();
+    }
+
+    /// Replaces the replica-to-replica link profile mid-run (delay and loss
+    /// storms). Messages already in flight keep their scheduled delivery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`NetworkConfig::new`]).
+    pub fn set_network_config(&mut self, network: NetworkConfig) {
+        self.network.set_config(network);
+    }
+
+    /// The link profile currently in force.
+    pub fn network_config(&self) -> NetworkConfig {
+        self.network.config()
+    }
+
+    /// Test-only fault injection: makes the replica execute a corrupted
+    /// digest for every subsequent request while still reporting itself as
+    /// correct. This simulates an implementation bug (not an attacker, which
+    /// is modelled by [`ByzantineMode`]) and exists so that agreement oracles
+    /// can be validated against a known safety violation. A recovery clears
+    /// the flag.
+    pub fn inject_double_commit(&mut self, replica: NodeId) {
+        if let Some(r) = self.replicas.get_mut(&replica) {
+            r.corrupt_execution = true;
+        }
+    }
+
     /// Registers a new closed-loop client and returns its identifier.
     pub fn add_client(&mut self) -> NodeId {
         let id = CLIENT_ID_BASE + self.clients.len() as NodeId;
@@ -386,12 +653,13 @@ impl MinBftCluster {
         id
     }
 
-    /// Submits one request from the given client.
+    /// Submits one request from the given client and returns it (so callers
+    /// such as invariant oracles can record its digest).
     ///
     /// # Panics
     ///
     /// Panics if the client is unknown or already has an outstanding request.
-    pub fn submit(&mut self, client: NodeId, operation: Operation) {
+    pub fn submit(&mut self, client: NodeId, operation: Operation) -> Request {
         let request = {
             let state = self.clients.get_mut(&client).expect("unknown client");
             assert!(
@@ -414,6 +682,7 @@ impl MinBftCluster {
         let members = self.membership.clone();
         self.network
             .broadcast(client, &members, &Message::Request(request), &mut self.rng);
+        request
     }
 
     /// Marks a replica as compromised with the given behaviour.
@@ -440,16 +709,34 @@ impl MinBftCluster {
     /// Recovers a replica: clears its Byzantine mode, resets its protocol
     /// state and requests a state transfer from the other replicas. This is
     /// the operation the paper's node controllers trigger (Section VII-C).
-    pub fn recover_replica(&mut self, replica: NodeId) {
+    ///
+    /// Returns `false` when the recovery was **deferred**: resetting the
+    /// replica while every other replica is itself crashed or awaiting a
+    /// transfer would wipe the service's last copy of its state, so nothing
+    /// happens and the caller must retry later (e.g. on the next BTR tick).
+    pub fn recover_replica(&mut self, replica: NodeId) -> bool {
         self.network.restart(replica);
+        let donor_exists = self.membership.iter().any(|&id| {
+            id != replica
+                && self
+                    .replicas
+                    .get(&id)
+                    .is_some_and(|r| !r.crashed && !r.needs_state)
+        });
+        if !donor_exists {
+            return false;
+        }
         let membership = self.membership.clone();
         let directory = self.directory.clone();
         let seed = self.config.seed;
         if let Some(r) = self.replicas.get_mut(&replica) {
             let view = r.view;
+            let epoch = r.epoch;
             *r = Replica::new(replica, membership.clone(), directory, seed);
             r.view = view;
+            r.epoch = epoch;
             r.needs_state = true;
+            r.min_lead_view = view + 1;
         }
         // Ask every other replica for a state transfer; verifiers must also
         // forget the recovered replica's old USIG counter.
@@ -458,25 +745,59 @@ impl MinBftCluster {
                 other.verifier.reset_replica(replica);
             }
         }
-        // The recovering replica broadcasts a state request implicitly: we
-        // model it by having every healthy replica push its state.
-        let healthy: Vec<NodeId> = self
+        self.send_state_transfer(replica);
+        true
+    }
+
+    /// Sends a state transfer to `recipient` from the most up-to-date live
+    /// donor. Adopting an arbitrary (first-arriving) snapshot would let a
+    /// recovered replica roll back below the committed frontier — repeated
+    /// recoveries could then erase the cluster's memory of committed
+    /// sequence numbers and re-assign them. Donors that are crashed or
+    /// themselves awaiting a transfer never push (amnesia must not spread);
+    /// if no donor exists, the recipient stays in `needs_state` until a
+    /// later recovery retries.
+    fn send_state_transfer(&mut self, recipient: NodeId) {
+        let donor = self
             .membership
             .iter()
             .copied()
-            .filter(|&id| id != replica && !self.replicas[&id].crashed)
-            .collect();
-        for id in healthy {
+            .filter(|&id| {
+                id != recipient && !self.replicas[&id].crashed && !self.replicas[&id].needs_state
+            })
+            .max_by_key(|&id| (self.replicas[&id].last_executed, std::cmp::Reverse(id)));
+        if let Some(donor) = donor {
             let state = {
-                let r = &self.replicas[&id];
+                let r = &self.replicas[&donor];
+                let mut replies: Vec<(NodeId, u64, u64, u64)> = r
+                    .last_replies
+                    .iter()
+                    .map(|(&client, &(id, value, sequence))| (client, id, value, sequence))
+                    .collect();
+                replies.sort_unstable();
                 Message::StateTransfer {
+                    epoch: r.epoch,
                     value: r.value,
                     executed: r.executed.clone(),
                     view: r.view,
                     membership: r.membership.clone(),
+                    replies,
+                    prepared: prepared_report(r),
                 }
             };
-            self.network.send(id, replica, state, &mut self.rng);
+            self.network.send(donor, recipient, state, &mut self.rng);
+        }
+    }
+
+    /// Restarts a crashed replica with its state intact (fail-stop recovery
+    /// with stable storage). Unlike [`MinBftCluster::recover_replica`], the
+    /// log, USIG counter and protocol state survive: this is the right
+    /// operation for a crash, whereas a (suspected) compromise requires the
+    /// full rebuild + state transfer of `recover_replica`.
+    pub fn restart_replica(&mut self, replica: NodeId) {
+        self.network.restart(replica);
+        if let Some(r) = self.replicas.get_mut(&replica) {
+            r.crashed = false;
         }
     }
 
@@ -490,36 +811,27 @@ impl MinBftCluster {
         self.membership.push(id);
         // Refresh every replica's directory and membership through a
         // lightweight reconfiguration view change.
+        self.epoch += 1;
         let new_membership = self.membership.clone();
         for replica in self.replicas.values_mut() {
             replica.membership = new_membership.clone();
             replica.verifier = UsigVerifier::new(self.directory.clone());
-            replica.commit_votes.clear();
-            replica.prepared.clear();
+            // Prepared entries and commit votes are kept: they are genuine
+            // USIG-certified statements, and wiping them would erase the
+            // prepared high-water marks that stop a post-reconfiguration
+            // leader from re-assigning executed sequence numbers. Only the
+            // view-change ballots are reset (they belong to the old epoch).
+            replica.view_change_votes.clear();
+            replica.epoch = self.epoch;
         }
         let mut new_replica =
             Replica::new(id, new_membership, self.directory.clone(), self.config.seed);
         new_replica.needs_state = true;
+        new_replica.epoch = self.epoch;
         self.replicas.insert(id, new_replica);
-        // State transfer to the newcomer.
-        let healthy: Vec<NodeId> = self
-            .membership
-            .iter()
-            .copied()
-            .filter(|&m| m != id && !self.replicas[&m].crashed)
-            .collect();
-        for m in healthy {
-            let state = {
-                let r = &self.replicas[&m];
-                Message::StateTransfer {
-                    value: r.value,
-                    executed: r.executed.clone(),
-                    view: r.view,
-                    membership: r.membership.clone(),
-                }
-            };
-            self.network.send(m, id, state, &mut self.rng);
-        }
+        self.reconfiguration_view_change();
+        // State transfer to the newcomer, from the most up-to-date donor.
+        self.send_state_transfer(id);
         self.view_changes += 1;
         id
     }
@@ -529,31 +841,63 @@ impl MinBftCluster {
         self.membership.retain(|&id| id != replica);
         self.replicas.remove(&replica);
         self.network.crash(replica);
+        self.epoch += 1;
         let new_membership = self.membership.clone();
         for r in self.replicas.values_mut() {
             r.membership = new_membership.clone();
-            r.commit_votes.clear();
-            r.prepared.clear();
-            // Evicting the current leader implies a view change.
-            if !new_membership.is_empty() {
-                while r.leader() == replica {
-                    r.view += 1;
-                }
+            // See `add_replica`: prepared/commit state survives the
+            // reconfiguration, only the view-change ballots reset.
+            r.view_change_votes.clear();
+            r.epoch = self.epoch;
+        }
+        self.reconfiguration_view_change();
+        self.view_changes += 1;
+    }
+
+    /// Hands leadership over through an explicit view-change round after a
+    /// reconfiguration. Resizing the membership re-maps `view → leader`, and
+    /// the new mapping may point at a lagging replica whose stale sequence
+    /// counter would re-assign executed sequence numbers; every replica is
+    /// therefore barred from leading its current view, and each healthy
+    /// replica immediately broadcasts a view-change vote so the next view is
+    /// installed (message-driven, no timeout needed) with the quorum's
+    /// high-water marks bounding the new leader's sequence counter.
+    fn reconfiguration_view_change(&mut self) {
+        let members = self.membership.clone();
+        let mut votes: Vec<(NodeId, u64, u64)> = Vec::new();
+        for &id in &members {
+            let Some(r) = self.replicas.get_mut(&id) else {
+                continue;
+            };
+            r.min_lead_view = r.min_lead_view.max(r.view + 1);
+            if !r.crashed && !r.needs_state && r.byzantine != ByzantineMode::Silent {
+                r.voted_view = r.voted_view.max(r.view + 1);
+                votes.push((id, r.view + 1, replica_high_sequence(r)));
             }
         }
-        self.view_changes += 1;
+        let epoch = self.epoch;
+        for (id, new_view, high_sequence) in votes {
+            let prepared = prepared_report(&self.replicas[&id]);
+            self.network.broadcast(
+                id,
+                &members,
+                &Message::ViewChange {
+                    epoch,
+                    new_view,
+                    high_sequence,
+                    prepared,
+                },
+                &mut self.rng,
+            );
+        }
     }
 
     /// Runs the event loop until `deadline` (simulated seconds).
     pub fn run_until(&mut self, deadline: SimTime) {
-        loop {
-            match self.network.next_delivery_time() {
-                Some(t) if t <= deadline => {
-                    let delivery = self.network.next_delivery().expect("peeked delivery");
-                    self.dispatch(delivery.from, delivery.to, delivery.message, delivery.time);
-                }
-                _ => break,
-            }
+        // Bounded pop: messages at the queue head that must be dropped are
+        // consumed, but nothing beyond the deadline is dispatched.
+        while let Some(delivery) = self.network.next_delivery_until(deadline) {
+            self.dispatch(delivery.from, delivery.to, delivery.message, delivery.time);
             self.check_timeouts();
         }
         self.network.advance_to(deadline);
@@ -563,11 +907,7 @@ impl MinBftCluster {
     /// Runs the event loop until the network is quiet or `max_time` is
     /// reached.
     pub fn run_until_quiet(&mut self, max_time: SimTime) {
-        while let Some(t) = self.network.next_delivery_time() {
-            if t > max_time {
-                break;
-            }
-            let delivery = self.network.next_delivery().expect("peeked delivery");
+        while let Some(delivery) = self.network.next_delivery_until(max_time) {
             self.dispatch(delivery.from, delivery.to, delivery.message, delivery.time);
             self.check_timeouts();
         }
@@ -715,7 +1055,7 @@ impl MinBftCluster {
             }
             match message {
                 Message::Request(request) => {
-                    handle_request(replica, request, time, &mut broadcast);
+                    handle_request(replica, request, time, &mut outgoing, &mut broadcast);
                 }
                 Message::Prepare {
                     view,
@@ -731,6 +1071,7 @@ impl MinBftCluster {
                         self.config.checkpoint_period,
                         &mut outgoing,
                         &mut broadcast,
+                        &mut self.commit_trace,
                     );
                 }
                 Message::Commit {
@@ -750,6 +1091,7 @@ impl MinBftCluster {
                         self.config.checkpoint_period,
                         &mut outgoing,
                         &mut broadcast,
+                        &mut self.commit_trace,
                     );
                 }
                 Message::Checkpoint {
@@ -758,23 +1100,114 @@ impl MinBftCluster {
                 } => {
                     replica.checkpoints.push((sequence, state_digest));
                 }
-                Message::ViewChange { new_view, .. } => {
-                    if new_view > replica.view {
+                Message::ViewChange {
+                    epoch,
+                    new_view,
+                    high_sequence,
+                    prepared,
+                } => {
+                    if epoch == replica.epoch && new_view > replica.view {
+                        let own_high = replica_high_sequence(replica);
+                        let own_prepared = prepared_report(replica);
                         let votes = replica.view_change_votes.entry(new_view).or_default();
-                        votes.insert(from);
-                        votes.insert(replica.id);
-                        if votes.len() > f {
+                        votes.insert(from, (high_sequence, prepared));
+                        // A replica awaiting its state transfer must not
+                        // join the quorum: its high-water mark is
+                        // meaningless, and counting it would break the
+                        // intersection with the commit quorums.
+                        if !replica.needs_state {
+                            votes.insert(replica.id, (own_high, own_prepared));
+                        }
+                        // The quorum must intersect every commit quorum
+                        // (f + 1 votes), so a sequence number executed by
+                        // *any* replica is reflected in some voter's
+                        // high-water mark: n - f voters are required
+                        // (computed over the replica's own membership view,
+                        // which may briefly differ from the cluster's during
+                        // a reconfiguration).
+                        let n = replica.membership.len();
+                        let quorum = n.saturating_sub(crate::hybrid_fault_threshold(n, 0)).max(1);
+                        if votes.len() >= quorum {
+                            let max_high = votes.values().map(|(high, _)| *high).max().unwrap_or(0);
+                            // Freshest reported certificate per sequence
+                            // (highest view wins; within one view a leader
+                            // assigns each sequence at most once, so ties
+                            // agree).
+                            let mut certificates: BTreeMap<u64, (u64, Request)> = BTreeMap::new();
+                            for (_, reported) in votes.values() {
+                                for &(sequence, view, request) in reported {
+                                    match certificates.get(&sequence) {
+                                        Some(&(v, _)) if v >= view => {}
+                                        _ => {
+                                            certificates.insert(sequence, (view, request));
+                                        }
+                                    }
+                                }
+                            }
                             replica.view = new_view;
-                            replica.commit_votes.clear();
-                            replica.prepared.clear();
-                            if replica.is_leader() {
-                                let next_sequence = replica.last_executed + 1;
+                            replica.forget_unexecuted_proposals();
+                            // Ballots for installed views are dead weight.
+                            replica.view_change_votes.retain(|&v, _| v > new_view);
+                            // Echo the ballot: stragglers (including the
+                            // view's leader, which may still be in an older
+                            // view) only learn about the quorum through
+                            // votes, and without the echo two camps can
+                            // rotate views forever with every new leader
+                            // one view behind.
+                            broadcast.push(Message::ViewChange {
+                                epoch: replica.epoch,
+                                new_view,
+                                high_sequence: own_high,
+                                prepared: prepared_report(replica),
+                            });
+                            // Prepared entries and commit votes survive the
+                            // view change (they are keyed by sequence and
+                            // digest, and USIG certificates cannot be
+                            // forged): clearing them would lose in-flight
+                            // quorums and stall the replicas that missed
+                            // the executions.
+                            if replica.may_lead() {
+                                let next_sequence = max_high.max(own_high) + 1;
                                 replica.next_sequence = next_sequence;
                                 broadcast.push(Message::NewView {
+                                    epoch: replica.epoch,
                                     view: new_view,
                                     membership: replica.membership.clone(),
                                     next_sequence,
                                 });
+                                // Fill the range up to the quorum's
+                                // high-water mark from the freshest
+                                // reported certificates (own prepared
+                                // entries are part of the ballot); a
+                                // sequence no voter holds a certificate
+                                // for cannot have executed anywhere and
+                                // becomes a no-op — otherwise consecutive
+                                // execution would stall at the gap forever.
+                                for sequence in (replica.last_executed + 1)..next_sequence {
+                                    let request = certificates
+                                        .get(&sequence)
+                                        .map(|&(_, request)| request)
+                                        .unwrap_or_else(|| Request::noop(sequence));
+                                    replica.prepared.insert(sequence, (new_view, request));
+                                    // Mark the request as sequenced so the
+                                    // backlog below does not re-propose it
+                                    // at a second sequence number.
+                                    let key = (request.client, request.id);
+                                    replica.seen_requests.insert(key);
+                                    replica.proposed.insert(key, sequence);
+                                    let ui = replica.usig.create_ui(request.digest());
+                                    replica
+                                        .commit_votes
+                                        .entry((sequence, request.digest()))
+                                        .or_default()
+                                        .insert(replica.id);
+                                    broadcast.push(Message::Prepare {
+                                        view: new_view,
+                                        sequence,
+                                        request,
+                                        ui,
+                                    });
+                                }
                                 // Re-propose requests the old leader never
                                 // sequenced.
                                 let backlog: Vec<Request> = replica
@@ -790,32 +1223,58 @@ impl MinBftCluster {
                     }
                 }
                 Message::NewView {
+                    epoch,
                     view,
                     membership,
                     next_sequence,
                 } => {
-                    if view >= replica.view {
+                    if epoch == replica.epoch && view >= replica.view {
                         replica.view = view;
                         replica.membership = membership;
-                        replica.next_sequence = next_sequence;
-                        replica.commit_votes.clear();
-                        replica.prepared.clear();
+                        replica.next_sequence = next_sequence.max(replica.next_sequence);
                         replica.request_first_seen.clear();
+                        replica.forget_unexecuted_proposals();
                     }
                 }
                 Message::StateTransfer {
+                    epoch,
                     value,
                     executed,
                     view,
                     membership,
+                    replies,
+                    prepared,
                 } => {
-                    if replica.needs_state && executed.len() >= replica.executed.len() {
+                    if epoch == replica.epoch
+                        && replica.needs_state
+                        && executed.len() >= replica.executed.len()
+                    {
+                        for (sequence, cert_view, request) in prepared {
+                            match replica.prepared.get(&sequence) {
+                                Some(&(v, _)) if v >= cert_view => {}
+                                _ => {
+                                    replica.prepared.insert(sequence, (cert_view, request));
+                                }
+                            }
+                        }
                         replica.value = value;
                         replica.executed = executed;
                         replica.last_executed = replica.executed.len() as u64;
                         replica.view = view.max(replica.view);
+                        // Adopting the donor's (possibly much higher) view
+                        // must not re-open leadership: a recovered replica
+                        // may only lead a view acquired through a
+                        // view-change quorum, whose ballots bound its
+                        // sequence counter.
+                        replica.min_lead_view = replica.min_lead_view.max(replica.view + 1);
                         replica.membership = membership;
                         replica.next_sequence = replica.last_executed + 1;
+                        for (client, request_id, reply_value, sequence) in replies {
+                            replica
+                                .last_replies
+                                .insert(client, (request_id, reply_value, sequence));
+                            replica.seen_requests.insert((client, request_id));
+                        }
                         replica.needs_state = false;
                     }
                 }
@@ -877,9 +1336,15 @@ impl MinBftCluster {
     fn check_timeouts(&mut self) {
         let now = self.network.now();
         let timeout = self.config.request_timeout;
-        // Client retransmissions.
+        // Client retransmissions. Iterate in id order: HashMap order varies
+        // between cluster instances, and the send order determines how the
+        // shared RNG is consumed, so a deterministic order is required for
+        // byte-identical replays.
         let mut retransmissions: Vec<(NodeId, Request)> = Vec::new();
-        for client in self.clients.values_mut() {
+        let mut client_ids: Vec<NodeId> = self.clients.keys().copied().collect();
+        client_ids.sort_unstable();
+        for id in client_ids {
+            let client = self.clients.get_mut(&id).expect("client id just listed");
             if let Some((request, _, started)) = &mut client.outstanding {
                 if now - *started > timeout {
                     *started = now;
@@ -897,8 +1362,14 @@ impl MinBftCluster {
             );
         }
         let mut votes: Vec<(NodeId, u64)> = Vec::new();
-        for replica in self.replicas.values_mut() {
-            if replica.crashed || replica.byzantine == ByzantineMode::Silent || replica.is_leader()
+        let mut replica_ids: Vec<NodeId> = self.replicas.keys().copied().collect();
+        replica_ids.sort_unstable();
+        for id in replica_ids {
+            let replica = self.replicas.get_mut(&id).expect("replica id just listed");
+            // Even a leader votes when its requests stall (its proposals may
+            // be going into the void); only crashed, silent and
+            // state-awaiting replicas sit out.
+            if replica.crashed || replica.byzantine == ByzantineMode::Silent || replica.needs_state
             {
                 continue;
             }
@@ -907,7 +1378,13 @@ impl MinBftCluster {
                 .values()
                 .any(|&first_seen| now - first_seen > timeout);
             if stalled {
-                let new_view = replica.view + 1;
+                // Vote for the highest view anyone has proposed (not just
+                // view + 1): voting `own view + 1` fragments the ballots
+                // across views when replicas disagree on the current view,
+                // and no proposal ever reaches quorum.
+                let highest_proposed = replica.view_change_votes.keys().copied().max().unwrap_or(0);
+                let new_view = (replica.view + 1).max(highest_proposed);
+                replica.voted_view = replica.voted_view.max(new_view);
                 votes.push((replica.id, new_view));
                 replica.request_first_seen.clear();
                 self.view_changes += 1;
@@ -915,18 +1392,43 @@ impl MinBftCluster {
         }
         let members = self.membership.clone();
         for (id, new_view) in votes {
-            let last_executed = self.replicas[&id].last_executed;
+            let replica = &self.replicas[&id];
+            let high_sequence = replica_high_sequence(replica);
+            let epoch = replica.epoch;
+            let prepared = prepared_report(replica);
             self.network.broadcast(
                 id,
                 &members,
                 &Message::ViewChange {
+                    epoch,
                     new_view,
-                    last_executed,
+                    high_sequence,
+                    prepared,
                 },
                 &mut self.rng,
             );
         }
     }
+}
+
+/// The high-water mark a replica reports in view changes: the highest
+/// sequence number it has executed or prepared.
+fn replica_high_sequence(replica: &Replica) -> u64 {
+    let prepared_max = replica.prepared.keys().next_back().copied().unwrap_or(0);
+    replica.last_executed.max(prepared_max)
+}
+
+/// The certificate transfer a replica attaches to a view-change vote: all
+/// its prepared entries. Entries the voter has itself executed are included
+/// too — a new leader that lags behind the voter needs exactly those to
+/// re-propose the executed requests at their original sequence numbers
+/// instead of no-op-filling them.
+fn prepared_report(replica: &Replica) -> Vec<(u64, u64, Request)> {
+    replica
+        .prepared
+        .iter()
+        .map(|(&sequence, &(view, request))| (sequence, view, request))
+        .collect()
 }
 
 /// Leader-side proposal: assigns the next sequence number, certifies the
@@ -935,9 +1437,10 @@ fn propose(replica: &mut Replica, request: Request, broadcast: &mut Vec<Message>
     let key = (request.client, request.id);
     replica.seen_requests.insert(key);
     let sequence = replica.next_sequence;
+    replica.proposed.insert(key, sequence);
     replica.next_sequence += 1;
     let ui = replica.usig.create_ui(request.digest());
-    replica.prepared.insert(sequence, request);
+    replica.prepared.insert(sequence, (replica.view, request));
     // The leader's PREPARE counts as its COMMIT vote.
     replica
         .commit_votes
@@ -956,14 +1459,29 @@ fn handle_request(
     replica: &mut Replica,
     request: Request,
     time: SimTime,
+    outgoing: &mut Vec<(NodeId, Message)>,
     broadcast: &mut Vec<Message>,
 ) {
     let key = (request.client, request.id);
     if replica.seen_requests.contains(&key) {
+        // Already sequenced or executed. If executed, re-send the REPLY —
+        // a retransmission means the client may never have received it.
+        if let Some(&(request_id, value, sequence)) = replica.last_replies.get(&request.client) {
+            if request_id == request.id {
+                outgoing.push((
+                    request.client,
+                    Message::Reply {
+                        request_id,
+                        value,
+                        sequence,
+                    },
+                ));
+            }
+        }
         return;
     }
     replica.request_first_seen.entry(key).or_insert(time);
-    if replica.is_leader() {
+    if replica.may_lead() {
         propose(replica, request, broadcast);
     } else if !replica.pending.contains(&request) {
         replica.pending.push_back(request);
@@ -979,7 +1497,14 @@ fn handle_prepare(
     ui: UniqueIdentifier,
     broadcast: &mut Vec<Message>,
 ) {
-    if view != replica.view || from != replica.leader() {
+    // A replica awaiting its state transfer must not participate: its log
+    // and sequence counter are meaningless, so a COMMIT vote from it could
+    // help a quorum re-execute an old sequence number (recovery amnesia).
+    if view != replica.view
+        || from != replica.leader()
+        || !replica.in_current_view()
+        || replica.needs_state
+    {
         return;
     }
     // The USIG certificate must be valid and fresh (prevents equivocation and
@@ -987,7 +1512,7 @@ fn handle_prepare(
     if !replica.verifier.accept_unordered(request.digest(), &ui) {
         return;
     }
-    replica.prepared.insert(sequence, request);
+    replica.prepared.insert(sequence, (view, request));
     let votes = replica
         .commit_votes
         .entry((sequence, request.digest()))
@@ -1018,8 +1543,9 @@ fn handle_commit(
     checkpoint_period: u64,
     outgoing: &mut Vec<(NodeId, Message)>,
     broadcast: &mut Vec<Message>,
+    trace: &mut Vec<CommitRecord>,
 ) {
-    if view != replica.view {
+    if view != replica.view || !replica.in_current_view() {
         return;
     }
     // Verify the certificate; the vote is recorded even if the PREPARE has
@@ -1033,7 +1559,7 @@ fn handle_commit(
         .entry((sequence, request_digest))
         .or_default()
         .insert(from);
-    execute_ready(replica, f, checkpoint_period, outgoing, broadcast);
+    execute_ready(replica, f, checkpoint_period, outgoing, broadcast, trace);
 }
 
 /// Executes all consecutive sequence numbers whose commit quorum (f + 1 votes
@@ -1044,10 +1570,16 @@ fn execute_ready(
     checkpoint_period: u64,
     outgoing: &mut Vec<(NodeId, Message)>,
     broadcast: &mut Vec<Message>,
+    trace: &mut Vec<CommitRecord>,
 ) {
+    // No execution before the state transfer lands: an amnesiac replica
+    // would re-execute from sequence 1.
+    if replica.needs_state {
+        return;
+    }
     loop {
         let next = replica.last_executed + 1;
-        let Some(request) = replica.prepared.get(&next).copied() else {
+        let Some((_, request)) = replica.prepared.get(&next).copied() else {
             break;
         };
         let quorum_met = replica
@@ -1063,20 +1595,40 @@ fn execute_ready(
             Operation::Read => {}
             Operation::Write(v) => replica.value = v,
         }
-        replica.executed.push(request.digest());
+        let executed_digest = if replica.corrupt_execution {
+            // Injected implementation bug: the replica diverges from the
+            // agreed operation (see `MinBftCluster::inject_double_commit`).
+            crate::crypto::combine(request.digest(), digest(b"corrupted-execution"))
+        } else {
+            request.digest()
+        };
+        replica.executed.push(executed_digest);
+        trace.push(CommitRecord {
+            replica: replica.id,
+            view: replica.view,
+            sequence: next,
+            digest: executed_digest,
+        });
         replica.last_executed = next;
         replica.seen_requests.insert((request.client, request.id));
+        replica.proposed.remove(&(request.client, request.id));
         replica
             .request_first_seen
             .remove(&(request.client, request.id));
-        outgoing.push((
-            request.client,
-            Message::Reply {
-                request_id: request.id,
-                value: replica.value,
-                sequence: next,
-            },
-        ));
+        // Gap-filling no-ops have no client to answer.
+        if request.client != NOOP_CLIENT {
+            replica
+                .last_replies
+                .insert(request.client, (request.id, replica.value, next));
+            outgoing.push((
+                request.client,
+                Message::Reply {
+                    request_id: request.id,
+                    value: replica.value,
+                    sequence: next,
+                },
+            ));
+        }
         if checkpoint_period > 0 && replica.last_executed.is_multiple_of(checkpoint_period) {
             broadcast.push(Message::Checkpoint {
                 sequence: replica.last_executed,
@@ -1265,6 +1817,127 @@ mod tests {
             single.requests_per_second
         );
         assert!(single.mean_latency > 0.0);
+    }
+
+    #[test]
+    fn leader_crash_mid_request_completes_after_view_change() {
+        let mut cluster = cluster(4);
+        let client = cluster.add_client();
+        // First request commits normally so every replica has state.
+        cluster.submit(client, Operation::Write(1));
+        cluster.run_until_quiet(5.0);
+        assert_eq!(cluster.completed_requests(client), 1);
+
+        // Second request: crash the leader *mid-request* — the request is in
+        // flight (broadcast by the client) but not yet proposed, so the
+        // followers must detect the stall and vote a view change.
+        cluster.submit(client, Operation::Write(2));
+        cluster.run_until(cluster.now() + 0.001); // below the link latency
+        cluster.crash_replica(0);
+        cluster.run_until(cluster.now() + 3.0);
+        cluster.run_until_quiet(60.0);
+
+        assert!(cluster.view_changes() > 0, "followers must vote a new view");
+        assert_eq!(
+            cluster.completed_requests(client),
+            2,
+            "the mid-flight request must complete under the new leader"
+        );
+        for &r in &[1, 2, 3] {
+            assert_eq!(cluster.replica_value(r), Some(2));
+        }
+        assert!(cluster.logs_are_consistent());
+    }
+
+    #[test]
+    fn recovered_ex_leader_rejoins_without_double_committing() {
+        // Regression: a recovered replica restarts with `next_sequence = 1`
+        // until its state transfer arrives. If it is (still) the leader and
+        // proposes in that window, it re-commits old sequence numbers with
+        // new requests. The `needs_state` guard must prevent this.
+        let mut cluster = cluster(4);
+        let client = cluster.add_client();
+        for value in [1u64, 2, 3] {
+            cluster.submit(client, Operation::Write(value));
+            cluster.run_until_quiet(30.0);
+        }
+        assert_eq!(cluster.completed_requests(client), 3);
+
+        // Recover the view-0 leader, but partition it first so the state
+        // transfer cannot reach it: it rejoins with an empty log.
+        cluster.partition_network(&[0], &[1, 2, 3]);
+        cluster.recover_replica(0);
+        cluster.run_until_quiet(5.0);
+        assert!(
+            cluster.needs_state(0),
+            "state transfer must not get through"
+        );
+        cluster.heal_network();
+
+        // The ex-leader is still the leader of the current view. New
+        // requests must not let it re-propose from sequence 1.
+        cluster.submit(client, Operation::Write(4));
+        cluster.run_until(cluster.now() + 3.0);
+        cluster.run_until_quiet(120.0);
+        assert_eq!(
+            cluster.completed_requests(client),
+            4,
+            "liveness must resume via a view change around the amnesiac leader"
+        );
+
+        // No replica may have committed two different digests at the same
+        // sequence number (the double-commit signature).
+        let mut per_replica: std::collections::HashMap<(NodeId, u64), Digest> =
+            std::collections::HashMap::new();
+        for record in cluster.commit_trace() {
+            if let Some(previous) =
+                per_replica.insert((record.replica, record.sequence), record.digest)
+            {
+                assert_eq!(
+                    previous, record.digest,
+                    "replica {} double-committed sequence {}",
+                    record.replica, record.sequence
+                );
+            }
+        }
+        assert!(cluster.logs_are_consistent());
+    }
+
+    #[test]
+    fn commit_trace_records_every_execution_and_flags_injected_corruption() {
+        let mut cluster = cluster(4);
+        let client = cluster.add_client();
+        cluster.submit(client, Operation::Write(9));
+        cluster.run_until_quiet(5.0);
+        // All four replicas executed sequence 1 with the same digest.
+        let records: Vec<_> = cluster
+            .commit_trace()
+            .iter()
+            .filter(|r| r.sequence == 1)
+            .collect();
+        assert_eq!(records.len(), 4);
+        assert!(records.iter().all(|r| r.digest == records[0].digest));
+
+        // Inject the test-only double-commit bug into replica 2.
+        cluster.inject_double_commit(2);
+        cluster.submit(client, Operation::Write(10));
+        cluster.run_until_quiet(10.0);
+        let seq2: Vec<_> = cluster
+            .commit_trace()
+            .iter()
+            .filter(|r| r.sequence == 2)
+            .collect();
+        let corrupted: Vec<_> = seq2.iter().filter(|r| r.replica == 2).collect();
+        let honest: Vec<_> = seq2.iter().filter(|r| r.replica != 2).collect();
+        assert!(!corrupted.is_empty() && !honest.is_empty());
+        assert_ne!(
+            corrupted[0].digest, honest[0].digest,
+            "the injected bug must surface as a conflicting commit"
+        );
+        assert!(
+            !cluster.logs_are_consistent(),
+            "the safety checker must see the divergence"
+        );
     }
 
     #[test]

@@ -37,7 +37,99 @@ impl Default for NetworkConfig {
     }
 }
 
+/// Why a [`NetworkConfig`] was rejected by [`NetworkConfig::new`] /
+/// [`NetworkConfig::validate`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum NetworkConfigError {
+    /// A probability field lies outside `[0, 1]` (or is NaN).
+    ProbabilityOutOfRange {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A duration field is negative (or NaN).
+    NegativeDuration {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for NetworkConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetworkConfigError::ProbabilityOutOfRange { field, value } => {
+                write!(f, "network config `{field}` = {value} is not in [0, 1]")
+            }
+            NetworkConfigError::NegativeDuration { field, value } => {
+                write!(f, "network config `{field}` = {value} must be non-negative")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetworkConfigError {}
+
 impl NetworkConfig {
+    /// Creates a validated configuration: `loss_rate` must be a probability
+    /// in `[0, 1]`, and `latency`/`jitter` must be non-negative and finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkConfigError`] describing the first offending field.
+    pub fn new(latency: f64, jitter: f64, loss_rate: f64) -> Result<Self, NetworkConfigError> {
+        let config = NetworkConfig {
+            latency,
+            jitter,
+            loss_rate,
+        };
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Checks the admissibility of every field (see [`NetworkConfig::new`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkConfigError`] describing the first offending field.
+    pub fn validate(&self) -> Result<(), NetworkConfigError> {
+        for (field, value) in [("latency", self.latency), ("jitter", self.jitter)] {
+            if !value.is_finite() || value < 0.0 {
+                return Err(NetworkConfigError::NegativeDuration { field, value });
+            }
+        }
+        if !self.loss_rate.is_finite() || !(0.0..=1.0).contains(&self.loss_rate) {
+            return Err(NetworkConfigError::ProbabilityOutOfRange {
+                field: "loss_rate",
+                value: self.loss_rate,
+            });
+        }
+        Ok(())
+    }
+
+    /// Clamps every field into its admissible range (probabilities to
+    /// `[0, 1]`, durations to `≥ 0`, NaN to the field's safe default).
+    /// Useful when configs are produced by sweeps or schedule generators
+    /// that may overshoot.
+    #[must_use]
+    pub fn clamped(&self) -> Self {
+        let duration = |v: f64| if v.is_finite() { v.max(0.0) } else { 0.0 };
+        let probability = |v: f64| {
+            if v.is_finite() {
+                v.clamp(0.0, 1.0)
+            } else {
+                0.0
+            }
+        };
+        NetworkConfig {
+            latency: duration(self.latency),
+            jitter: duration(self.jitter),
+            loss_rate: probability(self.loss_rate),
+        }
+    }
+
     /// The client-to-replica link profile of the paper (100 Mbit/s, 0.1% loss).
     pub fn client_link() -> Self {
         NetworkConfig {
@@ -123,7 +215,15 @@ pub struct SimNetwork<M> {
 
 impl<M> SimNetwork<M> {
     /// Creates a network with the given link profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`NetworkConfig::new`]);
+    /// fallible callers should run [`NetworkConfig::validate`] first.
     pub fn new(config: NetworkConfig) -> Self {
+        if let Err(error) = config.validate() {
+            panic!("invalid network config: {error}");
+        }
         SimNetwork {
             config,
             queue: BinaryHeap::new(),
@@ -143,6 +243,26 @@ impl<M> SimNetwork<M> {
     /// Traffic counters.
     pub fn stats(&self) -> NetworkStats {
         self.stats
+    }
+
+    /// The link profile currently in force.
+    pub fn config(&self) -> NetworkConfig {
+        self.config
+    }
+
+    /// Replaces the link profile at the current simulated time. Messages
+    /// already in flight keep their scheduled delivery; subsequent sends use
+    /// the new latency/jitter/loss. This is how fault-injection harnesses
+    /// model delay and loss storms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`NetworkConfig::new`]).
+    pub fn set_config(&mut self, config: NetworkConfig) {
+        if let Err(error) = config.validate() {
+            panic!("invalid network config: {error}");
+        }
+        self.config = config;
     }
 
     /// Number of messages currently in flight.
@@ -207,7 +327,24 @@ impl<M> SimNetwork<M> {
     /// Messages addressed to nodes that crashed while the message was in
     /// flight are silently dropped.
     pub fn next_delivery(&mut self) -> Option<Delivery<M>> {
-        while let Some(Reverse(scheduled)) = self.queue.pop() {
+        self.next_delivery_until(f64::INFINITY)
+    }
+
+    /// Pops the next delivery scheduled at or before `deadline`, advancing
+    /// the simulated clock to its time. Messages at the head of the queue
+    /// that must be dropped (crashed or partitioned recipient) are consumed
+    /// regardless, but a *deliverable* message beyond the deadline stays
+    /// queued and the clock does not jump past it — event loops driving the
+    /// network in bounded time slices must use this (a plain
+    /// [`SimNetwork::next_delivery`] after peeking the head's time could
+    /// skip over a dropped head and dispatch a message far beyond the
+    /// deadline).
+    pub fn next_delivery_until(&mut self, deadline: SimTime) -> Option<Delivery<M>> {
+        while let Some(Reverse(scheduled)) = self.queue.peek() {
+            if scheduled.time > deadline {
+                return None;
+            }
+            let Reverse(scheduled) = self.queue.pop().expect("peeked entry");
             self.now = self.now.max(scheduled.time);
             if self.crashed.contains(&scheduled.delivery.to)
                 || self.is_partitioned(scheduled.delivery.from, scheduled.delivery.to)
@@ -392,6 +529,93 @@ mod tests {
             .collect();
         recipients.sort_unstable();
         assert_eq!(recipients, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn config_validation_rejects_out_of_range_fields() {
+        assert!(NetworkConfig::new(0.01, 0.0, 0.5).is_ok());
+        assert!(NetworkConfig::new(0.0, 0.0, 0.0).is_ok());
+        assert!(NetworkConfig::new(0.0, 0.0, 1.0).is_ok());
+
+        // Rejection paths: each offending field is named in the error.
+        let e = NetworkConfig::new(-0.01, 0.0, 0.0).unwrap_err();
+        assert_eq!(
+            e,
+            NetworkConfigError::NegativeDuration {
+                field: "latency",
+                value: -0.01
+            }
+        );
+        let e = NetworkConfig::new(0.0, -1.0, 0.0).unwrap_err();
+        assert!(matches!(
+            e,
+            NetworkConfigError::NegativeDuration {
+                field: "jitter",
+                ..
+            }
+        ));
+        let e = NetworkConfig::new(0.0, 0.0, 1.5).unwrap_err();
+        assert!(matches!(
+            e,
+            NetworkConfigError::ProbabilityOutOfRange {
+                field: "loss_rate",
+                ..
+            }
+        ));
+        assert!(e.to_string().contains("loss_rate"));
+        assert!(NetworkConfig::new(0.0, 0.0, -0.1).is_err());
+        assert!(NetworkConfig::new(f64::NAN, 0.0, 0.0).is_err());
+        assert!(NetworkConfig::new(0.0, f64::INFINITY, 0.0).is_err());
+        assert!(NetworkConfig::new(0.0, 0.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn clamped_projects_into_the_admissible_range() {
+        let wild = NetworkConfig {
+            latency: -3.0,
+            jitter: f64::NAN,
+            loss_rate: 2.5,
+        };
+        let clamped = wild.clamped();
+        assert!(clamped.validate().is_ok());
+        assert_eq!(clamped.latency, 0.0);
+        assert_eq!(clamped.jitter, 0.0);
+        assert_eq!(clamped.loss_rate, 1.0);
+        // An already-valid config is unchanged.
+        assert_eq!(NetworkConfig::default().clamped(), NetworkConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid network config")]
+    fn sim_network_rejects_invalid_configs_on_construction() {
+        let _net: SimNetwork<u8> = SimNetwork::new(NetworkConfig {
+            latency: 0.0,
+            jitter: 0.0,
+            loss_rate: -0.5,
+        });
+    }
+
+    #[test]
+    fn set_config_switches_the_link_profile_mid_run() {
+        let mut net: SimNetwork<u32> = SimNetwork::new(NetworkConfig::ideal());
+        let mut r = rng();
+        net.send(0, 1, 1, &mut r);
+        // Storm: everything sent from now on is lost.
+        net.set_config(NetworkConfig {
+            latency: 0.0,
+            jitter: 0.0,
+            loss_rate: 1.0,
+        });
+        assert_eq!(net.config().loss_rate, 1.0);
+        net.send(0, 1, 2, &mut r);
+        // The pre-storm message is already scheduled and still delivered.
+        assert_eq!(net.next_delivery().unwrap().message, 1);
+        assert!(net.next_delivery().is_none());
+        assert_eq!(net.stats().dropped, 1);
+        // Healing restores delivery.
+        net.set_config(NetworkConfig::ideal());
+        net.send(0, 1, 3, &mut r);
+        assert_eq!(net.next_delivery().unwrap().message, 3);
     }
 
     #[test]

@@ -204,6 +204,36 @@ impl RaftCluster {
         }
     }
 
+    /// Blocks communication between every member in `group_a` and every
+    /// member in `group_b` (both directions).
+    pub fn partition_network(&mut self, group_a: &[NodeId], group_b: &[NodeId]) {
+        self.network.partition(group_a, group_b);
+    }
+
+    /// Removes all network partitions.
+    pub fn heal_network(&mut self) {
+        self.network.heal_partitions();
+    }
+
+    /// Replaces the link profile mid-run (delay and loss storms).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`NetworkConfig::new`]).
+    pub fn set_network_config(&mut self, network: NetworkConfig) {
+        self.network.set_config(network);
+    }
+
+    /// Whether a member is crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.nodes.get(&node).map(|n| n.crashed).unwrap_or(false)
+    }
+
+    /// The members of the cluster.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
     /// Proposes a command through the current leader. Returns `false` if
     /// there is no leader.
     pub fn propose(&mut self, command: &str) -> bool {
@@ -259,8 +289,11 @@ impl RaftCluster {
                 break;
             }
             if Some(next) == next_event {
-                let delivery = self.network.next_delivery().expect("peeked delivery");
-                self.handle(delivery.from, delivery.to, delivery.message);
+                // Bounded pop: a dropped head message must not let a later
+                // message jump ahead of the pending timer.
+                if let Some(delivery) = self.network.next_delivery_until(next) {
+                    self.handle(delivery.from, delivery.to, delivery.message);
+                }
             } else {
                 self.network.advance_to(next);
             }

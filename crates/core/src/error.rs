@@ -26,6 +26,10 @@ pub enum CoreError {
     /// A scenario name was not found in the
     /// [`ScenarioRegistry`](crate::runtime::ScenarioRegistry).
     UnknownScenario(String),
+    /// A fault-injection run violated one of the invariant oracles of
+    /// [`simnet`](crate::simnet); the string describes the violated
+    /// invariant and the step at which it broke.
+    Invariant(String),
 }
 
 impl fmt::Display for CoreError {
@@ -42,6 +46,9 @@ impl fmt::Display for CoreError {
             CoreError::Markov(why) => write!(f, "probability computation failed: {why}"),
             CoreError::UnknownScenario(name) => {
                 write!(f, "no scenario named `{name}` is registered")
+            }
+            CoreError::Invariant(detail) => {
+                write!(f, "invariant violation: {detail}")
             }
         }
     }

@@ -22,6 +22,11 @@
 //! * **Metrics** ([`metrics`]) — average availability `T(A)`, average
 //!   time-to-recovery `T(R)` and recovery frequency `F(R)` (Section III-C),
 //!   plus the reliability/MTTF analysis of Fig. 6 ([`reliability`]).
+//! * **Fault-injection harness** ([`simnet`]) — deterministic simulation
+//!   testing of the full stack: seeded chaos schedules (partitions, storms,
+//!   crashes, Byzantine flips, intrusion bursts, membership churn) executed
+//!   against MinBFT plus both control levels, with invariant oracles,
+//!   greedy counterexample shrinking and one-command replay.
 //! * **Scenario runtime** ([`runtime`]) — the shared experiment engine: a
 //!   [`runtime::Scenario`] abstraction, a parallel [`runtime::Runner`]
 //!   executing seed/parameter grids deterministically, cross-seed
@@ -43,6 +48,7 @@ pub mod recovery;
 pub mod reliability;
 pub mod replication;
 pub mod runtime;
+pub mod simnet;
 
 pub use error::{CoreError, Result};
 
@@ -60,5 +66,8 @@ pub mod prelude {
     pub use crate::replication::{ReplicationConfig, ReplicationProblem, ReplicationStrategy};
     pub use crate::runtime::{
         FnScenario, MetricSummary, Runner, Scenario, ScenarioRegistry, StrategyKind,
+    };
+    pub use crate::simnet::{
+        run_schedule, Counterexample, FaultSchedule, ScheduleConfig, SimnetScenario,
     };
 }

@@ -1,0 +1,677 @@
+//! The deterministic executor: drives the full two-level stack through a
+//! fault schedule.
+//!
+//! One run wires together the three layers of the reproduction:
+//!
+//! * a [`MinBftCluster`] over the discrete-event network (consensus layer),
+//! * one [`NodeController`] per replica with the BTR threshold strategy of
+//!   Theorem 1 (local control level), fed by alert samples from the paper's
+//!   observation model, and
+//! * optionally the [`SystemController`] of Algorithm 2 (global control
+//!   level), which evicts crashed replicas and grows the membership.
+//!
+//! The executor applies the schedule's fault events step by step, runs the
+//! invariant oracles after every step, and records a [`TraceRecord`] per
+//! step. Everything — schedule generation, alert sampling, network jitter,
+//! controller decisions — is derived from the schedule's seed, so the same
+//! `(seed, config)` pair produces a byte-identical trace on every run,
+//! regardless of how many runs execute in parallel around it.
+
+use crate::controller::{NodeController, SystemController};
+use crate::error::Result;
+use crate::metrics::MetricReport;
+use crate::node_model::{NodeModel, NodeParameters, NodeState};
+use crate::observation::ObservationModel;
+use crate::recovery::ThresholdStrategy;
+use crate::replication::{ReplicationConfig, ReplicationProblem};
+use crate::runtime::AsMetricReport;
+use crate::simnet::oracle::{InvariantChecker, InvariantKind, Violation};
+use crate::simnet::schedule::{FaultEvent, FaultSchedule, ScheduleConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use tolerance_consensus::minbft::{MinBftCluster, MinBftConfig, Operation};
+use tolerance_consensus::{ByzantineMode, NodeId};
+
+/// The per-step snapshot that makes up the run's event trace. Two runs are
+/// considered identical exactly when their serialized traces are identical;
+/// the simulated clock is recorded via its IEEE-754 bits so the comparison
+/// is exact.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// The step this record closes.
+    pub step: u32,
+    /// `f64::to_bits` of the simulated time after the step.
+    pub time_bits: u64,
+    /// Membership after the step.
+    pub membership: Vec<NodeId>,
+    /// Total commit records so far.
+    pub commits: u64,
+    /// View changes so far.
+    pub view_changes: u64,
+    /// Completed client requests so far.
+    pub completed: u64,
+    /// Messages handed to the network so far.
+    pub net_sent: u64,
+    /// Replicas currently marked faulty by the schedule.
+    pub faulty: Vec<NodeId>,
+}
+
+/// Aggregate outcome of a run (the scenario-facing summary).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimnetOutcome {
+    /// Steps actually executed (less than the horizon when a violation
+    /// stopped the run early).
+    pub steps: u64,
+    /// Client requests issued.
+    pub issued: u64,
+    /// Client requests completed.
+    pub completed: u64,
+    /// Replica recoveries performed (controller-driven and scheduled).
+    pub recoveries: u64,
+    /// Mean steps from compromise to recovery (0 when no compromise).
+    pub mean_recovery_steps: f64,
+    /// Distinct sequence numbers committed.
+    pub committed_sequences: u64,
+    /// Completed / issued.
+    pub availability: f64,
+}
+
+impl AsMetricReport for SimnetOutcome {
+    fn metric_report(&self) -> MetricReport {
+        MetricReport {
+            availability: self.availability,
+            time_to_recovery: self.mean_recovery_steps,
+            recovery_frequency: if self.steps == 0 {
+                0.0
+            } else {
+                self.recoveries as f64 / self.steps as f64
+            },
+            steps: self.steps,
+        }
+    }
+}
+
+/// The result of executing one schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Aggregate outcome.
+    pub outcome: SimnetOutcome,
+    /// The per-step event trace.
+    pub trace: Vec<TraceRecord>,
+    /// The first invariant violation, if any (the run stops there).
+    pub violation: Option<Violation>,
+}
+
+impl AsMetricReport for RunReport {
+    fn metric_report(&self) -> MetricReport {
+        self.outcome.metric_report()
+    }
+}
+
+/// Per-replica supervision state maintained by the harness.
+struct Supervisor {
+    controller: NodeController,
+    state: NodeState,
+    compromised_at: Option<u32>,
+    schedule_crashed: bool,
+}
+
+/// Executes `schedule` against a freshly built stack configured by `config`.
+///
+/// # Errors
+///
+/// Propagates model-construction and LP failures; invariant violations are
+/// reported inside the [`RunReport`], not as errors (the shrinker needs
+/// them as data).
+pub fn run_schedule(schedule: &FaultSchedule, config: &ScheduleConfig) -> Result<RunReport> {
+    SimHarness::new(schedule, config)?.run()
+}
+
+struct SimHarness<'a> {
+    schedule: &'a FaultSchedule,
+    config: &'a ScheduleConfig,
+    cluster: MinBftCluster,
+    supervisors: BTreeMap<NodeId, Supervisor>,
+    system: Option<SystemController>,
+    alert_model: ObservationModel,
+    node_model: NodeModel,
+    rng: StdRng,
+    checker: InvariantChecker,
+    clients: Vec<NodeId>,
+    pending_bursts: u32,
+    added_stack: Vec<NodeId>,
+    issued: u64,
+    recoveries: u64,
+    recovery_delays: Vec<u32>,
+    trace: Vec<TraceRecord>,
+}
+
+impl<'a> SimHarness<'a> {
+    fn new(schedule: &'a FaultSchedule, config: &'a ScheduleConfig) -> Result<Self> {
+        let cluster = MinBftCluster::new(MinBftConfig {
+            initial_replicas: config.initial_replicas,
+            parallel_recoveries: config.parallel_recoveries,
+            network: config.network,
+            seed: schedule.seed,
+            ..MinBftConfig::default()
+        });
+        let alert_model = ObservationModel::paper_default();
+        let node_model = NodeModel::new(NodeParameters::default(), alert_model.clone())?;
+        let system = if config.system_controller {
+            let strategy = ReplicationProblem::new(ReplicationConfig {
+                s_max: config.max_replicas,
+                fault_threshold: config.fault_threshold().max(1),
+                availability_target: 0.9,
+                node_survival_probability: 0.95,
+            })?
+            .solve()?;
+            Some(SystemController::new(strategy))
+        } else {
+            None
+        };
+        let mut harness = SimHarness {
+            schedule,
+            config,
+            cluster,
+            supervisors: BTreeMap::new(),
+            system,
+            alert_model,
+            node_model,
+            rng: StdRng::seed_from_u64(schedule.seed ^ 0x51e7_c0de_0bad_cafe),
+            checker: InvariantChecker::new(),
+            clients: Vec::new(),
+            pending_bursts: 0,
+            added_stack: Vec::new(),
+            issued: 0,
+            recoveries: 0,
+            recovery_delays: Vec::new(),
+            trace: Vec::new(),
+        };
+        for id in 0..config.initial_replicas as NodeId {
+            let supervisor = harness.build_supervisor()?;
+            harness.supervisors.insert(id, supervisor);
+        }
+        // One primary closed-loop client plus a small pool for bursts.
+        for _ in 0..4 {
+            let id = harness.cluster.add_client();
+            harness.clients.push(id);
+        }
+        Ok(harness)
+    }
+
+    fn build_supervisor(&self) -> Result<Supervisor> {
+        let strategy = ThresholdStrategy::new(
+            vec![self.config.recovery_threshold],
+            Some(self.config.delta_r),
+        )?;
+        Ok(Supervisor {
+            controller: NodeController::new(self.node_model.clone(), strategy),
+            state: NodeState::Healthy,
+            compromised_at: None,
+            schedule_crashed: false,
+        })
+    }
+
+    fn submit(&mut self, client: NodeId, operation: Operation) {
+        let request = self.cluster.submit(client, operation);
+        self.checker.record_submission(request.digest());
+        self.issued += 1;
+    }
+
+    fn recover_node(&mut self, node: NodeId, step: u32) {
+        if !self.cluster.membership().contains(&node) {
+            return;
+        }
+        // Fail-stop crashes restart with their state intact; everything
+        // else (compromise, Byzantine behaviour, BTR refresh) is the full
+        // rebuild + state transfer.
+        let crashed_only = self
+            .supervisors
+            .get(&node)
+            .map(|s| s.schedule_crashed && s.state == NodeState::Crashed)
+            .unwrap_or(false);
+        let recovered = if crashed_only {
+            self.cluster.restart_replica(node);
+            true
+        } else {
+            self.cluster.recover_replica(node)
+        };
+        if !recovered {
+            // Deferred: no state donor existed. The supervisor stays marked
+            // (compromised/crashed), so the next BTR tick or schedule event
+            // retries and the recovery-bound oracle keeps watching.
+            return;
+        }
+        self.recoveries += 1;
+        if let Some(supervisor) = self.supervisors.get_mut(&node) {
+            supervisor.state = NodeState::Healthy;
+            supervisor.schedule_crashed = false;
+            supervisor.controller.notify_recovered();
+            if let Some(at) = supervisor.compromised_at.take() {
+                self.recovery_delays.push(step.saturating_sub(at));
+            }
+        }
+    }
+
+    fn apply_event(&mut self, event: &FaultEvent, step: u32) -> Result<()> {
+        match event {
+            FaultEvent::Partition { group_a, group_b } => {
+                self.cluster.partition_network(group_a, group_b);
+            }
+            FaultEvent::Heal => self.cluster.heal_network(),
+            FaultEvent::LossStorm { loss_rate } => {
+                let mut network = self.config.network;
+                network.loss_rate = *loss_rate;
+                self.cluster.set_network_config(network.clamped());
+            }
+            FaultEvent::DelayStorm { latency, jitter } => {
+                let mut network = self.config.network;
+                network.latency = *latency;
+                network.jitter = *jitter;
+                self.cluster.set_network_config(network.clamped());
+            }
+            FaultEvent::RestoreNetwork => {
+                self.cluster.set_network_config(self.config.network);
+            }
+            FaultEvent::CrashReplica { node } => {
+                if self.cluster.membership().contains(node) {
+                    self.cluster.crash_replica(*node);
+                    if let Some(supervisor) = self.supervisors.get_mut(node) {
+                        supervisor.schedule_crashed = true;
+                        supervisor.state = NodeState::Crashed;
+                    }
+                }
+            }
+            FaultEvent::RecoverReplica { node } => self.recover_node(*node, step),
+            FaultEvent::ByzantineFlip { node, mode } => {
+                if self.cluster.membership().contains(node) && !self.cluster.is_crashed(*node) {
+                    self.cluster.set_byzantine(*node, *mode);
+                }
+            }
+            FaultEvent::IntrusionBurst { node, mode } => {
+                if self.cluster.membership().contains(node) && !self.cluster.is_crashed(*node) {
+                    self.cluster.set_byzantine(*node, *mode);
+                    if let Some(supervisor) = self.supervisors.get_mut(node) {
+                        supervisor.state = NodeState::Compromised;
+                        supervisor.compromised_at.get_or_insert(step);
+                    }
+                }
+            }
+            FaultEvent::AddReplica => {
+                if self.cluster.num_replicas() < self.config.max_replicas {
+                    let id = self.cluster.add_replica();
+                    self.supervisors.insert(id, self.build_supervisor()?);
+                    self.added_stack.push(id);
+                }
+            }
+            FaultEvent::EvictReplica { node } => {
+                let target = node.or_else(|| self.added_stack.pop());
+                if let Some(target) = target {
+                    if self.cluster.membership().contains(&target)
+                        && self.cluster.num_replicas() > 3
+                    {
+                        self.cluster.evict_replica(target);
+                        self.supervisors.remove(&target);
+                    }
+                }
+            }
+            FaultEvent::ClientBurst { requests } => {
+                self.pending_bursts += requests;
+            }
+            FaultEvent::InjectDoubleCommit { node } => {
+                self.cluster.inject_double_commit(*node);
+            }
+        }
+        Ok(())
+    }
+
+    /// One local-control tick: every supervisor observes its replica's alert
+    /// stream and may request a recovery; at most `k` recoveries execute per
+    /// step (the parallel-recovery constraint of Proposition 1), the rest
+    /// re-request next step because their belief / BTR clock keeps standing.
+    fn control_tick(&mut self, step: u32) {
+        let membership: Vec<NodeId> = self.cluster.membership().to_vec();
+        let mut reports: Vec<Option<f64>> = Vec::with_capacity(membership.len());
+        let mut requests: Vec<(NodeId, f64)> = Vec::new();
+        for &id in &membership {
+            let Some(supervisor) = self.supervisors.get_mut(&id) else {
+                reports.push(None);
+                continue;
+            };
+            if supervisor.schedule_crashed {
+                reports.push(None);
+                continue;
+            }
+            let sample_state = match supervisor.state {
+                NodeState::Compromised => NodeState::Compromised,
+                _ => NodeState::Healthy,
+            };
+            let alerts = self.alert_model.sample(sample_state, &mut self.rng);
+            let action = supervisor.controller.observe_and_decide(alerts);
+            reports.push(Some(supervisor.controller.belief()));
+            if action == crate::node_model::NodeAction::Recover {
+                requests.push((id, supervisor.controller.belief()));
+            }
+        }
+        // Highest beliefs first; at most k recoveries per step.
+        requests.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        requests.truncate(self.config.parallel_recoveries.max(1));
+        for (id, _) in requests {
+            self.recover_node(id, step);
+        }
+        // Global control level: evict non-reporters, maybe grow.
+        if let Some(system) = &mut self.system {
+            let decision = system.decide(&reports, &mut self.rng);
+            let mut evict: Vec<NodeId> = decision
+                .evict
+                .iter()
+                .filter_map(|&index| membership.get(index).copied())
+                .collect();
+            evict.sort_unstable();
+            for id in evict {
+                if self.cluster.membership().contains(&id) && self.cluster.num_replicas() > 4 {
+                    self.cluster.evict_replica(id);
+                    self.supervisors.remove(&id);
+                    self.added_stack.retain(|&n| n != id);
+                }
+            }
+            if decision.add_node && self.cluster.num_replicas() < self.config.max_replicas {
+                let id = self.cluster.add_replica();
+                if let Ok(supervisor) = self.build_supervisor() {
+                    self.supervisors.insert(id, supervisor);
+                    self.added_stack.push(id);
+                }
+            }
+        }
+    }
+
+    fn drive_clients(&mut self, step: u32) {
+        let primary = self.clients[0];
+        if !self.cluster.has_outstanding_request(primary) {
+            self.submit(primary, Operation::Write(u64::from(step) + 1));
+        }
+        let burst_pool: Vec<NodeId> = self.clients[1..].to_vec();
+        for client in burst_pool {
+            if self.pending_bursts == 0 {
+                break;
+            }
+            if !self.cluster.has_outstanding_request(client) {
+                self.pending_bursts -= 1;
+                self.submit(
+                    client,
+                    Operation::Write(
+                        0x1000_0000 + u64::from(step) * 16 + u64::from(self.pending_bursts),
+                    ),
+                );
+            }
+        }
+    }
+
+    fn completed_total(&self) -> u64 {
+        self.clients
+            .iter()
+            .map(|&c| self.cluster.completed_requests(c))
+            .sum()
+    }
+
+    fn check_invariants(&mut self, step: u32) -> Option<Violation> {
+        if let Some(violation) = self.checker.check_logs(&self.cluster, step) {
+            return Some(violation);
+        }
+        if let Some(violation) = self.checker.check_network(&self.cluster, step) {
+            return Some(violation);
+        }
+        // Recovery bound: Δ_R steps of BTR slack plus the queueing delay of
+        // the k-parallel-recovery constraint.
+        let bound = self.config.delta_r + self.config.initial_replicas as u32 + 1;
+        for (&id, supervisor) in &self.supervisors {
+            if let Some(at) = supervisor.compromised_at {
+                if step.saturating_sub(at) > bound {
+                    return Some(Violation {
+                        kind: InvariantKind::RecoveryBound,
+                        step,
+                        detail: format!(
+                            "replica {id} compromised at step {at} still unrecovered at step \
+                             {step} (bound {bound})"
+                        ),
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    fn push_trace(&mut self, step: u32) {
+        let faulty: Vec<NodeId> = self
+            .supervisors
+            .iter()
+            .filter(|(_, s)| s.schedule_crashed || s.state != NodeState::Healthy)
+            .map(|(&id, _)| id)
+            .collect();
+        self.trace.push(TraceRecord {
+            step,
+            time_bits: self.cluster.now().to_bits(),
+            membership: self.cluster.membership().to_vec(),
+            commits: self.cluster.commit_trace().len() as u64,
+            view_changes: self.cluster.view_changes(),
+            completed: self.completed_total(),
+            net_sent: self.cluster.network_stats().sent,
+            faulty,
+        });
+    }
+
+    /// Re-triggers state transfer for replicas whose transfer was lost to a
+    /// storm or partition and for replicas whose log lags behind (in-flight
+    /// quorums they missed cannot be replayed; recovery is how the
+    /// architecture catches such replicas up, cf. the BTR constraint).
+    fn catch_up_stragglers(&mut self) {
+        let members: Vec<NodeId> = self.cluster.membership().to_vec();
+        let longest = members
+            .iter()
+            .filter_map(|&id| self.cluster.executed_log(id))
+            .map(<[_]>::len)
+            .max()
+            .unwrap_or(0);
+        for id in members {
+            let lagging = self
+                .cluster
+                .executed_log(id)
+                .map(|log| log.len() + 2 < longest)
+                .unwrap_or(false);
+            if self.cluster.needs_state(id) || lagging {
+                self.cluster.recover_replica(id);
+            }
+        }
+    }
+
+    /// The settle phase: heal everything, recover every still-marked
+    /// replica, then require the service to come back (a probe request must
+    /// complete and the logs must be consistent). This is the operational
+    /// form of the eventual-service-liveness guarantee.
+    fn settle(&mut self) -> Option<Violation> {
+        self.cluster.heal_network();
+        self.cluster.set_network_config(self.config.network);
+        let members: Vec<NodeId> = self.cluster.membership().to_vec();
+        for id in members {
+            let marked = self
+                .supervisors
+                .get(&id)
+                .map(|s| s.schedule_crashed || s.state != NodeState::Healthy)
+                .unwrap_or(false);
+            if marked
+                || self.cluster.byzantine_mode(id) != Some(ByzantineMode::Correct)
+                || self.cluster.is_crashed(id)
+            {
+                self.recover_node(id, self.config.horizon);
+            }
+        }
+        let settle_window = 5.0_f64.max(self.config.step_duration * 4.0);
+        for round in 0..10 {
+            self.cluster.run_until(self.cluster.now() + settle_window);
+            self.catch_up_stragglers();
+            if std::env::var_os("SIMNET_DEBUG").is_some() {
+                for &id in &self.cluster.membership().to_vec() {
+                    eprintln!(
+                        "  settle round {round} replica {id}: view {:?} leader {:?} len {} \
+                         crashed {} needs_state {} byz {:?}",
+                        self.cluster.replica_view(id),
+                        self.cluster.leader_of(id),
+                        self.cluster.executed_log(id).map(<[_]>::len).unwrap_or(0),
+                        self.cluster.is_crashed(id),
+                        self.cluster.needs_state(id),
+                        self.cluster.byzantine_mode(id),
+                    );
+                }
+                for &id in &self.cluster.membership().to_vec() {
+                    eprintln!("    {}", self.cluster.debug_replica(id));
+                }
+                let outstanding: Vec<_> = self
+                    .clients
+                    .iter()
+                    .filter(|&&c| self.cluster.has_outstanding_request(c))
+                    .collect();
+                eprintln!("  settle round {round}: outstanding {outstanding:?}");
+            }
+            let outstanding = self
+                .clients
+                .iter()
+                .any(|&c| self.cluster.has_outstanding_request(c));
+            if !outstanding && round > 0 {
+                break;
+            }
+        }
+        let outstanding: Vec<NodeId> = self
+            .clients
+            .iter()
+            .copied()
+            .filter(|&c| self.cluster.has_outstanding_request(c))
+            .collect();
+        if !outstanding.is_empty() {
+            return Some(Violation {
+                kind: InvariantKind::Liveness,
+                step: u32::MAX,
+                detail: format!(
+                    "clients {outstanding:?} still have unanswered requests after all faults \
+                     were healed"
+                ),
+            });
+        }
+        // Probe: a fresh request must complete now that faults are ≤ f.
+        let primary = self.clients[0];
+        self.submit(primary, Operation::Write(0xdead_beef));
+        for _ in 0..10 {
+            self.cluster.run_until(self.cluster.now() + settle_window);
+            self.catch_up_stragglers();
+            if !self.cluster.has_outstanding_request(primary) {
+                break;
+            }
+        }
+        if self.cluster.has_outstanding_request(primary) {
+            return Some(Violation {
+                kind: InvariantKind::Liveness,
+                step: u32::MAX,
+                detail: "the settle-phase probe request never completed".into(),
+            });
+        }
+        if let Some(violation) = self.check_invariants(self.config.horizon) {
+            return Some(violation);
+        }
+        if !self.cluster.logs_are_consistent() {
+            return Some(Violation {
+                kind: InvariantKind::Agreement,
+                step: u32::MAX,
+                detail: "healthy logs diverged by the end of the settle phase".into(),
+            });
+        }
+        None
+    }
+
+    fn run(mut self) -> Result<RunReport> {
+        let mut violation: Option<Violation> = None;
+        let mut events = self.schedule.events.iter().peekable();
+        let mut steps_run: u64 = 0;
+        for step in 0..self.config.horizon {
+            steps_run = u64::from(step) + 1;
+            while let Some(fault) = events.peek() {
+                if fault.step > step {
+                    break;
+                }
+                let fault = events.next().expect("peeked");
+                self.apply_event(&fault.event, step)?;
+            }
+            self.control_tick(step);
+            self.drive_clients(step);
+            self.cluster
+                .run_until(f64::from(step + 1) * self.config.step_duration);
+            violation = self.check_invariants(step);
+            if std::env::var_os("SIMNET_DEBUG").is_some() {
+                let members: Vec<NodeId> = self.cluster.membership().to_vec();
+                for &id in &members {
+                    let log = self.cluster.executed_log(id).unwrap_or(&[]);
+                    let tail: Vec<u64> = log.iter().rev().take(3).map(|d| d.0 % 1000).collect();
+                    eprintln!(
+                        "  step {step} replica {id}: len {} tail {:?} crashed {} needs_state {}",
+                        log.len(),
+                        tail,
+                        self.cluster.is_crashed(id),
+                        self.cluster.needs_state(id),
+                    );
+                }
+                if violation.is_some() {
+                    for r in self.cluster.commit_trace() {
+                        eprintln!(
+                            "  commit: replica {} view {} seq {} digest {}",
+                            r.replica,
+                            r.view,
+                            r.sequence,
+                            r.digest.0 % 100000
+                        );
+                    }
+                }
+            }
+            self.push_trace(step);
+            if violation.is_some() {
+                break;
+            }
+        }
+        if violation.is_none() {
+            violation = self.settle();
+            self.push_trace(self.config.horizon);
+        }
+        let completed = self.completed_total();
+        let mean_recovery_steps = if self.recovery_delays.is_empty() {
+            0.0
+        } else {
+            self.recovery_delays
+                .iter()
+                .map(|&d| f64::from(d))
+                .sum::<f64>()
+                / self.recovery_delays.len() as f64
+        };
+        Ok(RunReport {
+            outcome: SimnetOutcome {
+                // The steps actually executed (a violation stops the run
+                // early, and the recovery-frequency metric divides by this).
+                steps: steps_run,
+                issued: self.issued,
+                completed,
+                recoveries: self.recoveries,
+                mean_recovery_steps,
+                committed_sequences: InvariantChecker::committed_sequences(&self.cluster),
+                availability: if self.issued == 0 {
+                    1.0
+                } else {
+                    completed as f64 / self.issued as f64
+                },
+            },
+            trace: self.trace,
+            violation,
+        })
+    }
+}

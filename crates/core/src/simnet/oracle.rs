@@ -1,0 +1,258 @@
+//! Invariant oracles: the correctness conditions checked after every step.
+//!
+//! The oracles encode the guarantees of Proposition 1 and of the node-level
+//! controllers:
+//!
+//! * **Agreement** — no two live replicas hold different operation digests
+//!   at the same log position: every pair of executed logs must agree on
+//!   their common prefix. The check runs over the *current* logs (not the
+//!   historical commit trace) because a legitimate recovery resets a
+//!   replica's log; crashed replicas are skipped until they are recovered
+//!   or evicted.
+//! * **Validity** — every digest in any live log corresponds to a request
+//!   some client actually submitted.
+//! * **Recovery bound** — a compromised replica is recovered at the latest
+//!   `Δ_R` steps (plus the `k`-parallel-recovery queueing slack) after the
+//!   compromise: the BTR constraint of Problem 1.
+//! * **Network accounting** — the network neither loses nor invents
+//!   messages beyond its declared drop semantics.
+//! * **Liveness** — once all faults are healed and at most `f` replicas
+//!   are faulty, a probe request completes and all replicas converge
+//!   (checked by the executor's settle phase).
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashSet};
+use tolerance_consensus::crypto::Digest;
+use tolerance_consensus::{MinBftCluster, NodeId};
+
+/// The invariant that a violation breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InvariantKind {
+    /// Two live replicas hold different digests at one log position.
+    Agreement,
+    /// A replica holds a digest no client submitted.
+    Validity,
+    /// A compromise outlived the BTR recovery bound.
+    RecoveryBound,
+    /// Network counters stopped adding up.
+    NetworkAccounting,
+    /// The settle-phase probe did not complete or replicas diverged.
+    Liveness,
+}
+
+impl std::fmt::Display for InvariantKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            InvariantKind::Agreement => "agreement",
+            InvariantKind::Validity => "validity",
+            InvariantKind::RecoveryBound => "recovery-bound",
+            InvariantKind::NetworkAccounting => "network-accounting",
+            InvariantKind::Liveness => "liveness",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// A detected invariant violation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Violation {
+    /// The broken invariant.
+    pub kind: InvariantKind,
+    /// The step after which the violation was detected (`u32::MAX` for the
+    /// settle phase).
+    pub step: u32,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.step == u32::MAX {
+            write!(f, "{} in the settle phase: {}", self.kind, self.detail)
+        } else {
+            write!(f, "{} at step {}: {}", self.kind, self.step, self.detail)
+        }
+    }
+}
+
+/// The step-by-step invariant checker.
+#[derive(Debug, Default)]
+pub struct InvariantChecker {
+    /// Digests of every request submitted through the harness.
+    submitted: HashSet<Digest>,
+    /// How far each replica's log has already been validity-checked (reset
+    /// when a log shrinks, i.e. the replica was recovered).
+    validity_scanned: BTreeMap<NodeId, usize>,
+}
+
+impl InvariantChecker {
+    /// A fresh checker.
+    pub fn new() -> Self {
+        InvariantChecker::default()
+    }
+
+    /// Registers a submitted request digest (the ground truth of validity).
+    pub fn record_submission(&mut self, digest: Digest) {
+        self.submitted.insert(digest);
+    }
+
+    /// Checks agreement and validity over the current executed logs of all
+    /// live (non-crashed) replicas; `step` tags any violation.
+    pub fn check_logs(&mut self, cluster: &MinBftCluster, step: u32) -> Option<Violation> {
+        let logs: Vec<(NodeId, &[Digest])> = cluster
+            .membership()
+            .iter()
+            .copied()
+            .filter(|&id| !cluster.is_crashed(id))
+            .filter_map(|id| cluster.executed_log(id).map(|log| (id, log)))
+            .collect();
+        // Agreement: pairwise common-prefix equality.
+        for (i, &(id_a, log_a)) in logs.iter().enumerate() {
+            for &(id_b, log_b) in logs.iter().skip(i + 1) {
+                let common = log_a.len().min(log_b.len());
+                if log_a[..common] != log_b[..common] {
+                    let position = (0..common)
+                        .find(|&p| log_a[p] != log_b[p])
+                        .expect("prefixes differ");
+                    return Some(Violation {
+                        kind: InvariantKind::Agreement,
+                        step,
+                        detail: format!(
+                            "replicas {id_a} and {id_b} committed different digests at sequence \
+                             {}: {:?} vs {:?}",
+                            position + 1,
+                            log_a[position],
+                            log_b[position]
+                        ),
+                    });
+                }
+            }
+        }
+        // Validity: every (newly appended) digest was submitted.
+        for (id, log) in logs {
+            let scanned = self.validity_scanned.entry(id).or_insert(0);
+            if *scanned > log.len() {
+                *scanned = 0; // the replica was recovered and its log reset
+            }
+            for (index, digest) in log.iter().enumerate().skip(*scanned) {
+                // Gap-filling no-ops are legitimate: their request is a pure
+                // function of the sequence number they fill.
+                let noop = tolerance_consensus::minbft::Request::noop(index as u64 + 1).digest();
+                if *digest != noop && !self.submitted.contains(digest) {
+                    return Some(Violation {
+                        kind: InvariantKind::Validity,
+                        step,
+                        detail: format!(
+                            "replica {id} committed digest {digest:?} at sequence {} that no \
+                             client submitted",
+                            index + 1
+                        ),
+                    });
+                }
+            }
+            *scanned = log.len();
+        }
+        None
+    }
+
+    /// Checks that the network's counters add up exactly: everything handed
+    /// to the network is delivered, dropped or still in flight — a message
+    /// silently lost (or double-counted) breaks the equation in either
+    /// direction.
+    pub fn check_network(&self, cluster: &MinBftCluster, step: u32) -> Option<Violation> {
+        let stats = cluster.network_stats();
+        let accounted = stats.delivered + stats.dropped + cluster.network_in_flight() as u64;
+        if accounted != stats.sent {
+            return Some(Violation {
+                kind: InvariantKind::NetworkAccounting,
+                step,
+                detail: format!(
+                    "delivered {} + dropped {} + in-flight {} != sent {}",
+                    stats.delivered,
+                    stats.dropped,
+                    cluster.network_in_flight(),
+                    stats.sent
+                ),
+            });
+        }
+        None
+    }
+
+    /// The highest executed log length among live replicas (the number of
+    /// operations the service as a whole has committed).
+    pub fn committed_sequences(cluster: &MinBftCluster) -> u64 {
+        cluster
+            .membership()
+            .iter()
+            .filter_map(|&id| cluster.executed_log(id))
+            .map(|log| log.len() as u64)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tolerance_consensus::minbft::{MinBftCluster, MinBftConfig, Operation};
+    use tolerance_consensus::NetworkConfig;
+
+    fn cluster() -> MinBftCluster {
+        MinBftCluster::new(MinBftConfig {
+            initial_replicas: 4,
+            network: NetworkConfig {
+                latency: 0.002,
+                jitter: 0.001,
+                loss_rate: 0.0,
+            },
+            ..MinBftConfig::default()
+        })
+    }
+
+    #[test]
+    fn clean_runs_pass_agreement_and_validity() {
+        let mut cluster = cluster();
+        let mut checker = InvariantChecker::new();
+        let client = cluster.add_client();
+        for value in [1u64, 2, 3] {
+            let request = cluster.submit(client, Operation::Write(value));
+            checker.record_submission(request.digest());
+            cluster.run_until_quiet(60.0);
+            assert_eq!(checker.check_logs(&cluster, value as u32), None);
+            assert_eq!(checker.check_network(&cluster, value as u32), None);
+        }
+        assert_eq!(InvariantChecker::committed_sequences(&cluster), 3);
+    }
+
+    #[test]
+    fn injected_corruption_breaks_agreement() {
+        let mut cluster = cluster();
+        let mut checker = InvariantChecker::new();
+        let client = cluster.add_client();
+        let request = cluster.submit(client, Operation::Write(1));
+        checker.record_submission(request.digest());
+        cluster.run_until_quiet(10.0);
+        assert_eq!(checker.check_logs(&cluster, 0), None);
+
+        cluster.inject_double_commit(2);
+        let request = cluster.submit(client, Operation::Write(2));
+        checker.record_submission(request.digest());
+        cluster.run_until_quiet(20.0);
+        let violation = checker.check_logs(&cluster, 1).expect("must be caught");
+        assert_eq!(violation.kind, InvariantKind::Agreement);
+        assert!(violation.detail.contains("sequence 2"));
+    }
+
+    #[test]
+    fn unsubmitted_digests_break_validity() {
+        let mut cluster = cluster();
+        let mut checker = InvariantChecker::new();
+        let client = cluster.add_client();
+        // Deliberately do NOT record the submission.
+        cluster.submit(client, Operation::Write(7));
+        cluster.run_until_quiet(10.0);
+        let violation = checker.check_logs(&cluster, 0).expect("must be caught");
+        assert_eq!(violation.kind, InvariantKind::Validity);
+        assert!(violation.to_string().contains("validity"));
+    }
+}

@@ -15,6 +15,9 @@
 //!   dataset), and the additional infrastructure metrics of Fig. 18.
 //! * [`attacker`] — the multi-step attacker that works through each
 //!   container's intrusion playbook and then behaves arbitrarily.
+//! * [`chaos`] — attacker-driven fault schedules for the simnet harness
+//!   (`tolerance_core::simnet`): intrusion timing follows the container
+//!   playbooks instead of uniform sampling.
 //! * [`clients`] — the background client population (Poisson arrivals,
 //!   exponential service times) that generates baseline IDS noise.
 //! * [`emulation`] — the closed-loop emulation combining nodes, attackers,
@@ -31,6 +34,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod attacker;
+pub mod chaos;
 pub mod clients;
 pub mod containers;
 pub mod emulation;
@@ -39,6 +43,7 @@ pub mod ids;
 pub mod scenarios;
 
 pub use attacker::{AttackProfile, Attacker, AttackerBehavior};
+pub use chaos::AttackerCampaignScenario;
 pub use clients::ClientPopulation;
 pub use containers::{ContainerCatalog, ContainerConfig};
 pub use emulation::{Emulation, EmulationConfig, EmulationOutcome, StrategyKind};

@@ -57,7 +57,9 @@ pub fn heterogeneous_nodes_config() -> EmulationConfig {
 
 /// Builds the registry of built-in emulation scenarios: one entry per
 /// Table-7 strategy (at `N_1 = 6`, `Δ_R = 15`) under `paper/<strategy>`,
-/// plus the non-paper workloads described in the module docs.
+/// the non-paper workloads described in the module docs, and the
+/// fault-injection scenarios of the simnet harness (`simnet/*`), so
+/// experiment sweeps treat fault intensity like any other grid axis.
 pub fn builtin_registry() -> ScenarioRegistry {
     let mut registry = ScenarioRegistry::new();
     for strategy in StrategyKind::paper_set() {
@@ -73,6 +75,8 @@ pub fn builtin_registry() -> ScenarioRegistry {
         "heterogeneous-nodes",
         heterogeneous_nodes_config(),
     );
+    tolerance_core::simnet::register_simnet_scenarios(&mut registry);
+    crate::chaos::register_chaos_scenarios(&mut registry);
     registry
 }
 
@@ -93,9 +97,9 @@ mod tests {
     use tolerance_core::runtime::Runner;
 
     #[test]
-    fn builtin_registry_contains_paper_and_novel_scenarios() {
+    fn builtin_registry_contains_paper_novel_and_simnet_scenarios() {
         let registry = builtin_registry();
-        assert_eq!(registry.len(), 6);
+        assert_eq!(registry.len(), 10);
         for name in [
             "paper/tolerance",
             "paper/no-recovery",
@@ -103,6 +107,10 @@ mod tests {
             "paper/periodic-adaptive",
             "bursty-attacker",
             "heterogeneous-nodes",
+            "simnet/chaos-light",
+            "simnet/chaos-heavy",
+            "simnet/partition-churn",
+            "simnet/attacker-campaign",
         ] {
             assert!(registry.contains(name), "missing scenario {name}");
         }

@@ -10,6 +10,7 @@ use tolerance::core::prelude::*;
 use tolerance::markov::dist::{BetaBinomial, DiscreteDistribution, PoissonBinomial};
 use tolerance::markov::stats::kl_divergence;
 use tolerance::optim::simplex::{Comparison, LinearProgram};
+use tolerance::pomdp::{Belief, Pomdp};
 
 fn arbitrary_parameters() -> impl Strategy<Value = NodeParameters> {
     (1e-4..0.5f64, 1e-6..0.05f64, 0.01..0.2f64, 1e-4..0.4f64).prop_map(
@@ -59,6 +60,103 @@ proptest! {
             prop_assert!((0.0..=1.0).contains(&current), "belief {current} escaped [0, 1]");
             prop_assert!(current.is_finite());
         }
+    }
+
+    #[test]
+    fn pomdp_belief_update_preserves_the_probability_simplex(
+        weights in proptest::collection::vec(0.05..1.0f64, 3..6),
+        stickiness in 0.3..0.95f64,
+        signal in 0.05..0.9f64,
+        observations in proptest::collection::vec(0usize..2, 1..12),
+    ) {
+        // A randomized n-state chain with a 2-symbol observation channel.
+        let n = weights.len();
+        let transition: Vec<Vec<f64>> = (0..n)
+            .map(|s| {
+                (0..n)
+                    .map(|t| {
+                        if s == t {
+                            stickiness
+                        } else {
+                            (1.0 - stickiness) / (n - 1) as f64
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let observation: Vec<Vec<f64>> = (0..n)
+            .map(|s| {
+                let p = (signal + s as f64 * 0.08).min(0.95);
+                vec![p, 1.0 - p]
+            })
+            .collect();
+        let cost = vec![vec![0.0]; n];
+        let model = Pomdp::new(
+            vec![transition],
+            observation,
+            cost,
+            0.9,
+        ).unwrap();
+        let total: f64 = weights.iter().sum();
+        let mut belief = Belief::new(weights.iter().map(|w| w / total).collect()).unwrap();
+        for &o in &observations {
+            belief = belief.update(&model, 0, o).unwrap();
+            // Simplex preservation: non-negative entries summing to one.
+            let sum: f64 = belief.as_slice().iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+            for &p in belief.as_slice() {
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&p), "entry {p}");
+                prop_assert!(p.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn pomdp_belief_update_is_invariant_to_likelihood_rescaling(
+        prior_weights in proptest::collection::vec(0.05..1.0f64, 2..5),
+        likelihoods in proptest::collection::vec(0.05..0.45f64, 2..5),
+        scale in 0.2..2.0f64,
+    ) {
+        // Two models share the transition kernel; in the second, the
+        // likelihood of observation 0 is rescaled by the same factor in
+        // every state (observation 1 absorbs the remainder). Bayes'
+        // posterior after observing 0 only depends on likelihood *ratios*,
+        // so both models must produce the same posterior.
+        let n = prior_weights.len().min(likelihoods.len());
+        let prior_weights = &prior_weights[..n];
+        let likelihoods = &likelihoods[..n];
+        let transition: Vec<Vec<f64>> = (0..n)
+            .map(|s| (0..n).map(|t| if s == t { 0.7 } else { 0.3 / (n - 1) as f64 }).collect())
+            .collect();
+        let base: Vec<Vec<f64>> = likelihoods.iter().map(|&z| vec![z, 1.0 - z]).collect();
+        let rescaled: Vec<Vec<f64>> = likelihoods
+            .iter()
+            .map(|&z| {
+                let scaled = (z * scale).min(0.99);
+                vec![scaled, 1.0 - scaled]
+            })
+            .collect();
+        // Only exact common rescaling preserves the ratios: clamp must not
+        // have engaged for any state.
+        let exact = likelihoods.iter().all(|&z| z * scale < 0.99);
+        if !exact {
+            return Ok(());
+        }
+        let cost = vec![vec![0.0]; n];
+        let model_a =
+            Pomdp::new(vec![transition.clone()], base, cost.clone(), 0.9).unwrap();
+        let model_b = Pomdp::new(vec![transition], rescaled, cost, 0.9).unwrap();
+        let total: f64 = prior_weights.iter().sum();
+        let prior = Belief::new(prior_weights.iter().map(|w| w / total).collect()).unwrap();
+        let posterior_a = prior.update(&model_a, 0, 0).unwrap();
+        let posterior_b = prior.update(&model_b, 0, 0).unwrap();
+        for (a, b) in posterior_a.as_slice().iter().zip(posterior_b.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-9, "posteriors diverge: {a} vs {b}");
+        }
+        // The normalizers differ by exactly the scale factor.
+        let z_a = prior.observation_probability(&model_a, 0, 0).unwrap();
+        let z_b = prior.observation_probability(&model_b, 0, 0).unwrap();
+        prop_assert!((z_b - scale * z_a).abs() < 1e-9);
     }
 
     #[test]

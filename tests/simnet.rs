@@ -1,0 +1,255 @@
+//! Acceptance tests of the deterministic fault-injection harness (simnet):
+//! a bounded randomized-schedule suite over the full two-level stack, the
+//! byte-identical-replay guarantee across thread counts, the
+//! double-commit-detection + shrinking pipeline, and Raft under the shared
+//! partition API.
+//!
+//! This suite doubles as the CI `simnet-smoke` job: any emitted
+//! counterexample is written to `simnet-counterexamples/` and uploaded as a
+//! workflow artifact.
+
+use std::collections::BTreeSet;
+use tolerance::consensus::{RaftCluster, RaftConfig};
+use tolerance::core::runtime::{Runner, Scenario};
+use tolerance::core::simnet::{
+    find_counterexample, run_schedule, Counterexample, FaultKind, FaultSchedule, InvariantKind,
+    ScheduleConfig, SimnetScenario,
+};
+use tolerance::emulation::builtin_registry;
+
+/// The fixed seed set of the smoke suite (the CI job runs exactly this).
+fn smoke_seeds() -> Vec<u64> {
+    (0..18).collect()
+}
+
+fn smoke_configs() -> Vec<(&'static str, ScheduleConfig)> {
+    vec![
+        (
+            "light",
+            ScheduleConfig {
+                horizon: 40,
+                intensity: 0.2,
+                ..ScheduleConfig::default()
+            },
+        ),
+        (
+            "heavy",
+            ScheduleConfig {
+                horizon: 40,
+                intensity: 0.8,
+                ..ScheduleConfig::default()
+            },
+        ),
+        (
+            "full-stack",
+            ScheduleConfig {
+                horizon: 40,
+                intensity: 0.5,
+                system_controller: true,
+                ..ScheduleConfig::default()
+            },
+        ),
+    ]
+}
+
+/// Writes a counterexample where the CI job picks it up as an artifact.
+fn publish_counterexample(name: &str, counterexample: &Counterexample) {
+    let dir = std::path::Path::new("simnet-counterexamples");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let json = counterexample.to_json().expect("serializable");
+        let _ = std::fs::write(dir.join(format!("{name}.json")), json);
+    }
+}
+
+#[test]
+fn randomized_schedules_pass_all_invariant_oracles() {
+    // ≥ 50 randomized schedules (3 configs × 18 seeds = 54) through the
+    // full stack: MinBFT + node controllers (+ system controller in the
+    // full-stack config), with agreement/validity/recovery-bound/
+    // network-accounting checked after every step and liveness at settle.
+    let mut kinds: BTreeSet<FaultKind> = BTreeSet::new();
+    let mut runs = 0;
+    for (name, config) in smoke_configs() {
+        for seed in smoke_seeds() {
+            let schedule = FaultSchedule::generate(seed, &config);
+            kinds.extend(schedule.kinds());
+            let report = run_schedule(&schedule, &config).expect("harness constructs");
+            if let Some(violation) = &report.violation {
+                // Shrink and publish before failing, so CI uploads the
+                // replayable counterexample.
+                if let Ok(Some(counterexample)) = find_counterexample(&schedule, &config) {
+                    publish_counterexample(&format!("{name}-seed{seed}"), &counterexample);
+                }
+                panic!("{name} seed {seed}: {violation}");
+            }
+            assert!(
+                report.outcome.completed > 0,
+                "{name} seed {seed}: no requests completed"
+            );
+            assert!(report.outcome.availability > 0.0);
+            runs += 1;
+        }
+    }
+    assert!(runs >= 50, "the suite must cover at least 50 schedules");
+    // Coverage: the generated schedules must exercise ≥ 6 distinct fault
+    // kinds (partitions, storms, crashes, Byzantine flips, intrusions,
+    // churn, client bursts, ...).
+    assert!(
+        kinds.len() >= 6,
+        "only {} fault kinds covered: {kinds:?}",
+        kinds.len()
+    );
+}
+
+#[test]
+fn identical_seed_is_byte_identical_across_thread_counts() {
+    let scenario = SimnetScenario::new(
+        "simnet/replay",
+        ScheduleConfig {
+            horizon: 30,
+            intensity: 0.6,
+            ..ScheduleConfig::default()
+        },
+    );
+    let seeds: Vec<u64> = (0..6).collect();
+    let serial = Runner::serial()
+        .run_seeds(&scenario, &seeds)
+        .expect("serial runs");
+    for workers in [2, 4, 8] {
+        let parallel = Runner::with_threads(workers)
+            .run_seeds(&scenario, &seeds)
+            .expect("parallel runs");
+        for (a, b) in serial.iter().zip(&parallel) {
+            let json_a = serde_json::to_string(&a.trace).expect("serializable");
+            let json_b = serde_json::to_string(&b.trace).expect("serializable");
+            assert_eq!(
+                json_a, json_b,
+                "{workers} workers: traces must be byte-identical"
+            );
+        }
+        assert_eq!(serial, parallel, "{workers} workers");
+    }
+}
+
+#[test]
+fn injected_double_commit_is_caught_shrunk_and_replayable() {
+    // The deliberately injected implementation bug (test-only Byzantine
+    // mode): a replica corrupts its execution while claiming to be correct.
+    let config = ScheduleConfig {
+        horizon: 16,
+        intensity: 0.4,
+        inject_double_commit_at: Some(5),
+        ..ScheduleConfig::default()
+    };
+    let schedule = FaultSchedule::generate(11, &config);
+    let counterexample = find_counterexample(&schedule, &config)
+        .expect("harness constructs")
+        .expect("the injected double commit must be caught");
+    assert_eq!(
+        counterexample.violation.kind,
+        InvariantKind::Agreement,
+        "the agreement oracle must catch the conflicting commit"
+    );
+    // Greedy shrinking keeps the injection and drops chaff: the minimal
+    // schedule is no larger than the original and still replays.
+    assert!(counterexample.schedule.events.len() <= schedule.events.len());
+    assert!(counterexample
+        .schedule
+        .events
+        .iter()
+        .any(|e| e.event.kind() == FaultKind::InjectDoubleCommit));
+    publish_counterexample("expected-double-commit", &counterexample);
+
+    // One command to reproduce: JSON → Counterexample → replay.
+    let json = counterexample.to_json().expect("serializes");
+    let restored = Counterexample::from_json(&json).expect("parses back");
+    assert_eq!(restored, counterexample);
+    let replayed = restored
+        .replay()
+        .expect("replay constructs")
+        .expect("replay violates again");
+    assert_eq!(replayed.kind, InvariantKind::Agreement);
+}
+
+#[test]
+fn registry_sweeps_simnet_scenarios_like_any_grid_axis() {
+    let registry = builtin_registry();
+    for name in [
+        "simnet/chaos-light",
+        "simnet/partition-churn",
+        "simnet/attacker-campaign",
+    ] {
+        assert!(registry.contains(name), "missing {name}");
+    }
+    let run = registry
+        .run("simnet/chaos-light", &Runner::with_threads(2), &[0, 1, 2])
+        .expect("registry sweep passes the oracles");
+    assert_eq!(run.reports.len(), 3);
+    for report in &run.reports {
+        assert!((0.0..=1.0).contains(&report.availability));
+    }
+}
+
+#[test]
+fn raft_survives_partition_and_crash_chaos() {
+    // The shared partition/storm API on the crash-tolerant substrate: a
+    // scripted chaos schedule against Raft, with committed-log consistency
+    // as the agreement oracle.
+    for seed in 0..6 {
+        let mut raft = RaftCluster::new(RaftConfig {
+            members: 5,
+            seed,
+            ..RaftConfig::default()
+        });
+        raft.run_until(2.0);
+        assert!(raft.propose("op-1"));
+        raft.run_until(3.0);
+
+        // Partition a minority, keep proposing, heal, crash one member,
+        // restart it.
+        raft.partition_network(&[0, 1], &[2, 3, 4]);
+        raft.run_until(5.0);
+        raft.propose("op-2");
+        raft.run_until(7.0);
+        raft.heal_network();
+        raft.run_until(9.0);
+        raft.crash(2);
+        raft.propose("op-3");
+        raft.run_until(12.0);
+        raft.restart(2);
+        raft.run_until(16.0);
+
+        assert!(
+            raft.committed_logs_consistent(),
+            "seed {seed}: committed logs diverged"
+        );
+        let leader = raft.leader().expect("a leader after healing");
+        assert!(
+            !raft.committed_log(leader).is_empty(),
+            "seed {seed}: nothing committed"
+        );
+        assert!(!raft.is_crashed(2));
+        assert_eq!(raft.members(), &[0, 1, 2, 3, 4]);
+    }
+}
+
+#[test]
+fn scenario_runs_surface_violations_as_invariant_errors() {
+    let scenario = SimnetScenario::new(
+        "simnet/injected",
+        ScheduleConfig {
+            horizon: 12,
+            intensity: 0.0,
+            inject_double_commit_at: Some(3),
+            ..ScheduleConfig::default()
+        },
+    );
+    let error = scenario
+        .run(1)
+        .expect_err("the injection must fail the run");
+    let message = error.to_string();
+    assert!(
+        message.contains("invariant violation") && message.contains("agreement"),
+        "unexpected error: {message}"
+    );
+}

@@ -1,7 +1,9 @@
 //! Vendored stand-in for `serde_json`: renders the `serde` shim's
-//! [`serde::Value`] data model as JSON text. Only the serialization half is
-//! provided (`to_string` / `to_string_pretty`); nothing in the workspace
-//! parses JSON.
+//! [`serde::Value`] data model as JSON text (`to_string` /
+//! `to_string_pretty`) and parses JSON text back into [`serde::Value`]
+//! (`parse_value`). Typed deserialization is not provided; callers that
+//! need to read a document back destructure the parsed `Value` by hand
+//! (see `tolerance_core::simnet::shrink` for the counterexample decoder).
 
 #![warn(missing_docs)]
 
@@ -39,6 +41,222 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     let mut out = String::new();
     render(&value.to_value(), Some(2), 0, &mut out);
     Ok(out)
+}
+
+/// Parses a JSON document into the shim's [`serde::Value`] data model.
+///
+/// Integral numbers without sign become [`Value::U64`], negative integral
+/// numbers [`Value::I64`], everything else [`Value::F64`]; object key order
+/// is preserved.
+///
+/// # Errors
+///
+/// Returns a descriptive [`Error`] on malformed input or trailing garbage.
+pub fn parse_value(input: &str) -> Result<Value, Error> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_at(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error(format!("trailing characters at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, expected: u8) -> Result<(), Error> {
+    if bytes.get(*pos) == Some(&expected) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(Error(format!(
+            "expected `{}` at byte {}",
+            expected as char, *pos
+        )))
+    }
+}
+
+fn parse_at(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(Error("unexpected end of input".into())),
+        Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
+        Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
+        Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_at(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error(format!("expected `,` or `]` at byte {}", *pos))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(entries));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_at(bytes, pos)?;
+                entries.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(entries));
+                    }
+                    _ => return Err(Error(format!("expected `,` or `}}` at byte {}", *pos))),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: Value,
+) -> Result<Value, Error> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(Error(format!("invalid literal at byte {}", *pos)))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(Error("unterminated string".into())),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let code = parse_hex4(bytes, *pos + 1)?;
+                        *pos += 4;
+                        let scalar = if (0xD800..0xDC00).contains(&code) {
+                            // High surrogate: a low surrogate escape must
+                            // follow (RFC 8259 escapes non-BMP characters as
+                            // surrogate pairs).
+                            if bytes.get(*pos + 1..*pos + 3) != Some(b"\\u") {
+                                return Err(Error("unpaired high surrogate".into()));
+                            }
+                            let low = parse_hex4(bytes, *pos + 3)?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err(Error("invalid low surrogate".into()));
+                            }
+                            *pos += 6;
+                            0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                        } else {
+                            code
+                        };
+                        out.push(
+                            char::from_u32(scalar)
+                                .ok_or_else(|| Error("invalid \\u code point".into()))?,
+                        );
+                    }
+                    _ => return Err(Error(format!("invalid escape at byte {}", *pos))),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (the input is a &str, so the
+                // bytes are valid UTF-8).
+                let start = *pos;
+                *pos += 1;
+                while *pos < bytes.len() && bytes[*pos] & 0xC0 == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&bytes[start..*pos]).expect("valid UTF-8"));
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, Error> {
+    let hex = bytes
+        .get(at..at + 4)
+        .ok_or_else(|| Error("truncated \\u escape".into()))?;
+    let hex = std::str::from_utf8(hex).map_err(|_| Error("invalid \\u escape".into()))?;
+    u32::from_str_radix(hex, 16).map_err(|_| Error("invalid \\u escape".into()))
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii number");
+    if text.is_empty() || text == "-" {
+        return Err(Error(format!("invalid number at byte {start}")));
+    }
+    if !is_float {
+        if let Some(stripped) = text.strip_prefix('-') {
+            if let Ok(n) = stripped.parse::<i64>() {
+                return Ok(Value::I64(-n));
+            }
+        } else if let Ok(n) = text.parse::<u64>() {
+            return Ok(Value::U64(n));
+        }
+    }
+    text.parse::<f64>()
+        .map(Value::F64)
+        .map_err(|_| Error(format!("invalid number `{text}`")))
 }
 
 fn render(value: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
@@ -181,5 +399,63 @@ mod tests {
     fn empty_containers_render_compactly() {
         assert_eq!(to_string_pretty(&Vec::<u32>::new()).unwrap(), "[]");
         assert_eq!(to_string_pretty(&Value::Object(vec![])).unwrap(), "{}");
+    }
+
+    #[test]
+    fn parser_round_trips_rendered_documents() {
+        let value = Value::Object(vec![
+            ("seed".into(), Value::U64(42)),
+            ("negative".into(), Value::I64(-17)),
+            ("rate".into(), Value::F64(0.125)),
+            ("label".into(), Value::Str("a\"b\n\u{0007}".into())),
+            (
+                "items".into(),
+                Value::Array(vec![Value::Null, Value::Bool(true), Value::F64(2.0)]),
+            ),
+            ("empty".into(), Value::Object(vec![])),
+        ]);
+        for rendered in [
+            to_string(&value).unwrap(),
+            to_string_pretty(&value).unwrap(),
+        ] {
+            let parsed = parse_value(&rendered).unwrap();
+            assert_eq!(parsed, value, "parsing back `{rendered}`");
+        }
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "tru",
+            "\"unterminated",
+            "{\"a\" 1}",
+            "1 2",
+            "nул",
+        ] {
+            assert!(parse_value(bad).is_err(), "`{bad}` should not parse");
+        }
+        // Numbers: unsigned, signed and float classification.
+        assert_eq!(parse_value("7").unwrap(), Value::U64(7));
+        assert_eq!(parse_value("-7").unwrap(), Value::I64(-7));
+        assert_eq!(parse_value("7.5").unwrap(), Value::F64(7.5));
+        assert_eq!(parse_value("1e3").unwrap(), Value::F64(1000.0));
+    }
+
+    #[test]
+    fn parser_decodes_surrogate_pair_escapes() {
+        // RFC 8259 escapes non-BMP characters as surrogate pairs.
+        assert_eq!(
+            parse_value(r#""\ud83d\ude00""#).unwrap(),
+            Value::Str("😀".into())
+        );
+        // BMP escapes and raw UTF-8 still work.
+        assert_eq!(parse_value(r#""\u00e9""#).unwrap(), Value::Str("é".into()));
+        assert_eq!(parse_value(r#""😀""#).unwrap(), Value::Str("😀".into()));
+        for bad in [r#""\ud83d""#, r#""\ud83dxx""#, r#""\ud83dA""#] {
+            assert!(parse_value(bad).is_err(), "`{bad}` should not parse");
+        }
     }
 }
