@@ -18,10 +18,18 @@
 //! * [`crypto`] — simulated digital signatures and keyed message digests.
 //! * [`usig`] — the Unique Sequential Identifier Generator (trusted
 //!   monotonic counter) that MinBFT relies on.
+//! * [`transport`] — the pluggable [`Transport`] trait the protocol code
+//!   sends through, with the deterministic simulation and a multi-threaded
+//!   bounded-channel implementation.
 //! * [`net`] — the discrete-event network: latency, jitter, loss and
 //!   partitions over authenticated channels.
-//! * [`minbft`] — reconfigurable MinBFT replicas, cluster driver, Byzantine
-//!   fault injection and the BFT client (f+1 matching replies).
+//! * [`minbft`] — reconfigurable MinBFT replicas with leader-side request
+//!   batching and checkpoint-driven log compaction, the cluster driver,
+//!   Byzantine fault injection and the BFT client (f+1 matching replies).
+//! * [`threaded`] — the same MinBFT replica code running as a real
+//!   concurrent service: one thread per replica over [`ThreadedTransport`].
+//! * [`workload`] — client workload generation (open/closed arrival over a
+//!   key-value service) for throughput experiments.
 //! * [`raft`] — a Raft cluster (leader election and log replication) used as
 //!   the crash-tolerant substrate of the system controller.
 
@@ -32,12 +40,18 @@ pub mod crypto;
 pub mod minbft;
 pub mod net;
 pub mod raft;
+pub mod threaded;
+pub mod transport;
 pub mod usig;
+pub mod workload;
 
 pub use minbft::{ByzantineMode, CommitRecord, MinBftCluster, MinBftConfig, ThroughputReport};
 pub use net::{NetworkConfig, NetworkConfigError, SimNetwork};
 pub use raft::{RaftCluster, RaftConfig};
+pub use threaded::{ThreadedServiceConfig, ThreadedServiceReport};
+pub use transport::{ThreadedTransport, Transport, TransportHandle, TransportStats};
 pub use usig::Usig;
+pub use workload::{Arrival, WorkloadConfig, WorkloadReport};
 
 /// Identifier of a node (replica, controller or client) in the simulated
 /// system.

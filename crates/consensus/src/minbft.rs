@@ -1,4 +1,4 @@
-//! Reconfigurable MinBFT over the simulated network.
+//! Reconfigurable MinBFT over a pluggable transport.
 //!
 //! MinBFT (Veronese et al.) is the consensus protocol of the TOLERANCE
 //! architecture (Section IV and Appendix G of the paper). It assumes the
@@ -12,14 +12,31 @@
 //! the paper's system controller uses to adjust the replication factor
 //! (Fig. 17).
 //!
-//! The implementation is message-driven over [`crate::net::SimNetwork`]; each
-//! replica also has a per-message processing time, which is what makes the
-//! simulated throughput saturate and decrease with the number of replicas as
-//! in Fig. 10 of the paper.
+//! Two data-plane features make the pipeline production-shaped:
+//!
+//! * **Leader-side batching** — a PREPARE carries a *batch* of client
+//!   requests, so one USIG signature and one quorum round are amortized
+//!   over up to [`MinBftConfig::batch_size`] requests.
+//! * **Checkpoint-driven log compaction** — once `f + 1` replicas announce
+//!   the same state digest at a checkpoint sequence, each replica truncates
+//!   its executed log, prepared certificates, commit votes and checkpoint
+//!   ballots below that *stable checkpoint*; lagging replicas re-acquire
+//!   compacted history through state transfer instead of message replay.
+//!
+//! The replica state machine ([`Replica`] plus the `replica_*` step
+//! functions) is transport-agnostic: the simulated [`MinBftCluster`] drives
+//! it over [`crate::net::SimNetwork`], and [`crate::threaded`] runs the very
+//! same code with one OS thread per replica over
+//! [`crate::transport::ThreadedTransport`]. Each replica also has a
+//! per-message processing time (plus an optional per-signature cost), which
+//! is what makes the simulated throughput saturate and decrease with the
+//! number of replicas as in Fig. 10 of the paper.
 
-use crate::crypto::{digest, Digest, KeyDirectory, KeyPair};
+use crate::crypto::{combine, digest, Digest, KeyDirectory, KeyPair};
 use crate::net::{NetworkConfig, SimNetwork};
+use crate::transport::Transport;
 use crate::usig::{UniqueIdentifier, Usig, UsigVerifier};
+use crate::workload::{Arrival, OpStream, WorkloadConfig, WorkloadReport};
 use crate::{hybrid_fault_threshold, NodeId, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -36,19 +53,33 @@ pub enum ByzantineMode {
     Correct,
     /// The replica stops sending messages.
     Silent,
-    /// The replica participates but with corrupted values: wrong request
+    /// The replica participates but with corrupted values: wrong batch
     /// digests in COMMITs and wrong values in REPLYs.
     Arbitrary,
 }
 
-/// An operation on the replicated service. The paper's web service offers a
-/// deterministic read and write (Section VII-B).
+/// An operation on the replicated service: the paper's web service offers a
+/// deterministic read and write of a register (Section VII-B), extended here
+/// with a keyed variant so workload generators can exercise a key-value
+/// service.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum Operation {
-    /// Return the current state.
+    /// Return the current register state.
     Read,
-    /// Replace the state with the given value.
+    /// Replace the register with the given value.
     Write(u64),
+    /// Store `value` under `key` in the replicated key-value map.
+    Put {
+        /// The key to write.
+        key: u32,
+        /// The value to store.
+        value: u64,
+    },
+    /// Read the value stored under `key` (0 when absent).
+    Get {
+        /// The key to read.
+        key: u32,
+    },
 }
 
 /// A client request.
@@ -62,15 +93,14 @@ pub struct Request {
     pub operation: Operation,
 }
 
-/// Pseudo-client id used for the no-op requests a new leader fills
-/// sequence-number gaps with; replies to it go nowhere.
+/// Pseudo-client id historically used for gap-filling no-op requests; kept
+/// for API compatibility (new leaders now fill sequence-number gaps with
+/// *empty batches*, which execute nothing and append nothing to the log).
 pub const NOOP_CLIENT: NodeId = NodeId::MAX;
 
 impl Request {
-    /// The no-op request a new leader proposes at `sequence` when it holds
-    /// no prepared entry for it (gap filling during a view change). The
-    /// request is a function of the sequence number alone, so competing
-    /// leaders fill the same gap identically.
+    /// A no-op request that is a pure function of the sequence number (see
+    /// [`NOOP_CLIENT`]).
     pub fn noop(sequence: u64) -> Request {
         Request {
             client: NOOP_CLIENT,
@@ -83,7 +113,7 @@ impl Request {
     /// invariant oracles (e.g. the validity check of the fault-injection
     /// harness) can match committed digests against submitted requests.
     pub fn digest(&self) -> Digest {
-        let mut bytes = Vec::with_capacity(24);
+        let mut bytes = Vec::with_capacity(32);
         bytes.extend_from_slice(&self.client.to_le_bytes());
         bytes.extend_from_slice(&self.id.to_le_bytes());
         match self.operation {
@@ -92,25 +122,78 @@ impl Request {
                 bytes.push(1);
                 bytes.extend_from_slice(&v.to_le_bytes());
             }
+            Operation::Put { key, value } => {
+                bytes.push(2);
+                bytes.extend_from_slice(&key.to_le_bytes());
+                bytes.extend_from_slice(&value.to_le_bytes());
+            }
+            Operation::Get { key } => {
+                bytes.push(3);
+                bytes.extend_from_slice(&key.to_le_bytes());
+            }
         }
         digest(&bytes)
     }
 }
 
-/// Protocol messages (Fig. 17 of the paper).
+/// The digest a USIG certificate binds for a batched PREPARE: a chain over
+/// the batch's request digests. The empty batch (a gap-filling no-op) has a
+/// fixed digest, so competing leaders fill the same gap identically.
+pub fn batch_digest(requests: &[Request]) -> Digest {
+    let mut acc = digest(b"minbft-batch");
+    for request in requests {
+        acc = combine(acc, request.digest());
+    }
+    acc
+}
+
+/// The first absolute log position at which two compaction-truncated
+/// executed logs disagree, comparing only the window both retain (each log
+/// is `(absolute offset of its first entry, retained suffix)`). `None`
+/// means the overlap — possibly empty — is identical. The single
+/// offset-aware comparison shared by [`MinBftCluster::logs_are_consistent`],
+/// the threaded service's shutdown check and the simnet agreement oracle.
+pub fn first_log_divergence(
+    start_a: u64,
+    log_a: &[Digest],
+    start_b: u64,
+    log_b: &[Digest],
+) -> Option<u64> {
+    let lo = start_a.max(start_b);
+    let hi = (start_a + log_a.len() as u64).min(start_b + log_b.len() as u64);
+    if lo >= hi {
+        return None;
+    }
+    let window_a = &log_a[(lo - start_a) as usize..(hi - start_a) as usize];
+    let window_b = &log_b[(lo - start_b) as usize..(hi - start_b) as usize];
+    (0..window_a.len())
+        .find(|&p| window_a[p] != window_b[p])
+        .map(|p| lo + p as u64)
+}
+
+/// A prepared certificate as reported in view changes and state transfers:
+/// `(sequence, view, batch)`.
+pub type PreparedCertificate = (u64, u64, Vec<Request>);
+
+/// One voter's contribution to a view-change ballot:
+/// `(high_sequence, stable_sequence, prepared certificates)`.
+type ViewChangeVote = (u64, u64, Vec<PreparedCertificate>);
+
+/// Protocol messages (Fig. 17 of the paper, batched).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
     /// Client request, broadcast to all replicas.
     Request(Request),
-    /// Leader proposal carrying a USIG unique identifier.
+    /// Leader proposal carrying a USIG unique identifier over the batch
+    /// digest — one signature amortized over the whole batch.
     Prepare {
         /// Current view.
         view: u64,
-        /// Assigned sequence number.
+        /// Assigned sequence number (one per batch).
         sequence: u64,
-        /// The proposed request.
-        request: Request,
-        /// The leader's USIG certificate.
+        /// The proposed batch of requests (empty = gap-filling no-op).
+        requests: Vec<Request>,
+        /// The leader's USIG certificate over [`batch_digest`].
         ui: UniqueIdentifier,
     },
     /// Acknowledgement of a PREPARE, also carrying a USIG identifier.
@@ -119,8 +202,8 @@ pub enum Message {
         view: u64,
         /// Sequence number being committed.
         sequence: u64,
-        /// Digest of the committed request.
-        request_digest: Digest,
+        /// Digest of the committed batch.
+        batch_digest: Digest,
         /// The sender's USIG certificate.
         ui: UniqueIdentifier,
     },
@@ -128,15 +211,19 @@ pub enum Message {
     Reply {
         /// The request being answered.
         request_id: u64,
-        /// The service state after executing the request.
+        /// The operation's result value.
         value: u64,
         /// The sequence number at which the request executed.
         sequence: u64,
     },
-    /// Periodic checkpoint announcement.
+    /// Periodic checkpoint announcement: `f + 1` matching digests at one
+    /// sequence make the checkpoint *stable* and trigger log compaction.
     Checkpoint {
         /// Sequence number of the checkpoint.
         sequence: u64,
+        /// Absolute number of executed requests at the checkpoint (the log
+        /// length the sender truncates to once the checkpoint stabilizes).
+        log_len: u64,
         /// Digest of the service state at the checkpoint.
         state_digest: Digest,
     },
@@ -156,14 +243,19 @@ pub enum Message {
         /// view-change quorum of `n - f` voters intersects every commit
         /// quorum).
         high_sequence: u64,
-        /// The voter's prepared-but-unexecuted entries
-        /// `(sequence, view, request)` — the certificate transfer of the
-        /// view change. The new leader re-proposes, for every sequence
-        /// number up to the high-water mark, the highest-view request
-        /// reported for it (and a no-op when none is): a sequence executed
-        /// anywhere was prepared at a full commit quorum, so the
-        /// view-change quorum always hears about it.
-        prepared: Vec<(u64, u64, Request)>,
+        /// The voter's stable-checkpoint sequence: certificates at or below
+        /// it were compacted away, so a replica whose execution frontier
+        /// lies below the quorum's highest stable checkpoint must re-acquire
+        /// state by transfer instead of replaying certificates.
+        stable_sequence: u64,
+        /// The voter's retained prepared certificates — the certificate
+        /// transfer of the view change. The new leader re-proposes, for
+        /// every sequence number up to the high-water mark, the highest-view
+        /// batch reported for it (and an empty batch when none is): a
+        /// sequence executed anywhere above the stable frontier was prepared
+        /// at a full commit quorum, so the view-change quorum always hears
+        /// about it.
+        prepared: Vec<PreparedCertificate>,
     },
     /// Installation of a new view by its leader.
     NewView {
@@ -180,13 +272,32 @@ pub enum Message {
         /// The sequence number from which the new leader continues.
         next_sequence: u64,
     },
-    /// State transfer to a recovering or joining replica.
+    /// Pull-based request for a state transfer, broadcast by a replica that
+    /// fell behind the cluster's stable checkpoint (its compacted history
+    /// cannot be replayed from retained certificates).
+    StateRequest {
+        /// The requester's configuration epoch.
+        epoch: u64,
+    },
+    /// State transfer to a recovering, joining or lagging replica.
     StateTransfer {
         /// The donor's configuration epoch (stale transfers are ignored).
         epoch: u64,
-        /// The current service state.
+        /// The current register state.
         value: u64,
-        /// The log of executed request digests.
+        /// The replicated key-value map.
+        kv: Vec<(u32, u64)>,
+        /// Absolute index of the first entry of `executed` (requests below
+        /// it were compacted at the stable checkpoint).
+        log_start: u64,
+        /// The donor's execution frontier (highest executed sequence).
+        last_executed: u64,
+        /// Running digest chain over *all* executed requests since genesis
+        /// (compaction-independent, the basis of checkpoint digests).
+        log_chain: Digest,
+        /// The donor's stable-checkpoint sequence.
+        stable_sequence: u64,
+        /// The retained suffix of executed request digests.
         executed: Vec<Digest>,
         /// The current view.
         view: u64,
@@ -196,28 +307,28 @@ pub enum Message {
         /// sequence)`, so a recovered replica can re-answer retransmitted
         /// requests it executed before the recovery.
         replies: Vec<(NodeId, u64, u64, u64)>,
-        /// The donor's prepared certificates `(sequence, view, request)`.
-        /// A recovered replica must re-acquire them: view-change ballots
-        /// re-propose from these certificates, and a ballot formed by
-        /// amnesiac voters would no-op-fill sequence numbers that already
-        /// executed elsewhere.
-        prepared: Vec<(u64, u64, Request)>,
+        /// The donor's retained prepared certificates. A recovered replica
+        /// must re-acquire them: view-change ballots re-propose from these
+        /// certificates, and a ballot formed by amnesiac voters would
+        /// no-op-fill sequence numbers that already executed elsewhere.
+        prepared: Vec<PreparedCertificate>,
     },
 }
 
-/// One committed operation as observed at one replica: the trace hook that
+/// One committed batch as observed at one replica: the trace hook that
 /// fault-injection harnesses use to check agreement (no two correct replicas
 /// commit different digests at the same sequence number) and validity (every
 /// committed digest was submitted by a client).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct CommitRecord {
-    /// The replica that executed the operation.
+    /// The replica that executed the batch.
     pub replica: NodeId,
     /// The view in which the replica executed it.
     pub view: u64,
-    /// The sequence number of the operation.
+    /// The sequence number of the batch.
     pub sequence: u64,
-    /// The digest the replica executed at this sequence number.
+    /// The digest the replica executed at this sequence number (the request
+    /// digest for singleton batches, a digest chain otherwise).
     pub digest: Digest,
 }
 
@@ -233,11 +344,26 @@ pub struct MinBftConfig {
     /// Per-message processing time at each node (seconds); this is the
     /// resource bottleneck that shapes the throughput curve of Fig. 10.
     pub processing_time: f64,
+    /// Extra processing time per USIG signature created or verified
+    /// (seconds). The paper's testbed signs with RSA-1024, which dominates
+    /// the request path; batching amortizes exactly this cost. `0.0`
+    /// disables the model (the pre-batching behaviour).
+    pub signature_time: f64,
     /// Client request timeout before a view change is voted (paper: 30 s
     /// execution timer, scaled down to simulated seconds).
     pub request_timeout: f64,
-    /// Number of executed requests between checkpoints (paper: 100).
+    /// Number of executed sequences between checkpoints (paper: 100). Once
+    /// a checkpoint is stable at `f + 1` replicas, logs are compacted to it.
     pub checkpoint_period: u64,
+    /// Maximum number of requests the leader packs into one PREPARE
+    /// (`1` = unbatched, the classical per-request pipeline).
+    pub batch_size: usize,
+    /// How long the leader waits for a batch to fill before proposing a
+    /// partial one (seconds; irrelevant when `batch_size` is 1). For full
+    /// batches to form under load this must exceed `batch_size` times the
+    /// per-message processing cost — a smaller window flushes every batch
+    /// before it fills.
+    pub batch_delay: f64,
     /// RNG seed for the network and the cluster.
     pub seed: u64,
 }
@@ -249,32 +375,99 @@ impl Default for MinBftConfig {
             parallel_recoveries: 1,
             network: NetworkConfig::default(),
             processing_time: 0.0008,
+            signature_time: 0.0,
             request_timeout: 0.5,
             checkpoint_period: 100,
+            batch_size: 1,
+            batch_delay: 0.005,
             seed: 1,
         }
     }
 }
 
-struct Replica {
-    id: NodeId,
+/// The knobs the transport-agnostic replica step functions need (derived
+/// from [`MinBftConfig`] by the simulated cluster and from
+/// [`crate::threaded::ThreadedServiceConfig`] by the threaded service).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ProtocolParams {
+    /// Commit/checkpoint quorum parameter (`f + 1` votes commit).
+    pub f: usize,
+    /// Sequences between checkpoints (0 disables checkpoints).
+    pub checkpoint_period: u64,
+    /// Maximum requests per PREPARE.
+    pub batch_size: usize,
+    /// Seconds a partial batch may age before it is flushed.
+    pub batch_delay: f64,
+}
+
+/// Messages produced by one replica step, plus the number of USIG
+/// signatures it created (the cost model input).
+#[derive(Debug, Default)]
+pub(crate) struct StepOutput {
+    /// Point-to-point messages `(destination, message)`.
+    pub outgoing: Vec<(NodeId, Message)>,
+    /// Messages for every other cluster member.
+    pub broadcast: Vec<Message>,
+    /// USIG certificates created during the step.
+    pub created_uis: u32,
+}
+
+impl StepOutput {
+    fn is_empty(&self) -> bool {
+        self.outgoing.is_empty() && self.broadcast.is_empty()
+    }
+
+    /// Sends the step's traffic through a transport.
+    pub(crate) fn flush<T: Transport<Message>>(
+        self,
+        transport: &mut T,
+        from: NodeId,
+        members: &[NodeId],
+    ) {
+        for message in self.broadcast {
+            transport.broadcast(from, members, &message);
+        }
+        for (dest, message) in self.outgoing {
+            transport.send(from, dest, message);
+        }
+    }
+}
+
+/// One MinBFT replica: the transport-agnostic protocol state machine.
+pub(crate) struct Replica {
+    pub(crate) id: NodeId,
     usig: Usig,
     verifier: UsigVerifier,
-    byzantine: ByzantineMode,
-    crashed: bool,
-    view: u64,
-    membership: Vec<NodeId>,
+    pub(crate) byzantine: ByzantineMode,
+    pub(crate) crashed: bool,
+    pub(crate) view: u64,
+    pub(crate) membership: Vec<NodeId>,
     /// The replicated register.
-    value: u64,
-    executed: Vec<Digest>,
-    last_executed: u64,
-    next_sequence: u64,
-    /// Prepared requests by sequence number, with the view in which each
+    pub(crate) value: u64,
+    /// The replicated key-value map.
+    pub(crate) kv: BTreeMap<u32, u64>,
+    /// Retained suffix of the executed-request digest log; entries below
+    /// `log_start` were compacted at the stable checkpoint.
+    pub(crate) executed: Vec<Digest>,
+    /// Absolute index of `executed[0]` in the full (uncompacted) log.
+    pub(crate) log_start: u64,
+    /// Running digest chain over all executed requests since genesis; this
+    /// is what makes state digests comparable between replicas that
+    /// compacted at different checkpoints.
+    pub(crate) log_chain: Digest,
+    /// Highest executed sequence number.
+    pub(crate) last_executed: u64,
+    pub(crate) next_sequence: u64,
+    /// Sequence of the stable checkpoint (everything at or below it is
+    /// compacted: no certificates, no commit votes, no log entries).
+    pub(crate) stable_sequence: u64,
+    /// Prepared batches by sequence number, with the view in which each
     /// PREPARE was accepted (used to pick the freshest certificate during
-    /// view changes).
-    prepared: BTreeMap<u64, (u64, Request)>,
-    /// Commit votes keyed by `(sequence, request digest)`, so votes arriving
-    /// before the corresponding PREPARE are not lost.
+    /// view changes). Pruned below the stable checkpoint.
+    prepared: BTreeMap<u64, (u64, Vec<Request>)>,
+    /// Commit votes keyed by `(sequence, batch digest)`, so votes arriving
+    /// before the corresponding PREPARE are not lost. Pruned below the
+    /// stable checkpoint.
     commit_votes: HashMap<(u64, Digest), HashSet<NodeId>>,
     pending: VecDeque<Request>,
     seen_requests: HashSet<(NodeId, u64)>,
@@ -287,15 +480,21 @@ struct Replica {
     /// Last executed request per client: `(request_id, value, sequence)`.
     /// Re-sent when a client retransmits an already-executed request (its
     /// original REPLY may have been lost) — without this cache a client can
-    /// stall forever on a lossy network.
+    /// stall forever on a lossy network. Because clients issue request ids
+    /// monotonically, this cache also provides the duplicate detection for
+    /// executed requests whose `seen_requests` entries were compacted.
     last_replies: HashMap<NodeId, (u64, u64, u64)>,
     request_first_seen: HashMap<(NodeId, u64), SimTime>,
-    /// Per proposed view: each voter's high-water mark and reported
-    /// prepared certificates (see [`Message::ViewChange`]).
-    #[allow(clippy::type_complexity)]
-    view_change_votes: HashMap<u64, HashMap<NodeId, (u64, Vec<(u64, u64, Request)>)>>,
-    checkpoints: Vec<(u64, Digest)>,
-    needs_state: bool,
+    /// Per proposed view: each voter's high-water mark, stable checkpoint
+    /// and reported prepared certificates (see [`Message::ViewChange`]).
+    view_change_votes: HashMap<u64, HashMap<NodeId, ViewChangeVote>>,
+    /// This replica's own checkpoint announcements:
+    /// `sequence → (log_len, state digest)`. Pruned at compaction.
+    own_checkpoints: BTreeMap<u64, (u64, Digest)>,
+    /// Checkpoint votes from other replicas:
+    /// `sequence → digest → voters`. Pruned at compaction.
+    checkpoint_votes: BTreeMap<u64, HashMap<Digest, HashSet<NodeId>>>,
+    pub(crate) needs_state: bool,
     /// The lowest view this replica may lead. Raised past the current view
     /// when the replica is recovered: a freshly recovered replica must not
     /// resume proposing under its old leadership (its adopted state may lag
@@ -304,7 +503,7 @@ struct Replica {
     /// high-water marks bound the frontier.
     min_lead_view: u64,
     /// The configuration epoch (bumped by every JOIN/EVICT).
-    epoch: u64,
+    pub(crate) epoch: u64,
     /// The highest view this replica has broadcast a view-change vote for.
     /// After voting, the replica abandons its current view — it neither
     /// proposes nor accepts PREPAREs/COMMITs until a view ≥ `voted_view` is
@@ -319,7 +518,12 @@ struct Replica {
 }
 
 impl Replica {
-    fn new(id: NodeId, membership: Vec<NodeId>, directory: KeyDirectory, seed: u64) -> Self {
+    pub(crate) fn new(
+        id: NodeId,
+        membership: Vec<NodeId>,
+        directory: KeyDirectory,
+        seed: u64,
+    ) -> Self {
         let keys = KeyPair::derive(id, seed);
         Replica {
             id,
@@ -330,9 +534,13 @@ impl Replica {
             view: 0,
             membership,
             value: 0,
+            kv: BTreeMap::new(),
             executed: Vec::new(),
+            log_start: 0,
+            log_chain: digest(b"minbft-genesis"),
             last_executed: 0,
             next_sequence: 1,
+            stable_sequence: 0,
             prepared: BTreeMap::new(),
             commit_votes: HashMap::new(),
             pending: VecDeque::new(),
@@ -341,7 +549,8 @@ impl Replica {
             last_replies: HashMap::new(),
             request_first_seen: HashMap::new(),
             view_change_votes: HashMap::new(),
-            checkpoints: Vec::new(),
+            own_checkpoints: BTreeMap::new(),
+            checkpoint_votes: BTreeMap::new(),
             needs_state: false,
             min_lead_view: 0,
             epoch: 0,
@@ -386,13 +595,771 @@ impl Replica {
         self.leader() == self.id
     }
 
+    /// Absolute number of executed requests (compacted prefix included).
+    pub(crate) fn executed_len(&self) -> u64 {
+        self.log_start + self.executed.len() as u64
+    }
+
     fn state_digest(&self) -> Digest {
-        let mut bytes = Vec::with_capacity(8 + self.executed.len() * 8);
+        let mut bytes = Vec::with_capacity(8 + self.kv.len() * 12);
         bytes.extend_from_slice(&self.value.to_le_bytes());
-        for d in &self.executed {
-            bytes.extend_from_slice(&d.0.to_le_bytes());
+        for (key, value) in &self.kv {
+            bytes.extend_from_slice(&key.to_le_bytes());
+            bytes.extend_from_slice(&value.to_le_bytes());
         }
-        digest(&bytes)
+        combine(self.log_chain, digest(&bytes))
+    }
+
+    /// Compacts the log at a stable checkpoint: truncates the executed
+    /// prefix below `log_len` and prunes every sequence-indexed structure at
+    /// or below `sequence`. Bounds the replica's memory (the satellite-1
+    /// requirement) while state transfer keeps compacted history reachable.
+    fn compact_to(&mut self, sequence: u64, log_len: u64) {
+        if sequence <= self.stable_sequence || sequence > self.last_executed {
+            return;
+        }
+        if log_len < self.log_start || log_len > self.executed_len() {
+            return;
+        }
+        self.executed.drain(..(log_len - self.log_start) as usize);
+        self.log_start = log_len;
+        self.stable_sequence = sequence;
+        self.prepared.retain(|&s, _| s > sequence);
+        self.commit_votes.retain(|&(s, _), _| s > sequence);
+        self.own_checkpoints.retain(|&s, _| s > sequence);
+        self.checkpoint_votes.retain(|&s, _| s > sequence);
+        // Executed-duplicate detection moves from `seen_requests` to the
+        // per-client reply cache (ids are monotonic per client).
+        let replies = &self.last_replies;
+        self.seen_requests.retain(|&(client, id)| {
+            replies
+                .get(&client)
+                .is_none_or(|&(last_id, _, _)| id > last_id)
+        });
+    }
+
+    /// Stabilizes the checkpoint at `sequence` if `f + 1` replicas
+    /// (including this one) announced the same state digest for it.
+    fn try_stabilize_checkpoint(&mut self, sequence: u64, f: usize) {
+        let Some(&(log_len, own_digest)) = self.own_checkpoints.get(&sequence) else {
+            return;
+        };
+        let others = self
+            .checkpoint_votes
+            .get(&sequence)
+            .and_then(|per_digest| per_digest.get(&own_digest))
+            .map(|voters| voters.len())
+            .unwrap_or(0);
+        if others + 1 > f {
+            self.compact_to(sequence, log_len);
+        }
+    }
+}
+
+/// The high-water mark a replica reports in view changes: the highest
+/// sequence number it has executed or prepared.
+fn replica_high_sequence(replica: &Replica) -> u64 {
+    let prepared_max = replica.prepared.keys().next_back().copied().unwrap_or(0);
+    replica.last_executed.max(prepared_max)
+}
+
+/// The certificate transfer a replica attaches to a view-change vote: all
+/// its retained prepared entries. Entries the voter has itself executed are
+/// included too — a new leader that lags behind the voter needs exactly
+/// those to re-propose the executed batches at their original sequence
+/// numbers instead of no-op-filling them. (Entries below the stable
+/// checkpoint are compacted; a leader that would need them is barred from
+/// leading and re-acquires state by transfer instead.)
+fn prepared_report(replica: &Replica) -> Vec<PreparedCertificate> {
+    replica
+        .prepared
+        .iter()
+        .map(|(&sequence, (view, batch))| (sequence, *view, batch.clone()))
+        .collect()
+}
+
+/// The state-transfer message a donor builds from its current state (shared
+/// by the cluster's push-based recovery transfer and the pull-based
+/// [`Message::StateRequest`] path).
+fn state_transfer_message(replica: &Replica) -> Message {
+    let mut replies: Vec<(NodeId, u64, u64, u64)> = replica
+        .last_replies
+        .iter()
+        .map(|(&client, &(id, value, sequence))| (client, id, value, sequence))
+        .collect();
+    replies.sort_unstable();
+    Message::StateTransfer {
+        epoch: replica.epoch,
+        value: replica.value,
+        kv: replica.kv.iter().map(|(&k, &v)| (k, v)).collect(),
+        log_start: replica.log_start,
+        last_executed: replica.last_executed,
+        log_chain: replica.log_chain,
+        stable_sequence: replica.stable_sequence,
+        executed: replica.executed.clone(),
+        view: replica.view,
+        membership: replica.membership.clone(),
+        replies,
+        prepared: prepared_report(replica),
+    }
+}
+
+/// Leader-side proposal: assigns the next sequence number to the batch,
+/// certifies it with one USIG signature and records the leader's own commit
+/// vote.
+fn propose_batch(replica: &mut Replica, requests: Vec<Request>, out: &mut StepOutput) {
+    let requests: Vec<Request> = requests
+        .into_iter()
+        .filter(|r| !replica.seen_requests.contains(&(r.client, r.id)))
+        .collect();
+    if requests.is_empty() {
+        return;
+    }
+    let sequence = replica.next_sequence;
+    replica.next_sequence += 1;
+    for request in &requests {
+        let key = (request.client, request.id);
+        replica.seen_requests.insert(key);
+        replica.proposed.insert(key, sequence);
+    }
+    let digest = batch_digest(&requests);
+    let ui = replica.usig.create_ui(digest);
+    out.created_uis += 1;
+    replica
+        .prepared
+        .insert(sequence, (replica.view, requests.clone()));
+    // The leader's PREPARE counts as its COMMIT vote.
+    replica
+        .commit_votes
+        .entry((sequence, digest))
+        .or_default()
+        .insert(replica.id);
+    out.broadcast.push(Message::Prepare {
+        view: replica.view,
+        sequence,
+        requests,
+        ui,
+    });
+}
+
+/// Proposes every full batch the leader has accumulated.
+fn flush_full_batches(replica: &mut Replica, params: &ProtocolParams, out: &mut StepOutput) {
+    while replica.may_lead() && replica.pending.len() >= params.batch_size.max(1) {
+        let batch: Vec<Request> = replica.pending.drain(..params.batch_size.max(1)).collect();
+        propose_batch(replica, batch, out);
+    }
+}
+
+/// Proposes a partial batch whose oldest request has waited at least
+/// `batch_delay` (so light load never stalls behind the batch-fill
+/// condition). Called from the timeout path of both drivers.
+pub(crate) fn flush_stale_batch(
+    replica: &mut Replica,
+    now: SimTime,
+    params: &ProtocolParams,
+    out: &mut StepOutput,
+) {
+    if params.batch_size <= 1 || !replica.may_lead() || replica.pending.is_empty() {
+        return;
+    }
+    let oldest = replica
+        .pending
+        .iter()
+        .filter_map(|r| replica.request_first_seen.get(&(r.client, r.id)).copied())
+        .fold(f64::INFINITY, f64::min);
+    // The comparison must be the exact expression `batch_flush_deadline`
+    // returns: testing `now - oldest < delay` instead can disagree by one
+    // ulp after the event loop advances the clock to `oldest + delay`, and
+    // the flush would never fire (a livelock).
+    if oldest.is_finite() && now < oldest + params.batch_delay {
+        return;
+    }
+    while !replica.pending.is_empty() {
+        let take = replica.pending.len().min(params.batch_size.max(1));
+        let batch: Vec<Request> = replica.pending.drain(..take).collect();
+        propose_batch(replica, batch, out);
+    }
+}
+
+/// The earliest simulated time at which this replica holds a partial batch
+/// that [`flush_stale_batch`] would flush (`None` when nothing is pending).
+fn batch_flush_deadline(
+    replica: &Replica,
+    params: &ProtocolParams,
+    now: SimTime,
+) -> Option<SimTime> {
+    if params.batch_size <= 1
+        || replica.crashed
+        || replica.byzantine == ByzantineMode::Silent
+        || !replica.may_lead()
+        || replica.pending.is_empty()
+    {
+        return None;
+    }
+    let oldest = replica
+        .pending
+        .iter()
+        .filter_map(|r| replica.request_first_seen.get(&(r.client, r.id)).copied())
+        .fold(f64::INFINITY, f64::min);
+    Some(if oldest.is_finite() {
+        oldest + params.batch_delay
+    } else {
+        now
+    })
+}
+
+/// Votes for a view change if any request this replica has seen stalled for
+/// longer than `timeout`. Returns the vote to broadcast (the caller counts
+/// and sends it). Shared by the simulated cluster's timeout sweep and the
+/// threaded replica loop.
+pub(crate) fn stall_vote(replica: &mut Replica, now: SimTime, timeout: f64) -> Option<Message> {
+    if replica.crashed || replica.byzantine == ByzantineMode::Silent || replica.needs_state {
+        return None;
+    }
+    // Canonical deadline form `now >= first_seen + timeout`: the event
+    // loop advances the clock to exactly this expression when the network
+    // is idle, so the comparison must match it ulp-for-ulp.
+    let stalled = replica
+        .request_first_seen
+        .values()
+        .any(|&first_seen| now >= first_seen + timeout);
+    if !stalled {
+        return None;
+    }
+    // Vote for the highest view anyone has proposed (not just view + 1):
+    // voting `own view + 1` fragments the ballots across views when
+    // replicas disagree on the current view, and no proposal ever reaches
+    // quorum.
+    let highest_proposed = replica.view_change_votes.keys().copied().max().unwrap_or(0);
+    let new_view = (replica.view + 1).max(highest_proposed);
+    replica.voted_view = replica.voted_view.max(new_view);
+    replica.request_first_seen.clear();
+    Some(Message::ViewChange {
+        epoch: replica.epoch,
+        new_view,
+        high_sequence: replica_high_sequence(replica),
+        stable_sequence: replica.stable_sequence,
+        prepared: prepared_report(replica),
+    })
+}
+
+fn handle_request(
+    replica: &mut Replica,
+    request: Request,
+    time: SimTime,
+    params: &ProtocolParams,
+    out: &mut StepOutput,
+) {
+    let key = (request.client, request.id);
+    // Executed-duplicate detection via the per-client reply cache (survives
+    // checkpoint compaction of `seen_requests`): a retransmission of the
+    // last executed request gets its REPLY re-sent, older ones are dropped.
+    if let Some(&(last_id, value, sequence)) = replica.last_replies.get(&request.client) {
+        if request.id < last_id {
+            return;
+        }
+        if request.id == last_id {
+            out.outgoing.push((
+                request.client,
+                Message::Reply {
+                    request_id: last_id,
+                    value,
+                    sequence,
+                },
+            ));
+            return;
+        }
+    }
+    if replica.seen_requests.contains(&key) {
+        // Already sequenced; the REPLY follows once the batch commits.
+        return;
+    }
+    replica.request_first_seen.entry(key).or_insert(time);
+    if replica.may_lead() {
+        if params.batch_size <= 1 {
+            propose_batch(replica, vec![request], out);
+        } else {
+            if !replica.pending.contains(&request) {
+                replica.pending.push_back(request);
+            }
+            flush_full_batches(replica, params, out);
+        }
+    } else if !replica.pending.contains(&request) {
+        replica.pending.push_back(request);
+    }
+}
+
+fn handle_prepare(
+    replica: &mut Replica,
+    from: NodeId,
+    view: u64,
+    sequence: u64,
+    requests: Vec<Request>,
+    ui: UniqueIdentifier,
+    out: &mut StepOutput,
+) {
+    // A replica awaiting its state transfer must not participate: its log
+    // and sequence counter are meaningless, so a COMMIT vote from it could
+    // help a quorum re-execute an old sequence number (recovery amnesia).
+    if view != replica.view
+        || from != replica.leader()
+        || !replica.in_current_view()
+        || replica.needs_state
+    {
+        return;
+    }
+    // The USIG certificate must be valid and fresh (prevents equivocation and
+    // replays; reordering across sequence numbers is tolerated). One
+    // verification covers the whole batch.
+    let digest = batch_digest(&requests);
+    if !replica.verifier.accept_unordered(digest, &ui) {
+        return;
+    }
+    for request in &requests {
+        replica
+            .request_first_seen
+            .remove(&(request.client, request.id));
+    }
+    replica.prepared.insert(sequence, (view, requests));
+    let votes = replica.commit_votes.entry((sequence, digest)).or_default();
+    votes.insert(from);
+    votes.insert(replica.id);
+    let own_ui = replica.usig.create_ui(digest);
+    out.created_uis += 1;
+    out.broadcast.push(Message::Commit {
+        view,
+        sequence,
+        batch_digest: digest,
+        ui: own_ui,
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_commit(
+    replica: &mut Replica,
+    from: NodeId,
+    view: u64,
+    sequence: u64,
+    batch_digest: Digest,
+    ui: UniqueIdentifier,
+    params: &ProtocolParams,
+    out: &mut StepOutput,
+    trace: &mut Vec<CommitRecord>,
+) {
+    if view != replica.view || !replica.in_current_view() {
+        return;
+    }
+    // Verify the certificate; the vote is recorded even if the PREPARE has
+    // not arrived yet (it only becomes effective once the matching batch is
+    // prepared).
+    if !replica.verifier.verify_certificate(batch_digest, &ui) {
+        return;
+    }
+    replica
+        .commit_votes
+        .entry((sequence, batch_digest))
+        .or_default()
+        .insert(from);
+    execute_ready(replica, params, out, trace);
+}
+
+/// Executes all consecutive sequence numbers whose commit quorum (f + 1
+/// votes on the prepared batch's digest) has been reached: every request of
+/// the batch is applied and answered, checkpoints fire on period multiples.
+fn execute_ready(
+    replica: &mut Replica,
+    params: &ProtocolParams,
+    out: &mut StepOutput,
+    trace: &mut Vec<CommitRecord>,
+) {
+    // No execution before the state transfer lands: an amnesiac replica
+    // would re-execute from sequence 1.
+    if replica.needs_state {
+        return;
+    }
+    loop {
+        let next = replica.last_executed + 1;
+        let Some((_, batch)) = replica.prepared.get(&next).cloned() else {
+            break;
+        };
+        let quorum_met = replica
+            .commit_votes
+            .get(&(next, batch_digest(&batch)))
+            .map(|votes| votes.len() > params.f)
+            .unwrap_or(false);
+        if !quorum_met {
+            break;
+        }
+        // Execute every request of the batch, in batch order.
+        let mut executed_digests: Vec<Digest> = Vec::with_capacity(batch.len());
+        for request in &batch {
+            let reply_value = match request.operation {
+                Operation::Read => replica.value,
+                Operation::Write(v) => {
+                    replica.value = v;
+                    v
+                }
+                Operation::Put { key, value } => {
+                    replica.kv.insert(key, value);
+                    value
+                }
+                Operation::Get { key } => replica.kv.get(&key).copied().unwrap_or(0),
+            };
+            let executed_digest = if replica.corrupt_execution {
+                // Injected implementation bug: the replica diverges from the
+                // agreed operation (see `MinBftCluster::inject_double_commit`).
+                combine(request.digest(), digest(b"corrupted-execution"))
+            } else {
+                request.digest()
+            };
+            replica.executed.push(executed_digest);
+            replica.log_chain = combine(replica.log_chain, executed_digest);
+            executed_digests.push(executed_digest);
+            let key = (request.client, request.id);
+            replica.seen_requests.insert(key);
+            replica.proposed.remove(&key);
+            replica.request_first_seen.remove(&key);
+            replica
+                .last_replies
+                .insert(request.client, (request.id, reply_value, next));
+            out.outgoing.push((
+                request.client,
+                Message::Reply {
+                    request_id: request.id,
+                    value: reply_value,
+                    sequence: next,
+                },
+            ));
+        }
+        // Requests that executed through this batch are no longer pending
+        // anywhere on this replica (non-leaders park requests in `pending`
+        // for re-proposal after view changes; without this prune the queue
+        // grows without bound).
+        if !replica.pending.is_empty() {
+            let seen = &replica.seen_requests;
+            replica
+                .pending
+                .retain(|r| !seen.contains(&(r.client, r.id)));
+        }
+        let trace_digest = match executed_digests.as_slice() {
+            [single] => *single,
+            many => many
+                .iter()
+                .fold(batch_digest(&[]), |acc, &d| combine(acc, d)),
+        };
+        trace.push(CommitRecord {
+            replica: replica.id,
+            view: replica.view,
+            sequence: next,
+            digest: trace_digest,
+        });
+        replica.last_executed = next;
+        if params.checkpoint_period > 0 && next.is_multiple_of(params.checkpoint_period) {
+            let state_digest = replica.state_digest();
+            let log_len = replica.executed_len();
+            replica
+                .own_checkpoints
+                .insert(next, (log_len, state_digest));
+            out.broadcast.push(Message::Checkpoint {
+                sequence: next,
+                log_len,
+                state_digest,
+            });
+            // Votes may already have arrived from faster replicas.
+            replica.try_stabilize_checkpoint(next, params.f);
+        }
+    }
+}
+
+/// Handles one protocol message at one replica: the transport-agnostic step
+/// function shared by the simulated cluster and the threaded service. The
+/// caller is responsible for gating crashed/silent replicas and for routing
+/// `out` through its transport.
+pub(crate) fn replica_on_message(
+    replica: &mut Replica,
+    from: NodeId,
+    message: Message,
+    time: SimTime,
+    params: &ProtocolParams,
+    trace: &mut Vec<CommitRecord>,
+    out: &mut StepOutput,
+) {
+    match message {
+        Message::Request(request) => {
+            handle_request(replica, request, time, params, out);
+        }
+        Message::Prepare {
+            view,
+            sequence,
+            requests,
+            ui,
+        } => {
+            handle_prepare(replica, from, view, sequence, requests, ui, out);
+            // Commit votes may already have arrived for this sequence.
+            execute_ready(replica, params, out, trace);
+        }
+        Message::Commit {
+            view,
+            sequence,
+            batch_digest,
+            ui,
+        } => {
+            handle_commit(
+                replica,
+                from,
+                view,
+                sequence,
+                batch_digest,
+                ui,
+                params,
+                out,
+                trace,
+            );
+        }
+        Message::Checkpoint {
+            sequence,
+            log_len: _,
+            state_digest,
+        } => {
+            // Only the *own* log length matters for truncation; a vote's
+            // digest either matches this replica's state at the sequence or
+            // it does not count.
+            if sequence > replica.stable_sequence {
+                replica
+                    .checkpoint_votes
+                    .entry(sequence)
+                    .or_default()
+                    .entry(state_digest)
+                    .or_default()
+                    .insert(from);
+                replica.try_stabilize_checkpoint(sequence, params.f);
+            }
+        }
+        Message::ViewChange {
+            epoch,
+            new_view,
+            high_sequence,
+            stable_sequence,
+            prepared,
+        } => {
+            if epoch == replica.epoch && new_view > replica.view {
+                let own_high = replica_high_sequence(replica);
+                let own_stable = replica.stable_sequence;
+                // A replica awaiting its state transfer must not join the
+                // quorum: its high-water mark is meaningless, and counting
+                // it would break the intersection with the commit quorums.
+                // Its certificate report — a deep clone of every retained
+                // batch — is only built when the vote is actually cast.
+                let own_prepared = (!replica.needs_state).then(|| prepared_report(replica));
+                let votes = replica.view_change_votes.entry(new_view).or_default();
+                votes.insert(from, (high_sequence, stable_sequence, prepared));
+                if let Some(own_prepared) = own_prepared {
+                    votes.insert(replica.id, (own_high, own_stable, own_prepared));
+                }
+                // The quorum must intersect every commit quorum (f + 1
+                // votes), so a sequence number executed by *any* replica is
+                // reflected in some voter's high-water mark: n - f voters
+                // are required (computed over the replica's own membership
+                // view, which may briefly differ from the cluster's during
+                // a reconfiguration).
+                let n = replica.membership.len();
+                let quorum = n.saturating_sub(crate::hybrid_fault_threshold(n, 0)).max(1);
+                if votes.len() >= quorum {
+                    let max_high = votes.values().map(|&(high, _, _)| high).max().unwrap_or(0);
+                    let quorum_stable = votes
+                        .values()
+                        .map(|&(_, stable, _)| stable)
+                        .max()
+                        .unwrap_or(0);
+                    // Freshest reported certificate per sequence (highest
+                    // view wins; within one view a leader assigns each
+                    // sequence at most once, so ties agree).
+                    let mut certificates: BTreeMap<u64, (u64, Vec<Request>)> = BTreeMap::new();
+                    for (_, _, reported) in votes.values() {
+                        for (sequence, view, batch) in reported {
+                            match certificates.get(sequence) {
+                                Some(&(v, _)) if v >= *view => {}
+                                _ => {
+                                    certificates.insert(*sequence, (*view, batch.clone()));
+                                }
+                            }
+                        }
+                    }
+                    replica.view = new_view;
+                    replica.forget_unexecuted_proposals();
+                    // Ballots for installed views are dead weight.
+                    replica.view_change_votes.retain(|&v, _| v > new_view);
+                    // Echo the ballot: stragglers (including the view's
+                    // leader, which may still be in an older view) only
+                    // learn about the quorum through votes, and without the
+                    // echo two camps can rotate views forever with every new
+                    // leader one view behind.
+                    out.broadcast.push(Message::ViewChange {
+                        epoch: replica.epoch,
+                        new_view,
+                        high_sequence: own_high,
+                        stable_sequence: own_stable,
+                        prepared: prepared_report(replica),
+                    });
+                    // Compacted history is only reachable through state
+                    // transfer: a replica whose execution frontier lies
+                    // below the quorum's stable checkpoint cannot replay the
+                    // missing batches from certificates (their holders
+                    // pruned them), so it re-acquires state by pull instead
+                    // of executing a gap-filled (and diverging) log.
+                    if replica.last_executed < quorum_stable {
+                        replica.needs_state = true;
+                        out.broadcast.push(Message::StateRequest {
+                            epoch: replica.epoch,
+                        });
+                    }
+                    // Prepared entries and commit votes survive the view
+                    // change (they are keyed by sequence and digest, and
+                    // USIG certificates cannot be forged): clearing them
+                    // would lose in-flight quorums and stall the replicas
+                    // that missed the executions.
+                    if replica.may_lead() {
+                        let next_sequence = max_high.max(own_high) + 1;
+                        replica.next_sequence = next_sequence;
+                        out.broadcast.push(Message::NewView {
+                            epoch: replica.epoch,
+                            view: new_view,
+                            membership: replica.membership.clone(),
+                            next_sequence,
+                        });
+                        // Fill the range up to the quorum's high-water mark
+                        // from the freshest reported certificates (own
+                        // prepared entries are part of the ballot); a
+                        // sequence no voter holds a certificate for cannot
+                        // have executed anywhere and becomes an *empty
+                        // batch* — otherwise consecutive execution would
+                        // stall at the gap forever.
+                        for sequence in (replica.last_executed + 1)..next_sequence {
+                            let batch = certificates
+                                .get(&sequence)
+                                .map(|(_, batch)| batch.clone())
+                                .unwrap_or_default();
+                            replica.prepared.insert(sequence, (new_view, batch.clone()));
+                            // Mark the requests as sequenced so the backlog
+                            // below does not re-propose them at a second
+                            // sequence number.
+                            for request in &batch {
+                                let key = (request.client, request.id);
+                                replica.seen_requests.insert(key);
+                                replica.proposed.insert(key, sequence);
+                            }
+                            let digest = batch_digest(&batch);
+                            let ui = replica.usig.create_ui(digest);
+                            out.created_uis += 1;
+                            replica
+                                .commit_votes
+                                .entry((sequence, digest))
+                                .or_default()
+                                .insert(replica.id);
+                            out.broadcast.push(Message::Prepare {
+                                view: new_view,
+                                sequence,
+                                requests: batch,
+                                ui,
+                            });
+                        }
+                        // Re-propose requests the old leader never
+                        // sequenced, in batch-sized chunks.
+                        let backlog: Vec<Request> = {
+                            let seen = &replica.seen_requests;
+                            let drained: Vec<Request> = replica.pending.drain(..).collect();
+                            drained
+                                .into_iter()
+                                .filter(|r| !seen.contains(&(r.client, r.id)))
+                                .collect()
+                        };
+                        for chunk in backlog.chunks(params.batch_size.max(1)) {
+                            propose_batch(replica, chunk.to_vec(), out);
+                        }
+                    }
+                }
+            }
+        }
+        Message::NewView {
+            epoch,
+            view,
+            membership,
+            next_sequence,
+        } => {
+            if epoch == replica.epoch && view >= replica.view {
+                replica.view = view;
+                replica.membership = membership;
+                replica.next_sequence = next_sequence.max(replica.next_sequence);
+                replica.request_first_seen.clear();
+                replica.forget_unexecuted_proposals();
+            }
+        }
+        Message::StateRequest { epoch } => {
+            // Pull-based transfer for lagging replicas; amnesia must not
+            // spread, so only replicas that hold state donate.
+            if epoch == replica.epoch && !replica.needs_state {
+                out.outgoing.push((from, state_transfer_message(replica)));
+            }
+        }
+        Message::StateTransfer {
+            epoch,
+            value,
+            kv,
+            log_start,
+            last_executed,
+            log_chain,
+            stable_sequence,
+            executed,
+            view,
+            membership,
+            replies,
+            prepared,
+        } => {
+            if epoch == replica.epoch
+                && replica.needs_state
+                && last_executed >= replica.last_executed
+            {
+                for (sequence, cert_view, batch) in prepared {
+                    match replica.prepared.get(&sequence) {
+                        Some(&(v, _)) if v >= cert_view => {}
+                        _ => {
+                            replica.prepared.insert(sequence, (cert_view, batch));
+                        }
+                    }
+                }
+                replica.value = value;
+                replica.kv = kv.into_iter().collect();
+                replica.executed = executed;
+                replica.log_start = log_start;
+                replica.log_chain = log_chain;
+                replica.last_executed = last_executed;
+                replica.stable_sequence = stable_sequence;
+                replica.view = view.max(replica.view);
+                // Adopting the donor's (possibly much higher) view must not
+                // re-open leadership: a recovered replica may only lead a
+                // view acquired through a view-change quorum, whose ballots
+                // bound its sequence counter.
+                replica.min_lead_view = replica.min_lead_view.max(replica.view + 1);
+                replica.membership = membership;
+                replica.next_sequence = replica.last_executed + 1;
+                // Anything below the adopted stable checkpoint is compacted
+                // history on the donor too.
+                replica.prepared.retain(|&s, _| s > stable_sequence);
+                replica
+                    .commit_votes
+                    .retain(|&(s, _), _| s > stable_sequence);
+                replica.own_checkpoints.clear();
+                replica.checkpoint_votes.retain(|&s, _| s > stable_sequence);
+                for (client, request_id, reply_value, sequence) in replies {
+                    replica
+                        .last_replies
+                        .insert(client, (request_id, reply_value, sequence));
+                    replica.seen_requests.insert((client, request_id));
+                }
+                replica.needs_state = false;
+            }
+        }
+        Message::Reply { .. } => {}
     }
 }
 
@@ -406,6 +1373,9 @@ struct ClientState {
     completed: u64,
     latencies: Vec<f64>,
     closed_loop: bool,
+    /// The client's operation generator (closed-loop resubmission draws
+    /// from it; `None` falls back to the legacy register-write stream).
+    op_stream: Option<OpStream>,
 }
 
 /// A report of a throughput run (Fig. 10).
@@ -423,6 +1393,26 @@ pub struct ThroughputReport {
     pub requests_per_second: f64,
     /// Mean request latency in seconds.
     pub mean_latency: f64,
+}
+
+/// Bounded-memory accounting of one replica's retained protocol state (the
+/// structures checkpoint compaction prunes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RetainedStats {
+    /// Absolute index of the first retained executed-log entry.
+    pub log_start: u64,
+    /// Retained executed-log entries (suffix since the stable checkpoint).
+    pub retained_log: usize,
+    /// Retained prepared certificates.
+    pub prepared: usize,
+    /// Retained commit-vote entries.
+    pub commit_votes: usize,
+    /// Retained checkpoint ballots (own + others).
+    pub checkpoint_votes: usize,
+    /// Parked requests awaiting proposal or re-proposal.
+    pub pending: usize,
+    /// Retained request-dedup markers.
+    pub seen_requests: usize,
 }
 
 /// A simulated MinBFT cluster: replicas, clients, the network and the event
@@ -444,7 +1434,7 @@ pub struct MinBftCluster {
 }
 
 /// Client node identifiers start here to keep them disjoint from replicas.
-const CLIENT_ID_BASE: NodeId = 10_000;
+pub(crate) const CLIENT_ID_BASE: NodeId = 10_000;
 
 impl MinBftCluster {
     /// Creates a cluster with `config.initial_replicas` replicas and no
@@ -472,7 +1462,7 @@ impl MinBftCluster {
                 )
             })
             .collect();
-        let network = SimNetwork::new(config.network);
+        let network = SimNetwork::new(config.network, config.seed);
         let rng = StdRng::seed_from_u64(config.seed);
         let next_node_id = config.initial_replicas as NodeId;
         MinBftCluster {
@@ -488,6 +1478,16 @@ impl MinBftCluster {
             view_changes: 0,
             epoch: 0,
             commit_trace: Vec::new(),
+        }
+    }
+
+    /// The protocol knobs handed to the shared replica step functions.
+    fn protocol_params(&self) -> ProtocolParams {
+        ProtocolParams {
+            f: hybrid_fault_threshold(self.membership.len(), 0),
+            checkpoint_period: self.config.checkpoint_period,
+            batch_size: self.config.batch_size.max(1),
+            batch_delay: self.config.batch_delay,
         }
     }
 
@@ -522,9 +1522,43 @@ impl MinBftCluster {
         &self.commit_trace
     }
 
-    /// The executed-request digest log of a replica.
+    /// The *retained* executed-request digest log of a replica (the suffix
+    /// since its stable checkpoint; see [`MinBftCluster::executed_log_start`]
+    /// for its absolute offset).
     pub fn executed_log(&self, replica: NodeId) -> Option<&[Digest]> {
         self.replicas.get(&replica).map(|r| r.executed.as_slice())
+    }
+
+    /// Absolute index of the first retained executed-log entry of a replica
+    /// (requests below it were compacted at the stable checkpoint).
+    pub fn executed_log_start(&self, replica: NodeId) -> Option<u64> {
+        self.replicas.get(&replica).map(|r| r.log_start)
+    }
+
+    /// Absolute number of requests a replica has executed (compacted prefix
+    /// included).
+    pub fn executed_len(&self, replica: NodeId) -> Option<u64> {
+        self.replicas.get(&replica).map(|r| r.executed_len())
+    }
+
+    /// The stable-checkpoint sequence of a replica (0 before the first
+    /// compaction).
+    pub fn stable_checkpoint(&self, replica: NodeId) -> Option<u64> {
+        self.replicas.get(&replica).map(|r| r.stable_sequence)
+    }
+
+    /// Sizes of the retained (compaction-bounded) protocol structures of a
+    /// replica.
+    pub fn retained_stats(&self, replica: NodeId) -> Option<RetainedStats> {
+        self.replicas.get(&replica).map(|r| RetainedStats {
+            log_start: r.log_start,
+            retained_log: r.executed.len(),
+            prepared: r.prepared.len(),
+            commit_votes: r.commit_votes.len(),
+            checkpoint_votes: r.own_checkpoints.len() + r.checkpoint_votes.len(),
+            pending: r.pending.len(),
+            seen_requests: r.seen_requests.len(),
+        })
     }
 
     /// The Byzantine mode a replica currently runs with.
@@ -561,13 +1595,15 @@ impl MinBftCluster {
         };
         format!(
             "replica {replica}: view {} voted {} min_lead {} epoch {} last_exec {} next_seq {} \
-             pending {} first_seen {} prepared {} vc_votes {:?}",
+             stable {} log_start {} pending {} first_seen {} prepared {} vc_votes {:?}",
             r.view,
             r.voted_view,
             r.min_lead_view,
             r.epoch,
             r.last_executed,
             r.next_sequence,
+            r.stable_sequence,
+            r.log_start,
             r.pending.len(),
             r.request_first_seen.len(),
             r.prepared.len(),
@@ -648,6 +1684,7 @@ impl MinBftCluster {
                 completed: 0,
                 latencies: Vec::new(),
                 closed_loop: false,
+                op_stream: None,
             },
         );
         id
@@ -660,6 +1697,7 @@ impl MinBftCluster {
     ///
     /// Panics if the client is unknown or already has an outstanding request.
     pub fn submit(&mut self, client: NodeId, operation: Operation) -> Request {
+        let now = self.network.now();
         let request = {
             let state = self.clients.get_mut(&client).expect("unknown client");
             assert!(
@@ -672,16 +1710,12 @@ impl MinBftCluster {
                 operation,
             };
             state.next_request_id += 1;
-            state.outstanding = Some((request, HashMap::new(), 0.0));
+            state.outstanding = Some((request, HashMap::new(), now));
             request
         };
-        let now = self.network.now();
-        if let Some((_, _, started)) = &mut self.clients.get_mut(&client).unwrap().outstanding {
-            *started = now;
-        }
         let members = self.membership.clone();
         self.network
-            .broadcast(client, &members, &Message::Request(request), &mut self.rng);
+            .broadcast(client, &members, &Message::Request(request));
         request
     }
 
@@ -767,25 +1801,8 @@ impl MinBftCluster {
             })
             .max_by_key(|&id| (self.replicas[&id].last_executed, std::cmp::Reverse(id)));
         if let Some(donor) = donor {
-            let state = {
-                let r = &self.replicas[&donor];
-                let mut replies: Vec<(NodeId, u64, u64, u64)> = r
-                    .last_replies
-                    .iter()
-                    .map(|(&client, &(id, value, sequence))| (client, id, value, sequence))
-                    .collect();
-                replies.sort_unstable();
-                Message::StateTransfer {
-                    epoch: r.epoch,
-                    value: r.value,
-                    executed: r.executed.clone(),
-                    view: r.view,
-                    membership: r.membership.clone(),
-                    replies,
-                    prepared: prepared_report(r),
-                }
-            };
-            self.network.send(donor, recipient, state, &mut self.rng);
+            let state = state_transfer_message(&self.replicas[&donor]);
+            self.network.send(donor, recipient, state);
         }
     }
 
@@ -829,6 +1846,7 @@ impl MinBftCluster {
         new_replica.needs_state = true;
         new_replica.epoch = self.epoch;
         self.replicas.insert(id, new_replica);
+        self.sync_lagging_replicas();
         self.reconfiguration_view_change();
         // State transfer to the newcomer, from the most up-to-date donor.
         self.send_state_transfer(id);
@@ -850,8 +1868,51 @@ impl MinBftCluster {
             r.view_change_votes.clear();
             r.epoch = self.epoch;
         }
+        self.sync_lagging_replicas();
         self.reconfiguration_view_change();
         self.view_changes += 1;
+    }
+
+    /// The reconfiguration state barrier: every live replica whose execution
+    /// frontier lags the cluster's is forced through a state sync
+    /// (`needs_state` + transfer) before the new epoch's first view change.
+    ///
+    /// Without this, resizing the membership can break quorum intersection
+    /// with *old-configuration* commit quorums: a batch committed by `f + 1`
+    /// replicas of the old membership may, after an EVICT, be certified by
+    /// too few survivors to appear in every new-configuration view-change
+    /// ballot — a ballot formed entirely by laggards would then gap-fill the
+    /// committed sequences with no-ops and re-assign their requests
+    /// (cross-configuration split brain; found by the simnet chaos sweep).
+    /// Barring laggards from ballots until they adopt the frontier restores
+    /// the intersection argument: every participating voter's
+    /// `last_executed` covers all compacted-or-committed history, so gap
+    /// filling can only hit sequences no replica executed.
+    fn sync_lagging_replicas(&mut self) {
+        let frontier = self
+            .membership
+            .iter()
+            .filter_map(|id| self.replicas.get(id))
+            .filter(|r| !r.crashed && !r.needs_state)
+            .map(|r| r.last_executed)
+            .max()
+            .unwrap_or(0);
+        let laggards: Vec<NodeId> = self
+            .membership
+            .iter()
+            .copied()
+            .filter(|id| {
+                self.replicas
+                    .get(id)
+                    .is_some_and(|r| !r.crashed && !r.needs_state && r.last_executed < frontier)
+            })
+            .collect();
+        for id in laggards {
+            if let Some(r) = self.replicas.get_mut(&id) {
+                r.needs_state = true;
+            }
+            self.send_state_transfer(id);
+        }
     }
 
     /// Hands leadership over through an explicit view-change round after a
@@ -864,7 +1925,7 @@ impl MinBftCluster {
     /// high-water marks bounding the new leader's sequence counter.
     fn reconfiguration_view_change(&mut self) {
         let members = self.membership.clone();
-        let mut votes: Vec<(NodeId, u64, u64)> = Vec::new();
+        let mut votes: Vec<(NodeId, u64, u64, u64)> = Vec::new();
         for &id in &members {
             let Some(r) = self.replicas.get_mut(&id) else {
                 continue;
@@ -872,11 +1933,11 @@ impl MinBftCluster {
             r.min_lead_view = r.min_lead_view.max(r.view + 1);
             if !r.crashed && !r.needs_state && r.byzantine != ByzantineMode::Silent {
                 r.voted_view = r.voted_view.max(r.view + 1);
-                votes.push((id, r.view + 1, replica_high_sequence(r)));
+                votes.push((id, r.view + 1, replica_high_sequence(r), r.stable_sequence));
             }
         }
         let epoch = self.epoch;
-        for (id, new_view, high_sequence) in votes {
+        for (id, new_view, high_sequence, stable_sequence) in votes {
             let prepared = prepared_report(&self.replicas[&id]);
             self.network.broadcast(
                 id,
@@ -885,33 +1946,87 @@ impl MinBftCluster {
                     epoch,
                     new_view,
                     high_sequence,
+                    stable_sequence,
                     prepared,
                 },
-                &mut self.rng,
             );
         }
     }
 
+    /// The earliest pending timer: a client retransmission
+    /// (`started + request_timeout`), a replica stall vote
+    /// (`first_seen + request_timeout`) or a partial-batch flush
+    /// (`oldest pending + batch_delay`). Event loops advance the clock here
+    /// when no deliveries remain — without a timer wheel, a fully stalled
+    /// system (every message already delivered or lost) would only recover
+    /// at the run's final deadline, and a single quiet stall would zero out
+    /// the rest of a throughput run. Every expression matches the firing
+    /// condition in `check_timeouts` ulp-for-ulp.
+    fn next_timer_deadline(&self) -> Option<SimTime> {
+        let timeout = self.config.request_timeout;
+        let params = self.protocol_params();
+        let now = self.network.now();
+        let mut deadline = f64::INFINITY;
+        for client in self.clients.values() {
+            if let Some((_, _, started)) = &client.outstanding {
+                deadline = deadline.min(started + timeout);
+            }
+        }
+        for &id in &self.membership {
+            let Some(replica) = self.replicas.get(&id) else {
+                continue;
+            };
+            if replica.crashed || replica.byzantine == ByzantineMode::Silent || replica.needs_state
+            {
+                continue;
+            }
+            for &first_seen in replica.request_first_seen.values() {
+                deadline = deadline.min(first_seen + timeout);
+            }
+            if let Some(t) = batch_flush_deadline(replica, &params, now) {
+                deadline = deadline.min(t);
+            }
+        }
+        deadline.is_finite().then_some(deadline)
+    }
+
     /// Runs the event loop until `deadline` (simulated seconds).
     pub fn run_until(&mut self, deadline: SimTime) {
-        // Bounded pop: messages at the queue head that must be dropped are
-        // consumed, but nothing beyond the deadline is dispatched.
-        while let Some(delivery) = self.network.next_delivery_until(deadline) {
-            self.dispatch(delivery.from, delivery.to, delivery.message, delivery.time);
+        loop {
+            // Bounded pop: messages at the queue head that must be dropped
+            // are consumed, but nothing beyond the deadline is dispatched.
+            while let Some(delivery) = self.network.next_delivery_until(deadline) {
+                self.dispatch(delivery.from, delivery.to, delivery.message, delivery.time);
+                self.check_timeouts();
+            }
+            // No deliveries left before the deadline: advance the clock to
+            // the next timer (retransmission, stall vote, batch flush) so a
+            // quiet stall recovers instead of persisting to the deadline.
+            let Some(timer_at) = self.next_timer_deadline().filter(|&t| t <= deadline) else {
+                break;
+            };
+            self.network.advance_to(timer_at);
             self.check_timeouts();
         }
         self.network.advance_to(deadline);
         self.check_timeouts();
     }
 
-    /// Runs the event loop until the network is quiet or `max_time` is
-    /// reached.
+    /// Runs the event loop until the system is quiet (no deliveries and no
+    /// pending timers) or `max_time` is reached.
     pub fn run_until_quiet(&mut self, max_time: SimTime) {
-        while let Some(delivery) = self.network.next_delivery_until(max_time) {
-            self.dispatch(delivery.from, delivery.to, delivery.message, delivery.time);
+        loop {
+            while let Some(delivery) = self.network.next_delivery_until(max_time) {
+                self.dispatch(delivery.from, delivery.to, delivery.message, delivery.time);
+                self.check_timeouts();
+            }
+            self.check_timeouts();
+            let Some(timer_at) = self.next_timer_deadline().filter(|&t| t <= max_time) else {
+                break;
+            };
+            self.network.advance_to(timer_at);
             self.check_timeouts();
         }
-        self.check_timeouts();
     }
 
     /// Number of completed requests of a client.
@@ -932,24 +2047,32 @@ impl MinBftCluster {
         self.replicas.get(&replica).map(|r| r.value)
     }
 
-    /// Executed-request logs of all non-crashed, non-Byzantine replicas.
-    pub fn healthy_logs(&self) -> Vec<(NodeId, Vec<Digest>)> {
+    /// The key-value entry stored at a replica (for tests).
+    pub fn replica_kv(&self, replica: NodeId, key: u32) -> Option<u64> {
+        self.replicas
+            .get(&replica)
+            .and_then(|r| r.kv.get(&key).copied())
+    }
+
+    /// Retained executed-request logs of all non-crashed, non-Byzantine
+    /// replicas, as `(replica, log_start, suffix)`.
+    pub fn healthy_logs(&self) -> Vec<(NodeId, u64, Vec<Digest>)> {
         self.membership
             .iter()
             .filter_map(|&id| self.replicas.get(&id))
             .filter(|r| !r.crashed && r.byzantine == ByzantineMode::Correct)
-            .map(|r| (r.id, r.executed.clone()))
+            .map(|r| (r.id, r.log_start, r.executed.clone()))
             .collect()
     }
 
-    /// Checks the safety property: every pair of healthy logs must be
-    /// prefix-consistent (one is a prefix of the other).
+    /// Checks the safety property: every pair of healthy logs must agree on
+    /// the log positions both of them retain (offset-aware prefix
+    /// consistency under compaction).
     pub fn logs_are_consistent(&self) -> bool {
         let logs = self.healthy_logs();
-        for (i, (_, a)) in logs.iter().enumerate() {
-            for (_, b) in logs.iter().skip(i + 1) {
-                let prefix = a.len().min(b.len());
-                if a[..prefix] != b[..prefix] {
+        for (i, (_, start_a, a)) in logs.iter().enumerate() {
+            for (_, start_b, b) in logs.iter().skip(i + 1) {
+                if first_log_divergence(*start_a, a, *start_b, b).is_some() {
                     return false;
                 }
             }
@@ -987,17 +2110,126 @@ impl MinBftCluster {
         }
     }
 
+    /// Runs a configurable client workload (open- or closed-loop arrival
+    /// over the key-value service) for `workload.duration` simulated
+    /// seconds. The workload's own seed drives arrival times and operation
+    /// mixes, independent of the cluster seed.
+    pub fn run_workload(&mut self, workload: &WorkloadConfig) -> WorkloadReport {
+        let mut arrivals_rng = StdRng::seed_from_u64(workload.seed ^ 0x776f_726b_6c6f_6164);
+        let client_ids: Vec<NodeId> = (0..workload.clients.max(1))
+            .map(|_| self.add_client())
+            .collect();
+        for (index, &c) in client_ids.iter().enumerate() {
+            let state = self.clients.get_mut(&c).expect("client exists");
+            state.op_stream = Some(OpStream::new(
+                workload.seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                workload.key_space,
+                workload.write_ratio,
+            ));
+        }
+        let start = self.now();
+        let deadline = start + workload.duration;
+        let mut offered: u64 = 0;
+        let mut shed: u64 = 0;
+        match workload.arrival {
+            Arrival::Closed => {
+                for &c in &client_ids {
+                    let state = self.clients.get_mut(&c).expect("client exists");
+                    state.closed_loop = true;
+                    let op = state
+                        .op_stream
+                        .as_mut()
+                        .expect("stream installed")
+                        .next_op();
+                    self.submit(c, op);
+                }
+                self.run_until(deadline);
+            }
+            Arrival::Open { rate } => {
+                let rate = rate.max(1e-9);
+                let mut next_arrival = start;
+                let mut cursor = 0usize;
+                loop {
+                    let gap = -(1.0 - arrivals_rng.random::<f64>()).ln() / rate;
+                    next_arrival += gap;
+                    if next_arrival > deadline {
+                        break;
+                    }
+                    self.run_until(next_arrival);
+                    // Round-robin over the pool; an arrival with every
+                    // client busy is shed (the open-loop overload signal).
+                    let mut assigned = false;
+                    for step in 0..client_ids.len() {
+                        let c = client_ids[(cursor + step) % client_ids.len()];
+                        if !self.has_outstanding_request(c) {
+                            let op = self
+                                .clients
+                                .get_mut(&c)
+                                .expect("client exists")
+                                .op_stream
+                                .as_mut()
+                                .expect("stream installed")
+                                .next_op();
+                            self.submit(c, op);
+                            offered += 1;
+                            cursor = (cursor + step + 1) % client_ids.len();
+                            assigned = true;
+                            break;
+                        }
+                    }
+                    if !assigned {
+                        shed += 1;
+                    }
+                }
+                self.run_until(deadline);
+            }
+        }
+        let completed: u64 = client_ids.iter().map(|c| self.completed_requests(*c)).sum();
+        if matches!(workload.arrival, Arrival::Closed) {
+            let in_flight = client_ids
+                .iter()
+                .filter(|&&c| self.has_outstanding_request(c))
+                .count() as u64;
+            offered = completed + in_flight;
+        }
+        let latencies: Vec<f64> = client_ids
+            .iter()
+            .flat_map(|c| self.clients[c].latencies.iter().copied())
+            .collect();
+        let mean_latency = if latencies.is_empty() {
+            0.0
+        } else {
+            latencies.iter().sum::<f64>() / latencies.len() as f64
+        };
+        WorkloadReport {
+            replicas: self.membership.len(),
+            clients: client_ids.len(),
+            offered,
+            shed,
+            completed_requests: completed,
+            duration: workload.duration,
+            requests_per_second: completed as f64 / workload.duration.max(1e-12),
+            mean_latency,
+        }
+    }
+
     // ------------------------------------------------------------------
     // Event handling
     // ------------------------------------------------------------------
 
     fn dispatch(&mut self, from: NodeId, to: NodeId, message: Message, time: SimTime) {
         // Per-node serial processing time: a node that is busy handles the
-        // message when it becomes free.
+        // message when it becomes free. Verifying a USIG certificate costs
+        // `signature_time` on top (one per PREPARE/COMMIT — batching exists
+        // to amortize exactly this).
+        let verify_cost = match &message {
+            Message::Prepare { .. } | Message::Commit { .. } => self.config.signature_time,
+            _ => 0.0,
+        };
         let busy = self.busy_until.get(&to).copied().unwrap_or(0.0);
         let handle_time = busy.max(time);
         self.busy_until
-            .insert(to, handle_time + self.config.processing_time);
+            .insert(to, handle_time + self.config.processing_time + verify_cost);
 
         if to >= CLIENT_ID_BASE {
             self.handle_client_message(from, to, message, handle_time);
@@ -1029,7 +2261,11 @@ impl MinBftCluster {
                 client.outstanding = None;
                 if client.closed_loop {
                     let client_id = client.id;
-                    let op = Operation::Write(client_id as u64 + client.completed);
+                    let completed = client.completed;
+                    let op = match client.op_stream.as_mut() {
+                        Some(stream) => stream.next_op(),
+                        None => Operation::Write(client_id as u64 + completed),
+                    };
                     self.submit(client_id, op);
                 }
             }
@@ -1043,256 +2279,45 @@ impl MinBftCluster {
         message: Message,
         time: SimTime,
     ) {
-        let mut outgoing: Vec<(NodeId, Message)> = Vec::new();
-        let mut broadcast: Vec<Message> = Vec::new();
+        let params = self.protocol_params();
+        let mut out = StepOutput::default();
         {
-            let f = hybrid_fault_threshold(self.membership.len(), 0);
             let Some(replica) = self.replicas.get_mut(&to) else {
                 return;
             };
             if replica.crashed || replica.byzantine == ByzantineMode::Silent {
                 return;
             }
-            match message {
-                Message::Request(request) => {
-                    handle_request(replica, request, time, &mut outgoing, &mut broadcast);
-                }
-                Message::Prepare {
-                    view,
-                    sequence,
-                    request,
-                    ui,
-                } => {
-                    handle_prepare(replica, from, view, sequence, request, ui, &mut broadcast);
-                    // Commit votes may already have arrived for this sequence.
-                    execute_ready(
-                        replica,
-                        f,
-                        self.config.checkpoint_period,
-                        &mut outgoing,
-                        &mut broadcast,
-                        &mut self.commit_trace,
-                    );
-                }
-                Message::Commit {
-                    view,
-                    sequence,
-                    request_digest,
-                    ui,
-                } => {
-                    handle_commit(
-                        replica,
-                        from,
-                        view,
-                        sequence,
-                        request_digest,
-                        ui,
-                        f,
-                        self.config.checkpoint_period,
-                        &mut outgoing,
-                        &mut broadcast,
-                        &mut self.commit_trace,
-                    );
-                }
-                Message::Checkpoint {
-                    sequence,
-                    state_digest,
-                } => {
-                    replica.checkpoints.push((sequence, state_digest));
-                }
-                Message::ViewChange {
-                    epoch,
-                    new_view,
-                    high_sequence,
-                    prepared,
-                } => {
-                    if epoch == replica.epoch && new_view > replica.view {
-                        let own_high = replica_high_sequence(replica);
-                        let own_prepared = prepared_report(replica);
-                        let votes = replica.view_change_votes.entry(new_view).or_default();
-                        votes.insert(from, (high_sequence, prepared));
-                        // A replica awaiting its state transfer must not
-                        // join the quorum: its high-water mark is
-                        // meaningless, and counting it would break the
-                        // intersection with the commit quorums.
-                        if !replica.needs_state {
-                            votes.insert(replica.id, (own_high, own_prepared));
-                        }
-                        // The quorum must intersect every commit quorum
-                        // (f + 1 votes), so a sequence number executed by
-                        // *any* replica is reflected in some voter's
-                        // high-water mark: n - f voters are required
-                        // (computed over the replica's own membership view,
-                        // which may briefly differ from the cluster's during
-                        // a reconfiguration).
-                        let n = replica.membership.len();
-                        let quorum = n.saturating_sub(crate::hybrid_fault_threshold(n, 0)).max(1);
-                        if votes.len() >= quorum {
-                            let max_high = votes.values().map(|(high, _)| *high).max().unwrap_or(0);
-                            // Freshest reported certificate per sequence
-                            // (highest view wins; within one view a leader
-                            // assigns each sequence at most once, so ties
-                            // agree).
-                            let mut certificates: BTreeMap<u64, (u64, Request)> = BTreeMap::new();
-                            for (_, reported) in votes.values() {
-                                for &(sequence, view, request) in reported {
-                                    match certificates.get(&sequence) {
-                                        Some(&(v, _)) if v >= view => {}
-                                        _ => {
-                                            certificates.insert(sequence, (view, request));
-                                        }
-                                    }
-                                }
-                            }
-                            replica.view = new_view;
-                            replica.forget_unexecuted_proposals();
-                            // Ballots for installed views are dead weight.
-                            replica.view_change_votes.retain(|&v, _| v > new_view);
-                            // Echo the ballot: stragglers (including the
-                            // view's leader, which may still be in an older
-                            // view) only learn about the quorum through
-                            // votes, and without the echo two camps can
-                            // rotate views forever with every new leader
-                            // one view behind.
-                            broadcast.push(Message::ViewChange {
-                                epoch: replica.epoch,
-                                new_view,
-                                high_sequence: own_high,
-                                prepared: prepared_report(replica),
-                            });
-                            // Prepared entries and commit votes survive the
-                            // view change (they are keyed by sequence and
-                            // digest, and USIG certificates cannot be
-                            // forged): clearing them would lose in-flight
-                            // quorums and stall the replicas that missed
-                            // the executions.
-                            if replica.may_lead() {
-                                let next_sequence = max_high.max(own_high) + 1;
-                                replica.next_sequence = next_sequence;
-                                broadcast.push(Message::NewView {
-                                    epoch: replica.epoch,
-                                    view: new_view,
-                                    membership: replica.membership.clone(),
-                                    next_sequence,
-                                });
-                                // Fill the range up to the quorum's
-                                // high-water mark from the freshest
-                                // reported certificates (own prepared
-                                // entries are part of the ballot); a
-                                // sequence no voter holds a certificate
-                                // for cannot have executed anywhere and
-                                // becomes a no-op — otherwise consecutive
-                                // execution would stall at the gap forever.
-                                for sequence in (replica.last_executed + 1)..next_sequence {
-                                    let request = certificates
-                                        .get(&sequence)
-                                        .map(|&(_, request)| request)
-                                        .unwrap_or_else(|| Request::noop(sequence));
-                                    replica.prepared.insert(sequence, (new_view, request));
-                                    // Mark the request as sequenced so the
-                                    // backlog below does not re-propose it
-                                    // at a second sequence number.
-                                    let key = (request.client, request.id);
-                                    replica.seen_requests.insert(key);
-                                    replica.proposed.insert(key, sequence);
-                                    let ui = replica.usig.create_ui(request.digest());
-                                    replica
-                                        .commit_votes
-                                        .entry((sequence, request.digest()))
-                                        .or_default()
-                                        .insert(replica.id);
-                                    broadcast.push(Message::Prepare {
-                                        view: new_view,
-                                        sequence,
-                                        request,
-                                        ui,
-                                    });
-                                }
-                                // Re-propose requests the old leader never
-                                // sequenced.
-                                let backlog: Vec<Request> = replica
-                                    .pending
-                                    .drain(..)
-                                    .filter(|r| !replica.seen_requests.contains(&(r.client, r.id)))
-                                    .collect();
-                                for request in backlog {
-                                    propose(replica, request, &mut broadcast);
-                                }
-                            }
-                        }
-                    }
-                }
-                Message::NewView {
-                    epoch,
-                    view,
-                    membership,
-                    next_sequence,
-                } => {
-                    if epoch == replica.epoch && view >= replica.view {
-                        replica.view = view;
-                        replica.membership = membership;
-                        replica.next_sequence = next_sequence.max(replica.next_sequence);
-                        replica.request_first_seen.clear();
-                        replica.forget_unexecuted_proposals();
-                    }
-                }
-                Message::StateTransfer {
-                    epoch,
-                    value,
-                    executed,
-                    view,
-                    membership,
-                    replies,
-                    prepared,
-                } => {
-                    if epoch == replica.epoch
-                        && replica.needs_state
-                        && executed.len() >= replica.executed.len()
-                    {
-                        for (sequence, cert_view, request) in prepared {
-                            match replica.prepared.get(&sequence) {
-                                Some(&(v, _)) if v >= cert_view => {}
-                                _ => {
-                                    replica.prepared.insert(sequence, (cert_view, request));
-                                }
-                            }
-                        }
-                        replica.value = value;
-                        replica.executed = executed;
-                        replica.last_executed = replica.executed.len() as u64;
-                        replica.view = view.max(replica.view);
-                        // Adopting the donor's (possibly much higher) view
-                        // must not re-open leadership: a recovered replica
-                        // may only lead a view acquired through a
-                        // view-change quorum, whose ballots bound its
-                        // sequence counter.
-                        replica.min_lead_view = replica.min_lead_view.max(replica.view + 1);
-                        replica.membership = membership;
-                        replica.next_sequence = replica.last_executed + 1;
-                        for (client, request_id, reply_value, sequence) in replies {
-                            replica
-                                .last_replies
-                                .insert(client, (request_id, reply_value, sequence));
-                            replica.seen_requests.insert((client, request_id));
-                        }
-                        replica.needs_state = false;
-                    }
-                }
-                Message::Reply { .. } => {}
-            }
+            replica_on_message(
+                replica,
+                from,
+                message,
+                time,
+                &params,
+                &mut self.commit_trace,
+                &mut out,
+            );
         }
-        // Send outgoing traffic.
+        // Creating USIG certificates keeps the node busy for
+        // `signature_time` each (the send-side half of the cost model).
+        if self.config.signature_time > 0.0 && out.created_uis > 0 {
+            let busy = self.busy_until.get(&to).copied().unwrap_or(0.0);
+            self.busy_until.insert(
+                to,
+                busy + self.config.signature_time * f64::from(out.created_uis),
+            );
+        }
+        // Send outgoing traffic; sending happens when the node finished
+        // processing.
         let members = self.membership.clone();
-        // Sending happens when the node finished processing.
         self.network.advance_to(time + self.config.processing_time);
-        for message in broadcast {
+        for message in out.broadcast {
             let corrupted = self.maybe_corrupt(to, &message);
-            self.network
-                .broadcast(to, &members, &corrupted, &mut self.rng);
+            self.network.broadcast(to, &members, &corrupted);
         }
-        for (dest, message) in outgoing {
+        for (dest, message) in out.outgoing {
             let corrupted = self.maybe_corrupt(to, &message);
-            self.network.send(to, dest, corrupted, &mut self.rng);
+            self.network.send(to, dest, corrupted);
         }
     }
 
@@ -1323,22 +2348,22 @@ impl MinBftCluster {
             } => Message::Commit {
                 view: *view,
                 sequence: *sequence,
-                request_digest: digest(&self.rng.random::<u64>().to_le_bytes()),
+                batch_digest: digest(&self.rng.random::<u64>().to_le_bytes()),
                 ui: *ui,
             },
             other => other.clone(),
         }
     }
 
-    /// Checks request timeouts: clients retransmit unanswered requests, and
-    /// non-leader replicas vote for a view change when the leader appears
-    /// unresponsive.
+    /// Checks request timeouts: clients retransmit unanswered requests,
+    /// leaders flush partial batches past their delay, and replicas vote for
+    /// a view change when the leader appears unresponsive.
     fn check_timeouts(&mut self) {
         let now = self.network.now();
         let timeout = self.config.request_timeout;
         // Client retransmissions. Iterate in id order: HashMap order varies
         // between cluster instances, and the send order determines how the
-        // shared RNG is consumed, so a deterministic order is required for
+        // network RNG is consumed, so a deterministic order is required for
         // byte-identical replays.
         let mut retransmissions: Vec<(NodeId, Request)> = Vec::new();
         let mut client_ids: Vec<NodeId> = self.clients.keys().copied().collect();
@@ -1346,7 +2371,8 @@ impl MinBftCluster {
         for id in client_ids {
             let client = self.clients.get_mut(&id).expect("client id just listed");
             if let Some((request, _, started)) = &mut client.outstanding {
-                if now - *started > timeout {
+                // Canonical deadline form (see `next_timer_deadline`).
+                if now >= *started + timeout {
                     *started = now;
                     retransmissions.push((client.id, *request));
                 }
@@ -1354,14 +2380,13 @@ impl MinBftCluster {
         }
         let members = self.membership.clone();
         for (client_id, request) in retransmissions {
-            self.network.broadcast(
-                client_id,
-                &members,
-                &Message::Request(request),
-                &mut self.rng,
-            );
+            self.network
+                .broadcast(client_id, &members, &Message::Request(request));
         }
-        let mut votes: Vec<(NodeId, u64)> = Vec::new();
+        // Replica timers: batch flushes and view-change votes, in id order
+        // for determinism.
+        let params = self.protocol_params();
+        let mut outputs: Vec<(NodeId, StepOutput)> = Vec::new();
         let mut replica_ids: Vec<NodeId> = self.replicas.keys().copied().collect();
         replica_ids.sort_unstable();
         for id in replica_ids {
@@ -1373,267 +2398,26 @@ impl MinBftCluster {
             {
                 continue;
             }
-            let stalled = replica
-                .request_first_seen
-                .values()
-                .any(|&first_seen| now - first_seen > timeout);
-            if stalled {
-                // Vote for the highest view anyone has proposed (not just
-                // view + 1): voting `own view + 1` fragments the ballots
-                // across views when replicas disagree on the current view,
-                // and no proposal ever reaches quorum.
-                let highest_proposed = replica.view_change_votes.keys().copied().max().unwrap_or(0);
-                let new_view = (replica.view + 1).max(highest_proposed);
-                replica.voted_view = replica.voted_view.max(new_view);
-                votes.push((replica.id, new_view));
-                replica.request_first_seen.clear();
+            let mut out = StepOutput::default();
+            flush_stale_batch(replica, now, &params, &mut out);
+            if let Some(vote) = stall_vote(replica, now, timeout) {
+                out.broadcast.push(vote);
                 self.view_changes += 1;
+            }
+            if !out.is_empty() {
+                outputs.push((id, out));
             }
         }
         let members = self.membership.clone();
-        for (id, new_view) in votes {
-            let replica = &self.replicas[&id];
-            let high_sequence = replica_high_sequence(replica);
-            let epoch = replica.epoch;
-            let prepared = prepared_report(replica);
-            self.network.broadcast(
-                id,
-                &members,
-                &Message::ViewChange {
-                    epoch,
-                    new_view,
-                    high_sequence,
-                    prepared,
-                },
-                &mut self.rng,
-            );
-        }
-    }
-}
-
-/// The high-water mark a replica reports in view changes: the highest
-/// sequence number it has executed or prepared.
-fn replica_high_sequence(replica: &Replica) -> u64 {
-    let prepared_max = replica.prepared.keys().next_back().copied().unwrap_or(0);
-    replica.last_executed.max(prepared_max)
-}
-
-/// The certificate transfer a replica attaches to a view-change vote: all
-/// its prepared entries. Entries the voter has itself executed are included
-/// too — a new leader that lags behind the voter needs exactly those to
-/// re-propose the executed requests at their original sequence numbers
-/// instead of no-op-filling them.
-fn prepared_report(replica: &Replica) -> Vec<(u64, u64, Request)> {
-    replica
-        .prepared
-        .iter()
-        .map(|(&sequence, &(view, request))| (sequence, view, request))
-        .collect()
-}
-
-/// Leader-side proposal: assigns the next sequence number, certifies the
-/// request with the USIG and records the leader's own commit vote.
-fn propose(replica: &mut Replica, request: Request, broadcast: &mut Vec<Message>) {
-    let key = (request.client, request.id);
-    replica.seen_requests.insert(key);
-    let sequence = replica.next_sequence;
-    replica.proposed.insert(key, sequence);
-    replica.next_sequence += 1;
-    let ui = replica.usig.create_ui(request.digest());
-    replica.prepared.insert(sequence, (replica.view, request));
-    // The leader's PREPARE counts as its COMMIT vote.
-    replica
-        .commit_votes
-        .entry((sequence, request.digest()))
-        .or_default()
-        .insert(replica.id);
-    broadcast.push(Message::Prepare {
-        view: replica.view,
-        sequence,
-        request,
-        ui,
-    });
-}
-
-fn handle_request(
-    replica: &mut Replica,
-    request: Request,
-    time: SimTime,
-    outgoing: &mut Vec<(NodeId, Message)>,
-    broadcast: &mut Vec<Message>,
-) {
-    let key = (request.client, request.id);
-    if replica.seen_requests.contains(&key) {
-        // Already sequenced or executed. If executed, re-send the REPLY —
-        // a retransmission means the client may never have received it.
-        if let Some(&(request_id, value, sequence)) = replica.last_replies.get(&request.client) {
-            if request_id == request.id {
-                outgoing.push((
-                    request.client,
-                    Message::Reply {
-                        request_id,
-                        value,
-                        sequence,
-                    },
-                ));
+        for (id, out) in outputs {
+            for message in out.broadcast {
+                let corrupted = self.maybe_corrupt(id, &message);
+                self.network.broadcast(id, &members, &corrupted);
             }
-        }
-        return;
-    }
-    replica.request_first_seen.entry(key).or_insert(time);
-    if replica.may_lead() {
-        propose(replica, request, broadcast);
-    } else if !replica.pending.contains(&request) {
-        replica.pending.push_back(request);
-    }
-}
-
-fn handle_prepare(
-    replica: &mut Replica,
-    from: NodeId,
-    view: u64,
-    sequence: u64,
-    request: Request,
-    ui: UniqueIdentifier,
-    broadcast: &mut Vec<Message>,
-) {
-    // A replica awaiting its state transfer must not participate: its log
-    // and sequence counter are meaningless, so a COMMIT vote from it could
-    // help a quorum re-execute an old sequence number (recovery amnesia).
-    if view != replica.view
-        || from != replica.leader()
-        || !replica.in_current_view()
-        || replica.needs_state
-    {
-        return;
-    }
-    // The USIG certificate must be valid and fresh (prevents equivocation and
-    // replays; reordering across sequence numbers is tolerated).
-    if !replica.verifier.accept_unordered(request.digest(), &ui) {
-        return;
-    }
-    replica.prepared.insert(sequence, (view, request));
-    let votes = replica
-        .commit_votes
-        .entry((sequence, request.digest()))
-        .or_default();
-    votes.insert(from);
-    votes.insert(replica.id);
-    replica
-        .request_first_seen
-        .remove(&(request.client, request.id));
-    let own_ui = replica.usig.create_ui(request.digest());
-    broadcast.push(Message::Commit {
-        view,
-        sequence,
-        request_digest: request.digest(),
-        ui: own_ui,
-    });
-}
-
-#[allow(clippy::too_many_arguments)]
-fn handle_commit(
-    replica: &mut Replica,
-    from: NodeId,
-    view: u64,
-    sequence: u64,
-    request_digest: Digest,
-    ui: UniqueIdentifier,
-    f: usize,
-    checkpoint_period: u64,
-    outgoing: &mut Vec<(NodeId, Message)>,
-    broadcast: &mut Vec<Message>,
-    trace: &mut Vec<CommitRecord>,
-) {
-    if view != replica.view || !replica.in_current_view() {
-        return;
-    }
-    // Verify the certificate; the vote is recorded even if the PREPARE has
-    // not arrived yet (it only becomes effective once the matching request is
-    // prepared).
-    if !replica.verifier.verify_certificate(request_digest, &ui) {
-        return;
-    }
-    replica
-        .commit_votes
-        .entry((sequence, request_digest))
-        .or_default()
-        .insert(from);
-    execute_ready(replica, f, checkpoint_period, outgoing, broadcast, trace);
-}
-
-/// Executes all consecutive sequence numbers whose commit quorum (f + 1 votes
-/// on the prepared request's digest) has been reached.
-fn execute_ready(
-    replica: &mut Replica,
-    f: usize,
-    checkpoint_period: u64,
-    outgoing: &mut Vec<(NodeId, Message)>,
-    broadcast: &mut Vec<Message>,
-    trace: &mut Vec<CommitRecord>,
-) {
-    // No execution before the state transfer lands: an amnesiac replica
-    // would re-execute from sequence 1.
-    if replica.needs_state {
-        return;
-    }
-    loop {
-        let next = replica.last_executed + 1;
-        let Some((_, request)) = replica.prepared.get(&next).copied() else {
-            break;
-        };
-        let quorum_met = replica
-            .commit_votes
-            .get(&(next, request.digest()))
-            .map(|votes| votes.len() > f)
-            .unwrap_or(false);
-        if !quorum_met {
-            break;
-        }
-        // Execute.
-        match request.operation {
-            Operation::Read => {}
-            Operation::Write(v) => replica.value = v,
-        }
-        let executed_digest = if replica.corrupt_execution {
-            // Injected implementation bug: the replica diverges from the
-            // agreed operation (see `MinBftCluster::inject_double_commit`).
-            crate::crypto::combine(request.digest(), digest(b"corrupted-execution"))
-        } else {
-            request.digest()
-        };
-        replica.executed.push(executed_digest);
-        trace.push(CommitRecord {
-            replica: replica.id,
-            view: replica.view,
-            sequence: next,
-            digest: executed_digest,
-        });
-        replica.last_executed = next;
-        replica.seen_requests.insert((request.client, request.id));
-        replica.proposed.remove(&(request.client, request.id));
-        replica
-            .request_first_seen
-            .remove(&(request.client, request.id));
-        // Gap-filling no-ops have no client to answer.
-        if request.client != NOOP_CLIENT {
-            replica
-                .last_replies
-                .insert(request.client, (request.id, replica.value, next));
-            outgoing.push((
-                request.client,
-                Message::Reply {
-                    request_id: request.id,
-                    value: replica.value,
-                    sequence: next,
-                },
-            ));
-        }
-        if checkpoint_period > 0 && replica.last_executed.is_multiple_of(checkpoint_period) {
-            broadcast.push(Message::Checkpoint {
-                sequence: replica.last_executed,
-                state_digest: replica.state_digest(),
-            });
+            for (dest, message) in out.outgoing {
+                let corrupted = self.maybe_corrupt(id, &message);
+                self.network.send(id, dest, corrupted);
+            }
         }
     }
 }
@@ -1681,7 +2465,28 @@ mod tests {
             assert_eq!(cluster.replica_value(r), Some(5));
         }
         let logs = cluster.healthy_logs();
-        assert!(logs.iter().all(|(_, log)| log.len() == 5));
+        assert!(logs.iter().all(|(_, _, log)| log.len() == 5));
+        assert!(cluster.logs_are_consistent());
+    }
+
+    #[test]
+    fn key_value_operations_replicate_and_answer_reads() {
+        let mut cluster = cluster(4);
+        let client = cluster.add_client();
+        cluster.submit(client, Operation::Put { key: 7, value: 99 });
+        cluster.run_until_quiet(10.0);
+        assert_eq!(cluster.completed_requests(client), 1);
+        for &r in &[0, 1, 2, 3] {
+            assert_eq!(cluster.replica_kv(r, 7), Some(99));
+        }
+        cluster.submit(client, Operation::Get { key: 7 });
+        cluster.run_until_quiet(20.0);
+        assert_eq!(cluster.completed_requests(client), 2);
+        // A read of an absent key answers 0 and stores nothing.
+        cluster.submit(client, Operation::Get { key: 8 });
+        cluster.run_until_quiet(30.0);
+        assert_eq!(cluster.completed_requests(client), 3);
+        assert_eq!(cluster.replica_kv(0, 8), None);
         assert!(cluster.logs_are_consistent());
     }
 
@@ -1817,6 +2622,215 @@ mod tests {
             single.requests_per_second
         );
         assert!(single.mean_latency > 0.0);
+    }
+
+    #[test]
+    fn batched_prepares_commit_whole_batches_per_sequence() {
+        let mut cluster = MinBftCluster::new(MinBftConfig {
+            initial_replicas: 4,
+            batch_size: 8,
+            batch_delay: 0.05,
+            network: NetworkConfig {
+                latency: 0.002,
+                jitter: 0.001,
+                loss_rate: 0.0,
+            },
+            ..MinBftConfig::default()
+        });
+        let clients: Vec<NodeId> = (0..8).map(|_| cluster.add_client()).collect();
+        for (i, &c) in clients.iter().enumerate() {
+            cluster.submit(c, Operation::Write(i as u64 + 1));
+        }
+        cluster.run_until_quiet(10.0);
+        for &c in &clients {
+            assert_eq!(cluster.completed_requests(c), 1);
+        }
+        // 8 requests must fit into far fewer sequences than 8 (they arrive
+        // within one batch delay of each other).
+        let max_sequence = cluster
+            .commit_trace()
+            .iter()
+            .map(|r| r.sequence)
+            .max()
+            .unwrap();
+        assert!(
+            max_sequence <= 2,
+            "8 requests should commit in at most 2 batches, used {max_sequence}"
+        );
+        // All 8 executions appear in every replica's log.
+        for &r in &[0, 1, 2, 3] {
+            assert_eq!(cluster.executed_len(r), Some(8));
+        }
+        assert!(cluster.logs_are_consistent());
+    }
+
+    #[test]
+    fn partial_batches_flush_after_the_batch_delay() {
+        // A single request under a large batch size must not stall: the
+        // delay timer flushes the partial batch.
+        let mut cluster = MinBftCluster::new(MinBftConfig {
+            initial_replicas: 4,
+            batch_size: 64,
+            batch_delay: 0.02,
+            network: NetworkConfig {
+                latency: 0.002,
+                jitter: 0.001,
+                loss_rate: 0.0,
+            },
+            ..MinBftConfig::default()
+        });
+        let client = cluster.add_client();
+        cluster.submit(client, Operation::Write(5));
+        cluster.run_until_quiet(5.0);
+        assert_eq!(cluster.completed_requests(client), 1);
+        assert!(cluster.logs_are_consistent());
+    }
+
+    #[test]
+    fn checkpoints_compact_the_log_and_bound_retained_state() {
+        // Satellite-1 regression: with checkpoint period P, a long run's
+        // retained log must stay below 2 * P on every replica (the previous
+        // implementation never pruned `checkpoints` or the message log).
+        let period = 10u64;
+        let mut cluster = MinBftCluster::new(MinBftConfig {
+            initial_replicas: 4,
+            checkpoint_period: period,
+            network: NetworkConfig {
+                latency: 0.002,
+                jitter: 0.001,
+                loss_rate: 0.0,
+            },
+            ..MinBftConfig::default()
+        });
+        let clients: Vec<NodeId> = (0..2).map(|_| cluster.add_client()).collect();
+        for &c in &clients {
+            cluster.clients.get_mut(&c).unwrap().closed_loop = true;
+            cluster.submit(c, Operation::Write(1));
+        }
+        cluster.run_until(30.0);
+        let total = cluster.executed_len(0).unwrap();
+        assert!(total > 6 * period, "run too short to compact: {total}");
+        for &r in &[0, 1, 2, 3] {
+            let stats = cluster.retained_stats(r).unwrap();
+            assert!(
+                stats.log_start > 0,
+                "replica {r} never compacted: {stats:?}"
+            );
+            let bound = (2 * period) as usize;
+            assert!(
+                stats.retained_log < bound,
+                "replica {r} retained log {} >= {bound}",
+                stats.retained_log
+            );
+            assert!(
+                stats.prepared < bound,
+                "replica {r} prepared {} >= {bound}",
+                stats.prepared
+            );
+            assert!(
+                stats.commit_votes < bound,
+                "replica {r} commit votes {} >= {bound}",
+                stats.commit_votes
+            );
+            assert!(
+                stats.checkpoint_votes < bound,
+                "replica {r} checkpoint ballots {} >= {bound}",
+                stats.checkpoint_votes
+            );
+        }
+        assert!(cluster.logs_are_consistent());
+    }
+
+    #[test]
+    fn recovery_after_compaction_restores_state_without_reexecution() {
+        // GC safety: a replica recovered after the cluster compacted its
+        // logs adopts the stable-checkpoint state by transfer and never
+        // re-executes compacted sequences.
+        let period = 5u64;
+        let mut cluster = MinBftCluster::new(MinBftConfig {
+            initial_replicas: 4,
+            checkpoint_period: period,
+            network: NetworkConfig {
+                latency: 0.002,
+                jitter: 0.001,
+                loss_rate: 0.0,
+            },
+            ..MinBftConfig::default()
+        });
+        let client = cluster.add_client();
+        for value in 1..=12u64 {
+            cluster.submit(client, Operation::Write(value));
+            cluster.run_until_quiet(120.0);
+        }
+        assert_eq!(cluster.completed_requests(client), 12);
+        let stable = cluster.stable_checkpoint(1).unwrap();
+        assert!(stable >= period, "no compaction happened: {stable}");
+
+        let trace_before = cluster.commit_trace().len();
+        cluster.recover_replica(1);
+        cluster.run_until_quiet(180.0);
+        assert!(!cluster.needs_state(1), "state transfer must land");
+        assert_eq!(cluster.replica_value(1), Some(12));
+        assert!(
+            cluster.executed_log_start(1).unwrap() > 0,
+            "the recovered replica must adopt the compacted log shape"
+        );
+        // Nothing at or below the stable checkpoint was re-executed by the
+        // recovered instance.
+        for record in &cluster.commit_trace()[trace_before..] {
+            if record.replica == 1 {
+                assert!(
+                    record.sequence > stable,
+                    "replica 1 re-executed compacted sequence {}",
+                    record.sequence
+                );
+            }
+        }
+        // And the service keeps running through the recovered replica.
+        cluster.submit(client, Operation::Write(13));
+        cluster.run_until_quiet(240.0);
+        assert_eq!(cluster.completed_requests(client), 13);
+        assert!(cluster.logs_are_consistent());
+    }
+
+    #[test]
+    fn view_change_with_truncated_logs_preserves_liveness_and_agreement() {
+        // GC safety under leader failure: after compaction, crash the leader
+        // — the view change must succeed from retained certificates alone.
+        let period = 5u64;
+        let mut cluster = MinBftCluster::new(MinBftConfig {
+            initial_replicas: 4,
+            checkpoint_period: period,
+            network: NetworkConfig {
+                latency: 0.002,
+                jitter: 0.001,
+                loss_rate: 0.0,
+            },
+            request_timeout: 0.5,
+            ..MinBftConfig::default()
+        });
+        let client = cluster.add_client();
+        for value in 1..=11u64 {
+            cluster.submit(client, Operation::Write(value));
+            cluster.run_until_quiet(120.0);
+        }
+        assert!(cluster.stable_checkpoint(0).unwrap() >= period);
+
+        cluster.submit(client, Operation::Write(12));
+        cluster.run_until(cluster.now() + 0.001);
+        cluster.crash_replica(0);
+        cluster.run_until(cluster.now() + 3.0);
+        cluster.run_until_quiet(240.0);
+        assert!(cluster.view_changes() > 0, "followers must vote a new view");
+        assert_eq!(
+            cluster.completed_requests(client),
+            12,
+            "the mid-flight request must complete under the new leader"
+        );
+        for &r in &[1, 2, 3] {
+            assert_eq!(cluster.replica_value(r), Some(12));
+        }
+        assert!(cluster.logs_are_consistent());
     }
 
     #[test]

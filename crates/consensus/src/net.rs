@@ -10,8 +10,10 @@
 //! wire; what a *compromised* node may do is captured by the Byzantine
 //! behaviour modes of the protocol layer, not by the network).
 
+use crate::transport::Transport;
 use crate::{NodeId, SimTime};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 
@@ -207,6 +209,11 @@ pub struct SimNetwork<M> {
     queue: BinaryHeap<Reverse<Scheduled<M>>>,
     now: SimTime,
     sequence: u64,
+    /// The network's own randomness (loss and jitter draws). Owning the RNG
+    /// — instead of borrowing the caller's on every send — is what lets
+    /// [`SimNetwork`] implement the [`Transport`] trait that the threaded
+    /// transport shares.
+    rng: StdRng,
     /// Pairs `(a, b)` that cannot communicate (in either direction).
     partitioned: HashSet<(NodeId, NodeId)>,
     crashed: HashSet<NodeId>,
@@ -214,13 +221,15 @@ pub struct SimNetwork<M> {
 }
 
 impl<M> SimNetwork<M> {
-    /// Creates a network with the given link profile.
+    /// Creates a network with the given link profile. The seed drives the
+    /// network's loss and jitter draws: the same `(config, seed)` pair plus
+    /// the same send sequence produces a byte-identical delivery schedule.
     ///
     /// # Panics
     ///
     /// Panics if the configuration is invalid (see [`NetworkConfig::new`]);
     /// fallible callers should run [`NetworkConfig::validate`] first.
-    pub fn new(config: NetworkConfig) -> Self {
+    pub fn new(config: NetworkConfig, seed: u64) -> Self {
         if let Err(error) = config.validate() {
             panic!("invalid network config: {error}");
         }
@@ -229,6 +238,7 @@ impl<M> SimNetwork<M> {
             queue: BinaryHeap::new(),
             now: 0.0,
             sequence: 0,
+            rng: StdRng::seed_from_u64(seed ^ 0x006e_6574_776f_726b_u64),
             partitioned: HashSet::new(),
             crashed: HashSet::new(),
             stats: NetworkStats::default(),
@@ -268,59 +278,6 @@ impl<M> SimNetwork<M> {
     /// Number of messages currently in flight.
     pub fn in_flight(&self) -> usize {
         self.queue.len()
-    }
-
-    /// Sends a message from `from` to `to`, scheduling its delivery after the
-    /// configured latency and jitter, unless it is lost or the endpoints are
-    /// partitioned or crashed.
-    pub fn send<R: Rng + ?Sized>(&mut self, from: NodeId, to: NodeId, message: M, rng: &mut R) {
-        self.stats.sent += 1;
-        if self.crashed.contains(&from) || self.crashed.contains(&to) {
-            self.stats.dropped += 1;
-            return;
-        }
-        if self.is_partitioned(from, to) {
-            self.stats.dropped += 1;
-            return;
-        }
-        if self.config.loss_rate > 0.0 && rng.random::<f64>() < self.config.loss_rate {
-            self.stats.dropped += 1;
-            return;
-        }
-        let jitter = if self.config.jitter > 0.0 {
-            rng.random::<f64>() * self.config.jitter
-        } else {
-            0.0
-        };
-        let time = self.now + self.config.latency + jitter;
-        self.sequence += 1;
-        self.queue.push(Reverse(Scheduled {
-            time,
-            sequence: self.sequence,
-            delivery: Delivery {
-                time,
-                from,
-                to,
-                message,
-            },
-        }));
-    }
-
-    /// Sends the same message to every node in `recipients` (cloning it).
-    pub fn broadcast<R: Rng + ?Sized>(
-        &mut self,
-        from: NodeId,
-        recipients: &[NodeId],
-        message: &M,
-        rng: &mut R,
-    ) where
-        M: Clone,
-    {
-        for &to in recipients {
-            if to != from {
-                self.send(from, to, message.clone(), rng);
-            }
-        }
     }
 
     /// Pops the next delivery, advancing the simulated clock to its time.
@@ -407,6 +364,44 @@ impl<M> SimNetwork<M> {
     }
 }
 
+impl<M> Transport<M> for SimNetwork<M> {
+    /// Sends a message from `from` to `to`, scheduling its delivery after the
+    /// configured latency and jitter, unless it is lost or the endpoints are
+    /// partitioned or crashed.
+    fn send(&mut self, from: NodeId, to: NodeId, message: M) {
+        self.stats.sent += 1;
+        if self.crashed.contains(&from) || self.crashed.contains(&to) {
+            self.stats.dropped += 1;
+            return;
+        }
+        if self.is_partitioned(from, to) {
+            self.stats.dropped += 1;
+            return;
+        }
+        if self.config.loss_rate > 0.0 && self.rng.random::<f64>() < self.config.loss_rate {
+            self.stats.dropped += 1;
+            return;
+        }
+        let jitter = if self.config.jitter > 0.0 {
+            self.rng.random::<f64>() * self.config.jitter
+        } else {
+            0.0
+        };
+        let time = self.now + self.config.latency + jitter;
+        self.sequence += 1;
+        self.queue.push(Reverse(Scheduled {
+            time,
+            sequence: self.sequence,
+            delivery: Delivery {
+                time,
+                from,
+                to,
+                message,
+            },
+        }));
+    }
+}
+
 fn ordered(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
     if a <= b {
         (a, b)
@@ -418,23 +413,20 @@ fn ordered(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(1)
-    }
+    use crate::transport::Transport;
 
     #[test]
     fn messages_are_delivered_in_time_order() {
-        let mut net: SimNetwork<&'static str> = SimNetwork::new(NetworkConfig {
-            latency: 0.01,
-            jitter: 0.05,
-            loss_rate: 0.0,
-        });
-        let mut r = rng();
+        let mut net: SimNetwork<&'static str> = SimNetwork::new(
+            NetworkConfig {
+                latency: 0.01,
+                jitter: 0.05,
+                loss_rate: 0.0,
+            },
+            1,
+        );
         for _ in 0..50 {
-            net.send(0, 1, "m", &mut r);
+            net.send(0, 1, "m");
         }
         let mut last = 0.0;
         let mut count = 0;
@@ -452,14 +444,16 @@ mod tests {
 
     #[test]
     fn loss_rate_drops_messages() {
-        let mut net: SimNetwork<u32> = SimNetwork::new(NetworkConfig {
-            latency: 0.0,
-            jitter: 0.0,
-            loss_rate: 0.5,
-        });
-        let mut r = rng();
+        let mut net: SimNetwork<u32> = SimNetwork::new(
+            NetworkConfig {
+                latency: 0.0,
+                jitter: 0.0,
+                loss_rate: 0.5,
+            },
+            1,
+        );
         for i in 0..1000 {
-            net.send(0, 1, i, &mut r);
+            net.send(0, 1, i);
         }
         let stats = net.stats();
         assert_eq!(stats.sent, 1000);
@@ -472,33 +466,34 @@ mod tests {
 
     #[test]
     fn partitions_block_both_directions_until_healed() {
-        let mut net: SimNetwork<u32> = SimNetwork::new(NetworkConfig::ideal());
-        let mut r = rng();
+        let mut net: SimNetwork<u32> = SimNetwork::new(NetworkConfig::ideal(), 1);
         net.partition(&[0, 1], &[2, 3]);
         assert!(net.is_partitioned(0, 2));
         assert!(net.is_partitioned(3, 1));
         assert!(!net.is_partitioned(0, 1));
-        net.send(0, 2, 7, &mut r);
-        net.send(2, 0, 8, &mut r);
-        net.send(0, 1, 9, &mut r);
+        net.send(0, 2, 7);
+        net.send(2, 0, 8);
+        net.send(0, 1, 9);
         let delivered: Vec<u32> = std::iter::from_fn(|| net.next_delivery())
             .map(|d| d.message)
             .collect();
         assert_eq!(delivered, vec![9]);
         net.heal_partitions();
-        net.send(0, 2, 10, &mut r);
+        net.send(0, 2, 10);
         assert_eq!(net.next_delivery().unwrap().message, 10);
     }
 
     #[test]
     fn partition_while_in_flight_drops_message() {
-        let mut net: SimNetwork<u32> = SimNetwork::new(NetworkConfig {
-            latency: 1.0,
-            jitter: 0.0,
-            loss_rate: 0.0,
-        });
-        let mut r = rng();
-        net.send(0, 1, 1, &mut r);
+        let mut net: SimNetwork<u32> = SimNetwork::new(
+            NetworkConfig {
+                latency: 1.0,
+                jitter: 0.0,
+                loss_rate: 0.0,
+            },
+            1,
+        );
+        net.send(0, 1, 1);
         net.partition(&[0], &[1]);
         assert!(net.next_delivery().is_none());
         assert_eq!(net.stats().dropped, 1);
@@ -506,24 +501,22 @@ mod tests {
 
     #[test]
     fn crashed_nodes_do_not_send_or_receive() {
-        let mut net: SimNetwork<u32> = SimNetwork::new(NetworkConfig::ideal());
-        let mut r = rng();
+        let mut net: SimNetwork<u32> = SimNetwork::new(NetworkConfig::ideal(), 1);
         net.crash(1);
         assert!(net.is_crashed(1));
-        net.send(0, 1, 1, &mut r);
-        net.send(1, 0, 2, &mut r);
+        net.send(0, 1, 1);
+        net.send(1, 0, 2);
         assert!(net.next_delivery().is_none());
         net.restart(1);
         assert!(!net.is_crashed(1));
-        net.send(0, 1, 3, &mut r);
+        net.send(0, 1, 3);
         assert_eq!(net.next_delivery().unwrap().message, 3);
     }
 
     #[test]
     fn broadcast_reaches_all_but_self() {
-        let mut net: SimNetwork<u8> = SimNetwork::new(NetworkConfig::ideal());
-        let mut r = rng();
-        net.broadcast(0, &[0, 1, 2, 3], &1, &mut r);
+        let mut net: SimNetwork<u8> = SimNetwork::new(NetworkConfig::ideal(), 1);
+        net.broadcast(0, &[0, 1, 2, 3], &1);
         let mut recipients: Vec<NodeId> = std::iter::from_fn(|| net.next_delivery())
             .map(|d| d.to)
             .collect();
@@ -588,18 +581,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid network config")]
     fn sim_network_rejects_invalid_configs_on_construction() {
-        let _net: SimNetwork<u8> = SimNetwork::new(NetworkConfig {
-            latency: 0.0,
-            jitter: 0.0,
-            loss_rate: -0.5,
-        });
+        let _net: SimNetwork<u8> = SimNetwork::new(
+            NetworkConfig {
+                latency: 0.0,
+                jitter: 0.0,
+                loss_rate: -0.5,
+            },
+            1,
+        );
     }
 
     #[test]
     fn set_config_switches_the_link_profile_mid_run() {
-        let mut net: SimNetwork<u32> = SimNetwork::new(NetworkConfig::ideal());
-        let mut r = rng();
-        net.send(0, 1, 1, &mut r);
+        let mut net: SimNetwork<u32> = SimNetwork::new(NetworkConfig::ideal(), 1);
+        net.send(0, 1, 1);
         // Storm: everything sent from now on is lost.
         net.set_config(NetworkConfig {
             latency: 0.0,
@@ -607,20 +602,20 @@ mod tests {
             loss_rate: 1.0,
         });
         assert_eq!(net.config().loss_rate, 1.0);
-        net.send(0, 1, 2, &mut r);
+        net.send(0, 1, 2);
         // The pre-storm message is already scheduled and still delivered.
         assert_eq!(net.next_delivery().unwrap().message, 1);
         assert!(net.next_delivery().is_none());
         assert_eq!(net.stats().dropped, 1);
         // Healing restores delivery.
         net.set_config(NetworkConfig::ideal());
-        net.send(0, 1, 3, &mut r);
+        net.send(0, 1, 3);
         assert_eq!(net.next_delivery().unwrap().message, 3);
     }
 
     #[test]
     fn clock_advances_monotonically() {
-        let mut net: SimNetwork<u8> = SimNetwork::new(NetworkConfig::ideal());
+        let mut net: SimNetwork<u8> = SimNetwork::new(NetworkConfig::ideal(), 1);
         net.advance_to(5.0);
         assert_eq!(net.now(), 5.0);
         net.advance_to(2.0);

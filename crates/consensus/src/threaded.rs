@@ -1,0 +1,420 @@
+//! The MinBFT data plane as a real concurrent service.
+//!
+//! This module runs the *same* replica state machine as the simulated
+//! [`crate::MinBftCluster`] — the transport-agnostic step functions of
+//! [`crate::minbft`] — with one OS thread per replica over the bounded
+//! channels of [`crate::transport::ThreadedTransport`]. A driver thread
+//! plays the closed-loop client population (f+1 matching replies complete a
+//! request, timeouts retransmit), so a full cluster serves requests
+//! concurrently at wall-clock speed instead of simulated time.
+//!
+//! Faults are out of scope here (the deterministic simnet harness owns
+//! fault injection); the threaded service exists to prove the refactored
+//! pipeline — batching, checkpoint compaction, view-change timers — runs
+//! unchanged as a multi-threaded system, and to measure real hardware
+//! throughput in `benches/minbft_throughput.rs`.
+
+use crate::crypto::{Digest, KeyDirectory, KeyPair};
+use crate::minbft::{
+    flush_stale_batch, replica_on_message, stall_vote, CommitRecord, Message, ProtocolParams,
+    Replica, Request, StepOutput, CLIENT_ID_BASE,
+};
+use crate::transport::{ThreadedTransport, Transport, TransportHandle, TransportStats};
+use crate::workload::OpStream;
+use crate::{hybrid_fault_threshold, NodeId};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of a threaded MinBFT service run.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ThreadedServiceConfig {
+    /// Number of replica threads.
+    pub replicas: usize,
+    /// Number of closed-loop clients (driven by one driver thread).
+    pub clients: usize,
+    /// Maximum requests per PREPARE (see [`crate::MinBftConfig::batch_size`]).
+    pub batch_size: usize,
+    /// Seconds a partial batch may age before flushing.
+    pub batch_delay: f64,
+    /// Executed sequences between checkpoints (log compaction period).
+    pub checkpoint_period: u64,
+    /// Client/view-change timeout in wall-clock seconds (generous: a busy
+    /// host must not trigger spurious view changes).
+    pub request_timeout: f64,
+    /// Capacity of each replica's mailbox (bounded channel).
+    pub channel_capacity: usize,
+    /// Wall-clock duration of the run in seconds.
+    pub duration: f64,
+    /// Key-space size of the generated operations (0 = register ops).
+    pub key_space: u32,
+    /// Fraction of generated operations that write.
+    pub write_ratio: f64,
+    /// Seed for keys and operation streams.
+    pub seed: u64,
+}
+
+impl Default for ThreadedServiceConfig {
+    fn default() -> Self {
+        ThreadedServiceConfig {
+            replicas: 4,
+            clients: 8,
+            batch_size: 16,
+            batch_delay: 0.002,
+            checkpoint_period: 100,
+            request_timeout: 2.0,
+            channel_capacity: 4096,
+            duration: 0.5,
+            key_space: 64,
+            write_ratio: 0.5,
+            seed: 1,
+        }
+    }
+}
+
+/// Outcome of a threaded service run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ThreadedServiceReport {
+    /// Replica thread count.
+    pub replicas: usize,
+    /// Client count.
+    pub clients: usize,
+    /// Requests completed by an f+1 reply quorum.
+    pub completed_requests: u64,
+    /// Actual wall-clock duration in seconds.
+    pub duration: f64,
+    /// Completed requests per wall-clock second.
+    pub requests_per_second: f64,
+    /// Mean request latency in seconds.
+    pub mean_latency: f64,
+    /// Whether every pair of replica logs agreed on their overlapping
+    /// positions at shutdown (offset-aware prefix consistency).
+    pub consistent: bool,
+    /// Largest retained (post-compaction) executed-log suffix across
+    /// replicas at shutdown.
+    pub max_retained_log: usize,
+    /// Highest executed sequence across replicas at shutdown.
+    pub max_executed: u64,
+    /// Transport counters (sent / dropped-by-backpressure).
+    pub transport: TransportStats,
+}
+
+/// Final state a replica thread reports at shutdown.
+struct ReplicaSnapshot {
+    log_start: u64,
+    executed: Vec<Digest>,
+    last_executed: u64,
+}
+
+fn replica_main(
+    mut replica: Replica,
+    mailbox: Receiver<crate::net::Delivery<Message>>,
+    mut transport: TransportHandle<Message>,
+    members: Vec<NodeId>,
+    params: ProtocolParams,
+    request_timeout: f64,
+    stop: Arc<AtomicBool>,
+) -> ReplicaSnapshot {
+    let mut trace: Vec<CommitRecord> = Vec::new();
+    let from = replica.id;
+    loop {
+        match mailbox.recv_timeout(Duration::from_millis(2)) {
+            Ok(delivery) => {
+                let mut out = StepOutput::default();
+                replica_on_message(
+                    &mut replica,
+                    delivery.from,
+                    delivery.message,
+                    delivery.time,
+                    &params,
+                    &mut trace,
+                    &mut out,
+                );
+                out.flush(&mut transport, from, &members);
+                // The commit trace is a simulation-harness hook; nothing
+                // reads it here, and letting it accumulate would grow
+                // per-thread memory for the run's whole duration.
+                trace.clear();
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                // Idle tick: flush aged partial batches and run the
+                // view-change stall timer — the same timeout logic the
+                // simulated cluster's `check_timeouts` applies.
+                let now = transport.now();
+                let mut out = StepOutput::default();
+                flush_stale_batch(&mut replica, now, &params, &mut out);
+                if let Some(vote) = stall_vote(&mut replica, now, request_timeout) {
+                    out.broadcast.push(vote);
+                }
+                out.flush(&mut transport, from, &members);
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+    }
+    ReplicaSnapshot {
+        log_start: replica.log_start,
+        executed: std::mem::take(&mut replica.executed),
+        last_executed: replica.last_executed,
+    }
+}
+
+struct DriverClient {
+    id: NodeId,
+    next_request_id: u64,
+    outstanding: Option<(Request, HashMap<u64, HashSet<NodeId>>, f64)>,
+    completed: u64,
+    latencies: Vec<f64>,
+    stream: OpStream,
+}
+
+impl DriverClient {
+    fn submit<T: Transport<Message>>(&mut self, transport: &mut T, members: &[NodeId], now: f64) {
+        let request = Request {
+            client: self.id,
+            id: self.next_request_id,
+            operation: self.stream.next_op(),
+        };
+        self.next_request_id += 1;
+        self.outstanding = Some((request, HashMap::new(), now));
+        transport.broadcast(self.id, members, &Message::Request(request));
+    }
+}
+
+/// Offset-aware prefix consistency over the final replica logs (the same
+/// check [`crate::MinBftCluster::logs_are_consistent`] applies to the
+/// simulated cluster).
+fn snapshots_consistent(snapshots: &[ReplicaSnapshot]) -> bool {
+    for (i, a) in snapshots.iter().enumerate() {
+        for b in snapshots.iter().skip(i + 1) {
+            if crate::minbft::first_log_divergence(
+                a.log_start,
+                &a.executed,
+                b.log_start,
+                &b.executed,
+            )
+            .is_some()
+            {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Runs a MinBFT cluster as a concurrent service — one thread per replica
+/// over bounded channels — under a closed-loop client workload, and reports
+/// wall-clock throughput plus the shutdown consistency check.
+///
+/// # Panics
+///
+/// Panics if the configuration asks for fewer than 2 replicas or no
+/// clients.
+pub fn run_threaded_service(config: &ThreadedServiceConfig) -> ThreadedServiceReport {
+    assert!(config.replicas >= 2, "MinBFT needs at least two replicas");
+    assert!(config.clients >= 1, "the driver needs at least one client");
+    let membership: Vec<NodeId> = (0..config.replicas as NodeId).collect();
+    let mut directory = KeyDirectory::new();
+    for &id in &membership {
+        directory.register(&KeyPair::derive(id, config.seed));
+    }
+    let params = ProtocolParams {
+        f: hybrid_fault_threshold(membership.len(), 0),
+        checkpoint_period: config.checkpoint_period,
+        batch_size: config.batch_size.max(1),
+        batch_delay: config.batch_delay,
+    };
+
+    let mut hub: ThreadedTransport<Message> = ThreadedTransport::new(config.channel_capacity);
+    let replica_mailboxes: Vec<_> = membership.iter().map(|&id| hub.register(id)).collect();
+    let client_ids: Vec<NodeId> = (0..config.clients)
+        .map(|i| CLIENT_ID_BASE + i as NodeId)
+        .collect();
+    let client_mailbox = hub.register_shared(&client_ids);
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let workers: Vec<_> = membership
+        .iter()
+        .zip(replica_mailboxes)
+        .map(|(&id, mailbox)| {
+            let replica = Replica::new(id, membership.clone(), directory.clone(), config.seed);
+            let transport = hub.handle();
+            let members = membership.clone();
+            let stop = Arc::clone(&stop);
+            let request_timeout = config.request_timeout;
+            std::thread::spawn(move || {
+                replica_main(
+                    replica,
+                    mailbox,
+                    transport,
+                    members,
+                    params,
+                    request_timeout,
+                    stop,
+                )
+            })
+        })
+        .collect();
+
+    // The driver thread: closed-loop clients over the shared mailbox.
+    let mut transport = hub.handle();
+    let f = params.f;
+    let mut clients: HashMap<NodeId, DriverClient> = client_ids
+        .iter()
+        .enumerate()
+        .map(|(index, &id)| {
+            (
+                id,
+                DriverClient {
+                    id,
+                    next_request_id: 0,
+                    outstanding: None,
+                    completed: 0,
+                    latencies: Vec::new(),
+                    stream: OpStream::new(
+                        config.seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                        config.key_space,
+                        config.write_ratio,
+                    ),
+                },
+            )
+        })
+        .collect();
+    let start = Instant::now();
+    {
+        let now = transport.now();
+        for client in clients.values_mut() {
+            client.submit(&mut transport, &membership, now);
+        }
+    }
+    while start.elapsed().as_secs_f64() < config.duration {
+        match client_mailbox.recv_timeout(Duration::from_millis(2)) {
+            Ok(delivery) => {
+                if let Message::Reply {
+                    request_id, value, ..
+                } = delivery.message
+                {
+                    let now = transport.now();
+                    if let Some(client) = clients.get_mut(&delivery.to) {
+                        let completed = match &mut client.outstanding {
+                            Some((request, votes, started)) if request.id == request_id => {
+                                votes.entry(value).or_default().insert(delivery.from);
+                                let quorum = votes.values().any(|v| v.len() > f);
+                                quorum.then_some(*started)
+                            }
+                            _ => None,
+                        };
+                        if let Some(started) = completed {
+                            client.completed += 1;
+                            client.latencies.push(now - started);
+                            client.outstanding = None;
+                            client.submit(&mut transport, &membership, now);
+                        }
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                // Retransmit stalled requests (replies or requests may have
+                // been dropped by full mailboxes).
+                let now = transport.now();
+                for client in clients.values_mut() {
+                    if let Some((request, _, started)) = &mut client.outstanding {
+                        if now - *started > config.request_timeout {
+                            *started = now;
+                            transport.broadcast(
+                                client.id,
+                                &membership,
+                                &Message::Request(*request),
+                            );
+                        }
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    let duration = start.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    let snapshots: Vec<ReplicaSnapshot> = workers
+        .into_iter()
+        .map(|worker| worker.join().expect("replica thread finishes"))
+        .collect();
+
+    let completed: u64 = clients.values().map(|c| c.completed).sum();
+    let latencies: Vec<f64> = clients
+        .values()
+        .flat_map(|c| c.latencies.iter().copied())
+        .collect();
+    let mean_latency = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<f64>() / latencies.len() as f64
+    };
+    ThreadedServiceReport {
+        replicas: config.replicas,
+        clients: config.clients,
+        completed_requests: completed,
+        duration,
+        requests_per_second: completed as f64 / duration.max(1e-9),
+        mean_latency,
+        consistent: snapshots_consistent(&snapshots),
+        max_retained_log: snapshots
+            .iter()
+            .map(|s| s.executed.len())
+            .max()
+            .unwrap_or(0),
+        max_executed: snapshots.iter().map(|s| s.last_executed).max().unwrap_or(0),
+        transport: hub.stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threaded_cluster_serves_requests_with_consistent_logs() {
+        let report = run_threaded_service(&ThreadedServiceConfig {
+            replicas: 4,
+            clients: 4,
+            duration: 0.4,
+            ..ThreadedServiceConfig::default()
+        });
+        assert!(
+            report.completed_requests > 0,
+            "the threaded service must complete requests: {report:?}"
+        );
+        assert!(report.consistent, "replica logs diverged: {report:?}");
+        assert!(report.requests_per_second > 0.0);
+        assert!(report.mean_latency > 0.0);
+        assert!(report.transport.sent > 0);
+    }
+
+    #[test]
+    fn threaded_checkpoints_compact_replica_logs() {
+        // A small checkpoint period must bound the retained logs even in
+        // the concurrent service (same compaction code as the simulation).
+        let report = run_threaded_service(&ThreadedServiceConfig {
+            replicas: 4,
+            clients: 8,
+            batch_size: 8,
+            checkpoint_period: 10,
+            duration: 0.6,
+            ..ThreadedServiceConfig::default()
+        });
+        assert!(report.completed_requests > 0);
+        assert!(report.consistent);
+        if report.max_executed > 40 {
+            assert!(
+                (report.max_retained_log as u64) < report.max_executed,
+                "no replica compacted: retained {} of {} executed",
+                report.max_retained_log,
+                report.max_executed
+            );
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Pluggable message transports for the consensus layer.
+//!
+//! The protocol code (MinBFT replicas, Raft members) is written against the
+//! [`Transport`] trait: a sender-side interface for point-to-point and
+//! broadcast delivery of protocol messages. Two implementations exist:
+//!
+//! * [`crate::net::SimNetwork`] — the deterministic discrete-event network.
+//!   Same seed → byte-identical delivery schedule, which is what the simnet
+//!   fault-injection harness replays.
+//! * [`ThreadedTransport`] — a real multi-threaded transport: one bounded
+//!   channel per node, so a full cluster runs as a concurrent service with
+//!   one OS thread per replica (see [`crate::threaded`]).
+//!
+//! A bounded channel that fills up drops the message (backpressure surfaces
+//! as loss, which the protocols already tolerate and clients recover from by
+//! retransmission), mirroring the loss semantics of the simulated network.
+
+use crate::net::Delivery;
+use crate::NodeId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Sender-side interface of a message transport: the only way protocol code
+/// emits traffic, so the same replica logic runs over the simulated network
+/// and over real threads.
+pub trait Transport<M> {
+    /// Sends `message` from `from` to `to`. Delivery is not guaranteed
+    /// (loss, partitions, full channels); protocols must tolerate drops.
+    fn send(&mut self, from: NodeId, to: NodeId, message: M);
+
+    /// Sends the same message to every node in `recipients` except `from`
+    /// (cloning it).
+    fn broadcast(&mut self, from: NodeId, recipients: &[NodeId], message: &M)
+    where
+        M: Clone,
+    {
+        for &to in recipients {
+            if to != from {
+                self.send(from, to, message.clone());
+            }
+        }
+    }
+}
+
+/// Counters describing the traffic a [`ThreadedTransport`] has carried.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TransportStats {
+    /// Messages handed to the transport.
+    pub sent: u64,
+    /// Messages dropped (unknown recipient, full channel, or closed
+    /// mailbox).
+    pub dropped: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    sent: AtomicU64,
+    dropped: AtomicU64,
+}
+
+/// A multi-threaded transport: one bounded mailbox per registered node.
+///
+/// The hub registers mailboxes and hands out [`TransportHandle`]s — cheap
+/// clonable sender handles that implement [`Transport`] and can be moved
+/// into per-replica threads. Messages carry the wall-clock time (seconds
+/// since the hub was created) as their delivery timestamp, so the protocol's
+/// timeout logic works unchanged.
+#[derive(Debug)]
+pub struct ThreadedTransport<M> {
+    capacity: usize,
+    start: Instant,
+    senders: HashMap<NodeId, SyncSender<Delivery<M>>>,
+    counters: Arc<Counters>,
+}
+
+impl<M: Send> ThreadedTransport<M> {
+    /// Creates a hub whose mailboxes hold at most `capacity` messages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (a rendezvous channel would deadlock a
+    /// replica sending to itself-adjacent peers under load).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "mailbox capacity must be positive");
+        ThreadedTransport {
+            capacity,
+            start: Instant::now(),
+            senders: HashMap::new(),
+            counters: Arc::new(Counters::default()),
+        }
+    }
+
+    /// Registers a node and returns the receiving end of its mailbox.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is already registered.
+    pub fn register(&mut self, node: NodeId) -> Receiver<Delivery<M>> {
+        let (sender, receiver) = sync_channel(self.capacity);
+        let previous = self.senders.insert(node, sender);
+        assert!(previous.is_none(), "node {node} registered twice");
+        receiver
+    }
+
+    /// Registers several nodes onto one shared mailbox (used by a client
+    /// driver thread that serves a whole pool of client identities).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of the nodes is already registered.
+    pub fn register_shared(&mut self, nodes: &[NodeId]) -> Receiver<Delivery<M>> {
+        let (sender, receiver) = sync_channel(self.capacity);
+        for &node in nodes {
+            let previous = self.senders.insert(node, sender.clone());
+            assert!(previous.is_none(), "node {node} registered twice");
+        }
+        receiver
+    }
+
+    /// A clonable sender handle over every mailbox registered so far.
+    pub fn handle(&self) -> TransportHandle<M> {
+        TransportHandle {
+            senders: self.senders.clone(),
+            start: self.start,
+            counters: Arc::clone(&self.counters),
+        }
+    }
+
+    /// Traffic counters (shared with every handle).
+    pub fn stats(&self) -> TransportStats {
+        TransportStats {
+            sent: self.counters.sent.load(Ordering::Relaxed),
+            dropped: self.counters.dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A clonable sender handle of a [`ThreadedTransport`]; the per-thread face
+/// of the transport.
+#[derive(Debug)]
+pub struct TransportHandle<M> {
+    senders: HashMap<NodeId, SyncSender<Delivery<M>>>,
+    start: Instant,
+    counters: Arc<Counters>,
+}
+
+impl<M> Clone for TransportHandle<M> {
+    fn clone(&self) -> Self {
+        TransportHandle {
+            senders: self.senders.clone(),
+            start: self.start,
+            counters: Arc::clone(&self.counters),
+        }
+    }
+}
+
+impl<M> TransportHandle<M> {
+    /// Wall-clock seconds since the hub was created — the time base stamped
+    /// on deliveries, shared by every thread of the cluster.
+    pub fn now(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+impl<M: Send> Transport<M> for TransportHandle<M> {
+    fn send(&mut self, from: NodeId, to: NodeId, message: M) {
+        self.counters.sent.fetch_add(1, Ordering::Relaxed);
+        let Some(sender) = self.senders.get(&to) else {
+            self.counters.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let delivery = Delivery {
+            time: self.now(),
+            from,
+            to,
+            message,
+        };
+        if sender.try_send(delivery).is_err() {
+            // Full or disconnected mailbox: backpressure surfaces as loss.
+            self.counters.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_reach_registered_mailboxes() {
+        let mut hub: ThreadedTransport<u32> = ThreadedTransport::new(8);
+        let rx = hub.register(1);
+        let mut handle = hub.handle();
+        handle.send(0, 1, 42);
+        let delivery = rx.recv().expect("delivered");
+        assert_eq!(delivery.from, 0);
+        assert_eq!(delivery.to, 1);
+        assert_eq!(delivery.message, 42);
+        assert!(delivery.time >= 0.0);
+        assert_eq!(
+            hub.stats(),
+            TransportStats {
+                sent: 1,
+                dropped: 0
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_recipients_and_full_mailboxes_count_as_drops() {
+        let mut hub: ThreadedTransport<u32> = ThreadedTransport::new(2);
+        let _rx = hub.register(1);
+        let mut handle = hub.handle();
+        handle.send(0, 9, 1); // unknown
+        handle.send(0, 1, 2);
+        handle.send(0, 1, 3);
+        handle.send(0, 1, 4); // capacity 2: dropped
+        let stats = hub.stats();
+        assert_eq!(stats.sent, 4);
+        assert_eq!(stats.dropped, 2);
+    }
+
+    #[test]
+    fn broadcast_skips_the_sender_and_shared_mailboxes_fan_in() {
+        let mut hub: ThreadedTransport<&'static str> = ThreadedTransport::new(8);
+        let shared = hub.register_shared(&[10, 11, 12]);
+        let mut handle = hub.handle();
+        handle.broadcast(10, &[10, 11, 12], &"hello");
+        let mut recipients: Vec<NodeId> = (0..2).map(|_| shared.recv().unwrap().to).collect();
+        recipients.sort_unstable();
+        assert_eq!(recipients, vec![11, 12]);
+        assert!(shared.try_recv().is_err(), "sender must not self-deliver");
+    }
+
+    #[test]
+    fn handles_work_across_threads() {
+        let mut hub: ThreadedTransport<u64> = ThreadedTransport::new(64);
+        let rx = hub.register(0);
+        let handle = hub.handle();
+        let workers: Vec<_> = (1..4u64)
+            .map(|w| {
+                let mut handle = handle.clone();
+                std::thread::spawn(move || {
+                    for i in 0..10 {
+                        handle.send(w as NodeId, 0, w * 100 + i);
+                    }
+                })
+            })
+            .collect();
+        for worker in workers {
+            worker.join().expect("worker finishes");
+        }
+        let received: Vec<u64> = rx.try_iter().map(|d| d.message).collect();
+        assert_eq!(received.len(), 30);
+    }
+}

@@ -40,6 +40,7 @@
 pub mod algorithms;
 pub mod baselines;
 pub mod controller;
+pub mod dataplane;
 pub mod error;
 pub mod metrics;
 pub mod node_model;

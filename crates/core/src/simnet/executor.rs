@@ -155,6 +155,8 @@ impl<'a> SimHarness<'a> {
             parallel_recoveries: config.parallel_recoveries,
             network: config.network,
             seed: schedule.seed,
+            checkpoint_period: config.checkpoint_period,
+            batch_size: config.batch_size,
             ..MinBftConfig::default()
         });
         let alert_model = ObservationModel::paper_default();
@@ -474,15 +476,14 @@ impl<'a> SimHarness<'a> {
         let members: Vec<NodeId> = self.cluster.membership().to_vec();
         let longest = members
             .iter()
-            .filter_map(|&id| self.cluster.executed_log(id))
-            .map(<[_]>::len)
+            .filter_map(|&id| self.cluster.executed_len(id))
             .max()
             .unwrap_or(0);
         for id in members {
             let lagging = self
                 .cluster
-                .executed_log(id)
-                .map(|log| log.len() + 2 < longest)
+                .executed_len(id)
+                .map(|len| len + 2 < longest)
                 .unwrap_or(false);
             if self.cluster.needs_state(id) || lagging {
                 self.cluster.recover_replica(id);
@@ -522,7 +523,7 @@ impl<'a> SimHarness<'a> {
                          crashed {} needs_state {} byz {:?}",
                         self.cluster.replica_view(id),
                         self.cluster.leader_of(id),
-                        self.cluster.executed_log(id).map(<[_]>::len).unwrap_or(0),
+                        self.cluster.executed_len(id).unwrap_or(0),
                         self.cluster.is_crashed(id),
                         self.cluster.needs_state(id),
                         self.cluster.byzantine_mode(id),
@@ -617,7 +618,7 @@ impl<'a> SimHarness<'a> {
                     let tail: Vec<u64> = log.iter().rev().take(3).map(|d| d.0 % 1000).collect();
                     eprintln!(
                         "  step {step} replica {id}: len {} tail {:?} crashed {} needs_state {}",
-                        log.len(),
+                        self.cluster.executed_len(id).unwrap_or(0),
                         tail,
                         self.cluster.is_crashed(id),
                         self.cluster.needs_state(id),

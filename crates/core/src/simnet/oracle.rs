@@ -80,9 +80,15 @@ impl std::fmt::Display for Violation {
 pub struct InvariantChecker {
     /// Digests of every request submitted through the harness.
     submitted: HashSet<Digest>,
-    /// How far each replica's log has already been validity-checked (reset
-    /// when a log shrinks, i.e. the replica was recovered).
-    validity_scanned: BTreeMap<NodeId, usize>,
+    /// Absolute log position up to which each replica has already been
+    /// validity-checked (reset when a log shrinks, i.e. the replica was
+    /// recovered).
+    validity_scanned: BTreeMap<NodeId, u64>,
+    /// Commit-trace records already folded into `sequence_digests`.
+    trace_scanned: usize,
+    /// First digest observed per committed sequence number (the
+    /// sequence-level agreement ground truth).
+    sequence_digests: BTreeMap<u64, (NodeId, Digest)>,
 }
 
 impl InvariantChecker {
@@ -99,58 +105,114 @@ impl InvariantChecker {
     /// Checks agreement and validity over the current executed logs of all
     /// live (non-crashed) replicas; `step` tags any violation.
     pub fn check_logs(&mut self, cluster: &MinBftCluster, step: u32) -> Option<Violation> {
-        let logs: Vec<(NodeId, &[Digest])> = cluster
+        // Logs are retained suffixes since each replica's stable checkpoint:
+        // `(replica, absolute offset of the first entry, suffix)`.
+        let logs: Vec<(NodeId, u64, &[Digest])> = cluster
             .membership()
             .iter()
             .copied()
             .filter(|&id| !cluster.is_crashed(id))
-            .filter_map(|id| cluster.executed_log(id).map(|log| (id, log)))
+            .filter_map(|id| {
+                let log = cluster.executed_log(id)?;
+                let start = cluster.executed_log_start(id)?;
+                Some((id, start, log))
+            })
             .collect();
-        // Agreement: pairwise common-prefix equality.
-        for (i, &(id_a, log_a)) in logs.iter().enumerate() {
-            for &(id_b, log_b) in logs.iter().skip(i + 1) {
-                let common = log_a.len().min(log_b.len());
-                if log_a[..common] != log_b[..common] {
-                    let position = (0..common)
-                        .find(|&p| log_a[p] != log_b[p])
-                        .expect("prefixes differ");
+        // Agreement, positional: pairwise equality on the log positions both
+        // replicas retain (compaction truncates prefixes, so the overlap
+        // window is compared instead of the raw prefixes).
+        for (i, &(id_a, start_a, log_a)) in logs.iter().enumerate() {
+            for &(id_b, start_b, log_b) in logs.iter().skip(i + 1) {
+                if let Some(position) = tolerance_consensus::minbft::first_log_divergence(
+                    start_a, log_a, start_b, log_b,
+                ) {
+                    let digest_a = log_a[(position - start_a) as usize];
+                    let digest_b = log_b[(position - start_b) as usize];
                     return Some(Violation {
                         kind: InvariantKind::Agreement,
                         step,
                         detail: format!(
-                            "replicas {id_a} and {id_b} committed different digests at sequence \
-                             {}: {:?} vs {:?}",
+                            "replicas {id_a} and {id_b} committed different digests at log \
+                             position {}: {digest_a:?} vs {digest_b:?}",
                             position + 1,
-                            log_a[position],
-                            log_b[position]
                         ),
                     });
                 }
             }
         }
-        // Validity: every (newly appended) digest was submitted.
-        for (id, log) in logs {
-            let scanned = self.validity_scanned.entry(id).or_insert(0);
-            if *scanned > log.len() {
-                *scanned = 0; // the replica was recovered and its log reset
-            }
-            for (index, digest) in log.iter().enumerate().skip(*scanned) {
-                // Gap-filling no-ops are legitimate: their request is a pure
-                // function of the sequence number they fill.
-                let noop = tolerance_consensus::minbft::Request::noop(index as u64 + 1).digest();
-                if *digest != noop && !self.submitted.contains(digest) {
+        // Agreement, per sequence number: empty-batch gap fills mean log
+        // *positions* no longer identify sequence numbers, so a renumbering
+        // split (the same requests re-committed under different sequences,
+        // leaving positionally identical logs) is only visible in the
+        // commit trace.
+        for record in
+            &cluster.commit_trace()[self.trace_scanned.min(cluster.commit_trace().len())..]
+        {
+            match self.sequence_digests.get(&record.sequence) {
+                Some(&(other, digest)) if digest != record.digest => {
                     return Some(Violation {
-                        kind: InvariantKind::Validity,
+                        kind: InvariantKind::Agreement,
                         step,
                         detail: format!(
-                            "replica {id} committed digest {digest:?} at sequence {} that no \
-                             client submitted",
-                            index + 1
+                            "replicas {other} and {} committed different digests at sequence {}: \
+                             {digest:?} vs {:?}",
+                            record.replica, record.sequence, record.digest
                         ),
                     });
                 }
+                Some(_) => {}
+                None => {
+                    self.sequence_digests
+                        .insert(record.sequence, (record.replica, record.digest));
+                }
             }
-            *scanned = log.len();
+        }
+        self.trace_scanned = cluster.commit_trace().len();
+        // Validity: every (newly appended) digest was submitted. Gap-filling
+        // view changes commit *empty* batches, so every logged digest must
+        // trace back to a client request.
+        let check_position = |position: u64, digest: Digest, id: NodeId| {
+            (!self.submitted.contains(&digest)).then(|| Violation {
+                kind: InvariantKind::Validity,
+                step,
+                detail: format!(
+                    "replica {id} committed digest {digest:?} at log position {} that no \
+                     client submitted",
+                    position + 1
+                ),
+            })
+        };
+        for &(id, start, log) in &logs {
+            let mut scanned = self.validity_scanned.get(&id).copied().unwrap_or(0);
+            let absolute_len = start + log.len() as u64;
+            if absolute_len < scanned {
+                scanned = start; // the replica was recovered and its log reset
+            }
+            // Compaction (or a fresh state adoption) may have truncated
+            // positions this oracle never scanned on this replica: validate
+            // them from any replica that still retains them — the positional
+            // agreement check above makes any holder's copy authoritative.
+            // Positions no live replica retains were executed *and*
+            // compacted by a stable f+1 checkpoint within a single step and
+            // are no longer observable.
+            for position in scanned..start {
+                let held_elsewhere = logs.iter().find_map(|&(_, other_start, other_log)| {
+                    (other_start <= position && position < other_start + other_log.len() as u64)
+                        .then(|| other_log[(position - other_start) as usize])
+                });
+                if let Some(digest) = held_elsewhere {
+                    if let Some(violation) = check_position(position, digest, id) {
+                        return Some(violation);
+                    }
+                }
+            }
+            for position in scanned.max(start)..absolute_len {
+                let digest = log[(position - start) as usize];
+                if let Some(violation) = check_position(position, digest, id) {
+                    return Some(violation);
+                }
+            }
+            self.validity_scanned.insert(id, absolute_len);
         }
         None
     }
@@ -184,8 +246,7 @@ impl InvariantChecker {
         cluster
             .membership()
             .iter()
-            .filter_map(|&id| cluster.executed_log(id))
-            .map(|log| log.len() as u64)
+            .filter_map(|&id| cluster.executed_len(id))
             .max()
             .unwrap_or(0)
     }
@@ -240,7 +301,11 @@ mod tests {
         cluster.run_until_quiet(20.0);
         let violation = checker.check_logs(&cluster, 1).expect("must be caught");
         assert_eq!(violation.kind, InvariantKind::Agreement);
-        assert!(violation.detail.contains("sequence 2"));
+        assert!(
+            violation.detail.contains("log position 2") || violation.detail.contains("sequence 2"),
+            "unexpected detail: {}",
+            violation.detail
+        );
     }
 
     #[test]

@@ -175,6 +175,12 @@ pub struct ScheduleConfig {
     pub system_controller: bool,
     /// Base replica-to-replica link profile.
     pub network: NetworkConfig,
+    /// MinBFT checkpoint period (sequences between checkpoints); small
+    /// values exercise log compaction + state transfer under chaos.
+    pub checkpoint_period: u64,
+    /// MinBFT leader batch size (requests per PREPARE); values above 1
+    /// exercise the batched pipeline under chaos.
+    pub batch_size: usize,
     /// Expected number of generated fault events per step.
     pub intensity: f64,
     /// Fault kinds the generator may draw (pairs like `Heal` /
@@ -201,6 +207,8 @@ impl Default for ScheduleConfig {
                 jitter: 0.001,
                 loss_rate: 0.0005,
             },
+            checkpoint_period: 100,
+            batch_size: 1,
             intensity: 0.35,
             enabled: vec![
                 FaultKind::Partition,

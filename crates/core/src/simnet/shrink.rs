@@ -127,6 +127,16 @@ mod decode {
             .ok_or_else(|| error(format!("missing field `{name}`")))
     }
 
+    /// Optional field lookup for knobs added after counterexamples were
+    /// first emitted: absent fields decode to their [`ScheduleConfig`]
+    /// default, so archived documents stay replayable.
+    fn opt_field<'a>(value: &'a Value, name: &str) -> Option<&'a Value> {
+        let Value::Object(entries) = value else {
+            return None;
+        };
+        entries.iter().find(|(key, _)| key == name).map(|(_, v)| v)
+    }
+
     fn as_u64(value: &Value) -> Result<u64> {
         match value {
             Value::U64(n) => Ok(*n),
@@ -293,7 +303,16 @@ mod decode {
     }
 
     fn config(value: &Value) -> Result<ScheduleConfig> {
+        let defaults = ScheduleConfig::default();
         Ok(ScheduleConfig {
+            checkpoint_period: match opt_field(value, "checkpoint_period") {
+                Some(v) => as_u64(v)?,
+                None => defaults.checkpoint_period,
+            },
+            batch_size: match opt_field(value, "batch_size") {
+                Some(v) => as_usize(v)?,
+                None => defaults.batch_size,
+            },
             initial_replicas: as_usize(field(value, "initial_replicas")?)?,
             max_replicas: as_usize(field(value, "max_replicas")?)?,
             parallel_recoveries: as_usize(field(value, "parallel_recoveries")?)?,

@@ -57,9 +57,11 @@ pub fn heterogeneous_nodes_config() -> EmulationConfig {
 
 /// Builds the registry of built-in emulation scenarios: one entry per
 /// Table-7 strategy (at `N_1 = 6`, `Δ_R = 15`) under `paper/<strategy>`,
-/// the non-paper workloads described in the module docs, and the
+/// the non-paper workloads described in the module docs, the
 /// fault-injection scenarios of the simnet harness (`simnet/*`), so
-/// experiment sweeps treat fault intensity like any other grid axis.
+/// experiment sweeps treat fault intensity like any other grid axis, and
+/// the service data-plane throughput workloads (`dataplane/*`: closed-loop
+/// batching comparison and open-loop Poisson arrival).
 pub fn builtin_registry() -> ScenarioRegistry {
     let mut registry = ScenarioRegistry::new();
     for strategy in StrategyKind::paper_set() {
@@ -77,6 +79,7 @@ pub fn builtin_registry() -> ScenarioRegistry {
     );
     tolerance_core::simnet::register_simnet_scenarios(&mut registry);
     crate::chaos::register_chaos_scenarios(&mut registry);
+    tolerance_core::dataplane::register_dataplane_scenarios(&mut registry);
     registry
 }
 
@@ -99,7 +102,7 @@ mod tests {
     #[test]
     fn builtin_registry_contains_paper_novel_and_simnet_scenarios() {
         let registry = builtin_registry();
-        assert_eq!(registry.len(), 10);
+        assert_eq!(registry.len(), 13);
         for name in [
             "paper/tolerance",
             "paper/no-recovery",
@@ -111,6 +114,9 @@ mod tests {
             "simnet/chaos-heavy",
             "simnet/partition-churn",
             "simnet/attacker-campaign",
+            "dataplane/closed-b1",
+            "dataplane/closed-b16",
+            "dataplane/open-poisson",
         ] {
             assert!(registry.contains(name), "missing scenario {name}");
         }

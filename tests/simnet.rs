@@ -49,6 +49,21 @@ fn smoke_configs() -> Vec<(&'static str, ScheduleConfig)> {
                 ..ScheduleConfig::default()
             },
         ),
+        (
+            // The data-plane configuration: leader batching plus an
+            // aggressive checkpoint period, so recovery and view changes
+            // run from *truncated* logs (state transfer from the stable
+            // checkpoint, no re-execution of compacted requests) under the
+            // same chaos schedules and oracles.
+            "gc-batch",
+            ScheduleConfig {
+                horizon: 40,
+                intensity: 0.5,
+                checkpoint_period: 8,
+                batch_size: 4,
+                ..ScheduleConfig::default()
+            },
+        ),
     ]
 }
 
