@@ -45,10 +45,16 @@ pub mod transport;
 pub mod usig;
 pub mod workload;
 
-pub use minbft::{ByzantineMode, CommitRecord, MinBftCluster, MinBftConfig, ThroughputReport};
+pub use minbft::{
+    ByzantineMode, CommitRecord, ControlMessage, MinBftCluster, MinBftConfig, MinBftConfigError,
+    ThroughputReport,
+};
 pub use net::{NetworkConfig, NetworkConfigError, SimNetwork};
 pub use raft::{RaftCluster, RaftConfig};
-pub use threaded::{ThreadedServiceConfig, ThreadedServiceReport};
+pub use threaded::{
+    ClientDriver, ClientReport, MembershipView, ReplicaSnapshot, ThreadedCluster,
+    ThreadedServiceConfig, ThreadedServiceReport, CONTROL_PLANE_ID,
+};
 pub use transport::{ThreadedTransport, Transport, TransportHandle, TransportStats};
 pub use usig::Usig;
 pub use workload::{Arrival, WorkloadConfig, WorkloadReport};

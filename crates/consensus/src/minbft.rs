@@ -179,6 +179,53 @@ pub type PreparedCertificate = (u64, u64, Vec<Request>);
 /// `(high_sequence, stable_sequence, prepared certificates)`.
 type ViewChangeVote = (u64, u64, Vec<PreparedCertificate>);
 
+/// Control-plane commands carried over the same [`Transport`] as protocol
+/// traffic, so the two-level feedback controllers can actuate a *running*
+/// cluster without a central coordinator. The simulated
+/// [`MinBftCluster`] actuates through its direct methods
+/// ([`MinBftCluster::recover_replica`], [`MinBftCluster::add_replica`], …);
+/// the threaded service ([`crate::threaded::ThreadedCluster`]) delivers
+/// these messages instead and the replicas apply the identical transitions
+/// on themselves inside [`replica_on_message`].
+///
+/// In the paper's architecture these commands travel on the trusted
+/// control channel between a node's privileged domain and its replica
+/// (Section IV), which is why a Silent/compromised replica still processes
+/// them: recovery must reach a replica precisely when it misbehaves.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlMessage {
+    /// Node controller → its replica: rebuild the replica. The rebuild is
+    /// **two-phase**: the replica first marks itself `pending_rebuild` and
+    /// pulls state ([`Message::StateRequest`]) while continuing to
+    /// participate; only when a transfer at or beyond its own execution
+    /// frontier arrives does it wipe its protocol state and adopt the
+    /// transfer in the same step. Wiping eagerly would erase the cluster's
+    /// only copy of the committed suffix whenever the target is the unique
+    /// live frontier holder (the agreement violation the simulated path's
+    /// recovery deferral guards against). The tamperproof USIG survives the
+    /// rebuild — its monotonic counter is exactly the state MinBFT's
+    /// trusted component preserves across recoveries — so peers need no
+    /// counter-reset coordination.
+    Recover,
+    /// System controller → every replica: install a new configuration
+    /// epoch/membership (the JOIN/EVICT reconfiguration). Replicas bar
+    /// themselves from leading their current view and vote a view change,
+    /// exactly like the simulated cluster's reconfiguration round; a
+    /// replica absent from the new membership marks itself evicted.
+    Reconfigure {
+        /// The new configuration epoch (must exceed the replica's).
+        epoch: u64,
+        /// The new membership.
+        membership: Vec<NodeId>,
+    },
+    /// Fault injection for tests and controlled scenarios: sets the
+    /// replica's Byzantine mode (the intrusion the IDS observes).
+    Compromise {
+        /// The behaviour to adopt.
+        mode: ByzantineMode,
+    },
+}
+
 /// Protocol messages (Fig. 17 of the paper, batched).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
@@ -313,6 +360,14 @@ pub enum Message {
         /// no-op-fill sequence numbers that already executed elsewhere.
         prepared: Vec<PreparedCertificate>,
     },
+    /// A control-plane command (see [`ControlMessage`]). The threaded
+    /// service delivers these on a dedicated per-replica channel modelling
+    /// the trusted link from the node's privileged domain (processed even
+    /// by crashed/Silent replicas — a compromise cannot sever it); the
+    /// simulated cluster actuates through its direct methods instead and
+    /// never routes `Control` over [`SimNetwork`], whose dispatch gate
+    /// would drop it like any other traffic to a crashed/Silent replica.
+    Control(ControlMessage),
 }
 
 /// One committed batch as observed at one replica: the trace hook that
@@ -385,6 +440,105 @@ impl Default for MinBftConfig {
     }
 }
 
+/// A [`MinBftConfig`] field combination the protocol cannot run well under
+/// (see [`MinBftConfig::validate`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MinBftConfigError {
+    /// A duration field is negative or NaN.
+    NegativeDuration {
+        /// Name of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// `batch_delay` is shorter than the time the leader needs to even
+    /// *accumulate* a full batch, so every batch flushes partial and the
+    /// pipeline degrades to near-unbatched throughput.
+    BatchWindowTooShort {
+        /// The configured flush window.
+        batch_delay: f64,
+        /// The smallest window under which full batches can form
+        /// (`batch_size × (processing_time + signature_time)`).
+        required: f64,
+    },
+}
+
+impl std::fmt::Display for MinBftConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MinBftConfigError::NegativeDuration { field, value } => {
+                write!(f, "minbft config `{field}` = {value} must be non-negative")
+            }
+            MinBftConfigError::BatchWindowTooShort {
+                batch_delay,
+                required,
+            } => write!(
+                f,
+                "batch_delay = {batch_delay}s is below the batch-fill floor of {required}s \
+                 (batch_size × per-message cost); batches would flush before filling"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MinBftConfigError {}
+
+impl MinBftConfig {
+    /// The smallest `batch_delay` under which full batches can form: the
+    /// leader needs `batch_size` per-message processing slots (each costing
+    /// `processing_time + signature_time`) before the age-triggered partial
+    /// flush fires. Zero when batching is off (`batch_size ≤ 1`).
+    pub fn min_batch_delay(&self) -> f64 {
+        if self.batch_size <= 1 {
+            0.0
+        } else {
+            self.batch_size as f64 * (self.processing_time + self.signature_time)
+        }
+    }
+
+    /// Validates the configuration, in particular the batching constraint
+    /// `batch_delay ≥ batch_size × (processing_time + signature_time)`:
+    /// a shorter flush window makes every batch flush partial before it can
+    /// fill, silently erasing the throughput gain batching exists for.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), MinBftConfigError> {
+        for (field, value) in [
+            ("processing_time", self.processing_time),
+            ("signature_time", self.signature_time),
+            ("request_timeout", self.request_timeout),
+            ("batch_delay", self.batch_delay),
+        ] {
+            if value.is_nan() || value < 0.0 {
+                return Err(MinBftConfigError::NegativeDuration { field, value });
+            }
+        }
+        let required = self.min_batch_delay();
+        if self.batch_delay < required {
+            return Err(MinBftConfigError::BatchWindowTooShort {
+                batch_delay: self.batch_delay,
+                required,
+            });
+        }
+        Ok(())
+    }
+
+    /// Returns a copy with `batch_delay` raised to the batch-fill floor of
+    /// [`MinBftConfig::min_batch_delay`] (and negative durations clamped to
+    /// zero), so sweep and scenario code can take any grid point and still
+    /// run a meaningfully batched pipeline.
+    pub fn clamped(&self) -> Self {
+        let mut config = self.clone();
+        config.processing_time = config.processing_time.max(0.0);
+        config.signature_time = config.signature_time.max(0.0);
+        config.request_timeout = config.request_timeout.max(0.0);
+        config.batch_delay = config.batch_delay.max(0.0).max(config.min_batch_delay());
+        config
+    }
+}
+
 /// The knobs the transport-agnostic replica step functions need (derived
 /// from [`MinBftConfig`] by the simulated cluster and from
 /// [`crate::threaded::ThreadedServiceConfig`] by the threaded service).
@@ -438,6 +592,30 @@ pub(crate) struct Replica {
     pub(crate) id: NodeId,
     usig: Usig,
     verifier: UsigVerifier,
+    /// The replica's copy of the public-key directory, retained so the
+    /// message-driven `Recover`/`Reconfigure` control commands can rebuild
+    /// the verifier (and register deterministically derived keys of newly
+    /// joined members) without a central coordinator.
+    directory: KeyDirectory,
+    /// The key-derivation seed (see [`KeyPair::derive`]), retained for the
+    /// same reason.
+    seed: u64,
+    /// Set by a [`ControlMessage::Reconfigure`] whose membership excludes
+    /// this replica; the hosting event loop exits the replica thread.
+    pub(crate) evicted: bool,
+    /// Execution frontier this replica held when it last rebuilt itself
+    /// through the message-driven [`ControlMessage::Recover`] path. A
+    /// state transfer below this floor is refused: adopting it would roll
+    /// the replica back past sequences it already executed — if it was the
+    /// unique live frontier holder, the committed suffix would be erased
+    /// and re-assigned by the next gap-filling view change. The replica
+    /// stays in `needs_state` (re-announcing its pull) until a peer
+    /// reaches the floor.
+    recovery_floor: u64,
+    /// Phase one of the message-driven rebuild (see
+    /// [`ControlMessage::Recover`]): a state pull is outstanding, but the
+    /// protocol state survives until a frontier-covering transfer arrives.
+    pub(crate) pending_rebuild: bool,
     pub(crate) byzantine: ByzantineMode,
     pub(crate) crashed: bool,
     pub(crate) view: u64,
@@ -528,7 +706,10 @@ impl Replica {
         Replica {
             id,
             usig: Usig::new(keys),
-            verifier: UsigVerifier::new(directory),
+            verifier: UsigVerifier::new(directory.clone()),
+            directory,
+            seed,
+            evicted: false,
             byzantine: ByzantineMode::Correct,
             crashed: false,
             view: 0,
@@ -552,6 +733,8 @@ impl Replica {
             own_checkpoints: BTreeMap::new(),
             checkpoint_votes: BTreeMap::new(),
             needs_state: false,
+            recovery_floor: 0,
+            pending_rebuild: false,
             min_lead_view: 0,
             epoch: 0,
             voted_view: 0,
@@ -572,6 +755,82 @@ impl Replica {
                 true
             }
         });
+    }
+
+    /// The replica-side half of a controller-triggered recovery: rebuild
+    /// the protocol state in place (fresh USIG, wiped log and certificates)
+    /// while keeping identity, membership, epoch and view, then await a
+    /// state transfer. This is what [`MinBftCluster::recover_replica`] does
+    /// centrally; the message-driven [`ControlMessage::Recover`] path lets
+    /// a live threaded replica do it to itself.
+    fn reset_for_recovery(&mut self) {
+        let view = self.view;
+        let epoch = self.epoch;
+        let mut fresh = Replica::new(
+            self.id,
+            self.membership.clone(),
+            self.directory.clone(),
+            self.seed,
+        );
+        fresh.view = view;
+        fresh.epoch = epoch;
+        fresh.needs_state = true;
+        // Only a transfer at or beyond the pre-recovery frontier may be
+        // adopted (see the `recovery_floor` field).
+        fresh.recovery_floor = self.last_executed;
+        // The USIG is the tamperproof component: its monotonic counter
+        // survives recovery (that is the trusted-component assumption the
+        // whole protocol rests on), so peers keep accepting certificates
+        // without any counter-reset coordination.
+        std::mem::swap(&mut fresh.usig, &mut self.usig);
+        // A freshly recovered replica must not resume proposing under its
+        // old leadership; it may only lead a view acquired through a
+        // view-change quorum (see `min_lead_view`).
+        fresh.min_lead_view = view + 1;
+        *self = fresh;
+    }
+
+    /// Applies a [`ControlMessage::Reconfigure`]: adopt the new epoch and
+    /// membership, refresh the key directory/verifier (keys are derived
+    /// deterministically from the shared seed), drop the old epoch's
+    /// view-change ballots, bar leadership of the current view, and either
+    /// vote the reconfiguration view change (healthy replicas) or pull
+    /// state (replicas still awaiting a transfer). Prepared entries and
+    /// commit votes survive — they are genuine USIG-certified statements
+    /// whose high-water marks stop a post-reconfiguration leader from
+    /// re-assigning executed sequence numbers.
+    fn apply_reconfiguration(&mut self, epoch: u64, membership: Vec<NodeId>, out: &mut StepOutput) {
+        for &member in &membership {
+            self.directory.register(&KeyPair::derive(member, self.seed));
+        }
+        self.verifier = UsigVerifier::new(self.directory.clone());
+        self.membership = membership;
+        self.epoch = epoch;
+        self.view_change_votes.clear();
+        self.min_lead_view = self.min_lead_view.max(self.view + 1);
+        if !self.membership.contains(&self.id) {
+            self.evicted = true;
+            return;
+        }
+        if self.crashed {
+            return;
+        }
+        if self.needs_state || self.pending_rebuild {
+            // A newcomer (or a replica mid-recovery/mid-rebuild) re-pulls
+            // state in the new epoch; its old-epoch StateRequest is void
+            // now.
+            out.broadcast.push(Message::StateRequest { epoch });
+        }
+        if !self.needs_state && self.byzantine != ByzantineMode::Silent {
+            self.voted_view = self.voted_view.max(self.view + 1);
+            out.broadcast.push(Message::ViewChange {
+                epoch,
+                new_view: self.view + 1,
+                high_sequence: replica_high_sequence(self),
+                stable_sequence: self.stable_sequence,
+                prepared: prepared_report(self),
+            });
+        }
     }
 
     fn may_lead(&self) -> bool {
@@ -1315,10 +1574,24 @@ pub(crate) fn replica_on_message(
             replies,
             prepared,
         } => {
+            // Phase two of a message-driven rebuild: the first transfer
+            // covering the replica's own frontier triggers the wipe, and
+            // the very same transfer is adopted below — there is no window
+            // in which the state is gone without a replacement.
+            if epoch == replica.epoch
+                && replica.pending_rebuild
+                && !replica.needs_state
+                && last_executed >= replica.last_executed
+            {
+                replica.reset_for_recovery();
+            }
             if epoch == replica.epoch
                 && replica.needs_state
                 && last_executed >= replica.last_executed
+                && last_executed >= replica.recovery_floor
             {
+                replica.recovery_floor = 0;
+                replica.pending_rebuild = false;
                 for (sequence, cert_view, batch) in prepared {
                     match replica.prepared.get(&sequence) {
                         Some(&(v, _)) if v >= cert_view => {}
@@ -1359,6 +1632,30 @@ pub(crate) fn replica_on_message(
                 replica.needs_state = false;
             }
         }
+        Message::Control(control) => match control {
+            ControlMessage::Recover => {
+                // Phase one of the rebuild: the privileged domain seizes
+                // the replica (the injected misbehaviour ends here — a
+                // Silent replica must resume receiving, or the transfer
+                // that completes the rebuild would itself be dropped) and
+                // requests state while keeping the current state and
+                // certificates alive. The wipe happens atomically with
+                // adoption in the StateTransfer handler.
+                replica.byzantine = ByzantineMode::Correct;
+                replica.pending_rebuild = true;
+                out.broadcast.push(Message::StateRequest {
+                    epoch: replica.epoch,
+                });
+            }
+            ControlMessage::Reconfigure { epoch, membership } => {
+                if epoch > replica.epoch {
+                    replica.apply_reconfiguration(epoch, membership, out);
+                }
+            }
+            ControlMessage::Compromise { mode } => {
+                replica.byzantine = mode;
+            }
+        },
         Message::Reply { .. } => {}
     }
 }
@@ -1744,18 +2041,30 @@ impl MinBftCluster {
     /// state and requests a state transfer from the other replicas. This is
     /// the operation the paper's node controllers trigger (Section VII-C).
     ///
-    /// Returns `false` when the recovery was **deferred**: resetting the
-    /// replica while every other replica is itself crashed or awaiting a
-    /// transfer would wipe the service's last copy of its state, so nothing
-    /// happens and the caller must retry later (e.g. on the next BTR tick).
+    /// Returns `false` when the recovery was **deferred**: the rebuild only
+    /// proceeds when a live donor *at or beyond the target's execution
+    /// frontier* exists. Rebuilding the unique frontier holder (e.g. the
+    /// last live member of a commit quorum whose peers crashed) would
+    /// erase the cluster's only copy of the committed suffix — the adopted
+    /// transfer would roll the replica back, and the next view-change
+    /// ballot would gap-fill the erased sequences with empty batches and
+    /// re-assign them (an agreement violation found by the 300-run
+    /// controlled chaos sweep, seed 194). While deferred the target keeps
+    /// participating (its certificates stay reachable through view
+    /// changes, which is how lagging peers catch up to the frontier), and
+    /// the caller retries on the next BTR tick.
     pub fn recover_replica(&mut self, replica: NodeId) -> bool {
         self.network.restart(replica);
+        let target_frontier = self
+            .replicas
+            .get(&replica)
+            .map(|r| r.last_executed)
+            .unwrap_or(0);
         let donor_exists = self.membership.iter().any(|&id| {
             id != replica
-                && self
-                    .replicas
-                    .get(&id)
-                    .is_some_and(|r| !r.crashed && !r.needs_state)
+                && self.replicas.get(&id).is_some_and(|r| {
+                    !r.crashed && !r.needs_state && r.last_executed >= target_frontier
+                })
         });
         if !donor_exists {
             return false;
@@ -2437,6 +2746,53 @@ mod tests {
             request_timeout: 0.5,
             ..MinBftConfig::default()
         })
+    }
+
+    #[test]
+    fn config_validation_enforces_the_batch_fill_floor() {
+        // batch_delay must cover batch_size × (processing + signature)
+        // time, otherwise every batch flushes partial before it can fill.
+        let good = MinBftConfig {
+            batch_size: 16,
+            batch_delay: 0.1,
+            processing_time: 0.0008,
+            signature_time: 0.002,
+            ..MinBftConfig::default()
+        };
+        assert!(good.validate().is_ok());
+        assert!((good.min_batch_delay() - 16.0 * 0.0028).abs() < 1e-12);
+
+        let short = MinBftConfig {
+            batch_delay: 0.005,
+            ..good.clone()
+        };
+        assert!(matches!(
+            short.validate(),
+            Err(MinBftConfigError::BatchWindowTooShort { .. })
+        ));
+        let clamped = short.clamped();
+        assert!(clamped.validate().is_ok());
+        assert!((clamped.batch_delay - clamped.min_batch_delay()).abs() < 1e-12);
+
+        // Unbatched pipelines have no floor.
+        let unbatched = MinBftConfig {
+            batch_size: 1,
+            batch_delay: 0.0,
+            ..MinBftConfig::default()
+        };
+        assert_eq!(unbatched.min_batch_delay(), 0.0);
+        assert!(unbatched.validate().is_ok());
+
+        let negative = MinBftConfig {
+            request_timeout: -1.0,
+            ..MinBftConfig::default()
+        };
+        assert!(matches!(
+            negative.validate(),
+            Err(MinBftConfigError::NegativeDuration { .. })
+        ));
+        assert!(negative.clamped().validate().is_ok());
+        assert!(!negative.validate().unwrap_err().to_string().is_empty());
     }
 
     #[test]

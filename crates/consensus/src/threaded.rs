@@ -8,25 +8,46 @@
 //! request, timeouts retransmit), so a full cluster serves requests
 //! concurrently at wall-clock speed instead of simulated time.
 //!
-//! Faults are out of scope here (the deterministic simnet harness owns
-//! fault injection); the threaded service exists to prove the refactored
-//! pipeline — batching, checkpoint compaction, view-change timers — runs
-//! unchanged as a multi-threaded system, and to measure real hardware
-//! throughput in `benches/minbft_throughput.rs`.
+//! Since PR 4 the service is **controllable while it runs**:
+//! [`ThreadedCluster`] exposes the actuation surface of the paper's
+//! two-level control plane — [`ThreadedCluster::recover`] delivers a
+//! [`ControlMessage::Recover`] to a live replica (rebuild + pull-based
+//! state transfer, the node-controller actuator), and
+//! [`ThreadedCluster::join`]/[`ThreadedCluster::evict`] reshape the
+//! membership of the running cluster through
+//! [`ControlMessage::Reconfigure`] epochs (the system-controller actuator).
+//! Actuation commands travel on a dedicated per-replica control channel —
+//! the trusted link from the node's privileged domain, drained with
+//! priority and never subject to data-plane backpressure — while the
+//! recovery's state pull rides the ordinary droppable transport and is
+//! re-announced until a transfer lands. The replica-side transitions live
+//! in [`crate::minbft::replica_on_message`], so the simulated and the
+//! threaded cluster actuate identically.
+//!
+//! Random faults are still owned by the deterministic simnet harness; the
+//! threaded service injects *scripted* intrusions
+//! ([`ThreadedCluster::compromise`]) so the live control loop has something
+//! real to detect and repair.
 
 use crate::crypto::{Digest, KeyDirectory, KeyPair};
 use crate::minbft::{
-    flush_stale_batch, replica_on_message, stall_vote, CommitRecord, Message, ProtocolParams,
-    Replica, Request, StepOutput, CLIENT_ID_BASE,
+    flush_stale_batch, replica_on_message, stall_vote, CommitRecord, ControlMessage, Message,
+    ProtocolParams, Replica, Request, StepOutput, CLIENT_ID_BASE,
 };
 use crate::transport::{ThreadedTransport, Transport, TransportHandle, TransportStats};
 use crate::workload::OpStream;
-use crate::{hybrid_fault_threshold, NodeId};
+use crate::{hybrid_fault_threshold, ByzantineMode, NodeId};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// The sender id control commands carry. Below [`CLIENT_ID_BASE`] and above
+/// any replica id, so it never collides; control-plane actuation only sends
+/// and never receives, so no mailbox is registered for it.
+pub const CONTROL_PLANE_ID: NodeId = 9_000;
 
 /// Configuration of a threaded MinBFT service run.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -37,9 +58,11 @@ pub struct ThreadedServiceConfig {
     pub clients: usize,
     /// Maximum requests per PREPARE (see [`crate::MinBftConfig::batch_size`]).
     pub batch_size: usize,
-    /// Seconds a partial batch may age before flushing.
+    /// Seconds a partial batch may age before flushing. Subject to the same
+    /// batch-fill constraint as [`crate::MinBftConfig::batch_delay`].
     pub batch_delay: f64,
-    /// Executed sequences between checkpoints (log compaction period).
+    /// Executed sequences between checkpoints (log compaction period;
+    /// `0` disables checkpoints).
     pub checkpoint_period: u64,
     /// Client/view-change timeout in wall-clock seconds (generous: a busy
     /// host must not trigger spurious view changes).
@@ -102,41 +125,108 @@ pub struct ThreadedServiceReport {
 }
 
 /// Final state a replica thread reports at shutdown.
-struct ReplicaSnapshot {
-    log_start: u64,
-    executed: Vec<Digest>,
-    last_executed: u64,
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaSnapshot {
+    /// The replica's id.
+    pub id: NodeId,
+    /// Absolute index of the first retained executed-log entry.
+    pub log_start: u64,
+    /// The retained executed-request digest log.
+    pub executed: Vec<Digest>,
+    /// Highest executed sequence number.
+    pub last_executed: u64,
+    /// Whether the replica was still awaiting a state transfer.
+    pub needs_state: bool,
 }
 
+/// A live replica thread plus its private control surface: a dedicated
+/// bounded channel for [`ControlMessage`]s (the trusted channel from the
+/// node's privileged domain — sends *block* briefly instead of dropping,
+/// so actuation commands cannot be lost to data-plane backpressure the way
+/// protocol traffic can) and a kill switch for eviction/shutdown (a flag
+/// cannot be lost even if the thread never polls its channels again).
+struct Worker {
+    thread: JoinHandle<ReplicaSnapshot>,
+    kill: Arc<AtomicBool>,
+    control: std::sync::mpsc::SyncSender<ControlMessage>,
+}
+
+/// Seconds between re-announcements while a replica awaits its state
+/// transfer: the `StateRequest` rides the droppable data plane, so a
+/// recovering (or rebuilding) replica repeats it until a transfer lands —
+/// one lost broadcast must not strand the recovery.
+const STATE_PULL_RETRY: f64 = 0.05;
+
+#[allow(clippy::too_many_arguments)] // private thread entry point: the
+                                     // arguments are exactly the thread's owned endpoints, not a config bag.
 fn replica_main(
     mut replica: Replica,
     mailbox: Receiver<crate::net::Delivery<Message>>,
+    control_rx: Receiver<ControlMessage>,
     mut transport: TransportHandle<Message>,
-    members: Vec<NodeId>,
     params: ProtocolParams,
     request_timeout: f64,
     stop: Arc<AtomicBool>,
+    kill: Arc<AtomicBool>,
 ) -> ReplicaSnapshot {
     let mut trace: Vec<CommitRecord> = Vec::new();
     let from = replica.id;
+    let mut last_state_pull = f64::NEG_INFINITY;
     loop {
+        // The trusted control channel drains first: recovery and
+        // reconfiguration reach the replica even when its protocol mailbox
+        // is saturated (and even when it is crashed/Silent — a compromise
+        // cannot sever the privileged domain's channel).
+        while let Ok(command) = control_rx.try_recv() {
+            let mut out = StepOutput::default();
+            replica_on_message(
+                &mut replica,
+                CONTROL_PLANE_ID,
+                Message::Control(command),
+                transport.now(),
+                &params,
+                &mut trace,
+                &mut out,
+            );
+            if replica.needs_state || replica.pending_rebuild {
+                last_state_pull = transport.now();
+            }
+            out.flush(&mut transport, from, &replica.membership);
+            trace.clear();
+        }
+        if replica.evicted {
+            break;
+        }
         match mailbox.recv_timeout(Duration::from_millis(2)) {
             Ok(delivery) => {
-                let mut out = StepOutput::default();
-                replica_on_message(
-                    &mut replica,
-                    delivery.from,
-                    delivery.message,
-                    delivery.time,
-                    &params,
-                    &mut trace,
-                    &mut out,
-                );
-                out.flush(&mut transport, from, &members);
-                // The commit trace is a simulation-harness hook; nothing
-                // reads it here, and letting it accumulate would grow
-                // per-thread memory for the run's whole duration.
-                trace.clear();
+                // A crashed or Silent replica drops protocol traffic (the
+                // gate the simulated cluster applies at dispatch). Control
+                // commands arrive on the dedicated channel above; a
+                // `Message::Control` seen here came over the droppable
+                // data plane and gets no special treatment.
+                if matches!(delivery.message, Message::Control(_))
+                    || !(replica.crashed || replica.byzantine == ByzantineMode::Silent)
+                {
+                    let mut out = StepOutput::default();
+                    replica_on_message(
+                        &mut replica,
+                        delivery.from,
+                        delivery.message,
+                        delivery.time,
+                        &params,
+                        &mut trace,
+                        &mut out,
+                    );
+                    out.flush(&mut transport, from, &replica.membership);
+                    // The commit trace is a simulation-harness hook;
+                    // nothing reads it here, and letting it accumulate
+                    // would grow per-thread memory for the run's whole
+                    // duration.
+                    trace.clear();
+                    if replica.evicted {
+                        break;
+                    }
+                }
             }
             Err(RecvTimeoutError::Timeout) => {
                 // Idle tick: flush aged partial batches and run the
@@ -148,18 +238,318 @@ fn replica_main(
                 if let Some(vote) = stall_vote(&mut replica, now, request_timeout) {
                     out.broadcast.push(vote);
                 }
-                out.flush(&mut transport, from, &members);
+                out.flush(&mut transport, from, &replica.membership);
             }
             Err(RecvTimeoutError::Disconnected) => break,
         }
-        if stop.load(Ordering::Relaxed) {
+        // Re-announce a pending state pull: the one-shot broadcast may
+        // have been dropped by full peer mailboxes. Checked on *every*
+        // loop iteration — a busy mailbox (the exact condition that drops
+        // broadcasts) would otherwise starve a Timeout-only retry.
+        if replica.needs_state || replica.pending_rebuild {
+            let now = transport.now();
+            if now - last_state_pull > STATE_PULL_RETRY {
+                last_state_pull = now;
+                let mut out = StepOutput::default();
+                out.broadcast.push(Message::StateRequest {
+                    epoch: replica.epoch,
+                });
+                out.flush(&mut transport, from, &replica.membership);
+            }
+        }
+        if stop.load(Ordering::Relaxed) || kill.load(Ordering::Relaxed) {
             break;
         }
     }
     ReplicaSnapshot {
+        id: replica.id,
         log_start: replica.log_start,
         executed: std::mem::take(&mut replica.executed),
         last_executed: replica.last_executed,
+        needs_state: replica.needs_state || replica.pending_rebuild,
+    }
+}
+
+/// A clonable, always-current view of the running cluster's membership,
+/// shared between the cluster (which reconfigures it) and the client driver
+/// (which broadcasts requests to it).
+#[derive(Debug, Clone)]
+pub struct MembershipView {
+    inner: Arc<RwLock<Vec<NodeId>>>,
+}
+
+impl MembershipView {
+    /// The current membership.
+    pub fn current(&self) -> Vec<NodeId> {
+        self.inner.read().expect("membership lock").clone()
+    }
+
+    /// The current commit-quorum parameter `f`.
+    pub fn fault_threshold(&self) -> usize {
+        hybrid_fault_threshold(self.inner.read().expect("membership lock").len(), 0)
+    }
+}
+
+/// A MinBFT cluster running as a concurrent service — one OS thread per
+/// replica over bounded channels — with the live actuation surface of the
+/// two-level control plane: per-node recovery, scripted compromise, and
+/// JOIN/EVICT reconfiguration of the running membership.
+pub struct ThreadedCluster {
+    config: ThreadedServiceConfig,
+    params: ProtocolParams,
+    hub: ThreadedTransport<Message>,
+    control: TransportHandle<Message>,
+    directory: KeyDirectory,
+    membership: Arc<RwLock<Vec<NodeId>>>,
+    epoch: u64,
+    next_node_id: NodeId,
+    workers: HashMap<NodeId, Worker>,
+    finished: Vec<ReplicaSnapshot>,
+    stop: Arc<AtomicBool>,
+}
+
+impl ThreadedCluster {
+    /// Spawns the initial replica threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration asks for fewer than 2 replicas.
+    pub fn new(config: &ThreadedServiceConfig) -> Self {
+        assert!(config.replicas >= 2, "MinBFT needs at least two replicas");
+        let membership: Vec<NodeId> = (0..config.replicas as NodeId).collect();
+        let mut directory = KeyDirectory::new();
+        for &id in &membership {
+            directory.register(&KeyPair::derive(id, config.seed));
+        }
+        let params = ProtocolParams {
+            f: hybrid_fault_threshold(membership.len(), 0),
+            checkpoint_period: config.checkpoint_period,
+            batch_size: config.batch_size.max(1),
+            batch_delay: config.batch_delay,
+        };
+        let hub: ThreadedTransport<Message> = ThreadedTransport::new(config.channel_capacity);
+        let control = hub.handle();
+        let mut cluster = ThreadedCluster {
+            config: *config,
+            params,
+            hub,
+            control,
+            directory,
+            membership: Arc::new(RwLock::new(membership.clone())),
+            epoch: 0,
+            next_node_id: membership.len() as NodeId,
+            workers: HashMap::new(),
+            finished: Vec::new(),
+            stop: Arc::new(AtomicBool::new(false)),
+        };
+        for &id in &membership {
+            let replica = Replica::new(
+                id,
+                membership.clone(),
+                cluster.directory.clone(),
+                config.seed,
+            );
+            cluster.spawn(replica);
+        }
+        cluster
+    }
+
+    fn spawn(&mut self, replica: Replica) {
+        let id = replica.id;
+        let mailbox = self.hub.register(id);
+        let transport = self.hub.handle();
+        let params = self.params;
+        let request_timeout = self.config.request_timeout;
+        let stop = Arc::clone(&self.stop);
+        let kill = Arc::new(AtomicBool::new(false));
+        let kill_clone = Arc::clone(&kill);
+        // The trusted control channel: small and drained with priority
+        // every loop iteration, so a (briefly) blocking send from the
+        // control plane is bounded by one 2 ms poll interval.
+        let (control_tx, control_rx) = std::sync::mpsc::sync_channel(64);
+        let thread = std::thread::spawn(move || {
+            replica_main(
+                replica,
+                mailbox,
+                control_rx,
+                transport,
+                params,
+                request_timeout,
+                stop,
+                kill_clone,
+            )
+        });
+        self.workers.insert(
+            id,
+            Worker {
+                thread,
+                kill,
+                control: control_tx,
+            },
+        );
+    }
+
+    /// Delivers a control command on `node`'s trusted channel. Blocks for
+    /// at most one replica poll interval when the (small) channel is full;
+    /// returns `false` only when the replica thread is gone.
+    fn send_control(&self, node: NodeId, command: ControlMessage) -> bool {
+        match self.workers.get(&node) {
+            Some(worker) => worker.control.send(command).is_ok(),
+            None => false,
+        }
+    }
+
+    /// The current membership (shared view, reconfiguration-aware).
+    pub fn membership_view(&self) -> MembershipView {
+        MembershipView {
+            inner: Arc::clone(&self.membership),
+        }
+    }
+
+    /// The current membership as a plain vector.
+    pub fn membership(&self) -> Vec<NodeId> {
+        self.membership.read().expect("membership lock").clone()
+    }
+
+    /// Number of live replicas.
+    pub fn num_replicas(&self) -> usize {
+        self.membership.read().expect("membership lock").len()
+    }
+
+    /// A sender handle onto the cluster's transport.
+    pub fn handle(&self) -> TransportHandle<Message> {
+        self.hub.handle()
+    }
+
+    /// Registers a pool of client identities onto one shared mailbox (for a
+    /// driver thread).
+    pub fn register_clients(
+        &mut self,
+        clients: &[NodeId],
+    ) -> Receiver<crate::net::Delivery<Message>> {
+        self.hub.register_shared(clients)
+    }
+
+    /// Wall-clock seconds since the cluster started.
+    pub fn now(&self) -> f64 {
+        self.control.now()
+    }
+
+    /// Transport traffic counters.
+    pub fn stats(&self) -> TransportStats {
+        self.hub.stats()
+    }
+
+    /// Actuates a live recovery of `node`: delivers the
+    /// [`ControlMessage::Recover`] command on the trusted control channel
+    /// (reliable — unlike protocol traffic it cannot be dropped by
+    /// backpressure). Returns `false` for unknown nodes; `true` means the
+    /// command was **delivered**, at which point the replica's injected
+    /// misbehaviour ends (phase one seizes it for the privileged domain)
+    /// while the state rebuild completes asynchronously — it pulls
+    /// transfers, re-announcing until one covering its own frontier lands,
+    /// and wipes-and-adopts atomically. A run that ends mid-rebuild
+    /// surfaces as `needs_state` in the replica's shutdown snapshot.
+    pub fn recover(&mut self, node: NodeId) -> bool {
+        self.membership().contains(&node) && self.send_control(node, ControlMessage::Recover)
+    }
+
+    /// Scripted intrusion injection: sets `node`'s Byzantine mode (what the
+    /// IDS observation channel of the control plane will detect).
+    pub fn compromise(&mut self, node: NodeId, mode: ByzantineMode) -> bool {
+        self.membership().contains(&node)
+            && self.send_control(node, ControlMessage::Compromise { mode })
+    }
+
+    /// JOIN reconfiguration of the running cluster: registers a mailbox for
+    /// a fresh replica, spawns its thread (state-transfer pending), and
+    /// broadcasts the new configuration epoch; existing replicas run the
+    /// reconfiguration view change on receipt. Returns the new replica's
+    /// id.
+    pub fn join(&mut self) -> NodeId {
+        let id = self.next_node_id;
+        self.next_node_id += 1;
+        self.epoch += 1;
+        self.directory
+            .register(&KeyPair::derive(id, self.config.seed));
+        let membership = {
+            let mut members = self.membership.write().expect("membership lock");
+            members.push(id);
+            members.clone()
+        };
+        let mut replica = Replica::new(
+            id,
+            membership.clone(),
+            self.directory.clone(),
+            self.config.seed,
+        );
+        // One epoch behind on purpose: the Reconfigure broadcast below is
+        // what advances the newcomer into the new epoch, which also makes
+        // it broadcast its StateRequest *after* every peer could observe
+        // the reconfiguration (per-pair FIFO + the send order here).
+        replica.epoch = self.epoch - 1;
+        replica.needs_state = true;
+        self.spawn(replica);
+        self.broadcast_reconfiguration(&membership);
+        id
+    }
+
+    /// EVICT reconfiguration of the running cluster: broadcasts the shrunk
+    /// membership, kills and joins the evicted replica's thread, and
+    /// unregisters its mailbox. Returns `false` for unknown nodes.
+    pub fn evict(&mut self, node: NodeId) -> bool {
+        let membership = {
+            let mut members = self.membership.write().expect("membership lock");
+            if !members.contains(&node) {
+                return false;
+            }
+            members.retain(|&id| id != node);
+            members.clone()
+        };
+        self.epoch += 1;
+        // Survivors first, then the evicted replica learns it is out.
+        self.broadcast_reconfiguration(&membership);
+        self.send_control(
+            node,
+            ControlMessage::Reconfigure {
+                epoch: self.epoch,
+                membership: membership.clone(),
+            },
+        );
+        if let Some(worker) = self.workers.remove(&node) {
+            // The kill switch backstops the graceful exit (e.g. a thread
+            // that already stopped polling its channels).
+            worker.kill.store(true, Ordering::Relaxed);
+            self.finished
+                .push(worker.thread.join().expect("replica thread panicked"));
+        }
+        self.hub.unregister(node);
+        true
+    }
+
+    fn broadcast_reconfiguration(&mut self, membership: &[NodeId]) {
+        for &member in membership {
+            self.send_control(
+                member,
+                ControlMessage::Reconfigure {
+                    epoch: self.epoch,
+                    membership: membership.to_vec(),
+                },
+            );
+        }
+    }
+
+    /// Stops every replica thread and returns all final snapshots (live
+    /// replicas plus previously evicted ones).
+    pub fn shutdown(mut self) -> Vec<ReplicaSnapshot> {
+        self.stop.store(true, Ordering::Relaxed);
+        let mut snapshots = std::mem::take(&mut self.finished);
+        for (_, worker) in self.workers.drain() {
+            worker.kill.store(true, Ordering::Relaxed);
+            snapshots.push(worker.thread.join().expect("replica thread panicked"));
+        }
+        snapshots.sort_by_key(|s| s.id);
+        snapshots
     }
 }
 
@@ -169,6 +559,7 @@ struct DriverClient {
     outstanding: Option<(Request, HashMap<u64, HashSet<NodeId>>, f64)>,
     completed: u64,
     latencies: Vec<f64>,
+    completed_digests: Vec<Digest>,
     stream: OpStream,
 }
 
@@ -185,10 +576,197 @@ impl DriverClient {
     }
 }
 
+/// Aggregate outcome of a [`ClientDriver`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientReport {
+    /// Requests answered by an f+1 reply quorum.
+    pub completed: u64,
+    /// Per-request latencies in seconds.
+    pub latencies: Vec<f64>,
+    /// Digests of every completed request (the drain-accounting hook: each
+    /// must appear exactly once in every replica's log that covers it).
+    pub completed_digests: Vec<Digest>,
+}
+
+impl ClientReport {
+    /// Mean completed-request latency (0 when nothing completed).
+    pub fn mean_latency(&self) -> f64 {
+        if self.latencies.is_empty() {
+            0.0
+        } else {
+            self.latencies.iter().sum::<f64>() / self.latencies.len() as f64
+        }
+    }
+}
+
+/// The closed-loop client population of the threaded service, movable into
+/// its own thread so a control loop can run beside it. Reads the membership
+/// through a [`MembershipView`], so reconfigurations take effect on the
+/// next submission.
+pub struct ClientDriver {
+    clients: HashMap<NodeId, DriverClient>,
+    client_order: Vec<NodeId>,
+    mailbox: Receiver<crate::net::Delivery<Message>>,
+    transport: TransportHandle<Message>,
+    membership: MembershipView,
+    request_timeout: f64,
+}
+
+impl ClientDriver {
+    /// Builds a driver with `clients` closed-loop clients over `cluster`.
+    pub fn new(cluster: &mut ThreadedCluster, clients: usize) -> Self {
+        assert!(clients >= 1, "the driver needs at least one client");
+        let config = cluster.config;
+        let client_ids: Vec<NodeId> = (0..clients).map(|i| CLIENT_ID_BASE + i as NodeId).collect();
+        let mailbox = cluster.register_clients(&client_ids);
+        let drivers: HashMap<NodeId, DriverClient> = client_ids
+            .iter()
+            .enumerate()
+            .map(|(index, &id)| {
+                (
+                    id,
+                    DriverClient {
+                        id,
+                        next_request_id: 0,
+                        outstanding: None,
+                        completed: 0,
+                        latencies: Vec::new(),
+                        completed_digests: Vec::new(),
+                        stream: OpStream::new(
+                            config.seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                            config.key_space,
+                            config.write_ratio,
+                        ),
+                    },
+                )
+            })
+            .collect();
+        ClientDriver {
+            clients: drivers,
+            client_order: client_ids,
+            mailbox,
+            transport: cluster.handle(),
+            membership: cluster.membership_view(),
+            request_timeout: config.request_timeout,
+        }
+    }
+
+    /// Runs the closed loop for `duration` wall-clock seconds: every client
+    /// keeps exactly one request in flight, replacing completed requests
+    /// immediately and retransmitting stalled ones.
+    pub fn run_for(&mut self, duration: f64) {
+        let start = Instant::now();
+        {
+            let members = self.membership.current();
+            let now = self.transport.now();
+            for &id in &self.client_order {
+                let client = self.clients.get_mut(&id).expect("registered client");
+                if client.outstanding.is_none() {
+                    client.submit(&mut self.transport, &members, now);
+                }
+            }
+        }
+        while start.elapsed().as_secs_f64() < duration {
+            self.pump(true);
+        }
+    }
+
+    /// Drains the in-flight requests without submitting new ones: keeps
+    /// collecting replies (and retransmitting) until no client has an
+    /// outstanding request or `deadline` seconds elapse. Returns whether
+    /// the drain completed.
+    pub fn drain(&mut self, deadline: f64) -> bool {
+        let start = Instant::now();
+        while start.elapsed().as_secs_f64() < deadline {
+            if self.clients.values().all(|c| c.outstanding.is_none()) {
+                return true;
+            }
+            self.pump(false);
+        }
+        self.clients.values().all(|c| c.outstanding.is_none())
+    }
+
+    /// One mailbox pump: processes a reply (completing and, in closed-loop
+    /// mode, resubmitting) or handles the retransmission timers on a quiet
+    /// interval.
+    fn pump(&mut self, resubmit: bool) {
+        match self.mailbox.recv_timeout(Duration::from_millis(2)) {
+            Ok(delivery) => {
+                if let Message::Reply {
+                    request_id, value, ..
+                } = delivery.message
+                {
+                    // Read the quorum parameter only when a reply actually
+                    // needs it: this is the client hot loop, and the
+                    // membership lock also contends with reconfiguration.
+                    let f = self.membership.fault_threshold();
+                    let now = self.transport.now();
+                    if let Some(client) = self.clients.get_mut(&delivery.to) {
+                        let completed = match &mut client.outstanding {
+                            Some((request, votes, started)) if request.id == request_id => {
+                                votes.entry(value).or_default().insert(delivery.from);
+                                let quorum = votes.values().any(|v| v.len() > f);
+                                quorum.then_some((*started, request.digest()))
+                            }
+                            _ => None,
+                        };
+                        if let Some((started, digest)) = completed {
+                            client.completed += 1;
+                            client.latencies.push(now - started);
+                            client.completed_digests.push(digest);
+                            client.outstanding = None;
+                            if resubmit {
+                                let members = self.membership.current();
+                                client.submit(&mut self.transport, &members, now);
+                            }
+                        }
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                // Retransmit stalled requests (replies or requests may have
+                // been dropped by full mailboxes).
+                let now = self.transport.now();
+                let members = self.membership.current();
+                for client in self.clients.values_mut() {
+                    if let Some((request, _, started)) = &mut client.outstanding {
+                        if now - *started > self.request_timeout {
+                            *started = now;
+                            self.transport.broadcast(
+                                client.id,
+                                &members,
+                                &Message::Request(*request),
+                            );
+                        }
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {}
+        }
+    }
+
+    /// The aggregate client-side outcome so far.
+    pub fn report(&self) -> ClientReport {
+        ClientReport {
+            completed: self.clients.values().map(|c| c.completed).sum(),
+            latencies: self
+                .clients
+                .values()
+                .flat_map(|c| c.latencies.iter().copied())
+                .collect(),
+            completed_digests: self
+                .clients
+                .values()
+                .flat_map(|c| c.completed_digests.iter().copied())
+                .collect(),
+        }
+    }
+}
+
 /// Offset-aware prefix consistency over the final replica logs (the same
 /// check [`crate::MinBftCluster::logs_are_consistent`] applies to the
 /// simulated cluster).
-fn snapshots_consistent(snapshots: &[ReplicaSnapshot]) -> bool {
+pub fn snapshots_consistent(snapshots: &[ReplicaSnapshot]) -> bool {
     for (i, a) in snapshots.iter().enumerate() {
         for b in snapshots.iter().skip(i + 1) {
             if crate::minbft::first_log_divergence(
@@ -215,152 +793,21 @@ fn snapshots_consistent(snapshots: &[ReplicaSnapshot]) -> bool {
 /// Panics if the configuration asks for fewer than 2 replicas or no
 /// clients.
 pub fn run_threaded_service(config: &ThreadedServiceConfig) -> ThreadedServiceReport {
-    assert!(config.replicas >= 2, "MinBFT needs at least two replicas");
-    assert!(config.clients >= 1, "the driver needs at least one client");
-    let membership: Vec<NodeId> = (0..config.replicas as NodeId).collect();
-    let mut directory = KeyDirectory::new();
-    for &id in &membership {
-        directory.register(&KeyPair::derive(id, config.seed));
-    }
-    let params = ProtocolParams {
-        f: hybrid_fault_threshold(membership.len(), 0),
-        checkpoint_period: config.checkpoint_period,
-        batch_size: config.batch_size.max(1),
-        batch_delay: config.batch_delay,
-    };
-
-    let mut hub: ThreadedTransport<Message> = ThreadedTransport::new(config.channel_capacity);
-    let replica_mailboxes: Vec<_> = membership.iter().map(|&id| hub.register(id)).collect();
-    let client_ids: Vec<NodeId> = (0..config.clients)
-        .map(|i| CLIENT_ID_BASE + i as NodeId)
-        .collect();
-    let client_mailbox = hub.register_shared(&client_ids);
-    let stop = Arc::new(AtomicBool::new(false));
-
-    let workers: Vec<_> = membership
-        .iter()
-        .zip(replica_mailboxes)
-        .map(|(&id, mailbox)| {
-            let replica = Replica::new(id, membership.clone(), directory.clone(), config.seed);
-            let transport = hub.handle();
-            let members = membership.clone();
-            let stop = Arc::clone(&stop);
-            let request_timeout = config.request_timeout;
-            std::thread::spawn(move || {
-                replica_main(
-                    replica,
-                    mailbox,
-                    transport,
-                    members,
-                    params,
-                    request_timeout,
-                    stop,
-                )
-            })
-        })
-        .collect();
-
-    // The driver thread: closed-loop clients over the shared mailbox.
-    let mut transport = hub.handle();
-    let f = params.f;
-    let mut clients: HashMap<NodeId, DriverClient> = client_ids
-        .iter()
-        .enumerate()
-        .map(|(index, &id)| {
-            (
-                id,
-                DriverClient {
-                    id,
-                    next_request_id: 0,
-                    outstanding: None,
-                    completed: 0,
-                    latencies: Vec::new(),
-                    stream: OpStream::new(
-                        config.seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
-                        config.key_space,
-                        config.write_ratio,
-                    ),
-                },
-            )
-        })
-        .collect();
+    let mut cluster = ThreadedCluster::new(config);
+    let mut driver = ClientDriver::new(&mut cluster, config.clients);
     let start = Instant::now();
-    {
-        let now = transport.now();
-        for client in clients.values_mut() {
-            client.submit(&mut transport, &membership, now);
-        }
-    }
-    while start.elapsed().as_secs_f64() < config.duration {
-        match client_mailbox.recv_timeout(Duration::from_millis(2)) {
-            Ok(delivery) => {
-                if let Message::Reply {
-                    request_id, value, ..
-                } = delivery.message
-                {
-                    let now = transport.now();
-                    if let Some(client) = clients.get_mut(&delivery.to) {
-                        let completed = match &mut client.outstanding {
-                            Some((request, votes, started)) if request.id == request_id => {
-                                votes.entry(value).or_default().insert(delivery.from);
-                                let quorum = votes.values().any(|v| v.len() > f);
-                                quorum.then_some(*started)
-                            }
-                            _ => None,
-                        };
-                        if let Some(started) = completed {
-                            client.completed += 1;
-                            client.latencies.push(now - started);
-                            client.outstanding = None;
-                            client.submit(&mut transport, &membership, now);
-                        }
-                    }
-                }
-            }
-            Err(RecvTimeoutError::Timeout) => {
-                // Retransmit stalled requests (replies or requests may have
-                // been dropped by full mailboxes).
-                let now = transport.now();
-                for client in clients.values_mut() {
-                    if let Some((request, _, started)) = &mut client.outstanding {
-                        if now - *started > config.request_timeout {
-                            *started = now;
-                            transport.broadcast(
-                                client.id,
-                                &membership,
-                                &Message::Request(*request),
-                            );
-                        }
-                    }
-                }
-            }
-            Err(RecvTimeoutError::Disconnected) => break,
-        }
-    }
+    driver.run_for(config.duration);
     let duration = start.elapsed().as_secs_f64();
-    stop.store(true, Ordering::Relaxed);
-    let snapshots: Vec<ReplicaSnapshot> = workers
-        .into_iter()
-        .map(|worker| worker.join().expect("replica thread finishes"))
-        .collect();
-
-    let completed: u64 = clients.values().map(|c| c.completed).sum();
-    let latencies: Vec<f64> = clients
-        .values()
-        .flat_map(|c| c.latencies.iter().copied())
-        .collect();
-    let mean_latency = if latencies.is_empty() {
-        0.0
-    } else {
-        latencies.iter().sum::<f64>() / latencies.len() as f64
-    };
+    let report = driver.report();
+    let stats = cluster.stats();
+    let snapshots = cluster.shutdown();
     ThreadedServiceReport {
         replicas: config.replicas,
         clients: config.clients,
-        completed_requests: completed,
+        completed_requests: report.completed,
         duration,
-        requests_per_second: completed as f64 / duration.max(1e-9),
-        mean_latency,
+        requests_per_second: report.completed as f64 / duration.max(1e-9),
+        mean_latency: report.mean_latency(),
         consistent: snapshots_consistent(&snapshots),
         max_retained_log: snapshots
             .iter()
@@ -368,13 +815,14 @@ pub fn run_threaded_service(config: &ThreadedServiceConfig) -> ThreadedServiceRe
             .max()
             .unwrap_or(0),
         max_executed: snapshots.iter().map(|s| s.last_executed).max().unwrap_or(0),
-        transport: hub.stats(),
+        transport: stats,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashMap;
 
     #[test]
     fn threaded_cluster_serves_requests_with_consistent_logs() {
@@ -416,5 +864,135 @@ mod tests {
                 report.max_executed
             );
         }
+    }
+
+    #[test]
+    fn shutdown_drain_loses_and_duplicates_nothing() {
+        // Deterministic drain accounting: stop the driver mid-run, drain
+        // the in-flight requests, and require that every *completed*
+        // request appears exactly once in every replica log that covers
+        // its range — no request lost, none double-executed. Compaction is
+        // disabled and batches are singletons so the retained log is the
+        // complete per-request execution history.
+        let config = ThreadedServiceConfig {
+            replicas: 4,
+            clients: 6,
+            batch_size: 1,
+            checkpoint_period: 0,
+            duration: 0.3,
+            ..ThreadedServiceConfig::default()
+        };
+        let mut cluster = ThreadedCluster::new(&config);
+        let mut driver = ClientDriver::new(&mut cluster, config.clients);
+        driver.run_for(config.duration);
+        assert!(driver.drain(5.0), "in-flight requests must drain");
+        let report = driver.report();
+        assert!(report.completed > 0);
+        // Let the last commit round settle across all replicas before the
+        // snapshot (replies precede peer commits by one message).
+        std::thread::sleep(Duration::from_millis(150));
+        let snapshots = cluster.shutdown();
+        assert!(snapshots_consistent(&snapshots));
+        let longest = snapshots
+            .iter()
+            .max_by_key(|s| s.executed.len())
+            .expect("snapshots");
+        let mut counts: HashMap<crate::crypto::Digest, usize> = HashMap::new();
+        for digest in &longest.executed {
+            *counts.entry(*digest).or_default() += 1;
+        }
+        for digest in &report.completed_digests {
+            assert_eq!(
+                counts.get(digest).copied().unwrap_or(0),
+                1,
+                "completed request digest {digest:?} must appear exactly once \
+                 in the longest replica log"
+            );
+        }
+        // No digest anywhere appears twice (no double execution at all).
+        for snapshot in &snapshots {
+            let mut seen: HashMap<crate::crypto::Digest, usize> = HashMap::new();
+            for digest in &snapshot.executed {
+                *seen.entry(*digest).or_default() += 1;
+            }
+            assert!(
+                seen.values().all(|&n| n == 1),
+                "replica {} executed a request twice",
+                snapshot.id
+            );
+        }
+    }
+
+    #[test]
+    fn controller_triggered_live_recovery_restores_a_silent_replica() {
+        // The live actuation smoke test: compromise a non-leader replica
+        // (it goes Silent — the intrusion the IDS stream would flag), let
+        // the service keep running on n-1, then actuate the message-driven
+        // Recover; the replica must rebuild, pull a state transfer, and be
+        // caught up by shutdown.
+        let config = ThreadedServiceConfig {
+            replicas: 4,
+            clients: 4,
+            duration: 0.2,
+            ..ThreadedServiceConfig::default()
+        };
+        let mut cluster = ThreadedCluster::new(&config);
+        let mut driver = ClientDriver::new(&mut cluster, config.clients);
+        assert!(cluster.compromise(2, ByzantineMode::Silent));
+        driver.run_for(0.2);
+        let before = driver.report().completed;
+        assert!(before > 0, "the service must survive one silent replica");
+        assert!(cluster.recover(2));
+        driver.run_for(0.3);
+        std::thread::sleep(Duration::from_millis(100));
+        let after = driver.report().completed;
+        assert!(after > before, "the service must keep completing requests");
+        let snapshots = cluster.shutdown();
+        assert!(snapshots_consistent(&snapshots));
+        let recovered = snapshots.iter().find(|s| s.id == 2).expect("replica 2");
+        assert!(
+            !recovered.needs_state,
+            "the recovered replica must have adopted a state transfer"
+        );
+        let frontier = snapshots.iter().map(|s| s.last_executed).max().unwrap();
+        assert!(
+            recovered.last_executed + 32 >= frontier,
+            "recovered replica lags the frontier: {} vs {frontier}",
+            recovered.last_executed
+        );
+    }
+
+    #[test]
+    fn join_and_evict_reshape_the_running_cluster() {
+        let config = ThreadedServiceConfig {
+            replicas: 4,
+            clients: 4,
+            duration: 0.2,
+            ..ThreadedServiceConfig::default()
+        };
+        let mut cluster = ThreadedCluster::new(&config);
+        let mut driver = ClientDriver::new(&mut cluster, config.clients);
+        driver.run_for(0.2);
+        let joined = cluster.join();
+        assert_eq!(cluster.num_replicas(), 5);
+        driver.run_for(0.3);
+        assert!(cluster.evict(0));
+        assert!(!cluster.evict(0), "double eviction must be refused");
+        assert_eq!(cluster.num_replicas(), 4);
+        driver.run_for(0.3);
+        let completed = driver.report().completed;
+        assert!(
+            completed > 0,
+            "the service must serve through JOIN and EVICT"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+        let snapshots = cluster.shutdown();
+        assert!(snapshots_consistent(&snapshots));
+        let newcomer = snapshots.iter().find(|s| s.id == joined).expect("joined");
+        assert!(
+            !newcomer.needs_state,
+            "the joined replica must have adopted a state transfer"
+        );
+        assert!(snapshots.iter().any(|s| s.id == 0), "evicted snapshot kept");
     }
 }

@@ -14,13 +14,20 @@
 //! A bounded channel that fills up drops the message (backpressure surfaces
 //! as loss, which the protocols already tolerate and clients recover from by
 //! retransmission), mirroring the loss semantics of the simulated network.
+//!
+//! The mailbox directory of a [`ThreadedTransport`] is shared between the
+//! hub and every [`TransportHandle`], so nodes can be registered and
+//! unregistered **while the cluster runs** — the hook behind live JOIN/EVICT
+//! reconfiguration: a newly joined replica's mailbox becomes reachable from
+//! every existing sender the moment it is registered, and sends to an
+//! evicted replica degrade to counted drops.
 
 use crate::net::Delivery;
 use crate::NodeId;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
 /// Sender-side interface of a message transport: the only way protocol code
@@ -61,19 +68,27 @@ struct Counters {
     dropped: AtomicU64,
 }
 
+/// State shared between the hub and every handle: the live mailbox
+/// directory plus the traffic counters.
+#[derive(Debug)]
+struct Shared<M> {
+    senders: RwLock<HashMap<NodeId, SyncSender<Delivery<M>>>>,
+    counters: Counters,
+}
+
 /// A multi-threaded transport: one bounded mailbox per registered node.
 ///
 /// The hub registers mailboxes and hands out [`TransportHandle`]s — cheap
 /// clonable sender handles that implement [`Transport`] and can be moved
 /// into per-replica threads. Messages carry the wall-clock time (seconds
 /// since the hub was created) as their delivery timestamp, so the protocol's
-/// timeout logic works unchanged.
+/// timeout logic works unchanged. Registration is live: a node registered
+/// after handles were handed out is immediately reachable through them.
 #[derive(Debug)]
 pub struct ThreadedTransport<M> {
     capacity: usize,
     start: Instant,
-    senders: HashMap<NodeId, SyncSender<Delivery<M>>>,
-    counters: Arc<Counters>,
+    shared: Arc<Shared<M>>,
 }
 
 impl<M: Send> ThreadedTransport<M> {
@@ -88,19 +103,23 @@ impl<M: Send> ThreadedTransport<M> {
         ThreadedTransport {
             capacity,
             start: Instant::now(),
-            senders: HashMap::new(),
-            counters: Arc::new(Counters::default()),
+            shared: Arc::new(Shared {
+                senders: RwLock::new(HashMap::new()),
+                counters: Counters::default(),
+            }),
         }
     }
 
-    /// Registers a node and returns the receiving end of its mailbox.
+    /// Registers a node and returns the receiving end of its mailbox. Live:
+    /// existing handles can reach the node immediately.
     ///
     /// # Panics
     ///
     /// Panics if the node is already registered.
     pub fn register(&mut self, node: NodeId) -> Receiver<Delivery<M>> {
         let (sender, receiver) = sync_channel(self.capacity);
-        let previous = self.senders.insert(node, sender);
+        let mut senders = self.shared.senders.write().expect("mailbox lock");
+        let previous = senders.insert(node, sender);
         assert!(previous.is_none(), "node {node} registered twice");
         receiver
     }
@@ -113,27 +132,34 @@ impl<M: Send> ThreadedTransport<M> {
     /// Panics if any of the nodes is already registered.
     pub fn register_shared(&mut self, nodes: &[NodeId]) -> Receiver<Delivery<M>> {
         let (sender, receiver) = sync_channel(self.capacity);
+        let mut senders = self.shared.senders.write().expect("mailbox lock");
         for &node in nodes {
-            let previous = self.senders.insert(node, sender.clone());
+            let previous = senders.insert(node, sender.clone());
             assert!(previous.is_none(), "node {node} registered twice");
         }
         receiver
     }
 
-    /// A clonable sender handle over every mailbox registered so far.
+    /// Unregisters a node (the EVICT hook): subsequent sends to it count as
+    /// drops. Returns whether the node was registered.
+    pub fn unregister(&mut self, node: NodeId) -> bool {
+        let mut senders = self.shared.senders.write().expect("mailbox lock");
+        senders.remove(&node).is_some()
+    }
+
+    /// A clonable sender handle over the live mailbox directory.
     pub fn handle(&self) -> TransportHandle<M> {
         TransportHandle {
-            senders: self.senders.clone(),
+            shared: Arc::clone(&self.shared),
             start: self.start,
-            counters: Arc::clone(&self.counters),
         }
     }
 
     /// Traffic counters (shared with every handle).
     pub fn stats(&self) -> TransportStats {
         TransportStats {
-            sent: self.counters.sent.load(Ordering::Relaxed),
-            dropped: self.counters.dropped.load(Ordering::Relaxed),
+            sent: self.shared.counters.sent.load(Ordering::Relaxed),
+            dropped: self.shared.counters.dropped.load(Ordering::Relaxed),
         }
     }
 }
@@ -142,17 +168,15 @@ impl<M: Send> ThreadedTransport<M> {
 /// of the transport.
 #[derive(Debug)]
 pub struct TransportHandle<M> {
-    senders: HashMap<NodeId, SyncSender<Delivery<M>>>,
+    shared: Arc<Shared<M>>,
     start: Instant,
-    counters: Arc<Counters>,
 }
 
 impl<M> Clone for TransportHandle<M> {
     fn clone(&self) -> Self {
         TransportHandle {
-            senders: self.senders.clone(),
+            shared: Arc::clone(&self.shared),
             start: self.start,
-            counters: Arc::clone(&self.counters),
         }
     }
 }
@@ -167,20 +191,22 @@ impl<M> TransportHandle<M> {
 
 impl<M: Send> Transport<M> for TransportHandle<M> {
     fn send(&mut self, from: NodeId, to: NodeId, message: M) {
-        self.counters.sent.fetch_add(1, Ordering::Relaxed);
-        let Some(sender) = self.senders.get(&to) else {
-            self.counters.dropped.fetch_add(1, Ordering::Relaxed);
-            return;
-        };
+        self.shared.counters.sent.fetch_add(1, Ordering::Relaxed);
         let delivery = Delivery {
             time: self.now(),
             from,
             to,
             message,
         };
+        let senders = self.shared.senders.read().expect("mailbox lock");
+        let Some(sender) = senders.get(&to) else {
+            drop(senders);
+            self.shared.counters.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
         if sender.try_send(delivery).is_err() {
             // Full or disconnected mailbox: backpressure surfaces as loss.
-            self.counters.dropped.fetch_add(1, Ordering::Relaxed);
+            self.shared.counters.dropped.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -255,5 +281,23 @@ mod tests {
         }
         let received: Vec<u64> = rx.try_iter().map(|d| d.message).collect();
         assert_eq!(received.len(), 30);
+    }
+
+    #[test]
+    fn live_registration_reaches_existing_handles() {
+        // The JOIN/EVICT hook: a handle handed out *before* a node existed
+        // can deliver to it afterwards, and unregistration turns sends into
+        // counted drops.
+        let mut hub: ThreadedTransport<u32> = ThreadedTransport::new(8);
+        let mut handle = hub.handle();
+        handle.send(0, 7, 1);
+        assert_eq!(hub.stats().dropped, 1, "unknown node drops");
+        let rx = hub.register(7);
+        handle.send(0, 7, 2);
+        assert_eq!(rx.recv().expect("delivered").message, 2);
+        assert!(hub.unregister(7));
+        assert!(!hub.unregister(7));
+        handle.send(0, 7, 3);
+        assert_eq!(hub.stats().dropped, 2, "evicted node drops");
     }
 }

@@ -14,6 +14,7 @@ use crate::node_model::{NodeAction, NodeModel};
 use crate::recovery::ThresholdStrategy;
 use crate::replication::{ReplicationProblem, ReplicationStrategy};
 use rand::Rng;
+use tolerance_pomdp::{Belief, IncrementalBelief};
 
 /// The per-node controller of the local control level.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,6 +26,15 @@ pub struct NodeController {
     previous_action: NodeAction,
     recoveries: u64,
     steps: u64,
+    /// The belief at the moment of the last recovery request, kept so a
+    /// deferred actuation can restore the controller's urgency (see
+    /// [`NodeController::notify_deferred`]).
+    last_request_belief: f64,
+    /// Lazily built incremental tracker over the operational POMDP
+    /// ([`NodeModel::to_pomdp`]) for event-stream observations: one
+    /// `O(|S|²)` prediction per time-step, one `O(|S|)` correction per IDS
+    /// event (see [`NodeController::observe_events`]).
+    event_tracker: Option<IncrementalBelief>,
 }
 
 impl NodeController {
@@ -40,12 +50,22 @@ impl NodeController {
             previous_action: NodeAction::Wait,
             recoveries: 0,
             steps: 0,
+            last_request_belief: initial_belief,
+            event_tracker: None,
         }
     }
 
     /// The current compromise belief `b_t` (Eq. 4).
     pub fn belief(&self) -> f64 {
         self.belief
+    }
+
+    /// The belief the controller's most recent recovery request was decided
+    /// on (the pre-reset value — [`NodeController::belief`] already reads
+    /// the post-recovery prior by the time the caller sees the `Recover`
+    /// action).
+    pub fn last_request_belief(&self) -> f64 {
+        self.last_request_belief
     }
 
     /// Steps since the controller last recovered its replica.
@@ -75,17 +95,92 @@ impl NodeController {
         self.belief = self
             .model
             .belief_update(self.belief, self.previous_action, weighted_alerts);
+        self.decide_from_belief()
+    }
+
+    /// Processes one time-step driven by an *event stream*: a batch of
+    /// weighted IDS alert events observed since the last control decision
+    /// (the online observation channel of the live control plane). The
+    /// belief folds the batch through the incremental tracker of
+    /// [`tolerance_pomdp::IncrementalBelief`] — one transition prediction
+    /// for the step, then an `O(|S|)` likelihood correction per event —
+    /// instead of re-running the full update for every alert.
+    ///
+    /// An empty batch is a quiet step and equivalent to prediction only.
+    pub fn observe_events(&mut self, events: &[u64]) -> NodeAction {
+        self.steps += 1;
+        let support = self.model.observations().support_size();
+        if self.event_tracker.is_none() {
+            // eta/discount only shape the cost model, which the belief
+            // recursion never reads; any valid pair works here.
+            self.event_tracker = self
+                .model
+                .to_pomdp(1.0, 0.9)
+                .ok()
+                .and_then(|pomdp| IncrementalBelief::new(&pomdp, Belief::uniform(2)).ok());
+        }
+        match self.event_tracker.as_mut() {
+            Some(tracker) => {
+                let prior =
+                    Belief::new(vec![1.0 - self.belief, self.belief]).unwrap_or(Belief::uniform(2));
+                let _ = tracker.reset(prior);
+                let action = match self.previous_action {
+                    NodeAction::Wait => 0,
+                    NodeAction::Recover => 1,
+                };
+                let _ = tracker.predict(action);
+                for &event in events {
+                    // An impossible event (zero likelihood everywhere) is
+                    // skipped; assumption D of Theorem 1 rules it out for
+                    // validated models.
+                    let _ = tracker.correct((event as usize).min(support.saturating_sub(1)));
+                }
+                self.belief = tracker.probability(1);
+            }
+            None => {
+                // Degenerate models without a POMDP form: treat each event
+                // as its own micro-step of the scalar recursion.
+                let mut action = self.previous_action;
+                for &event in events {
+                    self.belief = self.model.belief_update(self.belief, action, event);
+                    action = NodeAction::Wait;
+                }
+            }
+        }
+        self.decide_from_belief()
+    }
+
+    /// Applies the threshold decision to the current belief and performs
+    /// the post-decision bookkeeping shared by both observation paths.
+    fn decide_from_belief(&mut self) -> NodeAction {
         let action = self.strategy.decide(self.belief, self.steps_since_recovery);
         match action {
             NodeAction::Recover => {
                 self.recoveries += 1;
                 self.steps_since_recovery = 0;
+                self.last_request_belief = self.belief;
                 self.belief = self.model.parameters().p_attack;
             }
             NodeAction::Wait => self.steps_since_recovery += 1,
         }
         self.previous_action = action;
         action
+    }
+
+    /// Re-arms the controller after its requested recovery was **deferred**
+    /// (lost the k-parallel-recovery truncation, or the actuator refused —
+    /// e.g. no state donor existed): the deciding belief is restored and
+    /// the action history rolled back to `Wait`, so the threshold rule
+    /// fires again on the very next observation instead of waiting for the
+    /// belief to re-climb from the post-recovery prior (or for Δ_R to
+    /// elapse).
+    pub fn notify_deferred(&mut self) {
+        self.recoveries = self.recoveries.saturating_sub(1);
+        self.belief = self.last_request_belief;
+        self.previous_action = NodeAction::Wait;
+        if let Some(delta_r) = self.strategy.delta_r() {
+            self.steps_since_recovery = self.steps_since_recovery.max(delta_r);
+        }
     }
 
     /// Resets the controller after an externally triggered recovery (e.g.
@@ -232,6 +327,39 @@ mod tests {
             "BTR must force ~1 recovery per 5 steps, got {recoveries}"
         );
         assert_eq!(controller.steps(), 25);
+    }
+
+    #[test]
+    fn event_stream_observation_matches_the_scalar_recursion() {
+        // One event per step must agree with the per-step scalar update up
+        // to the conditioning difference between the two forms (the scalar
+        // recursion conditions the predicted vector on not crashing, the
+        // operational POMDP conditions each transition row — the faithful
+        // approximation documented on `NodeModel::to_pomdp`). A dense alert
+        // burst must push the belief over the threshold just like
+        // sustained samples.
+        let mut scalar = node_controller(0.99);
+        let mut streamed = node_controller(0.99);
+        for alerts in [0u64, 3, 7, 1, 10, 10] {
+            scalar.observe_and_decide(alerts);
+            streamed.observe_events(&[alerts]);
+            assert!(
+                (scalar.belief() - streamed.belief()).abs() < 1e-3,
+                "scalar {} vs streamed {}",
+                scalar.belief(),
+                streamed.belief()
+            );
+        }
+
+        let mut controller = node_controller(0.8);
+        // A quiet stream (no events) keeps the belief near the prior drift.
+        controller.observe_events(&[]);
+        assert!(controller.belief() < 0.5);
+        // One step with a burst of max-priority events recovers immediately.
+        let action = controller.observe_events(&[10, 10, 10, 10, 10]);
+        assert_eq!(action, NodeAction::Recover);
+        assert_eq!(controller.recoveries(), 1);
+        assert_eq!(controller.steps(), 2);
     }
 
     #[test]

@@ -1,0 +1,40 @@
+//! The online two-level control plane: one runtime, two transports.
+//!
+//! Until PR 4, the paper's feedback controllers
+//! ([`crate::controller::NodeController`] per replica,
+//! [`crate::controller::SystemController`] globally) only steered the
+//! *simulated* cluster inside the simnet harness, while the fast threaded
+//! data plane ran uncontrolled. This module closes the loop on the live
+//! service:
+//!
+//! * [`actuator::ClusterActuator`] — the unified actuation interface of
+//!   both control levels: per-node **recovery** (restart + state transfer)
+//!   and system-level **JOIN/EVICT** reconfiguration. Implemented by the
+//!   simulated [`tolerance_consensus::MinBftCluster`] (direct method calls,
+//!   deterministic, oracle-checked by simnet) and by the live
+//!   [`tolerance_consensus::ThreadedCluster`] (control messages on the
+//!   transport, wall-clock).
+//! * [`runtime::ControlPlane`] — the transport-agnostic control runtime:
+//!   per-replica belief tracking (single alert samples or whole IDS event
+//!   streams through the incremental tracker of
+//!   [`tolerance_pomdp::IncrementalBelief`]), the k-parallel-recovery
+//!   constraint of Proposition 1, and the Algorithm-2 replication decision,
+//!   all actuated through whichever [`actuator::ClusterActuator`] is
+//!   plugged in. The simnet executor drives the *same* `tick` as the live
+//!   threaded scenario.
+//! * [`scenario::ControlledServiceScenario`] — the `controlled/*` registry
+//!   scenarios: a threaded MinBFT service under a scripted intrusion burst
+//!   with the control plane closing the loop live, plus the simnet twin
+//!   that passes the full oracle suite.
+
+pub mod actuator;
+pub mod runtime;
+pub mod scenario;
+
+pub use actuator::ClusterActuator;
+pub use runtime::{ControlPlane, ControlPlaneConfig, NodeReport, TickReport};
+pub use scenario::{
+    register_controlled_scenarios, run_controlled_service, sim_intrusion_burst_config,
+    ControlledServiceConfig, ControlledServiceReport, ControlledServiceScenario, IntrusionEvent,
+    IntrusionMode,
+};

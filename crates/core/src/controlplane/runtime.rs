@@ -1,0 +1,495 @@
+//! The transport-agnostic control runtime: one `tick` for both clusters.
+//!
+//! A [`ControlPlane`] owns the per-replica [`NodeController`]s and the
+//! optional [`SystemController`], and advances both control levels by one
+//! time-step per [`ControlPlane::tick`]: belief updates from the IDS
+//! observation channel, the k-parallel-recovery constraint of
+//! Proposition 1, crash eviction and the Algorithm-2 replication decision —
+//! all actuated through a pluggable [`ClusterActuator`]. The simnet
+//! executor calls the same `tick` (deterministic, against the simulated
+//! cluster) as the live controlled scenarios (wall-clock, against the
+//! threaded cluster), which is exactly the paper's claim that one control
+//! architecture steers the real service.
+
+use crate::controller::{NodeController, SystemController};
+use crate::controlplane::actuator::ClusterActuator;
+use crate::error::Result;
+use crate::node_model::{NodeAction, NodeModel, NodeParameters};
+use crate::observation::ObservationModel;
+use crate::recovery::ThresholdStrategy;
+use crate::replication::{ReplicationConfig, ReplicationProblem};
+use rand::Rng;
+use std::collections::BTreeMap;
+use tolerance_consensus::NodeId;
+
+/// Configuration of a [`ControlPlane`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ControlPlaneConfig {
+    /// Belief threshold of the node controllers.
+    pub recovery_threshold: f64,
+    /// BTR period `Δ_R` (maximum steps between recoveries of one node).
+    pub delta_r: Option<u32>,
+    /// Parallel-recovery constraint `k` of Proposition 1 (at most this
+    /// many recoveries actuate per tick; the rest re-request next tick).
+    pub parallel_recoveries: usize,
+    /// Whether the global replication controller (Algorithm 2) runs.
+    pub system_controller: bool,
+    /// Smallest membership the system controller may shrink to.
+    pub min_replicas: usize,
+    /// Largest membership the system controller may grow to.
+    pub max_replicas: usize,
+    /// Fault threshold `f` the replication problem of Algorithm 2 is solved
+    /// for (`N_t ≥ 2f + 1 + k`, Proposition 1).
+    pub fault_threshold: usize,
+    /// Availability target of the replication CMDP (its constraint).
+    pub availability_target: f64,
+    /// Per-step node survival probability of the replication CMDP.
+    pub node_survival_probability: f64,
+}
+
+impl Default for ControlPlaneConfig {
+    fn default() -> Self {
+        ControlPlaneConfig {
+            recovery_threshold: 0.76,
+            delta_r: Some(12),
+            parallel_recoveries: 1,
+            system_controller: true,
+            min_replicas: 4,
+            max_replicas: 8,
+            fault_threshold: 1,
+            availability_target: 0.9,
+            node_survival_probability: 0.95,
+        }
+    }
+}
+
+/// One node's observation input for a control tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeReport<'a> {
+    /// The node failed to report (crashed); the system controller treats
+    /// it as evictable (Section V-B).
+    Silent,
+    /// One weighted IDS-alert sample for the whole time-step (the simnet
+    /// path — one deterministic draw per step).
+    Sample(u64),
+    /// The stream of weighted IDS-alert events observed since the previous
+    /// tick (the live path — folded through the incremental belief tracker
+    /// at `O(|S|)` per event).
+    Events(&'a [u64]),
+}
+
+/// What one control tick did.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TickReport {
+    /// Per-node compromise beliefs after the update — exactly the report
+    /// vector the system controller consumed, so a node whose recovery was
+    /// requested this tick already shows the post-recovery prior
+    /// (`None` = no report).
+    pub beliefs: Vec<(NodeId, Option<f64>)>,
+    /// Nodes whose controllers requested a recovery this tick (before the
+    /// k-truncation).
+    pub requested: Vec<NodeId>,
+    /// Nodes whose recovery was actuated successfully.
+    pub recovered: Vec<NodeId>,
+    /// Nodes evicted by the system controller (crash eviction).
+    pub evicted: Vec<NodeId>,
+    /// Replica joined by the system controller, if any.
+    pub joined: Option<NodeId>,
+    /// The expected-healthy estimate the system controller acted on.
+    pub estimated_healthy: Option<usize>,
+}
+
+/// The two-level control runtime (see the module docs).
+#[derive(Debug, Clone)]
+pub struct ControlPlane {
+    config: ControlPlaneConfig,
+    node_model: NodeModel,
+    strategy: ThresholdStrategy,
+    controllers: BTreeMap<NodeId, NodeController>,
+    system: Option<SystemController>,
+}
+
+impl ControlPlane {
+    /// Builds a control plane over the paper's default node model and
+    /// observation model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-construction and LP failures.
+    pub fn new(config: ControlPlaneConfig) -> Result<Self> {
+        let alert_model = ObservationModel::paper_default();
+        let node_model = NodeModel::new(NodeParameters::default(), alert_model)?;
+        Self::with_model(config, node_model)
+    }
+
+    /// Builds a control plane over an explicit node model (e.g. one whose
+    /// observation model was estimated empirically).
+    ///
+    /// # Errors
+    ///
+    /// Propagates strategy-construction and LP failures.
+    pub fn with_model(config: ControlPlaneConfig, node_model: NodeModel) -> Result<Self> {
+        let strategy = ThresholdStrategy::new(vec![config.recovery_threshold], config.delta_r)?;
+        let system = if config.system_controller {
+            let strategy = ReplicationProblem::new(ReplicationConfig {
+                s_max: config.max_replicas,
+                fault_threshold: config.fault_threshold.max(1),
+                availability_target: config.availability_target,
+                node_survival_probability: config.node_survival_probability,
+            })?
+            .solve()?;
+            Some(SystemController::new(strategy))
+        } else {
+            None
+        };
+        Ok(ControlPlane {
+            config,
+            node_model,
+            strategy,
+            controllers: BTreeMap::new(),
+            system,
+        })
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ControlPlaneConfig {
+        &self.config
+    }
+
+    /// The node controller of `node`, creating it on first access.
+    pub fn controller(&mut self, node: NodeId) -> &mut NodeController {
+        let node_model = &self.node_model;
+        let strategy = &self.strategy;
+        self.controllers
+            .entry(node)
+            .or_insert_with(|| NodeController::new(node_model.clone(), strategy.clone()))
+    }
+
+    /// Read-only view of a node's controller, if it exists.
+    pub fn controller_of(&self, node: NodeId) -> Option<&NodeController> {
+        self.controllers.get(&node)
+    }
+
+    /// Drops the controller of an evicted node.
+    pub fn forget(&mut self, node: NodeId) {
+        self.controllers.remove(&node);
+    }
+
+    /// Total recoveries requested across all node controllers so far.
+    pub fn total_recoveries(&self) -> u64 {
+        self.controllers.values().map(|c| c.recoveries()).sum()
+    }
+
+    /// The system controller, if one runs.
+    pub fn system(&self) -> Option<&SystemController> {
+        self.system.as_ref()
+    }
+
+    /// One control time-step across both levels.
+    ///
+    /// `observations` lists the current membership **in membership order**
+    /// with each node's IDS input; ordering matters because the system
+    /// controller's eviction decision indexes into it, and because the
+    /// deterministic simnet path replays `rng` draws in this order.
+    pub fn tick<A: ClusterActuator + ?Sized, R: Rng + ?Sized>(
+        &mut self,
+        observations: &[(NodeId, NodeReport<'_>)],
+        actuator: &mut A,
+        rng: &mut R,
+    ) -> TickReport {
+        let mut report = TickReport::default();
+        let mut requests: Vec<(NodeId, f64)> = Vec::new();
+        for &(id, observation) in observations {
+            let action = match observation {
+                NodeReport::Silent => {
+                    report.beliefs.push((id, None));
+                    continue;
+                }
+                NodeReport::Sample(alerts) => self.controller(id).observe_and_decide(alerts),
+                NodeReport::Events(events) => self.controller(id).observe_events(events),
+            };
+            let controller = self.controllers.get(&id).expect("controller exists");
+            let belief = controller.belief();
+            report.beliefs.push((id, Some(belief)));
+            if action == NodeAction::Recover {
+                // Priority by the *deciding* belief: `belief()` was already
+                // reset to the attack prior when the decision fired, which
+                // would make every requester tie and degrade the k-slot
+                // priority to node-id order.
+                requests.push((id, controller.last_request_belief()));
+            }
+        }
+        // Highest beliefs first; at most k recoveries actuate per tick
+        // (Proposition 1). Requests beyond k — and requests the actuator
+        // refused (e.g. no state donor) — are *deferred*: the controller's
+        // deciding belief is restored so the request re-fires on the next
+        // tick instead of waiting for the belief to re-climb or Δ_R to
+        // elapse.
+        requests.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        report.requested = requests.iter().map(|&(id, _)| id).collect();
+        let slots = self.config.parallel_recoveries.max(1);
+        for (id, _) in requests {
+            // A refusal does not consume a slot: the next request in
+            // priority order still gets its chance, so one un-actuatable
+            // node (e.g. no frontier donor) cannot starve the others.
+            if report.recovered.len() < slots && actuator.recover(id) {
+                if let Some(controller) = self.controllers.get_mut(&id) {
+                    controller.notify_recovered();
+                }
+                report.recovered.push(id);
+            } else if let Some(controller) = self.controllers.get_mut(&id) {
+                controller.notify_deferred();
+            }
+        }
+        // Global control level: evict non-reporters, maybe grow. The
+        // report vector (and the index base of the eviction decision) is
+        // `report.beliefs` in observation order.
+        if let Some(system) = &mut self.system {
+            let reports: Vec<Option<f64>> =
+                report.beliefs.iter().map(|&(_, belief)| belief).collect();
+            let decision = system.decide(&reports, rng);
+            report.estimated_healthy = Some(decision.estimated_healthy);
+            let mut evict: Vec<NodeId> = decision
+                .evict
+                .iter()
+                .filter_map(|&index| observations.get(index).map(|&(id, _)| id))
+                .collect();
+            evict.sort_unstable();
+            for id in evict {
+                if actuator.contains(id)
+                    && actuator.replica_count() > self.config.min_replicas
+                    && actuator.evict(id)
+                {
+                    self.controllers.remove(&id);
+                    report.evicted.push(id);
+                }
+            }
+            if decision.add_node && actuator.replica_count() < self.config.max_replicas {
+                if let Some(id) = actuator.join() {
+                    self.controller(id);
+                    report.joined = Some(id);
+                }
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::BTreeSet;
+
+    /// A scripted in-memory cluster: actuation becomes bookkeeping.
+    struct FakeCluster {
+        members: BTreeSet<NodeId>,
+        next: NodeId,
+        refuse_recovery: bool,
+        recovered: Vec<NodeId>,
+    }
+
+    impl FakeCluster {
+        fn new(n: NodeId) -> Self {
+            FakeCluster {
+                members: (0..n).collect(),
+                next: n,
+                refuse_recovery: false,
+                recovered: Vec::new(),
+            }
+        }
+    }
+
+    impl ClusterActuator for FakeCluster {
+        fn replica_count(&self) -> usize {
+            self.members.len()
+        }
+        fn contains(&self, node: NodeId) -> bool {
+            self.members.contains(&node)
+        }
+        fn recover(&mut self, node: NodeId) -> bool {
+            if self.refuse_recovery || !self.members.contains(&node) {
+                return false;
+            }
+            self.recovered.push(node);
+            true
+        }
+        fn join(&mut self) -> Option<NodeId> {
+            let id = self.next;
+            self.next += 1;
+            self.members.insert(id);
+            Some(id)
+        }
+        fn evict(&mut self, node: NodeId) -> bool {
+            self.members.remove(&node)
+        }
+    }
+
+    fn observations(cluster: &FakeCluster, alerts: u64) -> Vec<(NodeId, u64)> {
+        cluster.members.iter().map(|&id| (id, alerts)).collect()
+    }
+
+    #[test]
+    fn sustained_alerts_trigger_a_recovery_through_the_actuator() {
+        let mut plane = ControlPlane::new(ControlPlaneConfig {
+            system_controller: false,
+            delta_r: None,
+            ..ControlPlaneConfig::default()
+        })
+        .unwrap();
+        let mut cluster = FakeCluster::new(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut recovered = false;
+        for _ in 0..12 {
+            let observed: Vec<(NodeId, NodeReport<'_>)> = observations(&cluster, 10)
+                .into_iter()
+                .map(|(id, alerts)| (id, NodeReport::Sample(alerts)))
+                .collect();
+            let tick = plane.tick(&observed, &mut cluster, &mut rng);
+            assert!(
+                tick.recovered.len() <= 1,
+                "the k = 1 constraint bounds per-tick recoveries"
+            );
+            if !tick.recovered.is_empty() {
+                recovered = true;
+                break;
+            }
+        }
+        assert!(recovered, "max-priority alerts must actuate a recovery");
+        assert_eq!(cluster.recovered.len(), 1);
+        // The recovered node's belief reset to the attack prior.
+        let id = cluster.recovered[0];
+        assert!(plane.controller_of(id).unwrap().belief() < 0.2);
+    }
+
+    #[test]
+    fn deferred_recoveries_keep_requesting() {
+        let mut plane = ControlPlane::new(ControlPlaneConfig {
+            system_controller: false,
+            delta_r: Some(3),
+            ..ControlPlaneConfig::default()
+        })
+        .unwrap();
+        let mut cluster = FakeCluster::new(4);
+        cluster.refuse_recovery = true;
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut requested_ticks = 0;
+        let mut first_request = None;
+        for tick_index in 0..8 {
+            let observed: Vec<(NodeId, NodeReport<'_>)> = cluster
+                .members
+                .iter()
+                .map(|&id| (id, NodeReport::Sample(0)))
+                .collect();
+            let tick = plane.tick(&observed, &mut cluster, &mut rng);
+            assert!(tick.recovered.is_empty(), "actuation was refused");
+            if !tick.requested.is_empty() {
+                first_request.get_or_insert(tick_index);
+                requested_ticks += 1;
+            }
+        }
+        // Deferral semantics: once a node's recovery request is refused it
+        // stays due and re-fires on *every* subsequent tick (the belief /
+        // BTR clock is restored by `notify_deferred`), not just every Δ_R.
+        let first = first_request.expect("the BTR clock must force a request");
+        assert_eq!(
+            requested_ticks,
+            8 - first,
+            "a refused recovery must re-request on every subsequent tick"
+        );
+    }
+
+    #[test]
+    fn system_level_evicts_silent_nodes_and_restores_n_via_join() {
+        let mut plane = ControlPlane::new(ControlPlaneConfig {
+            system_controller: true,
+            min_replicas: 3,
+            max_replicas: 8,
+            // f = 2 with a strict availability target: Algorithm 2 adds
+            // with high probability whenever ≤ 3 nodes are estimated
+            // healthy, which a 4-node cluster with one silent member
+            // always hits.
+            fault_threshold: 2,
+            availability_target: 0.98,
+            ..ControlPlaneConfig::default()
+        })
+        .unwrap();
+        let mut cluster = FakeCluster::new(4);
+        let mut rng = StdRng::seed_from_u64(3);
+        // Node 2 stops reporting: it must be evicted, and with few healthy
+        // nodes the replication controller must eventually JOIN a fresh one.
+        let mut evicted = false;
+        let mut joined = false;
+        for _ in 0..20 {
+            let observed: Vec<(NodeId, NodeReport<'_>)> = cluster
+                .members
+                .iter()
+                .map(|&id| {
+                    if id == 2 && !evicted {
+                        (id, NodeReport::Silent)
+                    } else {
+                        (id, NodeReport::Sample(2))
+                    }
+                })
+                .collect();
+            let tick = plane.tick(&observed, &mut cluster, &mut rng);
+            if tick.evicted.contains(&2) {
+                evicted = true;
+                assert!(!cluster.contains(2));
+                assert!(plane.controller_of(2).is_none(), "controller dropped");
+            }
+            if tick.joined.is_some() {
+                joined = true;
+            }
+            if evicted && joined && cluster.replica_count() >= 4 {
+                break;
+            }
+        }
+        assert!(evicted, "the silent node must be evicted");
+        assert!(joined, "the system controller must restore n via JOIN");
+        assert!(cluster.replica_count() >= 4);
+    }
+
+    #[test]
+    fn event_stream_reports_drive_the_same_loop() {
+        let mut plane = ControlPlane::new(ControlPlaneConfig {
+            system_controller: false,
+            delta_r: None,
+            ..ControlPlaneConfig::default()
+        })
+        .unwrap();
+        let mut cluster = FakeCluster::new(4);
+        let mut rng = StdRng::seed_from_u64(4);
+        let burst = [10u64, 10, 10, 9, 10];
+        let quiet = [0u64, 1];
+        let mut recovered = false;
+        for _ in 0..6 {
+            let observed: Vec<(NodeId, NodeReport<'_>)> = cluster
+                .members
+                .iter()
+                .map(|&id| {
+                    if id == 1 {
+                        (id, NodeReport::Events(&burst))
+                    } else {
+                        (id, NodeReport::Events(&quiet))
+                    }
+                })
+                .collect();
+            let tick = plane.tick(&observed, &mut cluster, &mut rng);
+            if tick.recovered.contains(&1) {
+                recovered = true;
+                break;
+            }
+            assert!(
+                !tick.recovered.iter().any(|&id| id != 1),
+                "quiet nodes must not recover"
+            );
+        }
+        assert!(recovered, "a dense alert burst must actuate recovery");
+    }
+}

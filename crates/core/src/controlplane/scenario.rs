@@ -1,0 +1,499 @@
+//! The `controlled/*` scenarios: the live two-level loop as a sweepable
+//! workload.
+//!
+//! [`ControlledServiceScenario`] runs the **threaded** MinBFT service under
+//! a scripted intrusion schedule while the [`ControlPlane`] closes the loop
+//! in real time: every `control_interval` seconds each replica's IDS
+//! observation channel emits a batch of weighted alert events (sampled from
+//! the paper's [`ObservationModel`] distributions — compromised replicas
+//! draw from the compromised distribution), the node controllers fold the
+//! events through the incremental belief tracker and actuate live recovery,
+//! and the system controller evicts crashed replicas and restores `n`
+//! through JOIN — all over the running cluster's transport.
+//!
+//! The simnet twin (`controlled/sim-intrusion-burst`, registered by
+//! [`register_controlled_scenarios`]) exercises the *same*
+//! [`ControlPlane::tick`] against the simulated cluster under the full
+//! agreement/validity/recovery-bound oracle suite, which is what makes the
+//! live loop trustworthy.
+
+use crate::controlplane::runtime::{ControlPlane, ControlPlaneConfig, NodeReport};
+use crate::error::Result;
+use crate::metrics::MetricReport;
+use crate::node_model::NodeState;
+use crate::observation::ObservationModel;
+use crate::runtime::{AsMetricReport, MetricScenario, Scenario, ScenarioRegistry};
+use crate::simnet::{FaultKind, ScheduleConfig, SimnetScenario};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::{Duration, Instant};
+use tolerance_consensus::{
+    ByzantineMode, ClientDriver, NodeId, ThreadedCluster, ThreadedServiceConfig,
+};
+
+/// How an injected intrusion manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum IntrusionMode {
+    /// The replica is compromised (goes Silent) but keeps reporting: the
+    /// *node controller* must detect it through the shifted IDS stream and
+    /// actuate a live recovery.
+    Compromise,
+    /// The replica crashes outright (Silent + no belief reports): the
+    /// *system controller* must evict it and restore `n` via JOIN.
+    Crash,
+}
+
+/// One scripted intrusion of the workload generator.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct IntrusionEvent {
+    /// Seconds into the run at which the intrusion lands.
+    pub at: f64,
+    /// Index into the membership (at injection time) of the target.
+    pub replica_index: usize,
+    /// What the intrusion does.
+    pub mode: IntrusionMode,
+}
+
+/// Configuration of a controlled threaded-service run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ControlledServiceConfig {
+    /// The underlying threaded service (replicas, clients, batching, …).
+    pub service: ThreadedServiceConfig,
+    /// Whether the control plane runs at all (`false` = uncontrolled
+    /// baseline: intrusions land and nothing repairs them).
+    pub controller: bool,
+    /// Wall-clock seconds between control ticks.
+    pub control_interval: f64,
+    /// IDS events sampled per replica per tick (the observation channel's
+    /// event rate).
+    pub events_per_tick: usize,
+    /// The control-plane parameters (thresholds, `Δ_R`, `k`, system level).
+    pub control: ControlPlaneConfig,
+    /// The scripted intrusion schedule.
+    pub intrusions: Vec<IntrusionEvent>,
+}
+
+impl Default for ControlledServiceConfig {
+    fn default() -> Self {
+        ControlledServiceConfig {
+            service: ThreadedServiceConfig {
+                // n = 5 tolerates f = 2, so a simultaneous compromise and
+                // crash leave a serving majority while both control levels
+                // repair the damage.
+                replicas: 5,
+                duration: 1.2,
+                ..ThreadedServiceConfig::default()
+            },
+            controller: true,
+            control_interval: 0.02,
+            events_per_tick: 3,
+            control: ControlPlaneConfig {
+                // Wall-clock ticks are much denser than simnet steps, so
+                // the BTR clock is correspondingly longer.
+                delta_r: Some(200),
+                min_replicas: 4,
+                max_replicas: 8,
+                // f = 2 with a strict availability target: Algorithm 2
+                // adds with probability 0.9 per tick whenever ≤ 3 nodes
+                // are estimated healthy — exactly the state after the
+                // crashed replica is evicted (n = 4) — and never at ≥ 4,
+                // so the JOIN restoration is prompt and the cluster does
+                // not drift upward while healthy.
+                fault_threshold: 2,
+                availability_target: 0.98,
+                ..ControlPlaneConfig::default()
+            },
+            intrusions: vec![
+                IntrusionEvent {
+                    at: 0.25,
+                    replica_index: 1,
+                    mode: IntrusionMode::Compromise,
+                },
+                IntrusionEvent {
+                    at: 0.5,
+                    replica_index: 2,
+                    mode: IntrusionMode::Crash,
+                },
+            ],
+        }
+    }
+}
+
+/// Outcome of one controlled run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ControlledServiceReport {
+    /// Whether the control plane was enabled.
+    pub controller: bool,
+    /// Requests completed by an f+1 reply quorum.
+    pub completed_requests: u64,
+    /// Wall-clock duration of the run.
+    pub duration: f64,
+    /// Completed requests per second.
+    pub requests_per_second: f64,
+    /// Mean request latency in seconds.
+    pub mean_latency: f64,
+    /// Intrusions injected (compromises + crashes).
+    pub intrusions: usize,
+    /// Node-controller recoveries actuated on the live cluster.
+    pub recoveries: u64,
+    /// Mean seconds from compromise injection to actuated recovery
+    /// (`None` when nothing was recovered).
+    pub mean_recovery_latency: Option<f64>,
+    /// Compromised replicas never recovered by run end.
+    pub unrecovered: usize,
+    /// System-controller evictions actuated on the live cluster.
+    pub evictions: u64,
+    /// System-controller JOINs actuated on the live cluster.
+    pub joins: u64,
+    /// Membership size at run end.
+    pub final_replicas: usize,
+    /// Whether the final replica logs were prefix-consistent.
+    pub consistent: bool,
+}
+
+impl AsMetricReport for ControlledServiceReport {
+    fn metric_report(&self) -> MetricReport {
+        MetricReport {
+            availability: if self.consistent && self.completed_requests > 0 {
+                1.0
+            } else {
+                0.0
+            },
+            time_to_recovery: self.mean_recovery_latency.unwrap_or(0.0),
+            recovery_frequency: if self.duration > 0.0 {
+                self.recoveries as f64 / self.duration
+            } else {
+                0.0
+            },
+            steps: self.completed_requests,
+        }
+    }
+}
+
+/// A sweepable controlled threaded-service scenario.
+#[derive(Debug, Clone)]
+pub struct ControlledServiceScenario {
+    label: String,
+    config: ControlledServiceConfig,
+}
+
+impl ControlledServiceScenario {
+    /// Wraps a configuration under a label.
+    pub fn new(label: impl Into<String>, config: ControlledServiceConfig) -> Self {
+        ControlledServiceScenario {
+            label: label.into(),
+            config,
+        }
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &ControlledServiceConfig {
+        &self.config
+    }
+}
+
+impl Scenario for ControlledServiceScenario {
+    type Output = ControlledServiceReport;
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+
+    fn run(&self, seed: u64) -> Result<ControlledServiceReport> {
+        run_controlled_service(&self.config, seed)
+    }
+}
+
+/// Runs the threaded service under the scripted intrusion schedule with the
+/// control plane (optionally) closing the loop live. See the module docs.
+///
+/// # Errors
+///
+/// Propagates control-plane construction failures.
+pub fn run_controlled_service(
+    config: &ControlledServiceConfig,
+    seed: u64,
+) -> Result<ControlledServiceReport> {
+    let service = ThreadedServiceConfig {
+        seed,
+        ..config.service
+    };
+    let mut cluster = ThreadedCluster::new(&service);
+    let mut driver = ClientDriver::new(&mut cluster, service.clients);
+    let duration = service.duration;
+    let driver_thread = std::thread::spawn(move || {
+        driver.run_for(duration);
+        let _ = driver.drain(2.0);
+        driver
+    });
+
+    let mut plane = ControlPlane::new(config.control.clone())?;
+    let alert_model = ObservationModel::paper_default();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc011_7201_b1a4_e5e3);
+    let mut pending: Vec<IntrusionEvent> = config.intrusions.clone();
+    pending.sort_by(|a, b| a.at.partial_cmp(&b.at).unwrap_or(std::cmp::Ordering::Equal));
+    let mut pending = pending.into_iter().peekable();
+
+    let mut compromised: BTreeMap<NodeId, f64> = BTreeMap::new();
+    let mut crashed: BTreeSet<NodeId> = BTreeSet::new();
+    let mut recovery_latencies: Vec<f64> = Vec::new();
+    let mut recoveries: u64 = 0;
+    let mut evictions: u64 = 0;
+    let mut joins: u64 = 0;
+    let mut intrusions = 0usize;
+
+    let start = Instant::now();
+    while start.elapsed().as_secs_f64() < duration {
+        std::thread::sleep(Duration::from_secs_f64(config.control_interval.max(1e-3)));
+        let now = start.elapsed().as_secs_f64();
+        // Inject due intrusions (the workload generator's fault channel).
+        while let Some(event) = pending.peek().copied() {
+            if event.at > now {
+                break;
+            }
+            pending.next();
+            let members = cluster.membership();
+            if members.is_empty() {
+                continue;
+            }
+            let node = members[event.replica_index % members.len()];
+            if cluster.compromise(node, ByzantineMode::Silent) {
+                intrusions += 1;
+                match event.mode {
+                    IntrusionMode::Compromise => {
+                        compromised.entry(node).or_insert(now);
+                    }
+                    IntrusionMode::Crash => {
+                        crashed.insert(node);
+                    }
+                }
+            }
+        }
+        if !config.controller {
+            continue;
+        }
+        // The IDS observation channel: per replica, a batch of weighted
+        // alert events sampled from the state-conditional distribution.
+        let members = cluster.membership();
+        let events: Vec<Vec<u64>> = members
+            .iter()
+            .map(|id| {
+                if crashed.contains(id) {
+                    return Vec::new();
+                }
+                let state = if compromised.contains_key(id) {
+                    NodeState::Compromised
+                } else {
+                    NodeState::Healthy
+                };
+                (0..config.events_per_tick.max(1))
+                    .map(|_| alert_model.sample(state, &mut rng))
+                    .collect()
+            })
+            .collect();
+        let observations: Vec<(NodeId, NodeReport<'_>)> = members
+            .iter()
+            .enumerate()
+            .map(|(index, &id)| {
+                if crashed.contains(&id) {
+                    (id, NodeReport::Silent)
+                } else {
+                    (id, NodeReport::Events(&events[index]))
+                }
+            })
+            .collect();
+        let tick = plane.tick(&observations, &mut cluster, &mut rng);
+        recoveries += tick.recovered.len() as u64;
+        for id in &tick.recovered {
+            if let Some(injected_at) = compromised.remove(id) {
+                recovery_latencies.push(now - injected_at);
+            }
+        }
+        for id in &tick.evicted {
+            evictions += 1;
+            crashed.remove(id);
+            compromised.remove(id);
+        }
+        if tick.joined.is_some() {
+            joins += 1;
+        }
+    }
+
+    // The submission window closes here; the drain below only collects
+    // replies to requests submitted within it, so throughput divides by
+    // the window, not by drain wall-time (which differs between the
+    // controlled and the uncontrolled cell and would bias their ratio).
+    let serving_window = start.elapsed().as_secs_f64().min(duration.max(1e-9));
+    let mut driver = driver_thread.join().expect("driver thread finishes");
+    let _ = driver.drain(1.0);
+    let client_report = driver.report();
+    let final_replicas = cluster.num_replicas();
+    let snapshots = cluster.shutdown();
+    let consistent = tolerance_consensus::threaded::snapshots_consistent(&snapshots);
+    let mean_recovery_latency = if recovery_latencies.is_empty() {
+        None
+    } else {
+        Some(recovery_latencies.iter().sum::<f64>() / recovery_latencies.len() as f64)
+    };
+    Ok(ControlledServiceReport {
+        controller: config.controller,
+        completed_requests: client_report.completed,
+        duration: serving_window,
+        requests_per_second: client_report.completed as f64 / serving_window,
+        mean_latency: client_report.mean_latency(),
+        intrusions,
+        recoveries,
+        mean_recovery_latency,
+        unrecovered: compromised.len(),
+        evictions,
+        joins,
+        final_replicas,
+        consistent,
+    })
+}
+
+/// The simnet twin: the same control logic (node + system controllers via
+/// [`ControlPlane::tick`]) against the simulated cluster under an
+/// intrusion-heavy chaos schedule, checked by the full oracle suite.
+pub fn sim_intrusion_burst_config() -> ScheduleConfig {
+    ScheduleConfig {
+        horizon: 40,
+        intensity: 0.5,
+        system_controller: true,
+        enabled: vec![
+            FaultKind::IntrusionBurst,
+            FaultKind::CrashReplica,
+            FaultKind::ByzantineFlip,
+            FaultKind::ClientBurst,
+        ],
+        ..ScheduleConfig::default()
+    }
+}
+
+/// Registers the built-in controlled scenarios:
+///
+/// * `controlled/intrusion-burst` — the live loop on ThreadedTransport:
+///   intrusion + crash injections, node controller recovering, system
+///   controller restoring `n` via JOIN (wall-clock).
+/// * `controlled/uncontrolled-baseline` — the same injections with the
+///   control plane off (the comparison cell of the `control_loop` bench).
+/// * `controlled/sim-intrusion-burst` — the deterministic twin on
+///   SimNetwork under the full simnet oracle suite.
+pub fn register_controlled_scenarios(registry: &mut ScenarioRegistry) {
+    registry.register_wall_clock("controlled/intrusion-burst", || {
+        Ok(Box::new(ControlledServiceScenario::new(
+            "controlled/intrusion-burst",
+            ControlledServiceConfig::default(),
+        )) as Box<dyn MetricScenario>)
+    });
+    registry.register_wall_clock("controlled/uncontrolled-baseline", || {
+        Ok(Box::new(ControlledServiceScenario::new(
+            "controlled/uncontrolled-baseline",
+            ControlledServiceConfig {
+                controller: false,
+                ..ControlledServiceConfig::default()
+            },
+        )) as Box<dyn MetricScenario>)
+    });
+    registry.register("controlled/sim-intrusion-burst", || {
+        Ok(Box::new(SimnetScenario::new(
+            "controlled/sim-intrusion-burst",
+            sim_intrusion_burst_config(),
+        )) as Box<dyn MetricScenario>)
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Runner;
+
+    #[test]
+    fn controlled_scenarios_register() {
+        let mut registry = ScenarioRegistry::new();
+        register_controlled_scenarios(&mut registry);
+        for name in [
+            "controlled/intrusion-burst",
+            "controlled/uncontrolled-baseline",
+            "controlled/sim-intrusion-burst",
+        ] {
+            assert!(registry.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn sim_twin_passes_the_oracles_in_a_quick_sweep() {
+        let mut registry = ScenarioRegistry::new();
+        register_controlled_scenarios(&mut registry);
+        let run = registry
+            .run("controlled/sim-intrusion-burst", &Runner::serial(), &[0, 1])
+            .expect("oracle-checked controlled runs pass");
+        assert_eq!(run.reports.len(), 2);
+    }
+
+    #[test]
+    fn live_loop_recovers_compromise_and_restores_n() {
+        // The acceptance scenario in miniature: on ThreadedTransport, the
+        // node controller must recover the compromised replica and the
+        // system controller must evict the crashed one and restore n via
+        // JOIN — while the service keeps completing requests. Wall-clock
+        // runs race the OS scheduler, so a loaded host gets up to three
+        // attempts before the expectations are treated as a product bug
+        // (the deterministic twin gates the same behaviour seed-exactly).
+        let config = ControlledServiceConfig::default();
+        let mut report = run_controlled_service(&config, 7).expect("controlled run");
+        for retry_seed in [8, 9] {
+            let repaired = report.recoveries >= 1
+                && report.unrecovered == 0
+                && report.evictions >= 1
+                && report.joins >= 1;
+            if repaired {
+                break;
+            }
+            eprintln!("wall-clock attempt incomplete, retrying: {report:?}");
+            report = run_controlled_service(&config, retry_seed).expect("controlled run");
+        }
+        assert!(report.controller);
+        assert_eq!(report.intrusions, 2);
+        assert!(
+            report.completed_requests > 0,
+            "the service must keep serving: {report:?}"
+        );
+        assert!(report.consistent, "logs diverged: {report:?}");
+        assert!(
+            report.recoveries >= 1,
+            "the node controller must actuate a live recovery: {report:?}"
+        );
+        assert_eq!(
+            report.unrecovered, 0,
+            "compromise left standing: {report:?}"
+        );
+        assert!(
+            report.evictions >= 1,
+            "the crashed replica must be evicted: {report:?}"
+        );
+        assert!(
+            report.joins >= 1,
+            "the system controller must restore n via JOIN: {report:?}"
+        );
+        assert!(
+            report.final_replicas >= config.control.min_replicas,
+            "n must be restored: {report:?}"
+        );
+        assert!(report.mean_recovery_latency.unwrap_or(f64::MAX) < 2.0);
+    }
+
+    #[test]
+    fn uncontrolled_baseline_leaves_the_compromise_standing() {
+        let config = ControlledServiceConfig {
+            controller: false,
+            ..ControlledServiceConfig::default()
+        };
+        let report = run_controlled_service(&config, 9).expect("baseline run");
+        assert!(!report.controller);
+        assert_eq!(report.recoveries, 0);
+        assert_eq!(report.joins, 0);
+        assert!(report.unrecovered >= 1, "nothing repairs the compromise");
+    }
+}

@@ -73,10 +73,17 @@ impl Scenario for DataPlaneScenario {
     }
 
     fn run(&self, seed: u64) -> Result<WorkloadReport> {
-        let mut cluster = MinBftCluster::new(MinBftConfig {
-            seed,
-            ..self.cluster.clone()
-        });
+        // Sweep axes can produce flush windows below the batch-fill floor
+        // (`batch_delay < batch_size × per-message cost`), which silently
+        // degrades every batch to a partial flush; the clamp keeps any grid
+        // point meaningfully batched (see `MinBftConfig::validate`).
+        let mut cluster = MinBftCluster::new(
+            MinBftConfig {
+                seed,
+                ..self.cluster.clone()
+            }
+            .clamped(),
+        );
         let report = cluster.run_workload(&WorkloadConfig {
             seed: seed ^ 0x6461_7461_706c_616e,
             ..self.workload

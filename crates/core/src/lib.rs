@@ -16,6 +16,12 @@
 //!   replication factor `N_t ≥ 2f + 1 + k` (Proposition 1). The underlying
 //!   problem is the inventory replenishment CMDP of Problem 2, solved exactly
 //!   with the occupation-measure LP of Algorithm 2 ([`algorithms::Alg2`]).
+//! * **Control plane** ([`controlplane`]) — the online runtime that closes
+//!   both loops on a *running* cluster: the [`controlplane::ClusterActuator`]
+//!   actuation interface (recovery, JOIN/EVICT) implemented by the simulated
+//!   and the threaded MinBFT cluster, the shared
+//!   [`controlplane::ControlPlane::tick`], and the sweepable `controlled/*`
+//!   scenarios with a live intrusion-burst workload.
 //! * **Baselines** ([`baselines`]) — the NO-RECOVERY, PERIODIC and
 //!   PERIODIC-ADAPTIVE strategies of state-of-the-art intrusion-tolerant
 //!   systems that the paper compares against (Section VIII-B).
@@ -40,6 +46,7 @@
 pub mod algorithms;
 pub mod baselines;
 pub mod controller;
+pub mod controlplane;
 pub mod dataplane;
 pub mod error;
 pub mod metrics;
@@ -58,6 +65,10 @@ pub mod prelude {
     pub use crate::algorithms::{Alg1, Alg1Config, Alg2, OptimizerKind};
     pub use crate::baselines::{BaselineKind, RecoveryDecision, RecoveryStrategy};
     pub use crate::controller::{NodeController, SystemController};
+    pub use crate::controlplane::{
+        ClusterActuator, ControlPlane, ControlPlaneConfig, ControlledServiceConfig,
+        ControlledServiceScenario, NodeReport,
+    };
     pub use crate::error::{CoreError, Result};
     pub use crate::metrics::EvaluationMetrics;
     pub use crate::node_model::{NodeModel, NodeParameters, NodeState};

@@ -62,6 +62,14 @@ pub struct ScenarioRun {
 
 type ScenarioFactory = Box<dyn Fn() -> Result<Box<dyn MetricScenario>> + Send + Sync>;
 
+struct Entry {
+    factory: ScenarioFactory,
+    /// Whether `(name, seed)` fully determines the output. Wall-clock
+    /// scenarios (e.g. the live threaded service) are registered as
+    /// non-deterministic and excluded from byte-identical-replay suites.
+    deterministic: bool,
+}
+
 /// A registry of named scenario factories.
 ///
 /// New workloads — different attacker profiles, IDS models, `Δ_R`
@@ -70,7 +78,7 @@ type ScenarioFactory = Box<dyn Fn() -> Result<Box<dyn MetricScenario>> + Send + 
 /// executed over any seed grid through the shared [`Runner`].
 #[derive(Default)]
 pub struct ScenarioRegistry {
-    factories: BTreeMap<String, ScenarioFactory>,
+    factories: BTreeMap<String, Entry>,
 }
 
 impl ScenarioRegistry {
@@ -79,12 +87,55 @@ impl ScenarioRegistry {
         ScenarioRegistry::default()
     }
 
-    /// Registers (or replaces) a scenario factory under `name`.
+    /// Registers (or replaces) a deterministic scenario factory under
+    /// `name` (`(name, seed)` fully determines the output).
     pub fn register<F>(&mut self, name: impl Into<String>, factory: F)
     where
         F: Fn() -> Result<Box<dyn MetricScenario>> + Send + Sync + 'static,
     {
-        self.factories.insert(name.into(), Box::new(factory));
+        self.factories.insert(
+            name.into(),
+            Entry {
+                factory: Box::new(factory),
+                deterministic: true,
+            },
+        );
+    }
+
+    /// Registers (or replaces) a **wall-clock** scenario factory: one whose
+    /// output depends on real time and thread scheduling (e.g. the live
+    /// threaded service), so replay suites must not expect byte-identical
+    /// reruns.
+    pub fn register_wall_clock<F>(&mut self, name: impl Into<String>, factory: F)
+    where
+        F: Fn() -> Result<Box<dyn MetricScenario>> + Send + Sync + 'static,
+    {
+        self.factories.insert(
+            name.into(),
+            Entry {
+                factory: Box::new(factory),
+                deterministic: false,
+            },
+        );
+    }
+
+    /// Whether `name` is registered as deterministic (unknown names are
+    /// `false`).
+    pub fn is_deterministic(&self, name: &str) -> bool {
+        self.factories
+            .get(name)
+            .map(|entry| entry.deterministic)
+            .unwrap_or(false)
+    }
+
+    /// The registered names of deterministic scenarios, sorted (the set
+    /// replay suites iterate).
+    pub fn deterministic_names(&self) -> Vec<&str> {
+        self.factories
+            .iter()
+            .filter(|(_, entry)| entry.deterministic)
+            .map(|(name, _)| name.as_str())
+            .collect()
     }
 
     /// The registered names, sorted.
@@ -114,7 +165,7 @@ impl ScenarioRegistry {
     /// Fails for unknown names, and propagates factory failures.
     pub fn build(&self, name: &str) -> Result<Box<dyn MetricScenario>> {
         match self.factories.get(name) {
-            Some(factory) => factory(),
+            Some(entry) => (entry.factory)(),
             None => Err(CoreError::UnknownScenario(name.to_string())),
         }
     }

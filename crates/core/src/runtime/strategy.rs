@@ -70,9 +70,9 @@ impl StrategyKind {
                     None => vec![config.recovery_threshold],
                 };
                 let strategy = ThresholdStrategy::new(thresholds, config.delta_r)?;
-                Ok(NodeStrategy::Tolerance(NodeController::new(
+                Ok(NodeStrategy::Tolerance(Box::new(NodeController::new(
                     model, strategy,
-                )))
+                ))))
             }
             StrategyKind::Baseline(kind) => Ok(NodeStrategy::Baseline(
                 RecoveryStrategy::new(kind, config.delta_r, expected_alerts)
@@ -119,8 +119,10 @@ pub struct NodeStrategyConfig {
 /// controller or a baseline recovery schedule, behind one uniform API.
 #[derive(Debug, Clone, PartialEq)]
 pub enum NodeStrategy {
-    /// The belief-threshold node controller (Theorem 1).
-    Tolerance(NodeController),
+    /// The belief-threshold node controller (Theorem 1). Boxed: the
+    /// controller carries its incremental belief tracker, which dwarfs the
+    /// baseline variant.
+    Tolerance(Box<NodeController>),
     /// A baseline recovery schedule (Section VIII-B).
     Baseline(RecoveryStrategy),
 }

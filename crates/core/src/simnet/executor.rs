@@ -17,13 +17,11 @@
 //! `(seed, config)` pair produces a byte-identical trace on every run,
 //! regardless of how many runs execute in parallel around it.
 
-use crate::controller::{NodeController, SystemController};
+use crate::controlplane::{ClusterActuator, ControlPlane, ControlPlaneConfig, NodeReport};
 use crate::error::Result;
 use crate::metrics::MetricReport;
 use crate::node_model::{NodeModel, NodeParameters, NodeState};
 use crate::observation::ObservationModel;
-use crate::recovery::ThresholdStrategy;
-use crate::replication::{ReplicationConfig, ReplicationProblem};
 use crate::runtime::AsMetricReport;
 use crate::simnet::oracle::{InvariantChecker, InvariantKind, Violation};
 use crate::simnet::schedule::{FaultEvent, FaultSchedule, ScheduleConfig};
@@ -110,12 +108,23 @@ impl AsMetricReport for RunReport {
     }
 }
 
-/// Per-replica supervision state maintained by the harness.
+/// Per-replica supervision state maintained by the harness (the ground
+/// truth of the fault schedule; the belief-tracking controllers live in the
+/// shared [`ControlPlane`]).
 struct Supervisor {
-    controller: NodeController,
     state: NodeState,
     compromised_at: Option<u32>,
     schedule_crashed: bool,
+}
+
+impl Supervisor {
+    fn new() -> Self {
+        Supervisor {
+            state: NodeState::Healthy,
+            compromised_at: None,
+            schedule_crashed: false,
+        }
+    }
 }
 
 /// Executes `schedule` against a freshly built stack configured by `config`.
@@ -129,14 +138,94 @@ pub fn run_schedule(schedule: &FaultSchedule, config: &ScheduleConfig) -> Result
     SimHarness::new(schedule, config)?.run()
 }
 
+/// The harness-side actuator: the shared [`ControlPlane`] actuates through
+/// this view, which adds the fault-schedule bookkeeping (restart-vs-rebuild
+/// choice, recovery-latency accounting, supervisor lifecycle) on top of the
+/// simulated cluster.
+struct HarnessActuator<'a> {
+    cluster: &'a mut MinBftCluster,
+    supervisors: &'a mut BTreeMap<NodeId, Supervisor>,
+    added_stack: &'a mut Vec<NodeId>,
+    recoveries: &'a mut u64,
+    recovery_delays: &'a mut Vec<u32>,
+    step: u32,
+}
+
+impl HarnessActuator<'_> {
+    fn recover_node(&mut self, node: NodeId) -> bool {
+        if !self.cluster.membership().contains(&node) {
+            return false;
+        }
+        // Fail-stop crashes restart with their state intact; everything
+        // else (compromise, Byzantine behaviour, BTR refresh) is the full
+        // rebuild + state transfer.
+        let crashed_only = self
+            .supervisors
+            .get(&node)
+            .map(|s| s.schedule_crashed && s.state == NodeState::Crashed)
+            .unwrap_or(false);
+        let recovered = if crashed_only {
+            self.cluster.restart_replica(node);
+            true
+        } else {
+            self.cluster.recover_replica(node)
+        };
+        if !recovered {
+            // Deferred: no state donor existed. The supervisor stays marked
+            // (compromised/crashed), so the next BTR tick or schedule event
+            // retries and the recovery-bound oracle keeps watching.
+            return false;
+        }
+        *self.recoveries += 1;
+        if let Some(supervisor) = self.supervisors.get_mut(&node) {
+            supervisor.state = NodeState::Healthy;
+            supervisor.schedule_crashed = false;
+            if let Some(at) = supervisor.compromised_at.take() {
+                self.recovery_delays.push(self.step.saturating_sub(at));
+            }
+        }
+        true
+    }
+}
+
+impl ClusterActuator for HarnessActuator<'_> {
+    fn replica_count(&self) -> usize {
+        self.cluster.num_replicas()
+    }
+
+    fn contains(&self, node: NodeId) -> bool {
+        self.cluster.membership().contains(&node)
+    }
+
+    fn recover(&mut self, node: NodeId) -> bool {
+        self.recover_node(node)
+    }
+
+    fn join(&mut self) -> Option<NodeId> {
+        let id = self.cluster.add_replica();
+        self.supervisors.insert(id, Supervisor::new());
+        self.added_stack.push(id);
+        Some(id)
+    }
+
+    fn evict(&mut self, node: NodeId) -> bool {
+        if !self.cluster.membership().contains(&node) {
+            return false;
+        }
+        self.cluster.evict_replica(node);
+        self.supervisors.remove(&node);
+        self.added_stack.retain(|&n| n != node);
+        true
+    }
+}
+
 struct SimHarness<'a> {
     schedule: &'a FaultSchedule,
     config: &'a ScheduleConfig,
     cluster: MinBftCluster,
     supervisors: BTreeMap<NodeId, Supervisor>,
-    system: Option<SystemController>,
+    controlplane: ControlPlane,
     alert_model: ObservationModel,
-    node_model: NodeModel,
     rng: StdRng,
     checker: InvariantChecker,
     clients: Vec<NodeId>,
@@ -161,26 +250,27 @@ impl<'a> SimHarness<'a> {
         });
         let alert_model = ObservationModel::paper_default();
         let node_model = NodeModel::new(NodeParameters::default(), alert_model.clone())?;
-        let system = if config.system_controller {
-            let strategy = ReplicationProblem::new(ReplicationConfig {
-                s_max: config.max_replicas,
+        let controlplane = ControlPlane::with_model(
+            ControlPlaneConfig {
+                recovery_threshold: config.recovery_threshold,
+                delta_r: Some(config.delta_r),
+                parallel_recoveries: config.parallel_recoveries,
+                system_controller: config.system_controller,
+                min_replicas: 4,
+                max_replicas: config.max_replicas,
                 fault_threshold: config.fault_threshold().max(1),
                 availability_target: 0.9,
                 node_survival_probability: 0.95,
-            })?
-            .solve()?;
-            Some(SystemController::new(strategy))
-        } else {
-            None
-        };
+            },
+            node_model,
+        )?;
         let mut harness = SimHarness {
             schedule,
             config,
             cluster,
             supervisors: BTreeMap::new(),
-            system,
+            controlplane,
             alert_model,
-            node_model,
             rng: StdRng::seed_from_u64(schedule.seed ^ 0x51e7_c0de_0bad_cafe),
             checker: InvariantChecker::new(),
             clients: Vec::new(),
@@ -192,8 +282,7 @@ impl<'a> SimHarness<'a> {
             trace: Vec::new(),
         };
         for id in 0..config.initial_replicas as NodeId {
-            let supervisor = harness.build_supervisor()?;
-            harness.supervisors.insert(id, supervisor);
+            harness.supervisors.insert(id, Supervisor::new());
         }
         // One primary closed-loop client plus a small pool for bursts.
         for _ in 0..4 {
@@ -203,19 +292,6 @@ impl<'a> SimHarness<'a> {
         Ok(harness)
     }
 
-    fn build_supervisor(&self) -> Result<Supervisor> {
-        let strategy = ThresholdStrategy::new(
-            vec![self.config.recovery_threshold],
-            Some(self.config.delta_r),
-        )?;
-        Ok(Supervisor {
-            controller: NodeController::new(self.node_model.clone(), strategy),
-            state: NodeState::Healthy,
-            compromised_at: None,
-            schedule_crashed: false,
-        })
-    }
-
     fn submit(&mut self, client: NodeId, operation: Operation) {
         let request = self.cluster.submit(client, operation);
         self.checker.record_submission(request.digest());
@@ -223,37 +299,19 @@ impl<'a> SimHarness<'a> {
     }
 
     fn recover_node(&mut self, node: NodeId, step: u32) {
-        if !self.cluster.membership().contains(&node) {
-            return;
-        }
-        // Fail-stop crashes restart with their state intact; everything
-        // else (compromise, Byzantine behaviour, BTR refresh) is the full
-        // rebuild + state transfer.
-        let crashed_only = self
-            .supervisors
-            .get(&node)
-            .map(|s| s.schedule_crashed && s.state == NodeState::Crashed)
-            .unwrap_or(false);
-        let recovered = if crashed_only {
-            self.cluster.restart_replica(node);
-            true
-        } else {
-            self.cluster.recover_replica(node)
+        let mut actuator = HarnessActuator {
+            cluster: &mut self.cluster,
+            supervisors: &mut self.supervisors,
+            added_stack: &mut self.added_stack,
+            recoveries: &mut self.recoveries,
+            recovery_delays: &mut self.recovery_delays,
+            step,
         };
-        if !recovered {
-            // Deferred: no state donor existed. The supervisor stays marked
-            // (compromised/crashed), so the next BTR tick or schedule event
-            // retries and the recovery-bound oracle keeps watching.
-            return;
-        }
-        self.recoveries += 1;
-        if let Some(supervisor) = self.supervisors.get_mut(&node) {
-            supervisor.state = NodeState::Healthy;
-            supervisor.schedule_crashed = false;
-            supervisor.controller.notify_recovered();
-            if let Some(at) = supervisor.compromised_at.take() {
-                self.recovery_delays.push(step.saturating_sub(at));
-            }
+        if actuator.recover_node(node) {
+            // Schedule-driven recoveries reset the node controller too
+            // (tick-driven ones are reset inside `ControlPlane::tick`; the
+            // reset is idempotent).
+            self.controlplane.controller(node).notify_recovered();
         }
     }
 
@@ -304,7 +362,7 @@ impl<'a> SimHarness<'a> {
             FaultEvent::AddReplica => {
                 if self.cluster.num_replicas() < self.config.max_replicas {
                     let id = self.cluster.add_replica();
-                    self.supervisors.insert(id, self.build_supervisor()?);
+                    self.supervisors.insert(id, Supervisor::new());
                     self.added_stack.push(id);
                 }
             }
@@ -316,6 +374,7 @@ impl<'a> SimHarness<'a> {
                     {
                         self.cluster.evict_replica(target);
                         self.supervisors.remove(&target);
+                        self.controlplane.forget(target);
                     }
                 }
             }
@@ -329,68 +388,41 @@ impl<'a> SimHarness<'a> {
         Ok(())
     }
 
-    /// One local-control tick: every supervisor observes its replica's alert
-    /// stream and may request a recovery; at most `k` recoveries execute per
-    /// step (the parallel-recovery constraint of Proposition 1), the rest
-    /// re-request next step because their belief / BTR clock keeps standing.
+    /// One control tick of both levels, delegated to the shared
+    /// [`ControlPlane`] — the *same* runtime the live threaded scenarios
+    /// drive. The harness contributes the deterministic IDS sampling (one
+    /// weighted-alert draw per reporting replica, in membership order) and
+    /// the ground-truth crash/compromise state; the plane contributes
+    /// belief tracking, the k-parallel-recovery constraint and the
+    /// Algorithm-2 replication decision, actuated through
+    /// [`HarnessActuator`].
     fn control_tick(&mut self, step: u32) {
         let membership: Vec<NodeId> = self.cluster.membership().to_vec();
-        let mut reports: Vec<Option<f64>> = Vec::with_capacity(membership.len());
-        let mut requests: Vec<(NodeId, f64)> = Vec::new();
+        let mut observations: Vec<(NodeId, NodeReport<'_>)> = Vec::with_capacity(membership.len());
         for &id in &membership {
-            let Some(supervisor) = self.supervisors.get_mut(&id) else {
-                reports.push(None);
-                continue;
-            };
-            if supervisor.schedule_crashed {
-                reports.push(None);
-                continue;
-            }
-            let sample_state = match supervisor.state {
-                NodeState::Compromised => NodeState::Compromised,
-                _ => NodeState::Healthy,
-            };
-            let alerts = self.alert_model.sample(sample_state, &mut self.rng);
-            let action = supervisor.controller.observe_and_decide(alerts);
-            reports.push(Some(supervisor.controller.belief()));
-            if action == crate::node_model::NodeAction::Recover {
-                requests.push((id, supervisor.controller.belief()));
-            }
-        }
-        // Highest beliefs first; at most k recoveries per step.
-        requests.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.0.cmp(&b.0))
-        });
-        requests.truncate(self.config.parallel_recoveries.max(1));
-        for (id, _) in requests {
-            self.recover_node(id, step);
-        }
-        // Global control level: evict non-reporters, maybe grow.
-        if let Some(system) = &mut self.system {
-            let decision = system.decide(&reports, &mut self.rng);
-            let mut evict: Vec<NodeId> = decision
-                .evict
-                .iter()
-                .filter_map(|&index| membership.get(index).copied())
-                .collect();
-            evict.sort_unstable();
-            for id in evict {
-                if self.cluster.membership().contains(&id) && self.cluster.num_replicas() > 4 {
-                    self.cluster.evict_replica(id);
-                    self.supervisors.remove(&id);
-                    self.added_stack.retain(|&n| n != id);
+            let report = match self.supervisors.get(&id) {
+                None => NodeReport::Silent,
+                Some(supervisor) if supervisor.schedule_crashed => NodeReport::Silent,
+                Some(supervisor) => {
+                    let sample_state = match supervisor.state {
+                        NodeState::Compromised => NodeState::Compromised,
+                        _ => NodeState::Healthy,
+                    };
+                    NodeReport::Sample(self.alert_model.sample(sample_state, &mut self.rng))
                 }
-            }
-            if decision.add_node && self.cluster.num_replicas() < self.config.max_replicas {
-                let id = self.cluster.add_replica();
-                if let Ok(supervisor) = self.build_supervisor() {
-                    self.supervisors.insert(id, supervisor);
-                    self.added_stack.push(id);
-                }
-            }
+            };
+            observations.push((id, report));
         }
+        let mut actuator = HarnessActuator {
+            cluster: &mut self.cluster,
+            supervisors: &mut self.supervisors,
+            added_stack: &mut self.added_stack,
+            recoveries: &mut self.recoveries,
+            recovery_delays: &mut self.recovery_delays,
+            step,
+        };
+        self.controlplane
+            .tick(&observations, &mut actuator, &mut self.rng);
     }
 
     fn drive_clients(&mut self, step: u32) {

@@ -59,9 +59,11 @@ pub fn heterogeneous_nodes_config() -> EmulationConfig {
 /// Table-7 strategy (at `N_1 = 6`, `Δ_R = 15`) under `paper/<strategy>`,
 /// the non-paper workloads described in the module docs, the
 /// fault-injection scenarios of the simnet harness (`simnet/*`), so
-/// experiment sweeps treat fault intensity like any other grid axis, and
-/// the service data-plane throughput workloads (`dataplane/*`: closed-loop
-/// batching comparison and open-loop Poisson arrival).
+/// experiment sweeps treat fault intensity like any other grid axis, the
+/// service data-plane throughput workloads (`dataplane/*`: closed-loop
+/// batching comparison and open-loop Poisson arrival), and the closed-loop
+/// control-plane scenarios (`controlled/*`: the live two-level loop on the
+/// threaded service plus its oracle-checked simnet twin).
 pub fn builtin_registry() -> ScenarioRegistry {
     let mut registry = ScenarioRegistry::new();
     for strategy in StrategyKind::paper_set() {
@@ -80,6 +82,7 @@ pub fn builtin_registry() -> ScenarioRegistry {
     tolerance_core::simnet::register_simnet_scenarios(&mut registry);
     crate::chaos::register_chaos_scenarios(&mut registry);
     tolerance_core::dataplane::register_dataplane_scenarios(&mut registry);
+    tolerance_core::controlplane::register_controlled_scenarios(&mut registry);
     registry
 }
 
@@ -102,7 +105,7 @@ mod tests {
     #[test]
     fn builtin_registry_contains_paper_novel_and_simnet_scenarios() {
         let registry = builtin_registry();
-        assert_eq!(registry.len(), 13);
+        assert_eq!(registry.len(), 16);
         for name in [
             "paper/tolerance",
             "paper/no-recovery",
@@ -117,9 +120,18 @@ mod tests {
             "dataplane/closed-b1",
             "dataplane/closed-b16",
             "dataplane/open-poisson",
+            "controlled/intrusion-burst",
+            "controlled/uncontrolled-baseline",
+            "controlled/sim-intrusion-burst",
         ] {
             assert!(registry.contains(name), "missing scenario {name}");
         }
+        // The live threaded scenarios are wall-clock: registered without a
+        // replay guarantee, while the simnet twin stays deterministic.
+        assert!(!registry.is_deterministic("controlled/intrusion-burst"));
+        assert!(!registry.is_deterministic("controlled/uncontrolled-baseline"));
+        assert!(registry.is_deterministic("controlled/sim-intrusion-burst"));
+        assert_eq!(registry.deterministic_names().len(), 14);
     }
 
     #[test]

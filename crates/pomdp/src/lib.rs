@@ -33,7 +33,7 @@ pub mod solvers;
 pub mod structure;
 
 pub use alpha::{AlphaVector, ValueFunction};
-pub use belief::Belief;
+pub use belief::{Belief, IncrementalBelief};
 pub use cmdp::{Cmdp, CmdpConstraint, CmdpSolution, ConstraintSense};
 pub use error::{PomdpError, Result};
 pub use mdp::{Mdp, MdpSolution};

@@ -15,17 +15,21 @@ fn main() -> tolerance::core::Result<()> {
     let runner = Runner::parallel();
     let seeds: Vec<u64> = (0..5).collect();
 
+    // Deterministic scenarios only: the wall-clock `controlled/*` entries
+    // (the live threaded control loop) spawn their own replica threads and
+    // are demonstrated by the `control_loop` bench instead.
+    let names = registry.deterministic_names();
     println!(
         "{} scenarios x {} seeds on {} worker threads\n",
-        registry.len(),
+        names.len(),
         seeds.len(),
-        runner.effective_threads(registry.len() * seeds.len())
+        runner.effective_threads(names.len() * seeds.len())
     );
     println!(
         "{:<22} {:>8} {:>8} {:>8}",
         "scenario", "T(A)", "T(R)", "F(R)"
     );
-    for name in registry.names() {
+    for name in names {
         let run = registry.run(name, &runner, &seeds)?;
         println!(
             "{:<22} {:>8.3} {:>8.1} {:>8.3}",

@@ -1,8 +1,11 @@
 //! Property-based tests (proptest) on the core invariants of the workspace:
 //! belief updates stay in the simplex, the node transition function stays
 //! stochastic over the whole admissible parameter range, the simplex LP
-//! solver returns feasible optima, metrics stay in range, and threshold
-//! strategies respect the BTR constraint for arbitrary belief sequences.
+//! solver returns feasible optima, metrics stay in range, threshold
+//! strategies respect the BTR constraint for arbitrary belief sequences,
+//! alpha-vector pruning preserves the value envelope, and the exact solver
+//! agrees with the Bellman recursion computed through the belief update on
+//! random 3-state models.
 
 use proptest::prelude::*;
 use tolerance::core::node_model::{NodeAction, NodeModel, NodeParameters, NodeState};
@@ -10,7 +13,9 @@ use tolerance::core::prelude::*;
 use tolerance::markov::dist::{BetaBinomial, DiscreteDistribution, PoissonBinomial};
 use tolerance::markov::stats::kl_divergence;
 use tolerance::optim::simplex::{Comparison, LinearProgram};
-use tolerance::pomdp::{Belief, Pomdp};
+use tolerance::pomdp::{
+    AlphaVector, Belief, IncrementalBelief, IncrementalPruning, Pomdp, ValueFunction,
+};
 
 fn arbitrary_parameters() -> impl Strategy<Value = NodeParameters> {
     (1e-4..0.5f64, 1e-6..0.05f64, 0.01..0.2f64, 1e-4..0.4f64).prop_map(
@@ -233,6 +238,140 @@ proptest! {
         for (value, &capacity) in solution.values.iter().zip(&capacities) {
             prop_assert!(*value >= -1e-9);
             prop_assert!(*value <= capacity + 1e-6);
+        }
+    }
+
+    #[test]
+    fn alpha_pruning_preserves_the_lower_envelope(
+        raw_vectors in proptest::collection::vec(
+            proptest::collection::vec(0.0..5.0f64, 3..4), 2..12),
+        probes in proptest::collection::vec(0.01..1.0f64, 4..10),
+    ) {
+        // Value monotonicity under pruning: pointwise and LP pruning may
+        // only remove vectors that never achieve the minimum, so the
+        // envelope value at every belief is unchanged (the pruned set is
+        // never *worse*, i.e. never larger, and never *wrong*, i.e. never
+        // smaller than the original minimum).
+        let vectors: Vec<AlphaVector> = raw_vectors
+            .iter()
+            .enumerate()
+            .map(|(action, values)| AlphaVector::new(values.clone(), action))
+            .collect();
+        let original = ValueFunction::new(vectors.clone());
+        let beliefs: Vec<Vec<f64>> = probes
+            .chunks_exact(2)
+            .map(|pair| {
+                let total = pair[0] + pair[1] + 0.5;
+                vec![pair[0] / total, pair[1] / total, 0.5 / total]
+            })
+            .collect();
+
+        let mut pointwise = original.clone();
+        pointwise.prune_pointwise(1e-9);
+        prop_assert!(pointwise.len() <= original.len());
+        prop_assert!(!pointwise.is_empty());
+
+        let mut exact = original.clone();
+        exact.prune_lp(1e-9).unwrap();
+        prop_assert!(exact.len() <= pointwise.len() + raw_vectors.len());
+        prop_assert!(!exact.is_empty());
+
+        for belief in &beliefs {
+            let v0 = original.evaluate(belief);
+            prop_assert!((pointwise.evaluate(belief) - v0).abs() < 1e-7,
+                "pointwise pruning changed the envelope at {belief:?}");
+            prop_assert!((exact.evaluate(belief) - v0).abs() < 1e-6,
+                "LP pruning changed the envelope at {belief:?}");
+        }
+    }
+
+    #[test]
+    fn solver_backups_satisfy_the_bellman_recursion_on_random_3_state_models(
+        transition_rows in proptest::collection::vec(
+            proptest::collection::vec(0.05..1.0f64, 3..4), 6..7),
+        observation_rows in proptest::collection::vec(
+            proptest::collection::vec(0.05..1.0f64, 2..3), 3..4),
+        costs in proptest::collection::vec(0.0..3.0f64, 6..7),
+        discount in 0.5..0.95f64,
+        probe in proptest::collection::vec(0.05..1.0f64, 3..4),
+    ) {
+        // Belief-update/solver consistency: one exact dynamic-programming
+        // backup of the incremental-pruning solver must equal the Bellman
+        // operator computed independently through `Belief::update` and
+        // `observation_probability`:
+        //   V_{k+1}(b) = min_a [ b·c_a + γ Σ_o Pr(o | b, a) V_k(τ(b, a, o)) ]
+        let normalize = |row: &Vec<f64>| -> Vec<f64> {
+            let total: f64 = row.iter().sum();
+            row.iter().map(|v| v / total).collect()
+        };
+        let transition: Vec<Vec<Vec<f64>>> = (0..2)
+            .map(|a| (0..3).map(|s| normalize(&transition_rows[a * 3 + s])).collect())
+            .collect();
+        let observation: Vec<Vec<f64>> =
+            observation_rows.iter().map(normalize).collect();
+        let cost: Vec<Vec<f64>> = (0..3)
+            .map(|s| (0..2).map(|a| costs[s * 2 + a]).collect())
+            .collect();
+        let model = Pomdp::new(transition, observation, cost, discount).unwrap();
+        let solver = IncrementalPruning::default();
+        let v1 = solver.solve_finite_horizon(&model, 1).unwrap();
+        let v2 = solver.solve_finite_horizon(&model, 2).unwrap();
+
+        let total: f64 = probe.iter().sum();
+        let belief = Belief::new(probe.iter().map(|w| w / total).collect()).unwrap();
+        let mut expected = f64::INFINITY;
+        for action in 0..2 {
+            let immediate: f64 = (0..3)
+                .map(|s| belief.probability(s) * model.cost(s, action))
+                .sum();
+            let mut continuation = 0.0;
+            for obs in 0..2 {
+                let p = belief.observation_probability(&model, action, obs).unwrap();
+                if p > 1e-12 {
+                    let next = belief.update(&model, action, obs).unwrap();
+                    continuation += p * v1.evaluate(next.as_slice());
+                }
+            }
+            expected = expected.min(immediate + discount * continuation);
+        }
+        let computed = v2.evaluate(belief.as_slice());
+        prop_assert!((computed - expected).abs() < 1e-6,
+            "backup value {computed} disagrees with the Bellman recursion {expected}");
+        // One-step values are the expected immediate cost of the best action.
+        let direct: f64 = (0..2)
+            .map(|a| (0..3).map(|s| belief.probability(s) * model.cost(s, a)).sum::<f64>())
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((v1.evaluate(belief.as_slice()) - direct).abs() < 1e-8);
+    }
+
+    #[test]
+    fn incremental_belief_matches_full_updates_on_random_3_state_models(
+        transition_rows in proptest::collection::vec(
+            proptest::collection::vec(0.05..1.0f64, 3..4), 3..4),
+        observation_rows in proptest::collection::vec(
+            proptest::collection::vec(0.05..1.0f64, 2..3), 3..4),
+        observations in proptest::collection::vec(0usize..2, 1..15),
+    ) {
+        // The O(|S|)-per-event incremental tracker must agree with the
+        // validated full update for arbitrary models and event sequences.
+        let normalize = |row: &Vec<f64>| -> Vec<f64> {
+            let total: f64 = row.iter().sum();
+            row.iter().map(|v| v / total).collect()
+        };
+        let model = Pomdp::new(
+            vec![transition_rows.iter().map(normalize).collect()],
+            observation_rows.iter().map(normalize).collect(),
+            vec![vec![0.0]; 3],
+            0.9,
+        ).unwrap();
+        let mut reference = Belief::uniform(3);
+        let mut tracker = IncrementalBelief::new(&model, reference.clone()).unwrap();
+        for &obs in &observations {
+            reference = reference.update(&model, 0, obs).unwrap();
+            tracker.observe(0, obs).unwrap();
+            for s in 0..3 {
+                prop_assert!((tracker.probability(s) - reference.probability(s)).abs() < 1e-10);
+            }
         }
     }
 

@@ -10,6 +10,7 @@
 
 use std::collections::BTreeSet;
 use tolerance::consensus::{RaftCluster, RaftConfig};
+use tolerance::core::controlplane::scenario::sim_intrusion_burst_config;
 use tolerance::core::runtime::{Runner, Scenario};
 use tolerance::core::simnet::{
     find_counterexample, run_schedule, Counterexample, FaultKind, FaultSchedule, InvariantKind,
@@ -203,6 +204,145 @@ fn registry_sweeps_simnet_scenarios_like_any_grid_axis() {
     for report in &run.reports {
         assert!((0.0..=1.0).contains(&report.availability));
     }
+}
+
+#[test]
+fn controlled_intrusion_sweep_passes_all_oracles_across_300_runs() {
+    // The acceptance sweep of the closed-loop control plane: the same
+    // ControlPlane::tick that steers the live threaded service drives the
+    // simulated cluster here, under intrusion-heavy chaos schedules, with
+    // agreement/validity/recovery-bound/network-accounting checked after
+    // every step and liveness at settle — 300 seeds.
+    let scenario = SimnetScenario::new(
+        "controlled/sim-intrusion-burst",
+        sim_intrusion_burst_config(),
+    );
+    let seeds: Vec<u64> = (0..300).collect();
+    let reports = Runner::parallel()
+        .run_seeds(&scenario, &seeds)
+        .expect("all 300 controlled runs must pass the oracle suite");
+    assert_eq!(reports.len(), 300);
+    let recoveries: u64 = reports.iter().map(|r| r.outcome.recoveries).sum();
+    let completed: u64 = reports.iter().map(|r| r.outcome.completed).sum();
+    assert!(
+        recoveries > 0,
+        "the node controllers must actuate recoveries somewhere in the sweep"
+    );
+    assert!(completed > 0);
+    for report in &reports {
+        assert!(report.violation.is_none());
+        assert!(report.outcome.availability > 0.0);
+    }
+}
+
+#[test]
+fn pinned_reconfiguration_split_brain_counterexample_cannot_regress() {
+    // The PR-3 600-run-sweep counterexample, pinned: with n = 6 a batch
+    // stream commits at one commit quorum while the other three replicas
+    // lag (partitioned); an EVICT of a quorum member then shrinks n to 5,
+    // where the view-change quorum (n - f = 3) no longer intersects the
+    // old-configuration commit quorum — a laggard-only ballot would no-op
+    // fill the committed sequences and re-assign their requests. The
+    // reconfiguration state barrier (`sync_lagging_replicas`) must force
+    // the laggards through a state sync before they may form ballots.
+    // (Ids are mirrored vs. the original trace — committers {0,1,2},
+    // laggards {3,4,5}, EVICT of 0 — the quorum-intersection shape is
+    // identical.)
+    use tolerance::consensus::minbft::Operation;
+    use tolerance::consensus::{MinBftCluster, MinBftConfig, NetworkConfig};
+
+    let mut cluster = MinBftCluster::new(MinBftConfig {
+        initial_replicas: 6,
+        network: NetworkConfig {
+            latency: 0.002,
+            jitter: 0.001,
+            loss_rate: 0.0,
+        },
+        ..MinBftConfig::default()
+    });
+    let client = cluster.add_client();
+
+    // Phase 1: everyone at a common frontier.
+    for i in 0..4u64 {
+        cluster.submit(client, Operation::Write(i + 1));
+        cluster.run_until(cluster.now() + 1.0);
+    }
+    assert!(!cluster.has_outstanding_request(client));
+
+    // Phase 2: partition {0,1,2} (leader side, commit quorum f+1 = 3)
+    // from {3,4,5}; the quorum keeps committing, the laggards fall behind.
+    cluster.partition_network(&[0, 1, 2], &[3, 4, 5]);
+    for i in 0..6u64 {
+        cluster.submit(client, Operation::Write(100 + i));
+        cluster.run_until(cluster.now() + 1.0);
+    }
+    let frontier = cluster.executed_len(0).unwrap();
+    let laggard = cluster.executed_len(4).unwrap();
+    assert!(
+        frontier >= laggard + 4,
+        "the partition must open a commit gap: {frontier} vs {laggard}"
+    );
+
+    // Phase 3: EVICT a member of the old commit quorum while the laggards
+    // are still behind, then heal. Without the state barrier, the ballot
+    // {3,4,5} (3 = the n = 5 view-change quorum) re-assigns sequences.
+    cluster.evict_replica(0);
+    cluster.heal_network();
+    for round in 0..12 {
+        cluster.run_until(cluster.now() + 2.0);
+        // The executor's straggler catch-up: recover replicas that are
+        // awaiting state or lag the frontier.
+        let members: Vec<_> = cluster.membership().to_vec();
+        let longest = members
+            .iter()
+            .filter_map(|&id| cluster.executed_len(id))
+            .max()
+            .unwrap_or(0);
+        for id in members {
+            let lagging = cluster
+                .executed_len(id)
+                .map(|len| len + 2 < longest)
+                .unwrap_or(false);
+            if cluster.needs_state(id) || lagging {
+                cluster.recover_replica(id);
+            }
+        }
+        if !cluster.has_outstanding_request(client) && round > 2 {
+            break;
+        }
+    }
+
+    // Liveness: a probe request must complete in the new configuration.
+    cluster.submit(client, Operation::Write(0xfeed));
+    for _ in 0..10 {
+        cluster.run_until(cluster.now() + 2.0);
+        if !cluster.has_outstanding_request(client) {
+            break;
+        }
+    }
+    assert!(
+        !cluster.has_outstanding_request(client),
+        "the post-eviction configuration must serve requests"
+    );
+
+    // Agreement: no sequence number was ever committed with two digests
+    // (the split brain re-assigned sequences 27-28 in the original trace),
+    // and the healthy logs are prefix-consistent.
+    let mut digests: std::collections::HashMap<u64, tolerance::consensus::crypto::Digest> =
+        std::collections::HashMap::new();
+    for record in cluster.commit_trace() {
+        if let Some(previous) = digests.insert(record.sequence, record.digest) {
+            assert_eq!(
+                previous, record.digest,
+                "sequence {} committed with two digests (split brain)",
+                record.sequence
+            );
+        }
+    }
+    assert!(
+        cluster.logs_are_consistent(),
+        "logs diverged after the EVICT reconfiguration"
+    );
 }
 
 #[test]
