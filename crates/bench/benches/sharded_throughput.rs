@@ -1,0 +1,145 @@
+//! Throughput-vs-shard-count bench of the sharded service plane.
+//!
+//! Runs the live sharded service (S independent threaded MinBFT groups,
+//! each with its own replica threads and closed-loop driver confined to
+//! shard-owned keys) at S ∈ {1, 2, 4, 8} and measures aggregate completed
+//! requests per second. Shards share nothing, so on a multicore host the
+//! aggregate scales near-linearly with S until the cores run out; the
+//! scaling assertion (`S=4 ≥ 2.5× S=1`) therefore only arms on hosts with
+//! enough parallelism and outside smoke mode — a 1-CPU CI runner reports
+//! the numbers without judging them.
+//!
+//! Besides the console report, the bench writes
+//! `BENCH_sharded_throughput.json` to the workspace root — the artifact
+//! the CI `shard-smoke` job uploads so the scaling trajectory accumulates.
+//! Set `BENCH_SMOKE=1` for the reduced configuration (S ∈ {1, 2, 4}).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use serde::Serialize;
+use tolerance_consensus::sharded::{run_sharded_service, ShardedServiceConfig};
+use tolerance_consensus::threaded::ThreadedServiceConfig;
+
+fn smoke() -> bool {
+    std::env::var_os("BENCH_SMOKE").is_some()
+}
+
+#[derive(Serialize)]
+struct ShardMeasurement {
+    shards: usize,
+    replicas_per_shard: usize,
+    clients_per_shard: usize,
+    completed_requests: u64,
+    wall_seconds: f64,
+    requests_per_second: f64,
+    mean_latency: f64,
+    consistent: bool,
+}
+
+#[derive(Serialize)]
+struct ShardedBenchReport {
+    benchmark: String,
+    host_parallelism: usize,
+    smoke: bool,
+    duration: f64,
+    measurements: Vec<ShardMeasurement>,
+    speedup_s4_over_s1: f64,
+    /// Whether the near-linear-scaling assertion was armed (enough cores,
+    /// full mode) — `false` means the numbers are report-only.
+    scaling_asserted: bool,
+}
+
+fn bench_sharded_scaling(_c: &mut Criterion) {
+    let (shard_counts, duration): (&[usize], f64) = if smoke() {
+        (&[1, 2, 4], 0.4)
+    } else {
+        (&[1, 2, 4, 8], 1.0)
+    };
+    let host_parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    let measurements: Vec<ShardMeasurement> = shard_counts
+        .iter()
+        .map(|&shards| {
+            let report = run_sharded_service(&ShardedServiceConfig {
+                shards,
+                service: ThreadedServiceConfig {
+                    replicas: 4,
+                    clients: 8,
+                    batch_size: 16,
+                    duration,
+                    ..ThreadedServiceConfig::default()
+                },
+            });
+            assert!(report.consistent, "S={shards}: a shard's logs diverged");
+            assert!(
+                report
+                    .per_shard
+                    .iter()
+                    .all(|shard| shard.completed_requests > 0),
+                "S={shards}: a shard completed nothing"
+            );
+            ShardMeasurement {
+                shards,
+                replicas_per_shard: report.replicas_per_shard,
+                clients_per_shard: report.clients_per_shard,
+                completed_requests: report.completed_requests,
+                wall_seconds: report.duration,
+                requests_per_second: report.requests_per_second,
+                mean_latency: report.mean_latency,
+                consistent: report.consistent,
+            }
+        })
+        .collect();
+
+    let rps = |shards: usize| {
+        measurements
+            .iter()
+            .find(|m| m.shards == shards)
+            .map(|m| m.requests_per_second)
+            .unwrap_or(0.0)
+    };
+    let speedup = rps(4) / rps(1).max(1e-9);
+    // 4 shards × (4 replicas + driver) threads want real cores; below that
+    // the run is report-only (the acceptance gate runs on multicore).
+    let scaling_asserted = !smoke() && host_parallelism >= 8;
+    if scaling_asserted {
+        assert!(
+            speedup >= 2.5,
+            "S=4 must reach ≥ 2.5x the S=1 throughput on a multicore host, got {speedup:.2}x"
+        );
+    }
+
+    let report = ShardedBenchReport {
+        benchmark: "sharded_throughput".into(),
+        host_parallelism,
+        smoke: smoke(),
+        duration,
+        measurements,
+        speedup_s4_over_s1: speedup,
+        scaling_asserted,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serializable report");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_sharded_throughput.json");
+    std::fs::write(&path, &json).expect("write bench artifact");
+    for m in &report.measurements {
+        println!(
+            "S={:>2}: {:9.1} req/s aggregate ({} completed, mean latency {:.4}s)",
+            m.shards, m.requests_per_second, m.completed_requests, m.mean_latency
+        );
+    }
+    println!(
+        "speedup S4/S1: {speedup:.2}x on {host_parallelism} hardware threads \
+         (scaling assertion {})",
+        if scaling_asserted {
+            "armed"
+        } else {
+            "report-only"
+        },
+    );
+}
+
+criterion_group!(benches, bench_sharded_scaling);
+criterion_main!(benches);

@@ -28,6 +28,10 @@
 //!   Byzantine fault injection and the BFT client (f+1 matching replies).
 //! * [`threaded`] — the same MinBFT replica code running as a real
 //!   concurrent service: one thread per replica over [`ThreadedTransport`].
+//! * [`sharded`] — the horizontally scaled service plane: a hash-range
+//!   [`KeyPartitioner`] routing keyed operations to S independent MinBFT
+//!   groups (simulated or threaded), plus the client-driven two-round
+//!   MultiPut protocol for cross-shard multi-key writes.
 //! * [`workload`] — client workload generation (open/closed arrival over a
 //!   key-value service) for throughput experiments.
 //! * [`raft`] — a Raft cluster (leader election and log replication) used as
@@ -40,6 +44,7 @@ pub mod crypto;
 pub mod minbft;
 pub mod net;
 pub mod raft;
+pub mod sharded;
 pub mod threaded;
 pub mod transport;
 pub mod usig;
@@ -51,6 +56,10 @@ pub use minbft::{
 };
 pub use net::{NetworkConfig, NetworkConfigError, SimNetwork};
 pub use raft::{RaftCluster, RaftConfig};
+pub use sharded::{
+    run_sharded_service, shard_seed, KeyPartitioner, ShardRouter, ShardedServiceConfig,
+    ShardedServiceReport, ShardedSimConfig, ShardedSimService,
+};
 pub use threaded::{
     ClientDriver, ClientReport, MembershipView, ReplicaSnapshot, ThreadedCluster,
     ThreadedServiceConfig, ThreadedServiceReport, CONTROL_PLANE_ID,

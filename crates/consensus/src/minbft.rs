@@ -80,6 +80,56 @@ pub enum Operation {
         /// The key to read.
         key: u32,
     },
+    /// Stage `value` under `key` on behalf of cross-shard transaction `tx`
+    /// (round one of the sharded MultiPut protocol, see
+    /// [`crate::sharded`]). The staged write is replicated and durable but
+    /// **invisible** to [`Operation::Get`] until the matching
+    /// [`Operation::TxCommit`] executes, so an abandoned transaction leaves
+    /// no observable trace.
+    TxReserve {
+        /// The transaction identifier (chosen by the routing client).
+        tx: u64,
+        /// The key to stage a write for.
+        key: u32,
+        /// The value to stage.
+        value: u64,
+    },
+    /// Apply the write staged by [`Operation::TxReserve`] for (`tx`, `key`)
+    /// (round two of the MultiPut protocol). Idempotent at the protocol
+    /// level: a commit that finds nothing staged (already applied by an
+    /// earlier commit, or never reserved) answers the key's current value
+    /// and changes nothing — which is what lets a recovery client re-drive
+    /// an interrupted commit round safely.
+    TxCommit {
+        /// The transaction identifier.
+        tx: u64,
+        /// The key whose staged write is applied.
+        key: u32,
+    },
+    /// Discard the write staged for (`tx`, `key`) without applying it (the
+    /// abort path of the MultiPut protocol).
+    TxAbort {
+        /// The transaction identifier.
+        tx: u64,
+        /// The key whose staged write is discarded.
+        key: u32,
+    },
+}
+
+impl Operation {
+    /// The key this operation addresses, when it is a keyed (routable)
+    /// operation; `None` for the register operations. This is what the
+    /// sharded service plane's router partitions on.
+    pub fn key(&self) -> Option<u32> {
+        match *self {
+            Operation::Read | Operation::Write(_) => None,
+            Operation::Put { key, .. }
+            | Operation::Get { key }
+            | Operation::TxReserve { key, .. }
+            | Operation::TxCommit { key, .. }
+            | Operation::TxAbort { key, .. } => Some(key),
+        }
+    }
 }
 
 /// A client request.
@@ -129,6 +179,22 @@ impl Request {
             }
             Operation::Get { key } => {
                 bytes.push(3);
+                bytes.extend_from_slice(&key.to_le_bytes());
+            }
+            Operation::TxReserve { tx, key, value } => {
+                bytes.push(4);
+                bytes.extend_from_slice(&tx.to_le_bytes());
+                bytes.extend_from_slice(&key.to_le_bytes());
+                bytes.extend_from_slice(&value.to_le_bytes());
+            }
+            Operation::TxCommit { tx, key } => {
+                bytes.push(5);
+                bytes.extend_from_slice(&tx.to_le_bytes());
+                bytes.extend_from_slice(&key.to_le_bytes());
+            }
+            Operation::TxAbort { tx, key } => {
+                bytes.push(6);
+                bytes.extend_from_slice(&tx.to_le_bytes());
                 bytes.extend_from_slice(&key.to_le_bytes());
             }
         }
@@ -334,6 +400,11 @@ pub enum Message {
         value: u64,
         /// The replicated key-value map.
         kv: Vec<(u32, u64)>,
+        /// The staged (reserved, uncommitted) transactional writes as
+        /// `(transaction, key, value)` — part of the replicated state, so a
+        /// recovered replica can still execute the commit round of an
+        /// in-flight MultiPut.
+        staged: Vec<(u64, u32, u64)>,
         /// Absolute index of the first entry of `executed` (requests below
         /// it were compacted at the stable checkpoint).
         log_start: u64,
@@ -624,6 +695,11 @@ pub(crate) struct Replica {
     pub(crate) value: u64,
     /// The replicated key-value map.
     pub(crate) kv: BTreeMap<u32, u64>,
+    /// Writes staged by [`Operation::TxReserve`] and not yet committed or
+    /// aborted, keyed by `(transaction, key)`. Part of the replicated state
+    /// (every replica executes the same reserve/commit sequence), so it
+    /// enters the state digest and rides state transfers.
+    pub(crate) staged: BTreeMap<(u64, u32), u64>,
     /// Retained suffix of the executed-request digest log; entries below
     /// `log_start` were compacted at the stable checkpoint.
     pub(crate) executed: Vec<Digest>,
@@ -716,6 +792,7 @@ impl Replica {
             membership,
             value: 0,
             kv: BTreeMap::new(),
+            staged: BTreeMap::new(),
             executed: Vec::new(),
             log_start: 0,
             log_chain: digest(b"minbft-genesis"),
@@ -860,9 +937,14 @@ impl Replica {
     }
 
     fn state_digest(&self) -> Digest {
-        let mut bytes = Vec::with_capacity(8 + self.kv.len() * 12);
+        let mut bytes = Vec::with_capacity(8 + self.kv.len() * 12 + self.staged.len() * 20);
         bytes.extend_from_slice(&self.value.to_le_bytes());
         for (key, value) in &self.kv {
+            bytes.extend_from_slice(&key.to_le_bytes());
+            bytes.extend_from_slice(&value.to_le_bytes());
+        }
+        for (&(tx, key), value) in &self.staged {
+            bytes.extend_from_slice(&tx.to_le_bytes());
             bytes.extend_from_slice(&key.to_le_bytes());
             bytes.extend_from_slice(&value.to_le_bytes());
         }
@@ -951,6 +1033,11 @@ fn state_transfer_message(replica: &Replica) -> Message {
         epoch: replica.epoch,
         value: replica.value,
         kv: replica.kv.iter().map(|(&k, &v)| (k, v)).collect(),
+        staged: replica
+            .staged
+            .iter()
+            .map(|(&(tx, key), &value)| (tx, key, value))
+            .collect(),
         log_start: replica.log_start,
         last_executed: replica.last_executed,
         log_chain: replica.log_chain,
@@ -966,10 +1053,25 @@ fn state_transfer_message(replica: &Replica) -> Message {
 /// Leader-side proposal: assigns the next sequence number to the batch,
 /// certifies it with one USIG signature and records the leader's own commit
 /// vote.
+///
+/// Requests at or below the client's cached last-reply id are filtered out
+/// alongside `seen_requests`: client request ids are monotonic, so such a
+/// request already executed somewhere — and a leader that caught up by
+/// *state transfer* only rebuilds `seen_requests` from the per-client
+/// *last* reply, so an older executed request parked in its `pending`
+/// backlog would otherwise be re-proposed at a fresh sequence number and
+/// execute twice (found by the multi-shard routing oracle: loss storm +
+/// JOIN, the lagging ex-straggler wins the post-reconfiguration view).
 fn propose_batch(replica: &mut Replica, requests: Vec<Request>, out: &mut StepOutput) {
     let requests: Vec<Request> = requests
         .into_iter()
-        .filter(|r| !replica.seen_requests.contains(&(r.client, r.id)))
+        .filter(|r| {
+            !replica.seen_requests.contains(&(r.client, r.id))
+                && replica
+                    .last_replies
+                    .get(&r.client)
+                    .is_none_or(|&(last_id, _, _)| r.id > last_id)
+        })
         .collect();
     if requests.is_empty() {
         return;
@@ -1263,6 +1365,24 @@ fn execute_ready(
                     value
                 }
                 Operation::Get { key } => replica.kv.get(&key).copied().unwrap_or(0),
+                Operation::TxReserve { tx, key, value } => {
+                    replica.staged.insert((tx, key), value);
+                    value
+                }
+                Operation::TxCommit { tx, key } => match replica.staged.remove(&(tx, key)) {
+                    Some(value) => {
+                        replica.kv.insert(key, value);
+                        value
+                    }
+                    // Nothing staged: already applied (re-driven commit) or
+                    // never reserved — answer the current value, change
+                    // nothing.
+                    None => replica.kv.get(&key).copied().unwrap_or(0),
+                },
+                Operation::TxAbort { tx, key } => {
+                    replica.staged.remove(&(tx, key));
+                    replica.kv.get(&key).copied().unwrap_or(0)
+                }
             };
             let executed_digest = if replica.corrupt_execution {
                 // Injected implementation bug: the replica diverges from the
@@ -1564,6 +1684,7 @@ pub(crate) fn replica_on_message(
             epoch,
             value,
             kv,
+            staged,
             log_start,
             last_executed,
             log_chain,
@@ -1602,6 +1723,10 @@ pub(crate) fn replica_on_message(
                 }
                 replica.value = value;
                 replica.kv = kv.into_iter().collect();
+                replica.staged = staged
+                    .into_iter()
+                    .map(|(tx, key, staged_value)| ((tx, key), staged_value))
+                    .collect();
                 replica.executed = executed;
                 replica.log_start = log_start;
                 replica.log_chain = log_chain;
@@ -1628,6 +1753,22 @@ pub(crate) fn replica_on_message(
                         .last_replies
                         .insert(client, (request_id, reply_value, sequence));
                     replica.seen_requests.insert((client, request_id));
+                }
+                // Requests parked while this replica lagged may have
+                // executed inside the adopted history; the transfer's
+                // reply cache only names each client's *last* request, so
+                // prune the backlog by the monotonic-id rule too — a stale
+                // entry that survives here would be re-proposed (and
+                // re-executed) the next time this replica leads.
+                {
+                    let seen = &replica.seen_requests;
+                    let last = &replica.last_replies;
+                    replica.pending.retain(|r| {
+                        !seen.contains(&(r.client, r.id))
+                            && last
+                                .get(&r.client)
+                                .is_none_or(|&(last_id, _, _)| r.id > last_id)
+                    });
                 }
                 replica.needs_state = false;
             }
@@ -2361,6 +2502,16 @@ impl MinBftCluster {
         self.replicas
             .get(&replica)
             .and_then(|r| r.kv.get(&key).copied())
+    }
+
+    /// The value a replica holds staged (reserved, uncommitted) for
+    /// `(tx, key)`, if any — the observability hook of the MultiPut
+    /// atomicity tests: a staged write must never be visible through
+    /// [`Operation::Get`].
+    pub fn replica_staged(&self, replica: NodeId, tx: u64, key: u32) -> Option<u64> {
+        self.replicas
+            .get(&replica)
+            .and_then(|r| r.staged.get(&(tx, key)).copied())
     }
 
     /// Retained executed-request logs of all non-crashed, non-Byzantine

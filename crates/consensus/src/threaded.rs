@@ -614,15 +614,43 @@ pub struct ClientDriver {
 
 impl ClientDriver {
     /// Builds a driver with `clients` closed-loop clients over `cluster`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no client is requested.
     pub fn new(cluster: &mut ThreadedCluster, clients: usize) -> Self {
         assert!(clients >= 1, "the driver needs at least one client");
         let config = cluster.config;
-        let client_ids: Vec<NodeId> = (0..clients).map(|i| CLIENT_ID_BASE + i as NodeId).collect();
+        let streams: Vec<OpStream> = (0..clients)
+            .map(|index| {
+                OpStream::new(
+                    config.seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                    config.key_space,
+                    config.write_ratio,
+                )
+            })
+            .collect();
+        Self::with_ops(cluster, streams)
+    }
+
+    /// Builds a driver with one closed-loop client per provided operation
+    /// stream (the hook the sharded service plane uses to confine a shard's
+    /// clients to the keys that shard owns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no stream is provided.
+    pub fn with_ops(cluster: &mut ThreadedCluster, streams: Vec<OpStream>) -> Self {
+        assert!(!streams.is_empty(), "the driver needs at least one client");
+        let config = cluster.config;
+        let client_ids: Vec<NodeId> = (0..streams.len())
+            .map(|i| CLIENT_ID_BASE + i as NodeId)
+            .collect();
         let mailbox = cluster.register_clients(&client_ids);
         let drivers: HashMap<NodeId, DriverClient> = client_ids
             .iter()
-            .enumerate()
-            .map(|(index, &id)| {
+            .zip(streams)
+            .map(|(&id, stream)| {
                 (
                     id,
                     DriverClient {
@@ -632,11 +660,7 @@ impl ClientDriver {
                         completed: 0,
                         latencies: Vec::new(),
                         completed_digests: Vec::new(),
-                        stream: OpStream::new(
-                            config.seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
-                            config.key_space,
-                            config.write_ratio,
-                        ),
+                        stream,
                     },
                 )
             })

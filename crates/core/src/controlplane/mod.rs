@@ -26,12 +26,19 @@
 //!   scenarios: a threaded MinBFT service under a scripted intrusion burst
 //!   with the control plane closing the loop live, plus the simnet twin
 //!   that passes the full oracle suite.
+//! * [`fleet::FleetControlPlane`] — the sharded-fleet runtime: per-shard
+//!   node controllers competing for one **global** recovery budget `k`
+//!   (priority by deciding belief across shards), and one system
+//!   controller per fleet evicting crashed replicas wherever they live and
+//!   allocating JOIN spares to the neediest shard.
 
 pub mod actuator;
+pub mod fleet;
 pub mod runtime;
 pub mod scenario;
 
 pub use actuator::ClusterActuator;
+pub use fleet::{FleetConfig, FleetControlPlane, FleetTickReport};
 pub use runtime::{ControlPlane, ControlPlaneConfig, NodeReport, TickReport};
 pub use scenario::{
     register_controlled_scenarios, run_controlled_service, sim_intrusion_burst_config,

@@ -32,7 +32,10 @@
 //!   testing of the full stack: seeded chaos schedules (partitions, storms,
 //!   crashes, Byzantine flips, intrusion bursts, membership churn) executed
 //!   against MinBFT plus both control levels, with invariant oracles,
-//!   greedy counterexample shrinking and one-command replay.
+//!   greedy counterexample shrinking and one-command replay — including the
+//!   multi-shard fleet harness ([`simnet::sharded`]) with per-shard chaos
+//!   from split RNG streams, the cross-shard routing/atomicity oracles and
+//!   the fleet control plane ([`controlplane::fleet`]).
 //! * **Scenario runtime** ([`runtime`]) — the shared experiment engine: a
 //!   [`runtime::Scenario`] abstraction, a parallel [`runtime::Runner`]
 //!   executing seed/parameter grids deterministically, cross-seed
@@ -67,7 +70,7 @@ pub mod prelude {
     pub use crate::controller::{NodeController, SystemController};
     pub use crate::controlplane::{
         ClusterActuator, ControlPlane, ControlPlaneConfig, ControlledServiceConfig,
-        ControlledServiceScenario, NodeReport,
+        ControlledServiceScenario, FleetConfig, FleetControlPlane, NodeReport,
     };
     pub use crate::error::{CoreError, Result};
     pub use crate::metrics::EvaluationMetrics;
@@ -80,6 +83,8 @@ pub mod prelude {
         FnScenario, MetricSummary, Runner, Scenario, ScenarioRegistry, StrategyKind,
     };
     pub use crate::simnet::{
-        run_schedule, Counterexample, FaultSchedule, ScheduleConfig, SimnetScenario,
+        run_schedule, run_sharded_schedule, Counterexample, FaultSchedule, ScheduleConfig,
+        ShardedCounterexample, ShardedFaultSchedule, ShardedScheduleConfig, ShardedSimnetScenario,
+        SimnetScenario,
     };
 }

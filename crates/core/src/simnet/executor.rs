@@ -29,7 +29,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use tolerance_consensus::minbft::{MinBftCluster, MinBftConfig, Operation};
+use tolerance_consensus::minbft::{MinBftCluster, Operation};
 use tolerance_consensus::{ByzantineMode, NodeId};
 
 /// The per-step snapshot that makes up the run's event trace. Two runs are
@@ -110,15 +110,16 @@ impl AsMetricReport for RunReport {
 
 /// Per-replica supervision state maintained by the harness (the ground
 /// truth of the fault schedule; the belief-tracking controllers live in the
-/// shared [`ControlPlane`]).
-struct Supervisor {
-    state: NodeState,
-    compromised_at: Option<u32>,
-    schedule_crashed: bool,
+/// shared [`ControlPlane`]). Shared with the multi-shard harness
+/// (`crate::simnet::sharded`), which keeps one supervisor map per shard.
+pub(crate) struct Supervisor {
+    pub(crate) state: NodeState,
+    pub(crate) compromised_at: Option<u32>,
+    pub(crate) schedule_crashed: bool,
 }
 
 impl Supervisor {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Supervisor {
             state: NodeState::Healthy,
             compromised_at: None,
@@ -141,18 +142,18 @@ pub fn run_schedule(schedule: &FaultSchedule, config: &ScheduleConfig) -> Result
 /// The harness-side actuator: the shared [`ControlPlane`] actuates through
 /// this view, which adds the fault-schedule bookkeeping (restart-vs-rebuild
 /// choice, recovery-latency accounting, supervisor lifecycle) on top of the
-/// simulated cluster.
-struct HarnessActuator<'a> {
-    cluster: &'a mut MinBftCluster,
-    supervisors: &'a mut BTreeMap<NodeId, Supervisor>,
-    added_stack: &'a mut Vec<NodeId>,
-    recoveries: &'a mut u64,
-    recovery_delays: &'a mut Vec<u32>,
-    step: u32,
+/// simulated cluster. The multi-shard harness wraps one per shard.
+pub(crate) struct HarnessActuator<'a> {
+    pub(crate) cluster: &'a mut MinBftCluster,
+    pub(crate) supervisors: &'a mut BTreeMap<NodeId, Supervisor>,
+    pub(crate) added_stack: &'a mut Vec<NodeId>,
+    pub(crate) recoveries: &'a mut u64,
+    pub(crate) recovery_delays: &'a mut Vec<u32>,
+    pub(crate) step: u32,
 }
 
 impl HarnessActuator<'_> {
-    fn recover_node(&mut self, node: NodeId) -> bool {
+    pub(crate) fn recover_node(&mut self, node: NodeId) -> bool {
         if !self.cluster.membership().contains(&node) {
             return false;
         }
@@ -239,15 +240,7 @@ struct SimHarness<'a> {
 
 impl<'a> SimHarness<'a> {
     fn new(schedule: &'a FaultSchedule, config: &'a ScheduleConfig) -> Result<Self> {
-        let cluster = MinBftCluster::new(MinBftConfig {
-            initial_replicas: config.initial_replicas,
-            parallel_recoveries: config.parallel_recoveries,
-            network: config.network,
-            seed: schedule.seed,
-            checkpoint_period: config.checkpoint_period,
-            batch_size: config.batch_size,
-            ..MinBftConfig::default()
-        });
+        let cluster = MinBftCluster::new(config.minbft_config(schedule.seed));
         let alert_model = ObservationModel::paper_default();
         let node_model = NodeModel::new(NodeParameters::default(), alert_model.clone())?;
         let controlplane = ControlPlane::with_model(

@@ -21,17 +21,29 @@
 //! 5. [`scenario`] — [`register_simnet_scenarios`] plugs the harness into
 //!    the PR-1 [`ScenarioRegistry`](crate::runtime::ScenarioRegistry), so
 //!    experiment sweeps treat fault intensity like any other grid axis.
+//! 6. [`sharded`] — the multi-shard fleet harness: per-shard chaos from
+//!    split RNG streams of one seed, the fleet control plane with its
+//!    global recovery budget, cross-shard MultiPut chaos, and the routing
+//!    and atomicity oracles on top of the per-shard suite (`sharded/*`
+//!    scenarios, [`ShardedCounterexample`] shrinking).
 
 pub mod executor;
 pub mod oracle;
 pub mod scenario;
 pub mod schedule;
+pub mod sharded;
 pub mod shrink;
 
 pub use executor::{run_schedule, RunReport, SimnetOutcome, TraceRecord};
-pub use oracle::{InvariantChecker, InvariantKind, Violation};
+pub use oracle::{InvariantChecker, InvariantKind, RoutingChecker, Violation};
 pub use scenario::{register_simnet_scenarios, SimnetScenario};
 pub use schedule::{FaultEvent, FaultKind, FaultSchedule, ScheduleConfig, ScheduledFault};
+pub use sharded::{
+    find_sharded_counterexample, register_sharded_scenarios, run_sharded_schedule,
+    sharded_chaos_4_config, sharded_fleet_controlled_config, sharded_multiput_config,
+    shrink_sharded_schedule, ShardedCounterexample, ShardedFaultSchedule, ShardedRunReport,
+    ShardedScheduleConfig, ShardedSimnetScenario,
+};
 pub use shrink::{find_counterexample, shrink_schedule, Counterexample};
 
 #[cfg(test)]

@@ -21,7 +21,7 @@
 //!   (checked by the executor's settle phase).
 
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use tolerance_consensus::crypto::Digest;
 use tolerance_consensus::{MinBftCluster, NodeId};
 
@@ -38,6 +38,14 @@ pub enum InvariantKind {
     NetworkAccounting,
     /// The settle-phase probe did not complete or replicas diverged.
     Liveness,
+    /// A committed request surfaced on a shard that does not own its key,
+    /// or was executed more than once fleet-wide (the multi-shard routing
+    /// oracle).
+    Routing,
+    /// A cross-shard MultiPut was observable half-applied after the settle
+    /// phase (some keys held the transaction's values while others did
+    /// not, despite roll-forward of interrupted commit rounds).
+    Atomicity,
 }
 
 impl std::fmt::Display for InvariantKind {
@@ -48,6 +56,8 @@ impl std::fmt::Display for InvariantKind {
             InvariantKind::RecoveryBound => "recovery-bound",
             InvariantKind::NetworkAccounting => "network-accounting",
             InvariantKind::Liveness => "liveness",
+            InvariantKind::Routing => "routing",
+            InvariantKind::Atomicity => "atomicity",
         };
         write!(f, "{name}")
     }
@@ -240,6 +250,11 @@ impl InvariantChecker {
         None
     }
 
+    /// Removes the validity bookkeeping of an evicted replica.
+    pub fn forget_replica(&mut self, replica: NodeId) {
+        self.validity_scanned.remove(&replica);
+    }
+
     /// The highest executed log length among live replicas (the number of
     /// operations the service as a whole has committed).
     pub fn committed_sequences(cluster: &MinBftCluster) -> u64 {
@@ -249,6 +264,104 @@ impl InvariantChecker {
             .filter_map(|&id| cluster.executed_len(id))
             .max()
             .unwrap_or(0)
+    }
+}
+
+/// The cross-shard **routing oracle** of the multi-shard harness: every
+/// committed request must be executed by exactly the shard owning its key,
+/// and exactly once fleet-wide. The checker scans each shard's retained
+/// executed logs incrementally (per-request digests, so batching does not
+/// obscure individual requests) and flags:
+///
+/// * a digest surfacing on a shard other than the one it was routed to
+///   (misrouting — the partitioner and the router disagreed, or a request
+///   leaked across groups),
+/// * the same digest surfacing on two different shards, or at two different
+///   log positions of one shard (double execution fleet-wide).
+#[derive(Debug, Default)]
+pub struct RoutingChecker {
+    /// Owning shard of every digest submitted through the router.
+    owners: HashMap<Digest, usize>,
+    /// Where each digest was first observed executing:
+    /// `(shard, absolute log position)`.
+    executed_at: HashMap<Digest, (usize, u64)>,
+}
+
+impl RoutingChecker {
+    /// A fresh checker.
+    pub fn new() -> Self {
+        RoutingChecker::default()
+    }
+
+    /// Registers a routed submission: `digest` was submitted to `shard`
+    /// (which the router chose as the key's owner).
+    pub fn record_submission(&mut self, digest: Digest, shard: usize) {
+        self.owners.insert(digest, shard);
+    }
+
+    /// Scans shard `shard`'s current logs; `step` tags any violation. Call
+    /// once per shard per step, in shard index order.
+    ///
+    /// Every replica's **whole retained log** is rescanned each call:
+    /// tracking a scanned high-water mark would open a false-negative
+    /// window when a log rolls back *and* regrows past the mark within one
+    /// step (a re-execution at a reused position below the mark would
+    /// never be revisited — exactly the double-execution class this oracle
+    /// exists to catch). Retained logs are compaction-bounded, so the
+    /// rescan stays cheap; re-observing a digest at its recorded
+    /// `(shard, position)` is consistent and never flags.
+    pub fn check_shard(
+        &mut self,
+        shard: usize,
+        cluster: &MinBftCluster,
+        step: u32,
+    ) -> Option<Violation> {
+        for &replica in cluster.membership() {
+            if cluster.is_crashed(replica) {
+                continue;
+            }
+            let (Some(log), Some(start)) = (
+                cluster.executed_log(replica),
+                cluster.executed_log_start(replica),
+            ) else {
+                continue;
+            };
+            for (offset, &digest) in log.iter().enumerate() {
+                let position = start + offset as u64;
+                if let Some(&owner) = self.owners.get(&digest) {
+                    if owner != shard {
+                        return Some(Violation {
+                            kind: InvariantKind::Routing,
+                            step,
+                            detail: format!(
+                                "shard {shard} replica {replica} executed digest {digest:?} \
+                                 routed to shard {owner}"
+                            ),
+                        });
+                    }
+                }
+                match self.executed_at.get(&digest) {
+                    Some(&(other_shard, other_position))
+                        if other_shard != shard || other_position != position =>
+                    {
+                        return Some(Violation {
+                            kind: InvariantKind::Routing,
+                            step,
+                            detail: format!(
+                                "digest {digest:?} executed twice fleet-wide: shard \
+                                 {other_shard} position {other_position} and shard {shard} \
+                                 position {position}"
+                            ),
+                        });
+                    }
+                    Some(_) => {}
+                    None => {
+                        self.executed_at.insert(digest, (shard, position));
+                    }
+                }
+            }
+        }
+        None
     }
 }
 
@@ -306,6 +419,41 @@ mod tests {
             "unexpected detail: {}",
             violation.detail
         );
+    }
+
+    #[test]
+    fn routing_oracle_catches_misrouting_and_fleet_wide_double_execution() {
+        // Shard 0 executes a request the router recorded as owned by shard
+        // 1: the misrouting arm fires.
+        let mut shard0 = cluster();
+        let mut checker = RoutingChecker::new();
+        let client = shard0.add_client();
+        let request = shard0.submit(client, Operation::Put { key: 9, value: 5 });
+        checker.record_submission(request.digest(), 1);
+        shard0.run_until_quiet(10.0);
+        let violation = checker
+            .check_shard(0, &shard0, 0)
+            .expect("misrouting must be caught");
+        assert_eq!(violation.kind, InvariantKind::Routing);
+        assert!(violation.detail.contains("routed to shard 1"));
+
+        // Two shards executing the *same* digest (identical client id,
+        // request id and operation): the exactly-once arm fires. The
+        // digest is deliberately left unowned so the misrouting arm (which
+        // takes precedence) stays quiet.
+        let mut checker = RoutingChecker::new();
+        assert_eq!(checker.check_shard(0, &shard0, 1), None);
+        let mut shard1 = cluster();
+        let client1 = shard1.add_client();
+        let duplicate = shard1.submit(client1, Operation::Put { key: 9, value: 5 });
+        assert_eq!(duplicate.digest(), request.digest());
+        shard1.run_until_quiet(10.0);
+        let violation = checker
+            .check_shard(1, &shard1, 2)
+            .expect("double execution must be caught");
+        assert_eq!(violation.kind, InvariantKind::Routing);
+        assert!(violation.detail.contains("twice fleet-wide"));
+        assert!(violation.to_string().contains("routing"));
     }
 
     #[test]

@@ -10,7 +10,9 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use tolerance_consensus::{hybrid_fault_threshold, ByzantineMode, NetworkConfig, NodeId};
+use tolerance_consensus::{
+    hybrid_fault_threshold, ByzantineMode, MinBftConfig, NetworkConfig, NodeId,
+};
 
 /// The kind of a [`FaultEvent`] (used for coverage reporting and for
 /// matching violations during shrinking).
@@ -231,6 +233,22 @@ impl ScheduleConfig {
     /// many replicas the generator keeps faulty at once.
     pub fn fault_threshold(&self) -> usize {
         hybrid_fault_threshold(self.initial_replicas, self.parallel_recoveries)
+    }
+
+    /// The cluster configuration a harness builds from this schedule
+    /// configuration. Shared by the single-cluster executor and the
+    /// multi-shard harness, so both sweeps exercise the *same* cluster
+    /// shape — a knob mapped here reaches every harness at once.
+    pub fn minbft_config(&self, seed: u64) -> MinBftConfig {
+        MinBftConfig {
+            initial_replicas: self.initial_replicas,
+            parallel_recoveries: self.parallel_recoveries,
+            network: self.network,
+            seed,
+            checkpoint_period: self.checkpoint_period,
+            batch_size: self.batch_size,
+            ..MinBftConfig::default()
+        }
     }
 }
 

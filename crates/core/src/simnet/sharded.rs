@@ -1,0 +1,1400 @@
+//! The multi-shard fault-injection harness: deterministic chaos over a
+//! fleet of MinBFT groups behind a key router.
+//!
+//! One fleet run wires together:
+//!
+//! * a [`ShardedSimService`] — S independent simulated MinBFT groups, each
+//!   over its own deterministic network seeded from a **split stream** of
+//!   the fleet seed ([`shard_seed`]), stepped in lockstep;
+//! * per-shard chaos: one [`FaultSchedule`] per shard, generated from the
+//!   same split streams, so every shard sees its own partitions, storms,
+//!   crashes, intrusion bursts and churn while the whole fleet stays a
+//!   pure function of `(seed, config)`;
+//! * the [`FleetControlPlane`] — per-shard node controllers competing for
+//!   one **global** recovery budget `k`, plus (optionally) one system
+//!   controller per fleet;
+//! * a routed client workload (every generated operation is keyed and
+//!   submitted to the shard owning its key) and a cross-shard **MultiPut
+//!   driver** that launches two-round transactions and deliberately
+//!   abandons some of them mid-protocol (the client-crash chaos of the
+//!   atomicity oracle);
+//! * the full oracle suite per shard (agreement, validity, recovery bound,
+//!   network accounting, settle-phase liveness) **plus** the fleet-level
+//!   [`RoutingChecker`] (every committed request executed by exactly the
+//!   shard owning its key, exactly once fleet-wide) and an **atomicity**
+//!   check over every MultiPut at settle.
+//!
+//! On violation, [`find_sharded_counterexample`] shrinks the fleet's
+//! schedules by greedy drop-one-event search across all shards and
+//! packages a replayable [`ShardedCounterexample`] (seed + per-shard
+//! schedules + config as JSON). Same seed → byte-identical trace,
+//! regardless of surrounding parallelism.
+
+use crate::controlplane::fleet::{FleetConfig, FleetControlPlane};
+use crate::controlplane::{ClusterActuator, NodeReport};
+use crate::error::{CoreError, Result};
+use crate::metrics::MetricReport;
+use crate::node_model::{NodeModel, NodeParameters, NodeState};
+use crate::observation::ObservationModel;
+use crate::runtime::{AsMetricReport, MetricScenario, Scenario, ScenarioRegistry};
+use crate::simnet::executor::{HarnessActuator, SimnetOutcome, Supervisor, TraceRecord};
+use crate::simnet::oracle::{InvariantChecker, InvariantKind, RoutingChecker, Violation};
+use crate::simnet::schedule::{FaultEvent, FaultSchedule, ScheduleConfig};
+use crate::simnet::shrink::decode;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use tolerance_consensus::minbft::Operation;
+use tolerance_consensus::sharded::{
+    shard_seed, KeyPartitioner, ShardedSimConfig, ShardedSimService,
+};
+use tolerance_consensus::{ByzantineMode, NodeId};
+
+/// Configuration of a multi-shard run: the per-shard chaos/cluster knobs
+/// plus the fleet-level routing and MultiPut workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardedScheduleConfig {
+    /// Number of independent MinBFT groups.
+    pub shards: usize,
+    /// The per-shard schedule/cluster configuration. `parallel_recoveries`
+    /// is interpreted as the fleet's **global** recovery budget and
+    /// `system_controller` enables the fleet-level controller.
+    pub base: ScheduleConfig,
+    /// Key space of the routed client workload (each shard's drivers use
+    /// the keys it owns within this range).
+    pub key_space: u32,
+    /// Steps between MultiPut launches (`0` disables the MultiPut driver).
+    pub multi_put_interval: u32,
+    /// Keys per MultiPut transaction (spanning at least two shards when
+    /// the fleet has them).
+    pub multi_put_keys: usize,
+}
+
+impl Default for ShardedScheduleConfig {
+    fn default() -> Self {
+        ShardedScheduleConfig {
+            shards: 2,
+            base: ScheduleConfig {
+                horizon: 24,
+                ..ScheduleConfig::default()
+            },
+            key_space: 64,
+            multi_put_interval: 6,
+            multi_put_keys: 2,
+        }
+    }
+}
+
+impl ShardedScheduleConfig {
+    fn fleet_config(&self) -> FleetConfig {
+        FleetConfig {
+            recovery_threshold: self.base.recovery_threshold,
+            delta_r: Some(self.base.delta_r),
+            parallel_recoveries: self.base.parallel_recoveries,
+            system_controller: self.base.system_controller,
+            min_replicas_per_shard: 4,
+            max_replicas_per_shard: self.base.max_replicas,
+            max_total_replicas: self.base.max_replicas * self.shards.max(1),
+            fault_threshold: self.base.fault_threshold().max(1),
+            availability_target: 0.9,
+            node_survival_probability: 0.95,
+        }
+    }
+}
+
+/// The fleet's chaos input: one per-shard schedule drawn from each shard's
+/// split stream of the fleet seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardedFaultSchedule {
+    /// The fleet seed.
+    pub seed: u64,
+    /// One schedule per shard (index = shard).
+    pub shards: Vec<FaultSchedule>,
+}
+
+impl ShardedFaultSchedule {
+    /// Generates the per-shard schedules from the fleet seed's split
+    /// streams (same seed → same fleet of schedules).
+    pub fn generate(seed: u64, config: &ShardedScheduleConfig) -> Self {
+        ShardedFaultSchedule {
+            seed,
+            shards: (0..config.shards.max(1))
+                .map(|shard| FaultSchedule::generate(shard_seed(seed, shard), &config.base))
+                .collect(),
+        }
+    }
+
+    /// Total scheduled events across all shards.
+    pub fn total_events(&self) -> usize {
+        self.shards.iter().map(|s| s.events.len()).sum()
+    }
+}
+
+/// The result of executing one fleet schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardedRunReport {
+    /// Fleet-wide aggregate outcome.
+    pub outcome: SimnetOutcome,
+    /// Per-shard event traces (`trace[shard][step]`), byte-identical for
+    /// identical `(seed, config)` pairs.
+    pub trace: Vec<Vec<TraceRecord>>,
+    /// MultiPut transactions launched / fully committed.
+    pub multi_puts: (u64, u64),
+    /// The first invariant violation, if any (the run stops there).
+    pub violation: Option<Violation>,
+}
+
+impl AsMetricReport for ShardedRunReport {
+    fn metric_report(&self) -> MetricReport {
+        self.outcome.metric_report()
+    }
+}
+
+/// Executes `schedule` against a freshly built fleet configured by
+/// `config`.
+///
+/// # Errors
+///
+/// Propagates model-construction and LP failures; invariant violations are
+/// reported inside the [`ShardedRunReport`] (the shrinker needs them as
+/// data).
+pub fn run_sharded_schedule(
+    schedule: &ShardedFaultSchedule,
+    config: &ShardedScheduleConfig,
+) -> Result<ShardedRunReport> {
+    ShardedHarness::new(schedule, config)?.run()
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum OpState {
+    InFlight,
+    Done,
+}
+
+/// How a MultiPut transaction's driving client "crashes" mid-protocol
+/// (derived deterministically from the transaction id, so the chaos is
+/// replayable).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum TxAbandon {
+    /// The client survives the whole protocol.
+    None,
+    /// The client crashes after every reserve completed, before any
+    /// commit: nothing may ever become observable.
+    BeforeCommit,
+    /// The client crashes after committing the first key only: the settle
+    /// phase must roll the remaining idempotent commits forward.
+    MidCommit,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum TxPhase {
+    Reserving,
+    /// All reserves landed, the client crashed before any commit.
+    AbandonedReserved,
+    Committing,
+    /// The first commit landed, the client crashed before the rest.
+    AbandonedMidCommit,
+    Done,
+}
+
+struct MultiPutTx {
+    tx: u64,
+    pairs: Vec<(u32, u64)>,
+    phase: TxPhase,
+    abandon: TxAbandon,
+    /// In-flight operations: `(operation, shard, client, state)` — each on
+    /// its own dedicated client, so completion is exactly "the client has
+    /// no outstanding request".
+    ops: Vec<(Operation, usize, NodeId, OpState)>,
+}
+
+struct ShardState {
+    supervisors: BTreeMap<NodeId, Supervisor>,
+    checker: InvariantChecker,
+    added_stack: Vec<NodeId>,
+    recoveries: u64,
+    recovery_delays: Vec<u32>,
+    pending_bursts: u32,
+    owned_keys: Vec<u32>,
+    /// Every client whose completions this shard contributes (general pool
+    /// plus transaction clients created on it).
+    clients: Vec<NodeId>,
+}
+
+struct ShardedHarness<'a> {
+    schedule: &'a ShardedFaultSchedule,
+    config: &'a ShardedScheduleConfig,
+    service: ShardedSimService,
+    states: Vec<ShardState>,
+    plane: FleetControlPlane,
+    alert_model: ObservationModel,
+    rng: StdRng,
+    routing: RoutingChecker,
+    transactions: Vec<MultiPutTx>,
+    next_tx: u64,
+    issued: u64,
+    trace: Vec<Vec<TraceRecord>>,
+}
+
+impl<'a> ShardedHarness<'a> {
+    fn new(schedule: &'a ShardedFaultSchedule, config: &'a ShardedScheduleConfig) -> Result<Self> {
+        let service = ShardedSimService::new(&ShardedSimConfig {
+            shards: config.shards.max(1),
+            cluster: config.base.minbft_config(schedule.seed),
+            clients_per_shard: 4,
+        });
+        let alert_model = ObservationModel::paper_default();
+        let node_model = NodeModel::new(NodeParameters::default(), alert_model.clone())?;
+        let plane = FleetControlPlane::with_model(config.fleet_config(), node_model)?;
+        let partitioner = *service.partitioner();
+        let states: Vec<ShardState> = (0..service.num_shards())
+            .map(|shard| {
+                let mut supervisors = BTreeMap::new();
+                for id in 0..config.base.initial_replicas as NodeId {
+                    supervisors.insert(id, Supervisor::new());
+                }
+                ShardState {
+                    supervisors,
+                    checker: InvariantChecker::new(),
+                    added_stack: Vec::new(),
+                    recoveries: 0,
+                    recovery_delays: Vec::new(),
+                    pending_bursts: 0,
+                    owned_keys: partitioner.owned_keys(shard, config.key_space.max(1)),
+                    clients: service.pool_clients(shard).to_vec(),
+                }
+            })
+            .collect();
+        Ok(ShardedHarness {
+            schedule,
+            config,
+            service,
+            states,
+            plane,
+            alert_model,
+            rng: StdRng::seed_from_u64(schedule.seed ^ 0x51e7_c0de_0bad_cafe),
+            routing: RoutingChecker::new(),
+            transactions: Vec::new(),
+            next_tx: 1,
+            issued: 0,
+            trace: Vec::new(),
+        })
+    }
+
+    /// Records a routed submission in the owning shard's validity oracle
+    /// and the fleet routing oracle.
+    fn record(&mut self, shard: usize, digest: tolerance_consensus::crypto::Digest) {
+        self.states[shard].checker.record_submission(digest);
+        self.routing.record_submission(digest, shard);
+        self.issued += 1;
+    }
+
+    /// Submits a keyed operation through the router on a free pool client.
+    fn submit_routed(&mut self, operation: Operation) -> bool {
+        match self.service.submit(operation) {
+            Some((shard, client, request)) => {
+                if std::env::var_os("SIMNET_DEBUG").is_some() {
+                    eprintln!(
+                        "  submit shard {shard} client {client} id {} op {:?} digest {}",
+                        request.id,
+                        request.operation,
+                        request.digest().0 % 100_000
+                    );
+                }
+                self.record(shard, request.digest());
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Submits an operation on a freshly created dedicated client of the
+    /// owning shard and returns `(shard, client)`.
+    fn submit_dedicated(&mut self, operation: Operation) -> (usize, NodeId) {
+        let key = operation.key().expect("transaction operations are keyed");
+        let shard = self.service.owner(key);
+        let client = self.service.add_client(shard);
+        self.states[shard].clients.push(client);
+        let request = self.service.submit_on(shard, client, operation);
+        if std::env::var_os("SIMNET_DEBUG").is_some() {
+            eprintln!(
+                "  submit(tx) shard {shard} client {client} id {} op {:?} digest {}",
+                request.id,
+                request.operation,
+                request.digest().0 % 100_000
+            );
+        }
+        self.record(shard, request.digest());
+        (shard, client)
+    }
+
+    /// Schedule-driven (or settle-phase) recovery of one shard's node.
+    fn recover_shard_node(&mut self, shard: usize, node: NodeId, step: u32) {
+        let state = &mut self.states[shard];
+        let cluster = &mut self.service.shards_mut()[shard];
+        let mut actuator = HarnessActuator {
+            cluster,
+            supervisors: &mut state.supervisors,
+            added_stack: &mut state.added_stack,
+            recoveries: &mut state.recoveries,
+            recovery_delays: &mut state.recovery_delays,
+            step,
+        };
+        if actuator.recover_node(node) {
+            self.plane.controller(shard, node).notify_recovered();
+        }
+    }
+
+    fn apply_event(&mut self, shard: usize, event: &FaultEvent, step: u32) {
+        let base_network = self.config.base.network;
+        let max_replicas = self.config.base.max_replicas;
+        match event {
+            FaultEvent::Partition { group_a, group_b } => {
+                self.service
+                    .shard_mut(shard)
+                    .partition_network(group_a, group_b);
+            }
+            FaultEvent::Heal => self.service.shard_mut(shard).heal_network(),
+            FaultEvent::LossStorm { loss_rate } => {
+                let mut network = base_network;
+                network.loss_rate = *loss_rate;
+                self.service
+                    .shard_mut(shard)
+                    .set_network_config(network.clamped());
+            }
+            FaultEvent::DelayStorm { latency, jitter } => {
+                let mut network = base_network;
+                network.latency = *latency;
+                network.jitter = *jitter;
+                self.service
+                    .shard_mut(shard)
+                    .set_network_config(network.clamped());
+            }
+            FaultEvent::RestoreNetwork => {
+                self.service
+                    .shard_mut(shard)
+                    .set_network_config(base_network);
+            }
+            FaultEvent::CrashReplica { node } => {
+                let cluster = self.service.shard_mut(shard);
+                if cluster.membership().contains(node) {
+                    cluster.crash_replica(*node);
+                    if let Some(supervisor) = self.states[shard].supervisors.get_mut(node) {
+                        supervisor.schedule_crashed = true;
+                        supervisor.state = NodeState::Crashed;
+                    }
+                }
+            }
+            FaultEvent::RecoverReplica { node } => self.recover_shard_node(shard, *node, step),
+            FaultEvent::ByzantineFlip { node, mode } => {
+                let cluster = self.service.shard_mut(shard);
+                if cluster.membership().contains(node) && !cluster.is_crashed(*node) {
+                    cluster.set_byzantine(*node, *mode);
+                }
+            }
+            FaultEvent::IntrusionBurst { node, mode } => {
+                let cluster = self.service.shard_mut(shard);
+                if cluster.membership().contains(node) && !cluster.is_crashed(*node) {
+                    cluster.set_byzantine(*node, *mode);
+                    if let Some(supervisor) = self.states[shard].supervisors.get_mut(node) {
+                        supervisor.state = NodeState::Compromised;
+                        supervisor.compromised_at.get_or_insert(step);
+                    }
+                }
+            }
+            FaultEvent::AddReplica => {
+                let cluster = self.service.shard_mut(shard);
+                if cluster.num_replicas() < max_replicas {
+                    let id = cluster.add_replica();
+                    self.states[shard].supervisors.insert(id, Supervisor::new());
+                    self.states[shard].added_stack.push(id);
+                }
+            }
+            FaultEvent::EvictReplica { node } => {
+                let target = node.or_else(|| self.states[shard].added_stack.pop());
+                if let Some(target) = target {
+                    let cluster = self.service.shard_mut(shard);
+                    if cluster.membership().contains(&target) && cluster.num_replicas() > 3 {
+                        cluster.evict_replica(target);
+                        self.states[shard].supervisors.remove(&target);
+                        self.states[shard].checker.forget_replica(target);
+                        self.plane.forget(shard, target);
+                    }
+                }
+            }
+            FaultEvent::ClientBurst { requests } => {
+                self.states[shard].pending_bursts += requests;
+            }
+            FaultEvent::InjectDoubleCommit { node } => {
+                self.service.shard_mut(shard).inject_double_commit(*node);
+            }
+        }
+    }
+
+    /// One fleet control tick: per-shard IDS observations (one weighted
+    /// draw per reporting replica, shard-major in membership order) through
+    /// the shared [`FleetControlPlane`].
+    fn control_tick(&mut self, step: u32) {
+        let mut observations: Vec<Vec<(NodeId, NodeReport<'_>)>> = Vec::new();
+        for shard in 0..self.service.num_shards() {
+            let membership: Vec<NodeId> = self.service.shard(shard).membership().to_vec();
+            let mut shard_observations = Vec::with_capacity(membership.len());
+            for id in membership {
+                let report = match self.states[shard].supervisors.get(&id) {
+                    None => NodeReport::Silent,
+                    Some(supervisor) if supervisor.schedule_crashed => NodeReport::Silent,
+                    Some(supervisor) => {
+                        let sample_state = match supervisor.state {
+                            NodeState::Compromised => NodeState::Compromised,
+                            _ => NodeState::Healthy,
+                        };
+                        NodeReport::Sample(self.alert_model.sample(sample_state, &mut self.rng))
+                    }
+                };
+                shard_observations.push((id, report));
+            }
+            observations.push(shard_observations);
+        }
+        let mut storage: Vec<HarnessActuator<'_>> = self
+            .service
+            .shards_mut()
+            .iter_mut()
+            .zip(self.states.iter_mut())
+            .map(|(cluster, state)| HarnessActuator {
+                cluster,
+                supervisors: &mut state.supervisors,
+                added_stack: &mut state.added_stack,
+                recoveries: &mut state.recoveries,
+                recovery_delays: &mut state.recovery_delays,
+                step,
+            })
+            .collect();
+        let mut actuators: Vec<&mut dyn ClusterActuator> = storage
+            .iter_mut()
+            .map(|actuator| actuator as &mut dyn ClusterActuator)
+            .collect();
+        self.plane
+            .tick(&observations, &mut actuators, &mut self.rng);
+    }
+
+    /// One routed client submission per shard per step (plus burst
+    /// backlog), on keys the shard owns.
+    fn drive_clients(&mut self, step: u32) {
+        for shard in 0..self.service.num_shards() {
+            let key = {
+                let owned = &self.states[shard].owned_keys;
+                owned[step as usize % owned.len()]
+            };
+            let submitted = self.submit_routed(Operation::Put {
+                key,
+                value: u64::from(step) + 1,
+            });
+            let mut bursts = self.states[shard].pending_bursts;
+            if !submitted {
+                continue;
+            }
+            while bursts > 0 {
+                let key = {
+                    let owned = &self.states[shard].owned_keys;
+                    owned[(step as usize + bursts as usize) % owned.len()]
+                };
+                if !self.submit_routed(Operation::Put {
+                    key,
+                    value: 0x1000_0000 + u64::from(step) * 16 + u64::from(bursts),
+                }) {
+                    break;
+                }
+                bursts -= 1;
+            }
+            self.states[shard].pending_bursts = bursts;
+        }
+    }
+
+    /// The keys of transaction `tx`: a fresh, transaction-private range
+    /// (so the atomicity oracle can compare against 0/value without a
+    /// linearizability checker), spanning at least two shards when the
+    /// fleet has them.
+    fn tx_keys(partitioner: &KeyPartitioner, tx: u64, count: usize) -> Vec<u32> {
+        let base = 0x4000_0000u32 + (tx as u32) * 1024;
+        let count = count.max(1);
+        let mut keys: Vec<u32> = (0..count as u32).map(|j| base + j).collect();
+        if partitioner.shards() > 1 && count > 1 {
+            let first_owner = partitioner.owner(keys[0]);
+            if keys.iter().all(|&k| partitioner.owner(k) == first_owner) {
+                let mut probe = base + count as u32;
+                loop {
+                    if partitioner.owner(probe) != first_owner {
+                        *keys.last_mut().expect("count >= 1") = probe;
+                        break;
+                    }
+                    probe += 1;
+                }
+            }
+        }
+        keys
+    }
+
+    fn launch_multi_put(&mut self) {
+        let tx = self.next_tx;
+        self.next_tx += 1;
+        let keys = Self::tx_keys(self.service.partitioner(), tx, self.config.multi_put_keys);
+        let pairs: Vec<(u32, u64)> = keys
+            .iter()
+            .enumerate()
+            .map(|(index, &key)| (key, tx * 1_000 + index as u64 + 1))
+            .collect();
+        // The client-crash chaos, deterministic in the transaction id.
+        let abandon = match tx % 3 {
+            1 => TxAbandon::BeforeCommit,
+            2 => TxAbandon::MidCommit,
+            _ => TxAbandon::None,
+        };
+        let ops: Vec<(Operation, usize, NodeId, OpState)> = pairs
+            .iter()
+            .map(|&(key, value)| {
+                let op = Operation::TxReserve { tx, key, value };
+                let (shard, client) = self.submit_dedicated(op);
+                (op, shard, client, OpState::InFlight)
+            })
+            .collect();
+        self.transactions.push(MultiPutTx {
+            tx,
+            pairs,
+            phase: TxPhase::Reserving,
+            abandon,
+            ops,
+        });
+    }
+
+    /// Advances every active MultiPut transaction's state machine (the
+    /// client half of the two-round protocol, including the scripted
+    /// mid-protocol "crashes").
+    fn step_multi_puts(&mut self, step: u32) {
+        if self.config.multi_put_interval > 0
+            && step > 0
+            && step.is_multiple_of(self.config.multi_put_interval)
+        {
+            self.launch_multi_put();
+        }
+        for index in 0..self.transactions.len() {
+            // Completion: a dedicated client with no outstanding request
+            // has had its (only) request answered.
+            let mut all_done = true;
+            for op_index in 0..self.transactions[index].ops.len() {
+                let (_, shard, client, state) = self.transactions[index].ops[op_index];
+                if state == OpState::InFlight {
+                    if self.service.shard(shard).has_outstanding_request(client) {
+                        all_done = false;
+                    } else {
+                        self.transactions[index].ops[op_index].3 = OpState::Done;
+                    }
+                }
+            }
+            if !all_done {
+                continue;
+            }
+            let (phase, abandon, tx) = {
+                let t = &self.transactions[index];
+                (t.phase, t.abandon, t.tx)
+            };
+            match phase {
+                TxPhase::Reserving => {
+                    if abandon == TxAbandon::BeforeCommit {
+                        self.transactions[index].phase = TxPhase::AbandonedReserved;
+                        continue;
+                    }
+                    // The commit point: every reserve is quorum-acked.
+                    let pairs = self.transactions[index].pairs.clone();
+                    let commits: Vec<(u32, u64)> = if abandon == TxAbandon::MidCommit {
+                        pairs[..1].to_vec()
+                    } else {
+                        pairs
+                    };
+                    let ops: Vec<(Operation, usize, NodeId, OpState)> = commits
+                        .iter()
+                        .map(|&(key, _)| {
+                            let op = Operation::TxCommit { tx, key };
+                            let (shard, client) = self.submit_dedicated(op);
+                            (op, shard, client, OpState::InFlight)
+                        })
+                        .collect();
+                    self.transactions[index].ops = ops;
+                    self.transactions[index].phase = TxPhase::Committing;
+                }
+                TxPhase::Committing => {
+                    self.transactions[index].phase = if abandon == TxAbandon::MidCommit {
+                        TxPhase::AbandonedMidCommit
+                    } else {
+                        TxPhase::Done
+                    };
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn completed_total(&self) -> u64 {
+        self.states
+            .iter()
+            .enumerate()
+            .map(|(shard, state)| {
+                state
+                    .clients
+                    .iter()
+                    .map(|&c| self.service.shard(shard).completed_requests(c))
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+
+    fn shard_violation(shard: usize, violation: Violation) -> Violation {
+        Violation {
+            detail: format!("shard {shard}: {}", violation.detail),
+            ..violation
+        }
+    }
+
+    fn check_invariants(&mut self, step: u32) -> Option<Violation> {
+        // The recovery bound gains the fleet-wide queueing slack of the
+        // *global* k budget: every shard's compromises compete for the
+        // same slots.
+        let bound = self.config.base.delta_r
+            + (self.config.shards * self.config.base.initial_replicas) as u32
+            + 1;
+        for shard in 0..self.service.num_shards() {
+            let cluster = self.service.shard(shard);
+            let state = &mut self.states[shard];
+            if let Some(violation) = state.checker.check_logs(cluster, step) {
+                return Some(Self::shard_violation(shard, violation));
+            }
+            if let Some(violation) = state.checker.check_network(cluster, step) {
+                return Some(Self::shard_violation(shard, violation));
+            }
+            for (&id, supervisor) in &state.supervisors {
+                if let Some(at) = supervisor.compromised_at {
+                    if step.saturating_sub(at) > bound {
+                        return Some(Violation {
+                            kind: InvariantKind::RecoveryBound,
+                            step,
+                            detail: format!(
+                                "shard {shard}: replica {id} compromised at step {at} still \
+                                 unrecovered at step {step} (bound {bound})"
+                            ),
+                        });
+                    }
+                }
+            }
+            if let Some(violation) = self.routing.check_shard(shard, cluster, step) {
+                return Some(violation);
+            }
+        }
+        None
+    }
+
+    fn push_trace(&mut self, step: u32) {
+        for shard in 0..self.service.num_shards() {
+            let cluster = self.service.shard(shard);
+            let state = &self.states[shard];
+            let faulty: Vec<NodeId> = state
+                .supervisors
+                .iter()
+                .filter(|(_, s)| s.schedule_crashed || s.state != NodeState::Healthy)
+                .map(|(&id, _)| id)
+                .collect();
+            let completed: u64 = state
+                .clients
+                .iter()
+                .map(|&c| cluster.completed_requests(c))
+                .sum();
+            self.trace[shard].push(TraceRecord {
+                step,
+                time_bits: cluster.now().to_bits(),
+                membership: cluster.membership().to_vec(),
+                commits: cluster.commit_trace().len() as u64,
+                view_changes: cluster.view_changes(),
+                completed,
+                net_sent: cluster.network_stats().sent,
+                faulty,
+            });
+        }
+    }
+
+    fn catch_up_stragglers(&mut self) {
+        for shard in 0..self.service.num_shards() {
+            let cluster = self.service.shard_mut(shard);
+            let members: Vec<NodeId> = cluster.membership().to_vec();
+            let longest = members
+                .iter()
+                .filter_map(|&id| cluster.executed_len(id))
+                .max()
+                .unwrap_or(0);
+            for id in members {
+                let lagging = cluster
+                    .executed_len(id)
+                    .map(|len| len + 2 < longest)
+                    .unwrap_or(false);
+                if cluster.needs_state(id) || lagging {
+                    cluster.recover_replica(id);
+                }
+            }
+        }
+    }
+
+    fn any_outstanding(&self) -> bool {
+        self.states.iter().enumerate().any(|(shard, state)| {
+            state
+                .clients
+                .iter()
+                .any(|&c| self.service.shard(shard).has_outstanding_request(c))
+        })
+    }
+
+    fn fleet_now(&self) -> f64 {
+        (0..self.service.num_shards())
+            .map(|shard| self.service.shard(shard).now())
+            .fold(0.0, f64::max)
+    }
+
+    /// The settle phase: heal every shard, recover every still-marked
+    /// replica, drain outstanding requests, **roll forward** interrupted
+    /// MultiPut commit rounds, probe each shard, and run the atomicity
+    /// check over every transaction.
+    fn settle(&mut self) -> Option<Violation> {
+        for shard in 0..self.service.num_shards() {
+            let cluster = self.service.shard_mut(shard);
+            cluster.heal_network();
+            cluster.set_network_config(self.config.base.network);
+        }
+        for shard in 0..self.service.num_shards() {
+            let members: Vec<NodeId> = self.service.shard(shard).membership().to_vec();
+            for id in members {
+                let marked = self.states[shard]
+                    .supervisors
+                    .get(&id)
+                    .map(|s| s.schedule_crashed || s.state != NodeState::Healthy)
+                    .unwrap_or(false);
+                let cluster = self.service.shard(shard);
+                if marked
+                    || cluster.byzantine_mode(id) != Some(ByzantineMode::Correct)
+                    || cluster.is_crashed(id)
+                {
+                    self.recover_shard_node(shard, id, self.config.base.horizon);
+                }
+            }
+        }
+        let settle_window = 5.0_f64.max(self.config.base.step_duration * 4.0);
+        for round in 0..10 {
+            self.service.run_until(self.fleet_now() + settle_window);
+            self.catch_up_stragglers();
+            if !self.any_outstanding() && round > 0 {
+                break;
+            }
+        }
+        if self.any_outstanding() {
+            return Some(Violation {
+                kind: InvariantKind::Liveness,
+                step: u32::MAX,
+                detail: "clients still have unanswered requests after all faults were healed"
+                    .into(),
+            });
+        }
+        // Roll-forward: re-drive every interrupted commit round (the
+        // recovery any client may perform, because commits are idempotent).
+        let roll_forward: Vec<(u64, Vec<(u32, u64)>)> = self
+            .transactions
+            .iter()
+            .filter(|t| matches!(t.phase, TxPhase::Committing | TxPhase::AbandonedMidCommit))
+            .map(|t| (t.tx, t.pairs.clone()))
+            .collect();
+        for (tx, pairs) in &roll_forward {
+            for &(key, _) in pairs {
+                self.submit_dedicated(Operation::TxCommit { tx: *tx, key });
+            }
+        }
+        // Probe every shard: a fresh routed request must complete.
+        for shard in 0..self.service.num_shards() {
+            let key = self.states[shard].owned_keys[0];
+            let client = self.service.add_client(shard);
+            self.states[shard].clients.push(client);
+            let request = self.service.submit_on(
+                shard,
+                client,
+                Operation::Put {
+                    key,
+                    value: 0xdead_beef,
+                },
+            );
+            self.record(shard, request.digest());
+        }
+        for _ in 0..10 {
+            self.service.run_until(self.fleet_now() + settle_window);
+            self.catch_up_stragglers();
+            if !self.any_outstanding() {
+                break;
+            }
+        }
+        if self.any_outstanding() {
+            return Some(Violation {
+                kind: InvariantKind::Liveness,
+                step: u32::MAX,
+                detail: "a settle-phase probe or roll-forward commit never completed".into(),
+            });
+        }
+        for index in 0..self.transactions.len() {
+            if matches!(
+                self.transactions[index].phase,
+                TxPhase::Committing | TxPhase::AbandonedMidCommit
+            ) {
+                self.transactions[index].phase = TxPhase::Done;
+            }
+        }
+        // Atomicity: every transaction is all-or-nothing by now. The keys
+        // are transaction-private, so "nothing" is exactly the absent/0
+        // value and "all" is exactly the transaction's values.
+        for transaction in &self.transactions {
+            let applied = transaction.phase == TxPhase::Done;
+            for &(key, value) in &transaction.pairs {
+                let observed = self.service.read_key(key).unwrap_or(0);
+                let expected = if applied { value } else { 0 };
+                if observed != expected {
+                    return Some(Violation {
+                        kind: InvariantKind::Atomicity,
+                        step: u32::MAX,
+                        detail: format!(
+                            "multi-put tx {} ({}applied) key {key}: observed {observed}, \
+                             expected {expected}",
+                            transaction.tx,
+                            if applied { "" } else { "not " },
+                        ),
+                    });
+                }
+            }
+        }
+        if let Some(violation) = self.check_invariants(self.config.base.horizon) {
+            return Some(violation);
+        }
+        if !self.service.logs_are_consistent() {
+            return Some(Violation {
+                kind: InvariantKind::Agreement,
+                step: u32::MAX,
+                detail: "a shard's healthy logs diverged by the end of the settle phase".into(),
+            });
+        }
+        None
+    }
+
+    /// `SIMNET_DEBUG` diagnostics: per-shard replica state and, on a
+    /// violation, the full commit traces.
+    fn debug_dump(&self, step: u32, violation: Option<&Violation>) {
+        for shard in 0..self.service.num_shards() {
+            let cluster = self.service.shard(shard);
+            for &id in &cluster.membership().to_vec() {
+                eprintln!(
+                    "  step {step} shard {shard} replica {id}: len {} start {:?} crashed {} \
+                     needs_state {}",
+                    cluster.executed_len(id).unwrap_or(0),
+                    cluster.executed_log_start(id),
+                    cluster.is_crashed(id),
+                    cluster.needs_state(id),
+                );
+            }
+            if violation.is_some() {
+                for &id in &cluster.membership().to_vec() {
+                    eprintln!("    {}", cluster.debug_replica(id));
+                    if let (Some(log), Some(start)) =
+                        (cluster.executed_log(id), cluster.executed_log_start(id))
+                    {
+                        let tail: Vec<(u64, u64)> = log
+                            .iter()
+                            .enumerate()
+                            .map(|(i, d)| (start + i as u64, d.0 % 100_000))
+                            .collect();
+                        eprintln!("    shard {shard} replica {id} log: {tail:?}");
+                    }
+                }
+                for r in cluster.commit_trace() {
+                    eprintln!(
+                        "  shard {shard} commit: replica {} view {} seq {} digest {}",
+                        r.replica,
+                        r.view,
+                        r.sequence,
+                        r.digest.0 % 100_000
+                    );
+                }
+            }
+        }
+    }
+
+    fn run(mut self) -> Result<ShardedRunReport> {
+        self.trace = vec![Vec::new(); self.service.num_shards()];
+        let mut iterators: Vec<_> = self
+            .schedule
+            .shards
+            .iter()
+            .map(|schedule| schedule.events.iter().peekable())
+            .collect();
+        let mut violation: Option<Violation> = None;
+        let mut steps_run: u64 = 0;
+        for step in 0..self.config.base.horizon {
+            steps_run = u64::from(step) + 1;
+            for (shard, iterator) in iterators.iter_mut().enumerate() {
+                while let Some(fault) = iterator.peek() {
+                    if fault.step > step {
+                        break;
+                    }
+                    let fault = iterator.next().expect("peeked");
+                    self.apply_event(shard, &fault.event, step);
+                }
+            }
+            self.control_tick(step);
+            self.drive_clients(step);
+            self.step_multi_puts(step);
+            self.service
+                .run_until(f64::from(step + 1) * self.config.base.step_duration);
+            violation = self.check_invariants(step);
+            if std::env::var_os("SIMNET_DEBUG").is_some() {
+                self.debug_dump(step, violation.as_ref());
+            }
+            self.push_trace(step);
+            if violation.is_some() {
+                break;
+            }
+        }
+        if violation.is_none() {
+            violation = self.settle();
+            self.push_trace(self.config.base.horizon);
+        }
+        let completed = self.completed_total();
+        let recoveries: u64 = self.states.iter().map(|s| s.recoveries).sum();
+        let delays: Vec<u32> = self
+            .states
+            .iter()
+            .flat_map(|s| s.recovery_delays.iter().copied())
+            .collect();
+        let mean_recovery_steps = if delays.is_empty() {
+            0.0
+        } else {
+            delays.iter().map(|&d| f64::from(d)).sum::<f64>() / delays.len() as f64
+        };
+        let committed_sequences: u64 = (0..self.service.num_shards())
+            .map(|shard| InvariantChecker::committed_sequences(self.service.shard(shard)))
+            .sum();
+        let launched = self.transactions.len() as u64;
+        let committed_txs = self
+            .transactions
+            .iter()
+            .filter(|t| t.phase == TxPhase::Done)
+            .count() as u64;
+        Ok(ShardedRunReport {
+            outcome: SimnetOutcome {
+                steps: steps_run,
+                issued: self.issued,
+                completed,
+                recoveries,
+                mean_recovery_steps,
+                committed_sequences,
+                availability: if self.issued == 0 {
+                    1.0
+                } else {
+                    completed as f64 / self.issued as f64
+                },
+            },
+            trace: self.trace,
+            multi_puts: (launched, committed_txs),
+            violation,
+        })
+    }
+}
+
+/// Greedy drop-one-event minimization across the whole fleet: repeatedly
+/// try removing a single event from any shard's schedule and keep the
+/// removal whenever the same invariant kind still breaks.
+///
+/// # Errors
+///
+/// Propagates harness construction failures.
+pub fn shrink_sharded_schedule(
+    schedule: &ShardedFaultSchedule,
+    config: &ShardedScheduleConfig,
+    violation: &Violation,
+) -> Result<(ShardedFaultSchedule, Violation)> {
+    let mut current = schedule.clone();
+    let mut current_violation = violation.clone();
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for shard in 0..current.shards.len() {
+            let mut index = 0;
+            while index < current.shards[shard].events.len() {
+                let mut candidate = current.clone();
+                candidate.shards[shard].events.remove(index);
+                let report = run_sharded_schedule(&candidate, config)?;
+                match report.violation {
+                    Some(v) if v.kind == current_violation.kind => {
+                        current = candidate;
+                        current_violation = v;
+                        improved = true;
+                    }
+                    _ => index += 1,
+                }
+            }
+        }
+    }
+    Ok((current, current_violation))
+}
+
+/// A minimal, replayable description of a fleet-level invariant violation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardedCounterexample {
+    /// The fleet seed.
+    pub seed: u64,
+    /// The full run configuration.
+    pub config: ShardedScheduleConfig,
+    /// The (shrunk) per-shard schedules that still trigger the violation.
+    pub schedule: ShardedFaultSchedule,
+    /// The violation observed when executing the schedules.
+    pub violation: Violation,
+}
+
+impl ShardedCounterexample {
+    /// Serializes the counterexample to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer failures.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string_pretty(self)
+            .map_err(|e| CoreError::Solver(format!("serialize sharded counterexample: {e}")))
+    }
+
+    /// Parses a counterexample from JSON (the inverse of
+    /// [`ShardedCounterexample::to_json`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON or a document that does not describe a
+    /// sharded counterexample.
+    pub fn from_json(json: &str) -> Result<Self> {
+        let value = serde_json::parse_value(json)
+            .map_err(|e| CoreError::Solver(format!("parse sharded counterexample: {e}")))?;
+        let config_value = decode::field(&value, "config")?;
+        let config = ShardedScheduleConfig {
+            shards: decode::as_usize(decode::field(config_value, "shards")?)?,
+            base: decode::config(decode::field(config_value, "base")?)?,
+            key_space: u32::try_from(decode::as_u64(decode::field(config_value, "key_space")?)?)
+                .map_err(|_| decode::error("key_space out of u32 range"))?,
+            multi_put_interval: u32::try_from(decode::as_u64(decode::field(
+                config_value,
+                "multi_put_interval",
+            )?)?)
+            .map_err(|_| decode::error("multi_put_interval out of u32 range"))?,
+            multi_put_keys: decode::as_usize(decode::field(config_value, "multi_put_keys")?)?,
+        };
+        let schedule_value = decode::field(&value, "schedule")?;
+        let schedule = ShardedFaultSchedule {
+            seed: decode::as_u64(decode::field(schedule_value, "seed")?)?,
+            shards: decode::as_array(decode::field(schedule_value, "shards")?)?
+                .iter()
+                .map(decode::schedule)
+                .collect::<Result<Vec<_>>>()?,
+        };
+        let decoded = ShardedCounterexample {
+            seed: decode::as_u64(decode::field(&value, "seed")?)?,
+            config,
+            schedule,
+            violation: decode::violation(decode::field(&value, "violation")?)?,
+        };
+        if decoded.seed != decoded.schedule.seed {
+            return Err(decode::error(format!(
+                "seed {} disagrees with schedule seed {}",
+                decoded.seed, decoded.schedule.seed
+            )));
+        }
+        Ok(decoded)
+    }
+
+    /// Re-executes the stored schedules and returns the violation the
+    /// replay produces.
+    ///
+    /// # Errors
+    ///
+    /// Propagates harness construction failures.
+    pub fn replay(&self) -> Result<Option<Violation>> {
+        Ok(run_sharded_schedule(&self.schedule, &self.config)?.violation)
+    }
+}
+
+/// Run a fleet schedule and, if it violates an invariant, shrink it and
+/// package the counterexample.
+///
+/// # Errors
+///
+/// Propagates harness construction failures.
+pub fn find_sharded_counterexample(
+    schedule: &ShardedFaultSchedule,
+    config: &ShardedScheduleConfig,
+) -> Result<Option<ShardedCounterexample>> {
+    let report = run_sharded_schedule(schedule, config)?;
+    let Some(violation) = report.violation else {
+        return Ok(None);
+    };
+    let (minimal, minimal_violation) = shrink_sharded_schedule(schedule, config, &violation)?;
+    Ok(Some(ShardedCounterexample {
+        seed: schedule.seed,
+        config: config.clone(),
+        schedule: minimal,
+        violation: minimal_violation,
+    }))
+}
+
+/// A randomized multi-shard fault-injection scenario: seed → per-shard
+/// schedules → fleet run under the full oracle suite.
+#[derive(Debug, Clone)]
+pub struct ShardedSimnetScenario {
+    label: String,
+    config: ShardedScheduleConfig,
+}
+
+impl ShardedSimnetScenario {
+    /// Wraps a fleet configuration under a label.
+    pub fn new(label: impl Into<String>, config: ShardedScheduleConfig) -> Self {
+        ShardedSimnetScenario {
+            label: label.into(),
+            config,
+        }
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &ShardedScheduleConfig {
+        &self.config
+    }
+}
+
+impl Scenario for ShardedSimnetScenario {
+    type Output = ShardedRunReport;
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+
+    fn run(&self, seed: u64) -> Result<ShardedRunReport> {
+        let schedule = ShardedFaultSchedule::generate(seed, &self.config);
+        let report = run_sharded_schedule(&schedule, &self.config)?;
+        if let Some(violation) = &report.violation {
+            return Err(CoreError::Invariant(format!(
+                "{violation} (seed {seed}; regenerate the fleet schedule with \
+                 ShardedFaultSchedule::generate({seed}, config) to reproduce)"
+            )));
+        }
+        Ok(report)
+    }
+}
+
+/// The four-shard configuration of the `sharded/chaos-4` scenario:
+/// lighter per-shard chaos over a wider fleet.
+pub fn sharded_chaos_4_config() -> ShardedScheduleConfig {
+    ShardedScheduleConfig {
+        shards: 4,
+        base: ScheduleConfig {
+            horizon: 20,
+            intensity: 0.25,
+            ..ScheduleConfig::default()
+        },
+        ..ShardedScheduleConfig::default()
+    }
+}
+
+/// The MultiPut-heavy configuration of the `sharded/multiput` scenario:
+/// transactions launched every three steps, three keys each.
+pub fn sharded_multiput_config() -> ShardedScheduleConfig {
+    ShardedScheduleConfig {
+        shards: 2,
+        base: ScheduleConfig {
+            horizon: 24,
+            intensity: 0.25,
+            ..ScheduleConfig::default()
+        },
+        multi_put_interval: 3,
+        multi_put_keys: 3,
+        ..ShardedScheduleConfig::default()
+    }
+}
+
+/// The intrusion-heavy configuration of the `sharded/fleet-controlled`
+/// scenario: the fleet-level system controller allocates the global
+/// budget while both shards take compromise/crash chaos and cross-shard
+/// MultiPuts keep running.
+pub fn sharded_fleet_controlled_config() -> ShardedScheduleConfig {
+    ShardedScheduleConfig {
+        shards: 2,
+        base: ScheduleConfig {
+            horizon: 24,
+            intensity: 0.4,
+            system_controller: true,
+            enabled: vec![
+                crate::simnet::schedule::FaultKind::IntrusionBurst,
+                crate::simnet::schedule::FaultKind::CrashReplica,
+                crate::simnet::schedule::FaultKind::ByzantineFlip,
+                crate::simnet::schedule::FaultKind::ClientBurst,
+            ],
+            ..ScheduleConfig::default()
+        },
+        multi_put_interval: 4,
+        ..ShardedScheduleConfig::default()
+    }
+}
+
+/// Registers the built-in sharded scenarios:
+///
+/// * `sharded/chaos-2` — two shards under the default chaos mix plus the
+///   cross-shard MultiPut driver ([`ShardedScheduleConfig::default`]),
+/// * `sharded/chaos-4` — [`sharded_chaos_4_config`],
+/// * `sharded/multiput` — [`sharded_multiput_config`],
+/// * `sharded/fleet-controlled` — [`sharded_fleet_controlled_config`].
+///
+/// The acceptance sweep in `tests/sharded.rs` drives the *same*
+/// configuration functions, so the CI gate always covers what the
+/// registry ships.
+pub fn register_sharded_scenarios(registry: &mut ScenarioRegistry) {
+    registry.register("sharded/chaos-2", || {
+        Ok(Box::new(ShardedSimnetScenario::new(
+            "sharded/chaos-2",
+            ShardedScheduleConfig::default(),
+        )) as Box<dyn MetricScenario>)
+    });
+    registry.register("sharded/chaos-4", || {
+        Ok(Box::new(ShardedSimnetScenario::new(
+            "sharded/chaos-4",
+            sharded_chaos_4_config(),
+        )) as Box<dyn MetricScenario>)
+    });
+    registry.register("sharded/multiput", || {
+        Ok(Box::new(ShardedSimnetScenario::new(
+            "sharded/multiput",
+            sharded_multiput_config(),
+        )) as Box<dyn MetricScenario>)
+    });
+    registry.register("sharded/fleet-controlled", || {
+        Ok(Box::new(ShardedSimnetScenario::new(
+            "sharded/fleet-controlled",
+            sharded_fleet_controlled_config(),
+        )) as Box<dyn MetricScenario>)
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> ShardedScheduleConfig {
+        ShardedScheduleConfig {
+            shards: 2,
+            base: ScheduleConfig {
+                horizon: 12,
+                intensity: 0.3,
+                ..ScheduleConfig::default()
+            },
+            multi_put_interval: 4,
+            multi_put_keys: 2,
+            ..ShardedScheduleConfig::default()
+        }
+    }
+
+    #[test]
+    fn quiet_fleet_passes_all_oracles_and_commits_multi_puts() {
+        let config = ShardedScheduleConfig {
+            base: ScheduleConfig {
+                horizon: 14,
+                intensity: 0.0,
+                ..ScheduleConfig::default()
+            },
+            multi_put_interval: 4,
+            ..ShardedScheduleConfig::default()
+        };
+        let schedule = ShardedFaultSchedule::generate(1, &config);
+        assert_eq!(schedule.total_events(), 0);
+        let report = run_sharded_schedule(&schedule, &config).unwrap();
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert!(report.outcome.completed > 0);
+        assert!(report.multi_puts.0 >= 2, "{:?}", report.multi_puts);
+        assert_eq!(report.trace.len(), 2);
+        // One record per step plus the settle record, per shard.
+        assert!(report.trace.iter().all(|t| t.len() == 15));
+    }
+
+    #[test]
+    fn same_seed_is_byte_identical() {
+        let config = quick_config();
+        let schedule = ShardedFaultSchedule::generate(11, &config);
+        let a = run_sharded_schedule(&schedule, &config).unwrap();
+        let b = run_sharded_schedule(&schedule, &config).unwrap();
+        let json_a = serde_json::to_string(&a.trace).unwrap();
+        let json_b = serde_json::to_string(&b.trace).unwrap();
+        assert_eq!(json_a, json_b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn per_shard_schedules_come_from_split_streams() {
+        let config = ShardedScheduleConfig {
+            shards: 3,
+            base: ScheduleConfig {
+                intensity: 0.8,
+                ..ScheduleConfig::default()
+            },
+            ..ShardedScheduleConfig::default()
+        };
+        let schedule = ShardedFaultSchedule::generate(5, &config);
+        assert_eq!(schedule.shards.len(), 3);
+        // Different shards draw different chaos from one fleet seed.
+        assert_ne!(schedule.shards[0].events, schedule.shards[1].events);
+        assert_eq!(schedule, ShardedFaultSchedule::generate(5, &config));
+    }
+
+    #[test]
+    fn injected_double_commit_in_one_shard_is_caught_shrunk_and_replayable() {
+        let config = ShardedScheduleConfig {
+            shards: 2,
+            base: ScheduleConfig {
+                horizon: 12,
+                intensity: 0.2,
+                inject_double_commit_at: Some(4),
+                ..ScheduleConfig::default()
+            },
+            multi_put_interval: 0,
+            ..ShardedScheduleConfig::default()
+        };
+        let schedule = ShardedFaultSchedule::generate(3, &config);
+        let counterexample = find_sharded_counterexample(&schedule, &config)
+            .unwrap()
+            .expect("the injected bug must be caught");
+        assert_eq!(counterexample.violation.kind, InvariantKind::Agreement);
+        assert!(counterexample.violation.detail.starts_with("shard "));
+        assert!(counterexample.schedule.total_events() <= schedule.total_events());
+        let json = counterexample.to_json().unwrap();
+        let back = ShardedCounterexample::from_json(&json).unwrap();
+        assert_eq!(back, counterexample);
+        let replayed = back.replay().unwrap().expect("replay must violate again");
+        assert_eq!(replayed.kind, InvariantKind::Agreement);
+    }
+
+    #[test]
+    fn sharded_scenarios_register_and_run() {
+        let mut registry = ScenarioRegistry::new();
+        register_sharded_scenarios(&mut registry);
+        for name in [
+            "sharded/chaos-2",
+            "sharded/chaos-4",
+            "sharded/multiput",
+            "sharded/fleet-controlled",
+        ] {
+            assert!(registry.contains(name), "missing {name}");
+            assert!(registry.is_deterministic(name), "{name} must replay");
+        }
+        let run = registry
+            .run("sharded/chaos-2", &crate::runtime::Runner::serial(), &[0])
+            .expect("the fleet run passes the oracle suite");
+        assert_eq!(run.reports.len(), 1);
+    }
+}

@@ -102,7 +102,7 @@ pub fn shrink_schedule(
 /// destructuring the parsed [`serde::Value`] tree, mirroring the shim's
 /// encoding conventions (structs → objects, unit enum variants → strings,
 /// data-carrying variants → single-key objects, `Option::None` → null).
-mod decode {
+pub(crate) mod decode {
     use super::Counterexample;
     use crate::error::{CoreError, Result};
     use crate::simnet::oracle::{InvariantKind, Violation};
@@ -112,11 +112,11 @@ mod decode {
     use serde::Value;
     use tolerance_consensus::{ByzantineMode, NetworkConfig, NodeId};
 
-    fn error(detail: impl Into<String>) -> CoreError {
+    pub(crate) fn error(detail: impl Into<String>) -> CoreError {
         CoreError::Solver(format!("decode counterexample: {}", detail.into()))
     }
 
-    fn field<'a>(value: &'a Value, name: &str) -> Result<&'a Value> {
+    pub(crate) fn field<'a>(value: &'a Value, name: &str) -> Result<&'a Value> {
         let Value::Object(entries) = value else {
             return Err(error(format!("expected an object with field `{name}`")));
         };
@@ -137,7 +137,7 @@ mod decode {
         entries.iter().find(|(key, _)| key == name).map(|(_, v)| v)
     }
 
-    fn as_u64(value: &Value) -> Result<u64> {
+    pub(crate) fn as_u64(value: &Value) -> Result<u64> {
         match value {
             Value::U64(n) => Ok(*n),
             Value::I64(n) if *n >= 0 => Ok(*n as u64),
@@ -149,7 +149,7 @@ mod decode {
         u32::try_from(as_u64(value)?).map_err(|_| error("integer out of u32 range"))
     }
 
-    fn as_usize(value: &Value) -> Result<usize> {
+    pub(crate) fn as_usize(value: &Value) -> Result<usize> {
         usize::try_from(as_u64(value)?).map_err(|_| error("integer out of usize range"))
     }
 
@@ -176,7 +176,7 @@ mod decode {
         }
     }
 
-    fn as_array(value: &Value) -> Result<&[Value]> {
+    pub(crate) fn as_array(value: &Value) -> Result<&[Value]> {
         match value {
             Value::Array(items) => Ok(items),
             _ => Err(error("expected an array")),
@@ -272,7 +272,7 @@ mod decode {
         })
     }
 
-    fn schedule(value: &Value) -> Result<FaultSchedule> {
+    pub(crate) fn schedule(value: &Value) -> Result<FaultSchedule> {
         let events = as_array(field(value, "events")?)?
             .iter()
             .map(|entry| {
@@ -302,7 +302,7 @@ mod decode {
         Ok(config)
     }
 
-    fn config(value: &Value) -> Result<ScheduleConfig> {
+    pub(crate) fn config(value: &Value) -> Result<ScheduleConfig> {
         let defaults = ScheduleConfig::default();
         Ok(ScheduleConfig {
             checkpoint_period: match opt_field(value, "checkpoint_period") {
@@ -334,13 +334,15 @@ mod decode {
         })
     }
 
-    fn violation(value: &Value) -> Result<Violation> {
+    pub(crate) fn violation(value: &Value) -> Result<Violation> {
         let kind = match as_str(field(value, "kind")?)? {
             "Agreement" => InvariantKind::Agreement,
             "Validity" => InvariantKind::Validity,
             "RecoveryBound" => InvariantKind::RecoveryBound,
             "NetworkAccounting" => InvariantKind::NetworkAccounting,
             "Liveness" => InvariantKind::Liveness,
+            "Routing" => InvariantKind::Routing,
+            "Atomicity" => InvariantKind::Atomicity,
             other => return Err(error(format!("unknown invariant `{other}`"))),
         };
         Ok(Violation {

@@ -60,8 +60,10 @@ pub fn heterogeneous_nodes_config() -> EmulationConfig {
 /// the non-paper workloads described in the module docs, the
 /// fault-injection scenarios of the simnet harness (`simnet/*`), so
 /// experiment sweeps treat fault intensity like any other grid axis, the
-/// service data-plane throughput workloads (`dataplane/*`: closed-loop
-/// batching comparison and open-loop Poisson arrival), and the closed-loop
+/// multi-shard fleet scenarios (`sharded/*`: per-shard chaos with the
+/// routing/atomicity oracles and the fleet control plane), the service
+/// data-plane throughput workloads (`dataplane/*`: closed-loop batching
+/// comparison and open-loop Poisson arrival), and the closed-loop
 /// control-plane scenarios (`controlled/*`: the live two-level loop on the
 /// threaded service plus its oracle-checked simnet twin).
 pub fn builtin_registry() -> ScenarioRegistry {
@@ -80,6 +82,7 @@ pub fn builtin_registry() -> ScenarioRegistry {
         heterogeneous_nodes_config(),
     );
     tolerance_core::simnet::register_simnet_scenarios(&mut registry);
+    tolerance_core::simnet::register_sharded_scenarios(&mut registry);
     crate::chaos::register_chaos_scenarios(&mut registry);
     tolerance_core::dataplane::register_dataplane_scenarios(&mut registry);
     tolerance_core::controlplane::register_controlled_scenarios(&mut registry);
@@ -105,7 +108,7 @@ mod tests {
     #[test]
     fn builtin_registry_contains_paper_novel_and_simnet_scenarios() {
         let registry = builtin_registry();
-        assert_eq!(registry.len(), 16);
+        assert_eq!(registry.len(), 20);
         for name in [
             "paper/tolerance",
             "paper/no-recovery",
@@ -117,6 +120,10 @@ mod tests {
             "simnet/chaos-heavy",
             "simnet/partition-churn",
             "simnet/attacker-campaign",
+            "sharded/chaos-2",
+            "sharded/chaos-4",
+            "sharded/multiput",
+            "sharded/fleet-controlled",
             "dataplane/closed-b1",
             "dataplane/closed-b16",
             "dataplane/open-poisson",
@@ -131,7 +138,8 @@ mod tests {
         assert!(!registry.is_deterministic("controlled/intrusion-burst"));
         assert!(!registry.is_deterministic("controlled/uncontrolled-baseline"));
         assert!(registry.is_deterministic("controlled/sim-intrusion-burst"));
-        assert_eq!(registry.deterministic_names().len(), 14);
+        assert!(registry.is_deterministic("sharded/chaos-2"));
+        assert_eq!(registry.deterministic_names().len(), 18);
     }
 
     #[test]

@@ -3,11 +3,14 @@
 //! stochastic over the whole admissible parameter range, the simplex LP
 //! solver returns feasible optima, metrics stay in range, threshold
 //! strategies respect the BTR constraint for arbitrary belief sequences,
-//! alpha-vector pruning preserves the value envelope, and the exact solver
+//! alpha-vector pruning preserves the value envelope, the exact solver
 //! agrees with the Bellman recursion computed through the belief update on
-//! random 3-state models.
+//! random 3-state models, and the sharded service plane's key partitioner
+//! covers every key exactly once, stays stable under shard-count-preserving
+//! reconfiguration and keeps the owned ranges balanced.
 
 use proptest::prelude::*;
+use tolerance::consensus::KeyPartitioner;
 use tolerance::core::node_model::{NodeAction, NodeModel, NodeParameters, NodeState};
 use tolerance::core::prelude::*;
 use tolerance::markov::dist::{BetaBinomial, DiscreteDistribution, PoissonBinomial};
@@ -392,5 +395,50 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&report.recovery_frequency));
         prop_assert!(report.time_to_recovery >= 0.0);
         prop_assert_eq!(report.steps, events.len() as u64);
+    }
+
+    #[test]
+    fn partitioner_owns_every_key_exactly_once(
+        shards in 1usize..12,
+        keys in proptest::collection::vec(0u32..u32::MAX, 1..200),
+    ) {
+        // Total coverage: every key maps to exactly one shard in range,
+        // and the mapping is a pure function of (key, shard count).
+        let partitioner = KeyPartitioner::new(shards);
+        for &key in &keys {
+            let owner = partitioner.owner(key);
+            prop_assert!(owner < shards, "key {key} owned by out-of-range shard {owner}");
+            prop_assert_eq!(owner, partitioner.owner(key));
+        }
+    }
+
+    #[test]
+    fn partitioner_is_stable_under_shard_count_preserving_reconfiguration(
+        shards in 1usize..12,
+        keys in proptest::collection::vec(0u32..u32::MAX, 1..200),
+    ) {
+        // Routing depends only on the shard count: JOIN/EVICT/recovery
+        // inside a shard (modelled by `reconfigured()`) never remaps keys.
+        let before = KeyPartitioner::new(shards);
+        let after = before.reconfigured();
+        for &key in &keys {
+            prop_assert_eq!(before.owner(key), after.owner(key));
+        }
+    }
+
+    #[test]
+    fn partitioner_assignment_is_balanced(shards in 1usize..64) {
+        // Balance: the owned hash ranges are contiguous, cover the whole
+        // 2^64 space, and differ in size by at most one point — so the
+        // max/min owned-range ratio is bounded (well under 2 for any
+        // realistic shard count).
+        let partitioner = KeyPartitioner::new(shards);
+        let ranges: Vec<u128> = (0..shards).map(|s| partitioner.owned_range(s)).collect();
+        let total: u128 = ranges.iter().sum();
+        prop_assert_eq!(total, 1u128 << 64);
+        let min = *ranges.iter().min().unwrap();
+        let max = *ranges.iter().max().unwrap();
+        prop_assert!(max - min <= 1, "ranges differ by {} points", max - min);
+        prop_assert!(max as f64 / min as f64 <= 1.0 + 1e-15);
     }
 }
