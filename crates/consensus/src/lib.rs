@@ -28,6 +28,13 @@
 //!   Byzantine fault injection and the BFT client (f+1 matching replies).
 //! * [`threaded`] — the same MinBFT replica code running as a real
 //!   concurrent service: one thread per replica over [`ThreadedTransport`].
+//! * [`wire`] — the length-prefixed binary wire codec: every
+//!   [`minbft::Message`] lowered through the vendored serde shim's `Value`
+//!   model and framed for the socket transport.
+//! * [`socket`] — the third [`Transport`] impl: real loopback/LAN TCP
+//!   sockets with per-connection I/O threads, bounded outbound queues and
+//!   reconnect-on-drop, so a cluster runs as N separate OS processes (see
+//!   the `minbft-node` binary).
 //! * [`sharded`] — the horizontally scaled service plane: a hash-range
 //!   [`KeyPartitioner`] routing keyed operations to S independent MinBFT
 //!   groups (simulated or threaded), plus the client-driven two-round
@@ -45,20 +52,25 @@ pub mod minbft;
 pub mod net;
 pub mod raft;
 pub mod sharded;
+pub mod socket;
 pub mod threaded;
 pub mod transport;
 pub mod usig;
+pub mod wire;
 pub mod workload;
 
 pub use minbft::{
     ByzantineMode, CommitRecord, ControlMessage, MinBftCluster, MinBftConfig, MinBftConfigError,
-    ThroughputReport,
+    ThroughputReport, CLIENT_ID_BASE,
 };
 pub use net::{NetworkConfig, NetworkConfigError, SimNetwork};
 pub use raft::{RaftCluster, RaftConfig};
 pub use sharded::{
     run_sharded_service, shard_seed, KeyPartitioner, ShardRouter, ShardedServiceConfig,
     ShardedServiceReport, ShardedSimConfig, ShardedSimService,
+};
+pub use socket::{
+    run_socket_service, SocketHandle, SocketReplicaNode, SocketStats, SocketTransport,
 };
 pub use threaded::{
     ClientDriver, ClientReport, MembershipView, ReplicaSnapshot, ThreadedCluster,

@@ -258,7 +258,7 @@ type ViewChangeVote = (u64, u64, Vec<PreparedCertificate>);
 /// control channel between a node's privileged domain and its replica
 /// (Section IV), which is why a Silent/compromised replica still processes
 /// them: recovery must reach a replica precisely when it misbehaves.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum ControlMessage {
     /// Node controller → its replica: rebuild the replica. The rebuild is
     /// **two-phase**: the replica first marks itself `pending_rebuild` and
@@ -293,7 +293,7 @@ pub enum ControlMessage {
 }
 
 /// Protocol messages (Fig. 17 of the paper, batched).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum Message {
     /// Client request, broadcast to all replicas.
     Request(Request),
@@ -490,6 +490,15 @@ pub struct MinBftConfig {
     /// per-message processing cost — a smaller window flushes every batch
     /// before it fills.
     pub batch_delay: f64,
+    /// PBFT-style high-watermark window: the maximum number of
+    /// proposed-but-unexecuted sequence numbers the leader keeps in flight
+    /// (`0` = unbounded, the pre-pipelining behaviour). With `W > 1` the
+    /// leader proposes up to `W` batches concurrently, so USIG signing
+    /// overlaps network round trips instead of serializing with them. The
+    /// stable checkpoint is the low watermark (compaction floor); because
+    /// execution is consecutive, proposals never run further than
+    /// `checkpoint_period + W` past it.
+    pub pipeline_window: usize,
     /// RNG seed for the network and the cluster.
     pub seed: u64,
 }
@@ -506,6 +515,7 @@ impl Default for MinBftConfig {
             checkpoint_period: 100,
             batch_size: 1,
             batch_delay: 0.005,
+            pipeline_window: 0,
             seed: 1,
         }
     }
@@ -623,6 +633,19 @@ pub(crate) struct ProtocolParams {
     pub batch_size: usize,
     /// Seconds a partial batch may age before it is flushed.
     pub batch_delay: f64,
+    /// Maximum proposed-but-unexecuted sequences in flight (0 = unbounded).
+    pub pipeline_window: usize,
+}
+
+/// Whether the leader's proposal window is open: with pipelining enabled
+/// (`pipeline_window > 0`) at most `pipeline_window` sequences may be
+/// proposed beyond the execution frontier. In-flight count is
+/// `next_sequence - 1 - last_executed`, so the window is open while
+/// `next_sequence <= last_executed + W`. Always open when the knob is 0
+/// (the legacy unbounded pipeline).
+pub(crate) fn window_open(replica: &Replica, params: &ProtocolParams) -> bool {
+    params.pipeline_window == 0
+        || replica.next_sequence <= replica.last_executed + params.pipeline_window as u64
 }
 
 /// Messages produced by one replica step, plus the number of USIG
@@ -1103,9 +1126,14 @@ fn propose_batch(replica: &mut Replica, requests: Vec<Request>, out: &mut StepOu
     });
 }
 
-/// Proposes every full batch the leader has accumulated.
+/// Proposes every full batch the leader has accumulated, stopping when the
+/// pipeline window closes (the remainder stays parked in `pending` until
+/// executions re-open the window).
 fn flush_full_batches(replica: &mut Replica, params: &ProtocolParams, out: &mut StepOutput) {
-    while replica.may_lead() && replica.pending.len() >= params.batch_size.max(1) {
+    while replica.may_lead()
+        && window_open(replica, params)
+        && replica.pending.len() >= params.batch_size.max(1)
+    {
         let batch: Vec<Request> = replica.pending.drain(..params.batch_size.max(1)).collect();
         propose_batch(replica, batch, out);
     }
@@ -1135,7 +1163,7 @@ pub(crate) fn flush_stale_batch(
     if oldest.is_finite() && now < oldest + params.batch_delay {
         return;
     }
-    while !replica.pending.is_empty() {
+    while !replica.pending.is_empty() && window_open(replica, params) {
         let take = replica.pending.len().min(params.batch_size.max(1));
         let batch: Vec<Request> = replica.pending.drain(..take).collect();
         propose_batch(replica, batch, out);
@@ -1149,11 +1177,16 @@ fn batch_flush_deadline(
     params: &ProtocolParams,
     now: SimTime,
 ) -> Option<SimTime> {
+    // A closed window must return `None`: the parked batch cannot flush
+    // until executions advance the frontier, and handing the event loop a
+    // deadline that never becomes actionable would spin the clock on the
+    // same timer forever (deliveries, not timers, re-open the window).
     if params.batch_size <= 1
         || replica.crashed
         || replica.byzantine == ByzantineMode::Silent
         || !replica.may_lead()
         || replica.pending.is_empty()
+        || !window_open(replica, params)
     {
         return None;
     }
@@ -1237,9 +1270,13 @@ fn handle_request(
     }
     replica.request_first_seen.entry(key).or_insert(time);
     if replica.may_lead() {
-        if params.batch_size <= 1 {
+        if params.batch_size <= 1 && params.pipeline_window == 0 {
+            // Legacy unbatched path: propose immediately, bypassing the
+            // queue (kept bit-for-bit so existing seeds replay unchanged).
             propose_batch(replica, vec![request], out);
         } else {
+            // Batched and/or pipelined: park in FIFO order and drain as far
+            // as the batch-fill condition and the window allow.
             if !replica.pending.contains(&request) {
                 replica.pending.push_back(request);
             }
@@ -1643,7 +1680,13 @@ pub(crate) fn replica_on_message(
                             });
                         }
                         // Re-propose requests the old leader never
-                        // sequenced, in batch-sized chunks.
+                        // sequenced, in batch-sized chunks. (The
+                        // certificate refill above is deliberately *not*
+                        // window-gated: it re-issues sequences that may
+                        // already hold commit votes elsewhere, and stalling
+                        // it would wedge the view change. Fresh backlog
+                        // proposals respect the window; the remainder stays
+                        // parked until executions re-open it.)
                         let backlog: Vec<Request> = {
                             let seen = &replica.seen_requests;
                             let drained: Vec<Request> = replica.pending.drain(..).collect();
@@ -1652,9 +1695,16 @@ pub(crate) fn replica_on_message(
                                 .filter(|r| !seen.contains(&(r.client, r.id)))
                                 .collect()
                         };
-                        for chunk in backlog.chunks(params.batch_size.max(1)) {
-                            propose_batch(replica, chunk.to_vec(), out);
+                        let mut backlog = backlog.into_iter();
+                        while window_open(replica, params) {
+                            let chunk: Vec<Request> =
+                                backlog.by_ref().take(params.batch_size.max(1)).collect();
+                            if chunk.is_empty() {
+                                break;
+                            }
+                            propose_batch(replica, chunk, out);
                         }
+                        replica.pending.extend(backlog);
                     }
                 }
             }
@@ -1799,6 +1849,16 @@ pub(crate) fn replica_on_message(
         },
         Message::Reply { .. } => {}
     }
+    // Deliveries are what re-open a closed pipeline window (commits advance
+    // `last_executed` through `execute_ready`), so a pipelined leader drains
+    // its parked backlog here instead of waiting for a timer. No-op when the
+    // window is still closed, the backlog is short of a full batch (the
+    // stale-batch timer covers partials), or this replica does not lead;
+    // skipped entirely at `pipeline_window == 0` so legacy traces replay
+    // byte-identically.
+    if params.pipeline_window > 0 {
+        flush_full_batches(replica, params, out);
+    }
 }
 
 #[derive(Debug)]
@@ -1872,7 +1932,9 @@ pub struct MinBftCluster {
 }
 
 /// Client node identifiers start here to keep them disjoint from replicas.
-pub(crate) const CLIENT_ID_BASE: NodeId = 10_000;
+/// Public because out-of-process clients (the `minbft-node` orchestrator)
+/// must register the same identities the in-process drivers use.
+pub const CLIENT_ID_BASE: NodeId = 10_000;
 
 impl MinBftCluster {
     /// Creates a cluster with `config.initial_replicas` replicas and no
@@ -1926,6 +1988,7 @@ impl MinBftCluster {
             checkpoint_period: self.config.checkpoint_period,
             batch_size: self.config.batch_size.max(1),
             batch_delay: self.config.batch_delay,
+            pipeline_window: self.config.pipeline_window,
         }
     }
 
@@ -3467,5 +3530,162 @@ mod tests {
         // n = 6, k = 1 => f = 2.
         assert_eq!(cluster.fault_threshold(), 2);
         assert_eq!(cluster.num_replicas(), 6);
+    }
+
+    /// Runs one burst of single-operation clients to completion and returns
+    /// the simulated finish time.
+    fn pipelined_burst_finish_time(pipeline_window: usize, clients: usize) -> f64 {
+        let mut cluster = MinBftCluster::new(MinBftConfig {
+            initial_replicas: 4,
+            pipeline_window,
+            // Nonzero USIG signing cost, but latency-dominated: a serial
+            // window pays sign + a full commit round trip per sequence,
+            // while a wider window keeps W sequences in flight so the
+            // signing and the round trips overlap. (When per-message
+            // verification dominates instead, every replica's CPU is the
+            // bottleneck and no window setting helps — that regime is the
+            // reason the default stays unbounded.)
+            signature_time: 0.0005,
+            processing_time: 0.0001,
+            network: NetworkConfig {
+                latency: 0.01,
+                jitter: 0.0,
+                loss_rate: 0.0,
+            },
+            request_timeout: 5.0,
+            ..MinBftConfig::default()
+        });
+        let client_ids: Vec<NodeId> = (0..clients).map(|_| cluster.add_client()).collect();
+        for &c in &client_ids {
+            cluster.submit(c, Operation::Write(7));
+        }
+        cluster.run_until_quiet(60.0);
+        for &c in &client_ids {
+            assert_eq!(cluster.completed_requests(c), 1, "burst must complete");
+        }
+        assert!(cluster.logs_are_consistent());
+        assert_eq!(cluster.view_changes(), 0, "no spurious view changes");
+        cluster.now()
+    }
+
+    #[test]
+    fn pipelined_window_beats_serial_at_nonzero_signature_time() {
+        // The tentpole perf claim, checked deterministically in simulation:
+        // with pipeline_window = 1 each sequence pays sign + 2 network hops
+        // serially; with a wider window the leader keeps W sequences in
+        // flight and the signing overlaps the round trips.
+        let serial = pipelined_burst_finish_time(1, 12);
+        let pipelined = pipelined_burst_finish_time(4, 12);
+        assert!(
+            pipelined * 1.5 <= serial,
+            "window=4 must beat window=1 by >= 1.5x: serial {serial:.4}s, \
+             pipelined {pipelined:.4}s"
+        );
+        // And the unbounded legacy window is no slower than W = 4.
+        let unbounded = pipelined_burst_finish_time(0, 12);
+        assert!(
+            unbounded <= serial,
+            "window=0 (unbounded) must not be slower than serial"
+        );
+    }
+
+    #[test]
+    fn view_change_recovers_multiple_uncommitted_in_flight_sequences() {
+        // Pipelining changes the view-change obligation: the new leader may
+        // inherit several uncommitted sequences at once (up to W), and must
+        // re-propose every prepared certificate plus the parked backlog.
+        let mut cluster = MinBftCluster::new(MinBftConfig {
+            initial_replicas: 4,
+            pipeline_window: 4,
+            network: NetworkConfig {
+                latency: 0.002,
+                jitter: 0.0,
+                loss_rate: 0.0,
+            },
+            request_timeout: 0.5,
+            ..MinBftConfig::default()
+        });
+        let clients: Vec<NodeId> = (0..6).map(|_| cluster.add_client()).collect();
+        // Warm up: one committed sequence so every replica has state.
+        cluster.submit(clients[0], Operation::Write(1));
+        cluster.run_until_quiet(5.0);
+        assert_eq!(cluster.completed_requests(clients[0]), 1);
+
+        // Burst of 6 requests into a window of 4: the leader proposes 4
+        // concurrently and parks 2, then crashes before anything commits.
+        for &c in &clients {
+            cluster.submit(c, Operation::Write(2));
+        }
+        // Past the client->replica hop (2 ms), inside the commit round.
+        cluster.run_until(cluster.now() + 0.0035);
+        cluster.crash_replica(0);
+        cluster.run_until(cluster.now() + 3.0);
+        cluster.run_until_quiet(60.0);
+
+        assert!(cluster.view_changes() > 0, "followers must vote a new view");
+        for &c in &clients {
+            assert_eq!(
+                cluster.completed_requests(c),
+                if c == clients[0] { 2 } else { 1 },
+                "every in-flight request must complete under the new leader"
+            );
+        }
+        for &r in &[1, 2, 3] {
+            assert_eq!(cluster.replica_value(r), Some(2));
+        }
+        assert!(cluster.logs_are_consistent());
+    }
+
+    #[test]
+    fn watermark_bounds_retained_state_with_a_lagging_replica() {
+        // Satellite regression: with pipeline_window = W the retained
+        // prepared/commit-vote state must stay O(W + checkpoint_period)
+        // even when one replica lags (Silent: it neither executes nor
+        // votes, so checkpoints stabilize on the f+1 live quorum and the
+        // watermark — not the laggard — bounds the leader's in-flight
+        // state.
+        let period = 8u64;
+        let window = 4usize;
+        let mut cluster = MinBftCluster::new(MinBftConfig {
+            initial_replicas: 4,
+            checkpoint_period: period,
+            pipeline_window: window,
+            network: NetworkConfig {
+                latency: 0.002,
+                jitter: 0.001,
+                loss_rate: 0.0,
+            },
+            ..MinBftConfig::default()
+        });
+        cluster.set_byzantine(3, ByzantineMode::Silent);
+        let clients: Vec<NodeId> = (0..3).map(|_| cluster.add_client()).collect();
+        for &c in &clients {
+            cluster.clients.get_mut(&c).unwrap().closed_loop = true;
+            cluster.submit(c, Operation::Write(1));
+        }
+        cluster.run_until(30.0);
+        let total = cluster.executed_len(0).unwrap();
+        assert!(total > 6 * period, "run too short to compact: {total}");
+        let bound = 2 * (period as usize + window);
+        for &r in &[0, 1, 2] {
+            let stats = cluster.retained_stats(r).unwrap();
+            assert!(stats.log_start > 0, "replica {r} never compacted");
+            assert!(
+                stats.retained_log < bound,
+                "replica {r} retained log {} >= {bound}",
+                stats.retained_log
+            );
+            assert!(
+                stats.prepared < bound,
+                "replica {r} prepared {} >= {bound}",
+                stats.prepared
+            );
+            assert!(
+                stats.commit_votes < bound,
+                "replica {r} commit votes {} >= {bound}",
+                stats.commit_votes
+            );
+        }
+        assert!(cluster.logs_are_consistent());
     }
 }

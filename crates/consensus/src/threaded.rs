@@ -34,7 +34,7 @@ use crate::minbft::{
     flush_stale_batch, replica_on_message, stall_vote, CommitRecord, ControlMessage, Message,
     ProtocolParams, Replica, Request, StepOutput, CLIENT_ID_BASE,
 };
-use crate::transport::{ThreadedTransport, Transport, TransportHandle, TransportStats};
+use crate::transport::{ThreadedTransport, Transport, TransportHandle, TransportStats, WallClock};
 use crate::workload::OpStream;
 use crate::{hybrid_fault_threshold, ByzantineMode, NodeId};
 use std::collections::{HashMap, HashSet};
@@ -69,6 +69,15 @@ pub struct ThreadedServiceConfig {
     pub request_timeout: f64,
     /// Capacity of each replica's mailbox (bounded channel).
     pub channel_capacity: usize,
+    /// Maximum proposed-but-unexecuted sequences the leader keeps in flight
+    /// (see [`crate::MinBftConfig::pipeline_window`]; `0` = unbounded).
+    pub pipeline_window: usize,
+    /// Wall-clock seconds each created USIG signature costs the replica
+    /// thread (modelled as a sleep after the step that created it, before
+    /// its output is flushed — the paper's RSA signing latency). `0.0`
+    /// disables the model. This is what pipelining overlaps with network
+    /// round trips: a serial leader pays it once per in-flight batch.
+    pub signature_time: f64,
     /// Wall-clock duration of the run in seconds.
     pub duration: f64,
     /// Key-space size of the generated operations (0 = register ops).
@@ -89,6 +98,8 @@ impl Default for ThreadedServiceConfig {
             checkpoint_period: 100,
             request_timeout: 2.0,
             channel_capacity: 4096,
+            pipeline_window: 0,
+            signature_time: 0.0,
             duration: 0.5,
             key_space: 64,
             write_ratio: 0.5,
@@ -157,15 +168,27 @@ struct Worker {
 /// one lost broadcast must not strand the recovery.
 const STATE_PULL_RETRY: f64 = 0.05;
 
-#[allow(clippy::too_many_arguments)] // private thread entry point: the
+/// Models the wall-clock cost of the USIG signatures one step created: the
+/// replica thread sleeps before flushing the step's output, exactly like a
+/// signing device would delay the sends. With a pipelined leader the sleeps
+/// of successive in-flight batches overlap the peers' round trips; a serial
+/// leader pays them end-to-end.
+fn pay_signature_cost(signature_time: f64, created_uis: u32) {
+    if signature_time > 0.0 && created_uis > 0 {
+        std::thread::sleep(Duration::from_secs_f64(signature_time * created_uis as f64));
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // crate-private thread entry point: the
                                      // arguments are exactly the thread's owned endpoints, not a config bag.
-fn replica_main(
+pub(crate) fn replica_main<T: Transport<Message> + WallClock>(
     mut replica: Replica,
     mailbox: Receiver<crate::net::Delivery<Message>>,
     control_rx: Receiver<ControlMessage>,
-    mut transport: TransportHandle<Message>,
+    mut transport: T,
     params: ProtocolParams,
     request_timeout: f64,
+    signature_time: f64,
     stop: Arc<AtomicBool>,
     kill: Arc<AtomicBool>,
 ) -> ReplicaSnapshot {
@@ -191,6 +214,7 @@ fn replica_main(
             if replica.needs_state || replica.pending_rebuild {
                 last_state_pull = transport.now();
             }
+            pay_signature_cost(signature_time, out.created_uis);
             out.flush(&mut transport, from, &replica.membership);
             trace.clear();
         }
@@ -217,6 +241,7 @@ fn replica_main(
                         &mut trace,
                         &mut out,
                     );
+                    pay_signature_cost(signature_time, out.created_uis);
                     out.flush(&mut transport, from, &replica.membership);
                     // The commit trace is a simulation-harness hook;
                     // nothing reads it here, and letting it accumulate
@@ -238,6 +263,7 @@ fn replica_main(
                 if let Some(vote) = stall_vote(&mut replica, now, request_timeout) {
                     out.broadcast.push(vote);
                 }
+                pay_signature_cost(signature_time, out.created_uis);
                 out.flush(&mut transport, from, &replica.membership);
             }
             Err(RecvTimeoutError::Disconnected) => break,
@@ -279,6 +305,16 @@ pub struct MembershipView {
 }
 
 impl MembershipView {
+    /// A view over a membership that is fixed for the lifetime of the run
+    /// (no reconfiguration source) — the multi-process socket client uses
+    /// this, as remote reconfigurations reach it through PEER updates, not
+    /// through a shared lock.
+    pub fn fixed(members: Vec<NodeId>) -> Self {
+        MembershipView {
+            inner: Arc::new(RwLock::new(members)),
+        }
+    }
+
     /// The current membership.
     pub fn current(&self) -> Vec<NodeId> {
         self.inner.read().expect("membership lock").clone()
@@ -326,6 +362,7 @@ impl ThreadedCluster {
             checkpoint_period: config.checkpoint_period,
             batch_size: config.batch_size.max(1),
             batch_delay: config.batch_delay,
+            pipeline_window: config.pipeline_window,
         };
         let hub: ThreadedTransport<Message> = ThreadedTransport::new(config.channel_capacity);
         let control = hub.handle();
@@ -360,6 +397,7 @@ impl ThreadedCluster {
         let transport = self.hub.handle();
         let params = self.params;
         let request_timeout = self.config.request_timeout;
+        let signature_time = self.config.signature_time;
         let stop = Arc::clone(&self.stop);
         let kill = Arc::new(AtomicBool::new(false));
         let kill_clone = Arc::clone(&kill);
@@ -375,6 +413,7 @@ impl ThreadedCluster {
                 transport,
                 params,
                 request_timeout,
+                signature_time,
                 stop,
                 kill_clone,
             )
@@ -602,12 +641,14 @@ impl ClientReport {
 /// The closed-loop client population of the threaded service, movable into
 /// its own thread so a control loop can run beside it. Reads the membership
 /// through a [`MembershipView`], so reconfigurations take effect on the
-/// next submission.
-pub struct ClientDriver {
+/// next submission. Generic over the transport (defaulting to the
+/// in-process channel hub), so the same driver plays the client population
+/// over TCP sockets (see [`crate::socket`]).
+pub struct ClientDriver<T = TransportHandle<Message>> {
     clients: HashMap<NodeId, DriverClient>,
     client_order: Vec<NodeId>,
     mailbox: Receiver<crate::net::Delivery<Message>>,
-    transport: TransportHandle<Message>,
+    transport: T,
     membership: MembershipView,
     request_timeout: f64,
 }
@@ -672,6 +713,57 @@ impl ClientDriver {
             transport: cluster.handle(),
             membership: cluster.membership_view(),
             request_timeout: config.request_timeout,
+        }
+    }
+}
+
+impl<T: Transport<Message> + WallClock> ClientDriver<T> {
+    /// Builds a driver directly over a transport endpoint: `mailbox` is the
+    /// shared receive side all `streams.len()` client identities were
+    /// registered onto, and `membership` names the replicas requests go to.
+    /// This is the constructor the socket service plane uses — the cluster
+    /// lives in other processes, so there is no [`ThreadedCluster`] to hand
+    /// over.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no stream is provided.
+    pub fn over_transport(
+        transport: T,
+        mailbox: Receiver<crate::net::Delivery<Message>>,
+        membership: MembershipView,
+        streams: Vec<OpStream>,
+        request_timeout: f64,
+    ) -> Self {
+        assert!(!streams.is_empty(), "the driver needs at least one client");
+        let client_ids: Vec<NodeId> = (0..streams.len())
+            .map(|i| CLIENT_ID_BASE + i as NodeId)
+            .collect();
+        let drivers: HashMap<NodeId, DriverClient> = client_ids
+            .iter()
+            .zip(streams)
+            .map(|(&id, stream)| {
+                (
+                    id,
+                    DriverClient {
+                        id,
+                        next_request_id: 0,
+                        outstanding: None,
+                        completed: 0,
+                        latencies: Vec::new(),
+                        completed_digests: Vec::new(),
+                        stream,
+                    },
+                )
+            })
+            .collect();
+        ClientDriver {
+            clients: drivers,
+            client_order: client_ids,
+            mailbox,
+            transport,
+            membership,
+            request_timeout,
         }
     }
 

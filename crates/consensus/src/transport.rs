@@ -52,6 +52,21 @@ pub trait Transport<M> {
     }
 }
 
+/// The shared time base a concurrent transport stamps on deliveries:
+/// wall-clock seconds since the transport hub was created. The replica and
+/// client loops are generic over this (plus [`Transport`]), so the same
+/// event loop runs over in-process channels and over TCP sockets.
+pub trait WallClock {
+    /// Seconds since the transport's epoch.
+    fn now(&self) -> f64;
+}
+
+impl<M> WallClock for TransportHandle<M> {
+    fn now(&self) -> f64 {
+        TransportHandle::now(self)
+    }
+}
+
 /// Counters describing the traffic a [`ThreadedTransport`] has carried.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct TransportStats {

@@ -1,0 +1,986 @@
+//! Length-prefixed binary wire codec for [`Message`] frames.
+//!
+//! The socket transport ([`crate::socket`]) serializes every protocol
+//! message through the vendored serde shim: the derived
+//! [`serde::Serialize`] impl lowers a [`Message`] into the shim's
+//! [`Value`] data model, and this module encodes that tree as compact
+//! little-endian binary. Decoding reverses both steps — a hand-written
+//! `Value` parser (the shim deliberately ships no deserializer) followed by
+//! a typed `Value → Message` mapper for every variant. Round-tripping is
+//! byte-exact: `encode(decode(bytes)) == bytes` for every valid frame (see
+//! the property tests in `tests/properties.rs`).
+//!
+//! # Wire format
+//!
+//! A frame is:
+//!
+//! ```text
+//! ┌────────────┬───────────┬───────────┬──────────────────────┐
+//! │ len: u32   │ from: u32 │ to: u32   │ payload (len-8 bytes)│
+//! └────────────┴───────────┴───────────┴──────────────────────┘
+//! ```
+//!
+//! `len` counts everything after itself (`from`, `to` and the payload), all
+//! integers are little-endian, and the payload is one encoded `Value` tree:
+//!
+//! | tag | value    | encoding                                            |
+//! |-----|----------|-----------------------------------------------------|
+//! | 0   | `Null`   | —                                                   |
+//! | 1   | `Bool`   | 1 byte (0/1)                                        |
+//! | 2   | `U64`    | 8 bytes LE                                          |
+//! | 3   | `I64`    | 8 bytes LE (two's complement)                       |
+//! | 4   | `F64`    | 8 bytes LE (IEEE-754 bits)                          |
+//! | 5   | `Str`    | u32 length + UTF-8 bytes                            |
+//! | 6   | `Array`  | u32 count + encoded elements                        |
+//! | 7   | `Object` | u32 count + (u32 key length + key + value) entries  |
+//!
+//! # Robustness
+//!
+//! Malformed input **errors, never panics, never allocates unboundedly**: a
+//! length prefix is rejected above [`MAX_FRAME_LEN`] before any payload is
+//! read, every collection count is validated against the bytes actually
+//! remaining before capacity is reserved, nesting is capped at a fixed
+//! depth (the decoder is recursive), and trailing bytes after a complete
+//! value are an error. The socket transport drops the connection on the
+//! first [`WireError`] from a peer.
+
+use crate::crypto::{Digest, Signature};
+use crate::minbft::{
+    ByzantineMode, ControlMessage, Message, Operation, PreparedCertificate, Request,
+};
+use crate::usig::UniqueIdentifier;
+use crate::NodeId;
+use serde::{Serialize, Value};
+
+/// Hard ceiling on the post-length-prefix size of one frame (16 MiB):
+/// larger prefixes are rejected before any allocation. State transfers are
+/// the largest legitimate frames and stay far below this (compaction bounds
+/// the retained log).
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Bytes of the frame header: the `len` prefix plus `from` and `to`.
+pub const FRAME_HEADER_LEN: usize = 12;
+
+/// Maximum `Value` nesting the decoder accepts. Protocol messages nest a
+/// handful of levels (message → field object → array of tuples → ints); the
+/// cap exists so adversarial input like `[[[[…` cannot overflow the
+/// decoder's recursion.
+const MAX_DEPTH: usize = 32;
+
+/// A malformed frame or payload. Every variant is a protocol violation by
+/// the peer; the connection that produced it is dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the announced structure was complete.
+    Truncated,
+    /// A complete value was decoded but input bytes remain.
+    TrailingBytes,
+    /// The length prefix exceeds [`MAX_FRAME_LEN`].
+    FrameTooLarge {
+        /// The announced frame length.
+        len: u64,
+    },
+    /// The length prefix is shorter than the `from`/`to` header it must
+    /// cover.
+    FrameTooShort {
+        /// The announced frame length.
+        len: u64,
+    },
+    /// An unknown `Value` tag byte.
+    UnknownTag {
+        /// The rejected tag.
+        tag: u8,
+    },
+    /// Value nesting exceeds the decoder's fixed depth cap.
+    TooDeep,
+    /// A string's bytes are not valid UTF-8.
+    BadUtf8,
+    /// The payload decoded into a `Value` tree that does not describe any
+    /// protocol message (unknown variant, missing field, wrong type, or an
+    /// integer out of range for its field).
+    Malformed {
+        /// Which mapping step rejected the tree.
+        context: &'static str,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after value"),
+            WireError::FrameTooLarge { len } => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap")
+            }
+            WireError::FrameTooShort { len } => {
+                write!(f, "frame length {len} cannot cover the from/to header")
+            }
+            WireError::UnknownTag { tag } => write!(f, "unknown value tag {tag}"),
+            WireError::TooDeep => write!(f, "value nesting exceeds {MAX_DEPTH}"),
+            WireError::BadUtf8 => write!(f, "string is not valid UTF-8"),
+            WireError::Malformed { context } => write!(f, "malformed message: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn put_u32(buf: &mut Vec<u8>, value: u32) {
+    buf.extend_from_slice(&value.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    // Strings on this wire are variant and field names: short ASCII
+    // identifiers, so the u32 length never saturates.
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn encode_value(value: &Value, buf: &mut Vec<u8>) {
+    match value {
+        Value::Null => buf.push(0),
+        Value::Bool(b) => {
+            buf.push(1);
+            buf.push(u8::from(*b));
+        }
+        Value::U64(v) => {
+            buf.push(2);
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        Value::I64(v) => {
+            buf.push(3);
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        Value::F64(v) => {
+            buf.push(4);
+            buf.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            buf.push(5);
+            put_str(buf, s);
+        }
+        Value::Array(items) => {
+            buf.push(6);
+            put_u32(buf, items.len() as u32);
+            for item in items {
+                encode_value(item, buf);
+            }
+        }
+        Value::Object(entries) => {
+            buf.push(7);
+            put_u32(buf, entries.len() as u32);
+            for (key, entry) in entries {
+                put_str(buf, key);
+                encode_value(entry, buf);
+            }
+        }
+    }
+}
+
+/// Bounds-checked reader over one frame payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if n > self.remaining() {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        // `take` rejects lengths beyond the input, so the allocation below
+        // is bounded by the frame size.
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    /// Reads a collection count and validates it against the bytes left:
+    /// every element occupies at least `min_element_len` bytes, so a count
+    /// that cannot possibly fit is rejected *before* any capacity is
+    /// reserved (an adversarial `u32::MAX` count must not allocate).
+    fn count(&mut self, min_element_len: usize) -> Result<usize, WireError> {
+        let count = self.u32()? as usize;
+        if count.saturating_mul(min_element_len) > self.remaining() {
+            return Err(WireError::Truncated);
+        }
+        Ok(count)
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, WireError> {
+        if depth >= MAX_DEPTH {
+            return Err(WireError::TooDeep);
+        }
+        match self.u8()? {
+            0 => Ok(Value::Null),
+            1 => Ok(Value::Bool(self.u8()? != 0)),
+            2 => Ok(Value::U64(self.u64()?)),
+            3 => Ok(Value::I64(self.u64()? as i64)),
+            4 => Ok(Value::F64(f64::from_bits(self.u64()?))),
+            5 => Ok(Value::Str(self.string()?)),
+            6 => {
+                // Each element is at least a 1-byte tag.
+                let count = self.count(1)?;
+                let mut items = Vec::with_capacity(count);
+                for _ in 0..count {
+                    items.push(self.value(depth + 1)?);
+                }
+                Ok(Value::Array(items))
+            }
+            7 => {
+                // Each entry is at least a 4-byte key length plus a 1-byte
+                // value tag.
+                let count = self.count(5)?;
+                let mut entries = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let key = self.string()?;
+                    let entry = self.value(depth + 1)?;
+                    entries.push((key, entry));
+                }
+                Ok(Value::Object(entries))
+            }
+            tag => Err(WireError::UnknownTag { tag }),
+        }
+    }
+}
+
+/// Encodes one `Value` tree as this module's binary format.
+pub fn encode_value_bytes(value: &Value) -> Vec<u8> {
+    let mut buf = Vec::new();
+    encode_value(value, &mut buf);
+    buf
+}
+
+/// Decodes one `Value` tree, requiring the input to be fully consumed.
+///
+/// # Errors
+///
+/// Any [`WireError`] the bounds-checked decoder hits.
+pub fn decode_value_bytes(bytes: &[u8]) -> Result<Value, WireError> {
+    let mut cursor = Cursor { buf: bytes, pos: 0 };
+    let value = cursor.value(0)?;
+    if cursor.remaining() != 0 {
+        return Err(WireError::TrailingBytes);
+    }
+    Ok(value)
+}
+
+/// Encodes a message payload (no frame header): the derived `Serialize`
+/// lowering followed by the binary `Value` encoding.
+pub fn encode_message(message: &Message) -> Vec<u8> {
+    encode_value_bytes(&message.to_value())
+}
+
+/// Decodes a message payload produced by [`encode_message`].
+///
+/// # Errors
+///
+/// Any [`WireError`]: malformed binary, or a `Value` tree that does not
+/// describe a protocol message.
+pub fn decode_message(bytes: &[u8]) -> Result<Message, WireError> {
+    message_from_value(&decode_value_bytes(bytes)?)
+}
+
+/// Encodes a full frame: length prefix, sender, recipient, payload.
+pub fn encode_frame(from: NodeId, to: NodeId, message: &Message) -> Vec<u8> {
+    let payload = encode_message(message);
+    let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    put_u32(&mut frame, (8 + payload.len()) as u32);
+    put_u32(&mut frame, from);
+    put_u32(&mut frame, to);
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Validates a frame's length prefix and returns the body size to read
+/// (everything after the prefix: `from`, `to` and the payload).
+///
+/// # Errors
+///
+/// [`WireError::FrameTooShort`] when the length cannot cover the 8-byte
+/// `from`/`to` header, [`WireError::FrameTooLarge`] beyond [`MAX_FRAME_LEN`].
+pub fn frame_body_len(prefix: [u8; 4]) -> Result<usize, WireError> {
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len < 8 {
+        return Err(WireError::FrameTooShort { len: len as u64 });
+    }
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::FrameTooLarge { len: len as u64 });
+    }
+    Ok(len)
+}
+
+/// Decodes a frame body (the bytes [`frame_body_len`] asked for) into
+/// `(from, to, message)`.
+///
+/// # Errors
+///
+/// Any [`WireError`] from the payload decoder.
+pub fn decode_frame_body(body: &[u8]) -> Result<(NodeId, NodeId, Message), WireError> {
+    if body.len() < 8 {
+        return Err(WireError::Truncated);
+    }
+    let from = u32::from_le_bytes(body[0..4].try_into().expect("4 bytes"));
+    let to = u32::from_le_bytes(body[4..8].try_into().expect("4 bytes"));
+    let message = decode_message(&body[8..])?;
+    Ok((from, to, message))
+}
+
+// ---------------------------------------------------------------------------
+// Value → Message mapping (the deserializer the serde shim does not ship).
+// ---------------------------------------------------------------------------
+
+fn malformed<T>(context: &'static str) -> Result<T, WireError> {
+    Err(WireError::Malformed { context })
+}
+
+fn as_obj<'a>(value: &'a Value, context: &'static str) -> Result<&'a [(String, Value)], WireError> {
+    match value {
+        Value::Object(entries) => Ok(entries),
+        _ => malformed(context),
+    }
+}
+
+fn as_array<'a>(value: &'a Value, context: &'static str) -> Result<&'a [Value], WireError> {
+    match value {
+        Value::Array(items) => Ok(items),
+        _ => malformed(context),
+    }
+}
+
+fn as_u64(value: &Value, context: &'static str) -> Result<u64, WireError> {
+    match value {
+        Value::U64(v) => Ok(*v),
+        _ => malformed(context),
+    }
+}
+
+fn as_u32(value: &Value, context: &'static str) -> Result<u32, WireError> {
+    u32::try_from(as_u64(value, context)?).or(Err(WireError::Malformed { context }))
+}
+
+fn field<'a>(
+    entries: &'a [(String, Value)],
+    name: &str,
+    context: &'static str,
+) -> Result<&'a Value, WireError> {
+    entries
+        .iter()
+        .find_map(|(key, value)| (key == name).then_some(value))
+        .ok_or(WireError::Malformed { context })
+}
+
+/// The single `variant name → inner value` entry the derive emits for
+/// data-carrying enum variants; unit variants lower to a plain string.
+enum VariantValue<'a> {
+    Unit(&'a str),
+    Data(&'a str, &'a Value),
+}
+
+fn variant_of<'a>(value: &'a Value, context: &'static str) -> Result<VariantValue<'a>, WireError> {
+    match value {
+        Value::Str(name) => Ok(VariantValue::Unit(name)),
+        Value::Object(entries) => match entries.as_slice() {
+            [(name, inner)] => Ok(VariantValue::Data(name, inner)),
+            _ => malformed(context),
+        },
+        _ => malformed(context),
+    }
+}
+
+fn vec_of<T>(
+    value: &Value,
+    context: &'static str,
+    element: impl Fn(&Value) -> Result<T, WireError>,
+) -> Result<Vec<T>, WireError> {
+    as_array(value, context)?.iter().map(element).collect()
+}
+
+fn tuple_of<'a, const N: usize>(
+    value: &'a Value,
+    context: &'static str,
+) -> Result<&'a [Value; N], WireError> {
+    as_array(value, context)?
+        .try_into()
+        .or(Err(WireError::Malformed { context }))
+}
+
+fn digest_from_value(value: &Value) -> Result<Digest, WireError> {
+    // `Digest` is a one-field tuple struct: the derive lowers it to its
+    // inner `u64` directly.
+    Ok(Digest(as_u64(value, "digest")?))
+}
+
+fn signature_from_value(value: &Value) -> Result<Signature, WireError> {
+    let entries = as_obj(value, "signature")?;
+    Ok(Signature {
+        signer: as_u32(field(entries, "signer", "signature")?, "signature.signer")?,
+        tag: as_u64(field(entries, "tag", "signature")?, "signature.tag")?,
+    })
+}
+
+fn ui_from_value(value: &Value) -> Result<UniqueIdentifier, WireError> {
+    let entries = as_obj(value, "ui")?;
+    Ok(UniqueIdentifier {
+        replica: as_u32(field(entries, "replica", "ui")?, "ui.replica")?,
+        counter: as_u64(field(entries, "counter", "ui")?, "ui.counter")?,
+        signature: signature_from_value(field(entries, "signature", "ui")?)?,
+    })
+}
+
+fn operation_from_value(value: &Value) -> Result<Operation, WireError> {
+    match variant_of(value, "operation")? {
+        VariantValue::Unit("Read") => Ok(Operation::Read),
+        VariantValue::Data("Write", inner) => Ok(Operation::Write(as_u64(inner, "Write")?)),
+        VariantValue::Data("Put", inner) => {
+            let entries = as_obj(inner, "Put")?;
+            Ok(Operation::Put {
+                key: as_u32(field(entries, "key", "Put")?, "Put.key")?,
+                value: as_u64(field(entries, "value", "Put")?, "Put.value")?,
+            })
+        }
+        VariantValue::Data("Get", inner) => {
+            let entries = as_obj(inner, "Get")?;
+            Ok(Operation::Get {
+                key: as_u32(field(entries, "key", "Get")?, "Get.key")?,
+            })
+        }
+        VariantValue::Data("TxReserve", inner) => {
+            let entries = as_obj(inner, "TxReserve")?;
+            Ok(Operation::TxReserve {
+                tx: as_u64(field(entries, "tx", "TxReserve")?, "TxReserve.tx")?,
+                key: as_u32(field(entries, "key", "TxReserve")?, "TxReserve.key")?,
+                value: as_u64(field(entries, "value", "TxReserve")?, "TxReserve.value")?,
+            })
+        }
+        VariantValue::Data("TxCommit", inner) => {
+            let entries = as_obj(inner, "TxCommit")?;
+            Ok(Operation::TxCommit {
+                tx: as_u64(field(entries, "tx", "TxCommit")?, "TxCommit.tx")?,
+                key: as_u32(field(entries, "key", "TxCommit")?, "TxCommit.key")?,
+            })
+        }
+        VariantValue::Data("TxAbort", inner) => {
+            let entries = as_obj(inner, "TxAbort")?;
+            Ok(Operation::TxAbort {
+                tx: as_u64(field(entries, "tx", "TxAbort")?, "TxAbort.tx")?,
+                key: as_u32(field(entries, "key", "TxAbort")?, "TxAbort.key")?,
+            })
+        }
+        _ => malformed("operation variant"),
+    }
+}
+
+fn request_from_value(value: &Value) -> Result<Request, WireError> {
+    let entries = as_obj(value, "request")?;
+    Ok(Request {
+        client: as_u32(field(entries, "client", "request")?, "request.client")?,
+        id: as_u64(field(entries, "id", "request")?, "request.id")?,
+        operation: operation_from_value(field(entries, "operation", "request")?)?,
+    })
+}
+
+fn certificate_from_value(value: &Value) -> Result<PreparedCertificate, WireError> {
+    let [sequence, view, batch] = tuple_of::<3>(value, "certificate")?;
+    Ok((
+        as_u64(sequence, "certificate.sequence")?,
+        as_u64(view, "certificate.view")?,
+        vec_of(batch, "certificate.batch", request_from_value)?,
+    ))
+}
+
+fn byzantine_mode_from_value(value: &Value) -> Result<ByzantineMode, WireError> {
+    match variant_of(value, "byzantine mode")? {
+        VariantValue::Unit("Correct") => Ok(ByzantineMode::Correct),
+        VariantValue::Unit("Silent") => Ok(ByzantineMode::Silent),
+        VariantValue::Unit("Arbitrary") => Ok(ByzantineMode::Arbitrary),
+        _ => malformed("byzantine mode variant"),
+    }
+}
+
+fn membership_from_value(value: &Value) -> Result<Vec<NodeId>, WireError> {
+    vec_of(value, "membership", |v| as_u32(v, "membership entry"))
+}
+
+fn control_from_value(value: &Value) -> Result<ControlMessage, WireError> {
+    match variant_of(value, "control")? {
+        VariantValue::Unit("Recover") => Ok(ControlMessage::Recover),
+        VariantValue::Data("Reconfigure", inner) => {
+            let entries = as_obj(inner, "Reconfigure")?;
+            Ok(ControlMessage::Reconfigure {
+                epoch: as_u64(field(entries, "epoch", "Reconfigure")?, "Reconfigure.epoch")?,
+                membership: membership_from_value(field(entries, "membership", "Reconfigure")?)?,
+            })
+        }
+        VariantValue::Data("Compromise", inner) => {
+            let entries = as_obj(inner, "Compromise")?;
+            Ok(ControlMessage::Compromise {
+                mode: byzantine_mode_from_value(field(entries, "mode", "Compromise")?)?,
+            })
+        }
+        _ => malformed("control variant"),
+    }
+}
+
+/// Maps a decoded `Value` tree back into the [`Message`] it lowered from.
+///
+/// # Errors
+///
+/// [`WireError::Malformed`] when the tree does not describe any variant.
+pub(crate) fn message_from_value(value: &Value) -> Result<Message, WireError> {
+    let VariantValue::Data(variant, inner) = variant_of(value, "message")? else {
+        return malformed("message variant");
+    };
+    match variant {
+        "Request" => Ok(Message::Request(request_from_value(inner)?)),
+        "Prepare" => {
+            let entries = as_obj(inner, "Prepare")?;
+            Ok(Message::Prepare {
+                view: as_u64(field(entries, "view", "Prepare")?, "Prepare.view")?,
+                sequence: as_u64(field(entries, "sequence", "Prepare")?, "Prepare.sequence")?,
+                requests: vec_of(
+                    field(entries, "requests", "Prepare")?,
+                    "Prepare.requests",
+                    request_from_value,
+                )?,
+                ui: ui_from_value(field(entries, "ui", "Prepare")?)?,
+            })
+        }
+        "Commit" => {
+            let entries = as_obj(inner, "Commit")?;
+            Ok(Message::Commit {
+                view: as_u64(field(entries, "view", "Commit")?, "Commit.view")?,
+                sequence: as_u64(field(entries, "sequence", "Commit")?, "Commit.sequence")?,
+                batch_digest: digest_from_value(field(entries, "batch_digest", "Commit")?)?,
+                ui: ui_from_value(field(entries, "ui", "Commit")?)?,
+            })
+        }
+        "Reply" => {
+            let entries = as_obj(inner, "Reply")?;
+            Ok(Message::Reply {
+                request_id: as_u64(field(entries, "request_id", "Reply")?, "Reply.request_id")?,
+                value: as_u64(field(entries, "value", "Reply")?, "Reply.value")?,
+                sequence: as_u64(field(entries, "sequence", "Reply")?, "Reply.sequence")?,
+            })
+        }
+        "Checkpoint" => {
+            let entries = as_obj(inner, "Checkpoint")?;
+            Ok(Message::Checkpoint {
+                sequence: as_u64(
+                    field(entries, "sequence", "Checkpoint")?,
+                    "Checkpoint.sequence",
+                )?,
+                log_len: as_u64(
+                    field(entries, "log_len", "Checkpoint")?,
+                    "Checkpoint.log_len",
+                )?,
+                state_digest: digest_from_value(field(entries, "state_digest", "Checkpoint")?)?,
+            })
+        }
+        "ViewChange" => {
+            let entries = as_obj(inner, "ViewChange")?;
+            Ok(Message::ViewChange {
+                epoch: as_u64(field(entries, "epoch", "ViewChange")?, "ViewChange.epoch")?,
+                new_view: as_u64(
+                    field(entries, "new_view", "ViewChange")?,
+                    "ViewChange.new_view",
+                )?,
+                high_sequence: as_u64(
+                    field(entries, "high_sequence", "ViewChange")?,
+                    "ViewChange.high_sequence",
+                )?,
+                stable_sequence: as_u64(
+                    field(entries, "stable_sequence", "ViewChange")?,
+                    "ViewChange.stable_sequence",
+                )?,
+                prepared: vec_of(
+                    field(entries, "prepared", "ViewChange")?,
+                    "ViewChange.prepared",
+                    certificate_from_value,
+                )?,
+            })
+        }
+        "NewView" => {
+            let entries = as_obj(inner, "NewView")?;
+            Ok(Message::NewView {
+                epoch: as_u64(field(entries, "epoch", "NewView")?, "NewView.epoch")?,
+                view: as_u64(field(entries, "view", "NewView")?, "NewView.view")?,
+                membership: membership_from_value(field(entries, "membership", "NewView")?)?,
+                next_sequence: as_u64(
+                    field(entries, "next_sequence", "NewView")?,
+                    "NewView.next_sequence",
+                )?,
+            })
+        }
+        "StateRequest" => {
+            let entries = as_obj(inner, "StateRequest")?;
+            Ok(Message::StateRequest {
+                epoch: as_u64(
+                    field(entries, "epoch", "StateRequest")?,
+                    "StateRequest.epoch",
+                )?,
+            })
+        }
+        "StateTransfer" => {
+            let entries = as_obj(inner, "StateTransfer")?;
+            let ctx = "StateTransfer";
+            Ok(Message::StateTransfer {
+                epoch: as_u64(field(entries, "epoch", ctx)?, "StateTransfer.epoch")?,
+                value: as_u64(field(entries, "value", ctx)?, "StateTransfer.value")?,
+                kv: vec_of(field(entries, "kv", ctx)?, "StateTransfer.kv", |v| {
+                    let [key, val] = tuple_of::<2>(v, "kv entry")?;
+                    Ok((as_u32(key, "kv key")?, as_u64(val, "kv value")?))
+                })?,
+                staged: vec_of(
+                    field(entries, "staged", ctx)?,
+                    "StateTransfer.staged",
+                    |v| {
+                        let [tx, key, val] = tuple_of::<3>(v, "staged entry")?;
+                        Ok((
+                            as_u64(tx, "staged tx")?,
+                            as_u32(key, "staged key")?,
+                            as_u64(val, "staged value")?,
+                        ))
+                    },
+                )?,
+                log_start: as_u64(field(entries, "log_start", ctx)?, "StateTransfer.log_start")?,
+                last_executed: as_u64(
+                    field(entries, "last_executed", ctx)?,
+                    "StateTransfer.last_executed",
+                )?,
+                log_chain: digest_from_value(field(entries, "log_chain", ctx)?)?,
+                stable_sequence: as_u64(
+                    field(entries, "stable_sequence", ctx)?,
+                    "StateTransfer.stable_sequence",
+                )?,
+                executed: vec_of(
+                    field(entries, "executed", ctx)?,
+                    "StateTransfer.executed",
+                    digest_from_value,
+                )?,
+                view: as_u64(field(entries, "view", ctx)?, "StateTransfer.view")?,
+                membership: membership_from_value(field(entries, "membership", ctx)?)?,
+                replies: vec_of(
+                    field(entries, "replies", ctx)?,
+                    "StateTransfer.replies",
+                    |v| {
+                        let [client, id, val, sequence] = tuple_of::<4>(v, "reply entry")?;
+                        Ok((
+                            as_u32(client, "reply client")?,
+                            as_u64(id, "reply id")?,
+                            as_u64(val, "reply value")?,
+                            as_u64(sequence, "reply sequence")?,
+                        ))
+                    },
+                )?,
+                prepared: vec_of(
+                    field(entries, "prepared", ctx)?,
+                    "StateTransfer.prepared",
+                    certificate_from_value,
+                )?,
+            })
+        }
+        "Control" => Ok(Message::Control(control_from_value(inner)?)),
+        _ => malformed("message variant"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_ui(replica: NodeId, counter: u64) -> UniqueIdentifier {
+        UniqueIdentifier {
+            replica,
+            counter,
+            signature: Signature {
+                signer: replica,
+                tag: 0xdead_beef ^ counter,
+            },
+        }
+    }
+
+    fn sample_request(client: NodeId, id: u64, operation: Operation) -> Request {
+        Request {
+            client,
+            id,
+            operation,
+        }
+    }
+
+    fn sample_messages() -> Vec<Message> {
+        vec![
+            Message::Request(sample_request(10_000, 1, Operation::Read)),
+            Message::Request(sample_request(10_001, 2, Operation::Write(7))),
+            Message::Request(sample_request(
+                10_002,
+                3,
+                Operation::Put { key: 9, value: 4 },
+            )),
+            Message::Request(sample_request(10_003, 4, Operation::Get { key: 9 })),
+            Message::Request(sample_request(
+                10_004,
+                5,
+                Operation::TxReserve {
+                    tx: 1,
+                    key: 2,
+                    value: 3,
+                },
+            )),
+            Message::Request(sample_request(
+                10_005,
+                6,
+                Operation::TxCommit { tx: 1, key: 2 },
+            )),
+            Message::Request(sample_request(
+                10_006,
+                7,
+                Operation::TxAbort { tx: 1, key: 2 },
+            )),
+            Message::Prepare {
+                view: 3,
+                sequence: 17,
+                requests: vec![
+                    sample_request(10_000, 8, Operation::Write(1)),
+                    sample_request(10_001, 9, Operation::Get { key: 1 }),
+                ],
+                ui: sample_ui(0, 17),
+            },
+            Message::Commit {
+                view: 3,
+                sequence: 17,
+                batch_digest: Digest(0x1234),
+                ui: sample_ui(2, 5),
+            },
+            Message::Reply {
+                request_id: 9,
+                value: 42,
+                sequence: 17,
+            },
+            Message::Checkpoint {
+                sequence: 100,
+                log_len: 230,
+                state_digest: Digest(0x77),
+            },
+            Message::ViewChange {
+                epoch: 1,
+                new_view: 4,
+                high_sequence: 19,
+                stable_sequence: 10,
+                prepared: vec![
+                    (18, 3, vec![sample_request(10_002, 10, Operation::Read)]),
+                    (19, 3, vec![]),
+                ],
+            },
+            Message::NewView {
+                epoch: 1,
+                view: 4,
+                membership: vec![0, 1, 2, 4],
+                next_sequence: 20,
+            },
+            Message::StateRequest { epoch: 1 },
+            Message::StateTransfer {
+                epoch: 1,
+                value: 5,
+                kv: vec![(1, 2), (3, 4)],
+                staged: vec![(9, 1, 7)],
+                log_start: 10,
+                last_executed: 19,
+                log_chain: Digest(0xabc),
+                stable_sequence: 10,
+                executed: vec![Digest(1), Digest(2)],
+                view: 4,
+                membership: vec![0, 1, 2],
+                replies: vec![(10_000, 8, 1, 18)],
+                prepared: vec![(19, 3, vec![sample_request(10_001, 9, Operation::Read)])],
+            },
+            Message::Control(ControlMessage::Recover),
+            Message::Control(ControlMessage::Reconfigure {
+                epoch: 2,
+                membership: vec![0, 1, 2, 5],
+            }),
+            Message::Control(ControlMessage::Compromise {
+                mode: ByzantineMode::Arbitrary,
+            }),
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips_byte_identically() {
+        for message in sample_messages() {
+            let bytes = encode_message(&message);
+            let decoded = decode_message(&bytes).expect("decodes");
+            assert_eq!(decoded, message);
+            assert_eq!(encode_message(&decoded), bytes, "re-encoding must agree");
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_through_header_validation() {
+        for message in sample_messages() {
+            let frame = encode_frame(3, 10_000, &message);
+            let prefix: [u8; 4] = frame[0..4].try_into().unwrap();
+            let body_len = frame_body_len(prefix).expect("valid length");
+            assert_eq!(body_len, frame.len() - 4);
+            let (from, to, decoded) = decode_frame_body(&frame[4..]).expect("decodes");
+            assert_eq!((from, to), (3, 10_000));
+            assert_eq!(decoded, message);
+        }
+    }
+
+    #[test]
+    fn oversized_and_undersized_length_prefixes_are_rejected() {
+        let too_large = ((MAX_FRAME_LEN + 1) as u32).to_le_bytes();
+        assert_eq!(
+            frame_body_len(too_large),
+            Err(WireError::FrameTooLarge {
+                len: (MAX_FRAME_LEN + 1) as u64
+            })
+        );
+        assert_eq!(
+            frame_body_len(7u32.to_le_bytes()),
+            Err(WireError::FrameTooShort { len: 7 })
+        );
+        assert!(frame_body_len(8u32.to_le_bytes()).is_ok());
+    }
+
+    #[test]
+    fn truncations_of_a_valid_frame_never_panic() {
+        let message = Message::StateTransfer {
+            epoch: 1,
+            value: 5,
+            kv: (0..100).map(|i| (i, i as u64)).collect(),
+            staged: vec![],
+            log_start: 0,
+            last_executed: 50,
+            log_chain: Digest(1),
+            stable_sequence: 0,
+            executed: (0..50).map(Digest).collect(),
+            view: 0,
+            membership: vec![0, 1, 2, 3],
+            replies: vec![],
+            prepared: vec![],
+        };
+        let bytes = encode_message(&message);
+        for cut in 0..bytes.len() {
+            // Every proper prefix must fail cleanly (truncation errors, not
+            // panics or bogus successes).
+            assert!(decode_message(&bytes[..cut]).is_err(), "prefix {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupted_bytes_error_instead_of_panicking() {
+        let original = encode_message(&Message::Prepare {
+            view: 1,
+            sequence: 2,
+            requests: vec![sample_request(10_000, 1, Operation::Write(3))],
+            ui: sample_ui(0, 2),
+        });
+        for position in 0..original.len() {
+            let mut corrupted = original.clone();
+            corrupted[position] ^= 0xff;
+            // Either a clean decode error or a (harmless) different message;
+            // never a panic. Decoding then re-encoding must stay consistent.
+            if let Ok(message) = decode_message(&corrupted) {
+                let reencoded = encode_message(&message);
+                assert_eq!(
+                    decode_message(&reencoded).expect("round trip"),
+                    message,
+                    "corruption at {position} produced an unstable decode"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_counts_do_not_allocate_unboundedly() {
+        // An array claiming u32::MAX elements backed by 4 bytes of input:
+        // the count/remaining check must reject it before reserving.
+        let mut bytes = vec![6u8];
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_value_bytes(&bytes), Err(WireError::Truncated));
+
+        // Same for objects (which reserve 5 bytes per entry minimum).
+        let mut bytes = vec![7u8];
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_value_bytes(&bytes), Err(WireError::Truncated));
+
+        // A string claiming more bytes than remain.
+        let mut bytes = vec![5u8];
+        bytes.extend_from_slice(&1_000_000u32.to_le_bytes());
+        bytes.extend_from_slice(b"short");
+        assert_eq!(decode_value_bytes(&bytes), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        // `[[[[…` one byte of array header per level: must hit the depth cap
+        // long before exhausting the stack.
+        let mut bytes = Vec::new();
+        for _ in 0..10_000 {
+            bytes.push(6u8);
+            bytes.extend_from_slice(&1u32.to_le_bytes());
+        }
+        bytes.push(0u8); // innermost Null
+        assert_eq!(decode_value_bytes(&bytes), Err(WireError::TooDeep));
+    }
+
+    #[test]
+    fn unknown_tags_and_trailing_bytes_are_rejected() {
+        assert_eq!(
+            decode_value_bytes(&[9u8]),
+            Err(WireError::UnknownTag { tag: 9 })
+        );
+        assert_eq!(decode_value_bytes(&[]), Err(WireError::Truncated));
+        let mut bytes = encode_message(&Message::StateRequest { epoch: 1 });
+        bytes.push(0);
+        assert_eq!(decode_message(&bytes), Err(WireError::TrailingBytes));
+    }
+
+    #[test]
+    fn non_message_values_are_malformed_not_panics() {
+        for value in [
+            Value::Null,
+            Value::U64(3),
+            Value::Str("NotAVariant".into()),
+            Value::Object(vec![("Prepare".into(), Value::Null)]),
+            Value::Object(vec![("Reply".into(), Value::Object(vec![]))]),
+            Value::Object(vec![
+                ("Reply".into(), Value::Null),
+                ("Commit".into(), Value::Null),
+            ]),
+        ] {
+            assert!(matches!(
+                message_from_value(&value),
+                Err(WireError::Malformed { .. })
+            ));
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Multi-process integration: a MinBFT cluster as separate OS processes
+//! over loopback TCP, orchestrated by the `minbft-node` binary. This is the
+//! PR-6 acceptance path — the same invocation CI's socket-smoke job runs.
+
+use std::process::Command;
+
+fn run_cluster(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_minbft-node"))
+        .arg("cluster")
+        .args(args)
+        .output()
+        .expect("run minbft-node cluster")
+}
+
+#[test]
+fn four_process_cluster_serves_requests_over_tcp() {
+    let output = run_cluster(&[
+        "--replicas",
+        "4",
+        "--clients",
+        "4",
+        "--requests",
+        "200",
+        "--pipeline-window",
+        "4",
+        "--batch-size",
+        "4",
+    ]);
+    assert!(
+        output.status.success(),
+        "cluster run failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("cluster ok"), "summary missing: {stdout}");
+}
+
+#[test]
+fn cluster_survives_a_killed_replica_mid_run() {
+    let output = run_cluster(&[
+        "--replicas",
+        "4",
+        "--clients",
+        "4",
+        "--requests",
+        "400",
+        "--pipeline-window",
+        "4",
+        "--batch-size",
+        "4",
+        "--kill-one",
+    ]);
+    assert!(
+        output.status.success(),
+        "kill-one cluster run failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("killed replica"),
+        "the chaos action must have happened: {stderr}"
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("survived killing replica"),
+        "summary must record the survival: {stdout}"
+    );
+}
+
+#[test]
+fn serial_window_still_works_across_processes() {
+    // pipeline_window = 1 (strictly serial) must also serve correctly —
+    // the perf axis compares these two modes, so both must be sound.
+    let output = run_cluster(&[
+        "--replicas",
+        "4",
+        "--clients",
+        "2",
+        "--requests",
+        "100",
+        "--pipeline-window",
+        "1",
+    ]);
+    assert!(
+        output.status.success(),
+        "serial-window cluster failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+}

@@ -183,6 +183,10 @@ pub struct ScheduleConfig {
     /// MinBFT leader batch size (requests per PREPARE); values above 1
     /// exercise the batched pipeline under chaos.
     pub batch_size: usize,
+    /// MinBFT pipeline window (maximum in-flight sequences ahead of
+    /// execution); 0 keeps the unbounded pre-pipelining behaviour, values
+    /// above 1 exercise watermark-gated concurrent proposals under chaos.
+    pub pipeline_window: usize,
     /// Expected number of generated fault events per step.
     pub intensity: f64,
     /// Fault kinds the generator may draw (pairs like `Heal` /
@@ -211,6 +215,7 @@ impl Default for ScheduleConfig {
             },
             checkpoint_period: 100,
             batch_size: 1,
+            pipeline_window: 0,
             intensity: 0.35,
             enabled: vec![
                 FaultKind::Partition,
@@ -247,6 +252,7 @@ impl ScheduleConfig {
             seed,
             checkpoint_period: self.checkpoint_period,
             batch_size: self.batch_size,
+            pipeline_window: self.pipeline_window,
             ..MinBftConfig::default()
         }
     }

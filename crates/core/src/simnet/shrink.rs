@@ -313,6 +313,10 @@ pub(crate) mod decode {
                 Some(v) => as_usize(v)?,
                 None => defaults.batch_size,
             },
+            pipeline_window: match opt_field(value, "pipeline_window") {
+                Some(v) => as_usize(v)?,
+                None => defaults.pipeline_window,
+            },
             initial_replicas: as_usize(field(value, "initial_replicas")?)?,
             max_replicas: as_usize(field(value, "max_replicas")?)?,
             parallel_recoveries: as_usize(field(value, "parallel_recoveries")?)?,

@@ -442,3 +442,269 @@ proptest! {
         prop_assert!(max as f64 / min as f64 <= 1.0 + 1e-15);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Wire-codec round trips: every `Message`/`ControlMessage` variant survives
+// encode → decode byte-identically, including large batches and state
+// transfers (PR-6 satellite).
+// ---------------------------------------------------------------------------
+
+mod wire_roundtrip {
+    use proptest::prelude::*;
+    use tolerance::consensus::minbft::{
+        ByzantineMode, ControlMessage, Message, Operation, Request,
+    };
+    use tolerance::consensus::wire::{
+        decode_frame_body, decode_message, encode_frame, encode_message, frame_body_len,
+        FRAME_HEADER_LEN,
+    };
+    use tolerance::consensus::NodeId;
+
+    /// A tiny deterministic value stream (splitmix64) so one `u64` seed
+    /// expands into arbitrarily many field values.
+    struct Stream(u64);
+
+    impl Stream {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        fn id(&mut self) -> NodeId {
+            (self.next() % 64) as NodeId
+        }
+
+        fn digest(&mut self) -> tolerance::consensus::crypto::Digest {
+            tolerance::consensus::crypto::Digest(self.next())
+        }
+
+        fn ui(&mut self) -> tolerance::consensus::usig::UniqueIdentifier {
+            tolerance::consensus::usig::UniqueIdentifier {
+                replica: self.id(),
+                counter: self.next(),
+                signature: tolerance::consensus::crypto::Signature {
+                    signer: self.id(),
+                    tag: self.next(),
+                },
+            }
+        }
+
+        fn operation(&mut self) -> Operation {
+            match self.next() % 7 {
+                0 => Operation::Read,
+                1 => Operation::Write(self.next()),
+                2 => Operation::Put {
+                    key: self.next() as u32,
+                    value: self.next(),
+                },
+                3 => Operation::Get {
+                    key: self.next() as u32,
+                },
+                4 => Operation::TxReserve {
+                    tx: self.next(),
+                    key: self.next() as u32,
+                    value: self.next(),
+                },
+                5 => Operation::TxCommit {
+                    tx: self.next(),
+                    key: self.next() as u32,
+                },
+                _ => Operation::TxAbort {
+                    tx: self.next(),
+                    key: self.next() as u32,
+                },
+            }
+        }
+
+        fn request(&mut self) -> Request {
+            Request {
+                client: self.id(),
+                id: self.next(),
+                operation: self.operation(),
+            }
+        }
+
+        fn batch(&mut self, len: usize) -> Vec<Request> {
+            (0..len).map(|_| self.request()).collect()
+        }
+    }
+
+    /// Builds one message of the selected variant; `size` scales the
+    /// variable-length payloads (batches, transferred state) so large
+    /// instances are exercised too.
+    fn build_message(variant: usize, seed: u64, size: usize) -> Message {
+        let mut s = Stream(seed);
+        match variant {
+            0 => Message::Request(s.request()),
+            1 => Message::Prepare {
+                view: s.next(),
+                sequence: s.next(),
+                requests: s.batch(size),
+                ui: s.ui(),
+            },
+            2 => Message::Commit {
+                view: s.next(),
+                sequence: s.next(),
+                batch_digest: s.digest(),
+                ui: s.ui(),
+            },
+            3 => Message::Reply {
+                request_id: s.next(),
+                value: s.next(),
+                sequence: s.next(),
+            },
+            4 => Message::Checkpoint {
+                sequence: s.next(),
+                log_len: s.next(),
+                state_digest: s.digest(),
+            },
+            5 => Message::ViewChange {
+                epoch: s.next(),
+                new_view: s.next(),
+                high_sequence: s.next(),
+                stable_sequence: s.next(),
+                prepared: (0..size.min(16))
+                    .map(|_| (s.next(), s.next(), s.batch(size / 4)))
+                    .collect(),
+            },
+            6 => Message::NewView {
+                epoch: s.next(),
+                view: s.next(),
+                membership: (0..1 + size % 13).map(|_| s.id()).collect(),
+                next_sequence: s.next(),
+            },
+            7 => Message::StateRequest { epoch: s.next() },
+            8 => Message::StateTransfer {
+                epoch: s.next(),
+                value: s.next(),
+                kv: (0..size).map(|_| (s.next() as u32, s.next())).collect(),
+                staged: (0..size / 2)
+                    .map(|_| (s.next(), s.next() as u32, s.next()))
+                    .collect(),
+                log_start: s.next(),
+                last_executed: s.next(),
+                log_chain: s.digest(),
+                stable_sequence: s.next(),
+                executed: (0..size).map(|_| s.digest()).collect(),
+                view: s.next(),
+                membership: (0..1 + size % 9).map(|_| s.id()).collect(),
+                replies: (0..size.min(32))
+                    .map(|_| (s.id(), s.next(), s.next(), s.next()))
+                    .collect(),
+                prepared: (0..size.min(8))
+                    .map(|_| (s.next(), s.next(), s.batch(size / 8)))
+                    .collect(),
+            },
+            _ => Message::Control(match seed % 3 {
+                0 => ControlMessage::Recover,
+                1 => ControlMessage::Reconfigure {
+                    epoch: s.next(),
+                    membership: (0..1 + size % 11).map(|_| s.id()).collect(),
+                },
+                _ => ControlMessage::Compromise {
+                    mode: match seed % 3 {
+                        0 => ByzantineMode::Correct,
+                        1 => ByzantineMode::Silent,
+                        _ => ByzantineMode::Arbitrary,
+                    },
+                },
+            }),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn every_message_variant_round_trips_byte_identically(
+            variant in 0usize..10,
+            seed in 0u64..u64::MAX,
+            size in 0usize..48,
+        ) {
+            let message = build_message(variant, seed, size);
+            let bytes = encode_message(&message);
+            let decoded = decode_message(&bytes).expect("well-formed encoding");
+            prop_assert_eq!(&decoded, &message);
+            // Byte-identical re-encoding: the codec is canonical.
+            prop_assert_eq!(encode_message(&decoded), bytes);
+        }
+
+        #[test]
+        fn large_batches_and_state_transfers_round_trip(
+            seed in 0u64..u64::MAX,
+            size in 200usize..500,
+        ) {
+            // The two variants with unbounded payloads, at batch sizes far
+            // beyond what the protocol defaults produce.
+            for variant in [1usize, 8] {
+                let message = build_message(variant, seed, size);
+                let bytes = encode_message(&message);
+                let decoded = decode_message(&bytes).expect("well-formed encoding");
+                prop_assert_eq!(&decoded, &message);
+                prop_assert_eq!(encode_message(&decoded), bytes);
+            }
+        }
+
+        #[test]
+        fn frames_round_trip_with_headers(
+            variant in 0usize..10,
+            seed in 0u64..u64::MAX,
+            size in 0usize..32,
+            from in 0u32..100_000,
+            to in 0u32..100_000,
+        ) {
+            let message = build_message(variant, seed, size);
+            let frame = encode_frame(from, to, &message);
+            let mut prefix = [0u8; 4];
+            prefix.copy_from_slice(&frame[..4]);
+            let body_len = frame_body_len(prefix).expect("valid prefix");
+            prop_assert_eq!(body_len, frame.len() - 4);
+            prop_assert_eq!(frame.len() >= FRAME_HEADER_LEN, true);
+            let (decoded_from, decoded_to, decoded) =
+                decode_frame_body(&frame[4..]).expect("well-formed frame");
+            prop_assert_eq!(decoded_from, from);
+            prop_assert_eq!(decoded_to, to);
+            prop_assert_eq!(decoded, message);
+        }
+
+        #[test]
+        fn truncated_encodings_never_panic(
+            variant in 0usize..10,
+            seed in 0u64..u64::MAX,
+            size in 0usize..24,
+            cut in 0.0..1.0f64,
+        ) {
+            // Any proper prefix of a valid encoding errors cleanly.
+            let bytes = encode_message(&build_message(variant, seed, size));
+            let cut_at = ((bytes.len() as f64) * cut) as usize;
+            if cut_at < bytes.len() {
+                prop_assert!(decode_message(&bytes[..cut_at]).is_err());
+            }
+        }
+
+        #[test]
+        fn corrupted_encodings_never_panic(
+            variant in 0usize..10,
+            seed in 0u64..u64::MAX,
+            size in 0usize..24,
+            position in 0.0..1.0f64,
+            flip in 1u8..=255,
+        ) {
+            // Single-byte corruption anywhere: decode may fail or return a
+            // different well-formed message — it must never panic, and a
+            // successful decode must re-encode canonically.
+            let mut bytes = encode_message(&build_message(variant, seed, size));
+            let index = ((bytes.len() as f64) * position) as usize % bytes.len().max(1);
+            if !bytes.is_empty() {
+                bytes[index] ^= flip;
+                if let Ok(decoded) = decode_message(&bytes) {
+                    let reencoded = encode_message(&decoded);
+                    prop_assert!(decode_message(&reencoded).is_ok());
+                }
+            }
+        }
+    }
+}

@@ -65,6 +65,23 @@ fn smoke_configs() -> Vec<(&'static str, ScheduleConfig)> {
                 ..ScheduleConfig::default()
             },
         ),
+        (
+            // The PR-6 pipelined data plane: a watermark window above 1
+            // keeps several uncommitted sequences in flight, so view
+            // changes, recoveries and state transfers triggered by the
+            // chaos schedule must cope with multiple concurrently proposed
+            // batches (and the aggressive checkpoint period keeps those
+            // interacting with compaction).
+            "pipelined",
+            ScheduleConfig {
+                horizon: 40,
+                intensity: 0.5,
+                checkpoint_period: 8,
+                batch_size: 4,
+                pipeline_window: 4,
+                ..ScheduleConfig::default()
+            },
+        ),
     ]
 }
 
@@ -228,6 +245,38 @@ fn controlled_intrusion_sweep_passes_all_oracles_across_300_runs() {
         recoveries > 0,
         "the node controllers must actuate recoveries somewhere in the sweep"
     );
+    assert!(completed > 0);
+    for report in &reports {
+        assert!(report.violation.is_none());
+        assert!(report.outcome.availability > 0.0);
+    }
+}
+
+#[test]
+fn pipelined_chaos_sweep_passes_all_oracles_across_300_runs() {
+    // The PR-6 acceptance sweep: 300 randomized chaos schedules against
+    // the watermark-pipelined data plane (pipeline_window > 1, leader
+    // batching, aggressive compaction), with the full oracle suite —
+    // agreement/validity/recovery-bound/network-accounting after every
+    // step, liveness at settle. Multiple in-flight sequences must survive
+    // partitions, crashes, Byzantine flips and membership churn.
+    let scenario = SimnetScenario::new(
+        "simnet/pipelined-chaos",
+        ScheduleConfig {
+            horizon: 40,
+            intensity: 0.5,
+            checkpoint_period: 8,
+            batch_size: 4,
+            pipeline_window: 4,
+            ..ScheduleConfig::default()
+        },
+    );
+    let seeds: Vec<u64> = (0..300).collect();
+    let reports = Runner::parallel()
+        .run_seeds(&scenario, &seeds)
+        .expect("all 300 pipelined chaos runs must pass the oracle suite");
+    assert_eq!(reports.len(), 300);
+    let completed: u64 = reports.iter().map(|r| r.outcome.completed).sum();
     assert!(completed > 0);
     for report in &reports {
         assert!(report.violation.is_none());
