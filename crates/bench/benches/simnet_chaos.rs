@@ -1,6 +1,8 @@
 //! Benchmark of the fault-injection harness: a fault-intensity sweep
 //! (schedules per intensity × seeds) executed through the shared scenario
-//! runtime, serial vs parallel, plus per-run timings.
+//! runtime, serial vs parallel, plus an oracle-checked steps/sec axis over
+//! the adversary matrix (every attacker × network-condition cell), plus
+//! per-run timings. `BENCH_SMOKE=1` reduces seeds and repetitions for CI.
 //!
 //! Besides the console report, the bench writes `BENCH_simnet_chaos.json`
 //! to the working directory, extending the repository's performance
@@ -10,9 +12,29 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use serde::Serialize;
 use std::time::Instant;
 use tolerance_core::runtime::{Runner, Scenario};
-use tolerance_core::simnet::{FaultSchedule, ScheduleConfig, SimnetScenario};
+use tolerance_core::simnet::{
+    adversary_config, adversary_matrix, FaultSchedule, ScheduleConfig, SimnetScenario,
+};
 
-const SEEDS: u64 = 6;
+fn smoke() -> bool {
+    std::env::var("BENCH_SMOKE").is_ok()
+}
+
+fn seeds() -> u64 {
+    if smoke() {
+        2
+    } else {
+        6
+    }
+}
+
+fn repetitions() -> usize {
+    if smoke() {
+        1
+    } else {
+        3
+    }
+}
 
 fn intensity_grid() -> Vec<SimnetScenario> {
     [0.1, 0.4, 0.8]
@@ -30,6 +52,20 @@ fn intensity_grid() -> Vec<SimnetScenario> {
         .collect()
 }
 
+/// The adversary-matrix steps/sec axis: one scenario per
+/// `(attacker, condition)` cell, driven through the same runner.
+fn adversary_grid() -> Vec<SimnetScenario> {
+    adversary_matrix()
+        .into_iter()
+        .map(|(attacker, condition)| {
+            SimnetScenario::new(
+                format!("adversary/{}/{}", attacker.name(), condition.name()),
+                adversary_config(attacker, condition),
+            )
+        })
+        .collect()
+}
+
 #[derive(Serialize)]
 struct Measurement {
     mode: String,
@@ -38,9 +74,23 @@ struct Measurement {
     seconds_all: Vec<f64>,
 }
 
+/// Oracle-checked throughput of the adversary matrix: every run passes the
+/// full invariant suite (a violation fails the bench), so the steps/sec
+/// number cannot be bought by skipping the oracles.
+#[derive(Serialize)]
+struct AdversaryAxis {
+    cells: usize,
+    seeds: u64,
+    runs: u64,
+    total_steps: u64,
+    seconds_best: f64,
+    steps_per_second: f64,
+}
+
 #[derive(Serialize)]
 struct ChaosBenchReport {
     benchmark: String,
+    smoke: bool,
     intensities: Vec<f64>,
     seeds: u64,
     horizon: u32,
@@ -48,23 +98,31 @@ struct ChaosBenchReport {
     total_events: usize,
     measurements: Vec<Measurement>,
     parallel_speedup: f64,
+    adversary: AdversaryAxis,
 }
 
-fn time_sweep(cells: &[SimnetScenario], runner: &Runner, repetitions: usize) -> Vec<f64> {
-    let seeds: Vec<u64> = (0..SEEDS).collect();
-    (0..repetitions)
+/// Runs every cell × seed through `runner` `repetitions` times, asserting
+/// the oracles stay green; returns the wall-clock samples and the summed
+/// simulation steps of one sweep.
+fn time_sweep(cells: &[SimnetScenario], runner: &Runner, repetitions: usize) -> (Vec<f64>, u64) {
+    let seeds: Vec<u64> = (0..seeds()).collect();
+    let mut steps = 0u64;
+    let samples = (0..repetitions)
         .map(|_| {
             let start = Instant::now();
             let outputs = runner.run_cells(cells, &seeds).expect("chaos sweep runs");
             assert_eq!(outputs.len(), cells.len());
+            steps = 0;
             for per_cell in &outputs {
                 for report in per_cell {
                     assert!(report.violation.is_none(), "oracle violation in bench");
+                    steps += report.outcome.steps;
                 }
             }
             start.elapsed().as_secs_f64()
         })
-        .collect()
+        .collect();
+    (samples, steps)
 }
 
 fn best(samples: &[f64]) -> f64 {
@@ -76,23 +134,30 @@ fn bench_intensity_sweep(_c: &mut Criterion) {
     let host_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let repetitions = 3;
 
     let total_events: usize = cells
         .iter()
         .flat_map(|cell| {
-            (0..SEEDS).map(|seed| FaultSchedule::generate(seed, cell.config()).events.len())
+            (0..seeds()).map(|seed| FaultSchedule::generate(seed, cell.config()).events.len())
         })
         .sum();
 
-    let serial_samples = time_sweep(&cells, &Runner::serial(), repetitions);
-    let parallel_samples = time_sweep(&cells, &Runner::parallel(), repetitions);
+    let (serial_samples, _) = time_sweep(&cells, &Runner::serial(), repetitions());
+    let (parallel_samples, _) = time_sweep(&cells, &Runner::parallel(), repetitions());
     let serial_best = best(&serial_samples);
     let parallel_best = best(&parallel_samples);
+
+    let adversary_cells = adversary_grid();
+    let (adversary_samples, adversary_steps) =
+        time_sweep(&adversary_cells, &Runner::parallel(), repetitions());
+    let adversary_best = best(&adversary_samples);
+    let adversary_runs = adversary_cells.len() as u64 * seeds();
+
     let report = ChaosBenchReport {
         benchmark: "simnet_chaos_intensity_sweep".into(),
+        smoke: smoke(),
         intensities: vec![0.1, 0.4, 0.8],
-        seeds: SEEDS,
+        seeds: seeds(),
         horizon: 30,
         host_threads,
         total_events,
@@ -111,14 +176,27 @@ fn bench_intensity_sweep(_c: &mut Criterion) {
             },
         ],
         parallel_speedup: serial_best / parallel_best,
+        adversary: AdversaryAxis {
+            cells: adversary_cells.len(),
+            seeds: seeds(),
+            runs: adversary_runs,
+            total_steps: adversary_steps,
+            seconds_best: adversary_best,
+            steps_per_second: adversary_steps as f64 / adversary_best.max(f64::MIN_POSITIVE),
+        },
     };
     let json = serde_json::to_string_pretty(&report).expect("serializable report");
     std::fs::write("BENCH_simnet_chaos.json", &json).expect("write bench artifact");
     println!(
         "simnet chaos sweep: serial {serial_best:.3}s, parallel {parallel_best:.3}s \
-         (speedup {:.2}x over {} runs, {total_events} fault events)",
+         (speedup {:.2}x over {} runs, {total_events} fault events); adversary matrix: \
+         {} cells x {} seeds, {adversary_steps} steps in {adversary_best:.3}s \
+         ({:.0} steps/s, oracle-checked)",
         report.parallel_speedup,
-        cells.len() as u64 * SEEDS,
+        cells.len() as u64 * seeds(),
+        adversary_cells.len(),
+        seeds(),
+        report.adversary.steps_per_second,
     );
 }
 

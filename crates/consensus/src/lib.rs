@@ -60,8 +60,8 @@ pub mod wire;
 pub mod workload;
 
 pub use minbft::{
-    ByzantineMode, CommitRecord, ControlMessage, MinBftCluster, MinBftConfig, MinBftConfigError,
-    ThroughputReport, CLIENT_ID_BASE,
+    AttackerKind, ByzantineMode, CommitRecord, ControlMessage, MinBftCluster, MinBftConfig,
+    MinBftConfigError, ThroughputReport, CLIENT_ID_BASE,
 };
 pub use net::{NetworkConfig, NetworkConfigError, SimNetwork};
 pub use raft::{RaftCluster, RaftConfig};

@@ -58,6 +58,59 @@ pub enum ByzantineMode {
     Arbitrary,
 }
 
+/// A protocol-aware attacker strategy a compromised replica runs with. Unlike
+/// [`ByzantineMode`] (crash-style silence or value corruption), these
+/// adversaries exploit the *protocol structure* while staying within the
+/// USIG's monotonic-counter limits — the attacker can never forge or reuse a
+/// counter, so every attack works *around* the trusted component:
+///
+/// * [`AttackerKind::EquivocatingLeader`] — as leader, propose two
+///   conflicting batches for the same sequence number (each with its own
+///   fresh UI) to disjoint halves of the cluster.
+/// * [`AttackerKind::VoteWithholding`] — send COMMIT votes to everyone
+///   *except* a targeted quorum of replicas, starving them of commits.
+/// * [`AttackerKind::DelayedVotes`] — hold COMMIT and VIEW-CHANGE votes and
+///   release them only at the view-change timeout boundary.
+/// * [`AttackerKind::LyingDonor`] — answer state-transfer pulls with a
+///   forged frontier (corrupted digests, inflated execution frontier).
+/// * [`AttackerKind::ReplySuppression`] — drop REPLY messages to a targeted
+///   client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum AttackerKind {
+    /// Conflicting PREPAREs for one sequence, split across the membership.
+    EquivocatingLeader,
+    /// COMMIT votes withheld from a targeted set of replicas.
+    VoteWithholding,
+    /// COMMIT/VIEW-CHANGE votes delayed to the timeout boundary.
+    DelayedVotes,
+    /// State transfers answered with forged frontiers.
+    LyingDonor,
+    /// REPLYs to a targeted client suppressed.
+    ReplySuppression,
+}
+
+impl AttackerKind {
+    /// Every attacker variant, in a stable order (the adversary-matrix axis).
+    pub const ALL: [AttackerKind; 5] = [
+        AttackerKind::EquivocatingLeader,
+        AttackerKind::VoteWithholding,
+        AttackerKind::DelayedVotes,
+        AttackerKind::LyingDonor,
+        AttackerKind::ReplySuppression,
+    ];
+
+    /// A stable kebab-case name (scenario names, counterexample JSON).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttackerKind::EquivocatingLeader => "equivocating-leader",
+            AttackerKind::VoteWithholding => "vote-withholding",
+            AttackerKind::DelayedVotes => "delayed-votes",
+            AttackerKind::LyingDonor => "lying-donor",
+            AttackerKind::ReplySuppression => "reply-suppression",
+        }
+    }
+}
+
 /// An operation on the replicated service: the paper's web service offers a
 /// deterministic read and write of a register (Section VII-B), extended here
 /// with a keyed variant so workload generators can exercise a key-value
@@ -430,6 +483,26 @@ pub enum Message {
         /// certificates, and a ballot formed by amnesiac voters would
         /// no-op-fill sequence numbers that already executed elsewhere.
         prepared: Vec<PreparedCertificate>,
+        /// The digest-chain value at `log_start` (the fold of every
+        /// compacted request digest over the genesis digest). Receivers
+        /// verify that folding `executed` over it reproduces `log_chain` —
+        /// a lying donor cannot serve a forged or truncated frontier
+        /// without breaking the chain.
+        chain_base: Digest,
+        /// The donor's per-sender high-water marks of accepted USIG
+        /// counters, sorted by sender. A recovered replica adopts them as
+        /// its FIFO baseline — without this, every post-recovery PREPARE
+        /// would look like a gap and park forever.
+        ui_high: Vec<(NodeId, u64)>,
+    },
+    /// Request to re-send the sender's own UI-certified messages starting at
+    /// a counter value. Sent when a PREPARE arrives above the per-sender
+    /// FIFO cursor (see [`Replica::ui_high`]): the gap is either reordering
+    /// (the resend is a no-op by the time it arrives) or loss, which only
+    /// the original sender can repair from its retained message log.
+    UiResendRequest {
+        /// First missing counter value.
+        from_counter: u64,
     },
     /// A control-plane command (see [`ControlMessage`]). The threaded
     /// service delivers these on a dedicated per-replica channel modelling
@@ -635,6 +708,39 @@ pub(crate) struct ProtocolParams {
     pub batch_delay: f64,
     /// Maximum proposed-but-unexecuted sequences in flight (0 = unbounded).
     pub pipeline_window: usize,
+    /// Replicas that may be mid-recovery concurrently (the cluster's
+    /// `parallel_recoveries` knob). A proactively recovered replica is
+    /// amnesiac about certificates above its adopted snapshot, so the
+    /// commit and view-change quorums are sized so that every ballot
+    /// still intersects a *non-amnesiac* certificate holder (see
+    /// [`ProtocolParams::commit_quorum`] and
+    /// [`ProtocolParams::view_change_quorum`]).
+    pub recoveries: usize,
+}
+
+impl ProtocolParams {
+    /// Commit quorum over a membership of `n`: a sequence executes once
+    /// `f_k + recoveries + 1` replicas voted COMMIT on its certificate,
+    /// where `f_k = hybrid_fault_threshold(n, recoveries)` is the paper's
+    /// threshold with the recovery overlap accounted for. Every ballot of
+    /// [`ProtocolParams::view_change_quorum`] size then intersects the
+    /// committers in at least `recoveries + 1` voters — one of whom still
+    /// holds the certificate even if `recoveries` committers were
+    /// re-imaged from a snapshot taken before they executed the sequence
+    /// (`c + v >= n + recoveries + 1`). For odd `n` this is the classic
+    /// `f + 1`; for even `n` it is one vote stronger.
+    pub(crate) fn commit_quorum(&self, n: usize) -> usize {
+        (crate::hybrid_fault_threshold(n, self.recoveries) + self.recoveries + 1).min(n)
+    }
+
+    /// View-change quorum over a membership of `n`: `n - f_k` votes, so a
+    /// new view can still form with `f_k` replicas crashed while keeping
+    /// the certificate-survival intersection described at
+    /// [`ProtocolParams::commit_quorum`].
+    pub(crate) fn view_change_quorum(&self, n: usize) -> usize {
+        n.saturating_sub(crate::hybrid_fault_threshold(n, self.recoveries))
+            .max(1)
+    }
 }
 
 /// Whether the leader's proposal window is open: with pipelining enabled
@@ -792,7 +898,41 @@ pub(crate) struct Replica {
     /// digest for every request (simulating an implementation bug that makes
     /// the replica diverge while still claiming to follow the protocol).
     corrupt_execution: bool,
+    /// The protocol-aware attacker strategy this replica runs with (`None`
+    /// for honest replicas). Attacks that live inside the shared step path
+    /// (equivocation, lying donations) branch on this; network-level
+    /// attacks (withholding, delaying, suppression) are applied by the
+    /// hosting cluster's egress filter.
+    pub(crate) attacker: Option<AttackerKind>,
+    /// Per-sender FIFO cursor: the highest USIG counter seen from each peer
+    /// under a *valid* certificate. PREPAREs are only accepted
+    /// counter-consecutively against this cursor — the defense that stops
+    /// an equivocating leader from serving disjoint halves of the cluster
+    /// conflicting proposals on disjoint counter ranges (gap-tolerant
+    /// acceptance alone admits two disjoint commit quorums that share only
+    /// the leader).
+    ui_high: HashMap<NodeId, u64>,
+    /// PREPAREs from the current leader that arrived above the FIFO cursor,
+    /// keyed by counter: `(view, sequence, requests, ui)`. Drained in
+    /// counter order as the cursor advances; cleared on view install
+    /// (a new view means a new leader stream). Bounded.
+    parked_prepares: BTreeMap<u64, (u64, u64, Vec<Request>, UniqueIdentifier)>,
+    /// This replica's own UI-certified messages by counter, retained (and
+    /// bounded) so peers can close FIFO gaps through
+    /// [`Message::UiResendRequest`] instead of stalling behind lost
+    /// messages.
+    ui_log: BTreeMap<u64, Message>,
+    /// The digest-chain value at `log_start`: folding the retained
+    /// `executed` suffix over it reproduces `log_chain`. Maintained through
+    /// compaction so state transfers carry a verifiable chain.
+    chain_base: Digest,
 }
+
+/// Bounds for the FIFO-gap machinery: parked out-of-order PREPAREs per
+/// replica, retained own UI messages, and messages per resend answer.
+const PARKED_PREPARE_LIMIT: usize = 64;
+const UI_LOG_LIMIT: usize = 512;
+const UI_RESEND_LIMIT: usize = 32;
 
 impl Replica {
     pub(crate) fn new(
@@ -839,6 +979,11 @@ impl Replica {
             epoch: 0,
             voted_view: 0,
             corrupt_execution: false,
+            attacker: None,
+            ui_high: HashMap::new(),
+            parked_prepares: BTreeMap::new(),
+            ui_log: BTreeMap::new(),
+            chain_base: digest(b"minbft-genesis"),
         }
     }
 
@@ -881,8 +1026,11 @@ impl Replica {
         // The USIG is the tamperproof component: its monotonic counter
         // survives recovery (that is the trusted-component assumption the
         // whole protocol rests on), so peers keep accepting certificates
-        // without any counter-reset coordination.
+        // without any counter-reset coordination. The retained UI message
+        // log rides along: the counter stream continues, so peers may still
+        // ask for pre-recovery counters to close FIFO gaps.
         std::mem::swap(&mut fresh.usig, &mut self.usig);
+        std::mem::swap(&mut fresh.ui_log, &mut self.ui_log);
         // A freshly recovered replica must not resume proposing under its
         // old leadership; it may only lead a view acquired through a
         // view-change quorum (see `min_lead_view`).
@@ -907,6 +1055,9 @@ impl Replica {
         self.membership = membership;
         self.epoch = epoch;
         self.view_change_votes.clear();
+        // Leadership of the current view is barred below, so the current
+        // leader stream ends here; parked entries can never drain.
+        self.parked_prepares.clear();
         self.min_lead_view = self.min_lead_view.max(self.view + 1);
         if !self.membership.contains(&self.id) {
             self.evicted = true;
@@ -985,7 +1136,12 @@ impl Replica {
         if log_len < self.log_start || log_len > self.executed_len() {
             return;
         }
-        self.executed.drain(..(log_len - self.log_start) as usize);
+        // The compacted prefix folds into the chain base, keeping the
+        // invariant `fold(chain_base, executed) == log_chain` that state
+        // transfers are verified against.
+        for dropped in self.executed.drain(..(log_len - self.log_start) as usize) {
+            self.chain_base = combine(self.chain_base, dropped);
+        }
         self.log_start = log_len;
         self.stable_sequence = sequence;
         self.prepared.retain(|&s, _| s > sequence);
@@ -1070,6 +1226,39 @@ fn state_transfer_message(replica: &Replica) -> Message {
         membership: replica.membership.clone(),
         replies,
         prepared: prepared_report(replica),
+        chain_base: replica.chain_base,
+        ui_high: {
+            let mut cursors: Vec<(NodeId, u64)> = replica
+                .ui_high
+                .iter()
+                .map(|(&node, &counter)| (node, counter))
+                .collect();
+            cursors.sort_unstable();
+            cursors
+        },
+    }
+}
+
+/// The [`AttackerKind::LyingDonor`] transform: inflate the execution
+/// frontier and append fabricated digests *without* extending the chain, so
+/// the receiver's `fold(chain_base, executed) == log_chain` check exposes
+/// the forgery. A subtler donor could keep the chain consistent over a
+/// fabricated history, but it cannot reproduce the honest chain value that
+/// checkpoint quorums already certified — any adopted forgery diverges at
+/// the next checkpoint comparison.
+fn forge_state_transfer(transfer: &mut Message) {
+    if let Message::StateTransfer {
+        value,
+        last_executed,
+        executed,
+        ..
+    } = transfer
+    {
+        *value = value.wrapping_add(0xbad);
+        *last_executed += 3;
+        for filler in 0..3u64 {
+            executed.push(digest(&filler.to_le_bytes()));
+        }
     }
 }
 
@@ -1118,12 +1307,78 @@ fn propose_batch(replica: &mut Replica, requests: Vec<Request>, out: &mut StepOu
         .entry((sequence, digest))
         .or_default()
         .insert(replica.id);
-    out.broadcast.push(Message::Prepare {
+    let prepare = Message::Prepare {
         view: replica.view,
         sequence,
         requests,
         ui,
-    });
+    };
+    record_ui_message(replica, ui.counter, prepare.clone());
+    if replica.attacker == Some(AttackerKind::EquivocatingLeader) {
+        equivocate(replica, sequence, prepare, out);
+    } else {
+        out.broadcast.push(prepare);
+    }
+}
+
+/// The [`AttackerKind::EquivocatingLeader`] proposal path: alongside the
+/// honest PREPARE, certify a *conflicting* batch for the same sequence
+/// number with the next USIG counter, and send each half of the membership a
+/// different one. The attack stays entirely within the trusted component's
+/// limits — two distinct counters certify two distinct digests; only the
+/// *binding of one sequence number to two batches* is the lie. Against
+/// gap-tolerant acceptance this forms two disjoint commit quorums that share
+/// only the attacker (each half credits the leader's PREPARE as a vote);
+/// the per-sender FIFO cursor forces every replica to process the
+/// lower-counter PREPARE first, after which first-wins rejects the conflict.
+fn equivocate(replica: &mut Replica, sequence: u64, honest: Message, out: &mut StepOutput) {
+    let Message::Prepare {
+        view, ref requests, ..
+    } = honest
+    else {
+        out.broadcast.push(honest);
+        return;
+    };
+    // The conflicting batch reorders the same submitted requests (or, for a
+    // singleton, proposes the empty batch): its digest differs, but every
+    // request in it was genuinely submitted — if the attack splits the
+    // cluster, it is the *agreement* oracle that fires, not validity.
+    let conflicting: Vec<Request> = if requests.len() >= 2 {
+        requests.iter().rev().cloned().collect()
+    } else {
+        Vec::new()
+    };
+    let conflict_digest = batch_digest(&conflicting);
+    let conflict_ui = replica.usig.create_ui(conflict_digest);
+    out.created_uis += 1;
+    let conflict = Message::Prepare {
+        view,
+        sequence,
+        requests: conflicting,
+        ui: conflict_ui,
+    };
+    record_ui_message(replica, conflict_ui.counter, conflict.clone());
+    let members = replica.membership.clone();
+    for (index, member) in members.into_iter().enumerate() {
+        if member == replica.id {
+            continue;
+        }
+        let message = if index % 2 == 0 {
+            honest.clone()
+        } else {
+            conflict.clone()
+        };
+        out.outgoing.push((member, message));
+    }
+}
+
+/// Records one of the replica's own UI-certified messages for gap repair
+/// (see [`Message::UiResendRequest`]), bounding the retained log.
+fn record_ui_message(replica: &mut Replica, counter: u64, message: Message) {
+    replica.ui_log.insert(counter, message);
+    while replica.ui_log.len() > UI_LOG_LIMIT {
+        replica.ui_log.pop_first();
+    }
 }
 
 /// Proposes every full batch the leader has accumulated, stopping when the
@@ -1299,19 +1554,120 @@ fn handle_prepare(
     // A replica awaiting its state transfer must not participate: its log
     // and sequence counter are meaningless, so a COMMIT vote from it could
     // help a quorum re-execute an old sequence number (recovery amnesia).
-    if view != replica.view
-        || from != replica.leader()
-        || !replica.in_current_view()
-        || replica.needs_state
-    {
+    if replica.needs_state {
         return;
     }
-    // The USIG certificate must be valid and fresh (prevents equivocation and
-    // replays; reordering across sequence numbers is tolerated). One
-    // verification covers the whole batch.
+    // The certificate must be valid before anything else: an unauthentic
+    // message must not move the per-sender FIFO cursor. One verification
+    // covers the whole batch.
     let digest = batch_digest(&requests);
+    if !replica.verifier.verify_certificate(digest, &ui) {
+        return;
+    }
+    if view != replica.view || from != replica.leader() || !replica.in_current_view() {
+        // Authentic but void in this view (stale view, or a view this
+        // replica has not installed yet). The counter is consumed in the
+        // sender's stream regardless — advance the cursor so the sender's
+        // later in-view PREPAREs are not parked behind a gap that nothing
+        // can ever fill.
+        note_ui_counter(replica, from, ui.counter);
+        drain_parked_prepares(replica, out);
+        return;
+    }
+    let expected = replica.ui_high.get(&from).copied().unwrap_or(0) + 1;
+    if ui.counter < expected {
+        // Replay, or a resend of a counter the cursor already passed.
+        return;
+    }
+    if ui.counter > expected {
+        // A gap in the leader's UI stream: reordering or loss. Accepting
+        // across the gap is exactly what an equivocating leader needs (two
+        // disjoint quorums on two disjoint counter ranges), so park the
+        // PREPARE and ask the sender to re-send the missing range. Only a
+        // *new* parking triggers the request — re-deliveries of an
+        // already-parked counter must not ping-pong resend traffic.
+        if replica.parked_prepares.len() < PARKED_PREPARE_LIMIT
+            && !replica.parked_prepares.contains_key(&ui.counter)
+        {
+            replica
+                .parked_prepares
+                .insert(ui.counter, (view, sequence, requests, ui));
+            out.outgoing.push((
+                from,
+                Message::UiResendRequest {
+                    from_counter: expected,
+                },
+            ));
+        }
+        return;
+    }
+    accept_prepare_in_order(replica, from, view, sequence, requests, digest, ui, out);
+    drain_parked_prepares(replica, out);
+}
+
+/// Advances the per-sender FIFO cursor past a counter whose certificate
+/// verified (PREPAREs accepted or void-in-view, COMMITs): the counter is
+/// consumed in the sender's stream either way.
+fn note_ui_counter(replica: &mut Replica, from: NodeId, counter: u64) {
+    let cursor = replica.ui_high.entry(from).or_insert(0);
+    *cursor = (*cursor).max(counter);
+}
+
+/// Processes parked PREPAREs that have become counter-consecutive after the
+/// cursor advanced. Entries for other views (stale parkings that survived a
+/// view install race) are discarded as their counters come due.
+fn drain_parked_prepares(replica: &mut Replica, out: &mut StepOutput) {
+    loop {
+        if replica.needs_state || !replica.in_current_view() {
+            return;
+        }
+        let leader = replica.leader();
+        let next = replica.ui_high.get(&leader).copied().unwrap_or(0) + 1;
+        let Some((view, sequence, requests, ui)) = replica.parked_prepares.remove(&next) else {
+            return;
+        };
+        if view != replica.view || ui.replica != leader {
+            // Void in the current view. If it is still this leader's
+            // counter (the leader led an older view too), the counter is
+            // consumed in its stream and the cursor moves past it;
+            // an entry parked under a *different* old leader just drops.
+            if ui.replica == leader {
+                note_ui_counter(replica, leader, ui.counter);
+            }
+            continue;
+        }
+        let digest = batch_digest(&requests);
+        accept_prepare_in_order(replica, leader, view, sequence, requests, digest, ui, out);
+    }
+}
+
+/// The post-FIFO acceptance path of a PREPARE: replay protection, cursor
+/// advance, the first-wins equivocation check, and the COMMIT answer.
+#[allow(clippy::too_many_arguments)]
+fn accept_prepare_in_order(
+    replica: &mut Replica,
+    from: NodeId,
+    view: u64,
+    sequence: u64,
+    requests: Vec<Request>,
+    digest: Digest,
+    ui: UniqueIdentifier,
+    out: &mut StepOutput,
+) {
+    // Replay protection (the certificate was already verified).
     if !replica.verifier.accept_unordered(digest, &ui) {
         return;
+    }
+    note_ui_counter(replica, from, ui.counter);
+    // First-wins per (view, sequence): a second PREPARE binding the same
+    // sequence to a *different* batch in the same view is equivocation.
+    // The counter is consumed (the cursor advanced above) but the conflict
+    // is not adopted and earns no COMMIT. Re-proposals from a *higher*
+    // view (view-change refills) legitimately overwrite.
+    if let Some((prev_view, prev_batch)) = replica.prepared.get(&sequence) {
+        if *prev_view >= view && batch_digest(prev_batch) != digest {
+            return;
+        }
     }
     for request in &requests {
         replica
@@ -1324,12 +1680,14 @@ fn handle_prepare(
     votes.insert(replica.id);
     let own_ui = replica.usig.create_ui(digest);
     out.created_uis += 1;
-    out.broadcast.push(Message::Commit {
+    let commit = Message::Commit {
         view,
         sequence,
         batch_digest: digest,
         ui: own_ui,
-    });
+    };
+    record_ui_message(replica, own_ui.counter, commit.clone());
+    out.broadcast.push(commit);
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -1344,15 +1702,21 @@ fn handle_commit(
     out: &mut StepOutput,
     trace: &mut Vec<CommitRecord>,
 ) {
-    if view != replica.view || !replica.in_current_view() {
-        return;
-    }
-    // Verify the certificate; the vote is recorded even if the PREPARE has
-    // not arrived yet (it only becomes effective once the matching batch is
-    // prepared).
+    // Certificate first: an authentic COMMIT consumes its counter in the
+    // sender's UI stream even when it is void in this view, and the FIFO
+    // cursor must track that (a leader's PREPARE stream resumes *after*
+    // the COMMITs it sent as a follower — without the cursor advance those
+    // in-between counters would look like an unfillable gap).
     if !replica.verifier.verify_certificate(batch_digest, &ui) {
         return;
     }
+    note_ui_counter(replica, from, ui.counter);
+    drain_parked_prepares(replica, out);
+    if view != replica.view || !replica.in_current_view() {
+        return;
+    }
+    // The vote is recorded even if the PREPARE has not arrived yet (it only
+    // becomes effective once the matching batch is prepared).
     replica
         .commit_votes
         .entry((sequence, batch_digest))
@@ -1361,8 +1725,8 @@ fn handle_commit(
     execute_ready(replica, params, out, trace);
 }
 
-/// Executes all consecutive sequence numbers whose commit quorum (f + 1
-/// votes on the prepared batch's digest) has been reached: every request of
+/// Executes all consecutive sequence numbers whose commit quorum (see
+/// [`ProtocolParams::commit_quorum`]) has been reached: every request of
 /// the batch is applied and answered, checkpoints fire on period multiples.
 fn execute_ready(
     replica: &mut Replica,
@@ -1383,7 +1747,7 @@ fn execute_ready(
         let quorum_met = replica
             .commit_votes
             .get(&(next, batch_digest(&batch)))
-            .map(|votes| votes.len() > params.f)
+            .map(|votes| votes.len() >= params.commit_quorum(replica.membership.len()))
             .unwrap_or(false);
         if !quorum_met {
             break;
@@ -1572,14 +1936,20 @@ pub(crate) fn replica_on_message(
                 if let Some(own_prepared) = own_prepared {
                     votes.insert(replica.id, (own_high, own_stable, own_prepared));
                 }
-                // The quorum must intersect every commit quorum (f + 1
-                // votes), so a sequence number executed by *any* replica is
-                // reflected in some voter's high-water mark: n - f voters
-                // are required (computed over the replica's own membership
-                // view, which may briefly differ from the cluster's during
-                // a reconfiguration).
+                // The ballot must intersect every commit quorum in a voter
+                // that still *remembers* the committed certificate: a
+                // proactive recovery re-images a replica from a donor's
+                // snapshot, and if the donor lagged, the recovered
+                // committer no longer holds the certificate it once voted
+                // for. Without the recovery slack baked into the quorum
+                // pair (see `ProtocolParams::commit_quorum`), a ballot of
+                // laggards plus a freshly re-imaged committer can no-op
+                // fill a committed sequence and re-assign its batch — a
+                // double execution. (Computed over the replica's own
+                // membership view, which may briefly differ from the
+                // cluster's during a reconfiguration.)
                 let n = replica.membership.len();
-                let quorum = n.saturating_sub(crate::hybrid_fault_threshold(n, 0)).max(1);
+                let quorum = params.view_change_quorum(n);
                 if votes.len() >= quorum {
                     let max_high = votes.values().map(|&(high, _, _)| high).max().unwrap_or(0);
                     let quorum_stable = votes
@@ -1603,6 +1973,9 @@ pub(crate) fn replica_on_message(
                     }
                     replica.view = new_view;
                     replica.forget_unexecuted_proposals();
+                    // A new view means a new leader UI stream; parked
+                    // PREPAREs of the old stream can never drain.
+                    replica.parked_prepares.clear();
                     // Ballots for installed views are dead weight.
                     replica.view_change_votes.retain(|&v, _| v > new_view);
                     // Echo the ballot: stragglers (including the view's
@@ -1650,11 +2023,44 @@ pub(crate) fn replica_on_message(
                         // have executed anywhere and becomes an *empty
                         // batch* — otherwise consecutive execution would
                         // stall at the gap forever.
-                        for sequence in (replica.last_executed + 1)..next_sequence {
-                            let batch = certificates
+                        // A request may appear in several reported
+                        // certificates: a leader that proposed it in an old
+                        // view keeps its (never-committed) certificate even
+                        // after a later view re-proposed and committed the
+                        // same request at a different sequence. Replaying
+                        // both placements would execute the request twice,
+                        // so each request is assigned to exactly one
+                        // refilled sequence — the freshest certificate
+                        // (highest view, then lowest sequence) wins, which
+                        // is always the committed placement when one exists.
+                        let refill_floor = replica.last_executed + 1;
+                        let mut priority: Vec<(u64, u64)> = certificates
+                            .range(refill_floor..next_sequence)
+                            .map(|(&sequence, &(view, _))| (sequence, view))
+                            .collect();
+                        priority.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                        let mut assigned: HashMap<(NodeId, u64), u64> = HashMap::new();
+                        for (sequence, _) in priority {
+                            if let Some((_, batch)) = certificates.get(&sequence) {
+                                for request in batch {
+                                    assigned
+                                        .entry((request.client, request.id))
+                                        .or_insert(sequence);
+                                }
+                            }
+                        }
+                        for sequence in refill_floor..next_sequence {
+                            let batch: Vec<Request> = certificates
                                 .get(&sequence)
                                 .map(|(_, batch)| batch.clone())
-                                .unwrap_or_default();
+                                .unwrap_or_default()
+                                .into_iter()
+                                .filter(|r| {
+                                    let key = (r.client, r.id);
+                                    assigned.get(&key) == Some(&sequence)
+                                        && !replica.seen_requests.contains(&key)
+                                })
+                                .collect();
                             replica.prepared.insert(sequence, (new_view, batch.clone()));
                             // Mark the requests as sequenced so the backlog
                             // below does not re-propose them at a second
@@ -1672,12 +2078,14 @@ pub(crate) fn replica_on_message(
                                 .entry((sequence, digest))
                                 .or_default()
                                 .insert(replica.id);
-                            out.broadcast.push(Message::Prepare {
+                            let refill = Message::Prepare {
                                 view: new_view,
                                 sequence,
                                 requests: batch,
                                 ui,
-                            });
+                            };
+                            record_ui_message(replica, ui.counter, refill.clone());
+                            out.broadcast.push(refill);
                         }
                         // Re-propose requests the old leader never
                         // sequenced, in batch-sized chunks. (The
@@ -1716,6 +2124,9 @@ pub(crate) fn replica_on_message(
             next_sequence,
         } => {
             if epoch == replica.epoch && view >= replica.view {
+                if view > replica.view {
+                    replica.parked_prepares.clear();
+                }
                 replica.view = view;
                 replica.membership = membership;
                 replica.next_sequence = next_sequence.max(replica.next_sequence);
@@ -1727,7 +2138,28 @@ pub(crate) fn replica_on_message(
             // Pull-based transfer for lagging replicas; amnesia must not
             // spread, so only replicas that hold state donate.
             if epoch == replica.epoch && !replica.needs_state {
-                out.outgoing.push((from, state_transfer_message(replica)));
+                let mut transfer = state_transfer_message(replica);
+                if replica.attacker == Some(AttackerKind::LyingDonor) {
+                    forge_state_transfer(&mut transfer);
+                }
+                out.outgoing.push((from, transfer));
+            }
+        }
+        Message::UiResendRequest { from_counter } => {
+            // Gap repair: re-send this replica's own UI-certified messages
+            // from the requested counter on (bounded). Counters below the
+            // retained log's floor are unrecoverable here — the requester
+            // falls back to a view change or state transfer.
+            if !replica.needs_state {
+                let resend: Vec<Message> = replica
+                    .ui_log
+                    .range(from_counter..)
+                    .take(UI_RESEND_LIMIT)
+                    .map(|(_, message)| message.clone())
+                    .collect();
+                for message in resend {
+                    out.outgoing.push((from, message));
+                }
             }
         }
         Message::StateTransfer {
@@ -1744,7 +2176,21 @@ pub(crate) fn replica_on_message(
             membership,
             replies,
             prepared,
+            chain_base,
+            ui_high,
         } => {
+            // The frontier must be internally consistent before anything
+            // is adopted: folding the retained suffix over the chain base
+            // must reproduce the advertised chain, the suffix length must
+            // match the advertised frontier, and the stable checkpoint
+            // cannot exceed it. A lying donor that inflates its frontier
+            // or fabricates digests fails here and donates nothing.
+            let folded = executed
+                .iter()
+                .fold(chain_base, |chain, &entry| combine(chain, entry));
+            if folded != log_chain || stable_sequence > last_executed {
+                return;
+            }
             // Phase two of a message-driven rebuild: the first transfer
             // covering the replica's own frontier triggers the wipe, and
             // the very same transfer is adopted below — there is no window
@@ -1780,8 +2226,17 @@ pub(crate) fn replica_on_message(
                 replica.executed = executed;
                 replica.log_start = log_start;
                 replica.log_chain = log_chain;
+                replica.chain_base = chain_base;
                 replica.last_executed = last_executed;
                 replica.stable_sequence = stable_sequence;
+                // Adopt the donor's FIFO cursors (keeping own where it is
+                // ahead): a recovered verifier has no counter history, and
+                // without a baseline every post-recovery PREPARE would
+                // park behind an unfillable gap.
+                for (node, counter) in ui_high {
+                    note_ui_counter(replica, node, counter);
+                }
+                replica.parked_prepares.clear();
                 replica.view = view.max(replica.view);
                 // Adopting the donor's (possibly much higher) view must not
                 // re-open leadership: a recovered replica may only lead a
@@ -1913,6 +2368,23 @@ pub struct RetainedStats {
     pub seen_requests: usize,
 }
 
+/// A vote an attacker holds back until the view-change timeout boundary
+/// (see [`AttackerKind::DelayedVotes`]).
+#[derive(Debug)]
+struct HeldMessage {
+    release_at: SimTime,
+    from: NodeId,
+    to: NodeId,
+    message: Message,
+}
+
+/// What the attacker egress filter decides for one outgoing message.
+enum EgressAction {
+    Deliver,
+    Withhold,
+    Hold,
+}
+
 /// A simulated MinBFT cluster: replicas, clients, the network and the event
 /// loop that drives them.
 pub struct MinBftCluster {
@@ -1929,6 +2401,10 @@ pub struct MinBftCluster {
     /// The configuration epoch (bumped by every JOIN/EVICT).
     epoch: u64,
     commit_trace: Vec<CommitRecord>,
+    /// Votes held by [`AttackerKind::DelayedVotes`] attackers, released at
+    /// the view-change timeout boundary (in insertion order, for
+    /// deterministic replay).
+    held_messages: Vec<HeldMessage>,
 }
 
 /// Client node identifiers start here to keep them disjoint from replicas.
@@ -1978,6 +2454,7 @@ impl MinBftCluster {
             view_changes: 0,
             epoch: 0,
             commit_trace: Vec::new(),
+            held_messages: Vec::new(),
         }
     }
 
@@ -1989,6 +2466,7 @@ impl MinBftCluster {
             batch_size: self.config.batch_size.max(1),
             batch_delay: self.config.batch_delay,
             pipeline_window: self.config.pipeline_window,
+            recoveries: self.config.parallel_recoveries,
         }
     }
 
@@ -2232,6 +2710,138 @@ impl MinBftCluster {
             .byzantine = mode;
     }
 
+    /// Assigns (or clears) a protocol-aware attacker strategy on a replica.
+    /// A recovery rebuilds the replica and thereby clears the attacker.
+    pub fn set_attacker(&mut self, replica: NodeId, attacker: Option<AttackerKind>) {
+        if let Some(r) = self.replicas.get_mut(&replica) {
+            r.attacker = attacker;
+        }
+    }
+
+    /// The attacker strategy a replica currently runs with.
+    pub fn attacker(&self, replica: NodeId) -> Option<AttackerKind> {
+        self.replicas.get(&replica).and_then(|r| r.attacker)
+    }
+
+    /// The retained prepared certificates of a replica as
+    /// `(sequence, view, batch digest)` — the observability hook of the
+    /// equivocation properties: an honest replica must never bind one
+    /// `(view, sequence)` to two different digests, and no two honest
+    /// replicas may disagree on the digest prepared at the same
+    /// `(view, sequence)`.
+    pub fn prepared_entries(&self, replica: NodeId) -> Vec<(u64, u64, Digest)> {
+        self.replicas
+            .get(&replica)
+            .map(|r| {
+                r.prepared
+                    .iter()
+                    .map(|(&sequence, (view, batch))| (sequence, *view, batch_digest(batch)))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The last counter a replica's USIG assigned (0 if none): the trusted
+    /// monotonic counter of the equivocation properties — even an attacker
+    /// cannot sign two messages with one counter value.
+    pub fn usig_last_counter(&self, replica: NodeId) -> Option<u64> {
+        self.replicas.get(&replica).map(|r| r.usig.last_counter())
+    }
+
+    /// `replica`'s FIFO acceptance cursor for `sender`: the highest USIG
+    /// counter it has consumed from that peer. A counter is consumed at
+    /// most once (acceptance is counter-consecutive), so the cursor never
+    /// exceeds the sender's own [`Self::usig_last_counter`].
+    pub fn ui_cursor(&self, replica: NodeId, sender: NodeId) -> u64 {
+        self.replicas
+            .get(&replica)
+            .and_then(|r| r.ui_high.get(&sender).copied())
+            .unwrap_or(0)
+    }
+
+    /// The attacker egress filter: what a compromised sender does with one
+    /// outgoing message. Withheld messages never reach the network (the
+    /// accounting oracle never sees them as sent); held messages are
+    /// released by `check_timeouts` at the view-change timeout boundary.
+    fn attacker_egress(&self, sender: NodeId, dest: NodeId, message: &Message) -> EgressAction {
+        let Some(attacker) = self.replicas.get(&sender).and_then(|r| r.attacker) else {
+            return EgressAction::Deliver;
+        };
+        match attacker {
+            AttackerKind::EquivocatingLeader | AttackerKind::LyingDonor => EgressAction::Deliver,
+            AttackerKind::VoteWithholding => {
+                // Starve a targeted commit quorum: the f + 1 lowest-id
+                // peers never see this attacker's COMMIT votes.
+                if matches!(message, Message::Commit { .. }) {
+                    let f = hybrid_fault_threshold(self.membership.len(), 0);
+                    let targeted = self
+                        .membership
+                        .iter()
+                        .filter(|&&id| id != sender)
+                        .take(f + 1)
+                        .any(|&id| id == dest);
+                    if targeted {
+                        return EgressAction::Withhold;
+                    }
+                }
+                EgressAction::Deliver
+            }
+            AttackerKind::DelayedVotes => {
+                if matches!(message, Message::Commit { .. } | Message::ViewChange { .. }) {
+                    EgressAction::Hold
+                } else {
+                    EgressAction::Deliver
+                }
+            }
+            AttackerKind::ReplySuppression => {
+                // The targeted client is the fleet's first (lowest id).
+                if matches!(message, Message::Reply { .. }) && dest == CLIENT_ID_BASE {
+                    EgressAction::Withhold
+                } else {
+                    EgressAction::Deliver
+                }
+            }
+        }
+    }
+
+    /// Sends one point-to-point message through the attacker egress filter.
+    fn route_send(&mut self, sender: NodeId, dest: NodeId, message: Message) {
+        match self.attacker_egress(sender, dest, &message) {
+            EgressAction::Deliver => self.network.send(sender, dest, message),
+            EgressAction::Withhold => {}
+            EgressAction::Hold => {
+                let release_at = self.network.now() + self.config.request_timeout;
+                self.held_messages.push(HeldMessage {
+                    release_at,
+                    from: sender,
+                    to: dest,
+                    message,
+                });
+            }
+        }
+    }
+
+    /// Broadcasts through the attacker egress filter. Honest senders take
+    /// the network's native broadcast (bit-identical with pre-attacker
+    /// replays); attacker senders expand to per-destination sends so the
+    /// filter can decide each edge separately.
+    fn route_broadcast(&mut self, sender: NodeId, members: &[NodeId], message: Message) {
+        let is_attacker = self
+            .replicas
+            .get(&sender)
+            .is_some_and(|r| r.attacker.is_some());
+        if !is_attacker {
+            self.network.broadcast(sender, members, &message);
+            return;
+        }
+        for &member in members {
+            if member == sender {
+                continue;
+            }
+            self.route_send(sender, member, message.clone());
+        }
+    }
+
     /// Crashes a replica (it stops processing and the network drops its
     /// traffic).
     pub fn crash_replica(&mut self, replica: NodeId) {
@@ -2283,16 +2893,39 @@ impl MinBftCluster {
             r.view = view;
             r.epoch = epoch;
             r.needs_state = true;
+            // The pull below is a broadcast, so the first-arriving response
+            // may come from a donor lagging behind this replica's own
+            // pre-recovery frontier. Adopting it would forget certificates
+            // for sequences this replica already committed — the rollback
+            // the `recovery_floor` field exists to refuse. The donor check
+            // above guarantees a live peer at or beyond the floor, and the
+            // pull is re-announced every step until one answers.
+            r.recovery_floor = target_frontier;
             r.min_lead_view = view + 1;
         }
         // Ask every other replica for a state transfer; verifiers must also
-        // forget the recovered replica's old USIG counter.
+        // forget the recovered replica's old USIG counter, and the FIFO
+        // cursor with it — the fresh USIG restarts at counter 1, which
+        // would sit below a stale cursor forever. PREPAREs parked under
+        // the old counter stream are void too.
         for (&other_id, other) in self.replicas.iter_mut() {
             if other_id != replica {
                 other.verifier.reset_replica(replica);
+                other.ui_high.remove(&replica);
+                other
+                    .parked_prepares
+                    .retain(|_, (_, _, _, ui)| ui.replica != replica);
             }
         }
         self.send_state_transfer(replica);
+        // The push above goes to a single donor, which may be an attacker
+        // serving forged frontiers; a broadcast pull reaches every live
+        // donor, so one honest transfer always lands (this mirrors the
+        // message-driven `ControlMessage::Recover` path).
+        let epoch = self.replicas.get(&replica).map(|r| r.epoch).unwrap_or(0);
+        let members = self.membership.clone();
+        self.network
+            .broadcast(replica, &members, &Message::StateRequest { epoch });
         true
     }
 
@@ -2314,7 +2947,10 @@ impl MinBftCluster {
             })
             .max_by_key(|&id| (self.replicas[&id].last_executed, std::cmp::Reverse(id)));
         if let Some(donor) = donor {
-            let state = state_transfer_message(&self.replicas[&donor]);
+            let mut state = state_transfer_message(&self.replicas[&donor]);
+            if self.replicas[&donor].attacker == Some(AttackerKind::LyingDonor) {
+                forge_state_transfer(&mut state);
+            }
             self.network.send(donor, recipient, state);
         }
     }
@@ -2499,6 +3135,9 @@ impl MinBftCluster {
             if let Some(t) = batch_flush_deadline(replica, &params, now) {
                 deadline = deadline.min(t);
             }
+        }
+        for held in &self.held_messages {
+            deadline = deadline.min(held.release_at);
         }
         deadline.is_finite().then_some(deadline)
     }
@@ -2836,11 +3475,11 @@ impl MinBftCluster {
         self.network.advance_to(time + self.config.processing_time);
         for message in out.broadcast {
             let corrupted = self.maybe_corrupt(to, &message);
-            self.network.broadcast(to, &members, &corrupted);
+            self.route_broadcast(to, &members, corrupted);
         }
         for (dest, message) in out.outgoing {
             let corrupted = self.maybe_corrupt(to, &message);
-            self.network.send(to, dest, corrupted);
+            self.route_send(to, dest, corrupted);
         }
     }
 
@@ -2935,11 +3574,29 @@ impl MinBftCluster {
         for (id, out) in outputs {
             for message in out.broadcast {
                 let corrupted = self.maybe_corrupt(id, &message);
-                self.network.broadcast(id, &members, &corrupted);
+                self.route_broadcast(id, &members, corrupted);
             }
             for (dest, message) in out.outgoing {
                 let corrupted = self.maybe_corrupt(id, &message);
-                self.network.send(id, dest, corrupted);
+                self.route_send(id, dest, corrupted);
+            }
+        }
+        // Attacker-held votes whose timeout boundary has passed go out now,
+        // in insertion order (canonical deadline form `now >= release_at`,
+        // matching `next_timer_deadline`).
+        if !self.held_messages.is_empty() {
+            let mut kept = Vec::new();
+            let mut due = Vec::new();
+            for held in self.held_messages.drain(..) {
+                if now >= held.release_at {
+                    due.push(held);
+                } else {
+                    kept.push(held);
+                }
+            }
+            self.held_messages = kept;
+            for held in due {
+                self.network.send(held.from, held.to, held.message);
             }
         }
     }

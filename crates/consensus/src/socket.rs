@@ -529,6 +529,8 @@ impl SocketReplicaNode {
             batch_size: self.config.batch_size.max(1),
             batch_delay: self.config.batch_delay,
             pipeline_window: self.config.pipeline_window,
+            // One recovery in flight at a time, as on the threaded plane.
+            recoveries: 1,
         };
         replica_main(
             replica,

@@ -363,6 +363,10 @@ impl ThreadedCluster {
             batch_size: config.batch_size.max(1),
             batch_delay: config.batch_delay,
             pipeline_window: config.pipeline_window,
+            // The live control plane recovers one replica at a time, and
+            // the message-driven path only wipes once a frontier-covering
+            // transfer is in hand.
+            recoveries: 1,
         };
         let hub: ThreadedTransport<Message> = ThreadedTransport::new(config.channel_capacity);
         let control = hub.handle();

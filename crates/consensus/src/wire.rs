@@ -704,6 +704,27 @@ pub(crate) fn message_from_value(value: &Value) -> Result<Message, WireError> {
                     "StateTransfer.prepared",
                     certificate_from_value,
                 )?,
+                chain_base: digest_from_value(field(entries, "chain_base", ctx)?)?,
+                ui_high: vec_of(
+                    field(entries, "ui_high", ctx)?,
+                    "StateTransfer.ui_high",
+                    |v| {
+                        let [node, counter] = tuple_of::<2>(v, "ui_high entry")?;
+                        Ok((
+                            as_u32(node, "ui_high node")?,
+                            as_u64(counter, "ui_high counter")?,
+                        ))
+                    },
+                )?,
+            })
+        }
+        "UiResendRequest" => {
+            let entries = as_obj(inner, "UiResendRequest")?;
+            Ok(Message::UiResendRequest {
+                from_counter: as_u64(
+                    field(entries, "from_counter", "UiResendRequest")?,
+                    "UiResendRequest.from_counter",
+                )?,
             })
         }
         "Control" => Ok(Message::Control(control_from_value(inner)?)),
@@ -819,7 +840,10 @@ mod tests {
                 membership: vec![0, 1, 2],
                 replies: vec![(10_000, 8, 1, 18)],
                 prepared: vec![(19, 3, vec![sample_request(10_001, 9, Operation::Read)])],
+                chain_base: Digest(0x55),
+                ui_high: vec![(0, 19), (1, 17), (2, 18)],
             },
+            Message::UiResendRequest { from_counter: 12 },
             Message::Control(ControlMessage::Recover),
             Message::Control(ControlMessage::Reconfigure {
                 epoch: 2,
@@ -886,6 +910,8 @@ mod tests {
             membership: vec![0, 1, 2, 3],
             replies: vec![],
             prepared: vec![],
+            chain_base: Digest(0),
+            ui_high: vec![],
         };
         let bytes = encode_message(&message);
         for cut in 0..bytes.len() {

@@ -23,6 +23,7 @@ use crate::metrics::MetricReport;
 use crate::node_model::{NodeModel, NodeParameters, NodeState};
 use crate::observation::ObservationModel;
 use crate::runtime::AsMetricReport;
+use crate::simnet::adversary;
 use crate::simnet::oracle::{InvariantChecker, InvariantKind, Violation};
 use crate::simnet::schedule::{FaultEvent, FaultSchedule, ScheduleConfig};
 use rand::rngs::StdRng;
@@ -116,6 +117,11 @@ pub(crate) struct Supervisor {
     pub(crate) state: NodeState,
     pub(crate) compromised_at: Option<u32>,
     pub(crate) schedule_crashed: bool,
+    /// IDS-signature degradation of the current compromise: `0.0` samples
+    /// the full compromised alert distribution, larger values mix it toward
+    /// healthy (protocol-aware attackers are quieter, see
+    /// [`crate::simnet::adversary::attacker_ids_lambda`]).
+    pub(crate) ids_lambda: f64,
 }
 
 impl Supervisor {
@@ -124,6 +130,7 @@ impl Supervisor {
             state: NodeState::Healthy,
             compromised_at: None,
             schedule_crashed: false,
+            ids_lambda: 0.0,
         }
     }
 }
@@ -181,6 +188,7 @@ impl HarnessActuator<'_> {
         if let Some(supervisor) = self.supervisors.get_mut(&node) {
             supervisor.state = NodeState::Healthy;
             supervisor.schedule_crashed = false;
+            supervisor.ids_lambda = 0.0;
             if let Some(at) = supervisor.compromised_at.take() {
                 self.recovery_delays.push(self.step.saturating_sub(at));
             }
@@ -227,9 +235,15 @@ struct SimHarness<'a> {
     supervisors: BTreeMap<NodeId, Supervisor>,
     controlplane: ControlPlane,
     alert_model: ObservationModel,
+    /// Per-λ degraded alert models (see [`adversary::degraded_model_table`]).
+    degraded_models: Vec<(u64, ObservationModel)>,
     rng: StdRng,
     checker: InvariantChecker,
     clients: Vec<NodeId>,
+    /// Step at which each client's currently outstanding request was
+    /// submitted (entries are pruned once the request completes) — the
+    /// bookkeeping of the liveness-after-GST oracle.
+    outstanding_since: BTreeMap<NodeId, u32>,
     pending_bursts: u32,
     added_stack: Vec<NodeId>,
     issued: u64,
@@ -257,6 +271,7 @@ impl<'a> SimHarness<'a> {
             },
             node_model,
         )?;
+        let degraded_models = adversary::degraded_model_table(&alert_model)?;
         let mut harness = SimHarness {
             schedule,
             config,
@@ -264,9 +279,11 @@ impl<'a> SimHarness<'a> {
             supervisors: BTreeMap::new(),
             controlplane,
             alert_model,
+            degraded_models,
             rng: StdRng::seed_from_u64(schedule.seed ^ 0x51e7_c0de_0bad_cafe),
             checker: InvariantChecker::new(),
             clients: Vec::new(),
+            outstanding_since: BTreeMap::new(),
             pending_bursts: 0,
             added_stack: Vec::new(),
             issued: 0,
@@ -285,10 +302,13 @@ impl<'a> SimHarness<'a> {
         Ok(harness)
     }
 
-    fn submit(&mut self, client: NodeId, operation: Operation) {
+    fn submit(&mut self, client: NodeId, operation: Operation, step: u32) {
         let request = self.cluster.submit(client, operation);
         self.checker.record_submission(request.digest());
         self.issued += 1;
+        // Clients submit at most one request at a time, so per-client
+        // tracking of the submission step is exact.
+        self.outstanding_since.insert(client, step);
     }
 
     fn recover_node(&mut self, node: NodeId, step: u32) {
@@ -315,18 +335,22 @@ impl<'a> SimHarness<'a> {
             }
             FaultEvent::Heal => self.cluster.heal_network(),
             FaultEvent::LossStorm { loss_rate } => {
-                let mut network = self.config.network;
-                network.loss_rate = *loss_rate;
+                // Storms perturb the *ambient* profile of the step (the
+                // asynchronous profile before GST), and RestoreNetwork
+                // restores it, so a storm never ends the pre-GST phase.
+                let mut network = self.config.ambient_network(step);
+                network.loss_rate = network.loss_rate.max(*loss_rate);
                 self.cluster.set_network_config(network.clamped());
             }
             FaultEvent::DelayStorm { latency, jitter } => {
-                let mut network = self.config.network;
-                network.latency = *latency;
-                network.jitter = *jitter;
+                let mut network = self.config.ambient_network(step);
+                network.latency = network.latency.max(*latency);
+                network.jitter = network.jitter.max(*jitter);
                 self.cluster.set_network_config(network.clamped());
             }
             FaultEvent::RestoreNetwork => {
-                self.cluster.set_network_config(self.config.network);
+                self.cluster
+                    .set_network_config(self.config.ambient_network(step));
             }
             FaultEvent::CrashReplica { node } => {
                 if self.cluster.membership().contains(node) {
@@ -341,6 +365,14 @@ impl<'a> SimHarness<'a> {
             FaultEvent::ByzantineFlip { node, mode } => {
                 if self.cluster.membership().contains(node) && !self.cluster.is_crashed(*node) {
                     self.cluster.set_byzantine(*node, *mode);
+                    // A flipped replica perturbs the IDS observation stream
+                    // too (with a heavily degraded signature) — it is
+                    // misbehaving, not invisible.
+                    if let Some(supervisor) = self.supervisors.get_mut(node) {
+                        supervisor.state = NodeState::Compromised;
+                        supervisor.compromised_at.get_or_insert(step);
+                        supervisor.ids_lambda = adversary::BYZANTINE_FLIP_IDS_LAMBDA;
+                    }
                 }
             }
             FaultEvent::IntrusionBurst { node, mode } => {
@@ -349,6 +381,18 @@ impl<'a> SimHarness<'a> {
                     if let Some(supervisor) = self.supervisors.get_mut(node) {
                         supervisor.state = NodeState::Compromised;
                         supervisor.compromised_at.get_or_insert(step);
+                        // A full compromise has the loudest signature.
+                        supervisor.ids_lambda = 0.0;
+                    }
+                }
+            }
+            FaultEvent::AdoptAttacker { node, attacker } => {
+                if self.cluster.membership().contains(node) && !self.cluster.is_crashed(*node) {
+                    self.cluster.set_attacker(*node, Some(*attacker));
+                    if let Some(supervisor) = self.supervisors.get_mut(node) {
+                        supervisor.state = NodeState::Compromised;
+                        supervisor.compromised_at.get_or_insert(step);
+                        supervisor.ids_lambda = adversary::attacker_ids_lambda(*attacker);
                     }
                 }
             }
@@ -401,7 +445,17 @@ impl<'a> SimHarness<'a> {
                         NodeState::Compromised => NodeState::Compromised,
                         _ => NodeState::Healthy,
                     };
-                    NodeReport::Sample(self.alert_model.sample(sample_state, &mut self.rng))
+                    // Protocol-aware attackers sample from a degraded
+                    // compromise signature (the λ set by their event). The
+                    // model choice never changes how many RNG draws happen,
+                    // so schedules that never set a λ keep byte-identical
+                    // traces.
+                    let model = adversary::degraded_model(
+                        &self.degraded_models,
+                        &self.alert_model,
+                        supervisor.ids_lambda,
+                    );
+                    NodeReport::Sample(model.sample(sample_state, &mut self.rng))
                 }
             };
             observations.push((id, report));
@@ -421,7 +475,7 @@ impl<'a> SimHarness<'a> {
     fn drive_clients(&mut self, step: u32) {
         let primary = self.clients[0];
         if !self.cluster.has_outstanding_request(primary) {
-            self.submit(primary, Operation::Write(u64::from(step) + 1));
+            self.submit(primary, Operation::Write(u64::from(step) + 1), step);
         }
         let burst_pool: Vec<NodeId> = self.clients[1..].to_vec();
         for client in burst_pool {
@@ -435,6 +489,7 @@ impl<'a> SimHarness<'a> {
                     Operation::Write(
                         0x1000_0000 + u64::from(step) * 16 + u64::from(self.pending_bursts),
                     ),
+                    step,
                 );
             }
         }
@@ -468,6 +523,31 @@ impl<'a> SimHarness<'a> {
                              {step} (bound {bound})"
                         ),
                     });
+                }
+            }
+        }
+        // Liveness after GST: under partial synchrony, every request
+        // submitted before the network stabilized must complete within the
+        // bounded post-GST window.
+        let cluster = &self.cluster;
+        self.outstanding_since
+            .retain(|&client, _| cluster.has_outstanding_request(client));
+        if let Some(gst) = self.config.gst {
+            if step >= gst && step - gst > self.config.post_gst_liveness_steps {
+                for (&client, &since) in &self.outstanding_since {
+                    if since < gst {
+                        return Some(Violation {
+                            kind: InvariantKind::LivenessAfterGst,
+                            step,
+                            detail: format!(
+                                "client {client}'s request from step {since} (before GST at \
+                                 step {gst}) still uncommitted {} steps after stabilization \
+                                 (bound {})",
+                                step - gst,
+                                self.config.post_gst_liveness_steps
+                            ),
+                        });
+                    }
                 }
             }
         }
@@ -590,7 +670,7 @@ impl<'a> SimHarness<'a> {
         }
         // Probe: a fresh request must complete now that faults are ≤ f.
         let primary = self.clients[0];
-        self.submit(primary, Operation::Write(0xdead_beef));
+        self.submit(primary, Operation::Write(0xdead_beef), self.config.horizon);
         for _ in 0..10 {
             self.cluster.run_until(self.cluster.now() + settle_window);
             self.catch_up_stragglers();
@@ -622,8 +702,18 @@ impl<'a> SimHarness<'a> {
         let mut violation: Option<Violation> = None;
         let mut events = self.schedule.events.iter().peekable();
         let mut steps_run: u64 = 0;
+        // A GST schedule starts in the asynchronous phase.
+        self.cluster
+            .set_network_config(self.config.ambient_network(0));
         for step in 0..self.config.horizon {
             steps_run = u64::from(step) + 1;
+            if self.config.gst == Some(step) {
+                // Global stabilization: partitions heal and the bounded
+                // delay profile holds from here on (the generator draws no
+                // network faults past this step).
+                self.cluster.heal_network();
+                self.cluster.set_network_config(self.config.network);
+            }
             while let Some(fault) = events.peek() {
                 if fault.step > step {
                     break;

@@ -26,7 +26,12 @@
 //!    global recovery budget, cross-shard MultiPut chaos, and the routing
 //!    and atomicity oracles on top of the per-shard suite (`sharded/*`
 //!    scenarios, [`ShardedCounterexample`] shrinking).
+//! 7. [`adversary`] — the adversary zoo: protocol-aware attacker replicas
+//!    ([`FaultEvent::AdoptAttacker`]) crossed with network conditions
+//!    including partial synchrony (GST schedules with the
+//!    liveness-after-GST oracle), registered as the `adversary/*` matrix.
 
+pub mod adversary;
 pub mod executor;
 pub mod oracle;
 pub mod scenario;
@@ -34,10 +39,16 @@ pub mod schedule;
 pub mod sharded;
 pub mod shrink;
 
+pub use adversary::{
+    adversary_config, adversary_matrix, adversary_sharded_config, attacker_ids_lambda,
+    register_adversary_scenarios, NetworkCondition, BYZANTINE_FLIP_IDS_LAMBDA,
+};
 pub use executor::{run_schedule, RunReport, SimnetOutcome, TraceRecord};
 pub use oracle::{InvariantChecker, InvariantKind, RoutingChecker, Violation};
 pub use scenario::{register_simnet_scenarios, SimnetScenario};
-pub use schedule::{FaultEvent, FaultKind, FaultSchedule, ScheduleConfig, ScheduledFault};
+pub use schedule::{
+    FaultEvent, FaultKind, FaultSchedule, NetworkPhase, ScheduleConfig, ScheduledFault,
+};
 pub use sharded::{
     find_sharded_counterexample, register_sharded_scenarios, run_sharded_schedule,
     sharded_chaos_4_config, sharded_fleet_controlled_config, sharded_multiput_config,

@@ -46,6 +46,10 @@ pub enum InvariantKind {
     /// phase (some keys held the transaction's values while others did
     /// not, despite roll-forward of interrupted commit rounds).
     Atomicity,
+    /// Under a GST schedule, a request submitted before GST was still
+    /// uncommitted more than `post_gst_liveness_steps` steps after the
+    /// network stabilized (partial-synchrony liveness).
+    LivenessAfterGst,
 }
 
 impl std::fmt::Display for InvariantKind {
@@ -58,6 +62,7 @@ impl std::fmt::Display for InvariantKind {
             InvariantKind::Liveness => "liveness",
             InvariantKind::Routing => "routing",
             InvariantKind::Atomicity => "atomicity",
+            InvariantKind::LivenessAfterGst => "liveness-after-gst",
         };
         write!(f, "{name}")
     }

@@ -11,7 +11,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use tolerance_consensus::{
-    hybrid_fault_threshold, ByzantineMode, MinBftConfig, NetworkConfig, NodeId,
+    hybrid_fault_threshold, AttackerKind, ByzantineMode, MinBftConfig, NetworkConfig, NodeId,
 };
 
 /// The kind of a [`FaultEvent`] (used for coverage reporting and for
@@ -38,6 +38,10 @@ pub enum FaultKind {
     /// An intrusion burst: the replica is compromised *and* its IDS alert
     /// stream shifts, so the node controller can detect it.
     IntrusionBurst,
+    /// Adoption of a protocol-aware attacker strategy (the adversary zoo):
+    /// the replica keeps speaking the protocol but attacks it from inside,
+    /// with a variant-specific (fainter) IDS signature.
+    AdoptAttacker,
     /// Membership growth (JOIN reconfiguration).
     AddReplica,
     /// Membership shrink (EVICT reconfiguration).
@@ -99,6 +103,17 @@ pub enum FaultEvent {
         /// The post-compromise behaviour.
         mode: ByzantineMode,
     },
+    /// Compromise a replica with a protocol-aware attacker strategy. The
+    /// replica stays protocol-speaking (its USIG keeps signing honestly)
+    /// but equivocates, withholds, delays, lies as a state donor or
+    /// suppresses replies, depending on the variant — each with a distinct
+    /// (degraded) IDS observation signature.
+    AdoptAttacker {
+        /// The replica that turns attacker.
+        node: NodeId,
+        /// The attacker strategy it adopts.
+        attacker: AttackerKind,
+    },
     /// Add a fresh replica (JOIN).
     AddReplica,
     /// Evict a replica (EVICT). `None` evicts the most recently added
@@ -132,6 +147,7 @@ impl FaultEvent {
             FaultEvent::RecoverReplica { .. } => FaultKind::RecoverReplica,
             FaultEvent::ByzantineFlip { .. } => FaultKind::ByzantineFlip,
             FaultEvent::IntrusionBurst { .. } => FaultKind::IntrusionBurst,
+            FaultEvent::AdoptAttacker { .. } => FaultKind::AdoptAttacker,
             FaultEvent::AddReplica => FaultKind::AddReplica,
             FaultEvent::EvictReplica { .. } => FaultKind::EvictReplica,
             FaultEvent::ClientBurst { .. } => FaultKind::ClientBurst,
@@ -195,6 +211,23 @@ pub struct ScheduleConfig {
     /// Step at which to inject the test-only double-commit bug (never
     /// generated randomly).
     pub inject_double_commit_at: Option<u32>,
+    /// Global stabilization time (GST) of a partial-synchrony schedule:
+    /// before this step the network runs the asynchronous profile
+    /// ([`ScheduleConfig::async_network`]: arbitrary delay/reorder/loss);
+    /// at this step partitions heal and the base (bounded-delay) profile is
+    /// restored, and the generator draws no network faults whose closer
+    /// would land after it. `None` keeps the network synchronous
+    /// throughout.
+    pub gst: Option<u32>,
+    /// Bound of the liveness-after-GST oracle: every client request
+    /// submitted *before* GST must complete within this many post-GST
+    /// steps (only checked when [`ScheduleConfig::gst`] is set).
+    pub post_gst_liveness_steps: u32,
+    /// Attacker variants the generator may draw for
+    /// [`FaultEvent::AdoptAttacker`] events (only consulted when
+    /// [`FaultKind::AdoptAttacker`] is in `enabled`; empty means the full
+    /// zoo, [`AttackerKind::ALL`]).
+    pub attackers: Vec<AttackerKind>,
 }
 
 impl Default for ScheduleConfig {
@@ -229,8 +262,23 @@ impl Default for ScheduleConfig {
                 FaultKind::ClientBurst,
             ],
             inject_double_commit_at: None,
+            gst: None,
+            post_gst_liveness_steps: 12,
+            attackers: Vec::new(),
         }
     }
+}
+
+/// The synchrony phase a step falls into under a (possibly GST-scheduled)
+/// configuration: the network-condition axis of the adversary matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetworkPhase {
+    /// No GST configured: the bounded-delay base profile throughout.
+    Sync,
+    /// Before GST: arbitrary delay, reorder (jitter) and loss.
+    Async,
+    /// At or after GST: bounded delay again — liveness obligations resume.
+    PostGst,
 }
 
 impl ScheduleConfig {
@@ -254,6 +302,40 @@ impl ScheduleConfig {
             batch_size: self.batch_size,
             pipeline_window: self.pipeline_window,
             ..MinBftConfig::default()
+        }
+    }
+
+    /// The synchrony phase of `step` under this configuration.
+    pub fn network_phase(&self, step: u32) -> NetworkPhase {
+        match self.gst {
+            None => NetworkPhase::Sync,
+            Some(gst) if step < gst => NetworkPhase::Async,
+            Some(_) => NetworkPhase::PostGst,
+        }
+    }
+
+    /// The pre-GST asynchronous link profile: the base profile with
+    /// latency, jitter and loss floored high enough that delivery order,
+    /// timing and completeness are effectively arbitrary relative to the
+    /// protocol's timeouts.
+    pub fn async_network(&self) -> NetworkConfig {
+        NetworkConfig {
+            latency: self.network.latency.max(0.04),
+            jitter: self.network.jitter.max(0.03),
+            loss_rate: self.network.loss_rate.max(0.10),
+        }
+        .clamped()
+    }
+
+    /// The ambient link profile of `step`: the asynchronous profile before
+    /// GST, the base profile otherwise. Storm events perturb *this* profile
+    /// and `RestoreNetwork` restores it, so a storm closing pre-GST does
+    /// not end the asynchronous phase early.
+    pub fn ambient_network(&self, step: u32) -> NetworkConfig {
+        if self.network_phase(step) == NetworkPhase::Async {
+            self.async_network()
+        } else {
+            self.network
         }
     }
 }
@@ -317,9 +399,14 @@ impl FaultSchedule {
             let kind = config.enabled[rng.random_range(0..config.enabled.len())];
             let duration = 2 + rng.random_range(0..4u32);
             let close_step = (step + duration).min(last_fault_step);
+            // Under a GST schedule the network is only adversarial before
+            // GST: network faults whose closer would land after GST are
+            // not drawn, so the post-GST phase keeps bounded delay (the
+            // premise of the liveness-after-GST oracle).
+            let network_fault_allowed = config.gst.is_none_or(|gst| close_step <= gst);
             match kind {
                 FaultKind::Partition | FaultKind::Heal => {
-                    if partition_open_until.is_some() || nodes.len() < 3 {
+                    if partition_open_until.is_some() || nodes.len() < 3 || !network_fault_allowed {
                         continue;
                     }
                     // Cut off a minority group of up to f replicas.
@@ -343,7 +430,7 @@ impl FaultSchedule {
                     partition_open_until = Some(close_step);
                 }
                 FaultKind::LossStorm | FaultKind::DelayStorm | FaultKind::RestoreNetwork => {
-                    if storm_open_until.is_some() {
+                    if storm_open_until.is_some() || !network_fault_allowed {
                         continue;
                     }
                     let event = if kind == FaultKind::DelayStorm {
@@ -389,6 +476,35 @@ impl FaultSchedule {
                         _ => FaultEvent::IntrusionBurst { node, mode },
                     };
                     events.push(ScheduledFault { step, event });
+                    events.push(ScheduledFault {
+                        step: close_step,
+                        event: FaultEvent::RecoverReplica { node },
+                    });
+                    faulty_until.push((node, close_step));
+                }
+                FaultKind::AdoptAttacker => {
+                    if faulty_until.len() >= f {
+                        continue;
+                    }
+                    let free: Vec<NodeId> = nodes
+                        .iter()
+                        .copied()
+                        .filter(|n| faulty_until.iter().all(|&(m, _)| m != *n))
+                        .collect();
+                    if free.is_empty() {
+                        continue;
+                    }
+                    let node = free[rng.random_range(0..free.len())];
+                    let pool: &[AttackerKind] = if config.attackers.is_empty() {
+                        &AttackerKind::ALL
+                    } else {
+                        &config.attackers
+                    };
+                    let attacker = pool[rng.random_range(0..pool.len())];
+                    events.push(ScheduledFault {
+                        step,
+                        event: FaultEvent::AdoptAttacker { node, attacker },
+                    });
                     events.push(ScheduledFault {
                         step: close_step,
                         event: FaultEvent::RecoverReplica { node },

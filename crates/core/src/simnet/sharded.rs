@@ -37,6 +37,7 @@ use crate::metrics::MetricReport;
 use crate::node_model::{NodeModel, NodeParameters, NodeState};
 use crate::observation::ObservationModel;
 use crate::runtime::{AsMetricReport, MetricScenario, Scenario, ScenarioRegistry};
+use crate::simnet::adversary;
 use crate::simnet::executor::{HarnessActuator, SimnetOutcome, Supervisor, TraceRecord};
 use crate::simnet::oracle::{InvariantChecker, InvariantKind, RoutingChecker, Violation};
 use crate::simnet::schedule::{FaultEvent, FaultSchedule, ScheduleConfig};
@@ -220,6 +221,10 @@ struct ShardState {
     /// Every client whose completions this shard contributes (general pool
     /// plus transaction clients created on it).
     clients: Vec<NodeId>,
+    /// Step at which each client's currently outstanding request was
+    /// submitted (pruned on completion) — the per-shard bookkeeping of the
+    /// liveness-after-GST oracle.
+    outstanding_since: BTreeMap<NodeId, u32>,
 }
 
 struct ShardedHarness<'a> {
@@ -229,11 +234,16 @@ struct ShardedHarness<'a> {
     states: Vec<ShardState>,
     plane: FleetControlPlane,
     alert_model: ObservationModel,
+    /// Per-λ degraded alert models (see [`adversary::degraded_model_table`]).
+    degraded_models: Vec<(u64, ObservationModel)>,
     rng: StdRng,
     routing: RoutingChecker,
     transactions: Vec<MultiPutTx>,
     next_tx: u64,
     issued: u64,
+    /// The step currently executing (the horizon during the settle phase);
+    /// submission helpers stamp `outstanding_since` with it.
+    current_step: u32,
     trace: Vec<Vec<TraceRecord>>,
 }
 
@@ -263,9 +273,11 @@ impl<'a> ShardedHarness<'a> {
                     pending_bursts: 0,
                     owned_keys: partitioner.owned_keys(shard, config.key_space.max(1)),
                     clients: service.pool_clients(shard).to_vec(),
+                    outstanding_since: BTreeMap::new(),
                 }
             })
             .collect();
+        let degraded_models = adversary::degraded_model_table(&alert_model)?;
         Ok(ShardedHarness {
             schedule,
             config,
@@ -273,11 +285,13 @@ impl<'a> ShardedHarness<'a> {
             states,
             plane,
             alert_model,
+            degraded_models,
             rng: StdRng::seed_from_u64(schedule.seed ^ 0x51e7_c0de_0bad_cafe),
             routing: RoutingChecker::new(),
             transactions: Vec::new(),
             next_tx: 1,
             issued: 0,
+            current_step: 0,
             trace: Vec::new(),
         })
     }
@@ -303,6 +317,9 @@ impl<'a> ShardedHarness<'a> {
                     );
                 }
                 self.record(shard, request.digest());
+                self.states[shard]
+                    .outstanding_since
+                    .insert(client, self.current_step);
                 true
             }
             None => false,
@@ -326,6 +343,9 @@ impl<'a> ShardedHarness<'a> {
             );
         }
         self.record(shard, request.digest());
+        self.states[shard]
+            .outstanding_since
+            .insert(client, self.current_step);
         (shard, client)
     }
 
@@ -347,7 +367,10 @@ impl<'a> ShardedHarness<'a> {
     }
 
     fn apply_event(&mut self, shard: usize, event: &FaultEvent, step: u32) {
-        let base_network = self.config.base.network;
+        // Storms perturb the *ambient* profile of the step (the asynchronous
+        // profile before GST) and RestoreNetwork restores it, mirroring the
+        // single-group executor.
+        let ambient_network = self.config.base.ambient_network(step);
         let max_replicas = self.config.base.max_replicas;
         match event {
             FaultEvent::Partition { group_a, group_b } => {
@@ -357,16 +380,16 @@ impl<'a> ShardedHarness<'a> {
             }
             FaultEvent::Heal => self.service.shard_mut(shard).heal_network(),
             FaultEvent::LossStorm { loss_rate } => {
-                let mut network = base_network;
-                network.loss_rate = *loss_rate;
+                let mut network = ambient_network;
+                network.loss_rate = network.loss_rate.max(*loss_rate);
                 self.service
                     .shard_mut(shard)
                     .set_network_config(network.clamped());
             }
             FaultEvent::DelayStorm { latency, jitter } => {
-                let mut network = base_network;
-                network.latency = *latency;
-                network.jitter = *jitter;
+                let mut network = ambient_network;
+                network.latency = network.latency.max(*latency);
+                network.jitter = network.jitter.max(*jitter);
                 self.service
                     .shard_mut(shard)
                     .set_network_config(network.clamped());
@@ -374,7 +397,7 @@ impl<'a> ShardedHarness<'a> {
             FaultEvent::RestoreNetwork => {
                 self.service
                     .shard_mut(shard)
-                    .set_network_config(base_network);
+                    .set_network_config(ambient_network);
             }
             FaultEvent::CrashReplica { node } => {
                 let cluster = self.service.shard_mut(shard);
@@ -391,6 +414,13 @@ impl<'a> ShardedHarness<'a> {
                 let cluster = self.service.shard_mut(shard);
                 if cluster.membership().contains(node) && !cluster.is_crashed(*node) {
                     cluster.set_byzantine(*node, *mode);
+                    // The flip perturbs the IDS observation stream too,
+                    // with a heavily degraded signature.
+                    if let Some(supervisor) = self.states[shard].supervisors.get_mut(node) {
+                        supervisor.state = NodeState::Compromised;
+                        supervisor.compromised_at.get_or_insert(step);
+                        supervisor.ids_lambda = adversary::BYZANTINE_FLIP_IDS_LAMBDA;
+                    }
                 }
             }
             FaultEvent::IntrusionBurst { node, mode } => {
@@ -400,6 +430,18 @@ impl<'a> ShardedHarness<'a> {
                     if let Some(supervisor) = self.states[shard].supervisors.get_mut(node) {
                         supervisor.state = NodeState::Compromised;
                         supervisor.compromised_at.get_or_insert(step);
+                        supervisor.ids_lambda = 0.0;
+                    }
+                }
+            }
+            FaultEvent::AdoptAttacker { node, attacker } => {
+                let cluster = self.service.shard_mut(shard);
+                if cluster.membership().contains(node) && !cluster.is_crashed(*node) {
+                    cluster.set_attacker(*node, Some(*attacker));
+                    if let Some(supervisor) = self.states[shard].supervisors.get_mut(node) {
+                        supervisor.state = NodeState::Compromised;
+                        supervisor.compromised_at.get_or_insert(step);
+                        supervisor.ids_lambda = adversary::attacker_ids_lambda(*attacker);
                     }
                 }
             }
@@ -449,7 +491,14 @@ impl<'a> ShardedHarness<'a> {
                             NodeState::Compromised => NodeState::Compromised,
                             _ => NodeState::Healthy,
                         };
-                        NodeReport::Sample(self.alert_model.sample(sample_state, &mut self.rng))
+                        // Per-variant degraded compromise signatures; the
+                        // model choice never changes the RNG draw count.
+                        let model = adversary::degraded_model(
+                            &self.degraded_models,
+                            &self.alert_model,
+                            supervisor.ids_lambda,
+                        );
+                        NodeReport::Sample(model.sample(sample_state, &mut self.rng))
                     }
                 };
                 shard_observations.push((id, report));
@@ -687,6 +736,30 @@ impl<'a> ShardedHarness<'a> {
             }
             if let Some(violation) = self.routing.check_shard(shard, cluster, step) {
                 return Some(violation);
+            }
+            // Liveness after GST, per shard: every request submitted before
+            // stabilization must complete within the bounded window.
+            state
+                .outstanding_since
+                .retain(|&client, _| cluster.has_outstanding_request(client));
+            if let Some(gst) = self.config.base.gst {
+                if step >= gst && step - gst > self.config.base.post_gst_liveness_steps {
+                    for (&client, &since) in &state.outstanding_since {
+                        if since < gst {
+                            return Some(Violation {
+                                kind: InvariantKind::LivenessAfterGst,
+                                step,
+                                detail: format!(
+                                    "shard {shard}: client {client}'s request from step {since} \
+                                     (before GST at step {gst}) still uncommitted {} steps after \
+                                     stabilization (bound {})",
+                                    step - gst,
+                                    self.config.base.post_gst_liveness_steps
+                                ),
+                            });
+                        }
+                    }
+                }
             }
         }
         None
@@ -936,8 +1009,25 @@ impl<'a> ShardedHarness<'a> {
             .collect();
         let mut violation: Option<Violation> = None;
         let mut steps_run: u64 = 0;
+        // A GST schedule starts every shard in the asynchronous phase.
+        let initial_network = self.config.base.ambient_network(0);
+        for shard in 0..self.service.num_shards() {
+            self.service
+                .shard_mut(shard)
+                .set_network_config(initial_network);
+        }
         for step in 0..self.config.base.horizon {
             steps_run = u64::from(step) + 1;
+            self.current_step = step;
+            if self.config.base.gst == Some(step) {
+                // Global stabilization across the fleet: partitions heal
+                // and the bounded-delay profile holds from here on.
+                for shard in 0..self.service.num_shards() {
+                    let cluster = self.service.shard_mut(shard);
+                    cluster.heal_network();
+                    cluster.set_network_config(self.config.base.network);
+                }
+            }
             for (shard, iterator) in iterators.iter_mut().enumerate() {
                 while let Some(fault) = iterator.peek() {
                     if fault.step > step {
@@ -962,6 +1052,7 @@ impl<'a> ShardedHarness<'a> {
             }
         }
         if violation.is_none() {
+            self.current_step = self.config.base.horizon;
             violation = self.settle();
             self.push_trace(self.config.base.horizon);
         }

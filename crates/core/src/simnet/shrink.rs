@@ -110,7 +110,7 @@ pub(crate) mod decode {
         FaultEvent, FaultKind, FaultSchedule, ScheduleConfig, ScheduledFault,
     };
     use serde::Value;
-    use tolerance_consensus::{ByzantineMode, NetworkConfig, NodeId};
+    use tolerance_consensus::{AttackerKind, ByzantineMode, NetworkConfig, NodeId};
 
     pub(crate) fn error(detail: impl Into<String>) -> CoreError {
         CoreError::Solver(format!("decode counterexample: {}", detail.into()))
@@ -198,6 +198,7 @@ pub(crate) mod decode {
             "RecoverReplica" => FaultKind::RecoverReplica,
             "ByzantineFlip" => FaultKind::ByzantineFlip,
             "IntrusionBurst" => FaultKind::IntrusionBurst,
+            "AdoptAttacker" => FaultKind::AdoptAttacker,
             "AddReplica" => FaultKind::AddReplica,
             "EvictReplica" => FaultKind::EvictReplica,
             "ClientBurst" => FaultKind::ClientBurst,
@@ -212,6 +213,17 @@ pub(crate) mod decode {
             "Silent" => ByzantineMode::Silent,
             "Arbitrary" => ByzantineMode::Arbitrary,
             other => return Err(error(format!("unknown Byzantine mode `{other}`"))),
+        })
+    }
+
+    fn attacker_kind(value: &Value) -> Result<AttackerKind> {
+        Ok(match as_str(value)? {
+            "EquivocatingLeader" => AttackerKind::EquivocatingLeader,
+            "VoteWithholding" => AttackerKind::VoteWithholding,
+            "DelayedVotes" => AttackerKind::DelayedVotes,
+            "LyingDonor" => AttackerKind::LyingDonor,
+            "ReplySuppression" => AttackerKind::ReplySuppression,
+            other => return Err(error(format!("unknown attacker kind `{other}`"))),
         })
     }
 
@@ -255,6 +267,10 @@ pub(crate) mod decode {
             "IntrusionBurst" => FaultEvent::IntrusionBurst {
                 node: as_u32(field(body, "node")?)?,
                 mode: byzantine_mode(field(body, "mode")?)?,
+            },
+            "AdoptAttacker" => FaultEvent::AdoptAttacker {
+                node: as_u32(field(body, "node")?)?,
+                attacker: attacker_kind(field(body, "attacker")?)?,
             },
             "EvictReplica" => FaultEvent::EvictReplica {
                 node: match field(body, "node")? {
@@ -317,6 +333,21 @@ pub(crate) mod decode {
                 Some(v) => as_usize(v)?,
                 None => defaults.pipeline_window,
             },
+            gst: match opt_field(value, "gst") {
+                Some(Value::Null) | None => None,
+                Some(v) => Some(as_u32(v)?),
+            },
+            post_gst_liveness_steps: match opt_field(value, "post_gst_liveness_steps") {
+                Some(v) => as_u32(v)?,
+                None => defaults.post_gst_liveness_steps,
+            },
+            attackers: match opt_field(value, "attackers") {
+                Some(v) => as_array(v)?
+                    .iter()
+                    .map(attacker_kind)
+                    .collect::<Result<Vec<_>>>()?,
+                None => defaults.attackers,
+            },
             initial_replicas: as_usize(field(value, "initial_replicas")?)?,
             max_replicas: as_usize(field(value, "max_replicas")?)?,
             parallel_recoveries: as_usize(field(value, "parallel_recoveries")?)?,
@@ -347,6 +378,7 @@ pub(crate) mod decode {
             "Liveness" => InvariantKind::Liveness,
             "Routing" => InvariantKind::Routing,
             "Atomicity" => InvariantKind::Atomicity,
+            "LivenessAfterGst" => InvariantKind::LivenessAfterGst,
             other => return Err(error(format!("unknown invariant `{other}`"))),
         };
         Ok(Violation {

@@ -83,6 +83,7 @@ pub fn builtin_registry() -> ScenarioRegistry {
     );
     tolerance_core::simnet::register_simnet_scenarios(&mut registry);
     tolerance_core::simnet::register_sharded_scenarios(&mut registry);
+    tolerance_core::simnet::register_adversary_scenarios(&mut registry);
     crate::chaos::register_chaos_scenarios(&mut registry);
     tolerance_core::dataplane::register_dataplane_scenarios(&mut registry);
     tolerance_core::controlplane::register_controlled_scenarios(&mut registry);
@@ -108,7 +109,7 @@ mod tests {
     #[test]
     fn builtin_registry_contains_paper_novel_and_simnet_scenarios() {
         let registry = builtin_registry();
-        assert_eq!(registry.len(), 20);
+        assert_eq!(registry.len(), 50);
         for name in [
             "paper/tolerance",
             "paper/no-recovery",
@@ -130,6 +131,13 @@ mod tests {
             "controlled/intrusion-burst",
             "controlled/uncontrolled-baseline",
             "controlled/sim-intrusion-burst",
+            "adversary/equivocating-leader/sync",
+            "adversary/vote-withholding/gst",
+            "adversary/delayed-votes/storm",
+            "adversary/lying-donor/sync",
+            "adversary/reply-suppression/gst",
+            "adversary/sharded/equivocating-leader/gst",
+            "adversary/sharded/reply-suppression/storm",
         ] {
             assert!(registry.contains(name), "missing scenario {name}");
         }
@@ -139,7 +147,8 @@ mod tests {
         assert!(!registry.is_deterministic("controlled/uncontrolled-baseline"));
         assert!(registry.is_deterministic("controlled/sim-intrusion-burst"));
         assert!(registry.is_deterministic("sharded/chaos-2"));
-        assert_eq!(registry.deterministic_names().len(), 18);
+        assert!(registry.is_deterministic("adversary/equivocating-leader/gst"));
+        assert_eq!(registry.deterministic_names().len(), 48);
     }
 
     #[test]

@@ -597,6 +597,11 @@ mod wire_roundtrip {
                 prepared: (0..size.min(8))
                     .map(|_| (s.next(), s.next(), s.batch(size / 8)))
                     .collect(),
+                chain_base: s.digest(),
+                ui_high: (0..size.min(7)).map(|_| (s.id(), s.next())).collect(),
+            },
+            9 => Message::UiResendRequest {
+                from_counter: s.next(),
             },
             _ => Message::Control(match seed % 3 {
                 0 => ControlMessage::Recover,
@@ -620,7 +625,7 @@ mod wire_roundtrip {
 
         #[test]
         fn every_message_variant_round_trips_byte_identically(
-            variant in 0usize..10,
+            variant in 0usize..11,
             seed in 0u64..u64::MAX,
             size in 0usize..48,
         ) {
@@ -705,6 +710,107 @@ mod wire_roundtrip {
                     prop_assert!(decode_message(&reencoded).is_ok());
                 }
             }
+        }
+    }
+}
+
+mod adversary_usig {
+    //! USIG monotonicity under a protocol-aware equivocating leader: the
+    //! trusted counter is exactly what turns equivocation from a safety
+    //! attack into a liveness nuisance, so these properties drive the
+    //! view-0 leader with [`AttackerKind::EquivocatingLeader`] and check
+    //! the trusted-component guarantees on every replica afterwards.
+
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+    use tolerance::consensus::crypto::Digest;
+    use tolerance::consensus::minbft::Operation;
+    use tolerance::consensus::{AttackerKind, MinBftCluster, MinBftConfig, NetworkConfig, NodeId};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn usig_counters_stay_monotone_under_an_equivocating_leader(
+            seed in 0u64..1_000_000,
+            requests in 1usize..10,
+        ) {
+            let mut cluster = MinBftCluster::new(MinBftConfig {
+                initial_replicas: 5,
+                seed,
+                network: NetworkConfig {
+                    latency: 0.002,
+                    jitter: 0.001,
+                    loss_rate: 0.0,
+                },
+                ..MinBftConfig::default()
+            });
+            let client = cluster.add_client();
+            cluster.set_attacker(0, Some(AttackerKind::EquivocatingLeader));
+            for i in 0..requests {
+                if cluster.has_outstanding_request(client) {
+                    break;
+                }
+                cluster.submit(client, Operation::Write(i as u64 + 1));
+                cluster.run_until_quiet(cluster.now() + 20.0);
+            }
+
+            let members: Vec<NodeId> = cluster.membership().to_vec();
+            // FIFO cursors never outrun the sender's trusted counter: a
+            // counter is assigned once by the sender's USIG, so no receiver
+            // can have consumed more than the sender ever signed — not even
+            // from the attacker, whose equivocation spends *distinct*
+            // counters on the conflicting messages.
+            for &receiver in &members {
+                for &sender in &members {
+                    if sender == receiver {
+                        continue;
+                    }
+                    let signed = cluster.usig_last_counter(sender).unwrap_or(0);
+                    let consumed = cluster.ui_cursor(receiver, sender);
+                    prop_assert!(
+                        consumed <= signed,
+                        "replica {receiver} consumed counter {consumed} from \
+                         {sender}, which only signed up to {signed}"
+                    );
+                }
+            }
+
+            // Honest replicas never bind one (view, sequence) to two
+            // digests: the FIFO-consecutive acceptance of the counter
+            // stream forces every honest replica onto the same one of the
+            // attacker's conflicting PREPAREs.
+            let mut bound: HashMap<(u64, u64), (NodeId, Digest)> = HashMap::new();
+            for &replica in members.iter().filter(|&&id| id != 0) {
+                for (sequence, view, digest) in cluster.prepared_entries(replica) {
+                    match bound.get(&(view, sequence)) {
+                        Some(&(other, previous)) => prop_assert!(
+                            previous == digest,
+                            "replicas {other} and {replica} prepared different \
+                             digests at (view {view}, seq {sequence})"
+                        ),
+                        None => {
+                            bound.insert((view, sequence), (replica, digest));
+                        }
+                    }
+                }
+            }
+
+            // One digest per committed sequence, fleet-wide.
+            let mut committed: HashMap<u64, Digest> = HashMap::new();
+            for record in cluster.commit_trace() {
+                match committed.get(&record.sequence) {
+                    Some(&previous) => prop_assert!(
+                        previous == record.digest,
+                        "sequence {} committed with two digests",
+                        record.sequence
+                    ),
+                    None => {
+                        committed.insert(record.sequence, record.digest);
+                    }
+                }
+            }
+            prop_assert!(cluster.logs_are_consistent());
         }
     }
 }

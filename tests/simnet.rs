@@ -9,12 +9,14 @@
 //! workflow artifact.
 
 use std::collections::BTreeSet;
-use tolerance::consensus::{RaftCluster, RaftConfig};
+use tolerance::consensus::{AttackerKind, ByzantineMode, RaftCluster, RaftConfig};
 use tolerance::core::controlplane::scenario::sim_intrusion_burst_config;
 use tolerance::core::runtime::{Runner, Scenario};
 use tolerance::core::simnet::{
-    find_counterexample, run_schedule, Counterexample, FaultKind, FaultSchedule, InvariantKind,
-    ScheduleConfig, SimnetScenario,
+    adversary_config, adversary_matrix, adversary_sharded_config, find_counterexample,
+    find_sharded_counterexample, run_schedule, run_sharded_schedule, Counterexample, FaultEvent,
+    FaultKind, FaultSchedule, InvariantKind, NetworkCondition, ScheduleConfig, ScheduledFault,
+    ShardedCounterexample, ShardedFaultSchedule, SimnetScenario,
 };
 use tolerance::emulation::builtin_registry;
 
@@ -87,6 +89,15 @@ fn smoke_configs() -> Vec<(&'static str, ScheduleConfig)> {
 
 /// Writes a counterexample where the CI job picks it up as an artifact.
 fn publish_counterexample(name: &str, counterexample: &Counterexample) {
+    let dir = std::path::Path::new("simnet-counterexamples");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let json = counterexample.to_json().expect("serializable");
+        let _ = std::fs::write(dir.join(format!("{name}.json")), json);
+    }
+}
+
+/// The sharded twin of [`publish_counterexample`].
+fn publish_sharded_counterexample(name: &str, counterexample: &ShardedCounterexample) {
     let dir = std::path::Path::new("simnet-counterexamples");
     if std::fs::create_dir_all(dir).is_ok() {
         let json = counterexample.to_json().expect("serializable");
@@ -287,16 +298,16 @@ fn pipelined_chaos_sweep_passes_all_oracles_across_300_runs() {
 #[test]
 fn pinned_reconfiguration_split_brain_counterexample_cannot_regress() {
     // The PR-3 600-run-sweep counterexample, pinned: with n = 6 a batch
-    // stream commits at one commit quorum while the other three replicas
-    // lag (partitioned); an EVICT of a quorum member then shrinks n to 5,
-    // where the view-change quorum (n - f = 3) no longer intersects the
-    // old-configuration commit quorum — a laggard-only ballot would no-op
-    // fill the committed sequences and re-assign their requests. The
-    // reconfiguration state barrier (`sync_lagging_replicas`) must force
-    // the laggards through a state sync before they may form ballots.
-    // (Ids are mirrored vs. the original trace — committers {0,1,2},
-    // laggards {3,4,5}, EVICT of 0 — the quorum-intersection shape is
-    // identical.)
+    // stream commits at one commit quorum while the partitioned laggards
+    // fall behind; an EVICT of a quorum member then shrinks n to 5, where
+    // a laggard-heavy view-change ballot would no longer intersect the
+    // old-configuration commit quorum — it would no-op fill the committed
+    // sequences and re-assign their requests. The reconfiguration state
+    // barrier (`sync_lagging_replicas`) must force the laggards through a
+    // state sync before they may form ballots. (Re-staged since the
+    // recovery-aware quorum pair of PR 7: the n = 6 commit quorum is now
+    // 4, so the committing side holds {0,1,2,3} and the laggards {4,5} —
+    // the EVICT-shrinks-the-intersection shape is the same.)
     use tolerance::consensus::minbft::Operation;
     use tolerance::consensus::{MinBftCluster, MinBftConfig, NetworkConfig};
 
@@ -318,9 +329,10 @@ fn pinned_reconfiguration_split_brain_counterexample_cannot_regress() {
     }
     assert!(!cluster.has_outstanding_request(client));
 
-    // Phase 2: partition {0,1,2} (leader side, commit quorum f+1 = 3)
-    // from {3,4,5}; the quorum keeps committing, the laggards fall behind.
-    cluster.partition_network(&[0, 1, 2], &[3, 4, 5]);
+    // Phase 2: partition {0,1,2,3} (leader side, the n = 6 commit quorum
+    // of 4) from {4,5}; the quorum keeps committing, the laggards fall
+    // behind.
+    cluster.partition_network(&[0, 1, 2, 3], &[4, 5]);
     for i in 0..6u64 {
         cluster.submit(client, Operation::Write(100 + i));
         cluster.run_until(cluster.now() + 1.0);
@@ -333,8 +345,9 @@ fn pinned_reconfiguration_split_brain_counterexample_cannot_regress() {
     );
 
     // Phase 3: EVICT a member of the old commit quorum while the laggards
-    // are still behind, then heal. Without the state barrier, the ballot
-    // {3,4,5} (3 = the n = 5 view-change quorum) re-assigns sequences.
+    // are still behind, then heal. Without the state barrier, a
+    // laggard-heavy ballot in the shrunken configuration re-assigns
+    // sequences.
     cluster.evict_replica(0);
     cluster.heal_network();
     for round in 0..12 {
@@ -435,6 +448,353 @@ fn raft_survives_partition_and_crash_chaos() {
         assert!(!raft.is_crashed(2));
         assert_eq!(raft.members(), &[0, 1, 2, 3, 4]);
     }
+}
+
+#[test]
+fn adversary_matrix_sweep_passes_all_oracles_across_300_runs() {
+    // The PR-7 acceptance sweep: every attacker variant of the zoo × every
+    // network condition (sync / partial synchrony with GST / storms), 20
+    // seeds per cell = 300 single-group runs, under the full oracle suite —
+    // including liveness-after-GST in the `gst` column. Any violation is
+    // shrunk and published as a replayable counterexample before failing.
+    let mut attackers_seen: BTreeSet<&'static str> = BTreeSet::new();
+    let mut runs = 0;
+    for (attacker, condition) in adversary_matrix() {
+        let config = adversary_config(attacker, condition);
+        for seed in 0..20u64 {
+            let schedule = FaultSchedule::generate(seed, &config);
+            for fault in &schedule.events {
+                if let FaultEvent::AdoptAttacker { attacker, .. } = fault.event {
+                    attackers_seen.insert(attacker.name());
+                }
+            }
+            let report = run_schedule(&schedule, &config).expect("harness constructs");
+            if let Some(violation) = &report.violation {
+                if let Ok(Some(counterexample)) = find_counterexample(&schedule, &config) {
+                    publish_counterexample(
+                        &format!(
+                            "adversary-{}-{}-seed{seed}",
+                            attacker.name(),
+                            condition.name()
+                        ),
+                        &counterexample,
+                    );
+                }
+                panic!(
+                    "adversary/{}/{} seed {seed}: {violation}",
+                    attacker.name(),
+                    condition.name()
+                );
+            }
+            assert!(
+                report.outcome.completed > 0,
+                "adversary/{}/{} seed {seed}: no requests completed",
+                attacker.name(),
+                condition.name()
+            );
+            runs += 1;
+        }
+    }
+    assert_eq!(runs, 300);
+    // Coverage: over 60 seeds per variant the generator must have actually
+    // adopted every attacker of the zoo at least once.
+    assert_eq!(
+        attackers_seen.len(),
+        AttackerKind::ALL.len(),
+        "zoo coverage gap: only {attackers_seen:?} adopted"
+    );
+}
+
+#[test]
+fn sharded_adversary_cells_pass_the_routing_and_atomicity_oracles() {
+    // Every matrix cell once more against the two-shard fleet: the same
+    // per-shard attacker chaos, with routed clients and cross-shard
+    // MultiPuts, so attacker effects are also checked against the routing
+    // and atomicity oracles (2 seeds per cell keeps the suite CI-sized; the
+    // registered `adversary/sharded/*` scenarios cover more via sweeps).
+    for (attacker, condition) in adversary_matrix() {
+        let config = adversary_sharded_config(attacker, condition);
+        for seed in 0..2u64 {
+            let schedule = ShardedFaultSchedule::generate(seed, &config);
+            let report = run_sharded_schedule(&schedule, &config).expect("harness constructs");
+            if let Some(violation) = &report.violation {
+                if let Ok(Some(counterexample)) = find_sharded_counterexample(&schedule, &config) {
+                    publish_sharded_counterexample(
+                        &format!(
+                            "adversary-sharded-{}-{}-seed{seed}",
+                            attacker.name(),
+                            condition.name()
+                        ),
+                        &counterexample,
+                    );
+                }
+                panic!(
+                    "adversary/sharded/{}/{} seed {seed}: {violation}",
+                    attacker.name(),
+                    condition.name()
+                );
+            }
+            assert!(report.outcome.completed > 0);
+        }
+    }
+}
+
+#[test]
+fn each_attacker_variant_survives_a_scripted_adoption() {
+    // One scripted regression per zoo variant: the initial leader (replica
+    // 0 — the most damaging seat for an equivocator or reply suppressor)
+    // adopts the strategy at step 2 and is recovered at step 10. The run
+    // must stay violation-free, keep serving requests, and record a
+    // positive compromise-to-recovery delay (the variant's degraded IDS
+    // signature made the compromise *observable*, not invisible).
+    for &attacker in &AttackerKind::ALL {
+        let config = ScheduleConfig {
+            horizon: 20,
+            ..ScheduleConfig::default()
+        };
+        let mut events = vec![
+            ScheduledFault {
+                step: 2,
+                event: FaultEvent::AdoptAttacker { node: 0, attacker },
+            },
+            ScheduledFault {
+                step: 10,
+                event: FaultEvent::RecoverReplica { node: 0 },
+            },
+        ];
+        if attacker == AttackerKind::LyingDonor {
+            // Force a state transfer through the lying donor's window:
+            // crash another replica while the donor is active, recover it
+            // (the rebuild requests state) before the donor is cleaned up.
+            events.push(ScheduledFault {
+                step: 4,
+                event: FaultEvent::CrashReplica { node: 3 },
+            });
+            events.push(ScheduledFault {
+                step: 7,
+                event: FaultEvent::RecoverReplica { node: 3 },
+            });
+        }
+        let schedule = FaultSchedule::scripted(9, events);
+        let report = run_schedule(&schedule, &config).expect("harness constructs");
+        assert!(
+            report.violation.is_none(),
+            "{}: {:?}",
+            attacker.name(),
+            report.violation
+        );
+        assert!(
+            report.outcome.completed > 0,
+            "{}: the cluster must keep serving requests",
+            attacker.name()
+        );
+        assert!(
+            report.outcome.mean_recovery_steps > 0.0,
+            "{}: the adoption must be IDS-visible (compromise-to-recovery recorded)",
+            attacker.name()
+        );
+    }
+}
+
+#[test]
+fn byzantine_flip_perturbs_the_ids_observation_stream() {
+    // The satellite fix: a ByzantineFlip used to mutate protocol behaviour
+    // while leaving the observation stream pristine — an attack the node
+    // controllers could never see. It now degrades the alert signature
+    // (λ = BYZANTINE_FLIP_IDS_LAMBDA) and marks the compromise, so the
+    // recovery at step 9 records a positive compromise-to-recovery delay.
+    let config = ScheduleConfig {
+        horizon: 20,
+        ..ScheduleConfig::default()
+    };
+    let schedule = FaultSchedule::scripted(
+        4,
+        vec![
+            ScheduledFault {
+                step: 2,
+                event: FaultEvent::ByzantineFlip {
+                    node: 1,
+                    mode: ByzantineMode::Arbitrary,
+                },
+            },
+            ScheduledFault {
+                step: 9,
+                event: FaultEvent::RecoverReplica { node: 1 },
+            },
+        ],
+    );
+    let report = run_schedule(&schedule, &config).expect("harness constructs");
+    assert!(report.violation.is_none(), "{:?}", report.violation);
+    assert!(
+        report.outcome.mean_recovery_steps > 0.0,
+        "the flip must reach the IDS observation stream"
+    );
+}
+
+#[test]
+fn pre_gst_crash_majority_triggers_the_liveness_after_gst_oracle() {
+    // The negative test of the liveness-after-GST oracle: crash 3 of 5
+    // replicas at step 1 with no closers (Δ_R pushed past the horizon and
+    // no system controller, so nothing revives them), under a GST schedule.
+    // With only 2 of 5 alive even the commit quorum (f + 1 = 3) is
+    // unreachable, so requests submitted before GST can never commit —
+    // the oracle must flag it, the shrinker must converge on a still-dead
+    // kernel, and the counterexample must replay from JSON.
+    let config = ScheduleConfig {
+        horizon: 30,
+        delta_r: 100,
+        gst: Some(4),
+        post_gst_liveness_steps: 8,
+        ..ScheduleConfig::default()
+    };
+    let schedule = FaultSchedule::scripted(
+        0,
+        (1..=3)
+            .map(|node| ScheduledFault {
+                step: 1,
+                event: FaultEvent::CrashReplica { node },
+            })
+            .collect(),
+    );
+    let report = run_schedule(&schedule, &config).expect("harness constructs");
+    let violation = report
+        .violation
+        .expect("a dead commit quorum must trip the liveness-after-GST oracle");
+    assert_eq!(violation.kind, InvariantKind::LivenessAfterGst);
+
+    let counterexample = find_counterexample(&schedule, &config)
+        .expect("harness constructs")
+        .expect("the violation must survive shrinking");
+    assert_eq!(
+        counterexample.violation.kind,
+        InvariantKind::LivenessAfterGst
+    );
+    // Drop-one shrinking lands on a two-crash kernel: three live replicas
+    // are exactly the commit quorum (f + 1 = 3) but short of the
+    // view-change quorum (n - f + recoveries = 4), so a single pre-GST
+    // message loss on the critical path wedges the round permanently —
+    // the post-GST network is reliable but MinBFT does not retransmit a
+    // wedged ballot. Dropping either remaining crash leaves 4 alive and
+    // the run commits again, so the kernel is minimal.
+    assert_eq!(
+        counterexample.schedule.events.len(),
+        2,
+        "dropping either crash restores the view-change quorum"
+    );
+    assert!(counterexample
+        .schedule
+        .events
+        .iter()
+        .all(|fault| matches!(fault.event, FaultEvent::CrashReplica { .. })));
+    publish_counterexample("expected-liveness-after-gst", &counterexample);
+
+    let json = counterexample.to_json().expect("serializes");
+    let restored = Counterexample::from_json(&json).expect("parses back");
+    assert_eq!(restored, counterexample);
+    let replayed = restored
+        .replay()
+        .expect("replay constructs")
+        .expect("replay violates again");
+    assert_eq!(replayed.kind, InvariantKind::LivenessAfterGst);
+}
+
+#[test]
+fn adversary_runs_are_deterministic_in_the_seed() {
+    // The replay guarantee extends to the new schedule machinery: a GST
+    // configuration with attacker adoption produces byte-identical traces
+    // across runs, and its schedule JSON round-trips stably.
+    let config = adversary_config(AttackerKind::EquivocatingLeader, NetworkCondition::Gst);
+    let schedule = FaultSchedule::generate(7, &config);
+    let a = run_schedule(&schedule, &config).expect("harness constructs");
+    let b = run_schedule(&schedule, &config).expect("harness constructs");
+    assert_eq!(
+        serde_json::to_string(&a.trace).expect("serializable"),
+        serde_json::to_string(&b.trace).expect("serializable")
+    );
+    assert_eq!(a, b);
+    let json = serde_json::to_string(&schedule).expect("serializable");
+    let value = serde_json::parse_value(&json).expect("well-formed");
+    assert_eq!(json, serde_json::to_string(&value).expect("re-renders"));
+}
+
+#[test]
+fn pinned_stale_certificate_refill_counterexample_cannot_regress() {
+    // Found by the PR-7 sharded sweep (`sharded/multiput` seed 3, Routing
+    // violation "executed twice fleet-wide"): a view change re-proposed a
+    // *stale* prepared certificate for a request that a fresher certificate
+    // had already re-assigned to a different sequence, so the request
+    // executed under both sequences. Fixed by freshest-certificate-wins
+    // request-level dedup in the view-change refill; this run replays the
+    // exact generated schedule that caught it.
+    let config = tolerance::core::simnet::sharded_multiput_config();
+    let schedule = ShardedFaultSchedule::generate(3, &config);
+    let report = run_sharded_schedule(&schedule, &config).expect("harness constructs");
+    assert!(
+        report.violation.is_none(),
+        "the stale-certificate refill bug is back: {:?}",
+        report.violation
+    );
+    assert!(report.outcome.completed > 0);
+}
+
+#[test]
+fn pinned_amnesiac_recovery_counterexample_cannot_regress() {
+    // Found by the PR-7 adversary matrix sweep (`adversary/lying-donor/gst`
+    // seed 19, Agreement violation "committed different digests at log
+    // position 9"): replica 3 was proactively recovered, its push from the
+    // freshest donor was lost to the pre-GST network, and the first
+    // pull response to arrive came from a *stale* donor whose certificate
+    // set had a hole at an already-committed sequence. The re-imaged
+    // committer then joined a minimal view-change ballot of laggards, none
+    // of whom held the committed certificate, so the new leader no-op
+    // filled the sequence and re-proposed its batch under a fresh sequence
+    // number — a double execution that diverged the logs. Two fixes pin
+    // this shut: `recover_replica` now refuses transfers below the
+    // pre-recovery frontier (`recovery_floor`), and the view-change quorum
+    // grew to n - f + `parallel_recoveries` so every ballot intersects the
+    // surviving certificate holders. This replays the exact generated
+    // schedule that caught it.
+    let config = adversary_config(AttackerKind::LyingDonor, NetworkCondition::Gst);
+    let schedule = FaultSchedule::generate(19, &config);
+    let report = run_schedule(&schedule, &config).expect("harness constructs");
+    assert!(
+        report.violation.is_none(),
+        "the amnesiac-recovery bug is back: {:?}",
+        report.violation
+    );
+    assert!(report.outcome.completed > 0);
+
+    // The shrunk kernel of the same counterexample: no attacker event
+    // survives shrinking — the bug is plain recovery-under-loss, which is
+    // exactly why the matrix sweeps mix network conditions into every
+    // attacker cell.
+    let kernel = FaultSchedule::scripted(
+        19,
+        vec![
+            ScheduledFault {
+                step: 1,
+                event: FaultEvent::ClientBurst { requests: 1 },
+            },
+            ScheduledFault {
+                step: 8,
+                event: FaultEvent::ClientBurst { requests: 1 },
+            },
+            ScheduledFault {
+                step: 9,
+                event: FaultEvent::RecoverReplica { node: 3 },
+            },
+            ScheduledFault {
+                step: 9,
+                event: FaultEvent::ClientBurst { requests: 3 },
+            },
+        ],
+    );
+    let report = run_schedule(&kernel, &config).expect("harness constructs");
+    assert!(
+        report.violation.is_none(),
+        "the shrunk amnesiac-recovery kernel violates again: {:?}",
+        report.violation
+    );
 }
 
 #[test]
