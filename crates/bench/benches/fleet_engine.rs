@@ -1,0 +1,235 @@
+//! Benchmark of the fleet-scale simulation engine: lockstep vs
+//! event-driven steps/sec at S ∈ {4, 16, 64} shards, plus the scheduler
+//! worker-scaling axis at S = 64.
+//!
+//! Every timed run executes under the **full oracle suite** (a violation
+//! fails the bench), so the steps/sec numbers cannot be bought by skipping
+//! checks, and every engine/worker variant is asserted byte-identical to
+//! the lockstep baseline before it is timed — the bench measures the same
+//! computation, scheduled differently. The throughput unit is
+//! **shard-steps/sec** (simulated steps × shards), the work unit that
+//! actually parallelizes.
+//!
+//! The event-driven ≥ 2× lockstep assertion at S = 64 arms only outside
+//! smoke mode on hosts with ≥ 4 hardware threads — a 1-CPU CI runner
+//! records the numbers without judging them (`scaling_asserted: false` in
+//! the artifact). Non-smoke cells accumulate ≥ 2s of measurement each.
+//!
+//! Besides the console report, the bench writes `BENCH_fleet_engine.json`
+//! to the workspace root — uploaded by the CI `fleet-smoke` job so the
+//! engine's scaling trajectory accumulates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use serde::Serialize;
+use std::time::Instant;
+use tolerance_core::simnet::{
+    fleet_scale_config, run_sharded_schedule_with, FleetEngine, ShardedFaultSchedule,
+    ShardedScheduleConfig,
+};
+
+fn smoke() -> bool {
+    std::env::var_os("BENCH_SMOKE").is_some()
+}
+
+fn seeds() -> u64 {
+    if smoke() {
+        1
+    } else {
+        2
+    }
+}
+
+fn min_seconds_per_cell() -> f64 {
+    if smoke() {
+        0.0
+    } else {
+        2.0
+    }
+}
+
+#[derive(Serialize)]
+struct EngineCell {
+    shards: usize,
+    engine: String,
+    workers: usize,
+    sweeps: usize,
+    shard_steps_per_sweep: u64,
+    seconds_best: f64,
+    shard_steps_per_second: f64,
+}
+
+#[derive(Serialize)]
+struct FleetEngineBenchReport {
+    benchmark: String,
+    host_parallelism: usize,
+    smoke: bool,
+    seeds: u64,
+    min_seconds_per_cell: f64,
+    cells: Vec<EngineCell>,
+    worker_scaling: Vec<EngineCell>,
+    speedup_event_driven_over_lockstep_s64: f64,
+    /// Whether the ≥ 2× assertion was armed (≥ 4 hardware threads, full
+    /// mode) — `false` means the numbers are report-only.
+    scaling_asserted: bool,
+}
+
+/// Times one engine over the seed sweep of `config`, repeating until the
+/// cell accumulated its minimum measurement window. Every run must stay
+/// oracle-green.
+fn time_cell(
+    label: &str,
+    config: &ShardedScheduleConfig,
+    engine: FleetEngine,
+    engine_name: &str,
+) -> EngineCell {
+    let schedules: Vec<ShardedFaultSchedule> = (0..seeds())
+        .map(|seed| ShardedFaultSchedule::generate(seed, config))
+        .collect();
+    let mut samples: Vec<f64> = Vec::new();
+    let mut accumulated = 0.0;
+    let mut shard_steps = 0u64;
+    while samples.is_empty() || (accumulated < min_seconds_per_cell() && samples.len() < 64) {
+        let start = Instant::now();
+        shard_steps = 0;
+        for schedule in &schedules {
+            let report =
+                run_sharded_schedule_with(schedule, config, engine).expect("harness constructs");
+            assert!(
+                report.violation.is_none(),
+                "{label}: oracle violation in bench: {:?}",
+                report.violation
+            );
+            shard_steps += report.outcome.steps * config.shards as u64;
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        accumulated += elapsed;
+        samples.push(elapsed);
+    }
+    let seconds_best = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    EngineCell {
+        shards: config.shards,
+        engine: engine_name.into(),
+        workers: engine.workers(),
+        sweeps: samples.len(),
+        shard_steps_per_sweep: shard_steps,
+        seconds_best,
+        shard_steps_per_second: shard_steps as f64 / seconds_best.max(f64::MIN_POSITIVE),
+    }
+}
+
+/// Pins the determinism contract before timing: the engine's report must be
+/// byte-identical to lockstep on the first seed.
+fn assert_identical_to_lockstep(config: &ShardedScheduleConfig, engine: FleetEngine) {
+    let schedule = ShardedFaultSchedule::generate(0, config);
+    let lockstep = run_sharded_schedule_with(&schedule, config, FleetEngine::Lockstep)
+        .expect("harness constructs");
+    let other = run_sharded_schedule_with(&schedule, config, engine).expect("harness constructs");
+    assert_eq!(
+        serde_json::to_string(&lockstep.trace).expect("serializable"),
+        serde_json::to_string(&other.trace).expect("serializable"),
+        "S={}: the timed engine diverged from lockstep",
+        config.shards
+    );
+}
+
+fn bench_fleet_engine(_c: &mut Criterion) {
+    let host_parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let event_driven = FleetEngine::EventDriven { workers: None };
+
+    let mut cells = Vec::new();
+    for shards in [4usize, 16, 64] {
+        let config = fleet_scale_config(shards);
+        assert_identical_to_lockstep(&config, event_driven);
+        cells.push(time_cell(
+            &format!("S={shards} lockstep"),
+            &config,
+            FleetEngine::Lockstep,
+            "lockstep",
+        ));
+        cells.push(time_cell(
+            &format!("S={shards} event-driven"),
+            &config,
+            event_driven,
+            "event-driven",
+        ));
+    }
+
+    // The scheduler worker-scaling axis at the largest fleet.
+    let scaling_config = fleet_scale_config(64);
+    let worker_scaling: Vec<EngineCell> = [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|workers| {
+            let engine = FleetEngine::EventDriven {
+                workers: Some(workers),
+            };
+            assert_identical_to_lockstep(&scaling_config, engine);
+            time_cell(
+                &format!("S=64 workers={workers}"),
+                &scaling_config,
+                engine,
+                "event-driven",
+            )
+        })
+        .collect();
+
+    let throughput = |shards: usize, engine: &str| {
+        cells
+            .iter()
+            .find(|cell| cell.shards == shards && cell.engine == engine)
+            .map(|cell| cell.shard_steps_per_second)
+            .unwrap_or(0.0)
+    };
+    let speedup =
+        throughput(64, "event-driven") / throughput(64, "lockstep").max(f64::MIN_POSITIVE);
+    let scaling_asserted = !smoke() && host_parallelism >= 4;
+    if scaling_asserted {
+        assert!(
+            speedup >= 2.0,
+            "the event-driven engine must reach ≥ 2x lockstep at S=64 on a \
+             ≥ 4-core host, got {speedup:.2}x"
+        );
+    }
+
+    let report = FleetEngineBenchReport {
+        benchmark: "fleet_engine".into(),
+        host_parallelism,
+        smoke: smoke(),
+        seeds: seeds(),
+        min_seconds_per_cell: min_seconds_per_cell(),
+        cells,
+        worker_scaling,
+        speedup_event_driven_over_lockstep_s64: speedup,
+        scaling_asserted,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serializable report");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_fleet_engine.json");
+    std::fs::write(&path, &json).expect("write bench artifact");
+    for cell in &report.cells {
+        println!(
+            "S={:>3} {:>12} ({} workers): {:>10.0} shard-steps/s over {} sweeps",
+            cell.shards, cell.engine, cell.workers, cell.shard_steps_per_second, cell.sweeps
+        );
+    }
+    for cell in &report.worker_scaling {
+        println!(
+            "S= 64 scaling {:>2} workers: {:>10.0} shard-steps/s",
+            cell.workers, cell.shard_steps_per_second
+        );
+    }
+    println!(
+        "event-driven/lockstep at S=64: {speedup:.2}x on {host_parallelism} hardware \
+         threads (assertion {})",
+        if scaling_asserted {
+            "armed"
+        } else {
+            "report-only"
+        },
+    );
+}
+
+criterion_group!(benches, bench_fleet_engine);
+criterion_main!(benches);

@@ -49,10 +49,12 @@ struct ShardedBenchReport {
 }
 
 fn bench_sharded_scaling(_c: &mut Criterion) {
+    // Non-smoke cells run ≥ 2s each so the throughput numbers average over
+    // enough batches to be stable run-to-run.
     let (shard_counts, duration): (&[usize], f64) = if smoke() {
         (&[1, 2, 4], 0.4)
     } else {
-        (&[1, 2, 4, 8], 1.0)
+        (&[1, 2, 4, 8], 2.0)
     };
     let host_parallelism = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)

@@ -101,27 +101,32 @@ struct ChaosBenchReport {
     adversary: AdversaryAxis,
 }
 
-/// Runs every cell × seed through `runner` `repetitions` times, asserting
-/// the oracles stay green; returns the wall-clock samples and the summed
-/// simulation steps of one sweep.
+/// Runs every cell × seed through `runner` `repetitions` times — and, in
+/// non-smoke mode, keeps repeating until at least two seconds of
+/// measurement accumulated, so each timed axis averages over enough sweeps
+/// to be stable — asserting the oracles stay green; returns the wall-clock
+/// samples and the summed simulation steps of one sweep.
 fn time_sweep(cells: &[SimnetScenario], runner: &Runner, repetitions: usize) -> (Vec<f64>, u64) {
     let seeds: Vec<u64> = (0..seeds()).collect();
+    let min_seconds = if smoke() { 0.0 } else { 2.0 };
     let mut steps = 0u64;
-    let samples = (0..repetitions)
-        .map(|_| {
-            let start = Instant::now();
-            let outputs = runner.run_cells(cells, &seeds).expect("chaos sweep runs");
-            assert_eq!(outputs.len(), cells.len());
-            steps = 0;
-            for per_cell in &outputs {
-                for report in per_cell {
-                    assert!(report.violation.is_none(), "oracle violation in bench");
-                    steps += report.outcome.steps;
-                }
+    let mut samples: Vec<f64> = Vec::new();
+    let mut accumulated = 0.0;
+    while samples.len() < repetitions || (accumulated < min_seconds && samples.len() < 64) {
+        let start = Instant::now();
+        let outputs = runner.run_cells(cells, &seeds).expect("chaos sweep runs");
+        assert_eq!(outputs.len(), cells.len());
+        steps = 0;
+        for per_cell in &outputs {
+            for report in per_cell {
+                assert!(report.violation.is_none(), "oracle violation in bench");
+                steps += report.outcome.steps;
             }
-            start.elapsed().as_secs_f64()
-        })
-        .collect();
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        accumulated += elapsed;
+        samples.push(elapsed);
+    }
     (samples, steps)
 }
 
@@ -186,7 +191,10 @@ fn bench_intensity_sweep(_c: &mut Criterion) {
         },
     };
     let json = serde_json::to_string_pretty(&report).expect("serializable report");
-    std::fs::write("BENCH_simnet_chaos.json", &json).expect("write bench artifact");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_simnet_chaos.json");
+    std::fs::write(&path, &json).expect("write bench artifact");
     println!(
         "simnet chaos sweep: serial {serial_best:.3}s, parallel {parallel_best:.3}s \
          (speedup {:.2}x over {} runs, {total_events} fault events); adversary matrix: \

@@ -13,6 +13,10 @@
 //!   scenarios over a seed grid ([`Runner::run_cells`]), either serially or
 //!   across worker threads. Results are returned in input order, so a
 //!   parallel run is byte-identical to a serial one.
+//! * [`WorkerPool`] — the persistent process-wide thread pool behind every
+//!   parallel path (the `Runner` batches *and* the fleet simulation
+//!   engine's per-shard phases), so repeated sweeps stop paying per-batch
+//!   thread-spawn cost.
 //! * [`MetricSummary`] — the mean / 95%-CI aggregation of
 //!   [`MetricReport`](crate::metrics::MetricReport)s that every table of the
 //!   paper repeats.
@@ -23,11 +27,13 @@
 //!   per-node decision maker (TOLERANCE controller or baseline) and the
 //!   system controller, previously duplicated by every caller.
 
+mod pool;
 mod registry;
 mod runner;
 mod strategy;
 mod summary;
 
+pub use pool::WorkerPool;
 pub use registry::{AsMetricReport, MetricScenario, ScenarioRegistry, ScenarioRun};
 pub use runner::{ExecutionMode, FnScenario, Runner, Scenario};
 pub use strategy::{NodeStrategy, NodeStrategyConfig, StrategyKind};

@@ -1,7 +1,7 @@
 //! The [`Scenario`] abstraction and the parallel [`Runner`].
 
 use crate::error::Result;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::runtime::pool::WorkerPool;
 
 /// One closed-loop experiment: everything needed to execute a run for a
 /// given seed.
@@ -180,8 +180,8 @@ impl Runner {
     }
 
     /// Executes `jobs` independent jobs and returns their results in job
-    /// order. The scheduling (serial, or work-stealing across threads) is
-    /// invisible in the result.
+    /// order. The scheduling (serial, or claimed across the persistent
+    /// [`WorkerPool`]) is invisible in the result.
     fn execute<T, F>(&self, jobs: usize, job_fn: F) -> Vec<T>
     where
         T: Send,
@@ -191,35 +191,7 @@ impl Runner {
         if workers <= 1 || jobs <= 1 {
             return (0..jobs).map(job_fn).collect();
         }
-        let next_job = AtomicUsize::new(0);
-        let mut slots: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut completed = Vec::new();
-                        loop {
-                            let job = next_job.fetch_add(1, Ordering::Relaxed);
-                            if job >= jobs {
-                                break;
-                            }
-                            completed.push((job, job_fn(job)));
-                        }
-                        completed
-                    })
-                })
-                .collect();
-            for handle in handles {
-                let completed = handle.join().expect("runner worker panicked");
-                for (job, output) in completed {
-                    slots[job] = Some(output);
-                }
-            }
-        });
-        slots
-            .into_iter()
-            .map(|slot| slot.expect("every job index is executed exactly once"))
-            .collect()
+        WorkerPool::global().run_indexed(jobs, workers, job_fn)
     }
 }
 

@@ -21,15 +21,21 @@
 //! 5. [`scenario`] — [`register_simnet_scenarios`] plugs the harness into
 //!    the PR-1 [`ScenarioRegistry`](crate::runtime::ScenarioRegistry), so
 //!    experiment sweeps treat fault intensity like any other grid axis.
-//! 6. [`sharded`] — the multi-shard fleet harness: per-shard chaos from
-//!    split RNG streams of one seed, the fleet control plane with its
-//!    global recovery budget, cross-shard MultiPut chaos, and the routing
-//!    and atomicity oracles on top of the per-shard suite (`sharded/*`
-//!    scenarios, [`ShardedCounterexample`] shrinking).
+//! 6. [`sharded`] — the fleet-scale simulation engine: per-shard chaos
+//!    from split RNG streams of one seed, each shard an event-driven
+//!    sub-executor free-running between deterministic fleet barriers on
+//!    the persistent worker pool, the fleet control plane with its global
+//!    recovery budget, cross-shard MultiPut chaos, and the routing and
+//!    atomicity oracles on top of the per-shard suite (`sharded/*` and
+//!    `fleet/scale-*` scenarios, [`ShardedCounterexample`] shrinking).
+//!    Traces are byte-identical across engines and worker counts.
 //! 7. [`adversary`] — the adversary zoo: protocol-aware attacker replicas
 //!    ([`FaultEvent::AdoptAttacker`]) crossed with network conditions
 //!    including partial synchrony (GST schedules with the
 //!    liveness-after-GST oracle), registered as the `adversary/*` matrix.
+//! 8. [`workload`] — seeded open-loop trace workloads (diurnal arrival
+//!    rate, Zipf key popularity, bounded backlog — no trace files) for
+//!    the fleet engine's client drivers.
 
 pub mod adversary;
 pub mod executor;
@@ -38,6 +44,7 @@ pub mod scenario;
 pub mod schedule;
 pub mod sharded;
 pub mod shrink;
+pub mod workload;
 
 pub use adversary::{
     adversary_config, adversary_matrix, adversary_sharded_config, attacker_ids_lambda,
@@ -50,12 +57,14 @@ pub use schedule::{
     FaultEvent, FaultKind, FaultSchedule, NetworkPhase, ScheduleConfig, ScheduledFault,
 };
 pub use sharded::{
-    find_sharded_counterexample, register_sharded_scenarios, run_sharded_schedule,
+    find_sharded_counterexample, fleet_scale_config, register_fleet_scale_scenarios,
+    register_sharded_scenarios, run_sharded_schedule, run_sharded_schedule_with,
     sharded_chaos_4_config, sharded_fleet_controlled_config, sharded_multiput_config,
-    shrink_sharded_schedule, ShardedCounterexample, ShardedFaultSchedule, ShardedRunReport,
-    ShardedScheduleConfig, ShardedSimnetScenario,
+    shrink_sharded_schedule, FleetEngine, ShardedCounterexample, ShardedFaultSchedule,
+    ShardedRunReport, ShardedScheduleConfig, ShardedSimnetScenario,
 };
 pub use shrink::{find_counterexample, shrink_schedule, Counterexample};
+pub use workload::{TraceWorkload, TraceWorkloadConfig};
 
 #[cfg(test)]
 mod tests {

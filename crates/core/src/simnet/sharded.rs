@@ -1,11 +1,11 @@
-//! The multi-shard fault-injection harness: deterministic chaos over a
-//! fleet of MinBFT groups behind a key router.
+//! The fleet-scale simulation engine: deterministic chaos over many MinBFT
+//! groups behind a key router, scheduled event-driven per shard.
 //!
 //! One fleet run wires together:
 //!
 //! * a [`ShardedSimService`] — S independent simulated MinBFT groups, each
 //!   over its own deterministic network seeded from a **split stream** of
-//!   the fleet seed ([`shard_seed`]), stepped in lockstep;
+//!   the fleet seed ([`shard_seed`]);
 //! * per-shard chaos: one [`FaultSchedule`] per shard, generated from the
 //!   same split streams, so every shard sees its own partitions, storms,
 //!   crashes, intrusion bursts and churn while the whole fleet stays a
@@ -13,16 +13,47 @@
 //! * the [`FleetControlPlane`] — per-shard node controllers competing for
 //!   one **global** recovery budget `k`, plus (optionally) one system
 //!   controller per fleet;
-//! * a routed client workload (every generated operation is keyed and
-//!   submitted to the shard owning its key) and a cross-shard **MultiPut
-//!   driver** that launches two-round transactions and deliberately
-//!   abandons some of them mid-protocol (the client-crash chaos of the
-//!   atomicity oracle);
+//! * a routed client workload — either the closed-loop driver (one keyed
+//!   request per shard per step) or, with
+//!   [`ShardedScheduleConfig::workload`], a seeded **open-loop trace
+//!   workload** ([`TraceWorkload`]: diurnal arrival rate, Zipf key
+//!   popularity, bounded backlog, no trace files) — and a cross-shard
+//!   **MultiPut driver** that launches two-round transactions and
+//!   deliberately abandons some of them mid-protocol;
 //! * the full oracle suite per shard (agreement, validity, recovery bound,
 //!   network accounting, settle-phase liveness) **plus** the fleet-level
-//!   [`RoutingChecker`] (every committed request executed by exactly the
-//!   shard owning its key, exactly once fleet-wide) and an **atomicity**
-//!   check over every MultiPut at settle.
+//!   [`RoutingChecker`] and an **atomicity** check over every MultiPut.
+//!
+//! # The event-driven scheduler
+//!
+//! Each shard is an independent **sub-executor**: its own cluster, RNG
+//! stream, fault-schedule cursor, oracle state and trace buffer. Shards
+//! free-run on the persistent [`WorkerPool`] and synchronize only at
+//! deterministic **barrier points**:
+//!
+//! ```text
+//!   barrier step b (every `fleet_tick_interval` steps)
+//!   ─ A ─ per shard ∥ : GST restore · due fault events (plane effects
+//!                        buffered as notes)
+//!   ─ B ─ serial      : drain plane notes (shard-major) · fleet
+//!                        controller tick (global budget k)
+//!   ─ C ─ per shard ∥ : routed client driving (routing records buffered)
+//!   ─ D ─ serial      : merge routing records (shard-major) · cross-shard
+//!                        MultiPut rounds
+//!   ─ E ─ per shard ∥ : free-run steps b..b+interval — events, clients,
+//!                        simulation, local oracles, trace
+//!   ─ F ─ serial      : canonical violation resolution · routing oracle
+//! ```
+//!
+//! **Determinism contract.** Every phase either runs serially in shard
+//! index order or touches exclusively per-shard state, and buffered
+//! cross-shard effects are drained shard-major at the next barrier — so
+//! which worker ran which shard is invisible. The trace is byte-identical
+//! across 1/2/4/8 workers, and with `fleet_tick_interval = 1` (the
+//! default) the barrier cadence reproduces the original lockstep executor
+//! *exactly*: same RNG draws, same submission order, same violation and
+//! step, byte-identical trace. [`FleetEngine::Lockstep`] is literally the
+//! engine pinned to one worker — one implementation, two schedules.
 //!
 //! On violation, [`find_sharded_counterexample`] shrinks the fleet's
 //! schedules by greedy drop-one-event search across all shards and
@@ -36,17 +67,19 @@ use crate::error::{CoreError, Result};
 use crate::metrics::MetricReport;
 use crate::node_model::{NodeModel, NodeParameters, NodeState};
 use crate::observation::ObservationModel;
-use crate::runtime::{AsMetricReport, MetricScenario, Scenario, ScenarioRegistry};
+use crate::runtime::{AsMetricReport, MetricScenario, Scenario, ScenarioRegistry, WorkerPool};
 use crate::simnet::adversary;
 use crate::simnet::executor::{HarnessActuator, SimnetOutcome, Supervisor, TraceRecord};
 use crate::simnet::oracle::{InvariantChecker, InvariantKind, RoutingChecker, Violation};
-use crate::simnet::schedule::{FaultEvent, FaultSchedule, ScheduleConfig};
+use crate::simnet::schedule::{FaultEvent, FaultSchedule, ScheduleConfig, ScheduledFault};
 use crate::simnet::shrink::decode;
+use crate::simnet::workload::{TraceWorkload, TraceWorkloadConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
-use tolerance_consensus::minbft::Operation;
+use tolerance_consensus::crypto::Digest;
+use tolerance_consensus::minbft::{MinBftCluster, Operation};
 use tolerance_consensus::sharded::{
     shard_seed, KeyPartitioner, ShardedSimConfig, ShardedSimService,
 };
@@ -70,6 +103,16 @@ pub struct ShardedScheduleConfig {
     /// Keys per MultiPut transaction (spanning at least two shards when
     /// the fleet has them).
     pub multi_put_keys: usize,
+    /// Steps between fleet barriers: the fleet controller ticks and the
+    /// cross-shard MultiPut rounds advance only at barrier steps, and
+    /// shards free-run in between. `1` (the default) is the original
+    /// lockstep cadence; larger windows trade control-plane reaction time
+    /// for per-shard parallelism. Part of the *configuration* — the trace
+    /// depends on it, never on the engine or worker count.
+    pub fleet_tick_interval: u32,
+    /// Open-loop trace workload; `None` keeps the closed-loop driver (one
+    /// keyed request per shard per step plus burst backlog).
+    pub workload: Option<TraceWorkloadConfig>,
 }
 
 impl Default for ShardedScheduleConfig {
@@ -83,6 +126,8 @@ impl Default for ShardedScheduleConfig {
             key_space: 64,
             multi_put_interval: 6,
             multi_put_keys: 2,
+            fleet_tick_interval: 1,
+            workload: None,
         }
     }
 }
@@ -100,6 +145,41 @@ impl ShardedScheduleConfig {
             fault_threshold: self.base.fault_threshold().max(1),
             availability_target: 0.9,
             node_survival_probability: 0.95,
+        }
+    }
+}
+
+/// How [`run_sharded_schedule_with`] schedules the fleet's shards. The
+/// engine choice changes wall-clock time only — the trace is identical for
+/// every variant (the determinism suite in `tests/fleet.rs` pins this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetEngine {
+    /// Every shard stepped serially on the calling thread (the original
+    /// executor; equivalent to `EventDriven` with one worker).
+    Lockstep,
+    /// Shards free-run between barriers on the persistent [`WorkerPool`]
+    /// (`None` = one worker per available CPU).
+    EventDriven {
+        /// Scheduler worker count; `None` picks the available parallelism.
+        workers: Option<usize>,
+    },
+}
+
+impl Default for FleetEngine {
+    fn default() -> Self {
+        FleetEngine::EventDriven { workers: None }
+    }
+}
+
+impl FleetEngine {
+    /// The number of concurrent shard sub-executors this engine uses.
+    pub fn workers(self) -> usize {
+        match self {
+            FleetEngine::Lockstep => 1,
+            FleetEngine::EventDriven { workers: Some(n) } => n.max(1),
+            FleetEngine::EventDriven { workers: None } => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
         }
     }
 }
@@ -138,7 +218,7 @@ pub struct ShardedRunReport {
     /// Fleet-wide aggregate outcome.
     pub outcome: SimnetOutcome,
     /// Per-shard event traces (`trace[shard][step]`), byte-identical for
-    /// identical `(seed, config)` pairs.
+    /// identical `(seed, config)` pairs — regardless of engine or workers.
     pub trace: Vec<Vec<TraceRecord>>,
     /// MultiPut transactions launched / fully committed.
     pub multi_puts: (u64, u64),
@@ -153,7 +233,7 @@ impl AsMetricReport for ShardedRunReport {
 }
 
 /// Executes `schedule` against a freshly built fleet configured by
-/// `config`.
+/// `config`, on the default engine (event-driven, one worker per CPU).
 ///
 /// # Errors
 ///
@@ -164,7 +244,21 @@ pub fn run_sharded_schedule(
     schedule: &ShardedFaultSchedule,
     config: &ShardedScheduleConfig,
 ) -> Result<ShardedRunReport> {
-    ShardedHarness::new(schedule, config)?.run()
+    run_sharded_schedule_with(schedule, config, FleetEngine::default())
+}
+
+/// Executes `schedule` on an explicit [`FleetEngine`]. Every engine
+/// produces the identical report — choose by wall-clock needs only.
+///
+/// # Errors
+///
+/// Propagates model-construction and LP failures.
+pub fn run_sharded_schedule_with(
+    schedule: &ShardedFaultSchedule,
+    config: &ShardedScheduleConfig,
+    engine: FleetEngine,
+) -> Result<ShardedRunReport> {
+    ShardedHarness::new(schedule, config)?.run(engine.workers())
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -210,6 +304,20 @@ struct MultiPutTx {
     ops: Vec<(Operation, usize, NodeId, OpState)>,
 }
 
+/// A control-plane side effect raised inside a parallel per-shard phase,
+/// buffered and drained shard-major at the next barrier (the
+/// [`FleetControlPlane`] must only ever be touched serially).
+enum PlaneNote {
+    /// A replica recovered on schedule; its controller resets.
+    Recovered(NodeId),
+    /// A replica was evicted; its controller is dropped.
+    Forget(NodeId),
+}
+
+/// One shard's sub-executor state: everything a shard mutates while
+/// free-running between barriers lives here (or in its
+/// [`MinBftCluster`]) — nothing else, which is what makes the parallel
+/// phases deterministic.
 struct ShardState {
     supervisors: BTreeMap<NodeId, Supervisor>,
     checker: InvariantChecker,
@@ -218,6 +326,9 @@ struct ShardState {
     recovery_delays: Vec<u32>,
     pending_bursts: u32,
     owned_keys: Vec<u32>,
+    /// The shard's general routed client pool (fixed at construction; the
+    /// free-client scan runs over it in pool order).
+    pool: Vec<NodeId>,
     /// Every client whose completions this shard contributes (general pool
     /// plus transaction clients created on it).
     clients: Vec<NodeId>,
@@ -225,6 +336,23 @@ struct ShardState {
     /// submitted (pruned on completion) — the per-shard bookkeeping of the
     /// liveness-after-GST oracle.
     outstanding_since: BTreeMap<NodeId, u32>,
+    /// Cursor into the shard's fault schedule (events are step-sorted).
+    cursor: usize,
+    /// Routed submissions made inside a parallel phase; merged into the
+    /// fleet [`RoutingChecker`] shard-major at the next barrier.
+    routing_pending: Vec<Digest>,
+    /// Control-plane effects raised inside a parallel phase.
+    plane_notes: Vec<PlaneNote>,
+    /// The earliest local oracle violation of the current free-run window:
+    /// `(step, kind-rank, violation)` with rank 0 = pre-barrier oracles
+    /// (logs / network / recovery bound) and rank 1 = GST liveness.
+    window_violation: Option<(u32, u8, Violation)>,
+    /// Requests this shard issued from parallel phases.
+    issued: u64,
+    /// The shard's slice of the fleet trace.
+    trace: Vec<TraceRecord>,
+    /// The seeded open-loop workload generator, when configured.
+    workload: Option<TraceWorkload>,
 }
 
 struct ShardedHarness<'a> {
@@ -240,11 +368,12 @@ struct ShardedHarness<'a> {
     routing: RoutingChecker,
     transactions: Vec<MultiPutTx>,
     next_tx: u64,
+    /// Requests issued from serial (barrier/settle) phases; the fleet
+    /// total adds every shard's own counter.
     issued: u64,
     /// The step currently executing (the horizon during the settle phase);
-    /// submission helpers stamp `outstanding_since` with it.
+    /// serial submission helpers stamp `outstanding_since` with it.
     current_step: u32,
-    trace: Vec<Vec<TraceRecord>>,
 }
 
 impl<'a> ShardedHarness<'a> {
@@ -264,6 +393,14 @@ impl<'a> ShardedHarness<'a> {
                 for id in 0..config.base.initial_replicas as NodeId {
                     supervisors.insert(id, Supervisor::new());
                 }
+                let owned_keys = partitioner.owned_keys(shard, config.key_space.max(1));
+                let workload = config.workload.as_ref().map(|workload_config| {
+                    TraceWorkload::new(
+                        shard_seed(schedule.seed, shard),
+                        &owned_keys,
+                        workload_config,
+                    )
+                });
                 ShardState {
                     supervisors,
                     checker: InvariantChecker::new(),
@@ -271,9 +408,17 @@ impl<'a> ShardedHarness<'a> {
                     recoveries: 0,
                     recovery_delays: Vec::new(),
                     pending_bursts: 0,
-                    owned_keys: partitioner.owned_keys(shard, config.key_space.max(1)),
+                    owned_keys,
+                    pool: service.pool_clients(shard).to_vec(),
                     clients: service.pool_clients(shard).to_vec(),
                     outstanding_since: BTreeMap::new(),
+                    cursor: 0,
+                    routing_pending: Vec::new(),
+                    plane_notes: Vec::new(),
+                    window_violation: None,
+                    issued: 0,
+                    trace: Vec::new(),
+                    workload,
                 }
             })
             .collect();
@@ -292,42 +437,48 @@ impl<'a> ShardedHarness<'a> {
             next_tx: 1,
             issued: 0,
             current_step: 0,
-            trace: Vec::new(),
         })
     }
 
+    /// Runs `f(shard, cluster, state)` for every shard — inline in shard
+    /// index order when `workers <= 1` (the lockstep schedule), otherwise
+    /// across the persistent [`WorkerPool`]. Every parallel phase of the
+    /// engine and of the settle drain goes through here, so the lockstep
+    /// and event-driven paths are one implementation.
+    fn for_each_shard<F>(
+        service: &mut ShardedSimService,
+        states: &mut [ShardState],
+        workers: usize,
+        f: F,
+    ) where
+        F: Fn(usize, &mut MinBftCluster, &mut ShardState) + Sync,
+    {
+        let mut shards: Vec<(&mut MinBftCluster, &mut ShardState)> = service
+            .shards_mut()
+            .iter_mut()
+            .zip(states.iter_mut())
+            .collect();
+        if workers <= 1 || shards.len() <= 1 {
+            for (shard, pair) in shards.iter_mut().enumerate() {
+                f(shard, pair.0, pair.1);
+            }
+        } else {
+            WorkerPool::global().for_each_mut(&mut shards, workers, |shard, pair| {
+                f(shard, pair.0, pair.1);
+            });
+        }
+    }
+
     /// Records a routed submission in the owning shard's validity oracle
-    /// and the fleet routing oracle.
-    fn record(&mut self, shard: usize, digest: tolerance_consensus::crypto::Digest) {
+    /// and the fleet routing oracle (serial phases only).
+    fn record(&mut self, shard: usize, digest: Digest) {
         self.states[shard].checker.record_submission(digest);
         self.routing.record_submission(digest, shard);
         self.issued += 1;
     }
 
-    /// Submits a keyed operation through the router on a free pool client.
-    fn submit_routed(&mut self, operation: Operation) -> bool {
-        match self.service.submit(operation) {
-            Some((shard, client, request)) => {
-                if std::env::var_os("SIMNET_DEBUG").is_some() {
-                    eprintln!(
-                        "  submit shard {shard} client {client} id {} op {:?} digest {}",
-                        request.id,
-                        request.operation,
-                        request.digest().0 % 100_000
-                    );
-                }
-                self.record(shard, request.digest());
-                self.states[shard]
-                    .outstanding_since
-                    .insert(client, self.current_step);
-                true
-            }
-            None => false,
-        }
-    }
-
     /// Submits an operation on a freshly created dedicated client of the
-    /// owning shard and returns `(shard, client)`.
+    /// owning shard and returns `(shard, client)` (serial phases only).
     fn submit_dedicated(&mut self, operation: Operation) -> (usize, NodeId) {
         let key = operation.key().expect("transaction operations are keyed");
         let shard = self.service.owner(key);
@@ -349,10 +500,16 @@ impl<'a> ShardedHarness<'a> {
         (shard, client)
     }
 
-    /// Schedule-driven (or settle-phase) recovery of one shard's node.
-    fn recover_shard_node(&mut self, shard: usize, node: NodeId, step: u32) {
-        let state = &mut self.states[shard];
-        let cluster = &mut self.service.shards_mut()[shard];
+    /// Recovery of one shard's node through the shared actuator; returns
+    /// whether the node actually recovered. Safe in parallel phases — the
+    /// caller is responsible for the control-plane notification (directly
+    /// when serial, via a [`PlaneNote`] otherwise).
+    fn recover_node_local(
+        cluster: &mut MinBftCluster,
+        state: &mut ShardState,
+        node: NodeId,
+        step: u32,
+    ) -> bool {
         let mut actuator = HarnessActuator {
             cluster,
             supervisors: &mut state.supervisors,
@@ -361,62 +518,71 @@ impl<'a> ShardedHarness<'a> {
             recovery_delays: &mut state.recovery_delays,
             step,
         };
-        if actuator.recover_node(node) {
+        actuator.recover_node(node)
+    }
+
+    /// Serial-phase recovery: actuate and notify the control plane.
+    fn recover_shard_node(&mut self, shard: usize, node: NodeId, step: u32) {
+        let state = &mut self.states[shard];
+        let cluster = &mut self.service.shards_mut()[shard];
+        if Self::recover_node_local(cluster, state, node, step) {
             self.plane.controller(shard, node).notify_recovered();
         }
     }
 
-    fn apply_event(&mut self, shard: usize, event: &FaultEvent, step: u32) {
+    /// Applies one scheduled fault to one shard's sub-executor.
+    /// Control-plane effects are buffered as [`PlaneNote`]s.
+    fn apply_shard_event(
+        config: &ShardedScheduleConfig,
+        cluster: &mut MinBftCluster,
+        state: &mut ShardState,
+        event: &FaultEvent,
+        step: u32,
+    ) {
         // Storms perturb the *ambient* profile of the step (the asynchronous
         // profile before GST) and RestoreNetwork restores it, mirroring the
         // single-group executor.
-        let ambient_network = self.config.base.ambient_network(step);
-        let max_replicas = self.config.base.max_replicas;
+        let ambient_network = config.base.ambient_network(step);
+        let max_replicas = config.base.max_replicas;
         match event {
             FaultEvent::Partition { group_a, group_b } => {
-                self.service
-                    .shard_mut(shard)
-                    .partition_network(group_a, group_b);
+                cluster.partition_network(group_a, group_b);
             }
-            FaultEvent::Heal => self.service.shard_mut(shard).heal_network(),
+            FaultEvent::Heal => cluster.heal_network(),
             FaultEvent::LossStorm { loss_rate } => {
                 let mut network = ambient_network;
                 network.loss_rate = network.loss_rate.max(*loss_rate);
-                self.service
-                    .shard_mut(shard)
-                    .set_network_config(network.clamped());
+                cluster.set_network_config(network.clamped());
             }
             FaultEvent::DelayStorm { latency, jitter } => {
                 let mut network = ambient_network;
                 network.latency = network.latency.max(*latency);
                 network.jitter = network.jitter.max(*jitter);
-                self.service
-                    .shard_mut(shard)
-                    .set_network_config(network.clamped());
+                cluster.set_network_config(network.clamped());
             }
             FaultEvent::RestoreNetwork => {
-                self.service
-                    .shard_mut(shard)
-                    .set_network_config(ambient_network);
+                cluster.set_network_config(ambient_network);
             }
             FaultEvent::CrashReplica { node } => {
-                let cluster = self.service.shard_mut(shard);
                 if cluster.membership().contains(node) {
                     cluster.crash_replica(*node);
-                    if let Some(supervisor) = self.states[shard].supervisors.get_mut(node) {
+                    if let Some(supervisor) = state.supervisors.get_mut(node) {
                         supervisor.schedule_crashed = true;
                         supervisor.state = NodeState::Crashed;
                     }
                 }
             }
-            FaultEvent::RecoverReplica { node } => self.recover_shard_node(shard, *node, step),
+            FaultEvent::RecoverReplica { node } => {
+                if Self::recover_node_local(cluster, state, *node, step) {
+                    state.plane_notes.push(PlaneNote::Recovered(*node));
+                }
+            }
             FaultEvent::ByzantineFlip { node, mode } => {
-                let cluster = self.service.shard_mut(shard);
                 if cluster.membership().contains(node) && !cluster.is_crashed(*node) {
                     cluster.set_byzantine(*node, *mode);
                     // The flip perturbs the IDS observation stream too,
                     // with a heavily degraded signature.
-                    if let Some(supervisor) = self.states[shard].supervisors.get_mut(node) {
+                    if let Some(supervisor) = state.supervisors.get_mut(node) {
                         supervisor.state = NodeState::Compromised;
                         supervisor.compromised_at.get_or_insert(step);
                         supervisor.ids_lambda = adversary::BYZANTINE_FLIP_IDS_LAMBDA;
@@ -424,10 +590,9 @@ impl<'a> ShardedHarness<'a> {
                 }
             }
             FaultEvent::IntrusionBurst { node, mode } => {
-                let cluster = self.service.shard_mut(shard);
                 if cluster.membership().contains(node) && !cluster.is_crashed(*node) {
                     cluster.set_byzantine(*node, *mode);
-                    if let Some(supervisor) = self.states[shard].supervisors.get_mut(node) {
+                    if let Some(supervisor) = state.supervisors.get_mut(node) {
                         supervisor.state = NodeState::Compromised;
                         supervisor.compromised_at.get_or_insert(step);
                         supervisor.ids_lambda = 0.0;
@@ -435,10 +600,9 @@ impl<'a> ShardedHarness<'a> {
                 }
             }
             FaultEvent::AdoptAttacker { node, attacker } => {
-                let cluster = self.service.shard_mut(shard);
                 if cluster.membership().contains(node) && !cluster.is_crashed(*node) {
                     cluster.set_attacker(*node, Some(*attacker));
-                    if let Some(supervisor) = self.states[shard].supervisors.get_mut(node) {
+                    if let Some(supervisor) = state.supervisors.get_mut(node) {
                         supervisor.state = NodeState::Compromised;
                         supervisor.compromised_at.get_or_insert(step);
                         supervisor.ids_lambda = adversary::attacker_ids_lambda(*attacker);
@@ -446,30 +610,80 @@ impl<'a> ShardedHarness<'a> {
                 }
             }
             FaultEvent::AddReplica => {
-                let cluster = self.service.shard_mut(shard);
                 if cluster.num_replicas() < max_replicas {
                     let id = cluster.add_replica();
-                    self.states[shard].supervisors.insert(id, Supervisor::new());
-                    self.states[shard].added_stack.push(id);
+                    state.supervisors.insert(id, Supervisor::new());
+                    state.added_stack.push(id);
                 }
             }
             FaultEvent::EvictReplica { node } => {
-                let target = node.or_else(|| self.states[shard].added_stack.pop());
+                let target = node.or_else(|| state.added_stack.pop());
                 if let Some(target) = target {
-                    let cluster = self.service.shard_mut(shard);
                     if cluster.membership().contains(&target) && cluster.num_replicas() > 3 {
                         cluster.evict_replica(target);
-                        self.states[shard].supervisors.remove(&target);
-                        self.states[shard].checker.forget_replica(target);
-                        self.plane.forget(shard, target);
+                        state.supervisors.remove(&target);
+                        state.checker.forget_replica(target);
+                        state.plane_notes.push(PlaneNote::Forget(target));
                     }
                 }
             }
             FaultEvent::ClientBurst { requests } => {
-                self.states[shard].pending_bursts += requests;
+                state.pending_bursts += requests;
             }
             FaultEvent::InjectDoubleCommit { node } => {
-                self.service.shard_mut(shard).inject_double_commit(*node);
+                cluster.inject_double_commit(*node);
+            }
+        }
+    }
+
+    /// Applies every fault event of this shard due at `step`, advancing
+    /// the shard's schedule cursor.
+    fn apply_due_events(
+        config: &ShardedScheduleConfig,
+        events: &[ScheduledFault],
+        cluster: &mut MinBftCluster,
+        state: &mut ShardState,
+        step: u32,
+    ) {
+        while let Some(fault) = events.get(state.cursor) {
+            if fault.step > step {
+                break;
+            }
+            state.cursor += 1;
+            Self::apply_shard_event(config, cluster, state, &fault.event, step);
+        }
+    }
+
+    /// Global stabilization of one shard: partitions heal and the
+    /// bounded-delay profile holds from here on.
+    fn restore_gst(config: &ShardedScheduleConfig, cluster: &mut MinBftCluster) {
+        cluster.heal_network();
+        cluster.set_network_config(config.base.network);
+    }
+
+    /// Drains the plane notes buffered by the parallel phases, shard-major
+    /// — the same order the lockstep loop raised them in.
+    fn drain_plane_notes(&mut self) {
+        for shard in 0..self.states.len() {
+            let notes = std::mem::take(&mut self.states[shard].plane_notes);
+            for note in notes {
+                match note {
+                    PlaneNote::Recovered(node) => {
+                        self.plane.controller(shard, node).notify_recovered();
+                    }
+                    PlaneNote::Forget(node) => self.plane.forget(shard, node),
+                }
+            }
+        }
+    }
+
+    /// Merges the routed-submission records buffered by the parallel
+    /// phases into the fleet routing oracle, shard-major — the same global
+    /// sequence the lockstep loop produced.
+    fn merge_routing_records(&mut self) {
+        for (shard, state) in self.states.iter_mut().enumerate() {
+            for digest in state.routing_pending.drain(..) {
+                self.routing.record_submission(digest, shard);
             }
         }
     }
@@ -527,37 +741,103 @@ impl<'a> ShardedHarness<'a> {
             .tick(&observations, &mut actuators, &mut self.rng);
     }
 
-    /// One routed client submission per shard per step (plus burst
-    /// backlog), on keys the shard owns.
-    fn drive_clients(&mut self, step: u32) {
-        for shard in 0..self.service.num_shards() {
-            let key = {
-                let owned = &self.states[shard].owned_keys;
-                owned[step as usize % owned.len()]
-            };
-            let submitted = self.submit_routed(Operation::Put {
-                key,
-                value: u64::from(step) + 1,
-            });
-            let mut bursts = self.states[shard].pending_bursts;
-            if !submitted {
-                continue;
-            }
-            while bursts > 0 {
-                let key = {
-                    let owned = &self.states[shard].owned_keys;
-                    owned[(step as usize + bursts as usize) % owned.len()]
-                };
-                if !self.submit_routed(Operation::Put {
-                    key,
-                    value: 0x1000_0000 + u64::from(step) * 16 + u64::from(bursts),
-                }) {
+    /// Submits a keyed operation on the first free pool client of this
+    /// shard, recording it locally (validity oracle + routing buffer).
+    fn submit_shard_put(
+        shard: usize,
+        cluster: &mut MinBftCluster,
+        state: &mut ShardState,
+        operation: Operation,
+        step: u32,
+    ) -> bool {
+        let Some(client) = state
+            .pool
+            .iter()
+            .copied()
+            .find(|&c| !cluster.has_outstanding_request(c))
+        else {
+            return false;
+        };
+        let request = cluster.submit(client, operation);
+        if std::env::var_os("SIMNET_DEBUG").is_some() {
+            eprintln!(
+                "  submit shard {shard} client {client} id {} op {:?} digest {}",
+                request.id,
+                request.operation,
+                request.digest().0 % 100_000
+            );
+        }
+        state.checker.record_submission(request.digest());
+        state.routing_pending.push(request.digest());
+        state.issued += 1;
+        state.outstanding_since.insert(client, step);
+        true
+    }
+
+    /// Drives one shard's routed clients for one step: the closed-loop
+    /// driver (one keyed request plus burst backlog), or the open-loop
+    /// [`TraceWorkload`] when configured.
+    fn drive_shard_clients(
+        shard: usize,
+        cluster: &mut MinBftCluster,
+        state: &mut ShardState,
+        step: u32,
+    ) {
+        if let Some(mut workload) = state.workload.take() {
+            // Open loop: the offered arrivals (plus any deferred demand and
+            // scheduled bursts) are submitted while pool clients are free;
+            // the rest queues up to the backlog cap and beyond it is shed.
+            let mut demand = workload.arrivals(step).saturating_add(state.pending_bursts);
+            while demand > 0 {
+                let key = workload.draw_key();
+                let value = 0x2000_0000 + u64::from(step) * 64 + u64::from(demand);
+                if !Self::submit_shard_put(
+                    shard,
+                    cluster,
+                    state,
+                    Operation::Put { key, value },
+                    step,
+                ) {
                     break;
                 }
-                bursts -= 1;
+                demand -= 1;
             }
-            self.states[shard].pending_bursts = bursts;
+            state.pending_bursts = demand.min(workload.backlog_cap());
+            state.workload = Some(workload);
+            return;
         }
+        let key = state.owned_keys[step as usize % state.owned_keys.len()];
+        let submitted = Self::submit_shard_put(
+            shard,
+            cluster,
+            state,
+            Operation::Put {
+                key,
+                value: u64::from(step) + 1,
+            },
+            step,
+        );
+        let mut bursts = state.pending_bursts;
+        if !submitted {
+            return;
+        }
+        while bursts > 0 {
+            let key = state.owned_keys[(step as usize + bursts as usize) % state.owned_keys.len()];
+            if !Self::submit_shard_put(
+                shard,
+                cluster,
+                state,
+                Operation::Put {
+                    key,
+                    value: 0x1000_0000 + u64::from(step) * 16 + u64::from(bursts),
+                },
+                step,
+            ) {
+                break;
+            }
+            bursts -= 1;
+        }
+        state.pending_bursts = bursts;
     }
 
     /// The keys of transaction `tx`: a fresh, transaction-private range
@@ -618,7 +898,8 @@ impl<'a> ShardedHarness<'a> {
 
     /// Advances every active MultiPut transaction's state machine (the
     /// client half of the two-round protocol, including the scripted
-    /// mid-protocol "crashes").
+    /// mid-protocol "crashes"). Barrier phases only — transactions span
+    /// shards.
     fn step_multi_puts(&mut self, step: u32) {
         if self.config.multi_put_interval > 0
             && step > 0
@@ -704,60 +985,70 @@ impl<'a> ShardedHarness<'a> {
         }
     }
 
-    fn check_invariants(&mut self, step: u32) -> Option<Violation> {
+    /// The pre-barrier oracles of one shard: log agreement/validity,
+    /// network accounting, and the fleet-wide recovery bound.
+    fn check_shard_pre(
+        config: &ShardedScheduleConfig,
+        shard: usize,
+        cluster: &MinBftCluster,
+        state: &mut ShardState,
+        step: u32,
+    ) -> Option<Violation> {
         // The recovery bound gains the fleet-wide queueing slack of the
         // *global* k budget: every shard's compromises compete for the
         // same slots.
-        let bound = self.config.base.delta_r
-            + (self.config.shards * self.config.base.initial_replicas) as u32
-            + 1;
-        for shard in 0..self.service.num_shards() {
-            let cluster = self.service.shard(shard);
-            let state = &mut self.states[shard];
-            if let Some(violation) = state.checker.check_logs(cluster, step) {
-                return Some(Self::shard_violation(shard, violation));
-            }
-            if let Some(violation) = state.checker.check_network(cluster, step) {
-                return Some(Self::shard_violation(shard, violation));
-            }
-            for (&id, supervisor) in &state.supervisors {
-                if let Some(at) = supervisor.compromised_at {
-                    if step.saturating_sub(at) > bound {
-                        return Some(Violation {
-                            kind: InvariantKind::RecoveryBound,
-                            step,
-                            detail: format!(
-                                "shard {shard}: replica {id} compromised at step {at} still \
-                                 unrecovered at step {step} (bound {bound})"
-                            ),
-                        });
-                    }
+        let bound = config.base.delta_r + (config.shards * config.base.initial_replicas) as u32 + 1;
+        if let Some(violation) = state.checker.check_logs(cluster, step) {
+            return Some(Self::shard_violation(shard, violation));
+        }
+        if let Some(violation) = state.checker.check_network(cluster, step) {
+            return Some(Self::shard_violation(shard, violation));
+        }
+        for (&id, supervisor) in &state.supervisors {
+            if let Some(at) = supervisor.compromised_at {
+                if step.saturating_sub(at) > bound {
+                    return Some(Violation {
+                        kind: InvariantKind::RecoveryBound,
+                        step,
+                        detail: format!(
+                            "shard {shard}: replica {id} compromised at step {at} still \
+                             unrecovered at step {step} (bound {bound})"
+                        ),
+                    });
                 }
             }
-            if let Some(violation) = self.routing.check_shard(shard, cluster, step) {
-                return Some(violation);
-            }
-            // Liveness after GST, per shard: every request submitted before
-            // stabilization must complete within the bounded window.
-            state
-                .outstanding_since
-                .retain(|&client, _| cluster.has_outstanding_request(client));
-            if let Some(gst) = self.config.base.gst {
-                if step >= gst && step - gst > self.config.base.post_gst_liveness_steps {
-                    for (&client, &since) in &state.outstanding_since {
-                        if since < gst {
-                            return Some(Violation {
-                                kind: InvariantKind::LivenessAfterGst,
-                                step,
-                                detail: format!(
-                                    "shard {shard}: client {client}'s request from step {since} \
-                                     (before GST at step {gst}) still uncommitted {} steps after \
-                                     stabilization (bound {})",
-                                    step - gst,
-                                    self.config.base.post_gst_liveness_steps
-                                ),
-                            });
-                        }
+        }
+        None
+    }
+
+    /// The liveness-after-GST oracle of one shard: every request submitted
+    /// before stabilization must complete within the bounded window.
+    /// Prunes completed requests from the shard's bookkeeping either way.
+    fn check_shard_gst(
+        config: &ShardedScheduleConfig,
+        shard: usize,
+        cluster: &MinBftCluster,
+        state: &mut ShardState,
+        step: u32,
+    ) -> Option<Violation> {
+        state
+            .outstanding_since
+            .retain(|&client, _| cluster.has_outstanding_request(client));
+        if let Some(gst) = config.base.gst {
+            if step >= gst && step - gst > config.base.post_gst_liveness_steps {
+                for (&client, &since) in &state.outstanding_since {
+                    if since < gst {
+                        return Some(Violation {
+                            kind: InvariantKind::LivenessAfterGst,
+                            step,
+                            detail: format!(
+                                "shard {shard}: client {client}'s request from step {since} \
+                                 (before GST at step {gst}) still uncommitted {} steps after \
+                                 stabilization (bound {})",
+                                step - gst,
+                                config.base.post_gst_liveness_steps
+                            ),
+                        });
                     }
                 }
             }
@@ -765,51 +1056,147 @@ impl<'a> ShardedHarness<'a> {
         None
     }
 
-    fn push_trace(&mut self, step: u32) {
+    /// The full oracle pass in lockstep order — shard-major, pre-barrier
+    /// oracles, then routing, then GST liveness per shard. Used at
+    /// single-step barriers and at the end of the settle phase (the
+    /// free-run windows use the same per-shard checks locally and
+    /// [`ShardedHarness::resolve_window`] canonically).
+    fn check_invariants(&mut self, step: u32) -> Option<Violation> {
         for shard in 0..self.service.num_shards() {
             let cluster = self.service.shard(shard);
-            let state = &self.states[shard];
-            let faulty: Vec<NodeId> = state
-                .supervisors
-                .iter()
-                .filter(|(_, s)| s.schedule_crashed || s.state != NodeState::Healthy)
-                .map(|(&id, _)| id)
-                .collect();
-            let completed: u64 = state
-                .clients
-                .iter()
-                .map(|&c| cluster.completed_requests(c))
-                .sum();
-            self.trace[shard].push(TraceRecord {
-                step,
-                time_bits: cluster.now().to_bits(),
-                membership: cluster.membership().to_vec(),
-                commits: cluster.commit_trace().len() as u64,
-                view_changes: cluster.view_changes(),
-                completed,
-                net_sent: cluster.network_stats().sent,
-                faulty,
-            });
+            let state = &mut self.states[shard];
+            if let Some(violation) = Self::check_shard_pre(self.config, shard, cluster, state, step)
+            {
+                return Some(violation);
+            }
+            if let Some(violation) = self.routing.check_shard(shard, cluster, step) {
+                return Some(violation);
+            }
+            if let Some(violation) = Self::check_shard_gst(self.config, shard, cluster, state, step)
+            {
+                return Some(violation);
+            }
+        }
+        None
+    }
+
+    /// One shard's trace record at `step`.
+    fn shard_trace_record(cluster: &MinBftCluster, state: &ShardState, step: u32) -> TraceRecord {
+        let faulty: Vec<NodeId> = state
+            .supervisors
+            .iter()
+            .filter(|(_, s)| s.schedule_crashed || s.state != NodeState::Healthy)
+            .map(|(&id, _)| id)
+            .collect();
+        let completed: u64 = state
+            .clients
+            .iter()
+            .map(|&c| cluster.completed_requests(c))
+            .sum();
+        TraceRecord {
+            step,
+            time_bits: cluster.now().to_bits(),
+            membership: cluster.membership().to_vec(),
+            commits: cluster.commit_trace().len() as u64,
+            view_changes: cluster.view_changes(),
+            completed,
+            net_sent: cluster.network_stats().sent,
+            faulty,
         }
     }
 
-    fn catch_up_stragglers(&mut self) {
-        for shard in 0..self.service.num_shards() {
-            let cluster = self.service.shard_mut(shard);
-            let members: Vec<NodeId> = cluster.membership().to_vec();
-            let longest = members
-                .iter()
-                .filter_map(|&id| cluster.executed_len(id))
-                .max()
-                .unwrap_or(0);
-            for id in members {
-                let lagging = cluster
-                    .executed_len(id)
-                    .map(|len| len + 2 < longest)
-                    .unwrap_or(false);
-                if cluster.needs_state(id) || lagging {
-                    cluster.recover_replica(id);
+    /// Free-runs one shard's sub-executor through `window` (`start..end`).
+    /// The barrier step `start` has already had its events and client
+    /// driving applied in the barrier phases; later steps apply their own.
+    /// With `local_checks`, the per-shard oracles run each step and the
+    /// shard stops at its earliest violation (recorded for canonical
+    /// resolution at the barrier); without (single-step windows), the
+    /// barrier runs the full lockstep oracle pass instead.
+    fn shard_window(
+        config: &ShardedScheduleConfig,
+        events: &[ScheduledFault],
+        shard: usize,
+        cluster: &mut MinBftCluster,
+        state: &mut ShardState,
+        window: std::ops::Range<u32>,
+        local_checks: bool,
+    ) {
+        let start = window.start;
+        for step in window {
+            if step != start {
+                if config.base.gst == Some(step) {
+                    Self::restore_gst(config, cluster);
                 }
+                Self::apply_due_events(config, events, cluster, state, step);
+                Self::drive_shard_clients(shard, cluster, state, step);
+            }
+            cluster.run_until(f64::from(step + 1) * config.base.step_duration);
+            if local_checks {
+                if let Some(violation) = Self::check_shard_pre(config, shard, cluster, state, step)
+                {
+                    state.window_violation = Some((step, 0, violation));
+                } else if let Some(violation) =
+                    Self::check_shard_gst(config, shard, cluster, state, step)
+                {
+                    state.window_violation = Some((step, 1, violation));
+                }
+            }
+            state
+                .trace
+                .push(Self::shard_trace_record(cluster, state, step));
+            if state.window_violation.is_some() {
+                break;
+            }
+        }
+    }
+
+    /// Canonical violation resolution at a multi-step window barrier: the
+    /// earliest `(step, shard, pre-before-GST)` local violation wins; when
+    /// no shard violated locally, the routing oracle runs shard-major at
+    /// the window's last step. Returns the violation and its step.
+    fn resolve_window(&mut self, window_end: u32) -> Option<(u32, Violation)> {
+        let mut best: Option<(u32, u8, usize)> = None;
+        for (shard, state) in self.states.iter().enumerate() {
+            if let Some((step, rank, _)) = &state.window_violation {
+                let key = (*step, *rank, shard);
+                if best.map(|b| key < b).unwrap_or(true) {
+                    best = Some(key);
+                }
+            }
+        }
+        if let Some((step, _, shard)) = best {
+            let (_, _, violation) = self.states[shard]
+                .window_violation
+                .take()
+                .expect("the canonical candidate exists");
+            return Some((step, violation));
+        }
+        let step = window_end.saturating_sub(1);
+        for shard in 0..self.service.num_shards() {
+            let cluster = self.service.shard(shard);
+            if let Some(violation) = self.routing.check_shard(shard, cluster, step) {
+                return Some((step, violation));
+            }
+        }
+        None
+    }
+
+    /// Per-shard state-transfer nudge: replicas that fell behind or flag
+    /// `needs_state` are re-driven through recovery.
+    fn catch_up_shard(cluster: &mut MinBftCluster) {
+        let members: Vec<NodeId> = cluster.membership().to_vec();
+        let longest = members
+            .iter()
+            .filter_map(|&id| cluster.executed_len(id))
+            .max()
+            .unwrap_or(0);
+        for id in members {
+            let lagging = cluster
+                .executed_len(id)
+                .map(|len| len + 2 < longest)
+                .unwrap_or(false);
+            if cluster.needs_state(id) || lagging {
+                cluster.recover_replica(id);
             }
         }
     }
@@ -832,13 +1219,17 @@ impl<'a> ShardedHarness<'a> {
     /// The settle phase: heal every shard, recover every still-marked
     /// replica, drain outstanding requests, **roll forward** interrupted
     /// MultiPut commit rounds, probe each shard, and run the atomicity
-    /// check over every transaction.
-    fn settle(&mut self) -> Option<Violation> {
-        for shard in 0..self.service.num_shards() {
-            let cluster = self.service.shard_mut(shard);
-            cluster.heal_network();
-            cluster.set_network_config(self.config.base.network);
-        }
+    /// check over every transaction. The drain rounds run per-shard on the
+    /// worker pool (each to a barrier-computed common deadline); every
+    /// oracle decision stays serial.
+    fn settle(&mut self, workers: usize) -> Option<Violation> {
+        Self::for_each_shard(&mut self.service, &mut self.states, workers, {
+            let config = self.config;
+            move |_, cluster, _| {
+                cluster.heal_network();
+                cluster.set_network_config(config.base.network);
+            }
+        });
         for shard in 0..self.service.num_shards() {
             let members: Vec<NodeId> = self.service.shard(shard).membership().to_vec();
             for id in members {
@@ -858,8 +1249,16 @@ impl<'a> ShardedHarness<'a> {
         }
         let settle_window = 5.0_f64.max(self.config.base.step_duration * 4.0);
         for round in 0..10 {
-            self.service.run_until(self.fleet_now() + settle_window);
-            self.catch_up_stragglers();
+            let target = self.fleet_now() + settle_window;
+            Self::for_each_shard(
+                &mut self.service,
+                &mut self.states,
+                workers,
+                move |_, cluster, _| {
+                    cluster.run_until(target);
+                    Self::catch_up_shard(cluster);
+                },
+            );
             if !self.any_outstanding() && round > 0 {
                 break;
             }
@@ -901,8 +1300,16 @@ impl<'a> ShardedHarness<'a> {
             self.record(shard, request.digest());
         }
         for _ in 0..10 {
-            self.service.run_until(self.fleet_now() + settle_window);
-            self.catch_up_stragglers();
+            let target = self.fleet_now() + settle_window;
+            Self::for_each_shard(
+                &mut self.service,
+                &mut self.states,
+                workers,
+                move |_, cluster, _| {
+                    cluster.run_until(target);
+                    Self::catch_up_shard(cluster);
+                },
+            );
             if !self.any_outstanding() {
                 break;
             }
@@ -999,16 +1406,12 @@ impl<'a> ShardedHarness<'a> {
         }
     }
 
-    fn run(mut self) -> Result<ShardedRunReport> {
-        self.trace = vec![Vec::new(); self.service.num_shards()];
-        let mut iterators: Vec<_> = self
-            .schedule
-            .shards
-            .iter()
-            .map(|schedule| schedule.events.iter().peekable())
-            .collect();
-        let mut violation: Option<Violation> = None;
-        let mut steps_run: u64 = 0;
+    /// Executes the schedule on `workers` concurrent shard sub-executors.
+    /// The result is a pure function of `(seed, config)` — never of
+    /// `workers` (see the module docs for the barrier/phase structure).
+    fn run(mut self, workers: usize) -> Result<ShardedRunReport> {
+        let tick = self.config.fleet_tick_interval.max(1);
+        let horizon = self.config.base.horizon;
         // A GST schedule starts every shard in the asynchronous phase.
         let initial_network = self.config.base.ambient_network(0);
         for shard in 0..self.service.num_shards() {
@@ -1016,47 +1419,110 @@ impl<'a> ShardedHarness<'a> {
                 .shard_mut(shard)
                 .set_network_config(initial_network);
         }
-        for step in 0..self.config.base.horizon {
-            steps_run = u64::from(step) + 1;
+        let mut violation: Option<Violation> = None;
+        let mut steps_run: u64 = 0;
+        let mut step = 0u32;
+        while step < horizon {
+            let window_end = (step + tick).min(horizon);
             self.current_step = step;
-            if self.config.base.gst == Some(step) {
-                // Global stabilization across the fleet: partitions heal
-                // and the bounded-delay profile holds from here on.
-                for shard in 0..self.service.num_shards() {
-                    let cluster = self.service.shard_mut(shard);
-                    cluster.heal_network();
-                    cluster.set_network_config(self.config.base.network);
-                }
+            // Phase A — per shard: GST restore and due fault events, with
+            // control-plane effects buffered.
+            {
+                let config = self.config;
+                let schedule = self.schedule;
+                Self::for_each_shard(
+                    &mut self.service,
+                    &mut self.states,
+                    workers,
+                    move |shard, cluster, state| {
+                        if config.base.gst == Some(step) {
+                            Self::restore_gst(config, cluster);
+                        }
+                        Self::apply_due_events(
+                            config,
+                            &schedule.shards[shard].events,
+                            cluster,
+                            state,
+                            step,
+                        );
+                    },
+                );
             }
-            for (shard, iterator) in iterators.iter_mut().enumerate() {
-                while let Some(fault) = iterator.peek() {
-                    if fault.step > step {
-                        break;
-                    }
-                    let fault = iterator.next().expect("peeked");
-                    self.apply_event(shard, &fault.event, step);
-                }
-            }
+            // Phase B — serial: control-plane note drain + fleet tick.
+            self.drain_plane_notes();
             self.control_tick(step);
-            self.drive_clients(step);
+            // Phase C — per shard: routed client driving.
+            Self::for_each_shard(
+                &mut self.service,
+                &mut self.states,
+                workers,
+                move |shard, cluster, state| {
+                    Self::drive_shard_clients(shard, cluster, state, step);
+                },
+            );
+            // Phase D — serial: routing-record merge + MultiPut rounds.
+            self.merge_routing_records();
             self.step_multi_puts(step);
-            self.service
-                .run_until(f64::from(step + 1) * self.config.base.step_duration);
-            violation = self.check_invariants(step);
-            if std::env::var_os("SIMNET_DEBUG").is_some() {
-                self.debug_dump(step, violation.as_ref());
+            // Phase E — per shard: free-run the window.
+            let local_checks = window_end - step > 1;
+            {
+                let config = self.config;
+                let schedule = self.schedule;
+                Self::for_each_shard(
+                    &mut self.service,
+                    &mut self.states,
+                    workers,
+                    move |shard, cluster, state| {
+                        Self::shard_window(
+                            config,
+                            &schedule.shards[shard].events,
+                            shard,
+                            cluster,
+                            state,
+                            step..window_end,
+                            local_checks,
+                        );
+                    },
+                );
             }
-            self.push_trace(step);
-            if violation.is_some() {
-                break;
+            self.merge_routing_records();
+            // Phase F — serial: violation resolution.
+            let resolved = if local_checks {
+                self.resolve_window(window_end)
+            } else {
+                let found = self.check_invariants(step);
+                if std::env::var_os("SIMNET_DEBUG").is_some() {
+                    self.debug_dump(step, found.as_ref());
+                }
+                found.map(|v| (step, v))
+            };
+            match resolved {
+                Some((violating_step, found)) => {
+                    steps_run = u64::from(violating_step) + 1;
+                    violation = Some(found);
+                    break;
+                }
+                None => {
+                    steps_run = u64::from(window_end);
+                }
             }
+            step = window_end;
         }
         if violation.is_none() {
-            self.current_step = self.config.base.horizon;
-            violation = self.settle();
-            self.push_trace(self.config.base.horizon);
+            self.current_step = horizon;
+            self.drain_plane_notes();
+            violation = self.settle(workers);
+            for shard in 0..self.service.num_shards() {
+                let record = Self::shard_trace_record(
+                    self.service.shard(shard),
+                    &self.states[shard],
+                    horizon,
+                );
+                self.states[shard].trace.push(record);
+            }
         }
         let completed = self.completed_total();
+        let issued = self.issued + self.states.iter().map(|s| s.issued).sum::<u64>();
         let recoveries: u64 = self.states.iter().map(|s| s.recoveries).sum();
         let delays: Vec<u32> = self
             .states
@@ -1080,18 +1546,18 @@ impl<'a> ShardedHarness<'a> {
         Ok(ShardedRunReport {
             outcome: SimnetOutcome {
                 steps: steps_run,
-                issued: self.issued,
+                issued,
                 completed,
                 recoveries,
                 mean_recovery_steps,
                 committed_sequences,
-                availability: if self.issued == 0 {
+                availability: if issued == 0 {
                     1.0
                 } else {
-                    completed as f64 / self.issued as f64
+                    completed as f64 / issued as f64
                 },
             },
-            trace: self.trace,
+            trace: self.states.into_iter().map(|s| s.trace).collect(),
             multi_puts: (launched, committed_txs),
             violation,
         })
@@ -1160,7 +1626,10 @@ impl ShardedCounterexample {
     }
 
     /// Parses a counterexample from JSON (the inverse of
-    /// [`ShardedCounterexample::to_json`]).
+    /// [`ShardedCounterexample::to_json`]). Fields introduced after
+    /// counterexamples were first emitted (`fleet_tick_interval`,
+    /// `workload`) decode to their defaults when absent, so archived
+    /// documents stay replayable.
     ///
     /// # Errors
     ///
@@ -1170,6 +1639,7 @@ impl ShardedCounterexample {
         let value = serde_json::parse_value(json)
             .map_err(|e| CoreError::Solver(format!("parse sharded counterexample: {e}")))?;
         let config_value = decode::field(&value, "config")?;
+        let defaults = ShardedScheduleConfig::default();
         let config = ShardedScheduleConfig {
             shards: decode::as_usize(decode::field(config_value, "shards")?)?,
             base: decode::config(decode::field(config_value, "base")?)?,
@@ -1181,6 +1651,15 @@ impl ShardedCounterexample {
             )?)?)
             .map_err(|_| decode::error("multi_put_interval out of u32 range"))?,
             multi_put_keys: decode::as_usize(decode::field(config_value, "multi_put_keys")?)?,
+            fleet_tick_interval: match decode::opt_field(config_value, "fleet_tick_interval") {
+                Some(v) => u32::try_from(decode::as_u64(v)?)
+                    .map_err(|_| decode::error("fleet_tick_interval out of u32 range"))?,
+                None => defaults.fleet_tick_interval,
+            },
+            workload: match decode::opt_field(config_value, "workload") {
+                Some(Value::Null) | None => None,
+                Some(v) => Some(decode_workload(v)?),
+            },
         };
         let schedule_value = decode::field(&value, "schedule")?;
         let schedule = ShardedFaultSchedule {
@@ -1214,6 +1693,36 @@ impl ShardedCounterexample {
     pub fn replay(&self) -> Result<Option<Violation>> {
         Ok(run_sharded_schedule(&self.schedule, &self.config)?.violation)
     }
+}
+
+/// Decodes a [`TraceWorkloadConfig`] object (absent fields decode to their
+/// defaults).
+fn decode_workload(value: &Value) -> Result<TraceWorkloadConfig> {
+    let defaults = TraceWorkloadConfig::default();
+    Ok(TraceWorkloadConfig {
+        base_rate: match decode::opt_field(value, "base_rate") {
+            Some(v) => decode::as_f64(v)?,
+            None => defaults.base_rate,
+        },
+        diurnal_period: match decode::opt_field(value, "diurnal_period") {
+            Some(v) => u32::try_from(decode::as_u64(v)?)
+                .map_err(|_| decode::error("diurnal_period out of u32 range"))?,
+            None => defaults.diurnal_period,
+        },
+        diurnal_amplitude: match decode::opt_field(value, "diurnal_amplitude") {
+            Some(v) => decode::as_f64(v)?,
+            None => defaults.diurnal_amplitude,
+        },
+        zipf_exponent: match decode::opt_field(value, "zipf_exponent") {
+            Some(v) => decode::as_f64(v)?,
+            None => defaults.zipf_exponent,
+        },
+        backlog_cap: match decode::opt_field(value, "backlog_cap") {
+            Some(v) => u32::try_from(decode::as_u64(v)?)
+                .map_err(|_| decode::error("backlog_cap out of u32 range"))?,
+            None => defaults.backlog_cap,
+        },
+    })
 }
 
 /// Run a fleet schedule and, if it violates an invariant, shrink it and
@@ -1336,6 +1845,47 @@ pub fn sharded_fleet_controlled_config() -> ShardedScheduleConfig {
     }
 }
 
+/// The `fleet/scale-{S}` configuration: S shards × 6 replicas under light
+/// chaos, four-step fleet barriers, the seeded open-loop trace workload,
+/// and a cross-shard MultiPut launched at every barrier. Scale is limited by
+/// hardware, not the harness — the engine free-runs shards between
+/// barriers on the worker pool.
+pub fn fleet_scale_config(shards: usize) -> ShardedScheduleConfig {
+    ShardedScheduleConfig {
+        shards,
+        base: ScheduleConfig {
+            horizon: 16,
+            intensity: 0.15,
+            initial_replicas: 6,
+            max_replicas: 8,
+            ..ScheduleConfig::default()
+        },
+        key_space: (shards as u32).saturating_mul(8),
+        multi_put_interval: 4,
+        multi_put_keys: 2,
+        fleet_tick_interval: 4,
+        workload: Some(TraceWorkloadConfig::default()),
+    }
+}
+
+/// Registers the `fleet/scale-{16,64,256}` scenario family
+/// ([`fleet_scale_config`]). Kept separate from
+/// [`register_sharded_scenarios`] because the larger fleets are CI/bench
+/// material — the every-scenario replay suite runs the default registry in
+/// debug builds, where a 256-shard fleet would dominate the run.
+pub fn register_fleet_scale_scenarios(registry: &mut ScenarioRegistry) {
+    for shards in [16usize, 64, 256] {
+        let name = format!("fleet/scale-{shards}");
+        let label = name.clone();
+        registry.register(&name, move || {
+            Ok(Box::new(ShardedSimnetScenario::new(
+                label.clone(),
+                fleet_scale_config(shards),
+            )) as Box<dyn MetricScenario>)
+        });
+    }
+}
+
 /// Registers the built-in sharded scenarios:
 ///
 /// * `sharded/chaos-2` — two shards under the default chaos mix plus the
@@ -1346,7 +1896,8 @@ pub fn sharded_fleet_controlled_config() -> ShardedScheduleConfig {
 ///
 /// The acceptance sweep in `tests/sharded.rs` drives the *same*
 /// configuration functions, so the CI gate always covers what the
-/// registry ships.
+/// registry ships. The larger `fleet/scale-*` family is registered
+/// separately by [`register_fleet_scale_scenarios`].
 pub fn register_sharded_scenarios(registry: &mut ScenarioRegistry) {
     registry.register("sharded/chaos-2", || {
         Ok(Box::new(ShardedSimnetScenario::new(
@@ -1427,6 +1978,87 @@ mod tests {
     }
 
     #[test]
+    fn every_engine_produces_the_identical_report() {
+        let config = quick_config();
+        for seed in [7u64, 11] {
+            let schedule = ShardedFaultSchedule::generate(seed, &config);
+            let lockstep =
+                run_sharded_schedule_with(&schedule, &config, FleetEngine::Lockstep).unwrap();
+            for workers in [1usize, 2, 4, 8] {
+                let event_driven = run_sharded_schedule_with(
+                    &schedule,
+                    &config,
+                    FleetEngine::EventDriven {
+                        workers: Some(workers),
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    serde_json::to_string(&lockstep.trace).unwrap(),
+                    serde_json::to_string(&event_driven.trace).unwrap(),
+                    "seed {seed} workers {workers}"
+                );
+                assert_eq!(lockstep, event_driven, "seed {seed} workers {workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_barriers_replay_identically_across_workers() {
+        let config = ShardedScheduleConfig {
+            shards: 3,
+            base: ScheduleConfig {
+                horizon: 12,
+                intensity: 0.3,
+                ..ScheduleConfig::default()
+            },
+            multi_put_interval: 6,
+            fleet_tick_interval: 3,
+            workload: Some(TraceWorkloadConfig::default()),
+            ..ShardedScheduleConfig::default()
+        };
+        let schedule = ShardedFaultSchedule::generate(9, &config);
+        let baseline =
+            run_sharded_schedule_with(&schedule, &config, FleetEngine::Lockstep).unwrap();
+        for workers in [2usize, 4, 8] {
+            let run = run_sharded_schedule_with(
+                &schedule,
+                &config,
+                FleetEngine::EventDriven {
+                    workers: Some(workers),
+                },
+            )
+            .unwrap();
+            assert_eq!(baseline, run, "workers {workers}");
+        }
+    }
+
+    #[test]
+    fn trace_workload_offers_open_loop_traffic() {
+        let config = ShardedScheduleConfig {
+            base: ScheduleConfig {
+                horizon: 12,
+                intensity: 0.0,
+                ..ScheduleConfig::default()
+            },
+            multi_put_interval: 0,
+            workload: Some(TraceWorkloadConfig::default()),
+            ..ShardedScheduleConfig::default()
+        };
+        let schedule = ShardedFaultSchedule::generate(2, &config);
+        let report = run_sharded_schedule(&schedule, &config).unwrap();
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        // ~2 requests per shard per step — well above the closed-loop
+        // driver's one per shard per step.
+        assert!(
+            report.outcome.issued > 2 * 12,
+            "open-loop workload too light: {:?}",
+            report.outcome
+        );
+        assert!(report.outcome.completed > 0);
+    }
+
+    #[test]
     fn per_shard_schedules_come_from_split_streams() {
         let config = ShardedScheduleConfig {
             shards: 3,
@@ -1471,6 +2103,45 @@ mod tests {
     }
 
     #[test]
+    fn pre_engine_counterexample_documents_still_decode() {
+        // A document emitted before `fleet_tick_interval` and `workload`
+        // existed: both decode to their defaults.
+        let current = ShardedCounterexample {
+            seed: 4,
+            config: ShardedScheduleConfig {
+                shards: 1,
+                ..ShardedScheduleConfig::default()
+            },
+            schedule: ShardedFaultSchedule {
+                seed: 4,
+                shards: vec![FaultSchedule {
+                    seed: shard_seed(4, 0),
+                    events: Vec::new(),
+                }],
+            },
+            violation: Violation {
+                kind: InvariantKind::Agreement,
+                step: 3,
+                detail: "shard 0: synthetic".into(),
+            },
+        };
+        let json = current.to_json().unwrap();
+        let stripped: String = json
+            .lines()
+            .filter(|line| {
+                !line.contains("\"fleet_tick_interval\"") && !line.contains("\"workload\"")
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+            // The dropped lines were the last fields of the config object.
+            .replace("\"multi_put_keys\": 2,", "\"multi_put_keys\": 2");
+        let back = ShardedCounterexample::from_json(&stripped).unwrap();
+        assert_eq!(back.config.fleet_tick_interval, 1);
+        assert_eq!(back.config.workload, None);
+        assert_eq!(back.schedule, current.schedule);
+    }
+
+    #[test]
     fn sharded_scenarios_register_and_run() {
         let mut registry = ScenarioRegistry::new();
         register_sharded_scenarios(&mut registry);
@@ -1487,5 +2158,17 @@ mod tests {
             .run("sharded/chaos-2", &crate::runtime::Runner::serial(), &[0])
             .expect("the fleet run passes the oracle suite");
         assert_eq!(run.reports.len(), 1);
+    }
+
+    #[test]
+    fn fleet_scale_scenarios_register() {
+        let mut registry = ScenarioRegistry::new();
+        register_fleet_scale_scenarios(&mut registry);
+        for name in ["fleet/scale-16", "fleet/scale-64", "fleet/scale-256"] {
+            assert!(registry.contains(name), "missing {name}");
+            assert!(registry.is_deterministic(name), "{name} must replay");
+        }
+        assert_eq!(fleet_scale_config(64).shards, 64);
+        assert_eq!(fleet_scale_config(64).base.initial_replicas, 6);
     }
 }

@@ -130,7 +130,7 @@ pub(crate) mod decode {
     /// Optional field lookup for knobs added after counterexamples were
     /// first emitted: absent fields decode to their [`ScheduleConfig`]
     /// default, so archived documents stay replayable.
-    fn opt_field<'a>(value: &'a Value, name: &str) -> Option<&'a Value> {
+    pub(crate) fn opt_field<'a>(value: &'a Value, name: &str) -> Option<&'a Value> {
         let Value::Object(entries) = value else {
             return None;
         };
@@ -153,7 +153,7 @@ pub(crate) mod decode {
         usize::try_from(as_u64(value)?).map_err(|_| error("integer out of usize range"))
     }
 
-    fn as_f64(value: &Value) -> Result<f64> {
+    pub(crate) fn as_f64(value: &Value) -> Result<f64> {
         match value {
             Value::F64(x) => Ok(*x),
             Value::U64(n) => Ok(*n as f64),

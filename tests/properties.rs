@@ -5,9 +5,10 @@
 //! strategies respect the BTR constraint for arbitrary belief sequences,
 //! alpha-vector pruning preserves the value envelope, the exact solver
 //! agrees with the Bellman recursion computed through the belief update on
-//! random 3-state models, and the sharded service plane's key partitioner
+//! random 3-state models, the sharded service plane's key partitioner
 //! covers every key exactly once, stays stable under shard-count-preserving
-//! reconfiguration and keeps the owned ranges balanced.
+//! reconfiguration and keeps the owned ranges balanced, and the fleet
+//! engine's per-shard split RNG streams are pairwise non-colliding.
 
 use proptest::prelude::*;
 use tolerance::consensus::KeyPartitioner;
@@ -811,6 +812,49 @@ mod adversary_usig {
                 }
             }
             prop_assert!(cluster.logs_are_consistent());
+        }
+    }
+}
+
+mod fleet_streams {
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::HashSet;
+    use tolerance::consensus::sharded::shard_seed;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+
+        #[test]
+        fn shard_seed_split_streams_are_pairwise_non_colliding(
+            seed in 0u64..u64::MAX,
+            shards in 2usize..=512,
+        ) {
+            // The fleet engine gives every shard its own RNG stream via the
+            // splitmix split of the fleet seed: per-shard fault schedules and
+            // trace workloads must never share a stream, or two shards would
+            // replay correlated chaos. Check both the split seeds and a
+            // fingerprint of each stream's first 10k draws.
+            let mut seeds: HashSet<u64> = HashSet::with_capacity(shards);
+            let mut fingerprints: HashSet<u64> = HashSet::with_capacity(shards);
+            for shard in 0..shards {
+                let split = shard_seed(seed, shard);
+                prop_assert!(
+                    seeds.insert(split),
+                    "fleet seed {seed:#x}: shard {shard} re-derived an earlier split seed"
+                );
+                let mut rng = StdRng::seed_from_u64(split);
+                let mut fingerprint = 0u64;
+                for _ in 0..10_000 {
+                    fingerprint = fingerprint.rotate_left(7) ^ rng.random::<u64>();
+                }
+                prop_assert!(
+                    fingerprints.insert(fingerprint),
+                    "fleet seed {seed:#x}: shard {shard}'s first 10k draws \
+                     collide with an earlier shard's stream"
+                );
+            }
         }
     }
 }
