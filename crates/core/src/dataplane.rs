@@ -105,8 +105,12 @@ fn quick_cluster(batch_size: usize) -> MinBftConfig {
 }
 
 /// Registers the built-in data-plane scenarios: closed-loop workloads at
-/// batch sizes 1 and 16 (the like-for-like batching comparison) and an
-/// open-loop Poisson arrival workload.
+/// batch sizes 1 and 16 (the like-for-like batching comparison), an
+/// open-loop Poisson arrival workload, and `dataplane/load-swing` — the
+/// self-tuning plane under a 10x diurnal offered-load swing
+/// ([`crate::simnet::sharded::load_swing_config`]), run under the fleet
+/// engine's full oracle suite with per-window autotune decisions in the
+/// report.
 pub fn register_dataplane_scenarios(registry: &mut ScenarioRegistry) {
     let closed = WorkloadConfig {
         clients: 16,
@@ -136,6 +140,12 @@ pub fn register_dataplane_scenarios(registry: &mut ScenarioRegistry) {
             },
         )) as Box<dyn MetricScenario>)
     });
+    registry.register("dataplane/load-swing", || {
+        Ok(Box::new(crate::simnet::sharded::ShardedSimnetScenario::new(
+            "dataplane/load-swing",
+            crate::simnet::sharded::load_swing_config(),
+        )) as Box<dyn MetricScenario>)
+    });
 }
 
 #[cfg(test)]
@@ -151,6 +161,7 @@ mod tests {
             "dataplane/closed-b1",
             "dataplane/closed-b16",
             "dataplane/open-poisson",
+            "dataplane/load-swing",
         ] {
             assert!(registry.contains(name), "missing {name}");
         }

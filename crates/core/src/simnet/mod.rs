@@ -57,11 +57,12 @@ pub use schedule::{
     FaultEvent, FaultKind, FaultSchedule, NetworkPhase, ScheduleConfig, ScheduledFault,
 };
 pub use sharded::{
-    find_sharded_counterexample, fleet_scale_config, register_fleet_scale_scenarios,
-    register_sharded_scenarios, run_sharded_schedule, run_sharded_schedule_with,
-    sharded_chaos_4_config, sharded_fleet_controlled_config, sharded_multiput_config,
-    shrink_sharded_schedule, FleetEngine, ShardedCounterexample, ShardedFaultSchedule,
-    ShardedRunReport, ShardedScheduleConfig, ShardedSimnetScenario,
+    find_sharded_counterexample, fleet_scale_config, load_swing_config,
+    register_fleet_scale_scenarios, register_sharded_scenarios, run_sharded_schedule,
+    run_sharded_schedule_with, sharded_chaos_4_config, sharded_fleet_controlled_config,
+    sharded_multiput_config, shrink_sharded_schedule, AutotuneTickRecord, FleetEngine,
+    ShardedCounterexample, ShardedFaultSchedule, ShardedRunReport, ShardedScheduleConfig,
+    ShardedSimnetScenario,
 };
 pub use shrink::{find_counterexample, shrink_schedule, Counterexample};
 pub use workload::{TraceWorkload, TraceWorkloadConfig};

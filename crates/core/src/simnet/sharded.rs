@@ -61,6 +61,9 @@
 //! schedules + config as JSON). Same seed → byte-identical trace,
 //! regardless of surrounding parallelism.
 
+use crate::controlplane::autotune::{
+    Admission, AutotuneConfig, AutotuneController, AutotuneDecision, AutotuneObservation,
+};
 use crate::controlplane::fleet::{FleetConfig, FleetControlPlane};
 use crate::controlplane::{ClusterActuator, NodeReport};
 use crate::error::{CoreError, Result};
@@ -79,6 +82,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
 use tolerance_consensus::crypto::Digest;
+use tolerance_consensus::metrics::LatencyHistogram;
 use tolerance_consensus::minbft::{MinBftCluster, Operation};
 use tolerance_consensus::sharded::{
     shard_seed, KeyPartitioner, ShardedSimConfig, ShardedSimService,
@@ -113,6 +117,15 @@ pub struct ShardedScheduleConfig {
     /// Open-loop trace workload; `None` keeps the closed-loop driver (one
     /// keyed request per shard per step plus burst backlog).
     pub workload: Option<TraceWorkloadConfig>,
+    /// Data-plane self-tuning: when set, every shard runs its own
+    /// deterministic [`AutotuneController`] ticked at
+    /// `window_steps`-aligned steps — AIMD on the shard's leader batch
+    /// knobs (re-clamped online through the fragmentation floor),
+    /// concurrency capping the routed pool scan, and backpressure deciding
+    /// admission from the shard's simulated-network depth. The decision
+    /// trace is part of the run report, so AIMD determinism is pinned by
+    /// the same byte-identity contract as the event trace.
+    pub autotune: Option<AutotuneConfig>,
 }
 
 impl Default for ShardedScheduleConfig {
@@ -128,6 +141,7 @@ impl Default for ShardedScheduleConfig {
             multi_put_keys: 2,
             fleet_tick_interval: 1,
             workload: None,
+            autotune: None,
         }
     }
 }
@@ -212,6 +226,17 @@ impl ShardedFaultSchedule {
     }
 }
 
+/// One autotune window tick of one shard: the step it fired at and the
+/// knob set it actuated. Serialized into the run report so controller
+/// determinism is replay-checkable exactly like the event trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AutotuneTickRecord {
+    /// The step the window tick fired at.
+    pub step: u32,
+    /// The decision the controller actuated for the window.
+    pub decision: AutotuneDecision,
+}
+
 /// The result of executing one fleet schedule.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ShardedRunReport {
@@ -222,6 +247,11 @@ pub struct ShardedRunReport {
     pub trace: Vec<Vec<TraceRecord>>,
     /// MultiPut transactions launched / fully committed.
     pub multi_puts: (u64, u64),
+    /// Per-shard autotune decision traces (`autotune[shard][tick]`); empty
+    /// vectors when [`ShardedScheduleConfig::autotune`] is off. Part of the
+    /// report's equality, so the determinism suite pins AIMD decisions
+    /// across engines and worker counts.
+    pub autotune: Vec<Vec<AutotuneTickRecord>>,
     /// The first invariant violation, if any (the run stops there).
     pub violation: Option<Violation>,
 }
@@ -353,6 +383,17 @@ struct ShardState {
     trace: Vec<TraceRecord>,
     /// The seeded open-loop workload generator, when configured.
     workload: Option<TraceWorkload>,
+    /// The shard's data-plane autotune controller, when configured.
+    tuner: Option<AutotuneController>,
+    /// The admission verdict in force (always `Accept` untuned).
+    admission: Admission,
+    /// The concurrency cap on the routed pool scan (`None` = whole pool).
+    concurrency: Option<usize>,
+    /// Cumulative suppressed-retransmission count at the last tick (the
+    /// tick feeds the controller the per-window delta).
+    last_suppressed: u64,
+    /// The shard's autotune decision trace (one record per window tick).
+    decisions: Vec<AutotuneTickRecord>,
 }
 
 struct ShardedHarness<'a> {
@@ -419,6 +460,11 @@ impl<'a> ShardedHarness<'a> {
                     issued: 0,
                     trace: Vec::new(),
                     workload,
+                    tuner: config.autotune.as_ref().map(AutotuneController::new),
+                    admission: Admission::Accept,
+                    concurrency: None,
+                    last_suppressed: 0,
+                    decisions: Vec::new(),
                 }
             })
             .collect();
@@ -742,7 +788,10 @@ impl<'a> ShardedHarness<'a> {
     }
 
     /// Submits a keyed operation on the first free pool client of this
-    /// shard, recording it locally (validity oracle + routing buffer).
+    /// shard, recording it locally (validity oracle + routing buffer). The
+    /// scan covers the pool's autotuned concurrency prefix — the AIMD
+    /// concurrency law caps how many pool clients may hold an outstanding
+    /// request at once.
     fn submit_shard_put(
         shard: usize,
         cluster: &mut MinBftCluster,
@@ -750,9 +799,11 @@ impl<'a> ShardedHarness<'a> {
         operation: Operation,
         step: u32,
     ) -> bool {
+        let cap = state.concurrency.unwrap_or(state.pool.len()).max(1);
         let Some(client) = state
             .pool
             .iter()
+            .take(cap)
             .copied()
             .find(|&c| !cluster.has_outstanding_request(c))
         else {
@@ -774,37 +825,94 @@ impl<'a> ShardedHarness<'a> {
         true
     }
 
+    /// The deterministic per-window autotune tick of one shard: at
+    /// `window_steps`-aligned steps the controller observes the drained
+    /// completion latencies (p99 over the window), the simulated network's
+    /// in-flight depth and the suppressed-retransmission delta, then
+    /// actuates the shard's batch knobs — re-clamped through the cluster's
+    /// own [`tolerance_consensus::MinBftConfig::validate`] floor — and the
+    /// concurrency/admission verdicts the client driving below obeys.
+    /// Pure per-shard state, so the parallel phases stay deterministic.
+    fn autotune_tick(cluster: &mut MinBftCluster, state: &mut ShardState, step: u32) {
+        let window = match state.tuner.as_ref() {
+            Some(tuner) => tuner.config().window_steps.max(1),
+            None => return,
+        };
+        if !step.is_multiple_of(window) {
+            return;
+        }
+        let latencies = cluster.take_latencies();
+        let mut histogram = LatencyHistogram::new();
+        for &latency in &latencies {
+            histogram.record(latency);
+        }
+        let (_, suppressed_total) = cluster.retransmission_stats();
+        let suppressed = suppressed_total.saturating_sub(state.last_suppressed);
+        state.last_suppressed = suppressed_total;
+        let tuner = state.tuner.as_mut().expect("checked above");
+        let decision = tuner.observe(AutotuneObservation {
+            completed: latencies.len() as u64,
+            p99: histogram.quantile(0.99),
+            queue_depth: cluster.network_in_flight() as u64,
+            suppressed,
+        });
+        debug_assert!(tuner.actuation_validates());
+        cluster.set_batch_config(decision.batch_size, decision.batch_delay);
+        state.admission = decision.admission;
+        state.concurrency = Some(decision.concurrency);
+        state.decisions.push(AutotuneTickRecord { step, decision });
+    }
+
     /// Drives one shard's routed clients for one step: the closed-loop
     /// driver (one keyed request plus burst backlog), or the open-loop
-    /// [`TraceWorkload`] when configured.
+    /// [`TraceWorkload`] when configured. The autotune tick (when
+    /// configured) runs first, so a window's decision governs the window's
+    /// own demand.
     fn drive_shard_clients(
         shard: usize,
         cluster: &mut MinBftCluster,
         state: &mut ShardState,
         step: u32,
     ) {
+        Self::autotune_tick(cluster, state, step);
         if let Some(mut workload) = state.workload.take() {
             // Open loop: the offered arrivals (plus any deferred demand and
             // scheduled bursts) are submitted while pool clients are free;
             // the rest queues up to the backlog cap and beyond it is shed.
+            // Backpressure intervenes first: `Delay` defers the whole
+            // step's demand to the backlog, `Shed` drops it outright.
             let mut demand = workload.arrivals(step).saturating_add(state.pending_bursts);
-            while demand > 0 {
-                let key = workload.draw_key();
-                let value = 0x2000_0000 + u64::from(step) * 64 + u64::from(demand);
-                if !Self::submit_shard_put(
-                    shard,
-                    cluster,
-                    state,
-                    Operation::Put { key, value },
-                    step,
-                ) {
-                    break;
+            match state.admission {
+                Admission::Shed => demand = 0,
+                Admission::Delay => {}
+                Admission::Accept => {
+                    while demand > 0 {
+                        let key = workload.draw_key();
+                        let value = 0x2000_0000 + u64::from(step) * 64 + u64::from(demand);
+                        if !Self::submit_shard_put(
+                            shard,
+                            cluster,
+                            state,
+                            Operation::Put { key, value },
+                            step,
+                        ) {
+                            break;
+                        }
+                        demand -= 1;
+                    }
                 }
-                demand -= 1;
             }
             state.pending_bursts = demand.min(workload.backlog_cap());
             state.workload = Some(workload);
             return;
+        }
+        match state.admission {
+            Admission::Shed => {
+                state.pending_bursts = 0;
+                return;
+            }
+            Admission::Delay => return,
+            Admission::Accept => {}
         }
         let key = state.owned_keys[step as usize % state.owned_keys.len()];
         let submitted = Self::submit_shard_put(
@@ -1543,6 +1651,12 @@ impl<'a> ShardedHarness<'a> {
             .iter()
             .filter(|t| t.phase == TxPhase::Done)
             .count() as u64;
+        let mut trace = Vec::with_capacity(self.states.len());
+        let mut autotune = Vec::with_capacity(self.states.len());
+        for state in self.states {
+            trace.push(state.trace);
+            autotune.push(state.decisions);
+        }
         Ok(ShardedRunReport {
             outcome: SimnetOutcome {
                 steps: steps_run,
@@ -1557,8 +1671,9 @@ impl<'a> ShardedHarness<'a> {
                     completed as f64 / issued as f64
                 },
             },
-            trace: self.states.into_iter().map(|s| s.trace).collect(),
+            trace,
             multi_puts: (launched, committed_txs),
+            autotune,
             violation,
         })
     }
@@ -1628,8 +1743,8 @@ impl ShardedCounterexample {
     /// Parses a counterexample from JSON (the inverse of
     /// [`ShardedCounterexample::to_json`]). Fields introduced after
     /// counterexamples were first emitted (`fleet_tick_interval`,
-    /// `workload`) decode to their defaults when absent, so archived
-    /// documents stay replayable.
+    /// `workload`, `autotune`) decode to their defaults when absent, so
+    /// archived documents stay replayable.
     ///
     /// # Errors
     ///
@@ -1659,6 +1774,10 @@ impl ShardedCounterexample {
             workload: match decode::opt_field(config_value, "workload") {
                 Some(Value::Null) | None => None,
                 Some(v) => Some(decode_workload(v)?),
+            },
+            autotune: match decode::opt_field(config_value, "autotune") {
+                Some(Value::Null) | None => None,
+                Some(v) => Some(decode_autotune(v)?),
             },
         };
         let schedule_value = decode::field(&value, "schedule")?;
@@ -1722,6 +1841,53 @@ fn decode_workload(value: &Value) -> Result<TraceWorkloadConfig> {
                 .map_err(|_| decode::error("backlog_cap out of u32 range"))?,
             None => defaults.backlog_cap,
         },
+    })
+}
+
+/// Decodes an [`AutotuneConfig`] object (absent fields decode to their
+/// defaults; the controller sanitizes on construction either way).
+fn decode_autotune(value: &Value) -> Result<AutotuneConfig> {
+    let defaults = AutotuneConfig::default();
+    let f64_field = |name: &str, fallback: f64| -> Result<f64> {
+        match decode::opt_field(value, name) {
+            Some(v) => decode::as_f64(v),
+            None => Ok(fallback),
+        }
+    };
+    let usize_field = |name: &str, fallback: usize| -> Result<usize> {
+        match decode::opt_field(value, name) {
+            Some(v) => decode::as_usize(v),
+            None => Ok(fallback),
+        }
+    };
+    let u64_field = |name: &str, fallback: u64| -> Result<u64> {
+        match decode::opt_field(value, name) {
+            Some(v) => decode::as_u64(v),
+            None => Ok(fallback),
+        }
+    };
+    Ok(AutotuneConfig {
+        p99_target: f64_field("p99_target", defaults.p99_target)?,
+        initial_batch: usize_field("initial_batch", defaults.initial_batch)?,
+        min_batch: usize_field("min_batch", defaults.min_batch)?,
+        max_batch: usize_field("max_batch", defaults.max_batch)?,
+        batch_step: usize_field("batch_step", defaults.batch_step)?,
+        initial_concurrency: usize_field("initial_concurrency", defaults.initial_concurrency)?,
+        min_concurrency: usize_field("min_concurrency", defaults.min_concurrency)?,
+        max_concurrency: usize_field("max_concurrency", defaults.max_concurrency)?,
+        concurrency_step: usize_field("concurrency_step", defaults.concurrency_step)?,
+        decrease_factor: f64_field("decrease_factor", defaults.decrease_factor)?,
+        delay_watermark: u64_field("delay_watermark", defaults.delay_watermark)?,
+        shed_watermark: u64_field("shed_watermark", defaults.shed_watermark)?,
+        base_batch_delay: f64_field("base_batch_delay", defaults.base_batch_delay)?,
+        processing_time: f64_field("processing_time", defaults.processing_time)?,
+        signature_time: f64_field("signature_time", defaults.signature_time)?,
+        window_steps: match decode::opt_field(value, "window_steps") {
+            Some(v) => u32::try_from(decode::as_u64(v)?)
+                .map_err(|_| decode::error("window_steps out of u32 range"))?,
+            None => defaults.window_steps,
+        },
+        window_seconds: f64_field("window_seconds", defaults.window_seconds)?,
     })
 }
 
@@ -1865,6 +2031,46 @@ pub fn fleet_scale_config(shards: usize) -> ShardedScheduleConfig {
         multi_put_keys: 2,
         fleet_tick_interval: 4,
         workload: Some(TraceWorkloadConfig::default()),
+        autotune: None,
+    }
+}
+
+/// The `dataplane/load-swing` configuration: the self-tuning data plane
+/// under a **10x** diurnal offered-load swing. Two shards take the seeded
+/// open-loop trace workload with amplitude `9/11` — peak rate
+/// `(1 + 9/11) / (1 - 9/11) = 10` times the trough — under light chaos,
+/// while every shard's [`AutotuneController`] ticks each window: AIMD on
+/// the leader batch knobs (clamped online through the fragmentation
+/// floor), concurrency capping the pool, and backpressure deciding
+/// admission. The autotune cost model matches the simulated cluster
+/// ([`ScheduleConfig::minbft_config`] defaults), so the actuated pair is
+/// exactly the validated pair. The bench suite drives the same swing
+/// against the static grid to produce the adaptive-vs-static frontier.
+pub fn load_swing_config() -> ShardedScheduleConfig {
+    ShardedScheduleConfig {
+        shards: 2,
+        base: ScheduleConfig {
+            horizon: 24,
+            intensity: 0.15,
+            ..ScheduleConfig::default()
+        },
+        key_space: 64,
+        multi_put_interval: 0,
+        multi_put_keys: 2,
+        fleet_tick_interval: 4,
+        workload: Some(TraceWorkloadConfig {
+            base_rate: 4.0,
+            diurnal_period: 12,
+            diurnal_amplitude: 9.0 / 11.0,
+            ..TraceWorkloadConfig::default()
+        }),
+        autotune: Some(AutotuneConfig {
+            max_batch: 64,
+            initial_concurrency: 4,
+            max_concurrency: 4,
+            window_steps: 2,
+            ..AutotuneConfig::default()
+        }),
     }
 }
 
@@ -2104,8 +2310,8 @@ mod tests {
 
     #[test]
     fn pre_engine_counterexample_documents_still_decode() {
-        // A document emitted before `fleet_tick_interval` and `workload`
-        // existed: both decode to their defaults.
+        // A document emitted before `fleet_tick_interval`, `workload` and
+        // `autotune` existed: all three decode to their defaults.
         let current = ShardedCounterexample {
             seed: 4,
             config: ShardedScheduleConfig {
@@ -2129,7 +2335,9 @@ mod tests {
         let stripped: String = json
             .lines()
             .filter(|line| {
-                !line.contains("\"fleet_tick_interval\"") && !line.contains("\"workload\"")
+                !line.contains("\"fleet_tick_interval\"")
+                    && !line.contains("\"workload\"")
+                    && !line.contains("\"autotune\"")
             })
             .collect::<Vec<_>>()
             .join("\n")
@@ -2138,7 +2346,67 @@ mod tests {
         let back = ShardedCounterexample::from_json(&stripped).unwrap();
         assert_eq!(back.config.fleet_tick_interval, 1);
         assert_eq!(back.config.workload, None);
+        assert_eq!(back.config.autotune, None);
         assert_eq!(back.schedule, current.schedule);
+    }
+
+    #[test]
+    fn autotuned_load_swing_passes_oracles_and_records_decisions() {
+        let config = load_swing_config();
+        let schedule = ShardedFaultSchedule::generate(3, &config);
+        let report = run_sharded_schedule(&schedule, &config).unwrap();
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        assert!(report.outcome.completed > 0);
+        assert_eq!(report.autotune.len(), config.shards);
+        // One decision per window per shard (horizon 24, window 2).
+        for decisions in &report.autotune {
+            assert_eq!(decisions.len(), 12, "{decisions:?}");
+            for record in decisions {
+                assert!(record.decision.batch_size >= 1);
+                assert!(record.decision.concurrency >= 1);
+                assert!(record.decision.batch_delay.is_finite());
+            }
+        }
+        // AIMD reacted: some window actually moved a knob off its start.
+        let initial = config.autotune.as_ref().unwrap().initial_batch;
+        assert!(
+            report
+                .autotune
+                .iter()
+                .flatten()
+                .any(|r| r.decision.batch_size != initial),
+            "the controller never moved batch_size"
+        );
+    }
+
+    #[test]
+    fn autotune_config_round_trips_through_counterexample_json() {
+        let counterexample = ShardedCounterexample {
+            seed: 8,
+            config: load_swing_config(),
+            schedule: ShardedFaultSchedule {
+                seed: 8,
+                shards: vec![
+                    FaultSchedule {
+                        seed: shard_seed(8, 0),
+                        events: Vec::new(),
+                    },
+                    FaultSchedule {
+                        seed: shard_seed(8, 1),
+                        events: Vec::new(),
+                    },
+                ],
+            },
+            violation: Violation {
+                kind: InvariantKind::Liveness,
+                step: 7,
+                detail: "synthetic".into(),
+            },
+        };
+        let json = counterexample.to_json().unwrap();
+        let back = ShardedCounterexample::from_json(&json).unwrap();
+        assert_eq!(back, counterexample);
+        assert_eq!(back.config.autotune, counterexample.config.autotune);
     }
 
     #[test]

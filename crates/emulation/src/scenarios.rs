@@ -109,7 +109,7 @@ mod tests {
     #[test]
     fn builtin_registry_contains_paper_novel_and_simnet_scenarios() {
         let registry = builtin_registry();
-        assert_eq!(registry.len(), 50);
+        assert_eq!(registry.len(), 51);
         for name in [
             "paper/tolerance",
             "paper/no-recovery",
@@ -128,6 +128,7 @@ mod tests {
             "dataplane/closed-b1",
             "dataplane/closed-b16",
             "dataplane/open-poisson",
+            "dataplane/load-swing",
             "controlled/intrusion-burst",
             "controlled/uncontrolled-baseline",
             "controlled/sim-intrusion-burst",
@@ -148,7 +149,7 @@ mod tests {
         assert!(registry.is_deterministic("controlled/sim-intrusion-burst"));
         assert!(registry.is_deterministic("sharded/chaos-2"));
         assert!(registry.is_deterministic("adversary/equivocating-leader/gst"));
-        assert_eq!(registry.deterministic_names().len(), 48);
+        assert_eq!(registry.deterministic_names().len(), 49);
     }
 
     #[test]

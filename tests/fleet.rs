@@ -9,10 +9,12 @@
 //! workflow artifact.
 
 use tolerance::consensus::sharded::shard_seed;
+use tolerance::core::simnet::oracle::{InvariantKind, Violation};
 use tolerance::core::simnet::{
-    find_sharded_counterexample, fleet_scale_config, run_sharded_schedule_with, Counterexample,
-    FaultEvent, FaultSchedule, FleetEngine, ScheduledFault, ShardedCounterexample,
-    ShardedFaultSchedule, ShardedRunReport, ShardedScheduleConfig,
+    find_sharded_counterexample, fleet_scale_config, load_swing_config, run_sharded_schedule,
+    run_sharded_schedule_with, Counterexample, FaultEvent, FaultSchedule, FleetEngine,
+    ScheduledFault, ShardedCounterexample, ShardedFaultSchedule, ShardedRunReport,
+    ShardedScheduleConfig,
 };
 
 const WORKER_GRID: [usize; 4] = [1, 2, 4, 8];
@@ -89,6 +91,7 @@ fn lift_single_group(
         multi_put_keys: 2,
         fleet_tick_interval: 1,
         workload: None,
+        autotune: None,
     };
     let schedule = ShardedFaultSchedule {
         seed: counterexample.seed,
@@ -154,6 +157,68 @@ fn lockstep_and_event_driven_agree_on_the_pinned_fleet_counterexample() {
         "the pinned counterexample regressed: {:?}",
         report.violation
     );
+}
+
+#[test]
+fn autotuned_load_swing_replay_is_byte_identical_across_worker_grid() {
+    // The self-tuning data plane under the 10x diurnal swing: the AIMD
+    // controller, admission decisions and concurrency caps all tick inside
+    // the per-shard sub-executors, so the whole report — event trace AND
+    // the per-window autotune decision trace — must be byte-identical
+    // across 1/2/4/8 workers.
+    let config = load_swing_config();
+    for seed in 0..2u64 {
+        let schedule = ShardedFaultSchedule::generate(seed, &config);
+        let report =
+            assert_engine_invariant(&format!("load-swing seed {seed}"), &schedule, &config);
+        assert!(
+            report.violation.is_none(),
+            "load-swing seed {seed}: {:?}",
+            report.violation
+        );
+        assert_eq!(report.autotune.len(), config.shards);
+        assert!(
+            report
+                .autotune
+                .iter()
+                .all(|decisions| !decisions.is_empty()),
+            "load-swing seed {seed}: a shard never ticked its controller"
+        );
+    }
+}
+
+#[test]
+fn aimd_decisions_replay_exactly_from_a_counterexample_document() {
+    // Controller determinism through the archive path: a load-swing run's
+    // configuration round-trips through `ShardedCounterexample` JSON (the
+    // manual decoder, not serde derive), and re-executing the decoded
+    // document reproduces the original AIMD decision sequence exactly —
+    // every step, batch size, delay, concurrency and admission verdict.
+    let config = load_swing_config();
+    let schedule = ShardedFaultSchedule::generate(5, &config);
+    let original = run_sharded_schedule(&schedule, &config).expect("harness constructs");
+    assert!(original.violation.is_none(), "{:?}", original.violation);
+    let document = ShardedCounterexample {
+        seed: 5,
+        config: config.clone(),
+        schedule: schedule.clone(),
+        violation: Violation {
+            kind: InvariantKind::Liveness,
+            step: 0,
+            detail: "synthetic archive entry for decision replay".into(),
+        },
+    };
+    let json = document.to_json().expect("serializable");
+    let decoded = ShardedCounterexample::from_json(&json).expect("decodable");
+    assert_eq!(decoded.config, config, "config must survive the round trip");
+    let replayed =
+        run_sharded_schedule(&decoded.schedule, &decoded.config).expect("harness constructs");
+    assert_eq!(
+        serde_json::to_string(&original.autotune).expect("serializable"),
+        serde_json::to_string(&replayed.autotune).expect("serializable"),
+        "AIMD decision trace diverged on replay from the archived document"
+    );
+    assert_eq!(original, replayed);
 }
 
 fn publish_counterexample(name: &str, counterexample: &ShardedCounterexample) {

@@ -816,6 +816,201 @@ mod adversary_usig {
     }
 }
 
+mod autotune_metrics {
+    //! The windowed-metrics primitives feeding the data-plane autotune
+    //! loop (PR-9 satellite): quantiles behave like quantiles, window
+    //! rotation drops exactly the expired buckets, and histogram merging
+    //! is recording the union.
+
+    use proptest::prelude::*;
+    use tolerance::consensus::metrics::{LatencyHistogram, WindowedCounter};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn histogram_quantiles_are_monotone_and_bounded_by_the_max(
+            latencies in proptest::collection::vec(1e-7..10.0f64, 1..200),
+            qs in proptest::collection::vec(0.0..=1.0f64, 2..8),
+        ) {
+            let mut histogram = LatencyHistogram::new();
+            let mut max = 0.0f64;
+            for &latency in &latencies {
+                histogram.record(latency);
+                max = max.max(latency);
+            }
+            prop_assert_eq!(histogram.count(), latencies.len() as u64);
+            let mut sorted = qs.clone();
+            sorted.sort_by(f64::total_cmp);
+            let values: Vec<f64> = sorted.iter().map(|&q| histogram.quantile(q)).collect();
+            for pair in values.windows(2) {
+                prop_assert!(
+                    pair[0] <= pair[1] + 1e-12,
+                    "quantile not monotone: {} then {}",
+                    pair[0],
+                    pair[1]
+                );
+            }
+            for &value in &values {
+                prop_assert!(
+                    value <= max + 1e-12,
+                    "quantile {value} exceeds recorded max {max}"
+                );
+            }
+            // q = 1.0 is exactly the maximum (the side-channel clamp).
+            prop_assert!((histogram.quantile(1.0) - max).abs() < 1e-12);
+        }
+
+        #[test]
+        fn window_rotation_drops_exactly_the_expired_buckets(
+            span in 1u64..8,
+            records in proptest::collection::vec((0u64..32, 1u64..100), 1..60),
+        ) {
+            let mut counter = WindowedCounter::new(span);
+            // Reference: the journal of *accepted* records. The counter
+            // ignores records older than the newest window it has seen
+            // (late data must not resurrect an expired bucket); everything
+            // else is accepted, and intermediate rotations only ever drop
+            // buckets the final rotation would drop too (the expiry
+            // threshold is monotone in the window index).
+            let mut journal: Vec<(u64, u64)> = Vec::new();
+            let mut newest = 0u64;
+            for &(window, count) in &records {
+                counter.record(window, count);
+                if window >= newest {
+                    newest = window;
+                    journal.push((window, count));
+                }
+            }
+            counter.rotate(newest);
+            let oldest_live = newest.saturating_sub(span - 1);
+            let expected: u64 = journal
+                .iter()
+                .filter(|(window, _)| *window >= oldest_live)
+                .map(|(_, count)| count)
+                .sum();
+            prop_assert!(
+                counter.total() == expected,
+                "rotation to window {newest} with span {span} kept the wrong \
+                 buckets: total {} expected {expected}",
+                counter.total()
+            );
+            for (window, _) in counter.live() {
+                prop_assert!(window >= oldest_live, "expired window {window} survived");
+            }
+        }
+
+        #[test]
+        fn merging_two_histograms_equals_recording_the_union(
+            left in proptest::collection::vec(1e-7..5.0f64, 0..100),
+            right in proptest::collection::vec(1e-7..5.0f64, 0..100),
+        ) {
+            let mut a = LatencyHistogram::new();
+            for &latency in &left {
+                a.record(latency);
+            }
+            let mut b = LatencyHistogram::new();
+            for &latency in &right {
+                b.record(latency);
+            }
+            let mut union = LatencyHistogram::new();
+            for &latency in left.iter().chain(&right) {
+                union.record(latency);
+            }
+            a.merge(&b);
+            prop_assert_eq!(a.count(), union.count());
+            prop_assert!((a.sum() - union.sum()).abs() < 1e-9);
+            prop_assert!((a.max() - union.max()).abs() < 1e-12);
+            for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                prop_assert!(
+                    (a.quantile(q) - union.quantile(q)).abs() < 1e-12,
+                    "quantile({q}) diverges after merge"
+                );
+            }
+        }
+    }
+}
+
+mod autotune_clamp {
+    //! The online-clamp regression property (PR-9 satellite): whatever
+    //! observation sequence drives the AIMD laws — calm growth to the
+    //! batch cap, overload collapses, idle holds, watermark crossings —
+    //! the actuated `(batch_size, batch_delay)` pair always passes
+    //! [`MinBftConfig::validate`] with the matching cost model. The
+    //! config itself is drawn adversarially (unordered bounds, silly
+    //! factors) to cover sanitization too.
+
+    use proptest::prelude::*;
+    use tolerance::core::controlplane::autotune::{
+        AutotuneConfig, AutotuneController, AutotuneObservation,
+    };
+
+    fn arbitrary_config() -> impl Strategy<Value = AutotuneConfig> {
+        (
+            (1e-3..1.0f64, 0usize..512, 0usize..512, 1usize..16),
+            (0usize..128, 0usize..128, 1usize..8),
+            (0.0..1.5f64, 0u64..512, 0u64..512),
+            (0.0..0.05f64, 0.0..0.01f64, 0.0..0.01f64),
+        )
+            .prop_map(
+                |(
+                    (p99_target, min_batch, max_batch, batch_step),
+                    (min_concurrency, max_concurrency, concurrency_step),
+                    (decrease_factor, delay_watermark, shed_watermark),
+                    (base_batch_delay, processing_time, signature_time),
+                )| AutotuneConfig {
+                    p99_target,
+                    initial_batch: min_batch,
+                    min_batch,
+                    max_batch,
+                    batch_step,
+                    initial_concurrency: min_concurrency,
+                    min_concurrency,
+                    max_concurrency,
+                    concurrency_step,
+                    decrease_factor,
+                    delay_watermark,
+                    shed_watermark,
+                    base_batch_delay,
+                    processing_time,
+                    signature_time,
+                    ..AutotuneConfig::default()
+                },
+            )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn aimd_never_actuates_a_pair_validate_rejects(
+            config in arbitrary_config(),
+            windows in proptest::collection::vec(
+                (0u64..2_000, 0.0..2.0f64, 0u64..1_024, 0u64..64),
+                1..80,
+            ),
+        ) {
+            let mut controller = AutotuneController::new(&config);
+            prop_assert!(controller.actuation_validates(), "initial knobs invalid");
+            for &(completed, p99, queue_depth, suppressed) in &windows {
+                let decision = controller.observe(AutotuneObservation {
+                    completed,
+                    p99,
+                    queue_depth,
+                    suppressed,
+                });
+                prop_assert!(
+                    controller.actuation_validates(),
+                    "reachable state actuates an invalid pair: {decision:?}"
+                );
+                prop_assert!(decision.batch_size >= 1);
+                prop_assert!(decision.concurrency >= 1);
+                prop_assert!(decision.batch_delay.is_finite() && decision.batch_delay >= 0.0);
+            }
+        }
+    }
+}
+
 mod fleet_streams {
     use proptest::prelude::*;
     use rand::rngs::StdRng;
